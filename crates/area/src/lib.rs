@@ -1,0 +1,457 @@
+//! FPGA resource and clock model for the customisable EPIC processor.
+//!
+//! The paper's resource results (§5.1, Xilinx Virtex-II, Handel-C flow)
+//! are: designs with 1, 2 and 3 ALUs take 4181, 6779 and 9367 slices,
+//! "each individual ALU occupies around 2600 slices", the register file
+//! maps into BlockRAM ("increasing the size of register file has
+//! negligible effects on number of slices"), multiplication uses the
+//! on-chip block multipliers, and the prototype clocks at 41.8 MHz with a
+//! critical path insensitive to the ALU count.
+//!
+//! This crate reproduces those results analytically: [`AreaModel`] breaks
+//! the design into per-component slice costs whose sum is calibrated by
+//! least squares against the paper's three data points (our line is
+//! 1588 + 2593·N slices, within 0.1 % of every published value), counts
+//! BlockRAMs and block multipliers, checks fit against the Virtex-II
+//! device table and provides the clock model used to convert Table 1's
+//! cycle counts into the execution times of Figs. 3–5.
+//!
+//! # Examples
+//!
+//! ```
+//! use epic_area::AreaModel;
+//! use epic_config::Config;
+//!
+//! let model = AreaModel::new(&Config::builder().num_alus(1).build()?);
+//! assert_eq!(model.slices(), 4181); // the paper's 1-ALU figure
+//! # Ok::<(), epic_config::ConfigError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod power;
+
+pub use power::{EnergyPerOp, PowerEstimate, PowerModel, STATIC_MW_PER_SLICE};
+
+use epic_config::{AluFeature, Config, CustomSemantics};
+use std::fmt;
+
+/// Clock rate of the EPIC prototype in MHz ("currently, our prototype
+/// runs at 41.8 MHz", §5.1). The critical path is insensitive to the
+/// number of ALUs and the register-file size (§5.1), so the model keeps
+/// it flat across configurations.
+pub const EPIC_CLOCK_MHZ: f64 = 41.8;
+
+/// Clock rate of the StrongARM SA-110 baseline in MHz (§5.2).
+pub const SA110_CLOCK_MHZ: f64 = 100.0;
+
+/// Bits per Virtex-II BlockRAM (18 kbit SelectRAM).
+const BLOCK_RAM_BITS: u32 = 18 * 1024;
+
+/// A Virtex-II family member.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Device {
+    /// Part name.
+    pub name: &'static str,
+    /// Configurable logic slices.
+    pub slices: u32,
+    /// BlockRAM count (block multipliers come in equal number).
+    pub block_rams: u32,
+}
+
+/// The Xilinx Virtex-II family, smallest to largest ("each containing up
+/// to [tens of thousands of] configurable logic slices and … distributed
+/// configurable memory", §5).
+pub const VIRTEX_II: [Device; 11] = [
+    Device { name: "XC2V40", slices: 256, block_rams: 4 },
+    Device { name: "XC2V80", slices: 512, block_rams: 8 },
+    Device { name: "XC2V250", slices: 1536, block_rams: 24 },
+    Device { name: "XC2V500", slices: 3072, block_rams: 32 },
+    Device { name: "XC2V1000", slices: 5120, block_rams: 40 },
+    Device { name: "XC2V1500", slices: 7680, block_rams: 48 },
+    Device { name: "XC2V2000", slices: 10752, block_rams: 56 },
+    Device { name: "XC2V3000", slices: 14336, block_rams: 96 },
+    Device { name: "XC2V4000", slices: 23040, block_rams: 120 },
+    Device { name: "XC2V6000", slices: 33792, block_rams: 144 },
+    Device { name: "XC2V8000", slices: 46592, block_rams: 168 },
+];
+
+/// Per-component slice breakdown of one configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SliceBreakdown {
+    /// Fetch/Decode/Issue unit (scales with issue width).
+    pub fetch_decode_issue: u32,
+    /// Write-back unit (scales with issue width).
+    pub writeback: u32,
+    /// Register-file controller (4× clock; forwarding network included).
+    pub regfile_controller: u32,
+    /// Main-memory controller (2× clock, 4 banks).
+    pub memory_controller: u32,
+    /// Load/store unit.
+    pub lsu: u32,
+    /// Comparison unit.
+    pub cmpu: u32,
+    /// Branch unit plus the BTR file.
+    pub bru: u32,
+    /// Predicate register file (flip-flops in slices).
+    pub predicate_file: u32,
+    /// Pipeline control and interconnect.
+    pub control: u32,
+    /// Registers added by extra pipeline stages (§6's pipelining
+    /// parameter; zero for the 2-stage prototype).
+    pub pipeline_registers: u32,
+    /// All ALUs together (feature-dependent).
+    pub alus: u32,
+}
+
+impl SliceBreakdown {
+    /// Total slices.
+    #[must_use]
+    pub fn total(&self) -> u32 {
+        self.fetch_decode_issue
+            + self.writeback
+            + self.regfile_controller
+            + self.memory_controller
+            + self.lsu
+            + self.cmpu
+            + self.bru
+            + self.predicate_file
+            + self.control
+            + self.pipeline_registers
+            + self.alus
+    }
+}
+
+/// The analytic resource model for one configuration.
+///
+/// Component costs are calibrated so the default feature set reproduces
+/// the paper's slice counts; removing ALU features (§3.3: "ALUs do not
+/// need to support division if this operation is not required") shrinks
+/// each ALU accordingly, which is exactly the performance/area trade-off
+/// the customisable design exists to explore.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AreaModel {
+    config: Config,
+}
+
+impl AreaModel {
+    /// Builds the model for a configuration.
+    #[must_use]
+    pub fn new(config: &Config) -> Self {
+        AreaModel {
+            config: config.clone(),
+        }
+    }
+
+    /// Slices used by one ALU under the configured feature set.
+    ///
+    /// With every feature enabled this is 2593 — the paper's "around
+    /// 2600 slices" per ALU.
+    #[must_use]
+    pub fn slices_per_alu(&self) -> u32 {
+        let f = self.config.alu_features();
+        let mut slices = 700; // adder/subtractor, logic, moves
+        if f.contains(AluFeature::Shifts) {
+            slices += 520; // barrel shifter
+        }
+        if f.contains(AluFeature::Divide) {
+            slices += 910; // iterative divider
+        }
+        if f.contains(AluFeature::MinMax) {
+            slices += 160;
+        }
+        if f.contains(AluFeature::Extend) {
+            slices += 83;
+        }
+        if f.contains(AluFeature::Multiply) {
+            slices += 220; // multiplier glue (the array is in block mults)
+        }
+        for op in self.config.custom_ops() {
+            slices += custom_op_slices(op.semantics());
+        }
+        slices
+    }
+
+    /// Per-component slice breakdown.
+    #[must_use]
+    pub fn breakdown(&self) -> SliceBreakdown {
+        let c = &self.config;
+        let issue = c.issue_width() as u32;
+        SliceBreakdown {
+            fetch_decode_issue: 96 + 106 * issue,
+            writeback: 30 * issue,
+            regfile_controller: 140 + if c.forwarding() { 45 } else { 0 },
+            memory_controller: 160,
+            lsu: 210,
+            cmpu: 130,
+            bru: 88 + 4 * c.num_btrs() as u32,
+            predicate_file: 2 * c.num_pred_regs() as u32,
+            control: 47,
+            pipeline_registers: (c.pipeline_stages() as u32 - 2) * (40 + 25 * issue),
+            alus: c.num_alus() as u32 * self.slices_per_alu(),
+        }
+    }
+
+    /// Total configurable logic slices.
+    #[must_use]
+    pub fn slices(&self) -> u32 {
+        self.breakdown().total()
+    }
+
+    /// BlockRAMs consumed by the register file ("the register file is
+    /// mapped into SelectRam … increasing the size of register file has
+    /// negligible effects on number of slices", §5.1).
+    #[must_use]
+    pub fn block_rams(&self) -> u32 {
+        let bits = self.config.num_gprs() as u32 * self.config.datapath_width();
+        // The 4×-clocked controller time-multiplexes one dual-port RAM.
+        bits.div_ceil(BLOCK_RAM_BITS).max(1)
+    }
+
+    /// Block multipliers ("multiplication is supported by on-chip block
+    /// multiplier[s]", §5.1): a 32-bit product uses four 18×18 blocks per
+    /// multiply-capable ALU.
+    #[must_use]
+    pub fn block_multipliers(&self) -> u32 {
+        if self.config.alu_features().contains(AluFeature::Multiply) {
+            let per_alu = (self.config.datapath_width().div_ceil(17)).pow(2);
+            self.config.num_alus() as u32 * per_alu
+        } else {
+            0
+        }
+    }
+
+    /// Clock in MHz.
+    ///
+    /// Flat across ALU counts and register-file sizes (§5.1). Extra
+    /// pipeline stages shorten the critical path; the paper's §6 expects
+    /// "a speedup in clock rate" from such datapath optimisation, modelled
+    /// here as +30 % per stage beyond the 2-stage prototype (an
+    /// engineering estimate for design-space exploration, not a
+    /// place-and-route result).
+    #[must_use]
+    pub fn clock_mhz(&self) -> f64 {
+        let extra = self.config.pipeline_stages() as i32 - 2;
+        EPIC_CLOCK_MHZ * 1.3f64.powi(extra)
+    }
+
+    /// Execution time in seconds for a cycle count at the EPIC clock.
+    #[must_use]
+    pub fn execution_time(&self, cycles: u64) -> f64 {
+        cycles as f64 / (self.clock_mhz() * 1e6)
+    }
+
+    /// The smallest Virtex-II part that fits this design.
+    #[must_use]
+    pub fn smallest_device(&self) -> Option<Device> {
+        let slices = self.slices();
+        let brams = self.block_rams().max(self.block_multipliers());
+        VIRTEX_II
+            .iter()
+            .find(|d| d.slices >= slices && d.block_rams >= brams)
+            .copied()
+    }
+}
+
+impl fmt::Display for AreaModel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} slices, {} BlockRAM, {} multipliers @ {:.1} MHz",
+            self.slices(),
+            self.block_rams(),
+            self.block_multipliers(),
+            self.clock_mhz()
+        )
+    }
+}
+
+fn custom_op_slices(semantics: CustomSemantics) -> u32 {
+    match semantics {
+        CustomSemantics::RotateRight | CustomSemantics::RotateLeft => 180,
+        CustomSemantics::ByteSwap => 40,
+        CustomSemantics::PopCount => 210,
+        CustomSemantics::LeadingZeros | CustomSemantics::TrailingZeros => 150,
+        CustomSemantics::AndComplement => 30,
+        CustomSemantics::SaturatingAdd | CustomSemantics::SaturatingSub => 120,
+        CustomSemantics::AverageRound => 110,
+        CustomSemantics::MulHighUnsigned => 240,
+        CustomSemantics::AbsDiff => 140,
+        // Future semantics default to a mid-size datapath block.
+        _ => 150,
+    }
+}
+
+/// Execution time in seconds for the SA-110 baseline at 100 MHz.
+#[must_use]
+pub fn sa110_execution_time(cycles: u64) -> f64 {
+    cycles as f64 / (SA110_CLOCK_MHZ * 1e6)
+}
+
+/// A design point for performance/area exploration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DesignPoint {
+    /// Human-readable label (e.g. "2 ALUs, no divider").
+    pub label: String,
+    /// Cycles for the workload under study.
+    pub cycles: u64,
+    /// Slices of the configuration.
+    pub slices: u32,
+}
+
+/// Returns the Pareto-optimal subset (minimal cycles and slices): a point
+/// survives when no other point is at least as good in both dimensions
+/// and better in one. The result is sorted by slices.
+#[must_use]
+pub fn pareto_frontier(points: &[DesignPoint]) -> Vec<DesignPoint> {
+    let mut frontier: Vec<DesignPoint> = points
+        .iter()
+        .filter(|p| {
+            !points.iter().any(|q| {
+                (q.cycles < p.cycles && q.slices <= p.slices)
+                    || (q.cycles <= p.cycles && q.slices < p.slices)
+            })
+        })
+        .cloned()
+        .collect();
+    frontier.sort_by_key(|p| (p.slices, p.cycles));
+    frontier.dedup();
+    frontier
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model(alus: usize) -> AreaModel {
+        AreaModel::new(&Config::builder().num_alus(alus).build().unwrap())
+    }
+
+    #[test]
+    fn calibration_matches_the_papers_slice_counts() {
+        // Paper §5.1: 4181 / 6779 / 9367 slices for 1 / 2 / 3 ALUs.
+        let published = [(1usize, 4181u32), (2, 6779), (3, 9367)];
+        for (alus, expected) in published {
+            let got = model(alus).slices();
+            let err = (f64::from(got) - f64::from(expected)).abs() / f64::from(expected);
+            assert!(
+                err < 0.001,
+                "{alus} ALUs: model {got} vs paper {expected} ({:.3}% off)",
+                err * 100.0
+            );
+        }
+        // The extrapolated 4-ALU design follows the ~2600-per-ALU trend.
+        let four = model(4).slices();
+        assert!((11900..=12050).contains(&four), "4 ALUs -> {four}");
+    }
+
+    #[test]
+    fn per_alu_cost_is_about_2600() {
+        let m = model(1);
+        assert_eq!(m.slices_per_alu(), 2593);
+        assert_eq!(model(3).slices() - model(2).slices(), 2593);
+    }
+
+    #[test]
+    fn removing_features_shrinks_the_alu() {
+        let full = model(4).slices();
+        let no_div = AreaModel::new(
+            &Config::builder()
+                .num_alus(4)
+                .without_alu_feature(AluFeature::Divide)
+                .build()
+                .unwrap(),
+        )
+        .slices();
+        assert_eq!(full - no_div, 4 * 910, "the divider dominates ALU area");
+    }
+
+    #[test]
+    fn register_file_lives_in_block_ram() {
+        // Growing the register file does not change slice counts (§5.1).
+        let small = AreaModel::new(&Config::builder().num_gprs(32).build().unwrap());
+        let large = AreaModel::new(&Config::builder().num_gprs(512).build().unwrap());
+        assert_eq!(small.slices(), large.slices());
+        assert!(large.block_rams() >= small.block_rams());
+        assert_eq!(small.block_rams(), 1);
+    }
+
+    #[test]
+    fn multipliers_follow_the_alu_count() {
+        assert_eq!(model(4).block_multipliers(), 16);
+        let no_mul = AreaModel::new(
+            &Config::builder()
+                .without_alu_feature(AluFeature::Multiply)
+                .build()
+                .unwrap(),
+        );
+        assert_eq!(no_mul.block_multipliers(), 0);
+    }
+
+    #[test]
+    fn custom_ops_cost_slices() {
+        let plain = model(4).slices();
+        let with_rotr = AreaModel::new(
+            &Config::builder()
+                .num_alus(4)
+                .custom_op(epic_config::CustomOp::new(
+                    "rotr",
+                    CustomSemantics::RotateRight,
+                ))
+                .build()
+                .unwrap(),
+        )
+        .slices();
+        assert_eq!(with_rotr - plain, 4 * 180);
+    }
+
+    #[test]
+    fn device_fitting_picks_the_smallest_part() {
+        assert_eq!(model(1).smallest_device().unwrap().name, "XC2V1000");
+        assert_eq!(model(4).smallest_device().unwrap().name, "XC2V3000");
+        let huge = AreaModel::new(&Config::builder().num_alus(16).build().unwrap());
+        assert_eq!(huge.smallest_device().unwrap().name, "XC2V8000");
+    }
+
+    #[test]
+    fn deeper_pipelines_trade_slices_for_clock() {
+        let base = model(4);
+        let deep = AreaModel::new(
+            &Config::builder().num_alus(4).pipeline_stages(3).build().unwrap(),
+        );
+        assert!(deep.clock_mhz() > base.clock_mhz());
+        assert!((deep.clock_mhz() - 41.8 * 1.3).abs() < 1e-9);
+        assert!(deep.slices() > base.slices(), "pipeline registers cost slices");
+        // Fewer wall-clock seconds for the same cycle count.
+        assert!(deep.execution_time(1_000_000) < base.execution_time(1_000_000));
+    }
+
+    #[test]
+    fn execution_time_uses_the_prototype_clock() {
+        let m = model(4);
+        let t = m.execution_time(41_800_000);
+        assert!((t - 1.0).abs() < 1e-9, "41.8M cycles at 41.8MHz is 1s");
+        let t_arm = sa110_execution_time(100_000_000);
+        assert!((t_arm - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn pareto_frontier_drops_dominated_points() {
+        let points = vec![
+            DesignPoint { label: "slow small".into(), cycles: 100, slices: 10 },
+            DesignPoint { label: "fast big".into(), cycles: 50, slices: 30 },
+            DesignPoint { label: "dominated".into(), cycles: 120, slices: 30 },
+            DesignPoint { label: "mid".into(), cycles: 70, slices: 20 },
+        ];
+        let frontier = pareto_frontier(&points);
+        let labels: Vec<&str> = frontier.iter().map(|p| p.label.as_str()).collect();
+        assert_eq!(labels, vec!["slow small", "mid", "fast big"]);
+    }
+
+    #[test]
+    fn breakdown_sums_to_total() {
+        let m = model(2);
+        assert_eq!(m.breakdown().total(), m.slices());
+    }
+}

@@ -1,0 +1,195 @@
+//! Power and energy model.
+//!
+//! §6 of the paper: "We are also interested in characterising the
+//! trade-offs in performance, size and power consumption of our
+//! customised EPIC processors." This module provides that third axis:
+//! an activity-based model in the style of the Vermeulen et al. work the
+//! paper cites \[14\] — static power proportional to configured area plus
+//! per-operation dynamic energy taken from the simulator's utilisation
+//! counters.
+//!
+//! The constants are engineering estimates for a 150 nm Virtex-II at
+//! 1.5 V, chosen to produce sensible magnitudes (hundreds of milliwatts);
+//! they support *relative* design-space comparison, not sign-off.
+
+use crate::AreaModel;
+use epic_config::Config;
+use epic_sim::SimStats;
+
+/// Static (leakage + clock-tree) power per configured slice, in mW.
+pub const STATIC_MW_PER_SLICE: f64 = 0.012;
+
+/// Dynamic energy per operation, in nJ.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EnergyPerOp {
+    /// One ALU operation (add/logic class).
+    pub alu: f64,
+    /// One load/store through the LSU and memory controller.
+    pub lsu: f64,
+    /// One comparison.
+    pub cmpu: f64,
+    /// One branch-unit operation.
+    pub bru: f64,
+    /// One bundle fetch (256 bits over the 2× controller).
+    pub fetch: f64,
+}
+
+impl Default for EnergyPerOp {
+    fn default() -> Self {
+        EnergyPerOp {
+            alu: 0.9,
+            lsu: 1.6,
+            cmpu: 0.4,
+            bru: 0.5,
+            fetch: 1.8,
+        }
+    }
+}
+
+/// An energy/power estimate for one executed workload.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PowerEstimate {
+    /// Execution time in seconds at the modelled clock.
+    pub seconds: f64,
+    /// Static energy in millijoules.
+    pub static_mj: f64,
+    /// Dynamic energy in millijoules.
+    pub dynamic_mj: f64,
+    /// Average power in milliwatts.
+    pub average_mw: f64,
+}
+
+impl PowerEstimate {
+    /// Total energy in millijoules.
+    #[must_use]
+    pub fn total_mj(&self) -> f64 {
+        self.static_mj + self.dynamic_mj
+    }
+}
+
+/// The activity-based power model for one configuration.
+///
+/// # Examples
+///
+/// ```
+/// use epic_area::{PowerModel};
+/// use epic_config::Config;
+/// use epic_sim::SimStats;
+///
+/// let model = PowerModel::new(&Config::default());
+/// let stats = SimStats { cycles: 1_000_000, bundles: 900_000,
+///     alu_busy_cycles: 2_000_000, ..SimStats::default() };
+/// let estimate = model.estimate(&stats);
+/// assert!(estimate.total_mj() > 0.0);
+/// assert!(estimate.average_mw > 0.0);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct PowerModel {
+    area: AreaModel,
+    energy: EnergyPerOp,
+}
+
+impl PowerModel {
+    /// Builds the model with default per-operation energies.
+    #[must_use]
+    pub fn new(config: &Config) -> Self {
+        PowerModel {
+            area: AreaModel::new(config),
+            energy: EnergyPerOp::default(),
+        }
+    }
+
+    /// Overrides the per-operation energies.
+    #[must_use]
+    pub fn with_energy(mut self, energy: EnergyPerOp) -> Self {
+        self.energy = energy;
+        self
+    }
+
+    /// Static power of the configured design, in mW.
+    #[must_use]
+    pub fn static_mw(&self) -> f64 {
+        f64::from(self.area.slices()) * STATIC_MW_PER_SLICE
+    }
+
+    /// Estimates energy and average power for an executed workload.
+    #[must_use]
+    pub fn estimate(&self, stats: &SimStats) -> PowerEstimate {
+        let seconds = self.area.execution_time(stats.cycles);
+        let static_mj = self.static_mw() * seconds;
+        let nj = self.energy.alu * stats.alu_busy_cycles as f64
+            + self.energy.lsu * stats.lsu_busy_cycles as f64
+            + self.energy.cmpu * stats.cmpu_busy_cycles as f64
+            + self.energy.bru * stats.bru_busy_cycles as f64
+            + self.energy.fetch * stats.bundles as f64;
+        let dynamic_mj = nj * 1e-6;
+        let average_mw = if seconds > 0.0 {
+            (static_mj + dynamic_mj) / seconds
+        } else {
+            0.0
+        };
+        PowerEstimate {
+            seconds,
+            static_mj,
+            dynamic_mj,
+            average_mw,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stats(cycles: u64) -> SimStats {
+        SimStats {
+            cycles,
+            bundles: cycles * 9 / 10,
+            alu_busy_cycles: cycles * 2,
+            lsu_busy_cycles: cycles / 3,
+            cmpu_busy_cycles: cycles / 8,
+            bru_busy_cycles: cycles / 8,
+            ..SimStats::default()
+        }
+    }
+
+    #[test]
+    fn bigger_machines_burn_more_static_power() {
+        let small = PowerModel::new(&Config::builder().num_alus(1).build().unwrap());
+        let large = PowerModel::new(&Config::builder().num_alus(4).build().unwrap());
+        assert!(large.static_mw() > small.static_mw());
+    }
+
+    #[test]
+    fn faster_runs_spend_less_static_energy() {
+        let model = PowerModel::new(&Config::default());
+        let slow = model.estimate(&stats(2_000_000));
+        let fast = model.estimate(&stats(1_000_000));
+        assert!(fast.static_mj < slow.static_mj);
+        assert!(fast.total_mj() < slow.total_mj());
+    }
+
+    #[test]
+    fn energy_components_are_positive_and_consistent() {
+        let model = PowerModel::new(&Config::default());
+        let e = model.estimate(&stats(1_000_000));
+        assert!(e.static_mj > 0.0);
+        assert!(e.dynamic_mj > 0.0);
+        let recomputed = e.total_mj() / e.seconds;
+        assert!((recomputed - e.average_mw).abs() < 1e-9);
+    }
+
+    #[test]
+    fn custom_energies_apply() {
+        let model = PowerModel::new(&Config::default()).with_energy(EnergyPerOp {
+            alu: 0.0,
+            lsu: 0.0,
+            cmpu: 0.0,
+            bru: 0.0,
+            fetch: 0.0,
+        });
+        let e = model.estimate(&stats(1_000_000));
+        assert_eq!(e.dynamic_mj, 0.0);
+        assert!(e.static_mj > 0.0);
+    }
+}

@@ -1,0 +1,110 @@
+//! The standalone assembler, mirroring the paper's §4.2 tool: it reads a
+//! configuration header file (so it "adapt[s] to EPIC processors with
+//! different customisations" without being recompiled) and turns
+//! bundle-structured assembly into a machine-code image.
+//!
+//! ```text
+//! epic-asm <source.s> [--config <header.cfg>] [-o <out.bin>] [--listing]
+//! ```
+//!
+//! Without `--config` the paper's default machine is assumed. Without
+//! `-o` the image goes to `<source>.bin`. `--listing` prints the resolved
+//! bundles (with NOP padding) to stdout.
+
+use epic_asm::{assemble, disassemble_program};
+use epic_config::{header, Config};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+struct Args {
+    source: PathBuf,
+    config: Option<PathBuf>,
+    output: Option<PathBuf>,
+    listing: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut source = None;
+    let mut config = None;
+    let mut output = None;
+    let mut listing = false;
+    let mut iter = std::env::args().skip(1);
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--config" => {
+                config = Some(PathBuf::from(
+                    iter.next().ok_or("--config needs a path")?,
+                ));
+            }
+            "-o" | "--output" => {
+                output = Some(PathBuf::from(iter.next().ok_or("-o needs a path")?));
+            }
+            "--listing" => listing = true,
+            "--help" | "-h" => {
+                return Err("usage: epic-asm <source.s> [--config <header.cfg>] \
+                            [-o <out.bin>] [--listing]"
+                    .to_owned())
+            }
+            other if !other.starts_with('-') => source = Some(PathBuf::from(other)),
+            other => return Err(format!("unknown flag `{other}`")),
+        }
+    }
+    Ok(Args {
+        source: source.ok_or("no source file given (try --help)")?,
+        config,
+        output,
+        listing,
+    })
+}
+
+fn run(args: &Args) -> Result<(), String> {
+    let config = match &args.config {
+        Some(path) => {
+            let text = std::fs::read_to_string(path)
+                .map_err(|e| format!("{}: {e}", path.display()))?;
+            header::parse(&text).map_err(|e| format!("{}: {e}", path.display()))?
+        }
+        None => Config::default(),
+    };
+    let source = std::fs::read_to_string(&args.source)
+        .map_err(|e| format!("{}: {e}", args.source.display()))?;
+    let program = assemble(&source, &config)
+        .map_err(|e| format!("{}: {e}", args.source.display()))?;
+    let bytes = program
+        .to_bytes(&config)
+        .map_err(|e| format!("encoding: {e}"))?;
+
+    let out_path = args
+        .output
+        .clone()
+        .unwrap_or_else(|| args.source.with_extension("bin"));
+    std::fs::write(&out_path, &bytes).map_err(|e| format!("{}: {e}", out_path.display()))?;
+    eprintln!(
+        "{}: {} bundles, {} bytes for {config} -> {}",
+        args.source.display(),
+        program.bundles().len(),
+        bytes.len(),
+        out_path.display()
+    );
+    if args.listing {
+        print!("{}", disassemble_program(&program, &config));
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(message) => {
+            eprintln!("{message}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("epic-asm: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}

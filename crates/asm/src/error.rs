@@ -1,0 +1,150 @@
+//! Assembler error type.
+
+use epic_isa::IsaError;
+use epic_mdes::BundleError;
+use std::error::Error;
+use std::fmt;
+
+/// Error raised while assembling source text or decoding machine code.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum AsmError {
+    /// A mnemonic is not in the (configuration-dependent) opcode table.
+    UnknownMnemonic {
+        /// 1-based source line.
+        line: usize,
+        /// The unknown mnemonic.
+        mnemonic: String,
+    },
+    /// An operand could not be parsed or has the wrong kind.
+    BadOperand {
+        /// 1-based source line.
+        line: usize,
+        /// The offending operand text.
+        operand: String,
+        /// What the field expected.
+        expected: &'static str,
+    },
+    /// The operand count does not match the opcode's signature.
+    WrongOperandCount {
+        /// 1-based source line.
+        line: usize,
+        /// The mnemonic.
+        mnemonic: String,
+        /// Operands the signature requires.
+        expected: usize,
+        /// Operands found.
+        found: usize,
+    },
+    /// A malformed line (no mnemonic, stray characters…).
+    Syntax {
+        /// 1-based source line.
+        line: usize,
+        /// Description of the problem.
+        message: String,
+    },
+    /// A label was defined twice.
+    DuplicateLabel {
+        /// 1-based source line of the second definition.
+        line: usize,
+        /// The label.
+        label: String,
+    },
+    /// A referenced label is never defined.
+    UnknownLabel {
+        /// 1-based source line of the reference.
+        line: usize,
+        /// The label.
+        label: String,
+    },
+    /// A bundle violates the machine description.
+    IllegalBundle {
+        /// 1-based source line where the bundle ends.
+        line: usize,
+        /// The underlying rule violation.
+        source: BundleError,
+    },
+    /// A bundle separator with no instructions before it.
+    EmptyBundle {
+        /// 1-based source line of the separator.
+        line: usize,
+    },
+    /// Instructions at end of file without a closing `;;`.
+    UnterminatedBundle {
+        /// 1-based line of the first dangling instruction.
+        line: usize,
+    },
+    /// The `.entry` label or a branch target is missing, or no bundles
+    /// exist at all.
+    EmptyProgram,
+    /// Instruction-level validation or encoding failed.
+    Isa {
+        /// 1-based source line (0 when decoding binaries).
+        line: usize,
+        /// The underlying ISA error.
+        source: IsaError,
+    },
+}
+
+impl fmt::Display for AsmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AsmError::UnknownMnemonic { line, mnemonic } => {
+                write!(f, "line {line}: unknown mnemonic `{mnemonic}`")
+            }
+            AsmError::BadOperand {
+                line,
+                operand,
+                expected,
+            } => write!(f, "line {line}: operand `{operand}` is not {expected}"),
+            AsmError::WrongOperandCount {
+                line,
+                mnemonic,
+                expected,
+                found,
+            } => write!(
+                f,
+                "line {line}: `{mnemonic}` takes {expected} operands, found {found}"
+            ),
+            AsmError::Syntax { line, message } => write!(f, "line {line}: {message}"),
+            AsmError::DuplicateLabel { line, label } => {
+                write!(f, "line {line}: label `{label}` is already defined")
+            }
+            AsmError::UnknownLabel { line, label } => {
+                write!(f, "line {line}: unknown label `{label}`")
+            }
+            AsmError::IllegalBundle { line, source } => {
+                write!(f, "line {line}: illegal bundle: {source}")
+            }
+            AsmError::EmptyBundle { line } => {
+                write!(f, "line {line}: bundle separator with no instructions")
+            }
+            AsmError::UnterminatedBundle { line } => {
+                write!(f, "line {line}: instructions not terminated by `;;`")
+            }
+            AsmError::EmptyProgram => write!(f, "program contains no bundles"),
+            AsmError::Isa { line, source } => write!(f, "line {line}: {source}"),
+        }
+    }
+}
+
+impl Error for AsmError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            AsmError::IllegalBundle { source, .. } => Some(source),
+            AsmError::Isa { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<AsmError>();
+    }
+}

@@ -1,0 +1,53 @@
+//! The EPIC assembler.
+//!
+//! "To map the assembly code produced from Trimaran into EPIC machine
+//! code, an assembler … is developed. To enable the assembler to adapt to
+//! EPIC processors with different customisations, the configuration header
+//! file is made available to the assembler" (paper §4.2). This crate is
+//! that tool: it parses bundle-structured assembly, checks each bundle
+//! against the machine description, resolves labels to bundle addresses,
+//! pads short bundles with `NOP`s up to the issue width ("no-op
+//! instructions are used to make up the difference") and encodes the
+//! result as big-endian machine code.
+//!
+//! The source syntax (produced by `epic-compiler` and accepted verbatim
+//! from hand-written files):
+//!
+//! ```text
+//! ; comment
+//! .entry fn_main
+//! fn_main:
+//!     ADD r1, r2, #5 (p3)
+//!     LW r4, r5, #0
+//! ;;
+//!     PBR b1, @loop_head
+//! ;;
+//! ```
+//!
+//! One instruction per line; a line holding `;;` ends the current bundle;
+//! labels stand on their own line and name the *next* bundle; `@label`
+//! operands (branch targets) resolve to bundle addresses.
+//!
+//! # Examples
+//!
+//! ```
+//! use epic_config::Config;
+//! use epic_asm::assemble;
+//!
+//! let config = Config::default();
+//! let program = assemble("start:\n    MOVE r1, #42\n    HALT\n;;\n", &config)?;
+//! assert_eq!(program.bundles().len(), 1);
+//! assert_eq!(program.bundles()[0].len(), 4, "padded to the issue width");
+//! # Ok::<(), epic_asm::AsmError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod error;
+mod parser;
+mod program;
+
+pub use error::AsmError;
+pub use parser::assemble;
+pub use program::{disassemble_program, Program};

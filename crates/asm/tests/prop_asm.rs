@@ -1,0 +1,87 @@
+//! Property tests: assembled programs survive the text and binary
+//! round-trips.
+
+use epic_asm::{assemble, disassemble_program, Program};
+use epic_config::Config;
+use proptest::prelude::*;
+
+/// Generates random but *legal* assembly source: each bundle draws
+/// instructions whose units cannot conflict (distinct ALU destinations,
+/// at most one LSU/CMPU/BRU op).
+fn source_strategy() -> impl Strategy<Value = String> {
+    // Destination ranges are disjoint between unit classes so that no
+    // two instructions of one bundle can write the same register.
+    let alu = (0u16..30, 0u16..64, -100i64..100).prop_map(|(d, a, l)| {
+        format!("    ADD r{d}, r{a}, #{l}")
+    });
+    let mem = (30u16..60, 0u16..64, prop::bool::ANY).prop_map(|(d, b, load)| {
+        if load {
+            format!("    LW r{d}, r{b}, #0")
+        } else {
+            format!("    SW r{d}, r{b}, #0")
+        }
+    });
+    let cmp = (1u16..32, 0u16..64, -50i64..50).prop_map(|(p, a, l)| {
+        format!("    CMP_LT p{p}, p0, r{a}, #{l}")
+    });
+    // At most one op per unit class per bundle (so any issue width >= 3
+    // accepts the bundle and no write conflicts can arise).
+    let bundle = (
+        prop::option::of(alu),
+        prop::option::of(mem),
+        prop::option::of(cmp),
+    )
+        .prop_map(|(alu, mem, cmp)| {
+            let mut lines: Vec<String> = Vec::new();
+            lines.extend(alu);
+            lines.extend(mem);
+            lines.extend(cmp);
+            if lines.is_empty() {
+                lines.push("    NOP".to_owned());
+            }
+            lines.push(";;".to_owned());
+            lines.join("\n")
+        });
+    prop::collection::vec(bundle, 1..12).prop_map(|bundles| {
+        let mut src = String::from("start:\n");
+        src.push_str(&bundles.join("\n"));
+        src.push_str("\n    HALT\n;;\n");
+        src
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 128, ..ProptestConfig::default() })]
+
+    #[test]
+    fn text_round_trips(src in source_strategy()) {
+        let config = Config::default();
+        let program = assemble(&src, &config).expect("generated source assembles");
+        let text = disassemble_program(&program, &config);
+        let again = assemble(&text, &config).expect("disassembly re-assembles");
+        prop_assert_eq!(program.bundles(), again.bundles());
+    }
+
+    #[test]
+    fn binary_round_trips(src in source_strategy()) {
+        let config = Config::default();
+        let program = assemble(&src, &config).expect("generated source assembles");
+        let bytes = program.to_bytes(&config).expect("encodes");
+        prop_assert_eq!(
+            bytes.len(),
+            program.bundles().len() * config.issue_width()
+                * config.instruction_format().width_bytes()
+        );
+        let back = Program::from_bytes(&bytes, &config).expect("decodes");
+        prop_assert_eq!(back.bundles(), program.bundles());
+    }
+
+    #[test]
+    fn every_bundle_is_padded_to_issue_width(src in source_strategy()) {
+        let config = Config::builder().issue_width(3).build().expect("valid");
+        let program = assemble(&src, &config).expect("assembles at width 3");
+        for bundle in program.bundles() {
+            prop_assert_eq!(bundle.len(), 3);
+        }
+    }
+}

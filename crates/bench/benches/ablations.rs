@@ -1,0 +1,116 @@
+//! Ablation benches for the design choices DESIGN.md calls out:
+//! custom instructions (§3.3), the forwarding register-file controller
+//! and its port budget (§3.2), and if-conversion (§2).
+//!
+//! ```text
+//! cargo bench -p epic-bench --bench ablations
+//! ```
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use epic_core::config::{Config, CustomOp, CustomSemantics};
+use epic_core::experiments::run_epic_workload;
+use epic_core::ir::lower;
+use epic_core::workloads::{dijkstra, sha, Scale};
+use epic_core::Toolchain;
+
+fn bench_custom_instruction(c: &mut Criterion) {
+    let workload = sha::build(Scale::Test);
+    let mut group = c.benchmark_group("custom_rotr");
+    group.sample_size(10);
+    for (label, config) in [
+        ("base", Config::builder().num_alus(4).build().unwrap()),
+        (
+            "rotr",
+            Config::builder()
+                .num_alus(4)
+                .custom_op(CustomOp::new("sha_rotr", CustomSemantics::RotateRight))
+                .build()
+                .unwrap(),
+        ),
+    ] {
+        {
+            let stats = run_epic_workload(&workload, &config).expect("verified run");
+            println!("[cycles] SHA {label}: {}", stats.cycles);
+        }
+        group.bench_with_input(BenchmarkId::new("sha", label), &config, |b, config| {
+            b.iter(|| run_epic_workload(&workload, config).expect("verified run").cycles);
+        });
+    }
+    group.finish();
+}
+
+fn bench_regfile_controller(c: &mut Criterion) {
+    let workload = epic_core::workloads::dct::build(Scale::Test);
+    let mut group = c.benchmark_group("regfile_controller");
+    group.sample_size(10);
+    for (label, ops, forwarding) in [
+        ("8ops_fwd", 8usize, true),
+        ("8ops_nofwd", 8, false),
+        ("4ops_fwd", 4, true),
+        ("16ops_fwd", 16, true),
+    ] {
+        let config = Config::builder()
+            .num_alus(4)
+            .regfile_ops_per_cycle(ops)
+            .forwarding(forwarding)
+            .build()
+            .unwrap();
+        {
+            let stats = run_epic_workload(&workload, &config).expect("verified run");
+            println!("[cycles] DCT {label}: {}", stats.cycles);
+        }
+        group.bench_with_input(BenchmarkId::new("dct", label), &config, |b, config| {
+            b.iter(|| run_epic_workload(&workload, config).expect("verified run").cycles);
+        });
+    }
+    group.finish();
+}
+
+fn bench_if_conversion(c: &mut Criterion) {
+    // Dijkstra's select/relax inner loops are the if-conversion targets.
+    let workload = dijkstra::build(Scale::Test);
+    let module = lower::lower(&workload.program).expect("lowers");
+    let config = Config::default();
+    let mut group = c.benchmark_group("if_conversion");
+    group.sample_size(10);
+    for (label, enabled) in [("on", true), ("off", false)] {
+        let options = epic_core::compiler::Options {
+            if_conversion: enabled,
+            entry: workload.entry.clone(),
+            inline_hints: workload.inline_hints(),
+            ..epic_core::compiler::Options::default()
+        };
+        {
+            let run = Toolchain::new(config.clone())
+                .run_module_with(&module, &options)
+                .expect("pipeline runs");
+            println!(
+                "[cycles] dijkstra if-conversion {label}: {} (flushes {})",
+                run.stats().cycles,
+                run.stats().stalls.branch_flush
+            );
+        }
+        group.bench_with_input(
+            BenchmarkId::new("dijkstra", label),
+            &options,
+            |b, options| {
+                b.iter(|| {
+                    Toolchain::new(config.clone())
+                        .run_module_with(&module, options)
+                        .expect("pipeline runs")
+                        .stats()
+                        .cycles
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_custom_instruction,
+    bench_regfile_controller,
+    bench_if_conversion
+);
+criterion_main!(benches);

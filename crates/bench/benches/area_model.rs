@@ -1,0 +1,61 @@
+//! Benches of the §5.1 resource model and the exploration helpers.
+//!
+//! The analytic numbers are deterministic (printed once); Criterion
+//! measures the cost of sweeping large design spaces with the model,
+//! which is what makes exhaustive exploration practical.
+//!
+//! ```text
+//! cargo bench -p epic-bench --bench area_model
+//! ```
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use epic_core::area::{pareto_frontier, AreaModel, DesignPoint};
+use epic_core::config::{AluFeature, AluFeatureSet, Config};
+
+fn bench_slice_model(c: &mut Criterion) {
+    for alus in 1..=4 {
+        let config = Config::builder().num_alus(alus).build().unwrap();
+        println!("[slices] {alus} ALUs: {}", AreaModel::new(&config).slices());
+    }
+    c.bench_function("area_sweep_1024_configs", |b| {
+        b.iter(|| {
+            let mut total = 0u64;
+            for alus in 1..=8usize {
+                for issue in 1..=4usize {
+                    for features in 0..32u8 {
+                        let set: AluFeatureSet = AluFeature::ALL
+                            .into_iter()
+                            .enumerate()
+                            .filter(|(i, _)| features & (1 << i) != 0)
+                            .map(|(_, f)| f)
+                            .collect();
+                        let config = Config::builder()
+                            .num_alus(alus)
+                            .issue_width(issue)
+                            .alu_features(set)
+                            .build()
+                            .expect("valid");
+                        total += u64::from(AreaModel::new(&config).slices());
+                    }
+                }
+            }
+            total
+        });
+    });
+}
+
+fn bench_pareto(c: &mut Criterion) {
+    let points: Vec<DesignPoint> = (0..512)
+        .map(|i| DesignPoint {
+            label: format!("cfg{i}"),
+            cycles: 1_000_000 / (1 + (i % 17) as u64) + (i as u64 * 37) % 1000,
+            slices: 1500 + ((i * 2593) % 45000) as u32,
+        })
+        .collect();
+    c.bench_function("pareto_frontier_512_points", |b| {
+        b.iter(|| pareto_frontier(&points).len());
+    });
+}
+
+criterion_group!(benches, bench_slice_model, bench_pareto);
+criterion_main!(benches);

@@ -1,0 +1,102 @@
+//! Criterion benches regenerating Table 1's measurements.
+//!
+//! Each bench compiles a benchmark once and then times the cycle-level
+//! simulation (the measurement instrument behind the paper's numbers).
+//! The simulated *cycle counts* are deterministic — printed once per
+//! bench — while Criterion reports how fast the simulator itself runs.
+//!
+//! ```text
+//! cargo bench -p epic-bench --bench table1
+//! ```
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use epic_core::config::Config;
+use epic_core::ir::lower;
+use epic_core::sim::{Memory, Simulator};
+use epic_core::workloads::{self, Scale};
+use epic_core::Toolchain;
+
+/// Builds a ready-to-run simulator for (workload, ALU count).
+fn prepare(workload: &workloads::Workload, alus: usize) -> Simulator {
+    let config = Config::builder().num_alus(alus).build().expect("config");
+    let module = lower::lower(&workload.program).expect("lowers");
+    let toolchain = Toolchain::new(config.clone());
+    // Compile + assemble once; the timed portion is simulation.
+    let run = toolchain
+        .run_module(&module, &workload.entry, &[], &workload.inline_hints())
+        .expect("pipeline runs");
+    let layout = module.layout().expect("layout");
+    let mut sim = Simulator::new(
+        &config,
+        run.program.bundles().to_vec(),
+        run.program.entry(),
+    );
+    sim.set_memory(Memory::from_image(module.initial_memory(&layout)));
+    sim
+}
+
+fn bench_table1(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table1");
+    group.sample_size(10);
+    for workload in workloads::all(Scale::Test) {
+        for alus in [1usize, 4] {
+            let template = prepare(&workload, alus);
+            {
+                let mut probe = template.clone();
+                probe.run().expect("runs");
+                println!(
+                    "[cycles] {} on {} ALU(s): {}",
+                    workload.name,
+                    alus,
+                    probe.stats().cycles
+                );
+            }
+            group.bench_with_input(
+                BenchmarkId::new(&workload.name, format!("{alus}alu")),
+                &template,
+                |b, template| {
+                    b.iter(|| {
+                        let mut sim = template.clone();
+                        sim.run().expect("runs");
+                        sim.stats().cycles
+                    });
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_sa110(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table1_sa110");
+    group.sample_size(10);
+    for workload in workloads::all(Scale::Test) {
+        let module = lower::lower(&workload.program).expect("lowers");
+        let mut optimised = module.clone();
+        epic_compiler::passes::optimize(&mut optimised, &workload.inline_hints());
+        let compiled =
+            epic_sa110::compile(&optimised, &workload.entry, &[]).expect("codegen");
+        let layout = module.layout().expect("layout");
+        let image = module.initial_memory(&layout);
+        {
+            let mut probe = epic_sa110::ArmSimulator::new(&compiled, image.clone());
+            probe.run().expect("runs");
+            println!(
+                "[cycles] {} on SA-110: {}",
+                workload.name,
+                probe.stats().cycles
+            );
+        }
+        group.bench_function(BenchmarkId::new(&workload.name, "sa110"), |b| {
+            b.iter(|| {
+                let mut sim = epic_sa110::ArmSimulator::new(&compiled, image.clone());
+                sim.run().expect("runs");
+                sim.stats().cycles
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_table1, bench_sa110);
+criterion_main!(benches);

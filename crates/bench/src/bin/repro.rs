@@ -1,0 +1,273 @@
+//! Regenerates every table and figure of the paper.
+//!
+//! ```text
+//! cargo run --release -p epic-bench --bin repro -- table1 [--full]
+//! cargo run --release -p epic-bench --bin repro -- fig3|fig4|fig5 [--full]
+//! cargo run --release -p epic-bench --bin repro -- resources
+//! cargo run --release -p epic-bench --bin repro -- headline [--full]
+//! cargo run --release -p epic-bench --bin repro -- custom [--full]
+//! cargo run --release -p epic-bench --bin repro -- ports [--full]
+//! cargo run --release -p epic-bench --bin repro -- explore [--full]
+//! cargo run --release -p epic-bench --bin repro -- suggest [--full]
+//! cargo run --release -p epic-bench --bin repro -- power [--full]
+//! cargo run --release -p epic-bench --bin repro -- pipeline [--full]
+//! cargo run --release -p epic-bench --bin repro -- all [--full]
+//! ```
+//!
+//! `--full` runs the paper's problem sizes (256×256 images, 1000 AES
+//! iterations, a 100-node graph); the default is the reduced test scale.
+
+use epic_bench::{render_headline, render_resources};
+use epic_core::config::{Config, CustomOp, CustomSemantics};
+use epic_core::experiments::{
+    figure_series, headline_checks, resource_usage, run_epic_workload, table1, Table1,
+};
+use epic_core::explore::{pareto, render, sweep, sweep_alus};
+use epic_core::workloads::{self, Scale};
+use std::process::ExitCode;
+
+const ALUS: [usize; 4] = [1, 2, 3, 4];
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let full = args.iter().any(|a| a == "--full");
+    let scale = if full { Scale::Paper } else { Scale::Test };
+    let command = args
+        .iter()
+        .find(|a| !a.starts_with("--"))
+        .map_or("all", String::as_str);
+
+    let result = match command {
+        "table1" => cmd_table1(scale).map(|_| ()),
+        "fig3" => cmd_figure(scale, "sha"),
+        "fig4" => cmd_figure(scale, "dct"),
+        "fig5" => cmd_figure(scale, "dijkstra"),
+        "resources" => {
+            print!("{}", render_resources(&resource_usage(&[1, 2, 3, 4, 5, 6, 7, 8])));
+            Ok(())
+        }
+        "headline" => cmd_table1(scale).map(|t| {
+            print!("{}", render_headline(&headline_checks(&t)));
+        }),
+        "custom" => cmd_custom(scale),
+        "ports" => cmd_ports(scale),
+        "explore" => cmd_explore(scale),
+        "suggest" => cmd_suggest(scale),
+        "power" => cmd_power(scale),
+        "pipeline" => cmd_pipeline(scale),
+        "all" => cmd_all(scale),
+        other => {
+            eprintln!("unknown command `{other}`; see the module docs for usage");
+            return ExitCode::FAILURE;
+        }
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn cmd_table1(scale: Scale) -> Result<Table1, String> {
+    eprintln!("running Table 1 at {scale:?} scale (every run verified against the golden model)…");
+    let table = table1(scale, &ALUS).map_err(|e| e.to_string())?;
+    print!("{}", table.render());
+    Ok(table)
+}
+
+fn cmd_figure(scale: Scale, workload: &str) -> Result<(), String> {
+    let table = table1(scale, &ALUS).map_err(|e| e.to_string())?;
+    let series =
+        figure_series(&table, workload).ok_or_else(|| format!("no data for {workload}"))?;
+    print!("{}", series.render());
+    Ok(())
+}
+
+/// Custom-instruction ablation: SHA with and without a ROTR custom op
+/// (paper §3.3/§6: custom instructions as the second customisation axis).
+fn cmd_custom(scale: Scale) -> Result<(), String> {
+    let workload = workloads::sha::build(scale);
+    let base = Config::builder().num_alus(4).build().expect("valid");
+    let custom = Config::builder()
+        .num_alus(4)
+        .custom_op(CustomOp::new("sha_rotr", CustomSemantics::RotateRight))
+        .build()
+        .expect("valid");
+    let plain = run_epic_workload(&workload, &base).map_err(|e| e.to_string())?;
+    let rotr = run_epic_workload(&workload, &custom).map_err(|e| e.to_string())?;
+    let speedup = plain.cycles as f64 / rotr.cycles as f64;
+    println!("Custom-instruction ablation: SHA-256, 4 ALUs");
+    println!("  base ISA (rotate = 4-op shift sequence): {:>12} cycles", plain.cycles);
+    println!("  with ROTR custom instruction:            {:>12} cycles", rotr.cycles);
+    println!("  speedup from one custom instruction:     {speedup:.2}x");
+    println!(
+        "  area cost: +{} slices",
+        epic_core::area::AreaModel::new(&custom).slices()
+            - epic_core::area::AreaModel::new(&base).slices()
+    );
+    Ok(())
+}
+
+/// Register-file port-budget and forwarding ablation (paper §3.2: the 4x
+/// controller gives 8 ops/cycle; forwarding mitigates the limit).
+fn cmd_ports(scale: Scale) -> Result<(), String> {
+    let workload = workloads::dct::build(scale);
+    println!("Register-file controller ablation: DCT, 4 ALUs");
+    println!("{:<34} {:>12} {:>10}", "configuration", "cycles", "port stalls");
+    for (label, ops, forwarding) in [
+        ("8 ops/cycle + forwarding (paper)", 8usize, true),
+        ("8 ops/cycle, no forwarding", 8, false),
+        ("4 ops/cycle + forwarding", 4, true),
+        ("16 ops/cycle + forwarding", 16, true),
+    ] {
+        let config = Config::builder()
+            .num_alus(4)
+            .regfile_ops_per_cycle(ops)
+            .forwarding(forwarding)
+            .build()
+            .expect("valid");
+        let stats = run_epic_workload(&workload, &config).map_err(|e| e.to_string())?;
+        println!(
+            "{label:<34} {:>12} {:>10}",
+            stats.cycles, stats.stalls.regfile_port
+        );
+    }
+    Ok(())
+}
+
+/// Performance/area exploration (paper §1: the point of customisability).
+fn cmd_explore(scale: Scale) -> Result<(), String> {
+    let workload = workloads::dct::build(scale);
+    println!("Design-space exploration: DCT");
+    let mut points = sweep_alus(&workload, &ALUS).map_err(|e| e.to_string())?;
+    // A feature-trimmed variant: DCT never divides.
+    let trimmed = sweep(
+        &workload,
+        [(
+            "4 ALU, no divider".to_owned(),
+            Config::builder()
+                .num_alus(4)
+                .without_alu_feature(epic_core::config::AluFeature::Divide)
+                .build()
+                .expect("valid"),
+        )],
+    )
+    .map_err(|e| e.to_string())?;
+    points.extend(trimmed);
+    print!("{}", render(&points));
+    println!("Pareto frontier:");
+    print!("{}", render(&pareto(&points)));
+    Ok(())
+}
+
+/// Custom-instruction candidates per benchmark (paper §6: "automatic
+/// generation of custom instructions").
+fn cmd_suggest(scale: Scale) -> Result<(), String> {
+    println!("Custom-instruction candidates (static occurrences x ops saved)");
+    for workload in workloads::all(scale) {
+        let module = epic_core::ir::lower::lower(&workload.program).map_err(|e| e.to_string())?;
+        let mut optimised = module.clone();
+        epic_core::compiler::passes::optimize(&mut optimised, &workload.inline_hints());
+        let suggestions = epic_core::compiler::suggest::suggest_custom_ops(&optimised);
+        println!("\n{}:", workload.name);
+        if suggestions.is_empty() {
+            println!("  (no candidate patterns found)");
+        }
+        for s in suggestions {
+            println!(
+                "  {:<8} {:>5} occurrences, {} op(s) saved each -> {} total",
+                s.semantics.mnemonic(),
+                s.occurrences,
+                s.ops_saved_per_use,
+                s.total_ops_saved()
+            );
+        }
+    }
+    Ok(())
+}
+
+/// Performance / size / power characterisation (paper §6).
+fn cmd_power(scale: Scale) -> Result<(), String> {
+    let workload = workloads::dct::build(scale);
+    println!("Power and energy: DCT across ALU counts");
+    println!(
+        "{:<8} {:>12} {:>9} {:>8} {:>10} {:>11}",
+        "ALUs", "cycles", "time (s)", "slices", "avg mW", "energy mJ"
+    );
+    for alus in ALUS {
+        let config = Config::builder().num_alus(alus).build().expect("valid");
+        let stats = run_epic_workload(&workload, &config).map_err(|e| e.to_string())?;
+        let area = epic_core::area::AreaModel::new(&config);
+        let power = epic_core::area::PowerModel::new(&config);
+        let estimate = power.estimate(&stats);
+        println!(
+            "{:<8} {:>12} {:>9.4} {:>8} {:>10.1} {:>11.3}",
+            alus,
+            stats.cycles,
+            estimate.seconds,
+            area.slices(),
+            estimate.average_mw,
+            estimate.total_mj()
+        );
+    }
+    println!("(activity-based model; see epic_area::PowerModel for the constants)");
+    Ok(())
+}
+
+/// Pipeline-depth exploration (paper §6: "parameterising the level of
+/// pipelining").
+fn cmd_pipeline(scale: Scale) -> Result<(), String> {
+    let workload = workloads::sha::build(scale);
+    println!("Pipeline-depth exploration: SHA, 4 ALUs");
+    println!(
+        "{:<8} {:>12} {:>11} {:>9} {:>8}",
+        "stages", "cycles", "clock MHz", "time (s)", "slices"
+    );
+    for stages in 2..=4usize {
+        let config = Config::builder()
+            .num_alus(4)
+            .pipeline_stages(stages)
+            .build()
+            .expect("valid");
+        let stats = run_epic_workload(&workload, &config).map_err(|e| e.to_string())?;
+        let area = epic_core::area::AreaModel::new(&config);
+        println!(
+            "{:<8} {:>12} {:>11.1} {:>9.4} {:>8}",
+            stages,
+            stats.cycles,
+            area.clock_mhz(),
+            area.execution_time(stats.cycles),
+            area.slices()
+        );
+    }
+    println!("(deeper pipelines pay longer branch flushes but clock higher)");
+    Ok(())
+}
+
+fn cmd_all(scale: Scale) -> Result<(), String> {
+    let table = cmd_table1(scale)?;
+    println!();
+    for workload in ["sha", "dct", "dijkstra"] {
+        if let Some(series) = figure_series(&table, workload) {
+            print!("{}", series.render());
+            println!();
+        }
+    }
+    print!("{}", render_resources(&resource_usage(&[1, 2, 3, 4])));
+    println!();
+    print!("{}", render_headline(&headline_checks(&table)));
+    println!();
+    cmd_custom(scale)?;
+    println!();
+    cmd_ports(scale)?;
+    println!();
+    cmd_explore(scale)?;
+    println!();
+    cmd_suggest(scale)?;
+    println!();
+    cmd_power(scale)?;
+    println!();
+    cmd_pipeline(scale)
+}

@@ -1,0 +1,363 @@
+//! The compiler driver: IR module in, assembly out.
+
+use crate::emit::{emit_program, finalize_control, CALL_BTR};
+use crate::error::CompileError;
+use crate::ifconv::{if_convert, IfConvStats};
+use crate::mir::{MBlock, MBlockId, MDest, MFunction, MInst, MOp, MSrc, MTerm};
+use crate::passes::{self, PassStats};
+use crate::regalloc::{allocate, Abi, RegAllocStats};
+use crate::sched::{schedule_function, SchedStats};
+use crate::select::{fold_literal_operands, select};
+use epic_config::Config;
+use epic_isa::Opcode;
+use epic_mdes::MachineDescription;
+use epic_ir::Module;
+
+/// Compilation options.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Options {
+    /// Run the IMPACT-style optimisation pipeline (default: on).
+    pub optimize: bool,
+    /// Run if-conversion (default: on; off is useful for ablation).
+    pub if_conversion: bool,
+    /// Functions the frontend marked for inlining.
+    pub inline_hints: Vec<String>,
+    /// Entry function called by the start-up stub.
+    pub entry: String,
+    /// Arguments the stub passes to the entry function.
+    pub entry_args: Vec<u32>,
+}
+
+impl Default for Options {
+    fn default() -> Self {
+        Options {
+            optimize: true,
+            if_conversion: true,
+            inline_hints: Vec::new(),
+            entry: "main".to_owned(),
+            entry_args: Vec::new(),
+        }
+    }
+}
+
+/// Aggregated per-compilation statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct CompileStats {
+    /// Machine-independent pass statistics.
+    pub passes: PassStats,
+    /// If-conversion statistics (summed over functions).
+    pub ifconv: IfConvStats,
+    /// Register-allocation statistics (summed over functions).
+    pub regalloc: RegAllocStats,
+    /// Scheduling statistics (summed over functions).
+    pub sched: SchedStats,
+}
+
+/// The result of a compilation: assembly text plus statistics.
+#[derive(Debug, Clone)]
+pub struct CompiledProgram {
+    assembly: String,
+    stats: CompileStats,
+    config: Config,
+}
+
+impl CompiledProgram {
+    /// The bundle-structured assembly accepted by `epic-asm`.
+    #[must_use]
+    pub fn assembly(&self) -> &str {
+        &self.assembly
+    }
+
+    /// Compilation statistics.
+    #[must_use]
+    pub fn stats(&self) -> &CompileStats {
+        &self.stats
+    }
+
+    /// The configuration the program was compiled for.
+    #[must_use]
+    pub fn config(&self) -> &Config {
+        &self.config
+    }
+}
+
+/// The EPIC compiler for one processor configuration.
+///
+/// # Examples
+///
+/// ```
+/// use epic_config::Config;
+/// use epic_compiler::{Compiler, Options};
+/// use epic_ir::ast::{Expr, FunctionDef, Program, Stmt};
+///
+/// let program = Program::new().function(
+///     FunctionDef::new("main", [] as [&str; 0]).body([Stmt::ret(Expr::lit(7))]),
+/// );
+/// let module = epic_ir::lower::lower(&program)?;
+/// let compiled = Compiler::new(Config::builder().num_alus(2).build()?)
+///     .compile_with(&module, &Options::default())?;
+/// assert!(compiled.assembly().contains(";;"));
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct Compiler {
+    config: Config,
+    mdes: MachineDescription,
+}
+
+impl Compiler {
+    /// Creates a compiler targeting the given configuration.
+    #[must_use]
+    pub fn new(config: Config) -> Self {
+        let mdes = MachineDescription::new(&config);
+        Compiler { config, mdes }
+    }
+
+    /// The target configuration.
+    #[must_use]
+    pub fn config(&self) -> &Config {
+        &self.config
+    }
+
+    /// Compiles a module with default options (entry `main`, no
+    /// arguments).
+    ///
+    /// # Errors
+    ///
+    /// See [`Compiler::compile_with`].
+    pub fn compile(&self, module: &Module) -> Result<CompiledProgram, CompileError> {
+        self.compile_with(module, &Options::default())
+    }
+
+    /// Compiles a module.
+    ///
+    /// The output starts with a `_start` stub that initialises the stack
+    /// pointer from the module's layout, loads the entry arguments into
+    /// the argument registers, calls the entry function and halts.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CompileError::UnsupportedDatapathWidth`] for non-32-bit
+    /// configurations and any selection/allocation error.
+    pub fn compile_with(
+        &self,
+        module: &Module,
+        options: &Options,
+    ) -> Result<CompiledProgram, CompileError> {
+        if self.config.datapath_width() != 32 {
+            return Err(CompileError::UnsupportedDatapathWidth {
+                width: self.config.datapath_width(),
+            });
+        }
+        let abi = Abi::new(&self.config)?;
+        let mut module = module.clone();
+        let mut stats = CompileStats::default();
+        if options.optimize {
+            stats.passes = passes::optimize(&mut module, &options.inline_hints);
+        }
+
+        let layout = module.layout().map_err(|e| CompileError::Internal {
+            message: format!("module layout: {e}"),
+        })?;
+
+        let mut scheduled = Vec::with_capacity(module.functions.len() + 1);
+
+        // The start-up stub comes first: its first bundle is the entry PC.
+        let mut stub = self.start_stub(&abi, options, layout.initial_sp())?;
+        let stub_layout = finalize_control(&mut stub, &abi);
+        let (blocks, s) = schedule_function(&stub, &stub_layout, &self.mdes);
+        stats.sched.ops += s.ops;
+        stats.sched.bundles += s.bundles;
+        scheduled.push(blocks);
+
+        for func in &module.functions {
+            let mut mf = select(func, &self.config)?;
+            fold_literal_operands(&mut mf, &self.config);
+            if options.if_conversion {
+                let s = if_convert(&mut mf);
+                stats.ifconv.diamonds += s.diamonds;
+                stats.ifconv.triangles += s.triangles;
+                stats.ifconv.predicated_insts += s.predicated_insts;
+            }
+            let ra = allocate(&mut mf, &abi, &self.config)?;
+            stats.regalloc.spilled += ra.spilled;
+            stats.regalloc.call_saves += ra.call_saves;
+            stats.regalloc.frame_bytes += ra.frame_bytes;
+            let fl = finalize_control(&mut mf, &abi);
+            let (blocks, s) = schedule_function(&mf, &fl, &self.mdes);
+            stats.sched.ops += s.ops;
+            stats.sched.bundles += s.bundles;
+            scheduled.push(blocks);
+        }
+
+        let assembly = emit_program(&scheduled, &self.config);
+        Ok(CompiledProgram {
+            assembly,
+            stats,
+            config: self.config.clone(),
+        })
+    }
+
+    /// Builds the `_start` function (already in physical registers).
+    fn start_stub(
+        &self,
+        abi: &Abi,
+        options: &Options,
+        initial_sp: u32,
+    ) -> Result<MFunction, CompileError> {
+        if options.entry_args.len() > abi.args.len() {
+            return Err(CompileError::TooManyArguments {
+                function: options.entry.clone(),
+                count: options.entry_args.len(),
+                limit: abi.args.len(),
+            });
+        }
+        let mut insts: Vec<MInst> = Vec::new();
+        let mut movil = MOp::bare(Opcode::Movil);
+        movil.dest1 = MDest::Gpr(abi.sp);
+        movil.src1 = MSrc::Lit(i64::from(initial_sp));
+        insts.push(MInst::Op(movil));
+        for (i, arg) in options.entry_args.iter().enumerate() {
+            let mut op = MOp::bare(Opcode::Movil);
+            op.dest1 = MDest::Gpr(abi.args[i]);
+            op.src1 = MSrc::Lit(i64::from(*arg));
+            insts.push(MInst::Op(op));
+        }
+        let mut pbr = MOp::bare(Opcode::Pbr);
+        pbr.dest1 = MDest::Btr(CALL_BTR);
+        pbr.src1 = MSrc::Label(format!("fn_{}", options.entry));
+        insts.push(MInst::Op(pbr));
+        let mut brl = MOp::bare(Opcode::Brl);
+        brl.dest1 = MDest::Gpr(abi.link);
+        brl.src1 = MSrc::Btr(CALL_BTR);
+        insts.push(MInst::Op(brl));
+        Ok(MFunction {
+            name: "_start".to_owned(),
+            params: vec![],
+            blocks: vec![MBlock {
+                id: MBlockId(0),
+                insts,
+                term: MTerm::Halt,
+            }],
+            vreg_count: 0,
+            vpred_count: 1,
+            allocated: true,
+            frame_bytes: 0,
+            makes_calls: true,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use epic_ir::ast::{Expr, FunctionDef, Program, Stmt};
+    use epic_ir::lower;
+
+    fn compile(program: &Program, config: Config) -> CompiledProgram {
+        let module = lower::lower(program).unwrap();
+        let mut options = Options::default();
+        options.inline_hints = lower::inline_hints(program);
+        Compiler::new(config).compile_with(&module, &options).unwrap()
+    }
+
+    #[test]
+    fn hello_module_compiles_to_bundled_assembly() {
+        let p = Program::new().function(
+            FunctionDef::new("main", [] as [&str; 0])
+                .body([Stmt::ret(Expr::lit(21) * Expr::lit(2))]),
+        );
+        let out = compile(&p, Config::default());
+        let asm = out.assembly();
+        assert!(asm.contains(".entry fn__start"));
+        assert!(asm.contains("fn_main:"));
+        assert!(asm.contains("HALT"));
+        assert!(asm.contains(";;"));
+        assert!(asm.contains("BRL"));
+    }
+
+    #[test]
+    fn wide_machines_schedule_denser_code() {
+        // A block of independent adds should need fewer bundles on 4 ALUs
+        // than on 1.
+        let mut body = vec![Stmt::let_("acc", Expr::lit(0))];
+        for i in 0..12 {
+            body.push(Stmt::let_(format!("t{i}"), Expr::var("x") + Expr::lit(i)));
+        }
+        let mut total = Expr::var("t0");
+        for i in 1..12 {
+            total = total + Expr::var(format!("t{i}"));
+        }
+        body.push(Stmt::ret(total));
+        let f = FunctionDef::new("main", ["x"]).body(body);
+        let p = Program::new().function(f);
+
+        let wide = compile(&p, Config::builder().num_alus(4).build().unwrap());
+        let narrow = compile(&p, Config::builder().num_alus(1).build().unwrap());
+        assert!(
+            wide.stats().sched.bundles < narrow.stats().sched.bundles,
+            "wide {} vs narrow {}",
+            wide.stats().sched.bundles,
+            narrow.stats().sched.bundles
+        );
+        assert!(wide.stats().sched.ilp() > narrow.stats().sched.ilp());
+    }
+
+    #[test]
+    fn non_32_bit_datapath_is_rejected() {
+        let p = Program::new().function(
+            FunctionDef::new("main", [] as [&str; 0]).body([Stmt::ret_void()]),
+        );
+        let module = lower::lower(&p).unwrap();
+        let config = Config::builder().datapath_width(16).build().unwrap();
+        assert!(matches!(
+            Compiler::new(config).compile(&module),
+            Err(CompileError::UnsupportedDatapathWidth { width: 16 })
+        ));
+    }
+
+    #[test]
+    fn entry_arguments_appear_in_the_stub() {
+        let p = Program::new().function(
+            FunctionDef::new("main", ["a", "b"]).body([Stmt::ret(
+                Expr::var("a") + Expr::var("b"),
+            )]),
+        );
+        let module = lower::lower(&p).unwrap();
+        let mut options = Options::default();
+        options.entry_args = vec![11, 31];
+        let out = Compiler::new(Config::default())
+            .compile_with(&module, &options)
+            .unwrap();
+        assert!(out.assembly().contains("MOVIL r2, #11"));
+        assert!(out.assembly().contains("MOVIL r3, #31"));
+    }
+
+    #[test]
+    fn if_conversion_option_changes_output() {
+        let f = FunctionDef::new("main", ["x"]).body([
+            Stmt::let_("r", Expr::lit(0)),
+            Stmt::if_else(
+                Expr::var("x").gt_s(Expr::lit(0)),
+                [Stmt::assign("r", Expr::lit(1))],
+                [Stmt::assign("r", Expr::lit(2))],
+            ),
+            Stmt::ret(Expr::var("r")),
+        ]);
+        let p = Program::new().function(f);
+        let module = lower::lower(&p).unwrap();
+        let on = Compiler::new(Config::default())
+            .compile_with(&module, &Options::default())
+            .unwrap();
+        let mut opt_off = Options::default();
+        opt_off.if_conversion = false;
+        let off = Compiler::new(Config::default())
+            .compile_with(&module, &opt_off)
+            .unwrap();
+        assert!(on.stats().ifconv.diamonds >= 1);
+        assert_eq!(off.stats().ifconv.diamonds, 0);
+        // Without if-conversion there are more branches in the text.
+        let count = |s: &str, pat: &str| s.matches(pat).count();
+        assert!(count(off.assembly(), "BRC") > count(on.assembly(), "BRC"));
+    }
+}

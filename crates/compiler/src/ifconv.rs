@@ -1,0 +1,298 @@
+//! If-conversion: control dependence → data dependence.
+//!
+//! "One of the most significant architectural innovations of EPIC is the
+//! inclusion of predicated instructions. … Only those instructions
+//! associated with a predicate register showing a true condition will be
+//! committed; others will be discarded" (paper §2). This pass finds small
+//! diamonds and triangles in the machine CFG and replaces their branches
+//! with predicated straight-line code, the transformation that lets the
+//! scheduler fill the replicated ALUs with both arms at once.
+//!
+//! A hammock converts when each arm (i) has the branch block as its only
+//! predecessor, (ii) contains only unguarded, call-free instructions, and
+//! (iii) is no larger than the conversion threshold.
+
+use crate::mir::{MBlockId, MDest, MFunction, MInst, MTerm};
+use epic_isa::Opcode;
+
+/// Largest arm size (instructions) that will be if-converted. Beyond this
+/// the dual-issue cost of executing both arms outweighs the removed
+/// branches.
+pub const MAX_ARM_INSTS: usize = 16;
+
+/// Statistics reported by [`if_convert`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct IfConvStats {
+    /// Full diamonds converted.
+    pub diamonds: usize,
+    /// Triangles (one-armed ifs) converted.
+    pub triangles: usize,
+    /// Instructions that received a guard.
+    pub predicated_insts: usize,
+}
+
+/// Runs if-conversion on a (pre-allocation) machine function.
+pub fn if_convert(mfunc: &mut MFunction) -> IfConvStats {
+    let mut stats = IfConvStats::default();
+    // Iterate: converting one hammock can expose an enclosing triangle,
+    // but only while inner instructions stay unguarded; one extra round
+    // is enough in practice and keeps compile time linear.
+    for _ in 0..2 {
+        let mut changed = false;
+        for bi in 0..mfunc.blocks.len() {
+            if try_convert(mfunc, MBlockId(bi as u32), &mut stats) {
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    stats
+}
+
+fn try_convert(mfunc: &mut MFunction, id: MBlockId, stats: &mut IfConvStats) -> bool {
+    let MTerm::CondJump {
+        pred,
+        on_true,
+        on_false,
+    } = mfunc.block(id).term.clone()
+    else {
+        return false;
+    };
+    if on_true == on_false || on_true == id || on_false == id {
+        return false;
+    }
+    let preds = mfunc.predecessors();
+    let single_pred = |b: MBlockId| preds[b.0 as usize] == vec![id];
+
+    let true_pred = pred;
+    // The complement predicate: reuse the defining CMP's dest2 when it is
+    // a live predicate, otherwise rewrite the CMP to produce one.
+    let false_pred = match complement_of(mfunc, id, true_pred) {
+        Some(p) => p,
+        None => return false,
+    };
+
+    let arm_ok = |mfunc: &MFunction, b: MBlockId| {
+        let block = mfunc.block(b);
+        block.insts.len() <= MAX_ARM_INSTS
+            && block.insts.iter().all(|inst| match inst {
+                MInst::Op(op) => op.guard == 0 && !op.opcode.is_branch(),
+                MInst::Call { .. } => false,
+            })
+    };
+
+    // Diamond: A -> T, F; T -> J; F -> J.
+    if single_pred(on_true) && single_pred(on_false) && arm_ok(mfunc, on_true) && arm_ok(mfunc, on_false)
+    {
+        let t_exit = mfunc.block(on_true).term.clone();
+        let f_exit = mfunc.block(on_false).term.clone();
+        if let (MTerm::Jump(jt), MTerm::Jump(jf)) = (t_exit, f_exit) {
+            if jt == jf && jt != on_true && jt != on_false {
+                let t_insts = std::mem::take(&mut mfunc.blocks[on_true.0 as usize].insts);
+                let f_insts = std::mem::take(&mut mfunc.blocks[on_false.0 as usize].insts);
+                stats.predicated_insts += t_insts.len() + f_insts.len();
+                let block = &mut mfunc.blocks[id.0 as usize];
+                for mut inst in t_insts {
+                    if let MInst::Op(op) = &mut inst {
+                        op.guard = true_pred;
+                    }
+                    block.insts.push(inst);
+                }
+                for mut inst in f_insts {
+                    if let MInst::Op(op) = &mut inst {
+                        op.guard = false_pred;
+                    }
+                    block.insts.push(inst);
+                }
+                block.term = MTerm::Jump(jt);
+                stats.diamonds += 1;
+                return true;
+            }
+        }
+        // fall through to triangle checks
+    }
+
+    // Triangle: A -> T -> J with F == J (arm on the true side).
+    if single_pred(on_true) && arm_ok(mfunc, on_true) {
+        if let MTerm::Jump(jt) = mfunc.block(on_true).term.clone() {
+            if jt == on_false && jt != on_true {
+                let t_insts = std::mem::take(&mut mfunc.blocks[on_true.0 as usize].insts);
+                stats.predicated_insts += t_insts.len();
+                let block = &mut mfunc.blocks[id.0 as usize];
+                for mut inst in t_insts {
+                    if let MInst::Op(op) = &mut inst {
+                        op.guard = true_pred;
+                    }
+                    block.insts.push(inst);
+                }
+                block.term = MTerm::Jump(jt);
+                stats.triangles += 1;
+                return true;
+            }
+        }
+    }
+
+    // Mirrored triangle: A -> F -> J with T == J (arm on the false side).
+    if single_pred(on_false) && arm_ok(mfunc, on_false) {
+        if let MTerm::Jump(jf) = mfunc.block(on_false).term.clone() {
+            if jf == on_true && jf != on_false {
+                let f_insts = std::mem::take(&mut mfunc.blocks[on_false.0 as usize].insts);
+                stats.predicated_insts += f_insts.len();
+                let block = &mut mfunc.blocks[id.0 as usize];
+                for mut inst in f_insts {
+                    if let MInst::Op(op) = &mut inst {
+                        op.guard = false_pred;
+                    }
+                    block.insts.push(inst);
+                }
+                block.term = MTerm::Jump(jf);
+                stats.triangles += 1;
+                return true;
+            }
+        }
+    }
+
+    false
+}
+
+/// Finds (or creates) the complement predicate of `pred` in block `id`.
+///
+/// The defining compare is located by scanning backwards; its `dest2`
+/// (written with the negated outcome by the CMPU) is reused when present,
+/// or a fresh virtual predicate is patched in.
+fn complement_of(mfunc: &mut MFunction, id: MBlockId, pred: u32) -> Option<u32> {
+    // Locate the last write of `pred` in the block.
+    let block_index = id.0 as usize;
+    let mut def_index = None;
+    for (i, inst) in mfunc.blocks[block_index].insts.iter().enumerate() {
+        if inst.pred_defs().contains(&pred) {
+            def_index = Some(i);
+        }
+    }
+    let i = def_index?;
+    let MInst::Op(op) = &mfunc.blocks[block_index].insts[i] else {
+        return None;
+    };
+    if !matches!(op.opcode, Opcode::Cmp(_)) || op.guard != 0 {
+        return None;
+    }
+    match op.dest2 {
+        MDest::Pred(p) if p != 0 => Some(p),
+        _ => {
+            let fresh = mfunc.new_vpred();
+            if let MInst::Op(op) = &mut mfunc.blocks[block_index].insts[i] {
+                op.dest2 = MDest::Pred(fresh);
+            }
+            Some(fresh)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::select::select;
+    use epic_config::Config;
+    use epic_ir::ast::{Expr, FunctionDef, Program, Stmt};
+    use epic_ir::lower;
+
+    fn mir_for(f: FunctionDef) -> MFunction {
+        let m = lower::lower(&Program::new().function(f)).unwrap();
+        select(&m.functions[0], &Config::default()).unwrap()
+    }
+
+    #[test]
+    fn diamond_converts_to_predicated_block() {
+        let f = FunctionDef::new("f", ["x"]).body([
+            Stmt::let_("r", Expr::lit(0)),
+            Stmt::if_else(
+                Expr::var("x").gt_s(Expr::lit(0)),
+                [Stmt::assign("r", Expr::lit(1))],
+                [Stmt::assign("r", Expr::lit(2))],
+            ),
+            Stmt::ret(Expr::var("r")),
+        ]);
+        let mut mf = mir_for(f);
+        let stats = if_convert(&mut mf);
+        assert_eq!(stats.diamonds, 1);
+        assert!(stats.predicated_insts >= 2);
+        // The entry block now jumps straight to the join.
+        assert!(matches!(mf.blocks[0].term, MTerm::Jump(_)));
+        // Both guards appear, and they differ.
+        let guards: Vec<u32> = mf.blocks[0]
+            .insts
+            .iter()
+            .filter_map(MInst::as_op)
+            .map(|op| op.guard)
+            .filter(|g| *g != 0)
+            .collect();
+        assert!(guards.len() >= 2);
+        assert!(guards.windows(2).any(|w| w[0] != w[1]));
+    }
+
+    #[test]
+    fn triangle_converts() {
+        let f = FunctionDef::new("f", ["x"]).body([
+            Stmt::let_("r", Expr::var("x")),
+            Stmt::if_(Expr::var("x").lt_s(Expr::lit(0)), [
+                Stmt::assign("r", -Expr::var("x")),
+            ]),
+            Stmt::ret(Expr::var("r")),
+        ]);
+        let mut mf = mir_for(f);
+        let stats = if_convert(&mut mf);
+        assert_eq!(stats.diamonds + stats.triangles, 1);
+    }
+
+    #[test]
+    fn loops_are_not_converted() {
+        let f = FunctionDef::new("f", ["n"]).body([
+            Stmt::let_("i", Expr::lit(0)),
+            Stmt::while_(Expr::var("i").lt_s(Expr::var("n")), [
+                Stmt::assign("i", Expr::var("i") + Expr::lit(1)),
+            ]),
+            Stmt::ret(Expr::var("i")),
+        ]);
+        let mut mf = mir_for(f);
+        let stats = if_convert(&mut mf);
+        assert_eq!(stats.diamonds, 0);
+        // The loop back-edge must survive.
+        let cond_jumps = mf
+            .blocks
+            .iter()
+            .filter(|b| matches!(b.term, MTerm::CondJump { .. }))
+            .count();
+        assert!(cond_jumps >= 1);
+    }
+
+    #[test]
+    fn arms_with_calls_are_not_converted() {
+        let g = FunctionDef::new("g", [] as [&str; 0]).body([Stmt::ret_void()]);
+        let f = FunctionDef::new("f", ["x"]).body([
+            Stmt::if_(Expr::var("x").gt_s(Expr::lit(0)), [Stmt::call("g", [])]),
+            Stmt::ret_void(),
+        ]);
+        let m = lower::lower(&Program::new().function(g).function(f)).unwrap();
+        let mut mf = select(m.function("f").unwrap(), &Config::default()).unwrap();
+        let stats = if_convert(&mut mf);
+        assert_eq!(stats.diamonds + stats.triangles, 0);
+    }
+
+    #[test]
+    fn oversized_arms_are_left_alone() {
+        let mut then_body = Vec::new();
+        for i in 0..(MAX_ARM_INSTS as i64 + 8) {
+            then_body.push(Stmt::assign("r", Expr::var("r") + Expr::lit(i)));
+        }
+        let f = FunctionDef::new("f", ["x"]).body([
+            Stmt::let_("r", Expr::lit(0)),
+            Stmt::if_(Expr::var("x").gt_s(Expr::lit(0)), then_body),
+            Stmt::ret(Expr::var("r")),
+        ]);
+        let mut mf = mir_for(f);
+        let stats = if_convert(&mut mf);
+        assert_eq!(stats.diamonds + stats.triangles, 0);
+    }
+}

@@ -1,0 +1,694 @@
+//! IMPACT-style machine-independent IR optimisations.
+//!
+//! "Given an application program written in C, the IMPACT module is
+//! employed to perform machine independent optimisations" (paper §4.1).
+//! The pass pipeline here plays that role over `epic-ir`:
+//!
+//! * [`inline`] — function inlining of frontend-hinted callees, the main
+//!   ILP-exposing transformation for kernels split into helpers;
+//! * [`local_optimize`] — block-local constant folding and propagation,
+//!   copy propagation, algebraic simplification and strength reduction
+//!   (multiplication by powers of two becomes a shift);
+//! * [`cse`] — block-local common-subexpression elimination;
+//! * [`dce`] — function-wide dead-code elimination;
+//! * [`optimize`] — the driver iterating these to a fixed point.
+//!
+//! All passes preserve the reference semantics defined by
+//! [`epic_ir::Interpreter`]; property tests in this crate check exactly
+//! that on random programs.
+
+use epic_ir::{BinOp, Block, Function, IrOp, Module, Terminator, VReg};
+use std::collections::HashMap;
+
+/// Upper bound on rounds of the fixed-point driver (safety backstop; real
+/// programs converge in a few rounds).
+const MAX_ROUNDS: usize = 12;
+
+/// Statistics reported by [`optimize`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PassStats {
+    /// Call sites inlined.
+    pub inlined_calls: usize,
+    /// Operations folded to constants.
+    pub folded: usize,
+    /// Operations simplified algebraically (including strength reduction).
+    pub simplified: usize,
+    /// Operations removed by CSE.
+    pub cse_hits: usize,
+    /// Dead operations removed.
+    pub dead_removed: usize,
+    /// Optimisation rounds executed.
+    pub rounds: usize,
+}
+
+/// Runs the full machine-independent pipeline on a module.
+///
+/// `inline_hints` names functions the frontend marked for inlining (see
+/// [`epic_ir::lower::inline_hints`]).
+pub fn optimize(module: &mut Module, inline_hints: &[String]) -> PassStats {
+    let mut stats = PassStats {
+        inlined_calls: inline(module, inline_hints),
+        ..PassStats::default()
+    };
+    for round in 0..MAX_ROUNDS {
+        stats.rounds = round + 1;
+        let mut changed = false;
+        for func in &mut module.functions {
+            let (folded, simplified) = local_optimize(func);
+            let cse_hits = cse(func);
+            let dead = dce(func);
+            stats.folded += folded;
+            stats.simplified += simplified;
+            stats.cse_hits += cse_hits;
+            stats.dead_removed += dead;
+            changed |= folded + simplified + cse_hits + dead > 0;
+        }
+        if !changed {
+            break;
+        }
+    }
+    stats
+}
+
+// ---------------------------------------------------------------------
+// Inlining
+// ---------------------------------------------------------------------
+
+/// Inlines calls to the hinted functions. Returns the number of call
+/// sites expanded. Directly self-recursive hints are ignored.
+pub fn inline(module: &mut Module, hints: &[String]) -> usize {
+    let mut expanded = 0;
+    // Bounded rounds so chains of hinted calls (a -> b -> c) flatten.
+    for _ in 0..4 {
+        let snapshot: HashMap<String, Function> = module
+            .functions
+            .iter()
+            .filter(|f| hints.contains(&f.name) && !calls_any_of(f, &[f.name.clone()]))
+            .map(|f| (f.name.clone(), f.clone()))
+            .collect();
+        if snapshot.is_empty() {
+            break;
+        }
+        let mut any = false;
+        for func in &mut module.functions {
+            loop {
+                let Some((block, index, callee)) = find_inlinable(func, &snapshot) else {
+                    break;
+                };
+                inline_site(func, block, index, &snapshot[&callee]);
+                expanded += 1;
+                any = true;
+            }
+        }
+        if !any {
+            break;
+        }
+    }
+    expanded
+}
+
+fn calls_any_of(f: &Function, names: &[String]) -> bool {
+    f.blocks.iter().flat_map(|b| &b.ops).any(|op| {
+        matches!(op, IrOp::Call { callee, .. } if names.contains(callee))
+    })
+}
+
+fn find_inlinable(
+    func: &Function,
+    snapshot: &HashMap<String, Function>,
+) -> Option<(usize, usize, String)> {
+    for (bi, block) in func.blocks.iter().enumerate() {
+        for (oi, op) in block.ops.iter().enumerate() {
+            if let IrOp::Call { callee, .. } = op {
+                if snapshot.contains_key(callee) && *callee != func.name {
+                    return Some((bi, oi, callee.clone()));
+                }
+            }
+        }
+    }
+    None
+}
+
+fn inline_site(func: &mut Function, block_index: usize, op_index: usize, callee: &Function) {
+    let vreg_offset = func.vreg_count;
+    func.vreg_count += callee.vreg_count;
+    // Continuation block is pushed first, then the callee clone, so the
+    // clone's blocks start right after it.
+    let cont_id = epic_ir::BlockId(func.blocks.len() as u32);
+    let block_offset = cont_id.0 + 1;
+
+    let call_op = func.blocks[block_index].ops[op_index].clone();
+    let IrOp::Call { args, dest, .. } = call_op else {
+        unreachable!("find_inlinable returns call sites")
+    };
+    let tail_ops: Vec<IrOp> = func.blocks[block_index].ops.split_off(op_index + 1);
+    func.blocks[block_index].ops.pop(); // drop the call itself
+    let original_term =
+        std::mem::replace(&mut func.blocks[block_index].term, Terminator::Ret(None));
+
+    func.blocks.push(Block {
+        id: cont_id,
+        ops: tail_ops,
+        term: original_term,
+    });
+
+    // Copy arguments into the callee's (remapped) parameter registers.
+    for (param, arg) in callee.params.iter().zip(&args) {
+        func.blocks[block_index].ops.push(IrOp::Copy {
+            dest: VReg(param.0 + vreg_offset),
+            src: *arg,
+        });
+    }
+    func.blocks[block_index].term = Terminator::Jump(epic_ir::BlockId(block_offset));
+
+    // Clone the callee body.
+    for cb in &callee.blocks {
+        let mut ops = Vec::with_capacity(cb.ops.len());
+        for op in &cb.ops {
+            let mut op = op.clone();
+            if let Some(d) = op.def() {
+                set_def(&mut op, VReg(d.0 + vreg_offset));
+            }
+            op.map_uses(|u| VReg(u.0 + vreg_offset));
+            ops.push(op);
+        }
+        let remap = |b: epic_ir::BlockId| epic_ir::BlockId(b.0 + block_offset);
+        let term = match &cb.term {
+            Terminator::Jump(t) => Terminator::Jump(remap(*t)),
+            Terminator::Branch {
+                cond,
+                then_block,
+                else_block,
+            } => Terminator::Branch {
+                cond: VReg(cond.0 + vreg_offset),
+                then_block: remap(*then_block),
+                else_block: remap(*else_block),
+            },
+            Terminator::Ret(value) => {
+                if let (Some(d), Some(v)) = (dest, value) {
+                    ops.push(IrOp::Copy {
+                        dest: d,
+                        src: VReg(v.0 + vreg_offset),
+                    });
+                }
+                Terminator::Jump(cont_id)
+            }
+        };
+        let id = epic_ir::BlockId(func.blocks.len() as u32);
+        func.blocks.push(Block { id, ops, term });
+    }
+}
+
+fn set_def(op: &mut IrOp, new: VReg) {
+    match op {
+        IrOp::Const { dest, .. }
+        | IrOp::Bin { dest, .. }
+        | IrOp::Un { dest, .. }
+        | IrOp::Copy { dest, .. }
+        | IrOp::Load { dest, .. } => *dest = new,
+        IrOp::Call { dest, .. } => *dest = Some(new),
+        IrOp::Store { .. } => {}
+    }
+}
+
+// ---------------------------------------------------------------------
+// Local constant folding / copy propagation / algebraic simplification
+// ---------------------------------------------------------------------
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Known {
+    Const(u32),
+    Copy(VReg, u64), // source register and its version at copy time
+}
+
+/// Folds constants, propagates copies and applies algebraic identities
+/// within each block. Returns `(folded, simplified)` counts.
+pub fn local_optimize(func: &mut Function) -> (usize, usize) {
+    let mut folded = 0;
+    let mut simplified = 0;
+    let mut next_vreg = func.vreg_count;
+
+    for bi in 0..func.blocks.len() {
+        let ops = std::mem::take(&mut func.blocks[bi].ops);
+        let mut known: HashMap<VReg, Known> = HashMap::new();
+        let mut version: HashMap<VReg, u64> = HashMap::new();
+        let mut out: Vec<IrOp> = Vec::with_capacity(ops.len());
+
+        fn ver(version: &HashMap<VReg, u64>, r: VReg) -> u64 {
+            version.get(&r).copied().unwrap_or(0)
+        }
+        fn const_of(known: &HashMap<VReg, Known>, r: VReg) -> Option<u32> {
+            match known.get(&r) {
+                Some(Known::Const(c)) => Some(*c),
+                _ => None,
+            }
+        }
+
+        for mut op in ops {
+            // Copy propagation: rewrite uses through still-valid copies.
+            op.map_uses(|u| match known.get(&u) {
+                Some(Known::Copy(src, v)) if ver(&version, *src) == *v => *src,
+                _ => u,
+            });
+
+            // Folding and simplification produce zero or more replacement ops.
+            let mut emitted: Vec<IrOp> = Vec::new();
+            match &op {
+                IrOp::Bin {
+                    op: bop,
+                    dest,
+                    lhs,
+                    rhs,
+                } => {
+                    let lc = const_of(&known, *lhs);
+                    let rc = const_of(&known, *rhs);
+                    if let (Some(a), Some(b)) = (lc, rc) {
+                        folded += 1;
+                        emitted.push(IrOp::Const {
+                            dest: *dest,
+                            value: i64::from(bop.eval(a, b) as i32),
+                        });
+                    } else if let Some(ops) =
+                        simplify(*bop, *dest, *lhs, *rhs, lc, rc, &mut next_vreg)
+                    {
+                        simplified += 1;
+                        emitted.extend(ops);
+                    }
+                }
+                IrOp::Un { op: uop, dest, src } => {
+                    if let Some(c) = const_of(&known, *src) {
+                        folded += 1;
+                        emitted.push(IrOp::Const {
+                            dest: *dest,
+                            value: i64::from(uop.eval(c) as i32),
+                        });
+                    }
+                }
+                _ => {}
+            }
+            if emitted.is_empty() {
+                emitted.push(op);
+            }
+
+            for op in emitted {
+                if let Some(d) = op.def() {
+                    *version.entry(d).or_insert(0) += 1;
+                    known.remove(&d);
+                    match &op {
+                        IrOp::Const { value, .. } => {
+                            known.insert(d, Known::Const(*value as u32));
+                        }
+                        IrOp::Copy { src, .. } => {
+                            if let Some(c) = const_of(&known, *src) {
+                                known.insert(d, Known::Const(c));
+                            } else if *src != d {
+                                known.insert(d, Known::Copy(*src, ver(&version, *src)));
+                            }
+                        }
+                        _ => {}
+                    }
+                }
+                out.push(op);
+            }
+        }
+        func.blocks[bi].ops = out;
+    }
+    func.vreg_count = next_vreg;
+    (folded, simplified)
+}
+
+/// Algebraic identities and strength reduction for one binary operation.
+/// Returns replacement operations, or `None` to keep the original.
+fn simplify(
+    bop: BinOp,
+    dest: VReg,
+    lhs: VReg,
+    rhs: VReg,
+    lc: Option<u32>,
+    rc: Option<u32>,
+    next_vreg: &mut u32,
+) -> Option<Vec<IrOp>> {
+    let copy_of = |src: VReg| Some(vec![IrOp::Copy { dest, src }]);
+    let konst = |value: i64| Some(vec![IrOp::Const { dest, value }]);
+
+    // Identities with a constant on the right.
+    if let Some(c) = rc {
+        match (bop, c) {
+            (BinOp::Add | BinOp::Sub | BinOp::Or | BinOp::Xor, 0) => return copy_of(lhs),
+            (BinOp::Shl | BinOp::Shr | BinOp::Sra | BinOp::Rotr, 0) => return copy_of(lhs),
+            (BinOp::Mul | BinOp::Div, 1) => return copy_of(lhs),
+            (BinOp::Mul | BinOp::And, 0) => return konst(0),
+            (BinOp::And, u32::MAX) => return copy_of(lhs),
+            (BinOp::Mul, c) if c.is_power_of_two() => {
+                let amount = VReg(*next_vreg);
+                *next_vreg += 1;
+                return Some(vec![
+                    IrOp::Const {
+                        dest: amount,
+                        value: i64::from(c.trailing_zeros()),
+                    },
+                    IrOp::Bin {
+                        op: BinOp::Shl,
+                        dest,
+                        lhs,
+                        rhs: amount,
+                    },
+                ]);
+            }
+            _ => {}
+        }
+    }
+    // Identities with a constant on the left.
+    if let Some(c) = lc {
+        match (bop, c) {
+            (BinOp::Add | BinOp::Or | BinOp::Xor, 0) => return copy_of(rhs),
+            (BinOp::Mul, 1) => return copy_of(rhs),
+            (BinOp::Mul | BinOp::And, 0) => return konst(0),
+            (BinOp::And, u32::MAX) => return copy_of(rhs),
+            (BinOp::Mul, c) if c.is_power_of_two() => {
+                let amount = VReg(*next_vreg);
+                *next_vreg += 1;
+                return Some(vec![
+                    IrOp::Const {
+                        dest: amount,
+                        value: i64::from(c.trailing_zeros()),
+                    },
+                    IrOp::Bin {
+                        op: BinOp::Shl,
+                        dest,
+                        lhs: rhs,
+                        rhs: amount,
+                    },
+                ]);
+            }
+            _ => {}
+        }
+    }
+    // Same-register identities (both operands read the same value).
+    if lhs == rhs {
+        match bop {
+            BinOp::Sub | BinOp::Xor => return konst(0),
+            BinOp::And | BinOp::Or | BinOp::Min | BinOp::Max => return copy_of(lhs),
+            BinOp::CmpEq | BinOp::CmpLe | BinOp::CmpGe | BinOp::CmpLeu | BinOp::CmpGeu => {
+                return konst(1)
+            }
+            BinOp::CmpNe | BinOp::CmpLt | BinOp::CmpGt | BinOp::CmpLtu | BinOp::CmpGtu => {
+                return konst(0)
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+// ---------------------------------------------------------------------
+// Local common-subexpression elimination
+// ---------------------------------------------------------------------
+
+/// Eliminates repeated pure computations within each block. Returns the
+/// number of operations replaced by copies.
+pub fn cse(func: &mut Function) -> usize {
+    let mut hits = 0;
+    for block in &mut func.blocks {
+        // Key: (op kind, operands with versions). Value: defining vreg +
+        // its version at definition.
+        let mut version: HashMap<VReg, u64> = HashMap::new();
+        let mut table: HashMap<String, (VReg, u64)> = HashMap::new();
+
+        fn ver(version: &HashMap<VReg, u64>, r: VReg) -> u64 {
+            version.get(&r).copied().unwrap_or(0)
+        }
+
+        for op in &mut block.ops {
+            let key = match op {
+                IrOp::Bin {
+                    op: bop,
+                    lhs,
+                    rhs,
+                    ..
+                } => {
+                    let (a, b) = if bop.is_commutative() && rhs < lhs {
+                        (*rhs, *lhs)
+                    } else {
+                        (*lhs, *rhs)
+                    };
+                    Some(format!(
+                        "bin:{}:{}.{}:{}.{}",
+                        bop.name(),
+                        a.0,
+                        ver(&version, a),
+                        b.0,
+                        ver(&version, b)
+                    ))
+                }
+                IrOp::Un { op: uop, src, .. } => Some(format!(
+                    "un:{}:{}.{}",
+                    uop.name(),
+                    src.0,
+                    ver(&version, *src)
+                )),
+                IrOp::Const { value, .. } => Some(format!("const:{value}")),
+                _ => None,
+            };
+
+            if let (Some(key), Some(dest)) = (key, op.def()) {
+                match table.get(&key) {
+                    Some((prev, prev_ver)) if ver(&version, *prev) == *prev_ver && *prev != dest => {
+                        *op = IrOp::Copy {
+                            dest,
+                            src: *prev,
+                        };
+                        hits += 1;
+                    }
+                    _ => {
+                        let v = ver(&version, dest) + 1;
+                        table.insert(key, (dest, v));
+                    }
+                }
+            }
+            if let Some(d) = op.def() {
+                *version.entry(d).or_insert(0) += 1;
+            }
+        }
+    }
+    hits
+}
+
+// ---------------------------------------------------------------------
+// Dead-code elimination
+// ---------------------------------------------------------------------
+
+/// Liveness-based dead-code elimination: a pure operation is removed when
+/// its result is dead at that point — including intermediate
+/// redefinitions of a register that is live-out (the copies left behind
+/// by straight-line renaming, which flat use-counting cannot kill).
+/// Iterated to a fixed point. Returns removals.
+pub fn dce(func: &mut Function) -> usize {
+    let mut removed = 0;
+    loop {
+        let live_out = epic_ir::analysis::block_live_out(func);
+        let mut changed = false;
+        for (bi, block) in func.blocks.iter_mut().enumerate() {
+            let mut live = live_out[bi].clone();
+            if let Some(u) = block.term.use_reg() {
+                live.insert(u);
+            }
+            let mut keep = vec![true; block.ops.len()];
+            for (i, op) in block.ops.iter().enumerate().rev() {
+                let dead = !op.has_side_effects()
+                    && op.def().is_some_and(|d| !live.contains(&d));
+                if dead {
+                    keep[i] = false;
+                    continue;
+                }
+                if let Some(d) = op.def() {
+                    live.remove(&d);
+                }
+                for u in op.uses() {
+                    live.insert(u);
+                }
+            }
+            let before = block.ops.len();
+            let mut it = keep.iter();
+            block.ops.retain(|_| *it.next().expect("keep covers ops"));
+            let delta = before - block.ops.len();
+            removed += delta;
+            changed |= delta > 0;
+        }
+        if !changed {
+            return removed;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use epic_ir::ast::{Expr, FunctionDef, Program, Stmt};
+    use epic_ir::{lower, Interpreter};
+
+    fn lowered(p: &Program) -> Module {
+        lower::lower(p).unwrap()
+    }
+
+    fn run(module: &Module, func: &str, args: &[u32]) -> Option<u32> {
+        Interpreter::new(module).call(func, args).unwrap()
+    }
+
+    #[test]
+    fn constant_expressions_fold_to_one_const() {
+        let p = Program::new().function(
+            FunctionDef::new("f", [] as [&str; 0])
+                .body([Stmt::ret((Expr::lit(2) + Expr::lit(3)) * Expr::lit(7))]),
+        );
+        let mut m = lowered(&p);
+        let stats = optimize(&mut m, &[]);
+        assert!(stats.folded >= 2);
+        let f = m.function("f").unwrap();
+        // After folding + DCE only the final constant remains.
+        assert_eq!(f.op_count(), 1);
+        assert_eq!(run(&m, "f", &[]), Some(35));
+    }
+
+    #[test]
+    fn multiplication_by_power_of_two_becomes_shift() {
+        let p = Program::new().function(
+            FunctionDef::new("f", ["x"]).body([Stmt::ret(Expr::var("x") * Expr::lit(8))]),
+        );
+        let mut m = lowered(&p);
+        optimize(&mut m, &[]);
+        let f = m.function("f").unwrap();
+        let has_shift = f
+            .blocks
+            .iter()
+            .flat_map(|b| &b.ops)
+            .any(|op| matches!(op, IrOp::Bin { op: BinOp::Shl, .. }));
+        let has_mul = f
+            .blocks
+            .iter()
+            .flat_map(|b| &b.ops)
+            .any(|op| matches!(op, IrOp::Bin { op: BinOp::Mul, .. }));
+        assert!(has_shift && !has_mul);
+        assert_eq!(run(&m, "f", &[5]), Some(40));
+    }
+
+    #[test]
+    fn cse_removes_repeated_subexpressions() {
+        // (x+y) used twice.
+        let p = Program::new().function(FunctionDef::new("f", ["x", "y"]).body([Stmt::ret(
+            (Expr::var("x") + Expr::var("y")) * (Expr::var("x") + Expr::var("y")),
+        )]));
+        let mut m = lowered(&p);
+        let stats = optimize(&mut m, &[]);
+        assert!(stats.cse_hits >= 1);
+        assert_eq!(run(&m, "f", &[3, 4]), Some(49));
+    }
+
+    #[test]
+    fn dce_keeps_stores_and_calls() {
+        let side = FunctionDef::new("side", [] as [&str; 0]).body([Stmt::store_word(
+            Expr::global("g"),
+            Expr::lit(7),
+        )]);
+        let main = FunctionDef::new("main", [] as [&str; 0]).body([
+            Stmt::let_("dead", Expr::lit(1) + Expr::lit(2)),
+            Stmt::call("side", []),
+            Stmt::ret(Expr::global("g").load_word()),
+        ]);
+        let p = Program::new()
+            .global(epic_ir::Global::zeroed("g", 4))
+            .function(side)
+            .function(main);
+        let mut m = lowered(&p);
+        optimize(&mut m, &[]);
+        assert_eq!(run(&m, "main", &[]), Some(7));
+    }
+
+    #[test]
+    fn inline_flattens_hinted_calls() {
+        let helper = FunctionDef::new("helper", ["x"])
+            .body([Stmt::ret(Expr::var("x") * Expr::var("x"))])
+            .inline();
+        let main = FunctionDef::new("main", ["a"]).body([Stmt::ret(
+            Expr::call("helper", [Expr::var("a")]) + Expr::call("helper", [Expr::lit(3)]),
+        )]);
+        let p = Program::new().function(helper).function(main);
+        let hints = lower::inline_hints(&p);
+        let mut m = lowered(&p);
+        let stats = optimize(&mut m, &hints);
+        assert_eq!(stats.inlined_calls, 2);
+        let main_fn = m.function("main").unwrap();
+        let has_call = main_fn
+            .blocks
+            .iter()
+            .flat_map(|b| &b.ops)
+            .any(|op| matches!(op, IrOp::Call { .. }));
+        assert!(!has_call, "all calls should be inlined");
+        assert_eq!(run(&m, "main", &[4]), Some(25));
+    }
+
+    #[test]
+    fn inline_handles_branching_callees() {
+        let abs = FunctionDef::new("abs", ["x"])
+            .body([
+                Stmt::if_(Expr::var("x").lt_s(Expr::lit(0)), [Stmt::ret(-Expr::var("x"))]),
+                Stmt::ret(Expr::var("x")),
+            ])
+            .inline();
+        let main = FunctionDef::new("main", ["a", "b"]).body([Stmt::ret(
+            Expr::call("abs", [Expr::var("a")]) + Expr::call("abs", [Expr::var("b")]),
+        )]);
+        let p = Program::new().function(abs).function(main);
+        let hints = lower::inline_hints(&p);
+        let mut m = lowered(&p);
+        optimize(&mut m, &hints);
+        m.validate().unwrap();
+        assert_eq!(run(&m, "main", &[(-3i32) as u32, 4]), Some(7));
+    }
+
+    #[test]
+    fn recursive_hints_are_not_inlined() {
+        let fib = FunctionDef::new("fib", ["n"])
+            .body([
+                Stmt::if_(Expr::var("n").lt_s(Expr::lit(2)), [Stmt::ret(Expr::var("n"))]),
+                Stmt::ret(
+                    Expr::call("fib", [Expr::var("n") - Expr::lit(1)])
+                        + Expr::call("fib", [Expr::var("n") - Expr::lit(2)]),
+                ),
+            ])
+            .inline();
+        let p = Program::new().function(fib);
+        let hints = lower::inline_hints(&p);
+        let mut m = lowered(&p);
+        let stats = optimize(&mut m, &hints);
+        assert_eq!(stats.inlined_calls, 0);
+        assert_eq!(run(&m, "fib", &[10]), Some(55));
+    }
+
+    #[test]
+    fn optimized_loop_still_computes() {
+        let f = FunctionDef::new("sum", ["n"]).body([
+            Stmt::let_("acc", Expr::lit(0)),
+            Stmt::for_("i", Expr::lit(0), Expr::var("n"), [
+                Stmt::assign(
+                    "acc",
+                    Expr::var("acc") + Expr::var("i") * Expr::lit(4) + Expr::lit(0),
+                ),
+            ]),
+            Stmt::ret(Expr::var("acc")),
+        ]);
+        let mut m = lowered(&Program::new().function(f));
+        optimize(&mut m, &[]);
+        assert_eq!(run(&m, "sum", &[10]), Some(4 * 45));
+    }
+
+    #[test]
+    fn same_register_comparisons_fold() {
+        let f = FunctionDef::new("f", ["x"])
+            .body([Stmt::ret(Expr::var("x").eq(Expr::var("x")))]);
+        let mut m = lowered(&Program::new().function(f));
+        let stats = optimize(&mut m, &[]);
+        assert!(stats.simplified >= 1);
+        assert_eq!(run(&m, "f", &[123]), Some(1));
+    }
+}

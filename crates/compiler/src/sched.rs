@@ -1,0 +1,649 @@
+//! List scheduling into issue bundles.
+//!
+//! This is the elcor role: "statically schedule the instructions by
+//! performing dependence analysis and resource conflict avoidance" (paper
+//! §4.1), driven by the machine description. Each block's instructions
+//! (by now physical and real) are formed into a dependence DAG and packed
+//! greedily by critical-path priority into bundles that respect
+//!
+//! * the issue width,
+//! * per-unit instance counts (N ALUs, one LSU/CMPU/BRU),
+//! * multi-cycle unit occupancy (the blocking divider),
+//! * operation latencies (a consumer issues `latency` cycles after its
+//!   producer), and
+//! * the register-file port budget (8 operations per cycle in the
+//!   prototype), so the scheduled code never provokes the port stall the
+//!   hardware would otherwise insert.
+//!
+//! Branch operations are constrained to the final cycle of their block.
+//! Memory disambiguation is conservative except for the common
+//! same-base/different-offset case, which is proven independent.
+
+use crate::mir::{MFunction, MInst, MOp, MSrc};
+use epic_isa::{Instruction, Unit};
+use epic_mdes::MachineDescription;
+use epic_isa::Opcode;
+use std::collections::HashMap;
+
+/// A scheduled basic block: label plus bundles of machine operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScheduledBlock {
+    /// The block's label in the emitted assembly.
+    pub label: String,
+    /// Issue bundles in execution order. Every bundle is non-empty and
+    /// legal for the machine description.
+    pub bundles: Vec<Vec<MOp>>,
+}
+
+/// Statistics reported by [`schedule_function`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SchedStats {
+    /// Operations scheduled.
+    pub ops: usize,
+    /// Bundles emitted.
+    pub bundles: usize,
+}
+
+impl SchedStats {
+    /// Average operations per bundle (the static ILP achieved).
+    #[must_use]
+    pub fn ilp(&self) -> f64 {
+        if self.bundles == 0 {
+            0.0
+        } else {
+            self.ops as f64 / self.bundles as f64
+        }
+    }
+}
+
+/// Schedules the laid-out blocks of an allocated machine function.
+///
+/// `layout` comes from [`crate::emit::finalize_control`] and lists the
+/// reachable blocks in emission order.
+///
+/// # Panics
+///
+/// Panics when handed a function that still contains call pseudos or
+/// virtual registers (`allocated` unset) — a pipeline-ordering bug.
+pub fn schedule_function(
+    mfunc: &MFunction,
+    layout: &[crate::mir::MBlockId],
+    mdes: &MachineDescription,
+) -> (Vec<ScheduledBlock>, SchedStats) {
+    assert!(mfunc.allocated, "schedule_function needs allocated code");
+    let mut stats = SchedStats::default();
+    let mut blocks = Vec::with_capacity(layout.len());
+    for &id in layout {
+        let block = mfunc.block(id);
+        let ops: Vec<MOp> = block
+            .insts
+            .iter()
+            .map(|inst| match inst {
+                MInst::Op(op) => op.clone(),
+                MInst::Call { .. } => panic!("call pseudo reached the scheduler"),
+            })
+            .collect();
+        let bundles = schedule_block(&ops, mdes);
+        stats.ops += ops.len();
+        stats.bundles += bundles.len();
+        blocks.push(ScheduledBlock {
+            label: block_label(&mfunc.name, block.id.0),
+            bundles,
+        });
+    }
+    (blocks, stats)
+}
+
+/// The label naming scheme shared with emission.
+#[must_use]
+pub fn block_label(func: &str, block: u32) -> String {
+    if block == 0 {
+        format!("fn_{func}")
+    } else {
+        format!("{func}_bb{block}")
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Edge {
+    to: usize,
+    latency: u32,
+}
+
+/// A memory access already seen while building the dependence DAG:
+/// `(index, base register + its SSA-ish version, literal offset, size,
+/// store flag)`. Two same-base same-version literal-offset accesses with
+/// disjoint ranges are provably independent.
+struct MemRef {
+    index: usize,
+    base: Option<(u32, u32)>,
+    offset: Option<i64>,
+    size: u32,
+    is_store: bool,
+}
+
+/// Builds the dependence DAG and list-schedules one block.
+fn schedule_block(ops: &[MOp], mdes: &MachineDescription) -> Vec<Vec<MOp>> {
+    let n = ops.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let mut succs: Vec<Vec<Edge>> = vec![Vec::new(); n];
+    let mut pred_count = vec![0usize; n];
+    let add_edge = |succs: &mut Vec<Vec<Edge>>, pred_count: &mut Vec<usize>, from: usize, to: usize, latency: u32| {
+        if from == to {
+            return;
+        }
+        if let Some(e) = succs[from].iter_mut().find(|e| e.to == to) {
+            e.latency = e.latency.max(latency);
+            return;
+        }
+        succs[from].push(Edge { to, latency });
+        pred_count[to] += 1;
+    };
+
+    // Register dependences: last writer / readers per resource.
+    #[derive(Default)]
+    struct ResTrack {
+        last_write: HashMap<(u8, u32), usize>,
+        readers: HashMap<(u8, u32), Vec<usize>>,
+        write_count: HashMap<(u8, u32), u32>, // versions for mem disambiguation
+    }
+    let mut track = ResTrack::default();
+    const GPR: u8 = 0;
+    const PRED: u8 = 1;
+    const BTR: u8 = 2;
+
+    let mut mem: Vec<MemRef> = Vec::new();
+    let mut last_branch: Option<usize> = None;
+
+    for (i, op) in ops.iter().enumerate() {
+        // Nothing moves across a control transfer: `BRL` call sites have
+        // register restores *after* them in program order that must stay
+        // after (the callee returns to the next bundle).
+        if let Some(b) = last_branch {
+            add_edge(&mut succs, &mut pred_count, b, i, 1);
+        }
+        let latency = mdes.latency(op.opcode);
+        let mut reads: Vec<(u8, u32)> = op.gpr_uses().into_iter().map(|r| (GPR, r)).collect();
+        reads.extend(op.pred_uses().into_iter().map(|p| (PRED, p)));
+        if let Some(b) = op.btr_use() {
+            reads.push((BTR, u32::from(b)));
+        }
+        let mut writes: Vec<(u8, u32)> = Vec::new();
+        if let Some(r) = op.gpr_def() {
+            writes.push((GPR, r));
+        }
+        writes.extend(op.pred_defs().into_iter().map(|p| (PRED, p)));
+        if let Some(b) = op.btr_def() {
+            writes.push((BTR, u32::from(b)));
+        }
+        // A guarded (conditional) definition merges with the previous
+        // value: order it after prior writers *and* treat it as a reader
+        // so later writers order after it (handled by WAW/WAR below).
+        let conditional = op.is_conditional();
+
+        for r in &reads {
+            if let Some(&w) = track.last_write.get(r) {
+                let lat = mdes.latency(ops[w].opcode);
+                add_edge(&mut succs, &mut pred_count, w, i, lat);
+            }
+        }
+        for wreg in &writes {
+            if let Some(&w) = track.last_write.get(wreg) {
+                add_edge(&mut succs, &mut pred_count, w, i, 1); // WAW
+            }
+            if let Some(readers) = track.readers.get(wreg) {
+                for &r in readers {
+                    add_edge(&mut succs, &mut pred_count, r, i, 0); // WAR
+                }
+            }
+        }
+        let _ = latency; // RAW latency is taken from the producer at edge creation
+
+        // Memory dependences.
+        let is_mem = op.opcode.is_load() || op.opcode.is_store();
+        if is_mem {
+            let base = op.src1.gpr().map(|b| {
+                (b, track.write_count.get(&(GPR, b)).copied().unwrap_or(0))
+            });
+            let offset = match &op.src2 {
+                MSrc::Lit(v) => Some(*v),
+                _ => None,
+            };
+            let size = access_size(op.opcode);
+            let is_store = op.opcode.is_store();
+            for m in &mem {
+                let ordered = if is_store || m.is_store {
+                    !provably_disjoint(base, offset, size, m)
+                } else {
+                    false // load-load never conflicts
+                };
+                if ordered {
+                    add_edge(&mut succs, &mut pred_count, m.index, i, 1);
+                }
+            }
+            mem.push(MemRef {
+                index: i,
+                base,
+                offset,
+                size,
+                is_store,
+            });
+        }
+
+        // Branch ordering: every earlier op must not be after the branch;
+        // branches chain among themselves and come last.
+        if op.opcode.is_branch() || op.opcode == Opcode::Halt {
+            for j in 0..i {
+                let lat = if ops[j].opcode.is_branch() || ops[j].opcode == Opcode::Halt {
+                    1
+                } else {
+                    0
+                };
+                add_edge(&mut succs, &mut pred_count, j, i, lat);
+            }
+            last_branch = Some(i);
+        }
+
+        // Update trackers.
+        for r in reads {
+            track.readers.entry(r).or_default().push(i);
+        }
+        for w in writes {
+            if conditional {
+                // Conditional write: also a reader of the old value.
+                track.readers.entry(w).or_default().push(i);
+            }
+            track.last_write.insert(w, i);
+            *track.write_count.entry(w).or_insert(0) += 1;
+            track.readers.entry(w).or_default().clear();
+            if conditional {
+                track.readers.entry(w).or_default().push(i);
+            }
+        }
+    }
+
+    // Critical-path priorities.
+    let mut priority = vec![0u32; n];
+    for i in (0..n).rev() {
+        let mut best = 0;
+        for e in &succs[i] {
+            best = best.max(e.latency.max(1) + priority[e.to]);
+        }
+        priority[i] = best;
+    }
+
+    // List scheduling with event-based readiness. A dependence edge with
+    // latency 0 (WAR ordering) is satisfied *within* the producer's cycle,
+    // so its consumer may share the bundle — reads see pre-bundle state.
+    let issue_width = mdes.issue_width();
+    let port_budget = mdes.config().regfile_ops_per_cycle();
+    let mut unsat = pred_count;
+    let mut events: std::collections::BinaryHeap<std::cmp::Reverse<(u32, usize)>> =
+        std::collections::BinaryHeap::new();
+    let mut scheduled = vec![false; n];
+    let mut ready: Vec<usize> = (0..n).filter(|&i| unsat[i] == 0).collect();
+    let mut bundles: Vec<Vec<MOp>> = Vec::new();
+    let mut cycle: u32 = 0;
+    let mut done = 0usize;
+    // Per-ALU-instance busy-until cycles (the blocking divider).
+    let mut alu_busy: Vec<u32> = vec![0; mdes.unit_count(Unit::Alu)];
+
+    while done < n {
+        // Release dependences satisfied by this cycle.
+        while let Some(&std::cmp::Reverse((t, j))) = events.peek() {
+            if t > cycle {
+                break;
+            }
+            events.pop();
+            unsat[j] -= 1;
+            if unsat[j] == 0 {
+                ready.push(j);
+            }
+        }
+
+        let mut bundle: Vec<usize> = Vec::new();
+        let mut unit_used: HashMap<Unit, usize> = HashMap::new();
+        let mut port_ops = 0usize;
+        let mut branch_in_bundle = false;
+        // ALU instances free at the start of this cycle; occupancy marked
+        // during packing only affects later cycles.
+        let alu_free = alu_busy.iter().filter(|&&b| b <= cycle).count();
+
+        // Keep packing until nothing more fits; accepting a node can make
+        // its zero-latency successors ready within the same cycle.
+        loop {
+            let mut candidates: Vec<usize> = ready
+                .iter()
+                .copied()
+                .filter(|&i| !scheduled[i] && !bundle.contains(&i))
+                .collect();
+            candidates.sort_by_key(|&i| (std::cmp::Reverse(priority[i]), i));
+
+            let mut accepted = None;
+            for &i in &candidates {
+                if bundle.len() >= issue_width {
+                    break;
+                }
+                let op = &ops[i];
+                let is_ctl = op.opcode.is_branch() || op.opcode == Opcode::Halt;
+                if is_ctl && branch_in_bundle {
+                    continue;
+                }
+                if let Some(unit) = op.opcode.unit() {
+                    let used = unit_used.get(&unit).copied().unwrap_or(0);
+                    let available = match unit {
+                        Unit::Alu => alu_free,
+                        other => mdes.unit_count(other),
+                    };
+                    if used >= available {
+                        continue;
+                    }
+                }
+                let cost = op.gpr_uses().len() + usize::from(op.gpr_def().is_some());
+                if port_ops + cost > port_budget {
+                    continue;
+                }
+                accepted = Some(i);
+                port_ops += cost;
+                if let Some(unit) = op.opcode.unit() {
+                    *unit_used.entry(unit).or_insert(0) += 1;
+                }
+                if is_ctl {
+                    branch_in_bundle = true;
+                }
+                break;
+            }
+
+            let Some(i) = accepted else { break };
+            bundle.push(i);
+            scheduled[i] = true;
+            done += 1;
+            let occupancy = mdes.occupancy(ops[i].opcode);
+            if ops[i].opcode.unit() == Some(Unit::Alu) && occupancy > 1 {
+                if let Some(slot) = alu_busy.iter_mut().find(|b| **b <= cycle) {
+                    *slot = cycle + occupancy;
+                }
+            }
+            for e in &succs[i] {
+                if e.latency == 0 {
+                    unsat[e.to] -= 1;
+                    if unsat[e.to] == 0 {
+                        ready.push(e.to);
+                    }
+                } else {
+                    events.push(std::cmp::Reverse((cycle + e.latency, e.to)));
+                }
+            }
+        }
+
+        if !bundle.is_empty() {
+            ready.retain(|&i| !scheduled[i]);
+            bundles.push(bundle.iter().map(|&i| ops[i].clone()).collect());
+        }
+        cycle += 1;
+    }
+    bundles
+}
+
+fn access_size(opcode: Opcode) -> u32 {
+    match opcode {
+        Opcode::Lw | Opcode::LwS | Opcode::Sw => 4,
+        Opcode::Lh | Opcode::Lhu | Opcode::Sh => 2,
+        _ => 1,
+    }
+}
+
+fn provably_disjoint(
+    base: Option<(u32, u32)>,
+    offset: Option<i64>,
+    size: u32,
+    other: &MemRef,
+) -> bool {
+    let (Some(b1), Some(o1), Some(b2), Some(o2)) = (base, offset, other.base, other.offset)
+    else {
+        return false;
+    };
+    if b1 != b2 {
+        return false; // different bases may alias
+    }
+    let (a1, a2) = (o1, o1 + i64::from(size));
+    let (b_1, b_2) = (o2, o2 + i64::from(other.size));
+    a2 <= b_1 || b_2 <= a1
+}
+
+/// Converts a scheduled [`MOp`] with physical operands into a real
+/// [`Instruction`] — used by tests and by the direct-to-binary path in
+/// `epic-core`. Label operands must already be resolved.
+///
+/// # Panics
+///
+/// Panics on unresolved labels or virtual operands.
+#[must_use]
+pub fn to_instruction(op: &MOp) -> Instruction {
+    use epic_isa::{Btr, Dest, Gpr, Operand, PredReg};
+    let dest1 = match op.dest1 {
+        crate::mir::MDest::None => {
+            if let Some(v) = op.store_value {
+                Dest::Gpr(Gpr(v as u16))
+            } else {
+                Dest::None
+            }
+        }
+        crate::mir::MDest::Gpr(r) => Dest::Gpr(Gpr(r as u16)),
+        crate::mir::MDest::Pred(p) => Dest::Pred(PredReg(p as u16)),
+        crate::mir::MDest::Btr(b) => Dest::Btr(Btr(b)),
+    };
+    let dest2 = match op.dest2 {
+        crate::mir::MDest::None => {
+            if matches!(op.opcode, Opcode::Cmp(_)) {
+                Dest::Pred(PredReg(0))
+            } else {
+                Dest::None
+            }
+        }
+        crate::mir::MDest::Gpr(r) => Dest::Gpr(Gpr(r as u16)),
+        crate::mir::MDest::Pred(p) => Dest::Pred(PredReg(p as u16)),
+        crate::mir::MDest::Btr(b) => Dest::Btr(Btr(b)),
+    };
+    let conv_src = |src: &MSrc| match src {
+        MSrc::None => Operand::None,
+        MSrc::Gpr(r) => Operand::Gpr(Gpr(*r as u16)),
+        MSrc::Lit(v) => Operand::Lit(*v),
+        MSrc::Pred(p) => Operand::Pred(PredReg(*p as u16)),
+        MSrc::Btr(b) => Operand::Btr(Btr(*b)),
+        MSrc::Label(l) => panic!("unresolved label @{l}"),
+    };
+    Instruction {
+        opcode: op.opcode,
+        dest1,
+        dest2,
+        src1: conv_src(&op.src1),
+        src2: conv_src(&op.src2),
+        pred: PredReg(op.guard as u16),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mir::{MDest, MSrc};
+    use epic_config::Config;
+
+    fn add(d: u32, a: u32, b: u32) -> MOp {
+        let mut op = MOp::bare(Opcode::Add);
+        op.dest1 = MDest::Gpr(d);
+        op.src1 = MSrc::Gpr(a);
+        op.src2 = MSrc::Gpr(b);
+        op
+    }
+
+    fn mdes(alus: usize) -> MachineDescription {
+        MachineDescription::new(&Config::builder().num_alus(alus).build().unwrap())
+    }
+
+    #[test]
+    fn independent_ops_pack_into_one_bundle() {
+        let ops = vec![add(10, 11, 12), add(13, 14, 15)];
+        let bundles = schedule_block(&ops, &mdes(4));
+        assert_eq!(bundles.len(), 1);
+        assert_eq!(bundles[0].len(), 2);
+    }
+
+    #[test]
+    fn raw_dependence_serialises() {
+        let ops = vec![add(10, 11, 12), add(13, 10, 10)];
+        let bundles = schedule_block(&ops, &mdes(4));
+        assert_eq!(bundles.len(), 2);
+    }
+
+    #[test]
+    fn single_alu_serialises_independent_ops() {
+        let ops = vec![add(10, 11, 12), add(13, 14, 15), add(16, 17, 18)];
+        let bundles = schedule_block(&ops, &mdes(1));
+        assert_eq!(bundles.len(), 3);
+    }
+
+    #[test]
+    fn port_budget_limits_bundle_width() {
+        // Four adds with register-register operands cost 3 ports each;
+        // the default budget of 8 admits only two per cycle.
+        let ops = vec![
+            add(10, 11, 12),
+            add(13, 14, 15),
+            add(16, 17, 18),
+            add(19, 20, 21),
+        ];
+        let bundles = schedule_block(&ops, &mdes(4));
+        assert_eq!(bundles.len(), 2);
+        assert!(bundles.iter().all(|b| b.len() == 2));
+    }
+
+    #[test]
+    fn divider_blocks_one_alu_instance() {
+        let config = Config::builder().num_alus(2).div_latency(4).build().unwrap();
+        let m = MachineDescription::new(&config);
+        let mut div = MOp::bare(Opcode::Div);
+        div.dest1 = MDest::Gpr(10);
+        div.src1 = MSrc::Gpr(11);
+        div.src2 = MSrc::Gpr(12);
+        // div occupies one ALU for 4 cycles; the adds must share the
+        // other instance, one per cycle.
+        let ops = vec![div, add(13, 14, 15), add(16, 17, 18), add(19, 20, 21)];
+        let bundles = schedule_block(&ops, &m);
+        // cycle0: div+add, cycle1: add, cycle2: add
+        assert_eq!(bundles.len(), 3);
+        assert_eq!(bundles[0].len(), 2);
+    }
+
+    #[test]
+    fn load_latency_gaps_consumer() {
+        let config = Config::builder().load_latency(3).build().unwrap();
+        let m = MachineDescription::new(&config);
+        let mut lw = MOp::bare(Opcode::Lw);
+        lw.dest1 = MDest::Gpr(10);
+        lw.src1 = MSrc::Gpr(11);
+        lw.src2 = MSrc::Lit(0);
+        let use_it = add(12, 10, 10);
+        let bundles = schedule_block(&[lw, use_it], &m);
+        // load at cycle 0, consumer at cycle 3; empty cycles produce no
+        // bundles, so exactly two bundles — but separated in the cycle
+        // numbering (checked indirectly by count).
+        assert_eq!(bundles.len(), 2);
+    }
+
+    #[test]
+    fn stores_to_distinct_offsets_reorder_loads_do_not_alias() {
+        let mut s1 = MOp::bare(Opcode::Sw);
+        s1.store_value = Some(10);
+        s1.src1 = MSrc::Gpr(20);
+        s1.src2 = MSrc::Lit(0);
+        let mut s2 = MOp::bare(Opcode::Sw);
+        s2.store_value = Some(11);
+        s2.src1 = MSrc::Gpr(20);
+        s2.src2 = MSrc::Lit(4);
+        // Disjoint same-base stores can share a cycle? No — one LSU. But
+        // they need no ordering edge, so they still take one cycle each in
+        // either order; with an aliasing pair it would ALSO be 2 cycles.
+        // Distinguish via a load instead:
+        let mut l = MOp::bare(Opcode::Lw);
+        l.dest1 = MDest::Gpr(12);
+        l.src1 = MSrc::Gpr(20);
+        l.src2 = MSrc::Lit(8);
+        // store @0, load @8: independent; the load may go first.
+        let bundles = schedule_block(&[s1.clone(), l.clone()], &mdes(4));
+        assert_eq!(bundles.len(), 2, "one LSU serialises, but no dependence");
+        // store @0, load @0: dependent; order preserved.
+        let mut l0 = l.clone();
+        l0.src2 = MSrc::Lit(0);
+        let bundles = schedule_block(&[s1.clone(), l0], &mdes(4));
+        assert_eq!(bundles.len(), 2);
+        let first = &bundles[0][0];
+        assert!(first.opcode.is_store(), "aliasing load must stay after store");
+        let _ = s2;
+    }
+
+    #[test]
+    fn branch_goes_last() {
+        let mut br = MOp::bare(Opcode::Br);
+        br.src1 = MSrc::Btr(1);
+        let ops = vec![add(10, 11, 12), add(13, 14, 15), br];
+        let bundles = schedule_block(&ops, &mdes(4));
+        let last_bundle = bundles.last().unwrap();
+        assert!(last_bundle.iter().any(|o| o.opcode.is_branch()));
+        // Nothing may be scheduled after the branch's bundle.
+        assert!(bundles
+            .iter()
+            .take(bundles.len() - 1)
+            .all(|b| b.iter().all(|o| !o.opcode.is_branch())));
+    }
+
+    #[test]
+    fn nothing_floats_above_a_call_boundary() {
+        // A BRL followed by restores (the call-expansion shape): the
+        // restores must stay after the call in later cycles.
+        let mut pbr = MOp::bare(Opcode::Pbr);
+        pbr.dest1 = crate::mir::MDest::Btr(0);
+        pbr.src1 = MSrc::Lit(5);
+        let mut brl = MOp::bare(Opcode::Brl);
+        brl.dest1 = crate::mir::MDest::Gpr(61);
+        brl.src1 = MSrc::Btr(0);
+        let mut restore = MOp::bare(Opcode::Lw);
+        restore.dest1 = crate::mir::MDest::Gpr(20);
+        restore.src1 = MSrc::Gpr(62);
+        restore.src2 = MSrc::Lit(0);
+        let bundles = schedule_block(&[pbr, brl, restore.clone()], &mdes(4));
+        // Find the bundle containing the BRL and the one containing the LW.
+        let brl_at = bundles
+            .iter()
+            .position(|b| b.iter().any(|o| o.opcode == Opcode::Brl))
+            .unwrap();
+        let lw_at = bundles
+            .iter()
+            .position(|b| b.iter().any(|o| o.opcode == Opcode::Lw))
+            .unwrap();
+        assert!(lw_at > brl_at, "restore must follow the call");
+    }
+
+    #[test]
+    fn war_allows_same_cycle() {
+        // w reads r10; x writes r10 — they may share a bundle (reads see
+        // pre-bundle state).
+        let reader = add(20, 10, 11);
+        let writer = add(10, 12, 13);
+        let bundles = schedule_block(&[reader, writer], &mdes(4));
+        assert_eq!(bundles.len(), 1);
+        assert_eq!(bundles[0].len(), 2);
+    }
+
+    #[test]
+    fn waw_requires_separate_cycles() {
+        let first = add(10, 11, 12);
+        let second = add(10, 13, 14);
+        let bundles = schedule_block(&[first, second], &mdes(4));
+        assert_eq!(bundles.len(), 2);
+        // Program order of the writes is preserved.
+        assert!(matches!(bundles[0][0].src1, MSrc::Gpr(11)));
+    }
+}

@@ -1,0 +1,695 @@
+//! Instruction selection: IR → machine IR.
+//!
+//! Selection maps each IR operation onto the HPL-PD-subset ISA, keeping
+//! operands virtual. The interesting decisions:
+//!
+//! * **Comparison fusion** — an IR comparison whose only consumer is its
+//!   block's branch becomes a compare-to-predicate feeding a
+//!   branch-on-condition, with no GPR truth value ever materialised;
+//! * **Custom-instruction matching** — a rotate (and other recognised
+//!   operators) becomes a configured custom ALU operation when one is
+//!   registered, otherwise it expands into base-ISA shifts;
+//! * **Feature-aware expansion** — `MIN`/`MAX` lower to predicated moves
+//!   when the MinMax ALU feature is excluded from the configuration.
+
+use crate::error::CompileError;
+use crate::mir::{MBlock, MBlockId, MDest, MFunction, MInst, MOp, MSrc, MTerm};
+use epic_config::{Config, CustomSemantics};
+use epic_isa::{CmpCond, Opcode};
+use epic_ir::{BinOp, Function, IrOp, LoadKind, StoreKind, Terminator, UnOp, VReg};
+use std::collections::HashMap;
+
+/// Lowers one IR function to machine IR for the given configuration.
+///
+/// # Errors
+///
+/// Returns [`CompileError::MissingFeature`] when an operation has no
+/// implementation under the configured ALU feature set (multiply or
+/// divide excluded but required), and
+/// [`CompileError::TooManyArguments`] for functions exceeding the
+/// register-argument limit.
+pub fn select(func: &Function, config: &Config) -> Result<MFunction, CompileError> {
+    let mut ctx = SelectCtx::new(func, config);
+    ctx.run()?;
+    Ok(ctx.finish())
+}
+
+struct SelectCtx<'a> {
+    func: &'a Function,
+    config: &'a Config,
+    out: MFunction,
+    /// Global use counts of IR vregs (for comparison fusion).
+    use_counts: HashMap<VReg, usize>,
+    /// Per-block: comparison op index fused into the terminator.
+    fused: HashMap<(u32, usize), ()>,
+    /// Per-block: the true-predicate the fused comparison produced.
+    fused_branch_pred: HashMap<u32, u32>,
+    /// Address adds folded into `base + offset` register addressing
+    /// (HPL-PD loads take both operands from registers).
+    addr_folds: HashMap<(u32, usize), epic_ir::analysis::AddrFold>,
+}
+
+impl<'a> SelectCtx<'a> {
+    fn new(func: &'a Function, config: &'a Config) -> Self {
+        let mut use_counts: HashMap<VReg, usize> = HashMap::new();
+        for block in &func.blocks {
+            for op in &block.ops {
+                for u in op.uses() {
+                    *use_counts.entry(u).or_insert(0) += 1;
+                }
+            }
+            if let Some(u) = block.term.use_reg() {
+                *use_counts.entry(u).or_insert(0) += 1;
+            }
+        }
+        let out = MFunction {
+            name: func.name.clone(),
+            params: func.params.iter().map(|p| p.0).collect(),
+            blocks: Vec::new(),
+            vreg_count: func.vreg_count,
+            vpred_count: 1,
+            allocated: false,
+            frame_bytes: 0,
+            makes_calls: false,
+        };
+        SelectCtx {
+            addr_folds: epic_ir::analysis::addr_folds(func),
+            func,
+            config,
+            out,
+            use_counts,
+            fused: HashMap::new(),
+            fused_branch_pred: HashMap::new(),
+        }
+    }
+
+    fn run(&mut self) -> Result<(), CompileError> {
+        self.find_fusable();
+        for block in &self.func.blocks {
+            let mut insts = Vec::new();
+            for (oi, op) in block.ops.iter().enumerate() {
+                self.lower_op(block.id.0, oi, op, &mut insts)?;
+            }
+            let term = self.lower_term(block.id.0, &block.term, &mut insts);
+            self.out.blocks.push(MBlock {
+                id: MBlockId(block.id.0),
+                insts,
+                term,
+            });
+        }
+        Ok(())
+    }
+
+    fn finish(self) -> MFunction {
+        self.out
+    }
+
+    /// Finds comparisons that can fuse into their block's branch: the
+    /// comparison is the last definition of the branch condition in the
+    /// same block, and the condition has no other use.
+    fn find_fusable(&mut self) {
+        for block in &self.func.blocks {
+            let Terminator::Branch { cond, .. } = &block.term else {
+                continue;
+            };
+            if self.use_counts.get(cond).copied().unwrap_or(0) != 1 {
+                continue;
+            }
+            // Last def of `cond` in this block must be a comparison.
+            let mut candidate = None;
+            for (oi, op) in block.ops.iter().enumerate() {
+                if op.def() == Some(*cond) {
+                    candidate = match op {
+                        IrOp::Bin { op: bop, .. } if bop.is_comparison() => Some(oi),
+                        _ => None,
+                    };
+                }
+            }
+            if let Some(oi) = candidate {
+                self.fused.insert((block.id.0, oi), ());
+            }
+        }
+    }
+
+    fn new_vreg(&mut self) -> u32 {
+        self.out.new_vreg()
+    }
+
+    fn new_vpred(&mut self) -> u32 {
+        self.out.new_vpred()
+    }
+
+    fn short_lit_ok(&self, v: i64) -> bool {
+        let (min, max) = self.config.instruction_format().short_literal_range();
+        v >= min && v <= max
+    }
+
+    fn emit_const(&mut self, dest: u32, value: i64, insts: &mut Vec<MInst>) {
+        let value32 = i64::from(value as i32);
+        let mut op = if self.short_lit_ok(value32) {
+            let mut m = MOp::bare(Opcode::Move);
+            m.src1 = MSrc::Lit(value32);
+            m
+        } else {
+            let mut m = MOp::bare(Opcode::Movil);
+            m.src1 = MSrc::Lit(value32);
+            m
+        };
+        op.dest1 = MDest::Gpr(dest);
+        insts.push(MInst::Op(op));
+    }
+
+    fn custom_for(&self, semantics: CustomSemantics) -> Option<Opcode> {
+        self.config
+            .custom_ops()
+            .iter()
+            .position(|op| op.semantics() == semantics)
+            .map(|i| Opcode::Custom(i as u16))
+    }
+
+    fn lower_op(
+        &mut self,
+        block: u32,
+        oi: usize,
+        op: &IrOp,
+        insts: &mut Vec<MInst>,
+    ) -> Result<(), CompileError> {
+        use epic_ir::analysis::AddrFold;
+        match self.addr_folds.get(&(block, oi)) {
+            Some(AddrFold::SkipAdd) => return Ok(()),
+            Some(AddrFold::Mem { lhs, rhs }) => {
+                let (lhs, rhs) = (lhs.0, rhs.0);
+                match op {
+                    IrOp::Load { kind, dest, .. } => {
+                        let opcode = match kind {
+                            LoadKind::Word => Opcode::Lw,
+                            LoadKind::Half => Opcode::Lh,
+                            LoadKind::HalfU => Opcode::Lhu,
+                            LoadKind::Byte => Opcode::Lb,
+                            LoadKind::ByteU => Opcode::Lbu,
+                        };
+                        let mut m = MOp::bare(opcode);
+                        m.dest1 = MDest::Gpr(dest.0);
+                        m.src1 = MSrc::Gpr(lhs);
+                        m.src2 = MSrc::Gpr(rhs);
+                        insts.push(MInst::Op(m));
+                    }
+                    IrOp::Store { kind, value, .. } => {
+                        let opcode = match kind {
+                            StoreKind::Word => Opcode::Sw,
+                            StoreKind::Half => Opcode::Sh,
+                            StoreKind::Byte => Opcode::Sb,
+                        };
+                        let mut m = MOp::bare(opcode);
+                        m.store_value = Some(value.0);
+                        m.src1 = MSrc::Gpr(lhs);
+                        m.src2 = MSrc::Gpr(rhs);
+                        insts.push(MInst::Op(m));
+                    }
+                    _ => unreachable!("folds only target memory accesses"),
+                }
+                return Ok(());
+            }
+            None => {}
+        }
+        match op {
+            IrOp::Const { dest, value } => self.emit_const(dest.0, *value, insts),
+            IrOp::Copy { dest, src } => {
+                let mut m = MOp::bare(Opcode::Move);
+                m.dest1 = MDest::Gpr(dest.0);
+                m.src1 = MSrc::Gpr(src.0);
+                insts.push(MInst::Op(m));
+            }
+            IrOp::Un { op: uop, dest, src } => {
+                let mut m = match uop {
+                    UnOp::Neg => {
+                        let mut m = MOp::bare(Opcode::Sub);
+                        m.src1 = MSrc::Lit(0);
+                        m.src2 = MSrc::Gpr(src.0);
+                        m
+                    }
+                    UnOp::Not => {
+                        let mut m = MOp::bare(Opcode::Xor);
+                        m.src1 = MSrc::Gpr(src.0);
+                        m.src2 = MSrc::Lit(-1);
+                        m
+                    }
+                };
+                m.dest1 = MDest::Gpr(dest.0);
+                insts.push(MInst::Op(m));
+            }
+            IrOp::Bin {
+                op: bop,
+                dest,
+                lhs,
+                rhs,
+            } => self.lower_bin(block, oi, *bop, dest.0, lhs.0, rhs.0, insts)?,
+            IrOp::Load {
+                kind,
+                dest,
+                base,
+                offset,
+            } => {
+                let opcode = match kind {
+                    LoadKind::Word => Opcode::Lw,
+                    LoadKind::Half => Opcode::Lh,
+                    LoadKind::HalfU => Opcode::Lhu,
+                    LoadKind::Byte => Opcode::Lb,
+                    LoadKind::ByteU => Opcode::Lbu,
+                };
+                let mut m = MOp::bare(opcode);
+                m.dest1 = MDest::Gpr(dest.0);
+                m.src1 = MSrc::Gpr(base.0);
+                m.src2 = MSrc::Lit(i64::from(*offset));
+                insts.push(MInst::Op(m));
+            }
+            IrOp::Store {
+                kind,
+                value,
+                base,
+                offset,
+            } => {
+                let opcode = match kind {
+                    StoreKind::Word => Opcode::Sw,
+                    StoreKind::Half => Opcode::Sh,
+                    StoreKind::Byte => Opcode::Sb,
+                };
+                let mut m = MOp::bare(opcode);
+                m.store_value = Some(value.0);
+                m.src1 = MSrc::Gpr(base.0);
+                m.src2 = MSrc::Lit(i64::from(*offset));
+                insts.push(MInst::Op(m));
+            }
+            IrOp::Call { callee, args, dest } => {
+                self.out.makes_calls = true;
+                insts.push(MInst::Call {
+                    callee: callee.clone(),
+                    args: args.iter().map(|a| a.0).collect(),
+                    dest: dest.map(|d| d.0),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn lower_bin(
+        &mut self,
+        block: u32,
+        oi: usize,
+        bop: BinOp,
+        dest: u32,
+        lhs: u32,
+        rhs: u32,
+        insts: &mut Vec<MInst>,
+    ) -> Result<(), CompileError> {
+        use epic_config::AluFeature;
+
+        let feature_ok = |f: AluFeature| self.config.alu_features().contains(f);
+        let simple = |opcode: Opcode| {
+            let mut m = MOp::bare(opcode);
+            m.dest1 = MDest::Gpr(dest);
+            m.src1 = MSrc::Gpr(lhs);
+            m.src2 = MSrc::Gpr(rhs);
+            MInst::Op(m)
+        };
+
+        if let Some(cond) = comparison_cond(bop) {
+            let fused = self.fused.contains_key(&(block, oi));
+            let t = self.new_vpred();
+            let f = self.new_vpred();
+            let mut cmp = MOp::bare(Opcode::Cmp(cond));
+            cmp.dest1 = MDest::Pred(t);
+            cmp.dest2 = MDest::Pred(f);
+            cmp.src1 = MSrc::Gpr(lhs);
+            cmp.src2 = MSrc::Gpr(rhs);
+            insts.push(MInst::Op(cmp));
+            if fused {
+                self.fused_branch_pred.insert(block, t);
+            }
+            if !fused {
+                // Materialise the 0/1 truth value.
+                let mut mov = MOp::bare(Opcode::MovPg);
+                mov.dest1 = MDest::Gpr(dest);
+                mov.src1 = MSrc::Pred(t);
+                insts.push(MInst::Op(mov));
+            }
+            return Ok(());
+        }
+
+        match bop {
+            BinOp::Add => insts.push(simple(Opcode::Add)),
+            BinOp::Sub => insts.push(simple(Opcode::Sub)),
+            BinOp::And => insts.push(simple(Opcode::And)),
+            BinOp::Or => insts.push(simple(Opcode::Or)),
+            BinOp::Xor => insts.push(simple(Opcode::Xor)),
+            BinOp::Mul => {
+                if !feature_ok(AluFeature::Multiply) {
+                    return Err(CompileError::MissingFeature {
+                        operation: format!("{}: multiplication", self.func.name),
+                        feature: "MUL".to_owned(),
+                    });
+                }
+                insts.push(simple(Opcode::Mull));
+            }
+            BinOp::Div | BinOp::Rem => {
+                if !feature_ok(AluFeature::Divide) {
+                    return Err(CompileError::MissingFeature {
+                        operation: format!("{}: division", self.func.name),
+                        feature: "DIV".to_owned(),
+                    });
+                }
+                insts.push(simple(if bop == BinOp::Div {
+                    Opcode::Div
+                } else {
+                    Opcode::Rem
+                }));
+            }
+            BinOp::Shl | BinOp::Shr | BinOp::Sra => {
+                if !feature_ok(AluFeature::Shifts) {
+                    return Err(CompileError::MissingFeature {
+                        operation: format!("{}: shift", self.func.name),
+                        feature: "SHIFT".to_owned(),
+                    });
+                }
+                let opcode = match bop {
+                    BinOp::Shl => Opcode::Shl,
+                    BinOp::Shr => Opcode::Shr,
+                    _ => Opcode::Shra,
+                };
+                insts.push(simple(opcode));
+            }
+            BinOp::Rotr => {
+                if let Some(opcode) = self.custom_for(CustomSemantics::RotateRight) {
+                    insts.push(simple(opcode));
+                } else {
+                    if !feature_ok(AluFeature::Shifts) {
+                        return Err(CompileError::MissingFeature {
+                            operation: format!("{}: rotate", self.func.name),
+                            feature: "SHIFT".to_owned(),
+                        });
+                    }
+                    // (x >> n) | (x << (32 - n)); shifts are modulo 32, so
+                    // n == 0 degenerates to x | x == x.
+                    let t_right = self.new_vreg();
+                    let t_amount = self.new_vreg();
+                    let t_left = self.new_vreg();
+                    let mut shr = MOp::bare(Opcode::Shr);
+                    shr.dest1 = MDest::Gpr(t_right);
+                    shr.src1 = MSrc::Gpr(lhs);
+                    shr.src2 = MSrc::Gpr(rhs);
+                    insts.push(MInst::Op(shr));
+                    let mut sub = MOp::bare(Opcode::Sub);
+                    sub.dest1 = MDest::Gpr(t_amount);
+                    sub.src1 = MSrc::Lit(i64::from(self.config.datapath_width()));
+                    sub.src2 = MSrc::Gpr(rhs);
+                    insts.push(MInst::Op(sub));
+                    let mut shl = MOp::bare(Opcode::Shl);
+                    shl.dest1 = MDest::Gpr(t_left);
+                    shl.src1 = MSrc::Gpr(lhs);
+                    shl.src2 = MSrc::Gpr(t_amount);
+                    insts.push(MInst::Op(shl));
+                    let mut or = MOp::bare(Opcode::Or);
+                    or.dest1 = MDest::Gpr(dest);
+                    or.src1 = MSrc::Gpr(t_right);
+                    or.src2 = MSrc::Gpr(t_left);
+                    insts.push(MInst::Op(or));
+                }
+            }
+            BinOp::Min | BinOp::Max => {
+                if feature_ok(AluFeature::MinMax) {
+                    insts.push(simple(if bop == BinOp::Min {
+                        Opcode::Min
+                    } else {
+                        Opcode::Max
+                    }));
+                } else {
+                    // CMP_LT t,f; MOVE d, a (t); MOVE d, b (f) — predicated
+                    // selection, the EPIC way.
+                    let t = self.new_vpred();
+                    let f = self.new_vpred();
+                    let cond = if bop == BinOp::Min {
+                        CmpCond::Lt
+                    } else {
+                        CmpCond::Gt
+                    };
+                    let mut cmp = MOp::bare(Opcode::Cmp(cond));
+                    cmp.dest1 = MDest::Pred(t);
+                    cmp.dest2 = MDest::Pred(f);
+                    cmp.src1 = MSrc::Gpr(lhs);
+                    cmp.src2 = MSrc::Gpr(rhs);
+                    insts.push(MInst::Op(cmp));
+                    let mut take_l = MOp::bare(Opcode::Move);
+                    take_l.dest1 = MDest::Gpr(dest);
+                    take_l.src1 = MSrc::Gpr(lhs);
+                    take_l.guard = t;
+                    insts.push(MInst::Op(take_l));
+                    let mut take_r = MOp::bare(Opcode::Move);
+                    take_r.dest1 = MDest::Gpr(dest);
+                    take_r.src1 = MSrc::Gpr(rhs);
+                    take_r.guard = f;
+                    insts.push(MInst::Op(take_r));
+                }
+            }
+            _ => {
+                return Err(CompileError::Internal {
+                    message: format!("unhandled binary operator {bop}"),
+                })
+            }
+        }
+        Ok(())
+    }
+
+    fn lower_term(&mut self, block: u32, term: &Terminator, insts: &mut Vec<MInst>) -> MTerm {
+        match term {
+            Terminator::Jump(b) => MTerm::Jump(MBlockId(b.0)),
+            Terminator::Branch {
+                cond,
+                then_block,
+                else_block,
+            } => {
+                let pred = if let Some(t) = self.fused_branch_pred.get(&block) {
+                    *t
+                } else {
+                    // Branch on an arbitrary value: test != 0.
+                    let t = self.new_vpred();
+                    let f = self.new_vpred();
+                    let mut cmp = MOp::bare(Opcode::Cmp(CmpCond::Ne));
+                    cmp.dest1 = MDest::Pred(t);
+                    cmp.dest2 = MDest::Pred(f);
+                    cmp.src1 = MSrc::Gpr(cond.0);
+                    cmp.src2 = MSrc::Lit(0);
+                    insts.push(MInst::Op(cmp));
+                    t
+                };
+                MTerm::CondJump {
+                    pred,
+                    on_true: MBlockId(then_block.0),
+                    on_false: MBlockId(else_block.0),
+                }
+            }
+            Terminator::Ret(v) => MTerm::Ret(v.map(|r| r.0)),
+        }
+    }
+}
+
+fn comparison_cond(bop: BinOp) -> Option<CmpCond> {
+    Some(match bop {
+        BinOp::CmpEq => CmpCond::Eq,
+        BinOp::CmpNe => CmpCond::Ne,
+        BinOp::CmpLt => CmpCond::Lt,
+        BinOp::CmpLe => CmpCond::Le,
+        BinOp::CmpGt => CmpCond::Gt,
+        BinOp::CmpGe => CmpCond::Ge,
+        BinOp::CmpLtu => CmpCond::Ltu,
+        BinOp::CmpLeu => CmpCond::Leu,
+        BinOp::CmpGtu => CmpCond::Gtu,
+        BinOp::CmpGeu => CmpCond::Geu,
+        _ => return None,
+    })
+}
+
+/// Replaces register sources holding short literals with immediate fields
+/// where the ISA allows it; a separate micro-pass so selection stays
+/// readable. Runs before register allocation to reduce register pressure.
+pub fn fold_literal_operands(mfunc: &mut MFunction, config: &Config) {
+    let (min, max) = config.instruction_format().short_literal_range();
+    for block in &mut mfunc.blocks {
+        // Map vreg -> literal while walking (block-local, version-safe
+        // because MOVE #lit defs are the only entries and any redefinition
+        // removes the entry).
+        let mut lit: HashMap<u32, i64> = HashMap::new();
+        for inst in &mut block.insts {
+            if let MInst::Op(op) = inst {
+                // Rewrite literal-eligible register sources. src1 stays a
+                // register for stores/loads (the base); src2 is the usual
+                // immediate slot, but commutative-ish ALU source 1
+                // rewriting is also legal for the ISA (SRC1 may be a
+                // literal), except for MOVIL.
+                if op.opcode != Opcode::Movil {
+                    for src in [&mut op.src1, &mut op.src2] {
+                        if let MSrc::Gpr(r) = src {
+                            if let Some(v) = lit.get(r) {
+                                if *v >= min && *v <= max {
+                                    *src = MSrc::Lit(*v);
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+            // Update the literal map.
+            let def = inst.gpr_def();
+            if let Some(d) = def {
+                lit.remove(&d);
+                if let MInst::Op(op) = inst {
+                    if op.opcode == Opcode::Move && op.guard == 0 {
+                        if let MSrc::Lit(v) = op.src1 {
+                            lit.insert(d, v);
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use epic_ir::ast::{Expr, FunctionDef, Program, Stmt};
+    use epic_ir::lower;
+
+    fn select_one(f: FunctionDef, config: &Config) -> MFunction {
+        let m = lower::lower(&Program::new().function(f)).unwrap();
+        select(&m.functions[0], config).unwrap()
+    }
+
+    #[test]
+    fn comparison_fuses_into_branch() {
+        let f = FunctionDef::new("f", ["x"]).body([
+            Stmt::if_(Expr::var("x").lt_s(Expr::lit(0)), [Stmt::ret(Expr::lit(1))]),
+            Stmt::ret(Expr::lit(0)),
+        ]);
+        let mf = select_one(f, &Config::default());
+        // The entry block ends in CondJump and contains a CMP but no MOVPG.
+        let entry = &mf.blocks[0];
+        assert!(matches!(entry.term, MTerm::CondJump { .. }));
+        let has_movpg = entry
+            .insts
+            .iter()
+            .filter_map(MInst::as_op)
+            .any(|op| op.opcode == Opcode::MovPg);
+        assert!(!has_movpg, "fused comparison must not materialise a value");
+    }
+
+    #[test]
+    fn comparison_as_value_materialises() {
+        let f = FunctionDef::new("f", ["x", "y"])
+            .body([Stmt::ret(Expr::var("x").lt_u(Expr::var("y")))]);
+        let mf = select_one(f, &Config::default());
+        let has_movpg = mf.blocks[0]
+            .insts
+            .iter()
+            .filter_map(MInst::as_op)
+            .any(|op| op.opcode == Opcode::MovPg);
+        assert!(has_movpg);
+    }
+
+    #[test]
+    fn rotate_uses_custom_op_when_registered() {
+        let config = Config::builder()
+            .custom_op(epic_config::CustomOp::new(
+                "rotr",
+                CustomSemantics::RotateRight,
+            ))
+            .build()
+            .unwrap();
+        let f = FunctionDef::new("f", ["x"])
+            .body([Stmt::ret(Expr::var("x").rotr(Expr::lit(7)))]);
+        let mf = select_one(f, &config);
+        let custom = mf.blocks[0]
+            .insts
+            .iter()
+            .filter_map(MInst::as_op)
+            .any(|op| matches!(op.opcode, Opcode::Custom(0)));
+        assert!(custom);
+    }
+
+    #[test]
+    fn rotate_expands_without_custom_op() {
+        let f = FunctionDef::new("f", ["x"])
+            .body([Stmt::ret(Expr::var("x").rotr(Expr::lit(7)))]);
+        let mf = select_one(f, &Config::default());
+        let opcodes: Vec<Opcode> = mf.blocks[0]
+            .insts
+            .iter()
+            .filter_map(MInst::as_op)
+            .map(|op| op.opcode)
+            .collect();
+        assert!(opcodes.contains(&Opcode::Shr));
+        assert!(opcodes.contains(&Opcode::Shl));
+        assert!(opcodes.contains(&Opcode::Or));
+    }
+
+    #[test]
+    fn min_expands_to_predicated_moves_without_feature() {
+        let config = Config::builder()
+            .without_alu_feature(epic_config::AluFeature::MinMax)
+            .build()
+            .unwrap();
+        let f = FunctionDef::new("f", ["a", "b"])
+            .body([Stmt::ret(Expr::var("a").min(Expr::var("b")))]);
+        let mf = select_one(f, &config);
+        let guarded = mf.blocks[0]
+            .insts
+            .iter()
+            .filter_map(MInst::as_op)
+            .filter(|op| op.guard != 0)
+            .count();
+        assert_eq!(guarded, 2, "two predicated moves expected");
+    }
+
+    #[test]
+    fn division_without_divider_is_rejected() {
+        let config = Config::builder()
+            .without_alu_feature(epic_config::AluFeature::Divide)
+            .build()
+            .unwrap();
+        let f = FunctionDef::new("f", ["a"])
+            .body([Stmt::ret(Expr::var("a").div(Expr::lit(3)))]);
+        let m = lower::lower(&Program::new().function(f)).unwrap();
+        let err = select(&m.functions[0], &config).unwrap_err();
+        assert!(matches!(err, CompileError::MissingFeature { .. }));
+    }
+
+    #[test]
+    fn literal_operands_fold_into_immediates() {
+        let f = FunctionDef::new("f", ["x"]).body([Stmt::ret(Expr::var("x") + Expr::lit(5))]);
+        let config = Config::default();
+        let mut mf = select_one(f, &config);
+        fold_literal_operands(&mut mf, &config);
+        let add = mf.blocks[0]
+            .insts
+            .iter()
+            .filter_map(MInst::as_op)
+            .find(|op| op.opcode == Opcode::Add)
+            .expect("an ADD survives");
+        assert!(matches!(add.src2, MSrc::Lit(5)) || matches!(add.src1, MSrc::Lit(5)));
+    }
+
+    #[test]
+    fn calls_become_pseudos_and_mark_the_function() {
+        let callee = FunctionDef::new("g", ["x"]).body([Stmt::ret(Expr::var("x"))]);
+        let caller = FunctionDef::new("f", ["x"])
+            .body([Stmt::ret(Expr::call("g", [Expr::var("x")]))]);
+        let m = lower::lower(&Program::new().function(callee).function(caller)).unwrap();
+        let mf = select(m.function("f").unwrap(), &Config::default()).unwrap();
+        assert!(mf.makes_calls);
+        assert!(mf
+            .blocks
+            .iter()
+            .flat_map(|b| &b.insts)
+            .any(|i| matches!(i, MInst::Call { .. })));
+    }
+}

@@ -1,0 +1,110 @@
+//! Property tests: the machine-independent optimisation pipeline
+//! preserves the reference semantics on random programs, and the
+//! scheduler's output stays structurally legal.
+
+use epic_compiler::passes;
+use epic_config::Config;
+use epic_ir::ast::{Expr, FunctionDef, Program, Stmt};
+use epic_ir::{lower, Interpreter};
+use proptest::prelude::*;
+
+/// A random expression over three parameters, with depth-bounded nesting.
+fn expr_strategy() -> impl Strategy<Value = Expr> {
+    let leaf = prop_oneof![
+        (-64i64..64).prop_map(Expr::lit),
+        prop::sample::select(vec!["a", "b", "c"]).prop_map(Expr::var),
+    ];
+    leaf.prop_recursive(4, 64, 3, |inner| {
+        (
+            prop::sample::select(vec![
+                "add", "sub", "mul", "div", "rem", "and", "or", "xor", "shl", "shr", "sra",
+                "rotr", "min", "max", "lt", "ltu", "eq",
+            ]),
+            inner.clone(),
+            inner,
+        )
+            .prop_map(|(op, l, r)| match op {
+                "add" => l + r,
+                "sub" => l - r,
+                "mul" => l * r,
+                "div" => l.div(r),
+                "rem" => l.rem(r),
+                "and" => l & r,
+                "or" => l | r,
+                "xor" => l ^ r,
+                "shl" => l << (r & Expr::lit(31)),
+                "shr" => l.shr(r & Expr::lit(31)),
+                "sra" => l.sra(r & Expr::lit(31)),
+                "rotr" => l.rotr(r),
+                "min" => l.min(r),
+                "max" => l.max(r),
+                "lt" => l.lt_s(r),
+                "ltu" => l.lt_u(r),
+                _ => l.eq(r),
+            })
+    })
+}
+
+fn program_of(exprs: Vec<Expr>) -> Program {
+    let mut body: Vec<Stmt> = Vec::new();
+    // Accumulate every expression so none is trivially dead.
+    body.push(Stmt::let_("acc", Expr::lit(0)));
+    for (i, e) in exprs.into_iter().enumerate() {
+        body.push(Stmt::let_(format!("t{i}"), e));
+        body.push(Stmt::assign(
+            "acc",
+            (Expr::var("acc").rotr(Expr::lit(5))) ^ Expr::var(format!("t{i}")),
+        ));
+    }
+    body.push(Stmt::ret(Expr::var("acc")));
+    Program::new().function(FunctionDef::new("main", ["a", "b", "c"]).body(body))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 96, ..ProptestConfig::default() })]
+
+    #[test]
+    fn optimisation_preserves_semantics(
+        exprs in prop::collection::vec(expr_strategy(), 1..6),
+        args in prop::collection::vec(-10_000i32..10_000, 3),
+    ) {
+        let program = program_of(exprs);
+        let module = lower::lower(&program).expect("lowers");
+        let args: Vec<u32> = args.iter().map(|a| *a as u32).collect();
+
+        let baseline = Interpreter::new(&module)
+            .call("main", &args)
+            .expect("unoptimised runs");
+
+        let mut optimised = module.clone();
+        let stats = passes::optimize(&mut optimised, &[]);
+        optimised.validate().expect("optimised module is well-formed");
+        let after = Interpreter::new(&optimised)
+            .call("main", &args)
+            .expect("optimised runs");
+
+        prop_assert_eq!(baseline, after, "optimisation changed the result ({:?})", stats);
+
+        // The pipeline must never grow the program.
+        let before_ops: usize = module.functions.iter().map(|f| f.op_count()).sum();
+        let after_ops: usize = optimised.functions.iter().map(|f| f.op_count()).sum();
+        prop_assert!(after_ops <= before_ops, "{after_ops} > {before_ops}");
+    }
+
+    #[test]
+    fn compiled_output_always_assembles(
+        exprs in prop::collection::vec(expr_strategy(), 1..4),
+        alus in 1usize..=4,
+    ) {
+        // Whatever the optimiser and scheduler do, the emitted text must
+        // be legal assembly for the same configuration.
+        let program = program_of(exprs);
+        let module = lower::lower(&program).expect("lowers");
+        let config = Config::builder().num_alus(alus).build().expect("config");
+        let compiled = epic_compiler::Compiler::new(config.clone())
+            .compile(&module)
+            .expect("compiles");
+        let assembled = epic_asm::assemble(compiled.assembly(), &config);
+        prop_assert!(assembled.is_ok(), "{:?}", assembled.err());
+    }
+}

@@ -1,0 +1,341 @@
+//! Custom (application-specific) instructions.
+//!
+//! The paper's processor is customised in two ways: varying parameters and
+//! *creating custom instructions* (§3.3). A custom instruction only touches
+//! the functional unit concerned — here, a [`CustomOp`] is attached to the
+//! ALU class and carries its own semantics and latency. The assembler and
+//! compiler pick custom opcodes up from the configuration without being
+//! recompiled (§4.2), which is mirrored by the registry living inside
+//! [`Config`](crate::Config).
+
+use std::fmt;
+
+/// Built-in semantics available to custom ALU operations.
+///
+/// The hardware prototype lets designers drop arbitrary logic into an ALU;
+/// a simulator needs a closed set of behaviours, so the common
+/// application-specific patterns (rotates for hashing, byte reversal for
+/// endian conversion, saturating arithmetic for DSP, population counts for
+/// coding) are provided here. All semantics operate on two source operands
+/// and honour the configured datapath width.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum CustomSemantics {
+    /// Rotate `a` right by `b` bit positions (modulo the datapath width).
+    RotateRight,
+    /// Rotate `a` left by `b` bit positions (modulo the datapath width).
+    RotateLeft,
+    /// Reverse the byte order of `a` (`b` is ignored).
+    ByteSwap,
+    /// Count the set bits of `a` (`b` is ignored).
+    PopCount,
+    /// Count the leading zeros of `a` within the datapath width.
+    LeadingZeros,
+    /// Count the trailing zeros of `a` within the datapath width.
+    TrailingZeros,
+    /// Bitwise `a & !b` (HPL-PD's `ANDCM`, often excluded from base ALUs).
+    AndComplement,
+    /// Unsigned saturating addition.
+    SaturatingAdd,
+    /// Unsigned saturating subtraction.
+    SaturatingSub,
+    /// Unsigned average `(a + b + 1) >> 1` without intermediate overflow.
+    AverageRound,
+    /// High half of the unsigned product `a * b`.
+    MulHighUnsigned,
+    /// Absolute difference `|a - b|` treating operands as unsigned.
+    AbsDiff,
+}
+
+impl CustomSemantics {
+    /// Evaluates the semantics on two operands at the given datapath width.
+    ///
+    /// Operands and results are kept in the low `width` bits of a `u64`;
+    /// bits above the datapath width are masked off, matching what the
+    /// customised ALU hardware would produce.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is zero or greater than 64 (configurations
+    /// validate the width long before evaluation).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use epic_config::CustomSemantics;
+    ///
+    /// let rotr = CustomSemantics::RotateRight;
+    /// assert_eq!(rotr.evaluate(0x8000_0001, 1, 32), 0xC000_0000);
+    /// ```
+    #[must_use]
+    pub fn evaluate(self, a: u64, b: u64, width: u32) -> u64 {
+        assert!(width > 0 && width <= 64, "datapath width {width} out of range");
+        let mask = if width == 64 { u64::MAX } else { (1u64 << width) - 1 };
+        let a = a & mask;
+        let b = b & mask;
+        let value = match self {
+            CustomSemantics::RotateRight => {
+                let sh = (b % u64::from(width)) as u32;
+                if sh == 0 { a } else { (a >> sh) | (a << (width - sh)) }
+            }
+            CustomSemantics::RotateLeft => {
+                let sh = (b % u64::from(width)) as u32;
+                if sh == 0 { a } else { (a << sh) | (a >> (width - sh)) }
+            }
+            CustomSemantics::ByteSwap => {
+                let bytes = (width / 8).max(1);
+                let mut out = 0u64;
+                for i in 0..bytes {
+                    let byte = (a >> (8 * i)) & 0xFF;
+                    out |= byte << (8 * (bytes - 1 - i));
+                }
+                out
+            }
+            CustomSemantics::PopCount => u64::from(a.count_ones()),
+            CustomSemantics::LeadingZeros => {
+                u64::from(a.leading_zeros()).saturating_sub(u64::from(64 - width))
+            }
+            CustomSemantics::TrailingZeros => u64::from(a.trailing_zeros().min(width)),
+            CustomSemantics::AndComplement => a & !b,
+            CustomSemantics::SaturatingAdd => {
+                (u128::from(a) + u128::from(b)).min(u128::from(mask)) as u64
+            }
+            CustomSemantics::SaturatingSub => a.saturating_sub(b),
+            CustomSemantics::AverageRound => {
+                ((u128::from(a) + u128::from(b) + 1) >> 1) as u64
+            }
+            CustomSemantics::MulHighUnsigned => {
+                ((u128::from(a) * u128::from(b)) >> width) as u64
+            }
+            CustomSemantics::AbsDiff => a.abs_diff(b),
+        };
+        value & mask
+    }
+
+    /// Returns the canonical configuration-header mnemonic.
+    ///
+    /// These names appear after `#define CUSTOM_OP_n` in the configuration
+    /// header file and in assembly source.
+    #[must_use]
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            CustomSemantics::RotateRight => "ROTR",
+            CustomSemantics::RotateLeft => "ROTL",
+            CustomSemantics::ByteSwap => "BSWAP",
+            CustomSemantics::PopCount => "POPC",
+            CustomSemantics::LeadingZeros => "CLZ",
+            CustomSemantics::TrailingZeros => "CTZ",
+            CustomSemantics::AndComplement => "ANDCM",
+            CustomSemantics::SaturatingAdd => "SATADD",
+            CustomSemantics::SaturatingSub => "SATSUB",
+            CustomSemantics::AverageRound => "AVG",
+            CustomSemantics::MulHighUnsigned => "MULHU",
+            CustomSemantics::AbsDiff => "ABSDIF",
+        }
+    }
+
+    /// Parses a configuration-header mnemonic.
+    ///
+    /// Returns `None` for unknown names; header parsing turns that into a
+    /// [`ConfigError::HeaderSyntax`](crate::ConfigError::HeaderSyntax).
+    #[must_use]
+    pub fn from_mnemonic(name: &str) -> Option<Self> {
+        Some(match name {
+            "ROTR" => CustomSemantics::RotateRight,
+            "ROTL" => CustomSemantics::RotateLeft,
+            "BSWAP" => CustomSemantics::ByteSwap,
+            "POPC" => CustomSemantics::PopCount,
+            "CLZ" => CustomSemantics::LeadingZeros,
+            "CTZ" => CustomSemantics::TrailingZeros,
+            "ANDCM" => CustomSemantics::AndComplement,
+            "SATADD" => CustomSemantics::SaturatingAdd,
+            "SATSUB" => CustomSemantics::SaturatingSub,
+            "AVG" => CustomSemantics::AverageRound,
+            "MULHU" => CustomSemantics::MulHighUnsigned,
+            "ABSDIF" => CustomSemantics::AbsDiff,
+            _ => return None,
+        })
+    }
+
+    /// Whether the second source operand participates in the result.
+    ///
+    /// Unary customs (byte swap, counts) still occupy a two-source slot in
+    /// the fixed instruction format; the compiler encodes a zero literal.
+    #[must_use]
+    pub fn uses_second_operand(self) -> bool {
+        !matches!(
+            self,
+            CustomSemantics::ByteSwap
+                | CustomSemantics::PopCount
+                | CustomSemantics::LeadingZeros
+                | CustomSemantics::TrailingZeros
+        )
+    }
+}
+
+impl fmt::Display for CustomSemantics {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.mnemonic())
+    }
+}
+
+/// A custom instruction registered with the processor configuration.
+///
+/// Creating one of these and adding it via
+/// [`ConfigBuilder::custom_op`](crate::ConfigBuilder::custom_op) is the
+/// software analogue of dropping extra logic into an ALU: the opcode space,
+/// the assembler's mnemonic table and the simulator's execute stage all pick
+/// the operation up from the shared configuration.
+///
+/// # Examples
+///
+/// ```
+/// use epic_config::{Config, CustomOp, CustomSemantics};
+///
+/// let config = Config::builder()
+///     .custom_op(CustomOp::new("sha_rotr", CustomSemantics::RotateRight))
+///     .build()?;
+/// assert_eq!(config.custom_ops().len(), 1);
+/// # Ok::<(), epic_config::ConfigError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct CustomOp {
+    name: String,
+    semantics: CustomSemantics,
+    latency: u32,
+}
+
+impl CustomOp {
+    /// Creates a custom operation with the default single-cycle latency.
+    #[must_use]
+    pub fn new(name: impl Into<String>, semantics: CustomSemantics) -> Self {
+        CustomOp {
+            name: name.into(),
+            semantics,
+            latency: 1,
+        }
+    }
+
+    /// Sets the operation latency in processor cycles.
+    ///
+    /// Latency 1 means the result is available to the next issue bundle,
+    /// matching a combinational custom datapath; deeper custom logic can
+    /// declare longer latencies which the scheduler will honour.
+    #[must_use]
+    pub fn with_latency(mut self, latency: u32) -> Self {
+        self.latency = latency.max(1);
+        self
+    }
+
+    /// The unique name used in assembly source and header files.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The behaviour implemented by the customised functional unit.
+    #[must_use]
+    pub fn semantics(&self) -> CustomSemantics {
+        self.semantics
+    }
+
+    /// Result latency in processor cycles (at least 1).
+    #[must_use]
+    pub fn latency(&self) -> u32 {
+        self.latency
+    }
+}
+
+impl fmt::Display for CustomOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} {} latency={}",
+            self.name,
+            self.semantics.mnemonic(),
+            self.latency
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rotate_right_wraps_bits() {
+        let s = CustomSemantics::RotateRight;
+        assert_eq!(s.evaluate(0x1, 1, 32), 0x8000_0000);
+        assert_eq!(s.evaluate(0x1, 33, 32), 0x8000_0000, "shift is modulo width");
+        assert_eq!(s.evaluate(0xABCD_1234, 0, 32), 0xABCD_1234);
+    }
+
+    #[test]
+    fn rotate_left_is_inverse_of_rotate_right() {
+        for sh in 0..32u64 {
+            let x = 0xDEAD_BEEFu64;
+            let r = CustomSemantics::RotateRight.evaluate(x, sh, 32);
+            assert_eq!(CustomSemantics::RotateLeft.evaluate(r, sh, 32), x);
+        }
+    }
+
+    #[test]
+    fn byteswap_respects_width() {
+        assert_eq!(CustomSemantics::ByteSwap.evaluate(0x1122_3344, 0, 32), 0x4433_2211);
+        assert_eq!(CustomSemantics::ByteSwap.evaluate(0x1122, 0, 16), 0x2211);
+    }
+
+    #[test]
+    fn counts_respect_width() {
+        assert_eq!(CustomSemantics::LeadingZeros.evaluate(0x1, 0, 32), 31);
+        assert_eq!(CustomSemantics::LeadingZeros.evaluate(0x1, 0, 16), 15);
+        assert_eq!(CustomSemantics::TrailingZeros.evaluate(0, 0, 16), 16);
+        assert_eq!(CustomSemantics::PopCount.evaluate(0xFF, 0, 32), 8);
+    }
+
+    #[test]
+    fn saturating_ops_clamp_to_width() {
+        assert_eq!(
+            CustomSemantics::SaturatingAdd.evaluate(0xFFFF_FFFF, 1, 32),
+            0xFFFF_FFFF
+        );
+        assert_eq!(CustomSemantics::SaturatingSub.evaluate(1, 2, 32), 0);
+    }
+
+    #[test]
+    fn mul_high_unsigned_matches_wide_product() {
+        let a = 0xFFFF_FFFFu64;
+        let b = 0xFFFF_FFFFu64;
+        assert_eq!(
+            CustomSemantics::MulHighUnsigned.evaluate(a, b, 32),
+            ((a as u128 * b as u128) >> 32) as u64
+        );
+    }
+
+    #[test]
+    fn mnemonic_round_trip() {
+        for s in [
+            CustomSemantics::RotateRight,
+            CustomSemantics::RotateLeft,
+            CustomSemantics::ByteSwap,
+            CustomSemantics::PopCount,
+            CustomSemantics::LeadingZeros,
+            CustomSemantics::TrailingZeros,
+            CustomSemantics::AndComplement,
+            CustomSemantics::SaturatingAdd,
+            CustomSemantics::SaturatingSub,
+            CustomSemantics::AverageRound,
+            CustomSemantics::MulHighUnsigned,
+            CustomSemantics::AbsDiff,
+        ] {
+            assert_eq!(CustomSemantics::from_mnemonic(s.mnemonic()), Some(s));
+        }
+        assert_eq!(CustomSemantics::from_mnemonic("NOPE"), None);
+    }
+
+    #[test]
+    fn custom_op_latency_is_at_least_one() {
+        let op = CustomOp::new("x", CustomSemantics::ByteSwap).with_latency(0);
+        assert_eq!(op.latency(), 1);
+    }
+}

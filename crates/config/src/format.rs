@@ -1,0 +1,232 @@
+//! The parameterisable instruction format (Fig. 1 of the paper).
+//!
+//! The default layout is the paper's fixed 64-bit word:
+//!
+//! ```text
+//! OPCODE | DEST1 | DEST2 | SRC1 | SRC2 | PRED
+//!   15   |   6   |   6   |  16  |  16  |  5     = 64 bits
+//! ```
+//!
+//! §3.3 notes that the format *assumes* a range of parameter values — six
+//! destination bits allow at most 64 registers — and that "provision has
+//! been made for such adjustment, with the instruction width and the width
+//! of each individual field made parameterisable". [`InstructionFormat`]
+//! implements that provision: each field is widened as the register counts
+//! grow, and the total instruction width follows (rounded up to whole
+//! bytes so big-endian memory images stay byte-aligned).
+
+/// Default width of the `OPCODE` field in bits.
+pub(crate) const DEFAULT_OPCODE_BITS: usize = 15;
+/// Default width of each `DEST` field in bits (indexes up to 64 registers).
+pub(crate) const DEFAULT_DEST_BITS: usize = 6;
+/// Default width of each `SRC` field in bits (1 literal flag + payload).
+pub(crate) const DEFAULT_SRC_BITS: usize = 16;
+/// Default width of the `PRED` field in bits (up to 32 predicates).
+pub(crate) const DEFAULT_PRED_BITS: usize = 5;
+
+/// Derived field widths of the instruction word.
+///
+/// An `InstructionFormat` is computed by the configuration builder and read
+/// by the instruction encoder/decoder in `epic-isa`; user code normally
+/// only inspects it.
+///
+/// # Examples
+///
+/// ```
+/// use epic_config::Config;
+///
+/// // Growing the register file past 64 entries widens DEST and SRC and
+/// // therefore the whole instruction — the "re-design of the instruction
+/// // format" §3.3 talks about.
+/// let big = Config::builder().num_gprs(128).build()?;
+/// let fmt = big.instruction_format();
+/// assert_eq!(fmt.dest_bits(), 7);
+/// assert!(fmt.width_bits() > 64);
+/// assert_eq!(fmt.width_bits() % 8, 0);
+/// # Ok::<(), epic_config::ConfigError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct InstructionFormat {
+    opcode_bits: usize,
+    dest_bits: usize,
+    src_bits: usize,
+    pred_bits: usize,
+    width_bits: usize,
+}
+
+fn bits_for(count: usize) -> usize {
+    // Index width for `count` distinct registers.
+    usize::BITS as usize - (count.max(2) - 1).leading_zeros() as usize
+}
+
+impl InstructionFormat {
+    /// Computes the format for the given register counts and datapath.
+    ///
+    /// Fields never shrink below the paper's defaults (the prototype keeps
+    /// 64-bit instructions even when fewer registers are configured, so
+    /// that instruction fetch stays four-per-cycle on the 256-bit bus);
+    /// they grow when a parameter outruns its default field.
+    #[must_use]
+    pub(crate) fn derive(
+        num_gprs: usize,
+        num_pred_regs: usize,
+        num_btrs: usize,
+        datapath_width: u32,
+    ) -> Self {
+        // DEST fields name GPRs, predicate registers (CMPP destinations)
+        // and BTRs (PBR destinations); they must index the largest space.
+        let dest_index_bits = bits_for(num_gprs.max(num_pred_regs).max(num_btrs));
+        let dest_bits = dest_index_bits.max(DEFAULT_DEST_BITS);
+        // SRC fields carry a literal flag plus either a register index or a
+        // sign-extended literal payload. The MOVIL long-literal format
+        // reinterprets both *raw* fields (flag bits included) as one
+        // datapath-width constant, so 2 * src_bits >= datapath_width.
+        let src_bits = (1 + bits_for(num_gprs))
+            .max((datapath_width as usize).div_ceil(2))
+            .max(DEFAULT_SRC_BITS);
+        let pred_bits = bits_for(num_pred_regs).max(DEFAULT_PRED_BITS);
+        let opcode_bits = DEFAULT_OPCODE_BITS;
+        let raw = opcode_bits + 2 * dest_bits + 2 * src_bits + pred_bits;
+        let width_bits = raw.div_ceil(8) * 8;
+        InstructionFormat {
+            opcode_bits,
+            dest_bits,
+            src_bits,
+            pred_bits,
+            width_bits,
+        }
+    }
+
+    /// Width of the `OPCODE` field in bits.
+    #[must_use]
+    pub fn opcode_bits(&self) -> usize {
+        self.opcode_bits
+    }
+
+    /// Width of each of the two `DEST` fields in bits.
+    #[must_use]
+    pub fn dest_bits(&self) -> usize {
+        self.dest_bits
+    }
+
+    /// Width of each of the two `SRC` fields in bits.
+    #[must_use]
+    pub fn src_bits(&self) -> usize {
+        self.src_bits
+    }
+
+    /// Payload bits of a `SRC` field, excluding the literal flag bit.
+    #[must_use]
+    pub fn src_payload_bits(&self) -> usize {
+        self.src_bits - 1
+    }
+
+    /// Width of the `PRED` field in bits.
+    #[must_use]
+    pub fn pred_bits(&self) -> usize {
+        self.pred_bits
+    }
+
+    /// Total instruction width in bits (a multiple of 8).
+    #[must_use]
+    pub fn width_bits(&self) -> usize {
+        self.width_bits
+    }
+
+    /// Total instruction width in bytes.
+    #[must_use]
+    pub fn width_bytes(&self) -> usize {
+        self.width_bits / 8
+    }
+
+    /// Inclusive range of literals representable in one `SRC` field.
+    ///
+    /// Literals are stored sign-extended in the payload bits.
+    #[must_use]
+    pub fn short_literal_range(&self) -> (i64, i64) {
+        let p = self.src_payload_bits() as u32;
+        (-(1i64 << (p - 1)), (1i64 << (p - 1)) - 1)
+    }
+
+    /// Bit offset (from the most significant end) of each field, in the
+    /// order `OPCODE, DEST1, DEST2, SRC1, SRC2, PRED`, followed by any
+    /// zero padding down to the byte boundary.
+    #[must_use]
+    pub fn field_offsets(&self) -> [usize; 6] {
+        let o = 0;
+        let d1 = o + self.opcode_bits;
+        let d2 = d1 + self.dest_bits;
+        let s1 = d2 + self.dest_bits;
+        let s2 = s1 + self.src_bits;
+        let p = s2 + self.src_bits;
+        [o, d1, d2, s1, s2, p]
+    }
+}
+
+impl Default for InstructionFormat {
+    /// The paper's 64-bit format: 15/6/6/16/16/5.
+    fn default() -> Self {
+        InstructionFormat::derive(64, 32, 16, 32)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_format_is_the_papers_64_bit_layout() {
+        let f = InstructionFormat::default();
+        assert_eq!(f.opcode_bits(), 15);
+        assert_eq!(f.dest_bits(), 6);
+        assert_eq!(f.src_bits(), 16);
+        assert_eq!(f.pred_bits(), 5);
+        assert_eq!(f.width_bits(), 64);
+        assert_eq!(f.width_bytes(), 8);
+    }
+
+    #[test]
+    fn fields_never_shrink_below_defaults() {
+        let f = InstructionFormat::derive(8, 4, 2, 32);
+        assert_eq!(f.dest_bits(), 6);
+        assert_eq!(f.src_bits(), 16);
+        assert_eq!(f.pred_bits(), 5);
+        assert_eq!(f.width_bits(), 64);
+    }
+
+    #[test]
+    fn large_register_file_widens_the_word() {
+        let f = InstructionFormat::derive(256, 64, 64, 32);
+        assert_eq!(f.dest_bits(), 8);
+        assert_eq!(f.pred_bits(), 6);
+        assert!(f.width_bits() >= 15 + 16 + 2 * (1 + 8) + 6);
+        assert_eq!(f.width_bits() % 8, 0);
+    }
+
+    #[test]
+    fn short_literal_range_matches_payload() {
+        let f = InstructionFormat::default();
+        assert_eq!(f.short_literal_range(), (-16384, 16383));
+    }
+
+    #[test]
+    fn field_offsets_are_contiguous() {
+        let f = InstructionFormat::default();
+        assert_eq!(f.field_offsets(), [0, 15, 21, 27, 43, 59]);
+    }
+
+    #[test]
+    fn wide_datapath_requires_wide_sources() {
+        let f = InstructionFormat::derive(64, 32, 16, 64);
+        // Two raw fields must jointly cover a 64-bit long literal.
+        assert!(2 * f.src_bits() >= 64);
+    }
+
+    #[test]
+    fn bits_for_counts() {
+        assert_eq!(bits_for(2), 1);
+        assert_eq!(bits_for(64), 6);
+        assert_eq!(bits_for(65), 7);
+        assert_eq!(bits_for(128), 7);
+    }
+}

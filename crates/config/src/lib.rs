@@ -1,0 +1,88 @@
+//! Customisation parameters for the EPIC processor.
+//!
+//! The DATE 2004 paper *"Customisable EPIC Processor: Architecture and
+//! Tools"* (Chu, Dimond, Perrott, Seng, Luk) describes a soft-core EPIC
+//! processor whose shape is fixed at compile time by a **configuration
+//! header file** shared between the hardware description, the assembler and
+//! the compiler (paper §3.3, §4.2). This crate is that configuration layer:
+//!
+//! * [`Config`] holds every customisation parameter the paper lists —
+//!   number of ALUs, general-purpose registers, predicate registers, branch
+//!   target registers, registers addressable per instruction, instructions
+//!   per issue, datapath/register width and ALU functionality — plus the
+//!   timing knobs the machine description needs.
+//! * [`InstructionFormat`] derives the widths of the six instruction fields
+//!   (Fig. 1 of the paper) from those parameters, re-designing the format
+//!   when a parameter outgrows the default 64-bit layout exactly as §3.3
+//!   prescribes.
+//! * [`CustomOp`] registers application-specific instructions; including or
+//!   excluding one never requires rebuilding the tools, only editing the
+//!   configuration (paper §4.2).
+//! * [`header`] reads and writes the `#define`-style configuration header
+//!   file itself.
+//!
+//! # Examples
+//!
+//! ```
+//! use epic_config::Config;
+//!
+//! // The paper's default machine: 4 ALUs, 64 GPRs, 32 predicate registers,
+//! // 16 branch target registers, 4-wide issue, 32-bit datapath.
+//! let config = Config::default();
+//! assert_eq!(config.num_alus(), 4);
+//! assert_eq!(config.instruction_format().width_bits(), 64);
+//!
+//! // A leaner variant for a control-dominated application.
+//! let small = Config::builder()
+//!     .num_alus(1)
+//!     .issue_width(1)
+//!     .build()
+//!     .expect("valid configuration");
+//! assert_eq!(small.num_alus(), 1);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod builder;
+mod custom;
+mod error;
+mod format;
+pub mod header;
+mod params;
+
+pub use builder::ConfigBuilder;
+pub use custom::{CustomOp, CustomSemantics};
+pub use error::ConfigError;
+pub use format::InstructionFormat;
+pub use params::{AluFeature, AluFeatureSet, Config};
+
+/// Maximum number of instructions issued per cycle.
+///
+/// The prototype's memory controller reads 256 bits per processor cycle
+/// from four 32-bit banks, enough for four 64-bit instructions; the paper
+/// therefore constrains the instructions-per-issue parameter to 1..=4
+/// (§3.3: "Due to limited memory bandwidth, the number of instructions per
+/// issue is constrained between one and four").
+pub const MAX_ISSUE_WIDTH: usize = 4;
+
+/// Number of external memory banks feeding the instruction fetch path.
+pub const MEMORY_BANKS: usize = 4;
+
+/// Width in bits of each external memory bank.
+pub const MEMORY_BANK_WIDTH_BITS: usize = 32;
+
+/// Clock-rate multiplier of the register file controller.
+///
+/// The dual-port register file allows two operations per RAM cycle; running
+/// its controller at quadruple the processor clock permits eight register
+/// reads/writes per processor cycle (paper §3.2).
+pub const REGFILE_CLOCK_MULTIPLIER: usize = 4;
+
+/// Register-file operations available per processor cycle.
+///
+/// Dual-port memory (2 ops per RAM cycle) × the 4× controller clock.
+pub const REGFILE_OPS_PER_CYCLE: usize = 2 * REGFILE_CLOCK_MULTIPLIER;
+
+/// Clock-rate multiplier of the main-memory controller (paper §3.2).
+pub const MEMORY_CLOCK_MULTIPLIER: usize = 2;

@@ -1,0 +1,141 @@
+//! Property tests: the configuration header format is a faithful,
+//! total serialisation of [`Config`].
+
+use epic_config::{
+    header, AluFeature, AluFeatureSet, Config, CustomOp, CustomSemantics,
+};
+use proptest::prelude::*;
+
+fn semantics_strategy() -> impl Strategy<Value = CustomSemantics> {
+    prop::sample::select(vec![
+        CustomSemantics::RotateRight,
+        CustomSemantics::RotateLeft,
+        CustomSemantics::ByteSwap,
+        CustomSemantics::PopCount,
+        CustomSemantics::LeadingZeros,
+        CustomSemantics::TrailingZeros,
+        CustomSemantics::AndComplement,
+        CustomSemantics::SaturatingAdd,
+        CustomSemantics::SaturatingSub,
+        CustomSemantics::AverageRound,
+        CustomSemantics::MulHighUnsigned,
+        CustomSemantics::AbsDiff,
+    ])
+}
+
+fn config_strategy() -> impl Strategy<Value = Config> {
+    (
+        1usize..=8,
+        prop::sample::select(vec![16usize, 32, 64, 128, 512]),
+        prop::sample::select(vec![2usize, 8, 32, 64]),
+        prop::sample::select(vec![1usize, 4, 16, 32]),
+        1usize..=4,
+        1usize..=4,
+        prop::bits::u8::between(0, 5),
+        (1u32..=4, 1u32..=3, 1u32..=20),
+        (any::<bool>(), any::<bool>()),
+        prop::collection::vec((semantics_strategy(), 1u32..4), 0..3),
+    )
+        .prop_map(
+            |(
+                alus,
+                gprs,
+                preds,
+                btrs,
+                regs_per_instr,
+                issue,
+                feature_bits,
+                (load_lat, mul_lat, div_lat),
+                (forwarding, contention),
+                customs,
+            )| {
+                let features: AluFeatureSet = AluFeature::ALL
+                    .into_iter()
+                    .enumerate()
+                    .filter(|(i, _)| feature_bits & (1 << i) != 0)
+                    .map(|(_, f)| f)
+                    .collect();
+                let mut builder = Config::builder()
+                    .num_alus(alus)
+                    .num_gprs(gprs)
+                    .num_pred_regs(preds)
+                    .num_btrs(btrs)
+                    .registers_per_instruction(regs_per_instr)
+                    .issue_width(issue)
+                    .alu_features(features)
+                    .load_latency(load_lat)
+                    .mul_latency(mul_lat)
+                    .div_latency(div_lat)
+                    .forwarding(forwarding)
+                    .memory_contention(contention);
+                for (i, (sem, lat)) in customs.into_iter().enumerate() {
+                    builder = builder.custom_op(
+                        CustomOp::new(format!("custom_{i}"), sem).with_latency(lat),
+                    );
+                }
+                builder.build().expect("strategy yields valid configurations")
+            },
+        )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 256, ..ProptestConfig::default() })]
+
+    #[test]
+    fn header_round_trips(config in config_strategy()) {
+        let text = header::emit(&config);
+        let parsed = header::parse(&text).expect("emitted headers parse");
+        prop_assert_eq!(parsed, config);
+    }
+
+    #[test]
+    fn header_is_line_structured(config in config_strategy()) {
+        let text = header::emit(&config);
+        for line in text.lines().skip(1) {
+            prop_assert!(
+                line.trim().is_empty() || line.starts_with("#define"),
+                "unexpected header line: {line}"
+            );
+        }
+    }
+
+    #[test]
+    fn derived_format_is_wide_enough(config in config_strategy()) {
+        let f = config.instruction_format();
+        // Every register space must be indexable by its field.
+        prop_assert!(1usize << f.dest_bits() >= config.num_gprs());
+        prop_assert!(1usize << f.dest_bits() >= config.num_pred_regs());
+        prop_assert!(1usize << f.dest_bits() >= config.num_btrs());
+        prop_assert!(1usize << f.pred_bits() >= config.num_pred_regs());
+        prop_assert!(1usize << (f.src_bits() - 1) >= config.num_gprs());
+        // The MOVIL long-literal must cover the datapath.
+        prop_assert!(2 * f.src_bits() >= config.datapath_width() as usize);
+        // Byte alignment.
+        prop_assert_eq!(f.width_bits() % 8, 0);
+    }
+
+    #[test]
+    fn custom_semantics_stay_in_width(
+        sem in semantics_strategy(),
+        a in any::<u64>(),
+        b in any::<u64>(),
+        width in prop::sample::select(vec![8u32, 16, 32, 64]),
+    ) {
+        let out = sem.evaluate(a, b, width);
+        let mask = if width == 64 { u64::MAX } else { (1u64 << width) - 1 };
+        prop_assert_eq!(out & !mask, 0, "result {:#x} exceeds width {}", out, width);
+    }
+
+    #[test]
+    fn rotates_are_inverses(
+        a in any::<u64>(),
+        sh in 0u64..64,
+        width in prop::sample::select(vec![8u32, 16, 32, 64]),
+    ) {
+        let mask = if width == 64 { u64::MAX } else { (1u64 << width) - 1 };
+        let x = a & mask;
+        let r = CustomSemantics::RotateRight.evaluate(x, sh, width);
+        let back = CustomSemantics::RotateLeft.evaluate(r, sh, width);
+        prop_assert_eq!(back, x);
+    }
+}

@@ -1,0 +1,130 @@
+//! The standalone processor: loads a machine-code image produced by
+//! `epic-asm` and simulates it cycle by cycle, printing registers and the
+//! stall breakdown — the ReaCT-ILP role from the paper's §5.
+//!
+//! ```text
+//! epic-run <image.bin> [--config <header.cfg>] [--memory <bytes>]
+//!          [--entry <bundle>] [--regs <n>] [--max-cycles <n>]
+//! ```
+
+use epic_asm::Program;
+use epic_config::{header, Config};
+use epic_sim::{Memory, Simulator};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+struct Args {
+    image: PathBuf,
+    config: Option<PathBuf>,
+    memory: u32,
+    entry: u32,
+    regs: usize,
+    max_cycles: Option<u64>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut image = None;
+    let mut config = None;
+    let mut memory = 1 << 20;
+    let mut entry = 0;
+    let mut regs = 16;
+    let mut max_cycles = None;
+    let mut iter = std::env::args().skip(1);
+    while let Some(arg) = iter.next() {
+        let mut value = |flag: &str| -> Result<String, String> {
+            iter.next().ok_or_else(|| format!("{flag} needs a value"))
+        };
+        match arg.as_str() {
+            "--config" => config = Some(PathBuf::from(value("--config")?)),
+            "--memory" => {
+                memory = value("--memory")?
+                    .parse()
+                    .map_err(|e| format!("--memory: {e}"))?;
+            }
+            "--entry" => {
+                entry = value("--entry")?
+                    .parse()
+                    .map_err(|e| format!("--entry: {e}"))?;
+            }
+            "--regs" => {
+                regs = value("--regs")?
+                    .parse()
+                    .map_err(|e| format!("--regs: {e}"))?;
+            }
+            "--max-cycles" => {
+                max_cycles = Some(
+                    value("--max-cycles")?
+                        .parse()
+                        .map_err(|e| format!("--max-cycles: {e}"))?,
+                );
+            }
+            "--help" | "-h" => {
+                return Err("usage: epic-run <image.bin> [--config <header.cfg>] \
+                            [--memory <bytes>] [--entry <bundle>] [--regs <n>] \
+                            [--max-cycles <n>]"
+                    .to_owned())
+            }
+            other if !other.starts_with('-') => image = Some(PathBuf::from(other)),
+            other => return Err(format!("unknown flag `{other}`")),
+        }
+    }
+    Ok(Args {
+        image: image.ok_or("no image given (try --help)")?,
+        config,
+        memory,
+        entry,
+        regs,
+        max_cycles,
+    })
+}
+
+fn run(args: &Args) -> Result<(), String> {
+    let config = match &args.config {
+        Some(path) => {
+            let text = std::fs::read_to_string(path)
+                .map_err(|e| format!("{}: {e}", path.display()))?;
+            header::parse(&text).map_err(|e| format!("{}: {e}", path.display()))?
+        }
+        None => Config::default(),
+    };
+    let bytes =
+        std::fs::read(&args.image).map_err(|e| format!("{}: {e}", args.image.display()))?;
+    let program = Program::from_bytes(&bytes, &config)
+        .map_err(|e| format!("{}: {e}", args.image.display()))?;
+
+    let mut sim = Simulator::new(&config, program.bundles().to_vec(), args.entry);
+    sim.set_memory(Memory::new(args.memory));
+    if let Some(limit) = args.max_cycles {
+        sim.set_cycle_limit(limit);
+    }
+    sim.run().map_err(|e| e.to_string())?;
+
+    println!("machine: {config}");
+    println!("{}", sim.stats());
+    println!("\nregisters:");
+    for i in 0..args.regs.min(config.num_gprs()) {
+        print!("  r{i:<3}{:>12}", sim.gpr(i) as i32);
+        if i % 4 == 3 {
+            println!();
+        }
+    }
+    println!();
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(message) => {
+            eprintln!("{message}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("epic-run: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}

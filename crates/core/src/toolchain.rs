@@ -1,0 +1,349 @@
+//! The compile → assemble → load → simulate pipeline.
+
+use epic_asm::{AsmError, Program};
+use epic_compiler::{CompileError, CompiledProgram, Compiler, Options};
+use epic_config::Config;
+use epic_ir::{IrError, Module};
+use epic_sa110::{ArmCodegenError, ArmSimError, ArmSimulator, ArmStats};
+use epic_sim::{Memory, SimError, SimStats, Simulator};
+use std::error::Error;
+use std::fmt;
+
+/// Error from any stage of the pipeline.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum ToolchainError {
+    /// IR lowering/layout failed.
+    Ir(IrError),
+    /// Compilation failed.
+    Compile(CompileError),
+    /// Assembly failed (a compiler bug if the source was generated).
+    Asm(AsmError),
+    /// Simulation faulted.
+    Sim(SimError),
+    /// Baseline code generation failed.
+    ArmCodegen(ArmCodegenError),
+    /// Baseline simulation faulted.
+    ArmSim(ArmSimError),
+}
+
+impl fmt::Display for ToolchainError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ToolchainError::Ir(e) => write!(f, "ir: {e}"),
+            ToolchainError::Compile(e) => write!(f, "compile: {e}"),
+            ToolchainError::Asm(e) => write!(f, "assemble: {e}"),
+            ToolchainError::Sim(e) => write!(f, "simulate: {e}"),
+            ToolchainError::ArmCodegen(e) => write!(f, "baseline codegen: {e}"),
+            ToolchainError::ArmSim(e) => write!(f, "baseline simulate: {e}"),
+        }
+    }
+}
+
+impl Error for ToolchainError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            ToolchainError::Ir(e) => Some(e),
+            ToolchainError::Compile(e) => Some(e),
+            ToolchainError::Asm(e) => Some(e),
+            ToolchainError::Sim(e) => Some(e),
+            ToolchainError::ArmCodegen(e) => Some(e),
+            ToolchainError::ArmSim(e) => Some(e),
+        }
+    }
+}
+
+impl From<IrError> for ToolchainError {
+    fn from(e: IrError) -> Self {
+        ToolchainError::Ir(e)
+    }
+}
+impl From<CompileError> for ToolchainError {
+    fn from(e: CompileError) -> Self {
+        ToolchainError::Compile(e)
+    }
+}
+impl From<AsmError> for ToolchainError {
+    fn from(e: AsmError) -> Self {
+        ToolchainError::Asm(e)
+    }
+}
+impl From<SimError> for ToolchainError {
+    fn from(e: SimError) -> Self {
+        ToolchainError::Sim(e)
+    }
+}
+impl From<ArmCodegenError> for ToolchainError {
+    fn from(e: ArmCodegenError) -> Self {
+        ToolchainError::ArmCodegen(e)
+    }
+}
+impl From<ArmSimError> for ToolchainError {
+    fn from(e: ArmSimError) -> Self {
+        ToolchainError::ArmSim(e)
+    }
+}
+
+/// A completed EPIC execution with every intermediate artefact.
+#[derive(Debug)]
+pub struct EpicRun {
+    /// The compiler's output (assembly text + statistics).
+    pub compiled: CompiledProgram,
+    /// The assembled program (bundles, labels).
+    pub program: Program,
+    /// The simulator in its final state (registers, memory, statistics).
+    pub simulator: Simulator,
+}
+
+impl EpicRun {
+    /// Cycle-level statistics.
+    #[must_use]
+    pub fn stats(&self) -> &SimStats {
+        self.simulator.stats()
+    }
+
+    /// The entry function's return value (the ABI return register `r1`).
+    #[must_use]
+    pub fn return_value(&self) -> u32 {
+        self.simulator.gpr(1)
+    }
+
+    /// Reads bytes of a global from the final data memory.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message when the global is unknown or out of range.
+    pub fn read_global(&self, module: &Module, name: &str, len: u32) -> Result<Vec<u8>, String> {
+        let layout = module.layout().map_err(|e| e.to_string())?;
+        let base = layout
+            .address_of(name)
+            .ok_or_else(|| format!("unknown global `{name}`"))?;
+        let bytes = self.simulator.memory().bytes();
+        if (base + len) as usize > bytes.len() {
+            return Err(format!("global `{name}` overruns memory"));
+        }
+        Ok(bytes[base as usize..(base + len) as usize].to_vec())
+    }
+}
+
+/// A completed SA-110 baseline execution.
+#[derive(Debug)]
+pub struct ArmRun {
+    /// The simulator in its final state.
+    pub simulator: ArmSimulator,
+}
+
+impl ArmRun {
+    /// Timing-model statistics.
+    #[must_use]
+    pub fn stats(&self) -> &ArmStats {
+        self.simulator.stats()
+    }
+
+    /// The entry function's return value (`r0`).
+    #[must_use]
+    pub fn return_value(&self) -> u32 {
+        self.simulator.reg(0)
+    }
+}
+
+/// The toolchain for one processor configuration.
+#[derive(Debug, Clone)]
+pub struct Toolchain {
+    config: Config,
+    compiler: Compiler,
+}
+
+impl Toolchain {
+    /// Creates the toolchain for a configuration.
+    #[must_use]
+    pub fn new(config: Config) -> Self {
+        let compiler = Compiler::new(config.clone());
+        Toolchain { config, compiler }
+    }
+
+    /// The target configuration.
+    #[must_use]
+    pub fn config(&self) -> &Config {
+        &self.config
+    }
+
+    /// Compiles, assembles, loads and runs a module.
+    ///
+    /// `inline_hints` usually comes from
+    /// [`epic_ir::lower::inline_hints`]; `args` are passed to `entry` in
+    /// the argument registers by the start-up stub.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first pipeline error.
+    pub fn run_module(
+        &self,
+        module: &Module,
+        entry: &str,
+        args: &[u32],
+        inline_hints: &[String],
+    ) -> Result<EpicRun, ToolchainError> {
+        let options = Options {
+            entry: entry.to_owned(),
+            entry_args: args.to_vec(),
+            inline_hints: inline_hints.to_vec(),
+            ..Options::default()
+        };
+        self.run_module_with(module, &options)
+    }
+
+    /// [`run_module`](Toolchain::run_module) with full compiler options
+    /// (if-conversion off, optimisation off — for ablation studies).
+    ///
+    /// # Errors
+    ///
+    /// Returns the first pipeline error.
+    pub fn run_module_with(
+        &self,
+        module: &Module,
+        options: &Options,
+    ) -> Result<EpicRun, ToolchainError> {
+        let compiled = self.compiler.compile_with(module, options)?;
+        let program = epic_asm::assemble(compiled.assembly(), &self.config)?;
+        let layout = module.layout()?;
+        let mut simulator = Simulator::new(
+            &self.config,
+            program.bundles().to_vec(),
+            program.entry(),
+        );
+        simulator.set_memory(Memory::from_image(module.initial_memory(&layout)));
+        simulator.run()?;
+        Ok(EpicRun {
+            compiled,
+            program,
+            simulator,
+        })
+    }
+}
+
+/// Runs a module on the SA-110 baseline: the same machine-independent
+/// optimisations, then the ARM code generator and timing model.
+///
+/// # Errors
+///
+/// Returns the first pipeline error.
+pub fn run_sa110(
+    module: &Module,
+    entry: &str,
+    args: &[u32],
+    inline_hints: &[String],
+) -> Result<ArmRun, ToolchainError> {
+    let mut optimised = module.clone();
+    epic_compiler::passes::optimize(&mut optimised, inline_hints);
+    let compiled = epic_sa110::compile(&optimised, entry, args)?;
+    let layout = module.layout()?;
+    let mut simulator = ArmSimulator::new(&compiled, module.initial_memory(&layout));
+    simulator.run()?;
+    Ok(ArmRun { simulator })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use epic_ir::ast::{Expr, FunctionDef, Program as Ast, Stmt};
+    use epic_ir::lower;
+
+    fn module(ast: &Ast) -> Module {
+        lower::lower(ast).unwrap()
+    }
+
+    #[test]
+    fn end_to_end_arithmetic() {
+        let ast = Ast::new().function(
+            FunctionDef::new("main", ["a", "b"])
+                .body([Stmt::ret(Expr::var("a") * Expr::var("b") + Expr::lit(1))]),
+        );
+        let m = module(&ast);
+        let run = Toolchain::new(Config::default())
+            .run_module(&m, "main", &[6, 7], &[])
+            .unwrap();
+        assert_eq!(run.return_value(), 43);
+        assert!(run.stats().cycles > 0);
+    }
+
+    #[test]
+    fn epic_and_baseline_agree_on_results() {
+        let ast = Ast::new()
+            .global(epic_ir::Global::zeroed("out", 4))
+            .function(FunctionDef::new("main", ["n"]).body([
+                Stmt::let_("acc", Expr::lit(0)),
+                Stmt::for_("i", Expr::lit(1), Expr::var("n") + Expr::lit(1), [
+                    Stmt::assign("acc", Expr::var("acc") + Expr::var("i") * Expr::var("i")),
+                ]),
+                Stmt::store_word(Expr::global("out"), Expr::var("acc")),
+                Stmt::ret(Expr::var("acc")),
+            ]));
+        let m = module(&ast);
+        let epic = Toolchain::new(Config::default())
+            .run_module(&m, "main", &[10], &[])
+            .unwrap();
+        let arm = run_sa110(&m, "main", &[10], &[]).unwrap();
+        let expected: u32 = (1..=10).map(|i| i * i).sum();
+        assert_eq!(epic.return_value(), expected);
+        assert_eq!(arm.return_value(), expected);
+        // Memory images agree on the output global too.
+        let bytes = epic.read_global(&m, "out", 4).unwrap();
+        assert_eq!(bytes, expected.to_be_bytes());
+    }
+
+    #[test]
+    fn calls_work_end_to_end() {
+        let sq = FunctionDef::new("sq", ["x"]).body([Stmt::ret(Expr::var("x") * Expr::var("x"))]);
+        let main = FunctionDef::new("main", ["a"]).body([
+            Stmt::let_("k", Expr::var("a") + Expr::lit(2)),
+            Stmt::let_("r", Expr::call("sq", [Expr::var("k")])),
+            Stmt::ret(Expr::var("r") + Expr::var("k")),
+        ]);
+        let ast = Ast::new().function(sq).function(main);
+        let m = module(&ast);
+        let run = Toolchain::new(Config::default())
+            .run_module(&m, "main", &[3], &[])
+            .unwrap();
+        assert_eq!(run.return_value(), 30);
+    }
+
+    #[test]
+    fn recursion_works_on_the_epic_machine() {
+        let fib = FunctionDef::new("fib", ["n"]).body([
+            Stmt::if_(Expr::var("n").lt_s(Expr::lit(2)), [Stmt::ret(Expr::var("n"))]),
+            Stmt::ret(
+                Expr::call("fib", [Expr::var("n") - Expr::lit(1)])
+                    + Expr::call("fib", [Expr::var("n") - Expr::lit(2)]),
+            ),
+        ]);
+        let m = module(&Ast::new().function(fib));
+        let run = Toolchain::new(Config::default())
+            .run_module(&m, "fib", &[12], &[])
+            .unwrap();
+        assert_eq!(run.return_value(), 144);
+    }
+
+    #[test]
+    fn wider_machines_are_not_slower() {
+        let mut body = vec![Stmt::let_("acc", Expr::lit(0))];
+        for i in 0..16 {
+            body.push(Stmt::let_(format!("t{i}"), Expr::var("x") * Expr::lit(i + 1)));
+        }
+        let mut total = Expr::var("t0");
+        for i in 1..16 {
+            total = total + Expr::var(format!("t{i}"));
+        }
+        body.push(Stmt::ret(total));
+        let ast = Ast::new().function(FunctionDef::new("main", ["x"]).body(body));
+        let m = module(&ast);
+        let narrow = Toolchain::new(Config::builder().num_alus(1).issue_width(1).build().unwrap())
+            .run_module(&m, "main", &[3], &[])
+            .unwrap();
+        let wide = Toolchain::new(Config::default())
+            .run_module(&m, "main", &[3], &[])
+            .unwrap();
+        assert_eq!(narrow.return_value(), wide.return_value());
+        assert!(wide.stats().cycles < narrow.stats().cycles);
+    }
+}

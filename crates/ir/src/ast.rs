@@ -1,0 +1,536 @@
+//! A small structured frontend: the role of the C sources the paper feeds
+//! to Trimaran's IMPACT module.
+//!
+//! Programs are built as Rust values — expressions with operator
+//! overloading, statements with combinator helpers — and lowered to IR by
+//! [`lower`](crate::lower::lower). The benchmark suite (`epic-workloads`)
+//! writes SHA, AES, DCT and Dijkstra in this AST exactly once; both the
+//! EPIC compiler and the SA-110 baseline then consume the same IR, as one
+//! C source fed both toolchains in the paper.
+//!
+//! # Examples
+//!
+//! ```
+//! use epic_ir::ast::{Expr, FunctionDef, Program, Stmt};
+//!
+//! // sum of 0..n
+//! let f = FunctionDef::new("sum", ["n"]).body([
+//!     Stmt::let_("acc", Expr::lit(0)),
+//!     Stmt::for_("i", Expr::lit(0), Expr::var("n"), [
+//!         Stmt::assign("acc", Expr::var("acc") + Expr::var("i")),
+//!     ]),
+//!     Stmt::ret(Expr::var("acc")),
+//! ]);
+//! let program = Program::new().function(f);
+//! assert_eq!(program.functions.len(), 1);
+//! ```
+
+use crate::module::Global;
+use crate::ops::{BinOp, LoadKind, StoreKind, UnOp};
+
+/// An expression tree.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum Expr {
+    /// A 32-bit constant.
+    Lit(i64),
+    /// A local variable or parameter.
+    Var(String),
+    /// The byte address of a global object.
+    GlobalAddr(String),
+    /// A binary operation.
+    Bin(BinOp, Box<Expr>, Box<Expr>),
+    /// A unary operation.
+    Un(UnOp, Box<Expr>),
+    /// A memory load from a computed address.
+    Load(LoadKind, Box<Expr>),
+    /// A call to a named function.
+    Call(String, Vec<Expr>),
+}
+
+impl Expr {
+    /// A constant.
+    #[must_use]
+    pub fn lit(value: i64) -> Expr {
+        Expr::Lit(value)
+    }
+
+    /// A local variable reference.
+    #[must_use]
+    pub fn var(name: impl Into<String>) -> Expr {
+        Expr::Var(name.into())
+    }
+
+    /// The address of a global.
+    #[must_use]
+    pub fn global(name: impl Into<String>) -> Expr {
+        Expr::GlobalAddr(name.into())
+    }
+
+    /// A function call expression.
+    #[must_use]
+    pub fn call(name: impl Into<String>, args: impl IntoIterator<Item = Expr>) -> Expr {
+        Expr::Call(name.into(), args.into_iter().collect())
+    }
+
+    /// Word load `*(u32*)(self)`.
+    #[must_use]
+    pub fn load_word(self) -> Expr {
+        Expr::Load(LoadKind::Word, Box::new(self))
+    }
+
+    /// Zero-extending byte load.
+    #[must_use]
+    pub fn load_byte_u(self) -> Expr {
+        Expr::Load(LoadKind::ByteU, Box::new(self))
+    }
+
+    /// Sign-extending byte load.
+    #[must_use]
+    pub fn load_byte_s(self) -> Expr {
+        Expr::Load(LoadKind::Byte, Box::new(self))
+    }
+
+    /// Zero-extending half-word load.
+    #[must_use]
+    pub fn load_half_u(self) -> Expr {
+        Expr::Load(LoadKind::HalfU, Box::new(self))
+    }
+
+    /// Sign-extending half-word load.
+    #[must_use]
+    pub fn load_half_s(self) -> Expr {
+        Expr::Load(LoadKind::Half, Box::new(self))
+    }
+
+    fn bin(self, op: BinOp, rhs: Expr) -> Expr {
+        Expr::Bin(op, Box::new(self), Box::new(rhs))
+    }
+
+    /// Signed division (0 on division by zero).
+    #[must_use]
+    pub fn div(self, rhs: Expr) -> Expr {
+        self.bin(BinOp::Div, rhs)
+    }
+
+    /// Signed remainder (0 on division by zero).
+    #[must_use]
+    pub fn rem(self, rhs: Expr) -> Expr {
+        self.bin(BinOp::Rem, rhs)
+    }
+
+    /// Logical shift right.
+    #[must_use]
+    pub fn shr(self, rhs: Expr) -> Expr {
+        self.bin(BinOp::Shr, rhs)
+    }
+
+    /// Arithmetic shift right.
+    #[must_use]
+    pub fn sra(self, rhs: Expr) -> Expr {
+        self.bin(BinOp::Sra, rhs)
+    }
+
+    /// Rotate right by `rhs` bits.
+    #[must_use]
+    pub fn rotr(self, rhs: Expr) -> Expr {
+        self.bin(BinOp::Rotr, rhs)
+    }
+
+    /// Signed minimum.
+    #[must_use]
+    pub fn min(self, rhs: Expr) -> Expr {
+        self.bin(BinOp::Min, rhs)
+    }
+
+    /// Signed maximum.
+    #[must_use]
+    pub fn max(self, rhs: Expr) -> Expr {
+        self.bin(BinOp::Max, rhs)
+    }
+
+    /// Equality test (0/1).
+    #[must_use]
+    pub fn eq(self, rhs: Expr) -> Expr {
+        self.bin(BinOp::CmpEq, rhs)
+    }
+
+    /// Inequality test (0/1).
+    #[must_use]
+    pub fn ne(self, rhs: Expr) -> Expr {
+        self.bin(BinOp::CmpNe, rhs)
+    }
+
+    /// Signed `<`.
+    #[must_use]
+    pub fn lt_s(self, rhs: Expr) -> Expr {
+        self.bin(BinOp::CmpLt, rhs)
+    }
+
+    /// Signed `<=`.
+    #[must_use]
+    pub fn le_s(self, rhs: Expr) -> Expr {
+        self.bin(BinOp::CmpLe, rhs)
+    }
+
+    /// Signed `>`.
+    #[must_use]
+    pub fn gt_s(self, rhs: Expr) -> Expr {
+        self.bin(BinOp::CmpGt, rhs)
+    }
+
+    /// Signed `>=`.
+    #[must_use]
+    pub fn ge_s(self, rhs: Expr) -> Expr {
+        self.bin(BinOp::CmpGe, rhs)
+    }
+
+    /// Unsigned `<`.
+    #[must_use]
+    pub fn lt_u(self, rhs: Expr) -> Expr {
+        self.bin(BinOp::CmpLtu, rhs)
+    }
+
+    /// Unsigned `<=`.
+    #[must_use]
+    pub fn le_u(self, rhs: Expr) -> Expr {
+        self.bin(BinOp::CmpLeu, rhs)
+    }
+
+    /// Unsigned `>`.
+    #[must_use]
+    pub fn gt_u(self, rhs: Expr) -> Expr {
+        self.bin(BinOp::CmpGtu, rhs)
+    }
+
+    /// Unsigned `>=`.
+    #[must_use]
+    pub fn ge_u(self, rhs: Expr) -> Expr {
+        self.bin(BinOp::CmpGeu, rhs)
+    }
+}
+
+impl std::ops::Add for Expr {
+    type Output = Expr;
+    fn add(self, rhs: Expr) -> Expr {
+        self.bin(BinOp::Add, rhs)
+    }
+}
+
+impl std::ops::Sub for Expr {
+    type Output = Expr;
+    fn sub(self, rhs: Expr) -> Expr {
+        self.bin(BinOp::Sub, rhs)
+    }
+}
+
+impl std::ops::Mul for Expr {
+    type Output = Expr;
+    fn mul(self, rhs: Expr) -> Expr {
+        self.bin(BinOp::Mul, rhs)
+    }
+}
+
+impl std::ops::BitAnd for Expr {
+    type Output = Expr;
+    fn bitand(self, rhs: Expr) -> Expr {
+        self.bin(BinOp::And, rhs)
+    }
+}
+
+impl std::ops::BitOr for Expr {
+    type Output = Expr;
+    fn bitor(self, rhs: Expr) -> Expr {
+        self.bin(BinOp::Or, rhs)
+    }
+}
+
+impl std::ops::BitXor for Expr {
+    type Output = Expr;
+    fn bitxor(self, rhs: Expr) -> Expr {
+        self.bin(BinOp::Xor, rhs)
+    }
+}
+
+impl std::ops::Shl<Expr> for Expr {
+    type Output = Expr;
+    fn shl(self, rhs: Expr) -> Expr {
+        self.bin(BinOp::Shl, rhs)
+    }
+}
+
+impl std::ops::Neg for Expr {
+    type Output = Expr;
+    fn neg(self) -> Expr {
+        Expr::Un(UnOp::Neg, Box::new(self))
+    }
+}
+
+impl std::ops::Not for Expr {
+    type Output = Expr;
+    fn not(self) -> Expr {
+        Expr::Un(UnOp::Not, Box::new(self))
+    }
+}
+
+impl From<i64> for Expr {
+    fn from(value: i64) -> Expr {
+        Expr::Lit(value)
+    }
+}
+
+impl From<i32> for Expr {
+    fn from(value: i32) -> Expr {
+        Expr::Lit(i64::from(value))
+    }
+}
+
+impl From<u32> for Expr {
+    fn from(value: u32) -> Expr {
+        Expr::Lit(i64::from(value))
+    }
+}
+
+impl From<&str> for Expr {
+    fn from(name: &str) -> Expr {
+        Expr::Var(name.to_owned())
+    }
+}
+
+/// A statement.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum Stmt {
+    /// Declare a local and initialise it.
+    Let(String, Expr),
+    /// Assign to an existing local.
+    Assign(String, Expr),
+    /// Store `value` to the address `addr`.
+    Store(StoreKind, Expr, Expr),
+    /// Two-way conditional.
+    If(Expr, Vec<Stmt>, Vec<Stmt>),
+    /// Pre-tested loop.
+    While(Expr, Vec<Stmt>),
+    /// Return from the function.
+    Return(Option<Expr>),
+    /// Evaluate for side effects (calls).
+    Expr(Expr),
+    /// A nested statement sequence (no new scope; produced by `for_`).
+    Block(Vec<Stmt>),
+}
+
+impl Stmt {
+    /// `let name = value;`
+    #[must_use]
+    pub fn let_(name: impl Into<String>, value: impl Into<Expr>) -> Stmt {
+        Stmt::Let(name.into(), value.into())
+    }
+
+    /// `name = value;`
+    #[must_use]
+    pub fn assign(name: impl Into<String>, value: impl Into<Expr>) -> Stmt {
+        Stmt::Assign(name.into(), value.into())
+    }
+
+    /// `*(u32*)addr = value;`
+    #[must_use]
+    pub fn store_word(addr: impl Into<Expr>, value: impl Into<Expr>) -> Stmt {
+        Stmt::Store(StoreKind::Word, addr.into(), value.into())
+    }
+
+    /// `*(u16*)addr = value;`
+    #[must_use]
+    pub fn store_half(addr: impl Into<Expr>, value: impl Into<Expr>) -> Stmt {
+        Stmt::Store(StoreKind::Half, addr.into(), value.into())
+    }
+
+    /// `*(u8*)addr = value;`
+    #[must_use]
+    pub fn store_byte(addr: impl Into<Expr>, value: impl Into<Expr>) -> Stmt {
+        Stmt::Store(StoreKind::Byte, addr.into(), value.into())
+    }
+
+    /// `if (cond) { then }` with no else branch.
+    #[must_use]
+    pub fn if_(cond: impl Into<Expr>, then: impl IntoIterator<Item = Stmt>) -> Stmt {
+        Stmt::If(cond.into(), then.into_iter().collect(), Vec::new())
+    }
+
+    /// `if (cond) { then } else { els }`.
+    #[must_use]
+    pub fn if_else(
+        cond: impl Into<Expr>,
+        then: impl IntoIterator<Item = Stmt>,
+        els: impl IntoIterator<Item = Stmt>,
+    ) -> Stmt {
+        Stmt::If(
+            cond.into(),
+            then.into_iter().collect(),
+            els.into_iter().collect(),
+        )
+    }
+
+    /// `while (cond) { body }`.
+    #[must_use]
+    pub fn while_(cond: impl Into<Expr>, body: impl IntoIterator<Item = Stmt>) -> Stmt {
+        Stmt::While(cond.into(), body.into_iter().collect())
+    }
+
+    /// Counted loop sugar: `for (let var = start; var < end; var += 1)`.
+    ///
+    /// `end` is re-evaluated each iteration, like the C it imitates; hoist
+    /// it into a local first when that matters.
+    #[must_use]
+    pub fn for_(
+        var: impl Into<String>,
+        start: impl Into<Expr>,
+        end: impl Into<Expr>,
+        body: impl IntoIterator<Item = Stmt>,
+    ) -> Stmt {
+        let var = var.into();
+        let mut body: Vec<Stmt> = body.into_iter().collect();
+        body.push(Stmt::assign(&var, Expr::var(&var) + Expr::lit(1)));
+        Stmt::Block(vec![
+            Stmt::let_(&var, start),
+            Stmt::While(Expr::var(&var).lt_s(end.into()), body),
+        ])
+    }
+
+    /// `return value;`
+    #[must_use]
+    pub fn ret(value: impl Into<Expr>) -> Stmt {
+        Stmt::Return(Some(value.into()))
+    }
+
+    /// `return;`
+    #[must_use]
+    pub fn ret_void() -> Stmt {
+        Stmt::Return(None)
+    }
+
+    /// A call evaluated for its side effects.
+    #[must_use]
+    pub fn call(name: impl Into<String>, args: impl IntoIterator<Item = Expr>) -> Stmt {
+        Stmt::Expr(Expr::call(name, args))
+    }
+}
+
+impl Stmt {
+    /// A nested statement sequence (no new scope; C-style).
+    #[must_use]
+    pub fn block(stmts: impl IntoIterator<Item = Stmt>) -> Stmt {
+        Stmt::Block(stmts.into_iter().collect())
+    }
+}
+
+/// A function definition.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FunctionDef {
+    /// The function's name.
+    pub name: String,
+    /// Parameter names.
+    pub params: Vec<String>,
+    /// The body.
+    pub body: Vec<Stmt>,
+    /// When true, the EPIC inliner may clone this function into callers.
+    pub inline_hint: bool,
+}
+
+impl FunctionDef {
+    /// Starts a function with the given parameters and empty body.
+    #[must_use]
+    pub fn new<S: Into<String>>(
+        name: impl Into<String>,
+        params: impl IntoIterator<Item = S>,
+    ) -> Self {
+        FunctionDef {
+            name: name.into(),
+            params: params.into_iter().map(Into::into).collect(),
+            body: Vec::new(),
+            inline_hint: false,
+        }
+    }
+
+    /// Sets the body.
+    #[must_use]
+    pub fn body(mut self, stmts: impl IntoIterator<Item = Stmt>) -> Self {
+        self.body = stmts.into_iter().collect();
+        self
+    }
+
+    /// Marks the function as an inlining candidate.
+    #[must_use]
+    pub fn inline(mut self) -> Self {
+        self.inline_hint = true;
+        self
+    }
+}
+
+/// A whole program: functions plus global data declarations.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Program {
+    /// Function definitions.
+    pub functions: Vec<FunctionDef>,
+    /// Global data objects (layout is computed at lowering).
+    pub globals: Vec<Global>,
+}
+
+impl Program {
+    /// An empty program.
+    #[must_use]
+    pub fn new() -> Self {
+        Program::default()
+    }
+
+    /// Adds a function.
+    #[must_use]
+    pub fn function(mut self, f: FunctionDef) -> Self {
+        self.functions.push(f);
+        self
+    }
+
+    /// Adds a global.
+    #[must_use]
+    pub fn global(mut self, g: Global) -> Self {
+        self.globals.push(g);
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn operator_overloads_build_the_expected_tree() {
+        let e = Expr::var("a") + Expr::lit(1) * Expr::var("b");
+        match e {
+            Expr::Bin(BinOp::Add, lhs, rhs) => {
+                assert_eq!(*lhs, Expr::var("a"));
+                assert!(matches!(*rhs, Expr::Bin(BinOp::Mul, _, _)));
+            }
+            other => panic!("unexpected tree {other:?}"),
+        }
+    }
+
+    #[test]
+    fn for_sugar_expands_to_let_plus_while() {
+        let s = Stmt::for_("i", Expr::lit(0), Expr::lit(10), [Stmt::ret_void()]);
+        let Stmt::Block(stmts) = s else {
+            panic!("for_ should expand to a block")
+        };
+        assert!(matches!(&stmts[0], Stmt::Let(name, _) if name == "i"));
+        let Stmt::While(cond, body) = &stmts[1] else {
+            panic!("second statement should be while")
+        };
+        assert!(matches!(cond, Expr::Bin(BinOp::CmpLt, _, _)));
+        assert!(matches!(body.last(), Some(Stmt::Assign(name, _)) if name == "i"));
+    }
+
+    #[test]
+    fn conversions_into_expr() {
+        assert_eq!(Expr::from(5i32), Expr::Lit(5));
+        assert_eq!(Expr::from(5u32), Expr::Lit(5));
+        assert_eq!(Expr::from("x"), Expr::Var("x".into()));
+    }
+}

@@ -1,0 +1,130 @@
+//! Error type for IR construction, validation and interpretation.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error raised while lowering, validating or interpreting IR.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum IrError {
+    /// Two module-level symbols (functions or globals) share a name.
+    DuplicateSymbol {
+        /// The clashing name.
+        name: String,
+    },
+    /// A call or lookup referenced a function the module does not define.
+    UnknownFunction {
+        /// The missing function name.
+        name: String,
+    },
+    /// A call passed the wrong number of arguments.
+    ArityMismatch {
+        /// The called function.
+        function: String,
+        /// Its parameter count.
+        expected: usize,
+        /// Arguments supplied.
+        found: usize,
+    },
+    /// An operation referenced a virtual register past `vreg_count`.
+    BadVReg {
+        /// The containing function.
+        function: String,
+        /// The out-of-range register number.
+        vreg: u32,
+    },
+    /// A terminator referenced a block that does not exist.
+    BadBlock {
+        /// The containing function.
+        function: String,
+        /// The out-of-range block number.
+        block: u32,
+    },
+    /// The AST referenced a variable that is not in scope.
+    UnknownVariable {
+        /// The variable name.
+        name: String,
+        /// The function being lowered.
+        function: String,
+    },
+    /// The AST referenced a global that the program does not declare.
+    UnknownGlobal {
+        /// The global name.
+        name: String,
+    },
+    /// A memory access fell outside the data memory.
+    OutOfBoundsAccess {
+        /// The faulting byte address.
+        address: u32,
+        /// Size of the data memory.
+        memory_size: u32,
+    },
+    /// A word or half-word access was not naturally aligned.
+    MisalignedAccess {
+        /// The faulting byte address.
+        address: u32,
+        /// Required alignment in bytes.
+        alignment: u32,
+    },
+    /// The interpreter exceeded its step budget (likely an endless loop).
+    StepLimit {
+        /// The configured limit.
+        limit: u64,
+    },
+}
+
+impl fmt::Display for IrError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IrError::DuplicateSymbol { name } => {
+                write!(f, "symbol `{name}` is defined more than once")
+            }
+            IrError::UnknownFunction { name } => write!(f, "unknown function `{name}`"),
+            IrError::ArityMismatch {
+                function,
+                expected,
+                found,
+            } => write!(
+                f,
+                "function `{function}` takes {expected} arguments, {found} supplied"
+            ),
+            IrError::BadVReg { function, vreg } => {
+                write!(f, "function `{function}` references unallocated register v{vreg}")
+            }
+            IrError::BadBlock { function, block } => {
+                write!(f, "function `{function}` references missing block bb{block}")
+            }
+            IrError::UnknownVariable { name, function } => {
+                write!(f, "variable `{name}` is not in scope in `{function}`")
+            }
+            IrError::UnknownGlobal { name } => write!(f, "unknown global `{name}`"),
+            IrError::OutOfBoundsAccess {
+                address,
+                memory_size,
+            } => write!(
+                f,
+                "memory access at {address:#x} is outside the {memory_size}-byte data memory"
+            ),
+            IrError::MisalignedAccess { address, alignment } => write!(
+                f,
+                "memory access at {address:#x} violates {alignment}-byte alignment"
+            ),
+            IrError::StepLimit { limit } => {
+                write!(f, "execution exceeded the step limit of {limit}")
+            }
+        }
+    }
+}
+
+impl Error for IrError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<IrError>();
+    }
+}

@@ -1,0 +1,414 @@
+//! Functions, basic blocks and the function builder.
+
+use crate::ops::IrOp;
+use std::fmt;
+
+/// A virtual register. The register allocator later maps these onto the
+/// configured GPR file.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct VReg(pub u32);
+
+impl fmt::Display for VReg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+/// Identifier of a basic block within its function.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct BlockId(pub u32);
+
+impl fmt::Display for BlockId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "bb{}", self.0)
+    }
+}
+
+/// How a basic block ends.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Terminator {
+    /// Unconditional jump.
+    Jump(BlockId),
+    /// Two-way branch on a 0/1 condition register.
+    Branch {
+        /// The condition register (non-zero means taken).
+        cond: VReg,
+        /// Successor when the condition is true.
+        then_block: BlockId,
+        /// Successor when the condition is false.
+        else_block: BlockId,
+    },
+    /// Function return with an optional value.
+    Ret(Option<VReg>),
+}
+
+impl Terminator {
+    /// Successor blocks, in branch order.
+    #[must_use]
+    pub fn successors(&self) -> Vec<BlockId> {
+        match self {
+            Terminator::Jump(b) => vec![*b],
+            Terminator::Branch {
+                then_block,
+                else_block,
+                ..
+            } => vec![*then_block, *else_block],
+            Terminator::Ret(_) => vec![],
+        }
+    }
+
+    /// The register read by the terminator, if any.
+    #[must_use]
+    pub fn use_reg(&self) -> Option<VReg> {
+        match self {
+            Terminator::Branch { cond, .. } => Some(*cond),
+            Terminator::Ret(v) => *v,
+            Terminator::Jump(_) => None,
+        }
+    }
+}
+
+impl fmt::Display for Terminator {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Terminator::Jump(b) => write!(f, "jump {b}"),
+            Terminator::Branch {
+                cond,
+                then_block,
+                else_block,
+            } => write!(f, "branch {cond} ? {then_block} : {else_block}"),
+            Terminator::Ret(Some(v)) => write!(f, "ret {v}"),
+            Terminator::Ret(None) => write!(f, "ret"),
+        }
+    }
+}
+
+/// A basic block: straight-line operations plus one terminator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Block {
+    /// This block's id.
+    pub id: BlockId,
+    /// The operations, in program order.
+    pub ops: Vec<IrOp>,
+    /// The terminator.
+    pub term: Terminator,
+}
+
+/// A function: a named CFG over virtual registers.
+///
+/// Parameters arrive in `params` (already materialised as virtual
+/// registers); the entry block is always `blocks[0]`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Function {
+    /// The function name (unique within a module).
+    pub name: String,
+    /// Parameter registers, in call order.
+    pub params: Vec<VReg>,
+    /// Basic blocks; `blocks[i].id == BlockId(i)`.
+    pub blocks: Vec<Block>,
+    /// Number of virtual registers in use (all `VReg` < this).
+    pub vreg_count: u32,
+}
+
+impl Function {
+    /// The entry block id.
+    #[must_use]
+    pub fn entry(&self) -> BlockId {
+        BlockId(0)
+    }
+
+    /// Looks up a block by id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is out of range (functions are built through
+    /// [`FunctionBuilder`], which cannot produce dangling ids).
+    #[must_use]
+    pub fn block(&self, id: BlockId) -> &Block {
+        &self.blocks[id.0 as usize]
+    }
+
+    /// Mutable block lookup.
+    #[must_use]
+    pub fn block_mut(&mut self, id: BlockId) -> &mut Block {
+        &mut self.blocks[id.0 as usize]
+    }
+
+    /// Allocates a fresh virtual register.
+    pub fn new_vreg(&mut self) -> VReg {
+        let r = VReg(self.vreg_count);
+        self.vreg_count += 1;
+        r
+    }
+
+    /// Predecessor lists indexed by block.
+    #[must_use]
+    pub fn predecessors(&self) -> Vec<Vec<BlockId>> {
+        let mut preds = vec![Vec::new(); self.blocks.len()];
+        for block in &self.blocks {
+            for succ in block.term.successors() {
+                preds[succ.0 as usize].push(block.id);
+            }
+        }
+        preds
+    }
+
+    /// Blocks reachable from the entry, in reverse postorder.
+    #[must_use]
+    pub fn reverse_postorder(&self) -> Vec<BlockId> {
+        let mut visited = vec![false; self.blocks.len()];
+        let mut postorder = Vec::with_capacity(self.blocks.len());
+        // Iterative DFS carrying an explicit successor cursor.
+        let mut stack = vec![(self.entry(), 0usize)];
+        visited[0] = true;
+        while let Some((block, cursor)) = stack.pop() {
+            let succs = self.block(block).term.successors();
+            if cursor < succs.len() {
+                stack.push((block, cursor + 1));
+                let next = succs[cursor];
+                if !visited[next.0 as usize] {
+                    visited[next.0 as usize] = true;
+                    stack.push((next, 0));
+                }
+            } else {
+                postorder.push(block);
+            }
+        }
+        postorder.reverse();
+        postorder
+    }
+
+    /// Total operation count across all blocks (terminators excluded).
+    #[must_use]
+    pub fn op_count(&self) -> usize {
+        self.blocks.iter().map(|b| b.ops.len()).sum()
+    }
+}
+
+impl fmt::Display for Function {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "fn {}(", self.name)?;
+        for (i, p) in self.params.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{p}")?;
+        }
+        writeln!(f, ") {{")?;
+        for block in &self.blocks {
+            writeln!(f, "{}:", block.id)?;
+            for op in &block.ops {
+                writeln!(f, "  {op}")?;
+            }
+            writeln!(f, "  {}", block.term)?;
+        }
+        write!(f, "}}")
+    }
+}
+
+/// Incrementally constructs a [`Function`].
+///
+/// Blocks are created with [`new_block`](FunctionBuilder::new_block),
+/// selected with [`switch_to`](FunctionBuilder::switch_to), filled with
+/// [`push`](FunctionBuilder::push) and sealed with
+/// [`terminate`](FunctionBuilder::terminate). Unterminated blocks receive
+/// `ret` when the function is finished.
+///
+/// # Examples
+///
+/// ```
+/// use epic_ir::{BinOp, FunctionBuilder, IrOp, Terminator};
+///
+/// let mut b = FunctionBuilder::new("double", 1);
+/// let x = b.params()[0];
+/// let two = b.new_vreg();
+/// let out = b.new_vreg();
+/// b.push(IrOp::Const { dest: two, value: 2 });
+/// b.push(IrOp::Bin { op: BinOp::Mul, dest: out, lhs: x, rhs: two });
+/// b.terminate(Terminator::Ret(Some(out)));
+/// let f = b.finish();
+/// assert_eq!(f.blocks.len(), 1);
+/// ```
+#[derive(Debug)]
+pub struct FunctionBuilder {
+    func: Function,
+    current: BlockId,
+    terminated: Vec<bool>,
+}
+
+impl FunctionBuilder {
+    /// Starts a function with `param_count` parameter registers and an
+    /// open entry block.
+    #[must_use]
+    pub fn new(name: impl Into<String>, param_count: usize) -> Self {
+        let params: Vec<VReg> = (0..param_count as u32).map(VReg).collect();
+        let func = Function {
+            name: name.into(),
+            params,
+            blocks: vec![Block {
+                id: BlockId(0),
+                ops: Vec::new(),
+                term: Terminator::Ret(None),
+            }],
+            vreg_count: param_count as u32,
+        };
+        FunctionBuilder {
+            func,
+            current: BlockId(0),
+            terminated: vec![false],
+        }
+    }
+
+    /// The parameter registers.
+    #[must_use]
+    pub fn params(&self) -> &[VReg] {
+        &self.func.params
+    }
+
+    /// Allocates a fresh virtual register.
+    pub fn new_vreg(&mut self) -> VReg {
+        self.func.new_vreg()
+    }
+
+    /// Creates a new, empty, unterminated block and returns its id.
+    pub fn new_block(&mut self) -> BlockId {
+        let id = BlockId(self.func.blocks.len() as u32);
+        self.func.blocks.push(Block {
+            id,
+            ops: Vec::new(),
+            term: Terminator::Ret(None),
+        });
+        self.terminated.push(false);
+        id
+    }
+
+    /// The block currently receiving operations.
+    #[must_use]
+    pub fn current_block(&self) -> BlockId {
+        self.current
+    }
+
+    /// Redirects subsequent pushes to `block`.
+    pub fn switch_to(&mut self, block: BlockId) {
+        self.current = block;
+    }
+
+    /// Appends an operation to the current block.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the current block is already terminated — that is a
+    /// builder-usage bug, not a data error.
+    pub fn push(&mut self, op: IrOp) {
+        assert!(
+            !self.terminated[self.current.0 as usize],
+            "pushing into terminated block {}",
+            self.current
+        );
+        self.func.block_mut(self.current).ops.push(op);
+    }
+
+    /// Seals the current block with a terminator.
+    pub fn terminate(&mut self, term: Terminator) {
+        if !self.terminated[self.current.0 as usize] {
+            self.func.block_mut(self.current).term = term;
+            self.terminated[self.current.0 as usize] = true;
+        }
+    }
+
+    /// Whether the current block already has its terminator.
+    #[must_use]
+    pub fn is_terminated(&self) -> bool {
+        self.terminated[self.current.0 as usize]
+    }
+
+    /// Finishes construction and returns the function.
+    #[must_use]
+    pub fn finish(self) -> Function {
+        self.func
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::BinOp;
+
+    fn diamond() -> Function {
+        // bb0 -> (bb1 | bb2) -> bb3
+        let mut b = FunctionBuilder::new("diamond", 1);
+        let cond = b.params()[0];
+        let t = b.new_block();
+        let e = b.new_block();
+        let join = b.new_block();
+        b.terminate(Terminator::Branch {
+            cond,
+            then_block: t,
+            else_block: e,
+        });
+        b.switch_to(t);
+        b.terminate(Terminator::Jump(join));
+        b.switch_to(e);
+        b.terminate(Terminator::Jump(join));
+        b.switch_to(join);
+        b.terminate(Terminator::Ret(None));
+        b.finish()
+    }
+
+    #[test]
+    fn predecessors_of_a_diamond() {
+        let f = diamond();
+        let preds = f.predecessors();
+        assert_eq!(preds[0], vec![]);
+        assert_eq!(preds[1], vec![BlockId(0)]);
+        assert_eq!(preds[2], vec![BlockId(0)]);
+        assert_eq!(preds[3], vec![BlockId(1), BlockId(2)]);
+    }
+
+    #[test]
+    fn reverse_postorder_visits_entry_first_and_join_last() {
+        let f = diamond();
+        let order = f.reverse_postorder();
+        assert_eq!(order.len(), 4);
+        assert_eq!(order[0], BlockId(0));
+        assert_eq!(order[3], BlockId(3));
+    }
+
+    #[test]
+    fn reverse_postorder_skips_unreachable_blocks() {
+        let mut b = FunctionBuilder::new("f", 0);
+        b.terminate(Terminator::Ret(None));
+        let dead = b.new_block();
+        b.switch_to(dead);
+        b.terminate(Terminator::Ret(None));
+        let f = b.finish();
+        assert_eq!(f.reverse_postorder(), vec![BlockId(0)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "terminated block")]
+    fn pushing_into_a_sealed_block_panics() {
+        let mut b = FunctionBuilder::new("f", 0);
+        b.terminate(Terminator::Ret(None));
+        let d = b.new_vreg();
+        b.push(IrOp::Const { dest: d, value: 0 });
+    }
+
+    #[test]
+    fn display_renders_cfg() {
+        let mut b = FunctionBuilder::new("f", 2);
+        let (x, y) = (b.params()[0], b.params()[1]);
+        let d = b.new_vreg();
+        b.push(IrOp::Bin {
+            op: BinOp::Add,
+            dest: d,
+            lhs: x,
+            rhs: y,
+        });
+        b.terminate(Terminator::Ret(Some(d)));
+        let text = b.finish().to_string();
+        assert!(text.contains("fn f(v0, v1)"));
+        assert!(text.contains("v2 = add v0, v1"));
+        assert!(text.contains("ret v2"));
+    }
+}

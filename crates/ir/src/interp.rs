@@ -1,0 +1,457 @@
+//! The reference interpreter.
+//!
+//! Defines the semantics every backend must reproduce: 32-bit wrapping
+//! arithmetic, big-endian memory, division by zero yielding zero, aligned
+//! word and half-word accesses. Workload tests run the same program here,
+//! on the EPIC cycle-level simulator and on the SA-110 baseline, and
+//! require bit-identical memory and return values.
+
+use crate::error::IrError;
+use crate::func::{BlockId, Function, Terminator};
+use crate::module::{Layout, Module};
+use crate::ops::{IrOp, LoadKind, StoreKind};
+
+/// Execution statistics gathered by the interpreter.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ExecStats {
+    /// IR operations executed (terminators included).
+    pub steps: u64,
+    /// Function calls performed.
+    pub calls: u64,
+    /// Memory loads performed.
+    pub loads: u64,
+    /// Memory stores performed.
+    pub stores: u64,
+}
+
+/// The reference executor for IR modules.
+///
+/// Memory persists across [`call`](Interpreter::call)s, so a program can
+/// be driven as `init()` … `kernel()` … with results inspected through
+/// [`read_word`](Interpreter::read_word) between calls.
+///
+/// # Examples
+///
+/// ```
+/// use epic_ir::ast::{Expr, FunctionDef, Program, Stmt};
+/// use epic_ir::{lower, Interpreter};
+///
+/// let f = FunctionDef::new("add", ["a", "b"])
+///     .body([Stmt::ret(Expr::var("a") + Expr::var("b"))]);
+/// let module = lower::lower(&Program::new().function(f))?;
+/// let mut interp = Interpreter::new(&module);
+/// assert_eq!(interp.call("add", &[2, 3])?, Some(5));
+/// # Ok::<(), epic_ir::IrError>(())
+/// ```
+#[derive(Debug)]
+pub struct Interpreter<'m> {
+    module: &'m Module,
+    layout: Layout,
+    memory: Vec<u8>,
+    stats: ExecStats,
+    step_limit: u64,
+}
+
+impl<'m> Interpreter<'m> {
+    /// Creates an interpreter with freshly initialised data memory.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the module's layout is invalid (duplicate globals);
+    /// lowering already rejects such modules.
+    #[must_use]
+    pub fn new(module: &'m Module) -> Self {
+        let layout = module.layout().expect("module layout is valid");
+        let memory = module.initial_memory(&layout);
+        Interpreter {
+            module,
+            layout,
+            memory,
+            stats: ExecStats::default(),
+            step_limit: 20_000_000_000,
+        }
+    }
+
+    /// Caps the number of IR steps before execution aborts with
+    /// [`IrError::StepLimit`] (a runaway-loop backstop for tests).
+    pub fn set_step_limit(&mut self, limit: u64) {
+        self.step_limit = limit;
+    }
+
+    /// The module's memory layout.
+    #[must_use]
+    pub fn layout(&self) -> &Layout {
+        &self.layout
+    }
+
+    /// The data memory.
+    #[must_use]
+    pub fn memory(&self) -> &[u8] {
+        &self.memory
+    }
+
+    /// Statistics accumulated so far.
+    #[must_use]
+    pub fn stats(&self) -> ExecStats {
+        self.stats
+    }
+
+    /// Reads a big-endian word from data memory.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IrError::OutOfBoundsAccess`] or
+    /// [`IrError::MisalignedAccess`].
+    pub fn read_word(&self, address: u32) -> Result<u32, IrError> {
+        check_access(address, 4, self.memory.len() as u32)?;
+        let a = address as usize;
+        Ok(u32::from_be_bytes([
+            self.memory[a],
+            self.memory[a + 1],
+            self.memory[a + 2],
+            self.memory[a + 3],
+        ]))
+    }
+
+    /// Reads `len` raw bytes from data memory.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IrError::OutOfBoundsAccess`] when the range overruns.
+    pub fn read_bytes(&self, address: u32, len: u32) -> Result<&[u8], IrError> {
+        if u64::from(address) + u64::from(len) > self.memory.len() as u64 {
+            return Err(IrError::OutOfBoundsAccess {
+                address,
+                memory_size: self.memory.len() as u32,
+            });
+        }
+        Ok(&self.memory[address as usize..(address + len) as usize])
+    }
+
+    /// Writes a big-endian word to data memory.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IrError::OutOfBoundsAccess`] or
+    /// [`IrError::MisalignedAccess`].
+    pub fn write_word(&mut self, address: u32, value: u32) -> Result<(), IrError> {
+        check_access(address, 4, self.memory.len() as u32)?;
+        self.memory[address as usize..address as usize + 4]
+            .copy_from_slice(&value.to_be_bytes());
+        Ok(())
+    }
+
+    /// Calls a function by name and returns its optional result.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IrError::UnknownFunction`], [`IrError::ArityMismatch`],
+    /// any memory fault, or [`IrError::StepLimit`].
+    pub fn call(&mut self, name: &str, args: &[u32]) -> Result<Option<u32>, IrError> {
+        let function = self
+            .module
+            .function(name)
+            .ok_or_else(|| IrError::UnknownFunction {
+                name: name.to_owned(),
+            })?;
+        if function.params.len() != args.len() {
+            return Err(IrError::ArityMismatch {
+                function: name.to_owned(),
+                expected: function.params.len(),
+                found: args.len(),
+            });
+        }
+        self.exec(function, args)
+    }
+
+    fn exec(&mut self, function: &'m Function, args: &[u32]) -> Result<Option<u32>, IrError> {
+        let mut regs = vec![0u32; function.vreg_count as usize];
+        for (param, value) in function.params.iter().zip(args) {
+            regs[param.0 as usize] = *value;
+        }
+        let mut block = BlockId(0);
+        loop {
+            let b = function.block(block);
+            for op in &b.ops {
+                self.stats.steps += 1;
+                if self.stats.steps > self.step_limit {
+                    return Err(IrError::StepLimit {
+                        limit: self.step_limit,
+                    });
+                }
+                self.exec_op(op, &mut regs)?;
+            }
+            self.stats.steps += 1;
+            match &b.term {
+                Terminator::Jump(next) => block = *next,
+                Terminator::Branch {
+                    cond,
+                    then_block,
+                    else_block,
+                } => {
+                    block = if regs[cond.0 as usize] != 0 {
+                        *then_block
+                    } else {
+                        *else_block
+                    };
+                }
+                Terminator::Ret(value) => {
+                    return Ok(value.map(|v| regs[v.0 as usize]));
+                }
+            }
+        }
+    }
+
+    fn exec_op(&mut self, op: &IrOp, regs: &mut [u32]) -> Result<(), IrError> {
+        match op {
+            IrOp::Const { dest, value } => regs[dest.0 as usize] = *value as u32,
+            IrOp::Bin { op, dest, lhs, rhs } => {
+                regs[dest.0 as usize] = op.eval(regs[lhs.0 as usize], regs[rhs.0 as usize]);
+            }
+            IrOp::Un { op, dest, src } => {
+                regs[dest.0 as usize] = op.eval(regs[src.0 as usize]);
+            }
+            IrOp::Copy { dest, src } => regs[dest.0 as usize] = regs[src.0 as usize],
+            IrOp::Load {
+                kind,
+                dest,
+                base,
+                offset,
+            } => {
+                self.stats.loads += 1;
+                let address = regs[base.0 as usize].wrapping_add(*offset as u32);
+                regs[dest.0 as usize] = self.load(*kind, address)?;
+            }
+            IrOp::Store {
+                kind,
+                value,
+                base,
+                offset,
+            } => {
+                self.stats.stores += 1;
+                let address = regs[base.0 as usize].wrapping_add(*offset as u32);
+                self.store(*kind, address, regs[value.0 as usize])?;
+            }
+            IrOp::Call { callee, args, dest } => {
+                self.stats.calls += 1;
+                let arg_values: Vec<u32> = args.iter().map(|a| regs[a.0 as usize]).collect();
+                let function =
+                    self.module
+                        .function(callee)
+                        .ok_or_else(|| IrError::UnknownFunction {
+                            name: callee.clone(),
+                        })?;
+                let result = self.exec(function, &arg_values)?;
+                if let Some(d) = dest {
+                    regs[d.0 as usize] = result.unwrap_or(0);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn load(&self, kind: LoadKind, address: u32) -> Result<u32, IrError> {
+        check_access(address, kind.bytes(), self.memory.len() as u32)?;
+        let a = address as usize;
+        Ok(match kind {
+            LoadKind::Word => u32::from_be_bytes([
+                self.memory[a],
+                self.memory[a + 1],
+                self.memory[a + 2],
+                self.memory[a + 3],
+            ]),
+            LoadKind::Half => {
+                i32::from(i16::from_be_bytes([self.memory[a], self.memory[a + 1]])) as u32
+            }
+            LoadKind::HalfU => {
+                u32::from(u16::from_be_bytes([self.memory[a], self.memory[a + 1]]))
+            }
+            LoadKind::Byte => i32::from(self.memory[a] as i8) as u32,
+            LoadKind::ByteU => u32::from(self.memory[a]),
+        })
+    }
+
+    fn store(&mut self, kind: StoreKind, address: u32, value: u32) -> Result<(), IrError> {
+        check_access(address, kind.bytes(), self.memory.len() as u32)?;
+        let a = address as usize;
+        match kind {
+            StoreKind::Word => {
+                self.memory[a..a + 4].copy_from_slice(&value.to_be_bytes());
+            }
+            StoreKind::Half => {
+                self.memory[a..a + 2].copy_from_slice(&(value as u16).to_be_bytes());
+            }
+            StoreKind::Byte => self.memory[a] = value as u8,
+        }
+        Ok(())
+    }
+}
+
+fn check_access(address: u32, bytes: u32, memory_size: u32) -> Result<(), IrError> {
+    if u64::from(address) + u64::from(bytes) > u64::from(memory_size) {
+        return Err(IrError::OutOfBoundsAccess {
+            address,
+            memory_size,
+        });
+    }
+    if address % bytes != 0 {
+        return Err(IrError::MisalignedAccess {
+            address,
+            alignment: bytes,
+        });
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::{Expr, FunctionDef, Program, Stmt};
+    use crate::lower;
+    use crate::module::Global;
+
+    fn run(program: &Program, func: &str, args: &[u32]) -> Option<u32> {
+        let module = lower::lower(program).unwrap();
+        let mut interp = Interpreter::new(&module);
+        interp.call(func, args).unwrap()
+    }
+
+    #[test]
+    fn loops_and_arithmetic() {
+        let f = FunctionDef::new("sum", ["n"]).body([
+            Stmt::let_("acc", Expr::lit(0)),
+            Stmt::for_("i", Expr::lit(0), Expr::var("n"), [
+                Stmt::assign("acc", Expr::var("acc") + Expr::var("i")),
+            ]),
+            Stmt::ret(Expr::var("acc")),
+        ]);
+        assert_eq!(run(&Program::new().function(f), "sum", &[10]), Some(45));
+    }
+
+    #[test]
+    fn if_else_both_arms() {
+        let f = FunctionDef::new("abs", ["x"]).body([
+            Stmt::let_("r", Expr::var("x")),
+            Stmt::if_(Expr::var("x").lt_s(Expr::lit(0)), [
+                Stmt::assign("r", -Expr::var("x")),
+            ]),
+            Stmt::ret(Expr::var("r")),
+        ]);
+        let p = Program::new().function(f);
+        assert_eq!(run(&p, "abs", &[5]), Some(5));
+        assert_eq!(run(&p, "abs", &[(-5i32) as u32]), Some(5));
+    }
+
+    #[test]
+    fn calls_pass_arguments_and_return_values() {
+        let sq = FunctionDef::new("sq", ["x"]).body([Stmt::ret(Expr::var("x") * Expr::var("x"))]);
+        let main = FunctionDef::new("main", ["a"]).body([Stmt::ret(
+            Expr::call("sq", [Expr::var("a")]) + Expr::call("sq", [Expr::lit(3)]),
+        )]);
+        let p = Program::new().function(sq).function(main);
+        assert_eq!(run(&p, "main", &[4]), Some(25));
+    }
+
+    #[test]
+    fn recursion_works() {
+        let fib = FunctionDef::new("fib", ["n"]).body([
+            Stmt::if_(Expr::var("n").lt_s(Expr::lit(2)), [Stmt::ret(Expr::var("n"))]),
+            Stmt::ret(
+                Expr::call("fib", [Expr::var("n") - Expr::lit(1)])
+                    + Expr::call("fib", [Expr::var("n") - Expr::lit(2)]),
+            ),
+        ]);
+        assert_eq!(run(&Program::new().function(fib), "fib", &[10]), Some(55));
+    }
+
+    #[test]
+    fn memory_is_big_endian_and_persistent() {
+        let init = FunctionDef::new("init", [] as [&str; 0]).body([
+            Stmt::store_word(Expr::global("buf"), Expr::lit(0x0102_0304)),
+            Stmt::store_byte(Expr::global("buf") + Expr::lit(4), Expr::lit(0xAB)),
+        ]);
+        let read = FunctionDef::new("read", [] as [&str; 0]).body([Stmt::ret(
+            Expr::global("buf").load_word() + (Expr::global("buf") + Expr::lit(4)).load_byte_u(),
+        )]);
+        let p = Program::new()
+            .global(Global::zeroed("buf", 8))
+            .function(init)
+            .function(read);
+        let module = lower::lower(&p).unwrap();
+        let mut interp = Interpreter::new(&module);
+        interp.call("init", &[]).unwrap();
+        let base = interp.layout().address_of("buf").unwrap();
+        assert_eq!(interp.read_bytes(base, 5).unwrap(), &[1, 2, 3, 4, 0xAB]);
+        assert_eq!(interp.call("read", &[]).unwrap(), Some(0x0102_0304 + 0xAB));
+    }
+
+    #[test]
+    fn sign_extension_on_sub_word_loads() {
+        let p = Program::new()
+            .global(Global::with_bytes("b", vec![0xFF, 0x80, 0x7F, 0x00]))
+            .function(FunctionDef::new("f", [] as [&str; 0]).body([Stmt::ret(
+                Expr::global("b").load_byte_s(),
+            )]))
+            .function(FunctionDef::new("g", [] as [&str; 0]).body([Stmt::ret(
+                Expr::global("b").load_half_s(),
+            )]))
+            .function(FunctionDef::new("h", [] as [&str; 0]).body([Stmt::ret(
+                Expr::global("b").load_half_u(),
+            )]));
+        let module = lower::lower(&p).unwrap();
+        let mut i = Interpreter::new(&module);
+        assert_eq!(i.call("f", &[]).unwrap(), Some(-1i32 as u32));
+        assert_eq!(i.call("g", &[]).unwrap(), Some(-128i32 as u32));
+        assert_eq!(i.call("h", &[]).unwrap(), Some(0xFF80));
+    }
+
+    #[test]
+    fn misaligned_word_access_faults() {
+        let f = FunctionDef::new("f", [] as [&str; 0]).body([Stmt::ret(
+            (Expr::global("buf") + Expr::lit(1)).load_word(),
+        )]);
+        let p = Program::new().global(Global::zeroed("buf", 8)).function(f);
+        let module = lower::lower(&p).unwrap();
+        let mut i = Interpreter::new(&module);
+        assert!(matches!(
+            i.call("f", &[]),
+            Err(IrError::MisalignedAccess { .. })
+        ));
+    }
+
+    #[test]
+    fn out_of_bounds_access_faults() {
+        let f = FunctionDef::new("f", [] as [&str; 0])
+            .body([Stmt::store_word(Expr::lit(0x7FFF_FFFC), Expr::lit(1))]);
+        let module = lower::lower(&Program::new().function(f)).unwrap();
+        let mut i = Interpreter::new(&module);
+        assert!(matches!(
+            i.call("f", &[]),
+            Err(IrError::OutOfBoundsAccess { .. })
+        ));
+    }
+
+    #[test]
+    fn step_limit_catches_endless_loops() {
+        let f = FunctionDef::new("spin", [] as [&str; 0])
+            .body([Stmt::while_(Expr::lit(1), [])]);
+        let module = lower::lower(&Program::new().function(f)).unwrap();
+        let mut i = Interpreter::new(&module);
+        i.set_step_limit(1000);
+        assert!(matches!(i.call("spin", &[]), Err(IrError::StepLimit { .. })));
+    }
+
+    #[test]
+    fn stats_count_memory_traffic() {
+        let f = FunctionDef::new("f", [] as [&str; 0]).body([
+            Stmt::store_word(Expr::global("b"), Expr::lit(7)),
+            Stmt::ret(Expr::global("b").load_word()),
+        ]);
+        let p = Program::new().global(Global::zeroed("b", 4)).function(f);
+        let module = lower::lower(&p).unwrap();
+        let mut i = Interpreter::new(&module);
+        i.call("f", &[]).unwrap();
+        assert_eq!(i.stats().loads, 1);
+        assert_eq!(i.stats().stores, 1);
+    }
+}

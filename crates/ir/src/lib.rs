@@ -1,0 +1,54 @@
+//! Compiler intermediate representation for the EPIC toolchain.
+//!
+//! The paper compiles C benchmarks through the Trimaran framework: the
+//! IMPACT module performs machine-independent optimisation and elcor
+//! schedules the result for the configured machine (§4.1). This crate is
+//! the shared middle of that pipeline, rebuilt from scratch:
+//!
+//! * [`ast`] — a small C-like structured frontend in which the benchmark
+//!   programs are written once (the role of the C sources fed to IMPACT);
+//! * [`Module`], [`Function`], [`Block`] — a three-address-code IR over
+//!   virtual registers with an explicit control-flow graph;
+//! * [`lower`] — AST → IR lowering with global data layout;
+//! * [`Interpreter`] — a reference executor defining the semantics that
+//!   every backend (the EPIC simulator and the SA-110 baseline) must
+//!   reproduce bit-for-bit. All integer semantics are 32-bit wrapping,
+//!   big-endian in memory, matching the processor (§3.1).
+//!
+//! Both code generators (`epic-compiler` and `epic-sa110`) consume this
+//! IR, mirroring how one Trimaran front end fed both the EPIC machine
+//! description and the ARM comparison flow.
+//!
+//! # Examples
+//!
+//! Build `f(x) = x * x + 1` and run it on the reference interpreter:
+//!
+//! ```
+//! use epic_ir::ast::{self, Expr, Stmt};
+//! use epic_ir::{lower, Interpreter};
+//!
+//! let f = ast::FunctionDef::new("square_plus_one", ["x"])
+//!     .body([Stmt::ret(Expr::var("x") * Expr::var("x") + Expr::lit(1))]);
+//! let module = lower::lower(&ast::Program::new().function(f))?;
+//! let mut interp = Interpreter::new(&module);
+//! assert_eq!(interp.call("square_plus_one", &[9])?, Some(82));
+//! # Ok::<(), epic_ir::IrError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod analysis;
+pub mod ast;
+mod error;
+mod func;
+mod interp;
+pub mod lower;
+mod module;
+mod ops;
+
+pub use error::IrError;
+pub use func::{Block, BlockId, Function, FunctionBuilder, Terminator, VReg};
+pub use interp::{ExecStats, Interpreter};
+pub use module::{Global, Layout, Module, DATA_BASE, STACK_SIZE, WORD_BYTES};
+pub use ops::{BinOp, IrOp, LoadKind, StoreKind, UnOp};

@@ -1,0 +1,359 @@
+//! AST → IR lowering.
+//!
+//! Lowering computes the module's global layout first (so
+//! [`Expr::GlobalAddr`] becomes a plain constant) and then translates each
+//! function body into a CFG of three-address operations. No optimisation
+//! happens here; the output is deliberately naive so that the IMPACT-style
+//! passes in `epic-compiler` have visible work to do.
+
+use crate::ast::{Expr, FunctionDef, Program, Stmt};
+use crate::error::IrError;
+use crate::func::{FunctionBuilder, Terminator, VReg};
+use crate::module::{Layout, Module};
+use crate::ops::IrOp;
+use std::collections::HashMap;
+
+/// Lowers a program to an IR module.
+///
+/// # Errors
+///
+/// Returns [`IrError::UnknownVariable`] or [`IrError::UnknownGlobal`] for
+/// dangling names, [`IrError::DuplicateSymbol`] for clashing globals, and
+/// whatever [`Module::validate`] finds in the result.
+pub fn lower(program: &Program) -> Result<Module, IrError> {
+    let mut module = Module::new();
+    module.globals = program.globals.clone();
+    let layout = module.layout()?;
+    for def in &program.functions {
+        module.functions.push(lower_function(def, &layout)?);
+    }
+    module.validate()?;
+    Ok(module)
+}
+
+/// Names of functions carrying the AST's inline hint.
+///
+/// The inliner pass in `epic-compiler` consumes this; the hint cannot live
+/// on [`crate::Function`] itself without polluting the IR with frontend
+/// concerns, so it travels alongside.
+#[must_use]
+pub fn inline_hints(program: &Program) -> Vec<String> {
+    program
+        .functions
+        .iter()
+        .filter(|f| f.inline_hint)
+        .map(|f| f.name.clone())
+        .collect()
+}
+
+struct LowerCtx<'a> {
+    builder: FunctionBuilder,
+    scope: HashMap<String, VReg>,
+    layout: &'a Layout,
+    function: String,
+}
+
+fn lower_function(def: &FunctionDef, layout: &Layout) -> Result<crate::Function, IrError> {
+    let builder = FunctionBuilder::new(def.name.clone(), def.params.len());
+    let mut scope = HashMap::new();
+    for (name, reg) in def.params.iter().zip(builder.params().to_vec()) {
+        scope.insert(name.clone(), reg);
+    }
+    let mut ctx = LowerCtx {
+        builder,
+        scope,
+        layout,
+        function: def.name.clone(),
+    };
+    lower_stmts(&mut ctx, &def.body)?;
+    if !ctx.builder.is_terminated() {
+        ctx.builder.terminate(Terminator::Ret(None));
+    }
+    Ok(ctx.builder.finish())
+}
+
+fn lower_stmts(ctx: &mut LowerCtx<'_>, stmts: &[Stmt]) -> Result<(), IrError> {
+    for stmt in stmts {
+        if ctx.builder.is_terminated() {
+            // Statements after a return are unreachable; drop them.
+            return Ok(());
+        }
+        lower_stmt(ctx, stmt)?;
+    }
+    Ok(())
+}
+
+fn lower_stmt(ctx: &mut LowerCtx<'_>, stmt: &Stmt) -> Result<(), IrError> {
+    match stmt {
+        Stmt::Let(name, value) => {
+            let v = lower_expr(ctx, value)?;
+            // Bind to a dedicated register so later assignments cannot
+            // alias an expression temporary.
+            let slot = ctx.builder.new_vreg();
+            ctx.builder.push(IrOp::Copy { dest: slot, src: v });
+            ctx.scope.insert(name.clone(), slot);
+        }
+        Stmt::Assign(name, value) => {
+            let v = lower_expr(ctx, value)?;
+            let slot = *ctx.scope.get(name).ok_or_else(|| IrError::UnknownVariable {
+                name: name.clone(),
+                function: ctx.function.clone(),
+            })?;
+            ctx.builder.push(IrOp::Copy { dest: slot, src: v });
+        }
+        Stmt::Store(kind, addr, value) => {
+            let a = lower_expr(ctx, addr)?;
+            let v = lower_expr(ctx, value)?;
+            ctx.builder.push(IrOp::Store {
+                kind: *kind,
+                value: v,
+                base: a,
+                offset: 0,
+            });
+        }
+        Stmt::If(cond, then_body, else_body) => {
+            let c = lower_expr(ctx, cond)?;
+            let then_block = ctx.builder.new_block();
+            let else_block = ctx.builder.new_block();
+            let join = ctx.builder.new_block();
+            ctx.builder.terminate(Terminator::Branch {
+                cond: c,
+                then_block,
+                else_block,
+            });
+            ctx.builder.switch_to(then_block);
+            lower_stmts(ctx, then_body)?;
+            ctx.builder.terminate(Terminator::Jump(join));
+            ctx.builder.switch_to(else_block);
+            lower_stmts(ctx, else_body)?;
+            ctx.builder.terminate(Terminator::Jump(join));
+            ctx.builder.switch_to(join);
+        }
+        Stmt::While(cond, body) => {
+            let header = ctx.builder.new_block();
+            let body_block = ctx.builder.new_block();
+            let exit = ctx.builder.new_block();
+            ctx.builder.terminate(Terminator::Jump(header));
+            ctx.builder.switch_to(header);
+            let c = lower_expr(ctx, cond)?;
+            ctx.builder.terminate(Terminator::Branch {
+                cond: c,
+                then_block: body_block,
+                else_block: exit,
+            });
+            ctx.builder.switch_to(body_block);
+            lower_stmts(ctx, body)?;
+            ctx.builder.terminate(Terminator::Jump(header));
+            ctx.builder.switch_to(exit);
+        }
+        Stmt::Return(value) => {
+            let v = value.as_ref().map(|e| lower_expr(ctx, e)).transpose()?;
+            ctx.builder.terminate(Terminator::Ret(v));
+        }
+        Stmt::Expr(expr) => {
+            lower_expr_for_effect(ctx, expr)?;
+        }
+        Stmt::Block(stmts) => lower_stmts(ctx, stmts)?,
+    }
+    Ok(())
+}
+
+fn lower_expr_for_effect(ctx: &mut LowerCtx<'_>, expr: &Expr) -> Result<(), IrError> {
+    if let Expr::Call(name, args) = expr {
+        let arg_regs = args
+            .iter()
+            .map(|a| lower_expr(ctx, a))
+            .collect::<Result<Vec<_>, _>>()?;
+        ctx.builder.push(IrOp::Call {
+            callee: name.clone(),
+            args: arg_regs,
+            dest: None,
+        });
+        Ok(())
+    } else {
+        lower_expr(ctx, expr).map(|_| ())
+    }
+}
+
+fn lower_expr(ctx: &mut LowerCtx<'_>, expr: &Expr) -> Result<VReg, IrError> {
+    Ok(match expr {
+        Expr::Lit(v) => {
+            let dest = ctx.builder.new_vreg();
+            ctx.builder.push(IrOp::Const { dest, value: *v });
+            dest
+        }
+        Expr::Var(name) => *ctx.scope.get(name).ok_or_else(|| IrError::UnknownVariable {
+            name: name.clone(),
+            function: ctx.function.clone(),
+        })?,
+        Expr::GlobalAddr(name) => {
+            let addr = ctx
+                .layout
+                .address_of(name)
+                .ok_or_else(|| IrError::UnknownGlobal { name: name.clone() })?;
+            let dest = ctx.builder.new_vreg();
+            ctx.builder.push(IrOp::Const {
+                dest,
+                value: i64::from(addr),
+            });
+            dest
+        }
+        Expr::Bin(op, lhs, rhs) => {
+            let l = lower_expr(ctx, lhs)?;
+            let r = lower_expr(ctx, rhs)?;
+            let dest = ctx.builder.new_vreg();
+            ctx.builder.push(IrOp::Bin {
+                op: *op,
+                dest,
+                lhs: l,
+                rhs: r,
+            });
+            dest
+        }
+        Expr::Un(op, src) => {
+            let s = lower_expr(ctx, src)?;
+            let dest = ctx.builder.new_vreg();
+            ctx.builder.push(IrOp::Un {
+                op: *op,
+                dest,
+                src: s,
+            });
+            dest
+        }
+        Expr::Load(kind, addr) => {
+            let a = lower_expr(ctx, addr)?;
+            let dest = ctx.builder.new_vreg();
+            ctx.builder.push(IrOp::Load {
+                kind: *kind,
+                dest,
+                base: a,
+                offset: 0,
+            });
+            dest
+        }
+        Expr::Call(name, args) => {
+            let arg_regs = args
+                .iter()
+                .map(|a| lower_expr(ctx, a))
+                .collect::<Result<Vec<_>, _>>()?;
+            let dest = ctx.builder.new_vreg();
+            ctx.builder.push(IrOp::Call {
+                callee: name.clone(),
+                args: arg_regs,
+                dest: Some(dest),
+            });
+            dest
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast;
+    use crate::module::Global;
+
+    use crate::ast::Program;
+
+    fn one(f: ast::FunctionDef) -> Program {
+        Program::new().function(f)
+    }
+
+    #[test]
+    fn straight_line_function_lowers_to_one_block() {
+        let f = ast::FunctionDef::new("f", ["a", "b"])
+            .body([Stmt::ret(Expr::var("a") + Expr::var("b"))]);
+        let m = lower(&one(f)).unwrap();
+        assert_eq!(m.functions[0].blocks.len(), 1);
+    }
+
+    #[test]
+    fn if_else_produces_a_diamond() {
+        let f = ast::FunctionDef::new("f", ["x"]).body([
+            Stmt::let_("r", Expr::lit(0)),
+            Stmt::if_else(
+                Expr::var("x").gt_s(Expr::lit(0)),
+                [Stmt::assign("r", Expr::lit(1))],
+                [Stmt::assign("r", Expr::lit(2))],
+            ),
+            Stmt::ret(Expr::var("r")),
+        ]);
+        let m = lower(&one(f)).unwrap();
+        // entry + then + else + join
+        assert_eq!(m.functions[0].blocks.len(), 4);
+    }
+
+    #[test]
+    fn while_produces_header_body_exit() {
+        let f = ast::FunctionDef::new("f", ["n"]).body([
+            Stmt::let_("i", Expr::lit(0)),
+            Stmt::while_(
+                Expr::var("i").lt_s(Expr::var("n")),
+                [Stmt::assign("i", Expr::var("i") + Expr::lit(1))],
+            ),
+            Stmt::ret(Expr::var("i")),
+        ]);
+        let m = lower(&one(f)).unwrap();
+        assert_eq!(m.functions[0].blocks.len(), 4);
+    }
+
+    #[test]
+    fn unknown_variable_is_reported() {
+        let f = ast::FunctionDef::new("f", ["x"]).body([Stmt::ret(Expr::var("y"))]);
+        let err = lower(&one(f)).unwrap_err();
+        assert!(matches!(err, IrError::UnknownVariable { ref name, .. } if name == "y"));
+    }
+
+    #[test]
+    fn unknown_global_is_reported() {
+        let f = ast::FunctionDef::new("f", [] as [&str; 0])
+            .body([Stmt::ret(Expr::global("table"))]);
+        let err = lower(&one(f)).unwrap_err();
+        assert!(matches!(err, IrError::UnknownGlobal { ref name } if name == "table"));
+    }
+
+    #[test]
+    fn global_addresses_become_constants() {
+        let program = Program::new()
+            .global(Global::zeroed("buf", 16))
+            .function(
+                ast::FunctionDef::new("f", [] as [&str; 0])
+                    .body([Stmt::ret(Expr::global("buf"))]),
+            );
+        let m = lower(&program).unwrap();
+        let layout = m.layout().unwrap();
+        let f = &m.functions[0];
+        let found = f.blocks.iter().flat_map(|b| &b.ops).any(|op| {
+            matches!(op, IrOp::Const { value, .. }
+                if *value == i64::from(layout.address_of("buf").unwrap()))
+        });
+        assert!(found, "expected the global's address as a constant");
+    }
+
+    #[test]
+    fn code_after_return_is_dropped() {
+        let f = ast::FunctionDef::new("f", [] as [&str; 0]).body([
+            Stmt::ret(Expr::lit(1)),
+            Stmt::ret(Expr::lit(2)),
+        ]);
+        let m = lower(&one(f)).unwrap();
+        let consts: Vec<i64> = m.functions[0]
+            .blocks
+            .iter()
+            .flat_map(|b| &b.ops)
+            .filter_map(|op| match op {
+                IrOp::Const { value, .. } => Some(*value),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(consts, vec![1]);
+    }
+
+    #[test]
+    fn inline_hints_are_collected() {
+        let p = Program::new()
+            .function(ast::FunctionDef::new("hot", [] as [&str; 0]).inline())
+            .function(ast::FunctionDef::new("cold", [] as [&str; 0]));
+        assert_eq!(inline_hints(&p), vec!["hot".to_owned()]);
+    }
+}

@@ -1,0 +1,323 @@
+//! Modules, global data and memory layout.
+
+use crate::error::IrError;
+use crate::func::Function;
+use std::collections::HashMap;
+use std::fmt;
+
+/// Byte address where global data begins.
+///
+/// Address 0 is deliberately unmapped data (reads return whatever is in
+/// memory, but the compiler never places an object there), so stray null
+/// pointers are easy to spot in traces.
+pub const DATA_BASE: u32 = 64;
+
+/// Bytes reserved for the call stack above the data segment.
+pub const STACK_SIZE: u32 = 64 * 1024;
+
+/// Bytes per machine word.
+pub const WORD_BYTES: u32 = 4;
+
+/// A statically allocated global object.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Global {
+    /// Symbol name (unique within the module).
+    pub name: String,
+    /// Size in bytes.
+    pub size: u32,
+    /// Initial contents; shorter than `size` means zero-filled tail.
+    pub init: Vec<u8>,
+}
+
+impl Global {
+    /// A zero-initialised global of `size` bytes.
+    #[must_use]
+    pub fn zeroed(name: impl Into<String>, size: u32) -> Self {
+        Global {
+            name: name.into(),
+            size,
+            init: Vec::new(),
+        }
+    }
+
+    /// A global initialised with `bytes`.
+    #[must_use]
+    pub fn with_bytes(name: impl Into<String>, bytes: Vec<u8>) -> Self {
+        Global {
+            size: bytes.len() as u32,
+            name: name.into(),
+            init: bytes,
+        }
+    }
+
+    /// A global initialised with big-endian 32-bit words.
+    #[must_use]
+    pub fn with_words(name: impl Into<String>, words: &[u32]) -> Self {
+        let mut bytes = Vec::with_capacity(words.len() * 4);
+        for w in words {
+            bytes.extend_from_slice(&w.to_be_bytes());
+        }
+        Global::with_bytes(name, bytes)
+    }
+}
+
+/// The memory layout computed for a module: where each global lives and
+/// how much data memory a machine needs to run it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Layout {
+    addresses: HashMap<String, u32>,
+    data_end: u32,
+}
+
+impl Layout {
+    /// Byte address of a global.
+    #[must_use]
+    pub fn address_of(&self, name: &str) -> Option<u32> {
+        self.addresses.get(name).copied()
+    }
+
+    /// First byte past the data segment.
+    #[must_use]
+    pub fn data_end(&self) -> u32 {
+        self.data_end
+    }
+
+    /// Initial stack pointer (top of memory, word-aligned, grows down).
+    #[must_use]
+    pub fn initial_sp(&self) -> u32 {
+        self.memory_size()
+    }
+
+    /// Total data-memory bytes required (globals + stack).
+    #[must_use]
+    pub fn memory_size(&self) -> u32 {
+        (self.data_end + STACK_SIZE).div_ceil(WORD_BYTES) * WORD_BYTES
+    }
+}
+
+/// A whole program: functions plus global data.
+///
+/// The module is the unit handed to each backend; its [`Layout`] fixes
+/// global addresses identically for the interpreter, the EPIC toolchain
+/// and the SA-110 baseline, so results can be compared byte-for-byte.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Module {
+    /// The functions, entry first by convention.
+    pub functions: Vec<Function>,
+    /// Global data objects.
+    pub globals: Vec<Global>,
+}
+
+impl Module {
+    /// An empty module.
+    #[must_use]
+    pub fn new() -> Self {
+        Module {
+            functions: Vec::new(),
+            globals: Vec::new(),
+        }
+    }
+
+    /// Looks up a function by name.
+    #[must_use]
+    pub fn function(&self, name: &str) -> Option<&Function> {
+        self.functions.iter().find(|f| f.name == name)
+    }
+
+    /// Computes the memory layout: globals packed from [`DATA_BASE`],
+    /// each aligned to a word boundary.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IrError::DuplicateSymbol`] when two globals share a name.
+    pub fn layout(&self) -> Result<Layout, IrError> {
+        let mut addresses = HashMap::new();
+        let mut cursor = DATA_BASE;
+        for global in &self.globals {
+            if addresses.contains_key(&global.name) {
+                return Err(IrError::DuplicateSymbol {
+                    name: global.name.clone(),
+                });
+            }
+            addresses.insert(global.name.clone(), cursor);
+            cursor = (cursor + global.size).div_ceil(WORD_BYTES) * WORD_BYTES;
+        }
+        Ok(Layout {
+            addresses,
+            data_end: cursor,
+        })
+    }
+
+    /// Builds the initial data-memory image for the layout.
+    #[must_use]
+    pub fn initial_memory(&self, layout: &Layout) -> Vec<u8> {
+        let mut memory = vec![0u8; layout.memory_size() as usize];
+        for global in &self.globals {
+            let base = layout
+                .address_of(&global.name)
+                .expect("layout covers every global") as usize;
+            memory[base..base + global.init.len()].copy_from_slice(&global.init);
+        }
+        memory
+    }
+
+    /// Basic structural validation: unique function names, call targets
+    /// that exist, block targets and register indices in range.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violation found.
+    pub fn validate(&self) -> Result<(), IrError> {
+        for (i, f) in self.functions.iter().enumerate() {
+            if self.functions[..i].iter().any(|g| g.name == f.name) {
+                return Err(IrError::DuplicateSymbol {
+                    name: f.name.clone(),
+                });
+            }
+        }
+        for f in &self.functions {
+            for block in &f.blocks {
+                for op in &block.ops {
+                    if let Some(d) = op.def() {
+                        if d.0 >= f.vreg_count {
+                            return Err(IrError::BadVReg {
+                                function: f.name.clone(),
+                                vreg: d.0,
+                            });
+                        }
+                    }
+                    for u in op.uses() {
+                        if u.0 >= f.vreg_count {
+                            return Err(IrError::BadVReg {
+                                function: f.name.clone(),
+                                vreg: u.0,
+                            });
+                        }
+                    }
+                    if let crate::IrOp::Call { callee, args, .. } = op {
+                        let Some(target) = self.function(callee) else {
+                            return Err(IrError::UnknownFunction {
+                                name: callee.clone(),
+                            });
+                        };
+                        if target.params.len() != args.len() {
+                            return Err(IrError::ArityMismatch {
+                                function: callee.clone(),
+                                expected: target.params.len(),
+                                found: args.len(),
+                            });
+                        }
+                    }
+                }
+                for succ in block.term.successors() {
+                    if succ.0 as usize >= f.blocks.len() {
+                        return Err(IrError::BadBlock {
+                            function: f.name.clone(),
+                            block: succ.0,
+                        });
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+impl Default for Module {
+    fn default() -> Self {
+        Module::new()
+    }
+}
+
+impl fmt::Display for Module {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for g in &self.globals {
+            writeln!(f, "global {} [{} bytes]", g.name, g.size)?;
+        }
+        for func in &self.functions {
+            writeln!(f, "{func}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::func::{FunctionBuilder, Terminator};
+    use crate::ops::IrOp;
+
+    #[test]
+    fn layout_packs_and_aligns_globals() {
+        let mut m = Module::new();
+        m.globals.push(Global::zeroed("a", 5));
+        m.globals.push(Global::zeroed("b", 8));
+        let layout = m.layout().unwrap();
+        assert_eq!(layout.address_of("a"), Some(DATA_BASE));
+        assert_eq!(layout.address_of("b"), Some(DATA_BASE + 8), "5 rounds to 8");
+        assert_eq!(layout.data_end(), DATA_BASE + 16);
+        assert!(layout.memory_size() >= layout.data_end() + STACK_SIZE);
+        assert_eq!(layout.initial_sp() % WORD_BYTES, 0);
+    }
+
+    #[test]
+    fn initial_memory_places_init_data() {
+        let mut m = Module::new();
+        m.globals.push(Global::with_words("w", &[0x11223344]));
+        let layout = m.layout().unwrap();
+        let mem = m.initial_memory(&layout);
+        let base = layout.address_of("w").unwrap() as usize;
+        assert_eq!(&mem[base..base + 4], &[0x11, 0x22, 0x33, 0x44], "big-endian");
+    }
+
+    #[test]
+    fn duplicate_globals_rejected() {
+        let mut m = Module::new();
+        m.globals.push(Global::zeroed("x", 4));
+        m.globals.push(Global::zeroed("x", 4));
+        assert!(matches!(m.layout(), Err(IrError::DuplicateSymbol { .. })));
+    }
+
+    #[test]
+    fn validate_catches_unknown_callee_and_arity() {
+        let mut b = FunctionBuilder::new("caller", 0);
+        let d = b.new_vreg();
+        b.push(IrOp::Call {
+            callee: "missing".into(),
+            args: vec![],
+            dest: Some(d),
+        });
+        b.terminate(Terminator::Ret(None));
+        let mut m = Module::new();
+        m.functions.push(b.finish());
+        assert!(matches!(m.validate(), Err(IrError::UnknownFunction { .. })));
+
+        let mut b = FunctionBuilder::new("callee", 2);
+        b.terminate(Terminator::Ret(None));
+        let callee = b.finish();
+        let mut b = FunctionBuilder::new("caller", 0);
+        b.push(IrOp::Call {
+            callee: "callee".into(),
+            args: vec![],
+            dest: None,
+        });
+        b.terminate(Terminator::Ret(None));
+        let m = Module {
+            functions: vec![b.finish(), callee],
+            globals: vec![],
+        };
+        assert!(matches!(m.validate(), Err(IrError::ArityMismatch { .. })));
+    }
+
+    #[test]
+    fn validate_accepts_well_formed_modules() {
+        let mut b = FunctionBuilder::new("f", 1);
+        let p = b.params()[0];
+        b.terminate(Terminator::Ret(Some(p)));
+        let m = Module {
+            functions: vec![b.finish()],
+            globals: vec![Global::zeroed("g", 16)],
+        };
+        m.validate().unwrap();
+    }
+}

@@ -1,0 +1,546 @@
+//! IR operations and operators.
+
+use crate::func::VReg;
+use std::fmt;
+
+/// Binary operators.
+///
+/// All arithmetic is 32-bit wrapping; comparisons produce 0 or 1. Shift
+/// and rotate amounts are taken modulo 32, and division by zero yields 0
+/// (the datapath's convention, so every backend agrees).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BinOp {
+    /// Wrapping addition.
+    Add,
+    /// Wrapping subtraction.
+    Sub,
+    /// Wrapping multiplication (low 32 bits).
+    Mul,
+    /// Signed division (0 when dividing by zero).
+    Div,
+    /// Signed remainder (0 when dividing by zero).
+    Rem,
+    /// Bitwise and.
+    And,
+    /// Bitwise or.
+    Or,
+    /// Bitwise exclusive-or.
+    Xor,
+    /// Logical shift left.
+    Shl,
+    /// Logical shift right.
+    Shr,
+    /// Arithmetic shift right.
+    Sra,
+    /// Rotate right (recognised by the custom-instruction matcher; lowered
+    /// to shifts and an or when the target has no rotate).
+    Rotr,
+    /// Signed minimum.
+    Min,
+    /// Signed maximum.
+    Max,
+    /// `lhs == rhs`.
+    CmpEq,
+    /// `lhs != rhs`.
+    CmpNe,
+    /// Signed `lhs < rhs`.
+    CmpLt,
+    /// Signed `lhs <= rhs`.
+    CmpLe,
+    /// Signed `lhs > rhs`.
+    CmpGt,
+    /// Signed `lhs >= rhs`.
+    CmpGe,
+    /// Unsigned `lhs < rhs`.
+    CmpLtu,
+    /// Unsigned `lhs <= rhs`.
+    CmpLeu,
+    /// Unsigned `lhs > rhs`.
+    CmpGtu,
+    /// Unsigned `lhs >= rhs`.
+    CmpGeu,
+}
+
+impl BinOp {
+    /// Whether this operator yields a 0/1 truth value.
+    #[must_use]
+    pub fn is_comparison(self) -> bool {
+        matches!(
+            self,
+            BinOp::CmpEq
+                | BinOp::CmpNe
+                | BinOp::CmpLt
+                | BinOp::CmpLe
+                | BinOp::CmpGt
+                | BinOp::CmpGe
+                | BinOp::CmpLtu
+                | BinOp::CmpLeu
+                | BinOp::CmpGtu
+                | BinOp::CmpGeu
+        )
+    }
+
+    /// Whether `a op b == b op a` for all operands.
+    #[must_use]
+    pub fn is_commutative(self) -> bool {
+        matches!(
+            self,
+            BinOp::Add
+                | BinOp::Mul
+                | BinOp::And
+                | BinOp::Or
+                | BinOp::Xor
+                | BinOp::Min
+                | BinOp::Max
+                | BinOp::CmpEq
+                | BinOp::CmpNe
+        )
+    }
+
+    /// The comparison testing the opposite outcome, if this is one.
+    #[must_use]
+    pub fn negate_comparison(self) -> Option<BinOp> {
+        Some(match self {
+            BinOp::CmpEq => BinOp::CmpNe,
+            BinOp::CmpNe => BinOp::CmpEq,
+            BinOp::CmpLt => BinOp::CmpGe,
+            BinOp::CmpLe => BinOp::CmpGt,
+            BinOp::CmpGt => BinOp::CmpLe,
+            BinOp::CmpGe => BinOp::CmpLt,
+            BinOp::CmpLtu => BinOp::CmpGeu,
+            BinOp::CmpLeu => BinOp::CmpGtu,
+            BinOp::CmpGtu => BinOp::CmpLeu,
+            BinOp::CmpGeu => BinOp::CmpLtu,
+            _ => return None,
+        })
+    }
+
+    /// Evaluates the operator on two 32-bit values (the single source of
+    /// truth for constant folding, the interpreter and differential tests).
+    #[must_use]
+    pub fn eval(self, a: u32, b: u32) -> u32 {
+        let sa = a as i32;
+        let sb = b as i32;
+        match self {
+            BinOp::Add => a.wrapping_add(b),
+            BinOp::Sub => a.wrapping_sub(b),
+            BinOp::Mul => a.wrapping_mul(b),
+            BinOp::Div => {
+                if b == 0 {
+                    0
+                } else {
+                    sa.wrapping_div(sb) as u32
+                }
+            }
+            BinOp::Rem => {
+                if b == 0 {
+                    0
+                } else {
+                    sa.wrapping_rem(sb) as u32
+                }
+            }
+            BinOp::And => a & b,
+            BinOp::Or => a | b,
+            BinOp::Xor => a ^ b,
+            BinOp::Shl => a.wrapping_shl(b),
+            BinOp::Shr => a.wrapping_shr(b),
+            BinOp::Sra => (sa.wrapping_shr(b)) as u32,
+            BinOp::Rotr => a.rotate_right(b % 32),
+            BinOp::Min => sa.min(sb) as u32,
+            BinOp::Max => sa.max(sb) as u32,
+            BinOp::CmpEq => u32::from(a == b),
+            BinOp::CmpNe => u32::from(a != b),
+            BinOp::CmpLt => u32::from(sa < sb),
+            BinOp::CmpLe => u32::from(sa <= sb),
+            BinOp::CmpGt => u32::from(sa > sb),
+            BinOp::CmpGe => u32::from(sa >= sb),
+            BinOp::CmpLtu => u32::from(a < b),
+            BinOp::CmpLeu => u32::from(a <= b),
+            BinOp::CmpGtu => u32::from(a > b),
+            BinOp::CmpGeu => u32::from(a >= b),
+        }
+    }
+
+    /// Lower-case name used by the IR printer.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            BinOp::Add => "add",
+            BinOp::Sub => "sub",
+            BinOp::Mul => "mul",
+            BinOp::Div => "div",
+            BinOp::Rem => "rem",
+            BinOp::And => "and",
+            BinOp::Or => "or",
+            BinOp::Xor => "xor",
+            BinOp::Shl => "shl",
+            BinOp::Shr => "shr",
+            BinOp::Sra => "sra",
+            BinOp::Rotr => "rotr",
+            BinOp::Min => "min",
+            BinOp::Max => "max",
+            BinOp::CmpEq => "cmpeq",
+            BinOp::CmpNe => "cmpne",
+            BinOp::CmpLt => "cmplt",
+            BinOp::CmpLe => "cmple",
+            BinOp::CmpGt => "cmpgt",
+            BinOp::CmpGe => "cmpge",
+            BinOp::CmpLtu => "cmpltu",
+            BinOp::CmpLeu => "cmpleu",
+            BinOp::CmpGtu => "cmpgtu",
+            BinOp::CmpGeu => "cmpgeu",
+        }
+    }
+}
+
+impl fmt::Display for BinOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum UnOp {
+    /// Two's-complement negation.
+    Neg,
+    /// Bitwise complement.
+    Not,
+}
+
+impl UnOp {
+    /// Evaluates the operator on a 32-bit value.
+    #[must_use]
+    pub fn eval(self, a: u32) -> u32 {
+        match self {
+            UnOp::Neg => (a as i32).wrapping_neg() as u32,
+            UnOp::Not => !a,
+        }
+    }
+
+    /// Lower-case name used by the IR printer.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            UnOp::Neg => "neg",
+            UnOp::Not => "not",
+        }
+    }
+}
+
+impl fmt::Display for UnOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Memory access widths and extensions for loads.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LoadKind {
+    /// 32-bit word (address must be 4-aligned).
+    Word,
+    /// 16-bit half-word, sign-extended (address must be 2-aligned).
+    Half,
+    /// 16-bit half-word, zero-extended.
+    HalfU,
+    /// 8-bit byte, sign-extended.
+    Byte,
+    /// 8-bit byte, zero-extended.
+    ByteU,
+}
+
+impl LoadKind {
+    /// Access size in bytes.
+    #[must_use]
+    pub fn bytes(self) -> u32 {
+        match self {
+            LoadKind::Word => 4,
+            LoadKind::Half | LoadKind::HalfU => 2,
+            LoadKind::Byte | LoadKind::ByteU => 1,
+        }
+    }
+}
+
+/// Memory access widths for stores.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum StoreKind {
+    /// 32-bit word.
+    Word,
+    /// Low 16 bits.
+    Half,
+    /// Low 8 bits.
+    Byte,
+}
+
+impl StoreKind {
+    /// Access size in bytes.
+    #[must_use]
+    pub fn bytes(self) -> u32 {
+        match self {
+            StoreKind::Word => 4,
+            StoreKind::Half => 2,
+            StoreKind::Byte => 1,
+        }
+    }
+}
+
+/// One IR instruction (a block's non-terminator operation).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum IrOp {
+    /// `dest = value` (a 32-bit constant, stored sign-extended).
+    Const {
+        /// Destination virtual register.
+        dest: VReg,
+        /// The constant, interpreted as a 32-bit pattern.
+        value: i64,
+    },
+    /// `dest = lhs <op> rhs`.
+    Bin {
+        /// The operator.
+        op: BinOp,
+        /// Destination virtual register.
+        dest: VReg,
+        /// Left operand.
+        lhs: VReg,
+        /// Right operand.
+        rhs: VReg,
+    },
+    /// `dest = <op> src`.
+    Un {
+        /// The operator.
+        op: UnOp,
+        /// Destination virtual register.
+        dest: VReg,
+        /// Operand.
+        src: VReg,
+    },
+    /// `dest = src`.
+    Copy {
+        /// Destination virtual register.
+        dest: VReg,
+        /// Source virtual register.
+        src: VReg,
+    },
+    /// `dest = mem[base + offset]`.
+    Load {
+        /// Width and extension.
+        kind: LoadKind,
+        /// Destination virtual register.
+        dest: VReg,
+        /// Base address register.
+        base: VReg,
+        /// Constant byte offset.
+        offset: i32,
+    },
+    /// `mem[base + offset] = value`.
+    Store {
+        /// Width.
+        kind: StoreKind,
+        /// Register holding the value to store.
+        value: VReg,
+        /// Base address register.
+        base: VReg,
+        /// Constant byte offset.
+        offset: i32,
+    },
+    /// `dest = callee(args…)` (direct call).
+    Call {
+        /// Name of the called function.
+        callee: String,
+        /// Argument registers, in order.
+        args: Vec<VReg>,
+        /// Register receiving the return value, if used.
+        dest: Option<VReg>,
+    },
+}
+
+impl IrOp {
+    /// The virtual register defined by this operation, if any.
+    #[must_use]
+    pub fn def(&self) -> Option<VReg> {
+        match self {
+            IrOp::Const { dest, .. }
+            | IrOp::Bin { dest, .. }
+            | IrOp::Un { dest, .. }
+            | IrOp::Copy { dest, .. }
+            | IrOp::Load { dest, .. } => Some(*dest),
+            IrOp::Call { dest, .. } => *dest,
+            IrOp::Store { .. } => None,
+        }
+    }
+
+    /// The virtual registers read by this operation.
+    #[must_use]
+    pub fn uses(&self) -> Vec<VReg> {
+        match self {
+            IrOp::Const { .. } => vec![],
+            IrOp::Bin { lhs, rhs, .. } => vec![*lhs, *rhs],
+            IrOp::Un { src, .. } | IrOp::Copy { src, .. } => vec![*src],
+            IrOp::Load { base, .. } => vec![*base],
+            IrOp::Store { value, base, .. } => vec![*value, *base],
+            IrOp::Call { args, .. } => args.clone(),
+        }
+    }
+
+    /// Rewrites every used register through `f` (definition unchanged).
+    pub fn map_uses(&mut self, mut f: impl FnMut(VReg) -> VReg) {
+        match self {
+            IrOp::Const { .. } => {}
+            IrOp::Bin { lhs, rhs, .. } => {
+                *lhs = f(*lhs);
+                *rhs = f(*rhs);
+            }
+            IrOp::Un { src, .. } | IrOp::Copy { src, .. } => *src = f(*src),
+            IrOp::Load { base, .. } => *base = f(*base),
+            IrOp::Store { value, base, .. } => {
+                *value = f(*value);
+                *base = f(*base);
+            }
+            IrOp::Call { args, .. } => {
+                for a in args {
+                    *a = f(*a);
+                }
+            }
+        }
+    }
+
+    /// Whether the operation touches memory or transfers control — i.e.
+    /// must not be removed even when its result is unused.
+    #[must_use]
+    pub fn has_side_effects(&self) -> bool {
+        matches!(self, IrOp::Store { .. } | IrOp::Call { .. })
+    }
+}
+
+impl fmt::Display for IrOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IrOp::Const { dest, value } => write!(f, "{dest} = const {value}"),
+            IrOp::Bin { op, dest, lhs, rhs } => write!(f, "{dest} = {op} {lhs}, {rhs}"),
+            IrOp::Un { op, dest, src } => write!(f, "{dest} = {op} {src}"),
+            IrOp::Copy { dest, src } => write!(f, "{dest} = {src}"),
+            IrOp::Load {
+                kind,
+                dest,
+                base,
+                offset,
+            } => write!(f, "{dest} = load.{} {base}+{offset}", kind.bytes()),
+            IrOp::Store {
+                kind,
+                value,
+                base,
+                offset,
+            } => write!(f, "store.{} {value} -> {base}+{offset}", kind.bytes()),
+            IrOp::Call { callee, args, dest } => {
+                if let Some(d) = dest {
+                    write!(f, "{d} = call {callee}(")?;
+                } else {
+                    write!(f, "call {callee}(")?;
+                }
+                for (i, a) in args.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{a}")?;
+                }
+                write!(f, ")")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eval_matches_two_complement_semantics() {
+        assert_eq!(BinOp::Add.eval(u32::MAX, 1), 0);
+        assert_eq!(BinOp::Sub.eval(0, 1), u32::MAX);
+        assert_eq!(BinOp::Mul.eval(0x8000_0000, 2), 0);
+        assert_eq!(BinOp::Div.eval(7u32, (-2i32) as u32), (-3i32) as u32);
+        assert_eq!(BinOp::Div.eval(5, 0), 0, "divide by zero yields 0");
+        assert_eq!(BinOp::Rem.eval(5, 0), 0);
+        assert_eq!(BinOp::Div.eval(i32::MIN as u32, u32::MAX), i32::MIN as u32);
+        assert_eq!(BinOp::Sra.eval((-8i32) as u32, 1), (-4i32) as u32);
+        assert_eq!(BinOp::Shr.eval((-8i32) as u32, 1), 0x7FFF_FFFC);
+        assert_eq!(BinOp::Shl.eval(1, 33), 2, "shift modulo 32");
+        assert_eq!(BinOp::Rotr.eval(1, 1), 0x8000_0000);
+        assert_eq!(BinOp::Min.eval((-1i32) as u32, 1), (-1i32) as u32);
+        assert_eq!(BinOp::CmpLtu.eval((-1i32) as u32, 1), 0);
+        assert_eq!(BinOp::CmpLt.eval((-1i32) as u32, 1), 1);
+    }
+
+    #[test]
+    fn negated_comparisons_partition_outcomes() {
+        for op in [
+            BinOp::CmpEq,
+            BinOp::CmpNe,
+            BinOp::CmpLt,
+            BinOp::CmpLe,
+            BinOp::CmpGt,
+            BinOp::CmpGe,
+            BinOp::CmpLtu,
+            BinOp::CmpLeu,
+            BinOp::CmpGtu,
+            BinOp::CmpGeu,
+        ] {
+            let neg = op.negate_comparison().unwrap();
+            for (a, b) in [(0u32, 0u32), (1, 2), (u32::MAX, 1), (5, 5)] {
+                assert_eq!(op.eval(a, b) ^ neg.eval(a, b), 1, "{op} vs {neg} on ({a},{b})");
+            }
+        }
+        assert_eq!(BinOp::Add.negate_comparison(), None);
+    }
+
+    #[test]
+    fn commutativity_claims_hold() {
+        let samples = [(3u32, 9u32), (u32::MAX, 0), (0x8000_0000, 7)];
+        for op in [BinOp::Add, BinOp::Mul, BinOp::And, BinOp::Or, BinOp::Xor, BinOp::Min, BinOp::Max]
+        {
+            assert!(op.is_commutative());
+            for (a, b) in samples {
+                assert_eq!(op.eval(a, b), op.eval(b, a), "{op}");
+            }
+        }
+        assert!(!BinOp::Sub.is_commutative());
+    }
+
+    #[test]
+    fn defs_and_uses_are_consistent() {
+        let v = |n| VReg(n);
+        let op = IrOp::Bin {
+            op: BinOp::Add,
+            dest: v(0),
+            lhs: v(1),
+            rhs: v(2),
+        };
+        assert_eq!(op.def(), Some(v(0)));
+        assert_eq!(op.uses(), vec![v(1), v(2)]);
+
+        let st = IrOp::Store {
+            kind: StoreKind::Word,
+            value: v(3),
+            base: v(4),
+            offset: 8,
+        };
+        assert_eq!(st.def(), None);
+        assert!(st.has_side_effects());
+
+        let mut call = IrOp::Call {
+            callee: "f".into(),
+            args: vec![v(1), v(2)],
+            dest: Some(v(5)),
+        };
+        call.map_uses(|r| VReg(r.0 + 10));
+        assert_eq!(call.uses(), vec![v(11), v(12)]);
+        assert_eq!(call.def(), Some(v(5)));
+    }
+
+    #[test]
+    fn unops_eval() {
+        assert_eq!(UnOp::Neg.eval(1), u32::MAX);
+        assert_eq!(UnOp::Not.eval(0), u32::MAX);
+        assert_eq!(UnOp::Neg.eval(i32::MIN as u32), i32::MIN as u32);
+    }
+}

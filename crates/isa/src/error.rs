@@ -1,0 +1,128 @@
+//! Error type for instruction validation, encoding and decoding.
+
+use epic_config::AluFeature;
+use std::error::Error;
+use std::fmt;
+
+/// Error raised while validating, encoding or decoding an instruction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum IsaError {
+    /// The `OPCODE` field value names no operation.
+    UnknownOpcode {
+        /// The raw field value.
+        value: u16,
+    },
+    /// A custom opcode slot has no entry in the configuration registry.
+    UnknownCustomOp {
+        /// The custom slot index.
+        index: u16,
+    },
+    /// The opcode needs an ALU feature the configuration excludes.
+    FeatureDisabled {
+        /// Mnemonic of the rejected opcode.
+        opcode: String,
+        /// The missing feature.
+        feature: AluFeature,
+    },
+    /// An operand has the wrong kind for its field.
+    OperandKind {
+        /// Mnemonic of the offending opcode.
+        opcode: String,
+        /// Field name (`DEST1`, `SRC2`, …).
+        field: &'static str,
+    },
+    /// A register index exceeds the configured register count.
+    RegisterOutOfRange {
+        /// Register-file kind.
+        kind: &'static str,
+        /// The rejected index.
+        index: u16,
+        /// Configured register count.
+        count: usize,
+    },
+    /// A literal does not fit its field.
+    LiteralOutOfRange {
+        /// The rejected literal.
+        value: i64,
+        /// Smallest representable literal.
+        min: i64,
+        /// Largest representable literal.
+        max: i64,
+    },
+    /// The instruction names more registers than the configuration's
+    /// `registers_per_instruction` parameter allows.
+    TooManyRegisters {
+        /// Registers named by the instruction's operand fields.
+        named: usize,
+        /// The configured limit.
+        allowed: usize,
+    },
+    /// The byte buffer does not match the configured instruction width.
+    BufferSize {
+        /// Bytes expected (the configured instruction width).
+        expected: usize,
+        /// Bytes provided.
+        found: usize,
+    },
+}
+
+impl fmt::Display for IsaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IsaError::UnknownOpcode { value } => {
+                write!(f, "opcode field value {value:#06x} names no operation")
+            }
+            IsaError::UnknownCustomOp { index } => write!(
+                f,
+                "custom opcode slot {index} is not registered in the configuration"
+            ),
+            IsaError::FeatureDisabled { opcode, feature } => write!(
+                f,
+                "opcode `{opcode}` requires ALU feature {feature}, which this configuration excludes"
+            ),
+            IsaError::OperandKind { opcode, field } => {
+                write!(f, "opcode `{opcode}` was given the wrong operand kind in {field}")
+            }
+            IsaError::RegisterOutOfRange { kind, index, count } => write!(
+                f,
+                "{kind} index {index} exceeds the configured count of {count}"
+            ),
+            IsaError::LiteralOutOfRange { value, min, max } => {
+                write!(f, "literal {value} is outside the representable range {min}..={max}")
+            }
+            IsaError::TooManyRegisters { named, allowed } => write!(
+                f,
+                "instruction names {named} registers but the configuration allows {allowed} per instruction"
+            ),
+            IsaError::BufferSize { expected, found } => write!(
+                f,
+                "instruction buffer holds {found} bytes, expected {expected}"
+            ),
+        }
+    }
+}
+
+impl Error for IsaError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<IsaError>();
+    }
+
+    #[test]
+    fn messages_name_the_violation() {
+        let e = IsaError::RegisterOutOfRange {
+            kind: "general-purpose register",
+            index: 99,
+            count: 64,
+        };
+        assert!(e.to_string().contains("99"));
+        assert!(e.to_string().contains("64"));
+    }
+}

@@ -1,0 +1,1144 @@
+//! IR → ARM code generation.
+//!
+//! The baseline consumes the *same* optimised IR module as the EPIC
+//! backend; only the target differs. The generator runs a linear-scan
+//! allocator over the small ARM file (`r4..r9` allocatable — the paper's
+//! narrative that a 16-register hard core spills where the 64-register
+//! EPIC does not falls out of this naturally), fuses comparisons into the
+//! flags + conditional-branch idiom, folds small constants into ARM's
+//! rotated immediates and lowers division onto the software routine.
+
+use crate::isa::{ArmInst, ArmOp, Cond, MemWidth, Op2, Reg, LR, SP};
+use epic_ir::{BinOp, Function, IrOp, LoadKind, Module, StoreKind, Terminator, UnOp, VReg};
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+
+/// Argument registers of the AAPCS-style convention.
+const ARG_REGS: [Reg; 4] = [0, 1, 2, 3];
+/// Return-value register.
+const RET_REG: Reg = 0;
+/// Registers the allocator hands out (`r4..r11`, the ARM callee-saved
+/// block every compiler allocates first).
+const ALLOCATABLE: [Reg; 8] = [4, 5, 6, 7, 8, 9, 10, 11];
+/// Scratch registers for spill reloads and expansion temporaries: `r12`
+/// (the ARM intra-procedure scratch) plus `r0`/`r1`, which the allocator
+/// never assigns and which are dead outside call/return sequences.
+const TEMPS: [Reg; 3] = [12, 0, 1];
+
+/// Code-generation error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ArmCodegenError {
+    /// More than four register arguments.
+    TooManyArguments {
+        /// The offending function.
+        function: String,
+        /// Its parameter count.
+        count: usize,
+    },
+    /// The entry function named at compile time does not exist.
+    UnknownEntry {
+        /// The requested entry name.
+        name: String,
+    },
+    /// Internal invariant violation.
+    Internal {
+        /// Description.
+        message: String,
+    },
+}
+
+impl fmt::Display for ArmCodegenError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ArmCodegenError::TooManyArguments { function, count } => write!(
+                f,
+                "function `{function}` has {count} parameters; the baseline passes at most 4 in registers"
+            ),
+            ArmCodegenError::UnknownEntry { name } => {
+                write!(f, "entry function `{name}` is not defined")
+            }
+            ArmCodegenError::Internal { message } => {
+                write!(f, "internal baseline codegen error: {message}")
+            }
+        }
+    }
+}
+
+impl Error for ArmCodegenError {}
+
+/// A compiled baseline program.
+#[derive(Debug, Clone)]
+pub struct ArmProgram {
+    insts: Vec<ArmInst>,
+    entry: u32,
+    symbols: HashMap<String, u32>,
+}
+
+impl ArmProgram {
+    /// Wraps a hand-written instruction sequence (tests, microbenchmarks).
+    #[must_use]
+    pub fn from_insts(insts: Vec<ArmInst>, entry: u32) -> Self {
+        ArmProgram {
+            insts,
+            entry,
+            symbols: HashMap::new(),
+        }
+    }
+
+    /// The instruction stream.
+    #[must_use]
+    pub fn insts(&self) -> &[ArmInst] {
+        &self.insts
+    }
+
+    /// Entry instruction index (the start-up stub).
+    #[must_use]
+    pub fn entry(&self) -> u32 {
+        self.entry
+    }
+
+    /// Instruction index of a function.
+    #[must_use]
+    pub fn symbol(&self, name: &str) -> Option<u32> {
+        self.symbols.get(name).copied()
+    }
+
+    /// Renders the whole program as an ARM-like listing.
+    #[must_use]
+    pub fn listing(&self) -> String {
+        let mut by_index: HashMap<u32, &str> = HashMap::new();
+        for (name, idx) in &self.symbols {
+            by_index.insert(*idx, name);
+        }
+        let mut out = String::new();
+        for (i, inst) in self.insts.iter().enumerate() {
+            if let Some(name) = by_index.get(&(i as u32)) {
+                out.push_str(name);
+                out.push_str(":\n");
+            }
+            out.push_str(&format!("  {i:5}  {inst}\n"));
+        }
+        out
+    }
+}
+
+/// Compiles a module for the baseline, with a stub that loads `args`,
+/// calls `entry` and halts.
+///
+/// # Errors
+///
+/// Returns [`ArmCodegenError`] for unsupported signatures or a missing
+/// entry function.
+pub fn compile(module: &Module, entry: &str, args: &[u32]) -> Result<ArmProgram, ArmCodegenError> {
+    if module.function(entry).is_none() {
+        return Err(ArmCodegenError::UnknownEntry {
+            name: entry.to_owned(),
+        });
+    }
+    if args.len() > ARG_REGS.len() {
+        return Err(ArmCodegenError::TooManyArguments {
+            function: entry.to_owned(),
+            count: args.len(),
+        });
+    }
+
+    let mut insts: Vec<ArmInst> = Vec::new();
+    let mut symbols: HashMap<String, u32> = HashMap::new();
+    let mut call_fixups: Vec<(usize, String)> = Vec::new();
+
+    // Start-up stub.
+    for (i, a) in args.iter().enumerate() {
+        insts.push(ArmInst::Mov {
+            rd: ARG_REGS[i],
+            op2: Op2::Imm(*a as i32),
+        });
+    }
+    call_fixups.push((insts.len(), entry.to_owned()));
+    insts.push(ArmInst::Bl { target: 0 });
+    insts.push(ArmInst::Halt);
+
+    for func in &module.functions {
+        symbols.insert(func.name.clone(), insts.len() as u32);
+        compile_function(func, &mut insts, &mut call_fixups)?;
+    }
+
+    for (index, name) in call_fixups {
+        let target = *symbols
+            .get(&name)
+            .ok_or_else(|| ArmCodegenError::Internal {
+                message: format!("call to unknown function `{name}`"),
+            })?;
+        if let ArmInst::Bl { target: t } = &mut insts[index] {
+            *t = target;
+        }
+    }
+
+    Ok(ArmProgram {
+        insts,
+        entry: 0,
+        symbols,
+    })
+}
+
+#[derive(Debug, Clone, Copy)]
+enum Loc {
+    Phys(Reg),
+    Slot(u32),
+}
+
+/// Address-add folding into ARM register-offset addressing.
+#[derive(Debug, Clone, Copy)]
+enum AddrFold {
+    /// This add feeds exactly one memory access as its address — skip it.
+    SkipAdd,
+    /// This memory access uses `[lhs, rhs]` register-offset addressing.
+    Mem { lhs: u32, rhs: u32 },
+}
+
+struct FnCtx<'a> {
+    func: &'a Function,
+    assignment: HashMap<u32, Reg>,
+    spill_slots: HashMap<u32, u32>,
+    frame_slots: u32,
+    makes_calls: bool,
+    /// Block-local constants for immediate folding.
+    consts: HashMap<u32, i32>,
+    /// Comparison fused into each block's terminator.
+    fused: HashMap<u32, (Cond, VReg, VReg)>,
+    /// Single-use address adds folded into `[rn, rm]` accesses.
+    folds: HashMap<(u32, usize), AddrFold>,
+    intervals: Vec<(u32, u32, u32)>, // (vreg, start, end)
+}
+
+fn compile_function(
+    func: &Function,
+    insts: &mut Vec<ArmInst>,
+    call_fixups: &mut Vec<(usize, String)>,
+) -> Result<(), ArmCodegenError> {
+    if func.params.len() > ARG_REGS.len() {
+        return Err(ArmCodegenError::TooManyArguments {
+            function: func.name.clone(),
+            count: func.params.len(),
+        });
+    }
+    let ctx = analyse(func);
+
+    // Block label fixups local to this function.
+    let mut block_starts: HashMap<u32, u32> = HashMap::new();
+    let mut branch_fixups: Vec<(usize, u32)> = Vec::new(); // inst index -> block id
+
+    // Prologue.
+    let frame_bytes = ctx.frame_slots * 4;
+    if frame_bytes > 0 {
+        insts.push(ArmInst::Alu {
+            op: ArmOp::Sub,
+            rd: SP,
+            rn: SP,
+            op2: Op2::Imm(frame_bytes as i32),
+        });
+    }
+    if ctx.makes_calls {
+        insts.push(ArmInst::Str {
+            width: MemWidth::Word,
+            rd: LR,
+            rn: SP,
+            offset: 0,
+        });
+    }
+    for (i, p) in func.params.iter().enumerate() {
+        match loc(&ctx, p.0) {
+            Loc::Phys(r) => insts.push(ArmInst::Mov {
+                rd: r,
+                op2: Op2::Reg(ARG_REGS[i]),
+            }),
+            Loc::Slot(s) => insts.push(ArmInst::Str {
+                width: MemWidth::Word,
+                rd: ARG_REGS[i],
+                rn: SP,
+                offset: (s * 4) as i32,
+            }),
+        }
+    }
+
+    let order = func.reverse_postorder();
+    for (oi, block_id) in order.iter().enumerate() {
+        block_starts.insert(block_id.0, insts.len() as u32);
+        let block = func.block(*block_id);
+        for (op_index, op) in block.ops.iter().enumerate() {
+            emit_op(&ctx, block_id.0, op_index, op, insts, call_fixups)?;
+        }
+        let next = order.get(oi + 1).map(|b| b.0);
+        emit_terminator(
+            &ctx,
+            block_id.0,
+            &block.term,
+            next,
+            frame_bytes,
+            insts,
+            &mut branch_fixups,
+        );
+    }
+
+    for (index, block) in branch_fixups {
+        let target = block_starts[&block];
+        if let ArmInst::B { target: t, .. } = &mut insts[index] {
+            *t = target;
+        }
+    }
+    Ok(())
+}
+
+/// Liveness + interval analysis and linear-scan assignment over the IR.
+fn analyse(func: &Function) -> FnCtx<'_> {
+    let n_blocks = func.blocks.len();
+    let nv = func.vreg_count as usize;
+    let order = func.reverse_postorder();
+
+    // Linear positions in emission (reverse-postorder) order.
+    let mut block_start = vec![0u32; n_blocks];
+    let mut block_end = vec![0u32; n_blocks];
+    let mut cursor = 0u32;
+    for b in &order {
+        let len = func.block(*b).ops.len() as u32;
+        block_start[b.0 as usize] = cursor;
+        cursor += 2 * len + 2;
+        block_end[b.0 as usize] = cursor;
+    }
+
+    // Backward liveness.
+    let mut live_in: Vec<Vec<bool>> = vec![vec![false; nv]; n_blocks];
+    loop {
+        let mut changed = false;
+        for b in order.iter().rev() {
+            let block = func.block(*b);
+            let mut live = vec![false; nv];
+            for succ in block.term.successors() {
+                for (i, v) in live_in[succ.0 as usize].iter().enumerate() {
+                    if *v {
+                        live[i] = true;
+                    }
+                }
+            }
+            if let Some(u) = block.term.use_reg() {
+                live[u.0 as usize] = true;
+            }
+            for op in block.ops.iter().rev() {
+                if let Some(d) = op.def() {
+                    live[d.0 as usize] = false;
+                }
+                for u in op.uses() {
+                    live[u.0 as usize] = true;
+                }
+            }
+            if live != live_in[b.0 as usize] {
+                live_in[b.0 as usize] = live;
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    // Intervals.
+    let mut range: HashMap<u32, (u32, u32)> = HashMap::new();
+    let mut extend = |v: u32, p: u32| {
+        let e = range.entry(v).or_insert((p, p));
+        e.0 = e.0.min(p);
+        e.1 = e.1.max(p);
+    };
+    for p in &func.params {
+        extend(p.0, 0);
+    }
+    for b in &order {
+        let bi = b.0 as usize;
+        for (v, live) in live_in[bi].iter().enumerate() {
+            if *live {
+                extend(v as u32, block_start[bi]);
+            }
+        }
+        // live-out of predecessors handled via successors' live-in above;
+        // extend to block end for anything live out.
+        for succ in func.block(*b).term.successors() {
+            for (v, live) in live_in[succ.0 as usize].iter().enumerate() {
+                if *live {
+                    extend(v as u32, block_end[bi]);
+                }
+            }
+        }
+        for (i, op) in func.block(*b).ops.iter().enumerate() {
+            let pos = block_start[bi] + 2 * i as u32;
+            for u in op.uses() {
+                extend(u.0, pos);
+            }
+            if let Some(d) = op.def() {
+                extend(d.0, pos + 1);
+            }
+        }
+        if let Some(u) = func.block(*b).term.use_reg() {
+            extend(u.0, block_end[bi] - 1);
+        }
+    }
+    let mut intervals: Vec<(u32, u32, u32)> = range
+        .into_iter()
+        .map(|(v, (s, e))| (v, s, e))
+        .collect();
+    intervals.sort_by_key(|(v, s, _)| (*s, *v));
+
+    // Comparison → branch fusion (single-use comparisons defined in the
+    // branching block).
+    let mut use_counts: HashMap<VReg, usize> = HashMap::new();
+    for block in &func.blocks {
+        for op in &block.ops {
+            for u in op.uses() {
+                *use_counts.entry(u).or_insert(0) += 1;
+            }
+        }
+        if let Some(u) = block.term.use_reg() {
+            *use_counts.entry(u).or_insert(0) += 1;
+        }
+    }
+    let mut fused = HashMap::new();
+    for block in &func.blocks {
+        let Terminator::Branch { cond, .. } = &block.term else {
+            continue;
+        };
+        if use_counts.get(cond).copied().unwrap_or(0) != 1 {
+            continue;
+        }
+        let mut last = None;
+        for op in &block.ops {
+            if op.def() == Some(*cond) {
+                last = match op {
+                    IrOp::Bin {
+                        op: bop,
+                        lhs,
+                        rhs,
+                        ..
+                    } => arm_cond(*bop).map(|c| (c, *lhs, *rhs)),
+                    _ => None,
+                };
+            }
+        }
+        if let Some(t) = last {
+            fused.insert(block.id.0, t);
+        }
+    }
+
+    // Address-add folding: an add whose only consumer is the address of
+    // one memory access becomes ARM register-offset addressing. The safe
+    // sites come from the shared analysis in `epic_ir::analysis`.
+    let folds: HashMap<(u32, usize), AddrFold> = epic_ir::analysis::addr_folds(func)
+        .into_iter()
+        .map(|(k, v)| {
+            (
+                k,
+                match v {
+                    epic_ir::analysis::AddrFold::SkipAdd => AddrFold::SkipAdd,
+                    epic_ir::analysis::AddrFold::Mem { lhs, rhs } => AddrFold::Mem {
+                        lhs: lhs.0,
+                        rhs: rhs.0,
+                    },
+                },
+            )
+        })
+        .collect();
+
+    // Folded memory accesses read their address operands at the memory
+    // op's position, not the (skipped) add's — extend the intervals so
+    // the allocator keeps those registers alive until the access.
+    for ((block, j), fold) in &folds {
+        if let AddrFold::Mem { lhs, rhs } = fold {
+            let pos = block_start[*block as usize] + 2 * *j as u32;
+            for iv in intervals.iter_mut() {
+                if iv.0 == *lhs || iv.0 == *rhs {
+                    iv.2 = iv.2.max(pos);
+                }
+            }
+        }
+    }
+
+    // Linear scan with furthest-end spilling.
+    let mut free: Vec<Reg> = ALLOCATABLE.to_vec();
+    let mut active: Vec<(u32, Reg, u32)> = Vec::new(); // (end, reg, vreg)
+    let mut assignment: HashMap<u32, Reg> = HashMap::new();
+    let mut spill_slots: HashMap<u32, u32> = HashMap::new();
+    let makes_calls = func
+        .blocks
+        .iter()
+        .flat_map(|b| &b.ops)
+        .any(|op| matches!(op, IrOp::Call { .. }));
+    let mut next_slot: u32 = u32::from(makes_calls); // slot 0 = saved LR
+    for (v, s, e) in &intervals {
+        active.retain(|(end, reg, _)| {
+            if end < s {
+                free.push(*reg);
+                false
+            } else {
+                true
+            }
+        });
+        if let Some(reg) = free.pop() {
+            assignment.insert(*v, reg);
+            active.push((*e, reg, *v));
+        } else {
+            let (pos, &(v_end, v_reg, v_vreg)) = active
+                .iter()
+                .enumerate()
+                .max_by_key(|(_, (end, _, _))| *end)
+                .expect("active nonempty");
+            if v_end > *e {
+                assignment.remove(&v_vreg);
+                spill_slots.insert(v_vreg, next_slot);
+                next_slot += 1;
+                active.swap_remove(pos);
+                assignment.insert(*v, v_reg);
+                active.push((*e, v_reg, *v));
+            } else {
+                spill_slots.insert(*v, next_slot);
+                next_slot += 1;
+            }
+        }
+    }
+
+    // Call-save slots are allocated per call site in `emit_op`; reserve
+    // space generously: one slot per allocatable register.
+    let frame_slots = next_slot + ALLOCATABLE.len() as u32;
+
+    // Block-local constant map for immediate folding (conservative: only
+    // constants defined and never redefined in the same function).
+    let mut consts: HashMap<u32, i32> = HashMap::new();
+    let mut def_counts: HashMap<u32, usize> = HashMap::new();
+    for block in &func.blocks {
+        for op in &block.ops {
+            if let Some(d) = op.def() {
+                *def_counts.entry(d.0).or_insert(0) += 1;
+            }
+        }
+    }
+    for block in &func.blocks {
+        for op in &block.ops {
+            if let IrOp::Const { dest, value } = op {
+                if def_counts.get(&dest.0) == Some(&1) {
+                    consts.insert(dest.0, *value as i32);
+                }
+            }
+        }
+    }
+
+    FnCtx {
+        func,
+        assignment,
+        spill_slots,
+        frame_slots,
+        makes_calls,
+        consts,
+        fused,
+        folds,
+        intervals,
+    }
+}
+
+fn loc(ctx: &FnCtx<'_>, v: u32) -> Loc {
+    if let Some(r) = ctx.assignment.get(&v) {
+        Loc::Phys(*r)
+    } else if let Some(s) = ctx.spill_slots.get(&v) {
+        Loc::Slot(*s)
+    } else {
+        Loc::Phys(TEMPS[0])
+    }
+}
+
+fn arm_cond(bop: BinOp) -> Option<Cond> {
+    Some(match bop {
+        BinOp::CmpEq => Cond::Eq,
+        BinOp::CmpNe => Cond::Ne,
+        BinOp::CmpLt => Cond::Lt,
+        BinOp::CmpLe => Cond::Le,
+        BinOp::CmpGt => Cond::Gt,
+        BinOp::CmpGe => Cond::Ge,
+        BinOp::CmpLtu => Cond::Lo,
+        BinOp::CmpLeu => Cond::Ls,
+        BinOp::CmpGtu => Cond::Hi,
+        BinOp::CmpGeu => Cond::Hs,
+        _ => return None,
+    })
+}
+
+/// Reads a vreg into a register, reloading spills into the given temp.
+fn read_reg(ctx: &FnCtx<'_>, v: u32, temp: Reg, insts: &mut Vec<ArmInst>) -> Reg {
+    match loc(ctx, v) {
+        Loc::Phys(r) => r,
+        Loc::Slot(s) => {
+            insts.push(ArmInst::Ldr {
+                width: MemWidth::Word,
+                rd: temp,
+                rn: SP,
+                offset: (s * 4) as i32,
+            });
+            temp
+        }
+    }
+}
+
+/// Reads a vreg as a flexible operand, folding rotated immediates.
+fn read_op2(ctx: &FnCtx<'_>, v: u32, temp: Reg, insts: &mut Vec<ArmInst>) -> Op2 {
+    if let Some(c) = ctx.consts.get(&v) {
+        if Op2::fits_rotated_imm(*c) {
+            return Op2::Imm(*c);
+        }
+    }
+    Op2::Reg(read_reg(ctx, v, temp, insts))
+}
+
+/// Returns the register a def should be computed into, plus whether a
+/// post-store to a spill slot is needed.
+fn def_reg(ctx: &FnCtx<'_>, v: u32) -> (Reg, Option<u32>) {
+    match loc(ctx, v) {
+        Loc::Phys(r) => (r, None),
+        Loc::Slot(s) => (TEMPS[2], Some(s)),
+    }
+}
+
+fn finish_def(slot: Option<u32>, reg: Reg, insts: &mut Vec<ArmInst>) {
+    if let Some(s) = slot {
+        insts.push(ArmInst::Str {
+            width: MemWidth::Word,
+            rd: reg,
+            rn: SP,
+            offset: (s * 4) as i32,
+        });
+    }
+}
+
+fn emit_op(
+    ctx: &FnCtx<'_>,
+    block: u32,
+    op_index: usize,
+    op: &IrOp,
+    insts: &mut Vec<ArmInst>,
+    call_fixups: &mut Vec<(usize, String)>,
+) -> Result<(), ArmCodegenError> {
+    match ctx.folds.get(&(block, op_index)) {
+        Some(AddrFold::SkipAdd) => return Ok(()),
+        Some(AddrFold::Mem { lhs, rhs }) => {
+            let rn = read_reg(ctx, *lhs, TEMPS[0], insts);
+            let rm = read_reg(ctx, *rhs, TEMPS[1], insts);
+            match op {
+                IrOp::Load { kind, dest, .. } => {
+                    let (rd, slot) = def_reg(ctx, dest.0);
+                    let width = match kind {
+                        LoadKind::Word => MemWidth::Word,
+                        LoadKind::Half => MemWidth::HalfSigned,
+                        LoadKind::HalfU => MemWidth::Half,
+                        LoadKind::Byte => MemWidth::ByteSigned,
+                        LoadKind::ByteU => MemWidth::Byte,
+                    };
+                    insts.push(ArmInst::LdrReg { width, rd, rn, rm });
+                    finish_def(slot, rd, insts);
+                }
+                IrOp::Store { kind, value, .. } => {
+                    let rv = read_reg(ctx, value.0, TEMPS[2], insts);
+                    let width = match kind {
+                        StoreKind::Word => MemWidth::Word,
+                        StoreKind::Half => MemWidth::Half,
+                        StoreKind::Byte => MemWidth::Byte,
+                    };
+                    insts.push(ArmInst::StrReg {
+                        width,
+                        rd: rv,
+                        rn,
+                        rm,
+                    });
+                }
+                _ => unreachable!("folds only target memory accesses"),
+            }
+            return Ok(());
+        }
+        None => {}
+    }
+    match op {
+        IrOp::Const { dest, value } => {
+            let (rd, slot) = def_reg(ctx, dest.0);
+            insts.push(ArmInst::Mov {
+                rd,
+                op2: Op2::Imm(*value as i32),
+            });
+            finish_def(slot, rd, insts);
+        }
+        IrOp::Copy { dest, src } => {
+            let rs = read_reg(ctx, src.0, TEMPS[0], insts);
+            let (rd, slot) = def_reg(ctx, dest.0);
+            if rd != rs || slot.is_some() {
+                insts.push(ArmInst::Mov {
+                    rd,
+                    op2: Op2::Reg(rs),
+                });
+                finish_def(slot, rd, insts);
+            }
+        }
+        IrOp::Un { op: uop, dest, src } => {
+            let rs = read_reg(ctx, src.0, TEMPS[0], insts);
+            let (rd, slot) = def_reg(ctx, dest.0);
+            match uop {
+                UnOp::Neg => insts.push(ArmInst::Alu {
+                    op: ArmOp::Rsb,
+                    rd,
+                    rn: rs,
+                    op2: Op2::Imm(0),
+                }),
+                UnOp::Not => insts.push(ArmInst::Mvn {
+                    rd,
+                    op2: Op2::Reg(rs),
+                }),
+            }
+            finish_def(slot, rd, insts);
+        }
+        IrOp::Bin {
+            op: bop,
+            dest,
+            lhs,
+            rhs,
+        } => {
+            // A comparison fused into the block terminator emits nothing
+            // here; the CMP is issued with the branch.
+            if ctx.fused.get(&block).is_some_and(|_| {
+                op.def().is_some()
+                    && matches!(&ctx.func.block(epic_ir::BlockId(block)).term,
+                        Terminator::Branch { cond, .. } if Some(*cond) == op.def())
+            }) {
+                let _ = op_index;
+                return Ok(());
+            }
+            emit_bin(ctx, *bop, dest.0, lhs.0, rhs.0, insts);
+        }
+        IrOp::Load {
+            kind,
+            dest,
+            base,
+            offset,
+        } => {
+            let rb = read_reg(ctx, base.0, TEMPS[0], insts);
+            let (rd, slot) = def_reg(ctx, dest.0);
+            let width = match kind {
+                LoadKind::Word => MemWidth::Word,
+                LoadKind::Half => MemWidth::HalfSigned,
+                LoadKind::HalfU => MemWidth::Half,
+                LoadKind::Byte => MemWidth::ByteSigned,
+                LoadKind::ByteU => MemWidth::Byte,
+            };
+            insts.push(ArmInst::Ldr {
+                width,
+                rd,
+                rn: rb,
+                offset: *offset,
+            });
+            finish_def(slot, rd, insts);
+        }
+        IrOp::Store {
+            kind,
+            value,
+            base,
+            offset,
+        } => {
+            let rv = read_reg(ctx, value.0, TEMPS[0], insts);
+            let rb = read_reg(ctx, base.0, TEMPS[1], insts);
+            let width = match kind {
+                StoreKind::Word => MemWidth::Word,
+                StoreKind::Half => MemWidth::Half,
+                StoreKind::Byte => MemWidth::Byte,
+            };
+            insts.push(ArmInst::Str {
+                width,
+                rd: rv,
+                rn: rb,
+                offset: *offset,
+            });
+        }
+        IrOp::Call { callee, args, dest } => {
+            if args.len() > ARG_REGS.len() {
+                return Err(ArmCodegenError::TooManyArguments {
+                    function: callee.clone(),
+                    count: args.len(),
+                });
+            }
+            // Save allocated registers live across the call.
+            // Position bookkeeping mirrors `analyse`.
+            let live_regs = live_phys_across(ctx, block, op_index);
+            for (i, reg) in live_regs.iter().enumerate() {
+                insts.push(ArmInst::Str {
+                    width: MemWidth::Word,
+                    rd: *reg,
+                    rn: SP,
+                    offset: ((ctx.frame_slots - 1 - i as u32) * 4) as i32,
+                });
+            }
+            for (i, a) in args.iter().enumerate() {
+                match loc(ctx, a.0) {
+                    Loc::Phys(r) => insts.push(ArmInst::Mov {
+                        rd: ARG_REGS[i],
+                        op2: Op2::Reg(r),
+                    }),
+                    Loc::Slot(s) => insts.push(ArmInst::Ldr {
+                        width: MemWidth::Word,
+                        rd: ARG_REGS[i],
+                        rn: SP,
+                        offset: (s * 4) as i32,
+                    }),
+                }
+            }
+            call_fixups.push((insts.len(), callee.clone()));
+            insts.push(ArmInst::Bl { target: 0 });
+            if let Some(d) = dest {
+                let (rd, slot) = def_reg(ctx, d.0);
+                insts.push(ArmInst::Mov {
+                    rd,
+                    op2: Op2::Reg(RET_REG),
+                });
+                finish_def(slot, rd, insts);
+            }
+            for (i, reg) in live_regs.iter().enumerate() {
+                insts.push(ArmInst::Ldr {
+                    width: MemWidth::Word,
+                    rd: *reg,
+                    rn: SP,
+                    offset: ((ctx.frame_slots - 1 - i as u32) * 4) as i32,
+                });
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Physical registers holding values live across the call at
+/// `(block, op_index)`.
+fn live_phys_across(ctx: &FnCtx<'_>, block: u32, op_index: usize) -> Vec<Reg> {
+    // Recompute the linear position the same way `analyse` numbered it.
+    let order = ctx.func.reverse_postorder();
+    let mut cursor = 0u32;
+    let mut pos = 0u32;
+    for b in &order {
+        let len = ctx.func.block(*b).ops.len() as u32;
+        if b.0 == block {
+            pos = cursor + 2 * op_index as u32;
+        }
+        cursor += 2 * len + 2;
+    }
+    let mut regs: Vec<Reg> = ctx
+        .intervals
+        .iter()
+        .filter(|(_, s, e)| *s < pos && *e > pos + 1)
+        .filter_map(|(v, _, _)| ctx.assignment.get(v).copied())
+        .collect();
+    regs.sort_unstable();
+    regs.dedup();
+    regs
+}
+
+fn emit_bin(
+    ctx: &FnCtx<'_>,
+    bop: BinOp,
+    dest: u32,
+    lhs: u32,
+    rhs: u32,
+    insts: &mut Vec<ArmInst>,
+) {
+    let simple = |op: ArmOp| Some(op);
+    let arm_op = match bop {
+        BinOp::Add => simple(ArmOp::Add),
+        BinOp::Sub => simple(ArmOp::Sub),
+        BinOp::And => simple(ArmOp::And),
+        BinOp::Or => simple(ArmOp::Orr),
+        BinOp::Xor => simple(ArmOp::Eor),
+        BinOp::Shl => simple(ArmOp::Lsl),
+        BinOp::Shr => simple(ArmOp::Lsr),
+        BinOp::Sra => simple(ArmOp::Asr),
+        BinOp::Rotr => simple(ArmOp::Ror),
+        _ => None,
+    };
+    if let Some(op) = arm_op {
+        let rn = read_reg(ctx, lhs, TEMPS[0], insts);
+        let op2 = read_op2(ctx, rhs, TEMPS[1], insts);
+        let (rd, slot) = def_reg(ctx, dest);
+        insts.push(ArmInst::Alu { op, rd, rn, op2 });
+        finish_def(slot, rd, insts);
+        return;
+    }
+    match bop {
+        BinOp::Mul => {
+            let rn = read_reg(ctx, lhs, TEMPS[0], insts);
+            let rm = read_reg(ctx, rhs, TEMPS[1], insts);
+            let (rd, slot) = def_reg(ctx, dest);
+            insts.push(ArmInst::Mul { rd, rn, rm });
+            finish_def(slot, rd, insts);
+        }
+        BinOp::Div | BinOp::Rem => {
+            let rn = read_reg(ctx, lhs, TEMPS[0], insts);
+            let rm = read_reg(ctx, rhs, TEMPS[1], insts);
+            let (rd, slot) = def_reg(ctx, dest);
+            insts.push(if bop == BinOp::Div {
+                ArmInst::SoftDiv { rd, rn, rm }
+            } else {
+                ArmInst::SoftRem { rd, rn, rm }
+            });
+            finish_def(slot, rd, insts);
+        }
+        BinOp::Min | BinOp::Max => {
+            let rn = read_reg(ctx, lhs, TEMPS[0], insts);
+            let rm = read_reg(ctx, rhs, TEMPS[1], insts);
+            let (rd, slot) = def_reg(ctx, dest);
+            insts.push(ArmInst::Cmp {
+                rn,
+                op2: Op2::Reg(rm),
+            });
+            insts.push(ArmInst::Mov {
+                rd: TEMPS[2],
+                op2: Op2::Reg(rn),
+            });
+            let take_rm_when = if bop == BinOp::Min { Cond::Gt } else { Cond::Lt };
+            insts.push(ArmInst::MovCond {
+                cond: take_rm_when,
+                rd: TEMPS[2],
+                op2: Op2::Reg(rm),
+            });
+            insts.push(ArmInst::Mov {
+                rd,
+                op2: Op2::Reg(TEMPS[2]),
+            });
+            finish_def(slot, rd, insts);
+        }
+        cmp => {
+            // Comparison as a value: flags + conditional move.
+            let cond = arm_cond(cmp).expect("remaining operators are comparisons");
+            let rn = read_reg(ctx, lhs, TEMPS[0], insts);
+            let op2 = read_op2(ctx, rhs, TEMPS[1], insts);
+            let (rd, slot) = def_reg(ctx, dest);
+            insts.push(ArmInst::Cmp { rn, op2 });
+            insts.push(ArmInst::Mov {
+                rd,
+                op2: Op2::Imm(0),
+            });
+            insts.push(ArmInst::MovCond {
+                cond,
+                rd,
+                op2: Op2::Imm(1),
+            });
+            finish_def(slot, rd, insts);
+        }
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn emit_terminator(
+    ctx: &FnCtx<'_>,
+    block: u32,
+    term: &Terminator,
+    next: Option<u32>,
+    frame_bytes: u32,
+    insts: &mut Vec<ArmInst>,
+    branch_fixups: &mut Vec<(usize, u32)>,
+) {
+    match term {
+        Terminator::Jump(t) => {
+            if next != Some(t.0) {
+                branch_fixups.push((insts.len(), t.0));
+                insts.push(ArmInst::B {
+                    cond: Cond::Al,
+                    target: 0,
+                });
+            }
+        }
+        Terminator::Branch {
+            cond,
+            then_block,
+            else_block,
+        } => {
+            let fused = ctx.fused.get(&block).copied();
+            let branch_cond = if let Some((c, l, r)) = fused {
+                let rn = read_reg(ctx, l.0, TEMPS[0], insts);
+                let op2 = read_op2(ctx, r.0, TEMPS[1], insts);
+                insts.push(ArmInst::Cmp { rn, op2 });
+                c
+            } else {
+                let rc = read_reg(ctx, cond.0, TEMPS[0], insts);
+                insts.push(ArmInst::Cmp {
+                    rn: rc,
+                    op2: Op2::Imm(0),
+                });
+                Cond::Ne
+            };
+            if next == Some(else_block.0) {
+                branch_fixups.push((insts.len(), then_block.0));
+                insts.push(ArmInst::B {
+                    cond: branch_cond,
+                    target: 0,
+                });
+            } else if next == Some(then_block.0) {
+                branch_fixups.push((insts.len(), else_block.0));
+                insts.push(ArmInst::B {
+                    cond: branch_cond.negate(),
+                    target: 0,
+                });
+            } else {
+                branch_fixups.push((insts.len(), then_block.0));
+                insts.push(ArmInst::B {
+                    cond: branch_cond,
+                    target: 0,
+                });
+                branch_fixups.push((insts.len(), else_block.0));
+                insts.push(ArmInst::B {
+                    cond: Cond::Al,
+                    target: 0,
+                });
+            }
+        }
+        Terminator::Ret(value) => {
+            if let Some(v) = value {
+                match loc(ctx, v.0) {
+                    Loc::Phys(r) => {
+                        if r != RET_REG {
+                            insts.push(ArmInst::Mov {
+                                rd: RET_REG,
+                                op2: Op2::Reg(r),
+                            });
+                        }
+                    }
+                    Loc::Slot(s) => insts.push(ArmInst::Ldr {
+                        width: MemWidth::Word,
+                        rd: RET_REG,
+                        rn: SP,
+                        offset: (s * 4) as i32,
+                    }),
+                }
+            }
+            if ctx.makes_calls {
+                insts.push(ArmInst::Ldr {
+                    width: MemWidth::Word,
+                    rd: LR,
+                    rn: SP,
+                    offset: 0,
+                });
+            }
+            if frame_bytes > 0 {
+                insts.push(ArmInst::Alu {
+                    op: ArmOp::Add,
+                    rd: SP,
+                    rn: SP,
+                    op2: Op2::Imm(frame_bytes as i32),
+                });
+            }
+            insts.push(ArmInst::Bx { rm: LR });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use epic_ir::ast::{Expr, FunctionDef, Program, Stmt};
+    use epic_ir::lower;
+
+    fn compile_program(p: &Program, entry: &str, args: &[u32]) -> ArmProgram {
+        let module = lower::lower(p).unwrap();
+        compile(&module, entry, args).unwrap()
+    }
+
+    #[test]
+    fn straight_line_codegen() {
+        let p = Program::new().function(
+            FunctionDef::new("main", [] as [&str; 0]).body([Stmt::ret(Expr::lit(7))]),
+        );
+        let program = compile_program(&p, "main", &[]);
+        assert!(program.symbol("main").is_some());
+        assert!(matches!(program.insts()[0], ArmInst::Bl { .. }));
+        let listing = program.listing();
+        assert!(listing.contains("main:"));
+        assert!(listing.contains("bx r14"));
+    }
+
+    #[test]
+    fn rotate_is_native() {
+        let p = Program::new().function(
+            FunctionDef::new("main", ["x"])
+                .body([Stmt::ret(Expr::var("x").rotr(Expr::lit(3)))]),
+        );
+        let program = compile_program(&p, "main", &[5]);
+        assert!(program
+            .insts()
+            .iter()
+            .any(|i| matches!(i, ArmInst::Alu { op: ArmOp::Ror, .. })));
+    }
+
+    #[test]
+    fn division_is_software() {
+        let p = Program::new().function(
+            FunctionDef::new("main", ["x"]).body([Stmt::ret(Expr::var("x").div(Expr::lit(3)))]),
+        );
+        let program = compile_program(&p, "main", &[9]);
+        assert!(program
+            .insts()
+            .iter()
+            .any(|i| matches!(i, ArmInst::SoftDiv { .. })));
+    }
+
+    #[test]
+    fn small_constants_fold_into_immediates() {
+        let p = Program::new().function(
+            FunctionDef::new("main", ["x"]).body([Stmt::ret(Expr::var("x") + Expr::lit(255))]),
+        );
+        let program = compile_program(&p, "main", &[1]);
+        assert!(program.insts().iter().any(|i| matches!(
+            i,
+            ArmInst::Alu {
+                op: ArmOp::Add,
+                op2: Op2::Imm(255),
+                ..
+            }
+        )));
+    }
+
+    #[test]
+    fn comparisons_fuse_into_branches() {
+        let p = Program::new().function(FunctionDef::new("main", ["x"]).body([
+            Stmt::if_(Expr::var("x").lt_s(Expr::lit(0)), [Stmt::ret(Expr::lit(1))]),
+            Stmt::ret(Expr::lit(0)),
+        ]));
+        let program = compile_program(&p, "main", &[5]);
+        let cmps = program
+            .insts()
+            .iter()
+            .filter(|i| matches!(i, ArmInst::Cmp { .. }))
+            .count();
+        assert_eq!(cmps, 1);
+        assert!(program
+            .insts()
+            .iter()
+            .any(|i| matches!(i, ArmInst::B { cond: Cond::Lt, .. })));
+    }
+
+    #[test]
+    fn unknown_entry_is_reported() {
+        let p = Program::new().function(
+            FunctionDef::new("main", [] as [&str; 0]).body([Stmt::ret_void()]),
+        );
+        let module = lower::lower(&p).unwrap();
+        assert!(matches!(
+            compile(&module, "nope", &[]),
+            Err(ArmCodegenError::UnknownEntry { .. })
+        ));
+    }
+
+    #[test]
+    fn too_many_parameters_rejected() {
+        let p = Program::new().function(
+            FunctionDef::new("main", ["a", "b", "c", "d", "e"]).body([Stmt::ret_void()]),
+        );
+        let module = lower::lower(&p).unwrap();
+        assert!(matches!(
+            compile(&module, "main", &[]),
+            Err(ArmCodegenError::TooManyArguments { .. })
+        ));
+    }
+}

@@ -1,0 +1,415 @@
+//! The ARM-flavoured scalar instruction set.
+
+use std::fmt;
+
+/// Register names: `r0..r15`; by convention `r13` is the stack pointer,
+/// `r14` the link register. `r15` (the PC) is never named directly.
+pub type Reg = u8;
+
+/// The stack pointer.
+pub const SP: Reg = 13;
+/// The link register.
+pub const LR: Reg = 14;
+
+/// Condition codes evaluated against the flags set by [`ArmInst::Cmp`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Cond {
+    /// Always.
+    Al,
+    /// Equal.
+    Eq,
+    /// Not equal.
+    Ne,
+    /// Signed less than.
+    Lt,
+    /// Signed less or equal.
+    Le,
+    /// Signed greater than.
+    Gt,
+    /// Signed greater or equal.
+    Ge,
+    /// Unsigned lower.
+    Lo,
+    /// Unsigned lower or same.
+    Ls,
+    /// Unsigned higher.
+    Hi,
+    /// Unsigned higher or same.
+    Hs,
+}
+
+impl Cond {
+    /// The condition testing the opposite outcome.
+    #[must_use]
+    pub fn negate(self) -> Cond {
+        match self {
+            Cond::Al => Cond::Al,
+            Cond::Eq => Cond::Ne,
+            Cond::Ne => Cond::Eq,
+            Cond::Lt => Cond::Ge,
+            Cond::Le => Cond::Gt,
+            Cond::Gt => Cond::Le,
+            Cond::Ge => Cond::Lt,
+            Cond::Lo => Cond::Hs,
+            Cond::Ls => Cond::Hi,
+            Cond::Hi => Cond::Ls,
+            Cond::Hs => Cond::Lo,
+        }
+    }
+}
+
+impl fmt::Display for Cond {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Cond::Al => "",
+            Cond::Eq => "eq",
+            Cond::Ne => "ne",
+            Cond::Lt => "lt",
+            Cond::Le => "le",
+            Cond::Gt => "gt",
+            Cond::Ge => "ge",
+            Cond::Lo => "lo",
+            Cond::Ls => "ls",
+            Cond::Hi => "hi",
+            Cond::Hs => "hs",
+        })
+    }
+}
+
+/// The flexible second operand: register or immediate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Op2 {
+    /// A register.
+    Reg(Reg),
+    /// An immediate (full 32-bit range; wide values cost an extra cycle,
+    /// see [`crate::WIDE_IMM_EXTRA_CYCLES`]).
+    Imm(i32),
+}
+
+impl Op2 {
+    /// Whether an immediate fits ARM's 8-bit-rotated-by-even encoding.
+    #[must_use]
+    pub fn fits_rotated_imm(value: i32) -> bool {
+        let v = value as u32;
+        (0..16).any(|r| v.rotate_left(2 * r) <= 0xFF)
+    }
+}
+
+impl fmt::Display for Op2 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Op2::Reg(r) => write!(f, "r{r}"),
+            Op2::Imm(v) => write!(f, "#{v}"),
+        }
+    }
+}
+
+/// Data-processing operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ArmOp {
+    /// Addition.
+    Add,
+    /// Subtraction.
+    Sub,
+    /// Reverse subtraction (`rd = op2 - rn`).
+    Rsb,
+    /// Bitwise and.
+    And,
+    /// Bitwise or.
+    Orr,
+    /// Bitwise exclusive-or.
+    Eor,
+    /// Bit clear (`rd = rn & !op2`).
+    Bic,
+    /// Logical shift left.
+    Lsl,
+    /// Logical shift right.
+    Lsr,
+    /// Arithmetic shift right.
+    Asr,
+    /// Rotate right (the barrel shifter makes this free).
+    Ror,
+}
+
+impl fmt::Display for ArmOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            ArmOp::Add => "add",
+            ArmOp::Sub => "sub",
+            ArmOp::Rsb => "rsb",
+            ArmOp::And => "and",
+            ArmOp::Orr => "orr",
+            ArmOp::Eor => "eor",
+            ArmOp::Bic => "bic",
+            ArmOp::Lsl => "lsl",
+            ArmOp::Lsr => "lsr",
+            ArmOp::Asr => "asr",
+            ArmOp::Ror => "ror",
+        })
+    }
+}
+
+/// Memory access widths.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MemWidth {
+    /// 32-bit word.
+    Word,
+    /// 16-bit half, zero-extended on load.
+    Half,
+    /// 16-bit half, sign-extended on load.
+    HalfSigned,
+    /// 8-bit byte, zero-extended on load.
+    Byte,
+    /// 8-bit byte, sign-extended on load.
+    ByteSigned,
+}
+
+impl MemWidth {
+    /// Bytes accessed.
+    #[must_use]
+    pub fn bytes(self) -> u32 {
+        match self {
+            MemWidth::Word => 4,
+            MemWidth::Half | MemWidth::HalfSigned => 2,
+            MemWidth::Byte | MemWidth::ByteSigned => 1,
+        }
+    }
+}
+
+/// One instruction of the baseline's ISA.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ArmInst {
+    /// `rd = rn <op> op2`.
+    Alu {
+        /// Operation.
+        op: ArmOp,
+        /// Destination.
+        rd: Reg,
+        /// First operand.
+        rn: Reg,
+        /// Second operand.
+        op2: Op2,
+    },
+    /// `rd = op2` (wide immediates cost an extra cycle).
+    Mov {
+        /// Destination.
+        rd: Reg,
+        /// Source.
+        op2: Op2,
+    },
+    /// `rd = !op2` (move-not).
+    Mvn {
+        /// Destination.
+        rd: Reg,
+        /// Source.
+        op2: Op2,
+    },
+    /// Conditional move: `if cond { rd = op2 }`.
+    MovCond {
+        /// The condition (against current flags).
+        cond: Cond,
+        /// Destination.
+        rd: Reg,
+        /// Source.
+        op2: Op2,
+    },
+    /// Compare `rn` with `op2`, setting the flags.
+    Cmp {
+        /// Left operand.
+        rn: Reg,
+        /// Right operand.
+        op2: Op2,
+    },
+    /// `rd = rn * rm` (one extra cycle).
+    Mul {
+        /// Destination.
+        rd: Reg,
+        /// First factor.
+        rn: Reg,
+        /// Second factor.
+        rm: Reg,
+    },
+    /// Software signed division `rd = rn / rm` (0 on zero divisor) —
+    /// stands for the `__divsi3` call, costing
+    /// [`crate::SOFT_DIV_CYCLES`].
+    SoftDiv {
+        /// Destination.
+        rd: Reg,
+        /// Dividend.
+        rn: Reg,
+        /// Divisor.
+        rm: Reg,
+    },
+    /// Software signed remainder (same cost model as [`ArmInst::SoftDiv`]).
+    SoftRem {
+        /// Destination.
+        rd: Reg,
+        /// Dividend.
+        rn: Reg,
+        /// Divisor.
+        rm: Reg,
+    },
+    /// Load `rd = mem[rn + offset]`.
+    Ldr {
+        /// Access width and extension.
+        width: MemWidth,
+        /// Destination.
+        rd: Reg,
+        /// Base register.
+        rn: Reg,
+        /// Byte offset.
+        offset: i32,
+    },
+    /// Store `mem[rn + offset] = rd`.
+    Str {
+        /// Access width.
+        width: MemWidth,
+        /// Source of the stored value.
+        rd: Reg,
+        /// Base register.
+        rn: Reg,
+        /// Byte offset.
+        offset: i32,
+    },
+    /// Load with register offset: `rd = mem[rn + rm]` (ARM's scaled
+    /// register addressing, one cycle like the immediate form).
+    LdrReg {
+        /// Access width and extension.
+        width: MemWidth,
+        /// Destination.
+        rd: Reg,
+        /// Base register.
+        rn: Reg,
+        /// Offset register.
+        rm: Reg,
+    },
+    /// Store with register offset: `mem[rn + rm] = rd`.
+    StrReg {
+        /// Access width.
+        width: MemWidth,
+        /// Source of the stored value.
+        rd: Reg,
+        /// Base register.
+        rn: Reg,
+        /// Offset register.
+        rm: Reg,
+    },
+    /// Conditional branch to an instruction index.
+    B {
+        /// The condition.
+        cond: Cond,
+        /// Target instruction index.
+        target: u32,
+    },
+    /// Branch and link (call).
+    Bl {
+        /// Target instruction index.
+        target: u32,
+    },
+    /// Branch through a register (return: `bx lr`).
+    Bx {
+        /// Register holding the target instruction index.
+        rm: Reg,
+    },
+    /// Stop the simulation (the harness's exit).
+    Halt,
+}
+
+impl fmt::Display for ArmInst {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ArmInst::Alu { op, rd, rn, op2 } => write!(f, "{op} r{rd}, r{rn}, {op2}"),
+            ArmInst::Mov { rd, op2 } => write!(f, "mov r{rd}, {op2}"),
+            ArmInst::Mvn { rd, op2 } => write!(f, "mvn r{rd}, {op2}"),
+            ArmInst::MovCond { cond, rd, op2 } => write!(f, "mov{cond} r{rd}, {op2}"),
+            ArmInst::Cmp { rn, op2 } => write!(f, "cmp r{rn}, {op2}"),
+            ArmInst::Mul { rd, rn, rm } => write!(f, "mul r{rd}, r{rn}, r{rm}"),
+            ArmInst::SoftDiv { rd, rn, rm } => write!(f, "bl __divsi3 ; r{rd} = r{rn}/r{rm}"),
+            ArmInst::SoftRem { rd, rn, rm } => write!(f, "bl __modsi3 ; r{rd} = r{rn}%r{rm}"),
+            ArmInst::Ldr {
+                width,
+                rd,
+                rn,
+                offset,
+            } => write!(f, "ldr{} r{rd}, [r{rn}, #{offset}]", width_suffix(*width)),
+            ArmInst::Str {
+                width,
+                rd,
+                rn,
+                offset,
+            } => write!(f, "str{} r{rd}, [r{rn}, #{offset}]", width_suffix(*width)),
+            ArmInst::LdrReg { width, rd, rn, rm } => {
+                write!(f, "ldr{} r{rd}, [r{rn}, r{rm}]", width_suffix(*width))
+            }
+            ArmInst::StrReg { width, rd, rn, rm } => {
+                write!(f, "str{} r{rd}, [r{rn}, r{rm}]", width_suffix(*width))
+            }
+            ArmInst::B { cond, target } => write!(f, "b{cond} {target}"),
+            ArmInst::Bl { target } => write!(f, "bl {target}"),
+            ArmInst::Bx { rm } => write!(f, "bx r{rm}"),
+            ArmInst::Halt => write!(f, "halt"),
+        }
+    }
+}
+
+fn width_suffix(width: MemWidth) -> &'static str {
+    match width {
+        MemWidth::Word => "",
+        MemWidth::Half => "h",
+        MemWidth::HalfSigned => "sh",
+        MemWidth::Byte => "b",
+        MemWidth::ByteSigned => "sb",
+    }
+}
+
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cond_negation_is_involutive() {
+        for c in [
+            Cond::Eq,
+            Cond::Ne,
+            Cond::Lt,
+            Cond::Le,
+            Cond::Gt,
+            Cond::Ge,
+            Cond::Lo,
+            Cond::Ls,
+            Cond::Hi,
+            Cond::Hs,
+        ] {
+            assert_eq!(c.negate().negate(), c);
+        }
+    }
+
+    #[test]
+    fn rotated_immediate_detection() {
+        assert!(Op2::fits_rotated_imm(0));
+        assert!(Op2::fits_rotated_imm(255));
+        assert!(Op2::fits_rotated_imm(0x3FC)); // 255 << 2
+        assert!(Op2::fits_rotated_imm(0xFF00_0000u32 as i32));
+        assert!(!Op2::fits_rotated_imm(0x101));
+        assert!(!Op2::fits_rotated_imm(0x12345678));
+    }
+
+    #[test]
+    fn display_is_arm_like() {
+        let i = ArmInst::Alu {
+            op: ArmOp::Add,
+            rd: 1,
+            rn: 2,
+            op2: Op2::Imm(5),
+        };
+        assert_eq!(i.to_string(), "add r1, r2, #5");
+        let l = ArmInst::Ldr {
+            width: MemWidth::ByteSigned,
+            rd: 3,
+            rn: 4,
+            offset: -2,
+        };
+        assert_eq!(l.to_string(), "ldrsb r3, [r4, #-2]");
+    }
+}

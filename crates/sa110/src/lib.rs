@@ -1,0 +1,68 @@
+//! StrongARM SA-110 baseline: code generator and timing model.
+//!
+//! The paper measures its EPIC designs against "the StrongARM SA-110
+//! processor … obtained by the ARM simulation program SimIt-ARM" (§5.2).
+//! SimIt-ARM and the physical part are unavailable here, so this crate
+//! provides the closest synthetic equivalent: an ARM-flavoured scalar ISA
+//! ([`ArmInst`]), a code generator from the shared `epic-ir` module (the
+//! same IR the EPIC backend consumes, as one C source fed both toolchains
+//! in the paper), and a single-issue, in-order, 5-stage timing model
+//! ([`ArmSimulator`]) with SA-110 characteristics:
+//!
+//! * one instruction per cycle baseline;
+//! * a one-cycle **load-use interlock**;
+//! * a two-cycle **taken-branch penalty** (no branch prediction);
+//! * a one-cycle extra **multiply** latency;
+//! * **no divide instruction** — division runs as a software routine
+//!   ([`SOFT_DIV_CYCLES`] per call, the `__divsi3` surrogate);
+//! * wide constants cost an extra cycle (the `MOV`/`ORR` pair or a
+//!   literal-pool load);
+//! * the barrel shifter makes rotates free (`ROR` is native), and
+//!   conditional moves avoid short branches.
+//!
+//! Memory is big-endian, matching the EPIC machine (the SA-110 supports
+//! big-endian operation), so both processors produce bit-identical memory
+//! images for the differential tests.
+//!
+//! # Examples
+//!
+//! ```
+//! use epic_ir::ast::{Expr, FunctionDef, Program, Stmt};
+//! use epic_sa110::{compile, ArmSimulator};
+//!
+//! let program = Program::new().function(
+//!     FunctionDef::new("main", [] as [&str; 0])
+//!         .body([Stmt::ret(Expr::lit(6) * Expr::lit(7))]),
+//! );
+//! let module = epic_ir::lower::lower(&program)?;
+//! let compiled = compile(&module, "main", &[])?;
+//! let mut sim = ArmSimulator::new(&compiled, vec![0; 1024]);
+//! sim.run()?;
+//! assert_eq!(sim.reg(0), 42);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod codegen;
+mod isa;
+mod sim;
+
+pub use codegen::{compile, ArmCodegenError, ArmProgram};
+pub use isa::{ArmInst, ArmOp, Cond, Op2};
+pub use sim::{ArmSimError, ArmSimulator, ArmStats};
+
+/// Cycles charged for the software divide routine (the SA-110 has no
+/// divide instruction; `__divsi3`-class routines average ~20-30 cycles).
+pub const SOFT_DIV_CYCLES: u64 = 24;
+
+/// Taken-branch penalty in cycles (pipeline refill, no prediction).
+pub const BRANCH_PENALTY: u64 = 2;
+
+/// Extra cycles for a multiply beyond the base cycle.
+pub const MUL_EXTRA_CYCLES: u64 = 1;
+
+/// Extra cycle for materialising a constant outside the 8-bit rotated
+/// immediate space (the second instruction of a `MOV`/`ORR` pair).
+pub const WIDE_IMM_EXTRA_CYCLES: u64 = 1;

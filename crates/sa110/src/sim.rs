@@ -1,0 +1,596 @@
+//! The SA-110 timing-model simulator.
+
+use crate::isa::{ArmInst, ArmOp, Cond, MemWidth, Op2, LR, SP};
+use crate::{BRANCH_PENALTY, MUL_EXTRA_CYCLES, SOFT_DIV_CYCLES, WIDE_IMM_EXTRA_CYCLES};
+use crate::codegen::ArmProgram;
+use std::error::Error;
+use std::fmt;
+
+/// Default cycle budget.
+const DEFAULT_CYCLE_LIMIT: u64 = 20_000_000_000;
+
+/// Simulation error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ArmSimError {
+    /// A memory access left the data memory or was misaligned.
+    MemoryFault {
+        /// Instruction index.
+        pc: u32,
+        /// Faulting byte address.
+        address: u32,
+    },
+    /// The PC left the instruction stream without `halt`.
+    PcOutOfRange {
+        /// The runaway index.
+        pc: u32,
+    },
+    /// The cycle budget was exhausted.
+    CycleLimit {
+        /// The configured limit.
+        limit: u64,
+    },
+}
+
+impl fmt::Display for ArmSimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ArmSimError::MemoryFault { pc, address } => {
+                write!(f, "memory fault at instruction {pc}: address {address:#x}")
+            }
+            ArmSimError::PcOutOfRange { pc } => {
+                write!(f, "program counter {pc} left the instruction stream")
+            }
+            ArmSimError::CycleLimit { limit } => {
+                write!(f, "execution exceeded the cycle limit of {limit}")
+            }
+        }
+    }
+}
+
+impl Error for ArmSimError {}
+
+/// Execution statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ArmStats {
+    /// Cycles elapsed under the timing model.
+    pub cycles: u64,
+    /// Instructions executed.
+    pub instructions: u64,
+    /// Taken branches (each costs [`BRANCH_PENALTY`] extra cycles).
+    pub taken_branches: u64,
+    /// Load-use interlock stalls.
+    pub load_use_stalls: u64,
+    /// Software divide/remainder invocations.
+    pub soft_divides: u64,
+    /// Data-memory loads.
+    pub loads: u64,
+    /// Data-memory stores.
+    pub stores: u64,
+}
+
+/// The baseline's single-issue, in-order simulator.
+///
+/// Functional semantics match the reference interpreter bit-for-bit
+/// (32-bit wrapping arithmetic, big-endian memory, division by zero
+/// yielding zero); the timing model adds the SA-110 costs listed in the
+/// crate documentation.
+#[derive(Debug, Clone)]
+pub struct ArmSimulator {
+    insts: Vec<ArmInst>,
+    memory: Vec<u8>,
+    regs: [u32; 16],
+    flag_n: bool,
+    flag_z: bool,
+    flag_c: bool,
+    flag_v: bool,
+    pc: u32,
+    halted: bool,
+    stats: ArmStats,
+    cycle_limit: u64,
+    /// Destination of the immediately preceding load (load-use hazard).
+    last_load_dest: Option<u8>,
+}
+
+impl ArmSimulator {
+    /// Creates a simulator with the given data memory; the stack pointer
+    /// starts at the top of memory.
+    #[must_use]
+    pub fn new(program: &ArmProgram, memory: Vec<u8>) -> Self {
+        let mut regs = [0u32; 16];
+        regs[SP as usize] = (memory.len() as u32) & !3;
+        ArmSimulator {
+            insts: program.insts().to_vec(),
+            memory,
+            regs,
+            flag_n: false,
+            flag_z: false,
+            flag_c: false,
+            flag_v: false,
+            pc: program.entry(),
+            halted: false,
+            stats: ArmStats::default(),
+            cycle_limit: DEFAULT_CYCLE_LIMIT,
+            last_load_dest: None,
+        }
+    }
+
+    /// Caps the simulated cycles.
+    pub fn set_cycle_limit(&mut self, limit: u64) {
+        self.cycle_limit = limit;
+    }
+
+    /// Reads a register.
+    #[must_use]
+    pub fn reg(&self, index: usize) -> u32 {
+        self.regs[index]
+    }
+
+    /// The data memory.
+    #[must_use]
+    pub fn memory(&self) -> &[u8] {
+        &self.memory
+    }
+
+    /// Statistics so far.
+    #[must_use]
+    pub fn stats(&self) -> &ArmStats {
+        &self.stats
+    }
+
+    /// Whether `halt` has executed.
+    #[must_use]
+    pub fn is_halted(&self) -> bool {
+        self.halted
+    }
+
+    /// Runs to `halt`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`ArmSimError`] raised.
+    pub fn run(&mut self) -> Result<&ArmStats, ArmSimError> {
+        while !self.halted {
+            self.step()?;
+        }
+        Ok(&self.stats)
+    }
+
+    /// Executes one instruction.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArmSimError`] on faults, runaway PC or cycle exhaustion.
+    pub fn step(&mut self) -> Result<(), ArmSimError> {
+        if self.halted {
+            return Ok(());
+        }
+        if self.stats.cycles >= self.cycle_limit {
+            return Err(ArmSimError::CycleLimit {
+                limit: self.cycle_limit,
+            });
+        }
+        let pc = self.pc;
+        let Some(inst) = self.insts.get(pc as usize).cloned() else {
+            return Err(ArmSimError::PcOutOfRange { pc });
+        };
+        self.stats.instructions += 1;
+        self.stats.cycles += 1;
+        self.pc = pc + 1;
+
+        // Load-use interlock: using the previous load's destination as a
+        // source this instruction costs one stall cycle.
+        let sources = inst_sources(&inst);
+        if let Some(dest) = self.last_load_dest.take() {
+            if sources.contains(&dest) {
+                self.stats.cycles += 1;
+                self.stats.load_use_stalls += 1;
+            }
+        }
+
+        match inst {
+            ArmInst::Alu { op, rd, rn, op2 } => {
+                let a = self.regs[rn as usize];
+                let b = self.op2_value(op2);
+                self.regs[rd as usize] = alu(op, a, b);
+            }
+            ArmInst::Mov { rd, op2 } => {
+                if let Op2::Imm(v) = op2 {
+                    if !Op2::fits_rotated_imm(v) {
+                        self.stats.cycles += WIDE_IMM_EXTRA_CYCLES;
+                    }
+                }
+                self.regs[rd as usize] = self.op2_value(op2);
+            }
+            ArmInst::Mvn { rd, op2 } => {
+                self.regs[rd as usize] = !self.op2_value(op2);
+            }
+            ArmInst::MovCond { cond, rd, op2 } => {
+                if self.cond_holds(cond) {
+                    self.regs[rd as usize] = self.op2_value(op2);
+                }
+            }
+            ArmInst::Cmp { rn, op2 } => {
+                let a = self.regs[rn as usize];
+                let b = self.op2_value(op2);
+                let (result, borrow) = a.overflowing_sub(b);
+                self.flag_n = (result as i32) < 0;
+                self.flag_z = result == 0;
+                self.flag_c = !borrow;
+                self.flag_v = ((a ^ b) & (a ^ result)) >> 31 != 0;
+            }
+            ArmInst::Mul { rd, rn, rm } => {
+                self.stats.cycles += MUL_EXTRA_CYCLES;
+                self.regs[rd as usize] =
+                    self.regs[rn as usize].wrapping_mul(self.regs[rm as usize]);
+            }
+            ArmInst::SoftDiv { rd, rn, rm } => {
+                self.stats.cycles += SOFT_DIV_CYCLES;
+                self.stats.soft_divides += 1;
+                let a = self.regs[rn as usize] as i32;
+                let b = self.regs[rm as usize] as i32;
+                self.regs[rd as usize] = if b == 0 { 0 } else { a.wrapping_div(b) as u32 };
+            }
+            ArmInst::SoftRem { rd, rn, rm } => {
+                self.stats.cycles += SOFT_DIV_CYCLES;
+                self.stats.soft_divides += 1;
+                let a = self.regs[rn as usize] as i32;
+                let b = self.regs[rm as usize] as i32;
+                self.regs[rd as usize] = if b == 0 { 0 } else { a.wrapping_rem(b) as u32 };
+            }
+            ArmInst::Ldr {
+                width,
+                rd,
+                rn,
+                offset,
+            } => {
+                let address = self.regs[rn as usize].wrapping_add(offset as u32);
+                let raw = self.load(pc, address, width.bytes())?;
+                self.regs[rd as usize] = extend(width, raw);
+                self.stats.loads += 1;
+                self.last_load_dest = Some(rd);
+            }
+            ArmInst::Str {
+                width,
+                rd,
+                rn,
+                offset,
+            } => {
+                let address = self.regs[rn as usize].wrapping_add(offset as u32);
+                let value = self.regs[rd as usize];
+                self.store(pc, address, width.bytes(), value)?;
+                self.stats.stores += 1;
+            }
+            ArmInst::LdrReg { width, rd, rn, rm } => {
+                let address = self.regs[rn as usize].wrapping_add(self.regs[rm as usize]);
+                let raw = self.load(pc, address, width.bytes())?;
+                self.regs[rd as usize] = extend(width, raw);
+                self.stats.loads += 1;
+                self.last_load_dest = Some(rd);
+            }
+            ArmInst::StrReg { width, rd, rn, rm } => {
+                let address = self.regs[rn as usize].wrapping_add(self.regs[rm as usize]);
+                let value = self.regs[rd as usize];
+                self.store(pc, address, width.bytes(), value)?;
+                self.stats.stores += 1;
+            }
+            ArmInst::B { cond, target } => {
+                if self.cond_holds(cond) {
+                    self.pc = target;
+                    self.stats.cycles += BRANCH_PENALTY;
+                    self.stats.taken_branches += 1;
+                }
+            }
+            ArmInst::Bl { target } => {
+                self.regs[LR as usize] = pc + 1;
+                self.pc = target;
+                self.stats.cycles += BRANCH_PENALTY;
+                self.stats.taken_branches += 1;
+            }
+            ArmInst::Bx { rm } => {
+                self.pc = self.regs[rm as usize];
+                self.stats.cycles += BRANCH_PENALTY;
+                self.stats.taken_branches += 1;
+            }
+            ArmInst::Halt => {
+                self.halted = true;
+            }
+        }
+        Ok(())
+    }
+
+    fn op2_value(&self, op2: Op2) -> u32 {
+        match op2 {
+            Op2::Reg(r) => self.regs[r as usize],
+            Op2::Imm(v) => v as u32,
+        }
+    }
+
+    fn cond_holds(&self, cond: Cond) -> bool {
+        match cond {
+            Cond::Al => true,
+            Cond::Eq => self.flag_z,
+            Cond::Ne => !self.flag_z,
+            Cond::Lt => self.flag_n != self.flag_v,
+            Cond::Le => self.flag_z || self.flag_n != self.flag_v,
+            Cond::Gt => !self.flag_z && self.flag_n == self.flag_v,
+            Cond::Ge => self.flag_n == self.flag_v,
+            Cond::Lo => !self.flag_c,
+            Cond::Ls => !self.flag_c || self.flag_z,
+            Cond::Hi => self.flag_c && !self.flag_z,
+            Cond::Hs => self.flag_c,
+        }
+    }
+
+    fn load(&mut self, pc: u32, address: u32, width: u32) -> Result<u32, ArmSimError> {
+        if u64::from(address) + u64::from(width) > self.memory.len() as u64
+            || address % width != 0
+        {
+            return Err(ArmSimError::MemoryFault { pc, address });
+        }
+        let a = address as usize;
+        Ok(match width {
+            1 => u32::from(self.memory[a]),
+            2 => u32::from(u16::from_be_bytes([self.memory[a], self.memory[a + 1]])),
+            _ => u32::from_be_bytes([
+                self.memory[a],
+                self.memory[a + 1],
+                self.memory[a + 2],
+                self.memory[a + 3],
+            ]),
+        })
+    }
+
+    fn store(
+        &mut self,
+        pc: u32,
+        address: u32,
+        width: u32,
+        value: u32,
+    ) -> Result<(), ArmSimError> {
+        if u64::from(address) + u64::from(width) > self.memory.len() as u64
+            || address % width != 0
+        {
+            return Err(ArmSimError::MemoryFault { pc, address });
+        }
+        let a = address as usize;
+        match width {
+            1 => self.memory[a] = value as u8,
+            2 => self.memory[a..a + 2].copy_from_slice(&(value as u16).to_be_bytes()),
+            _ => self.memory[a..a + 4].copy_from_slice(&value.to_be_bytes()),
+        }
+        Ok(())
+    }
+}
+
+fn alu(op: ArmOp, a: u32, b: u32) -> u32 {
+    match op {
+        ArmOp::Add => a.wrapping_add(b),
+        ArmOp::Sub => a.wrapping_sub(b),
+        ArmOp::Rsb => b.wrapping_sub(a),
+        ArmOp::And => a & b,
+        ArmOp::Orr => a | b,
+        ArmOp::Eor => a ^ b,
+        ArmOp::Bic => a & !b,
+        ArmOp::Lsl => a.wrapping_shl(b),
+        ArmOp::Lsr => a.wrapping_shr(b),
+        ArmOp::Asr => (a as i32).wrapping_shr(b) as u32,
+        ArmOp::Ror => a.rotate_right(b % 32),
+    }
+}
+
+fn extend(width: MemWidth, raw: u32) -> u32 {
+    match width {
+        MemWidth::HalfSigned => i32::from(raw as u16 as i16) as u32,
+        MemWidth::ByteSigned => i32::from(raw as u8 as i8) as u32,
+        _ => raw,
+    }
+}
+
+fn inst_sources(inst: &ArmInst) -> Vec<u8> {
+    let op2_reg = |op2: &Op2| match op2 {
+        Op2::Reg(r) => vec![*r],
+        Op2::Imm(_) => vec![],
+    };
+    match inst {
+        ArmInst::Alu { rn, op2, .. } => {
+            let mut v = vec![*rn];
+            v.extend(op2_reg(op2));
+            v
+        }
+        ArmInst::Mov { op2, .. } | ArmInst::Mvn { op2, .. } | ArmInst::MovCond { op2, .. } => {
+            op2_reg(op2)
+        }
+        ArmInst::Cmp { rn, op2 } => {
+            let mut v = vec![*rn];
+            v.extend(op2_reg(op2));
+            v
+        }
+        ArmInst::Mul { rn, rm, .. }
+        | ArmInst::SoftDiv { rn, rm, .. }
+        | ArmInst::SoftRem { rn, rm, .. } => vec![*rn, *rm],
+        ArmInst::Ldr { rn, .. } => vec![*rn],
+        ArmInst::Str { rd, rn, .. } => vec![*rd, *rn],
+        ArmInst::LdrReg { rn, rm, .. } => vec![*rn, *rm],
+        ArmInst::StrReg { rd, rn, rm, .. } => vec![*rd, *rn, *rm],
+        ArmInst::Bx { rm } => vec![*rm],
+        _ => vec![],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::codegen::compile;
+    use epic_ir::ast::{Expr, FunctionDef, Program, Stmt};
+    use epic_ir::lower;
+
+    fn run(p: &Program, entry: &str, args: &[u32]) -> ArmSimulator {
+        let module = lower::lower(p).unwrap();
+        let compiled = compile(&module, entry, args).unwrap();
+        let layout = module.layout().unwrap();
+        let mut sim = ArmSimulator::new(&compiled, module.initial_memory(&layout));
+        sim.run().unwrap();
+        sim
+    }
+
+    #[test]
+    fn arithmetic_and_return() {
+        let p = Program::new().function(
+            FunctionDef::new("main", ["x"])
+                .body([Stmt::ret(Expr::var("x") * Expr::lit(3) + Expr::lit(4))]),
+        );
+        let sim = run(&p, "main", &[6]);
+        assert_eq!(sim.reg(0), 22);
+    }
+
+    #[test]
+    fn loops_and_branch_penalties() {
+        let p = Program::new().function(FunctionDef::new("main", ["n"]).body([
+            Stmt::let_("acc", Expr::lit(0)),
+            Stmt::for_("i", Expr::lit(0), Expr::var("n"), [
+                Stmt::assign("acc", Expr::var("acc") + Expr::var("i")),
+            ]),
+            Stmt::ret(Expr::var("acc")),
+        ]));
+        let sim = run(&p, "main", &[10]);
+        assert_eq!(sim.reg(0), 45);
+        assert!(sim.stats().taken_branches >= 10, "back edges are taken");
+        assert!(sim.stats().cycles > sim.stats().instructions);
+    }
+
+    #[test]
+    fn memory_and_globals() {
+        let p = Program::new()
+            .global(epic_ir::Global::with_words("tbl", &[10, 20, 30]))
+            .function(FunctionDef::new("main", ["i"]).body([Stmt::ret(
+                (Expr::global("tbl") + Expr::var("i") * Expr::lit(4)).load_word(),
+            )]));
+        let sim = run(&p, "main", &[2]);
+        assert_eq!(sim.reg(0), 30);
+    }
+
+    #[test]
+    fn calls_preserve_live_values() {
+        let sq = FunctionDef::new("sq", ["x"]).body([Stmt::ret(Expr::var("x") * Expr::var("x"))]);
+        let main = FunctionDef::new("main", ["a"]).body([
+            Stmt::let_("k", Expr::var("a") + Expr::lit(1)),
+            Stmt::let_("s", Expr::call("sq", [Expr::var("k")])),
+            Stmt::ret(Expr::var("s") + Expr::var("k")),
+        ]);
+        let p = Program::new().function(sq).function(main);
+        let sim = run(&p, "main", &[3]);
+        assert_eq!(sim.reg(0), 20);
+    }
+
+    #[test]
+    fn recursion_works() {
+        let fib = FunctionDef::new("fib", ["n"]).body([
+            Stmt::if_(Expr::var("n").lt_s(Expr::lit(2)), [Stmt::ret(Expr::var("n"))]),
+            Stmt::ret(
+                Expr::call("fib", [Expr::var("n") - Expr::lit(1)])
+                    + Expr::call("fib", [Expr::var("n") - Expr::lit(2)]),
+            ),
+        ]);
+        let sim = run(&Program::new().function(fib), "fib", &[10]);
+        assert_eq!(sim.reg(0), 55);
+    }
+
+    #[test]
+    fn division_costs_soft_cycles() {
+        let p = Program::new().function(
+            FunctionDef::new("main", ["x"]).body([Stmt::ret(Expr::var("x").div(Expr::lit(7)))]),
+        );
+        let sim = run(&p, "main", &[100]);
+        assert_eq!(sim.reg(0), 14);
+        assert_eq!(sim.stats().soft_divides, 1);
+        assert!(sim.stats().cycles >= SOFT_DIV_CYCLES);
+    }
+
+    #[test]
+    fn load_use_stall_is_counted() {
+        // A hand-written back-to-back load/use pair (the code generator
+        // usually has an intervening instruction to hide the latency).
+        let program = ArmProgram::from_insts(
+            vec![
+                ArmInst::Mov {
+                    rd: 1,
+                    op2: Op2::Imm(8),
+                },
+                ArmInst::Ldr {
+                    width: MemWidth::Word,
+                    rd: 2,
+                    rn: 1,
+                    offset: 0,
+                },
+                ArmInst::Alu {
+                    op: ArmOp::Add,
+                    rd: 0,
+                    rn: 2,
+                    op2: Op2::Imm(1),
+                },
+                ArmInst::Halt,
+            ],
+            0,
+        );
+        let mut memory = vec![0u8; 64];
+        memory[8..12].copy_from_slice(&5u32.to_be_bytes());
+        let mut sim = ArmSimulator::new(&program, memory);
+        sim.run().unwrap();
+        assert_eq!(sim.reg(0), 6);
+        assert_eq!(sim.stats().load_use_stalls, 1);
+    }
+
+    #[test]
+    fn spilling_under_pressure_still_computes() {
+        let mut body = Vec::new();
+        for i in 0..20 {
+            body.push(Stmt::let_(format!("x{i}"), Expr::var("a") + Expr::lit(i)));
+        }
+        let mut sum = Expr::var("x0");
+        for i in 1..20 {
+            sum = sum + Expr::var(format!("x{i}"));
+        }
+        body.push(Stmt::ret(sum));
+        let p = Program::new().function(FunctionDef::new("main", ["a"]).body(body));
+        let sim = run(&p, "main", &[0]);
+        assert_eq!(sim.reg(0), (0..20).sum::<i32>() as u32);
+    }
+
+    #[test]
+    fn wide_immediates_cost_extra() {
+        let p = Program::new().function(
+            FunctionDef::new("main", [] as [&str; 0])
+                .body([Stmt::ret(Expr::lit(0x12345678))]),
+        );
+        let sim = run(&p, "main", &[]);
+        assert_eq!(sim.reg(0), 0x12345678);
+        assert!(sim.stats().cycles > sim.stats().instructions + 2 * BRANCH_PENALTY);
+    }
+
+    #[test]
+    fn min_max_via_conditional_moves() {
+        let p = Program::new().function(
+            FunctionDef::new("main", ["a", "b"])
+                .body([Stmt::ret(Expr::var("a").min(Expr::var("b")))]),
+        );
+        let sim = run(&p, "main", &[7, 3]);
+        assert_eq!(sim.reg(0), 3);
+        let sim = run(&p, "main", &[(-7i32) as u32, 3]);
+        assert_eq!(sim.reg(0), (-7i32) as u32);
+    }
+
+    #[test]
+    fn runaway_pc_is_reported() {
+        let p = Program::new().function(
+            FunctionDef::new("main", [] as [&str; 0]).body([Stmt::ret_void()]),
+        );
+        let module = lower::lower(&p).unwrap();
+        let compiled = compile(&module, "main", &[]).unwrap();
+        let mut sim = ArmSimulator::new(&compiled, vec![0; 64]);
+        sim.set_cycle_limit(10_000);
+        // The intact program halts fine; push PC out manually instead.
+        sim.pc = 10_000;
+        assert!(matches!(sim.step(), Err(ArmSimError::PcOutOfRange { .. })));
+    }
+}

@@ -1,0 +1,92 @@
+//! Simulator error type.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error raised while simulating a program.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SimError {
+    /// A non-speculative memory access faulted.
+    MemoryFault {
+        /// Bundle address of the faulting instruction.
+        pc: u32,
+        /// The faulting byte address.
+        address: u32,
+        /// What went wrong.
+        reason: MemFaultReason,
+    },
+    /// The program counter left the instruction memory without `HALT`.
+    PcOutOfRange {
+        /// The runaway bundle address.
+        pc: u32,
+        /// Bundles in the loaded program.
+        bundles: usize,
+    },
+    /// The cycle budget was exhausted (runaway program backstop).
+    CycleLimit {
+        /// The configured limit.
+        limit: u64,
+    },
+    /// A bundle in the loaded program violates the machine description
+    /// (only possible for hand-built bundle vectors; `epic-asm` output is
+    /// always legal).
+    IllegalBundle {
+        /// Bundle address.
+        pc: u32,
+        /// Description of the violation.
+        message: String,
+    },
+}
+
+/// Why a memory access faulted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MemFaultReason {
+    /// Address range exceeds the data memory.
+    OutOfBounds,
+    /// Address not naturally aligned for the access width.
+    Misaligned,
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::MemoryFault {
+                pc,
+                address,
+                reason,
+            } => write!(
+                f,
+                "memory fault at bundle {pc}: address {address:#x} ({})",
+                match reason {
+                    MemFaultReason::OutOfBounds => "out of bounds",
+                    MemFaultReason::Misaligned => "misaligned",
+                }
+            ),
+            SimError::PcOutOfRange { pc, bundles } => write!(
+                f,
+                "program counter {pc} left the {bundles}-bundle instruction memory without HALT"
+            ),
+            SimError::CycleLimit { limit } => {
+                write!(f, "execution exceeded the cycle limit of {limit}")
+            }
+            SimError::IllegalBundle { pc, message } => {
+                write!(f, "illegal bundle at address {pc}: {message}")
+            }
+        }
+    }
+}
+
+impl Error for SimError {}
+
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<SimError>();
+    }
+}

@@ -1,0 +1,124 @@
+//! Functional semantics of the ALU and CMPU.
+//!
+//! Shift and rotate amounts are modulo the datapath width, division by
+//! zero yields zero, arithmetic wraps — the conventions every component
+//! of the toolchain (IR interpreter, compiler constant folder, this
+//! simulator) shares so differential tests can demand bit equality.
+
+use epic_config::Config;
+use epic_isa::{CmpCond, Opcode};
+
+/// Evaluates an ALU-class operation (including custom slots) on 32-bit
+/// operands.
+///
+/// # Panics
+///
+/// Panics on non-ALU opcodes or unregistered custom slots; issue
+/// validation rules both out.
+pub(crate) fn eval_alu(opcode: Opcode, a: u32, b: u32, config: &Config) -> u32 {
+    let sa = a as i32;
+    let sb = b as i32;
+    match opcode {
+        Opcode::Add => a.wrapping_add(b),
+        Opcode::Sub => a.wrapping_sub(b),
+        Opcode::Mull => a.wrapping_mul(b),
+        Opcode::Div => {
+            if b == 0 {
+                0
+            } else {
+                sa.wrapping_div(sb) as u32
+            }
+        }
+        Opcode::Rem => {
+            if b == 0 {
+                0
+            } else {
+                sa.wrapping_rem(sb) as u32
+            }
+        }
+        Opcode::And => a & b,
+        Opcode::Or => a | b,
+        Opcode::Xor => a ^ b,
+        Opcode::Shl => a.wrapping_shl(b),
+        Opcode::Shr => a.wrapping_shr(b),
+        Opcode::Shra => sa.wrapping_shr(b) as u32,
+        Opcode::Min => sa.min(sb) as u32,
+        Opcode::Max => sa.max(sb) as u32,
+        Opcode::Abs => (sa.wrapping_abs()) as u32,
+        Opcode::Sxtb => i32::from(a as u8 as i8) as u32,
+        Opcode::Sxth => i32::from(a as u16 as i16) as u32,
+        Opcode::Zxtb => a & 0xFF,
+        Opcode::Zxth => a & 0xFFFF,
+        Opcode::Move | Opcode::Movil => a,
+        Opcode::Custom(i) => {
+            let op = config
+                .custom_ops()
+                .get(i as usize)
+                .expect("issue validated the custom slot");
+            op.semantics()
+                .evaluate(u64::from(a), u64::from(b), config.datapath_width()) as u32
+        }
+        other => panic!("{other:?} is not an ALU operation"),
+    }
+}
+
+/// Evaluates a comparison condition on 32-bit operands.
+pub(crate) fn eval_cmp(cond: CmpCond, a: u32, b: u32) -> bool {
+    let sa = a as i32;
+    let sb = b as i32;
+    match cond {
+        CmpCond::Eq => a == b,
+        CmpCond::Ne => a != b,
+        CmpCond::Lt => sa < sb,
+        CmpCond::Le => sa <= sb,
+        CmpCond::Gt => sa > sb,
+        CmpCond::Ge => sa >= sb,
+        CmpCond::Ltu => a < b,
+        CmpCond::Leu => a <= b,
+        CmpCond::Gtu => a > b,
+        CmpCond::Geu => a >= b,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alu_semantics_match_the_shared_conventions() {
+        let c = Config::default();
+        assert_eq!(eval_alu(Opcode::Add, u32::MAX, 1, &c), 0);
+        assert_eq!(eval_alu(Opcode::Div, 5, 0, &c), 0);
+        assert_eq!(
+            eval_alu(Opcode::Div, i32::MIN as u32, u32::MAX, &c),
+            i32::MIN as u32
+        );
+        assert_eq!(eval_alu(Opcode::Shl, 1, 33, &c), 2, "shift modulo 32");
+        assert_eq!(eval_alu(Opcode::Shra, (-8i32) as u32, 1, &c), (-4i32) as u32);
+        assert_eq!(eval_alu(Opcode::Sxtb, 0x80, 0, &c) as i32, -128);
+        assert_eq!(eval_alu(Opcode::Zxth, 0xABCD_EF01, 0, &c), 0xEF01);
+        assert_eq!(eval_alu(Opcode::Abs, (-7i32) as u32, 0, &c), 7);
+        assert_eq!(eval_alu(Opcode::Min, (-1i32) as u32, 1, &c), (-1i32) as u32);
+    }
+
+    #[test]
+    fn custom_ops_use_configured_semantics() {
+        let c = Config::builder()
+            .custom_op(epic_config::CustomOp::new(
+                "rotr",
+                epic_config::CustomSemantics::RotateRight,
+            ))
+            .build()
+            .unwrap();
+        assert_eq!(eval_alu(Opcode::Custom(0), 1, 1, &c), 0x8000_0000);
+    }
+
+    #[test]
+    fn comparisons_distinguish_signedness() {
+        assert!(eval_cmp(CmpCond::Lt, (-1i32) as u32, 1));
+        assert!(!eval_cmp(CmpCond::Ltu, (-1i32) as u32, 1));
+        assert!(eval_cmp(CmpCond::Geu, (-1i32) as u32, 1));
+        assert!(eval_cmp(CmpCond::Eq, 7, 7));
+        assert!(eval_cmp(CmpCond::Ne, 7, 8));
+    }
+}

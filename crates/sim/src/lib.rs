@@ -1,0 +1,56 @@
+//! Cycle-level simulator of the customisable EPIC processor.
+//!
+//! This crate models the datapath of Fig. 2 of the paper at cycle
+//! granularity — the measurement instrument behind Table 1 (the paper's
+//! cycle counts come from a cycle-level simulator, ReaCT-ILP):
+//!
+//! * a **2-stage pipeline**: Fetch/Decode/Issue feeding Execute/WriteBack;
+//! * **N parallel ALUs** plus one LSU, one CMPU and one BRU; the iterative
+//!   divider blocks its ALU instance for the full division latency;
+//! * a **register-file controller** at 4× the processor clock: a dual-port
+//!   register file services at most eight GPR reads+writes per processor
+//!   cycle, with issue stalling when a bundle needs more (§3.2), and
+//!   **forwarding** of just-computed results that both shortens latency
+//!   and saves read ports;
+//! * **full predication**: instructions whose guard predicate is false are
+//!   squashed at write-back;
+//! * **BTR branches** resolved in the execute stage, costing one flushed
+//!   fetch on taken branches;
+//! * a big-endian data memory behind the 2× memory controller, with
+//!   faulting bounds/alignment checks (the speculative load `LWS` returns
+//!   0 instead of faulting, HPL-PD's dismissible load).
+//!
+//! [`Simulator::stats`] exposes the cycle count, the stall breakdown by
+//! cause and per-unit utilisation, which the benchmark harness turns into
+//! the paper's tables and figures.
+//!
+//! # Examples
+//!
+//! ```
+//! use epic_config::Config;
+//! use epic_sim::Simulator;
+//!
+//! let config = Config::default();
+//! let program = epic_asm::assemble(
+//!     "start:\n    MOVE r1, #40\n;;\n    ADD r1, r1, #2\n    HALT\n;;\n",
+//!     &config,
+//! )?;
+//! let mut sim = Simulator::new(&config, program.bundles().to_vec(), program.entry());
+//! sim.run()?;
+//! assert_eq!(sim.gpr(1), 42);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod error;
+mod exec;
+mod machine;
+mod memory;
+mod stats;
+
+pub use error::SimError;
+pub use machine::Simulator;
+pub use memory::Memory;
+pub use stats::{SimStats, StallBreakdown};

@@ -1,0 +1,877 @@
+//! The 2-stage pipeline.
+
+use crate::error::SimError;
+use crate::exec::{eval_alu, eval_cmp};
+use crate::memory::Memory;
+use crate::stats::SimStats;
+use epic_config::Config;
+use epic_isa::{Dest, Instruction, Opcode, Operand, Unit};
+use epic_mdes::MachineDescription;
+
+/// Default cycle budget before a run is declared runaway.
+const DEFAULT_CYCLE_LIMIT: u64 = 20_000_000_000;
+
+/// The cycle-level simulator.
+///
+/// One [`Simulator`] models one customised processor executing one loaded
+/// program. The pipeline has two stages, as in the prototype (§3.2): the
+/// Fetch/Decode/Issue unit forms the first stage and everything else —
+/// the ALUs, LSU, CMPU, BRU and write-back — the second. Issue performs
+/// the hazard checks (operand scoreboard, unit availability, register-file
+/// port budget); execute resolves branches and performs memory traffic.
+#[derive(Debug, Clone)]
+pub struct Simulator {
+    config: Config,
+    bundles: Vec<Vec<Instruction>>,
+    memory: Memory,
+    pc: u32,
+    gprs: Vec<u32>,
+    preds: Vec<bool>,
+    btrs: Vec<u32>,
+    /// Cycle from which each register's latest value is readable.
+    gpr_ready: Vec<u64>,
+    pred_ready: Vec<u64>,
+    btr_ready: Vec<u64>,
+    /// Busy-until cycle per ALU instance (the blocking divider).
+    alu_busy: Vec<u64>,
+    /// Bundle in the execute stage this cycle.
+    stage2: Option<u32>,
+    /// Remaining extra cycles the register-file controller needs before
+    /// the bundle at `pc` can issue, and the bundle the wait was armed
+    /// for (so the wait is paid exactly once per bundle).
+    port_wait: u32,
+    port_wait_pc: Option<u32>,
+    /// Outstanding fetch-bandwidth debt in controller half-cycles: each
+    /// data access displaces half a processor cycle of instruction fetch
+    /// on the shared 2× memory controller.
+    mem_debt: u32,
+    /// Remaining flush bubbles after a taken branch (depth - 1 total;
+    /// the first is implicit in the squashed fetch).
+    flush_wait: u32,
+    cycle: u64,
+    halted: bool,
+    stats: SimStats,
+    cycle_limit: u64,
+}
+
+impl Simulator {
+    /// Creates a simulator for a configuration, program and entry bundle.
+    ///
+    /// The data memory starts empty; install one with
+    /// [`set_memory`](Simulator::set_memory) before running programs that
+    /// touch memory.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a bundle violates the machine description — `epic-asm`
+    /// output never does; validate hand-built bundle vectors with
+    /// [`epic_mdes::MachineDescription::check_bundle`] first.
+    #[must_use]
+    pub fn new(config: &Config, bundles: Vec<Vec<Instruction>>, entry: u32) -> Self {
+        let mdes = MachineDescription::new(config);
+        for (pc, bundle) in bundles.iter().enumerate() {
+            if let Err(e) = mdes.check_bundle(bundle) {
+                panic!("illegal bundle at address {pc}: {e}");
+            }
+        }
+        Simulator {
+            gprs: vec![0; config.num_gprs()],
+            preds: vec![false; config.num_pred_regs()],
+            btrs: vec![0; config.num_btrs()],
+            gpr_ready: vec![0; config.num_gprs()],
+            pred_ready: vec![0; config.num_pred_regs()],
+            btr_ready: vec![0; config.num_btrs()],
+            alu_busy: vec![0; config.num_alus()],
+            memory: Memory::new(0),
+            pc: entry,
+            stage2: None,
+            port_wait: 0,
+            port_wait_pc: None,
+            mem_debt: 0,
+            flush_wait: 0,
+            cycle: 0,
+            halted: false,
+            stats: SimStats::default(),
+            cycle_limit: DEFAULT_CYCLE_LIMIT,
+            config: config.clone(),
+            bundles,
+        }
+    }
+
+    /// Installs the data memory (e.g. a module's initial image).
+    pub fn set_memory(&mut self, memory: Memory) {
+        self.memory = memory;
+    }
+
+    /// Caps the simulated cycles (runaway backstop).
+    pub fn set_cycle_limit(&mut self, limit: u64) {
+        self.cycle_limit = limit;
+    }
+
+    /// The data memory.
+    #[must_use]
+    pub fn memory(&self) -> &Memory {
+        &self.memory
+    }
+
+    /// Reads a general-purpose register.
+    #[must_use]
+    pub fn gpr(&self, index: usize) -> u32 {
+        self.gprs[index]
+    }
+
+    /// Reads a predicate register (`p0` is hard-wired true).
+    #[must_use]
+    pub fn pred(&self, index: usize) -> bool {
+        if index == 0 {
+            true
+        } else {
+            self.preds[index]
+        }
+    }
+
+    /// Reads a branch target register.
+    #[must_use]
+    pub fn btr(&self, index: usize) -> u32 {
+        self.btrs[index]
+    }
+
+    /// Elapsed processor cycles.
+    #[must_use]
+    pub fn cycle(&self) -> u64 {
+        self.cycle
+    }
+
+    /// Whether the processor has executed `HALT`.
+    #[must_use]
+    pub fn is_halted(&self) -> bool {
+        self.halted
+    }
+
+    /// Statistics gathered so far.
+    #[must_use]
+    pub fn stats(&self) -> &SimStats {
+        &self.stats
+    }
+
+    /// Reads a big-endian word from data memory (no statistics impact).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::MemoryFault`] on bad addresses.
+    pub fn read_word(&self, address: u32) -> Result<u32, SimError> {
+        let mut probe = self.memory.clone();
+        probe.load(self.pc, address, 4)
+    }
+
+    /// Runs until `HALT` (or an error).
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`SimError`] raised.
+    pub fn run(&mut self) -> Result<&SimStats, SimError> {
+        while self.step()? {}
+        Ok(&self.stats)
+    }
+
+    /// Advances one processor cycle. Returns `false` once halted.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::MemoryFault`] for faulting accesses,
+    /// [`SimError::PcOutOfRange`] for runaway fetch and
+    /// [`SimError::CycleLimit`] past the cycle budget.
+    pub fn step(&mut self) -> Result<bool, SimError> {
+        if self.halted {
+            return Ok(false);
+        }
+        if self.cycle >= self.cycle_limit {
+            return Err(SimError::CycleLimit {
+                limit: self.cycle_limit,
+            });
+        }
+
+        // ---- stage 2: execute + write back -----------------------------
+        let mut redirect = None;
+        if let Some(bpc) = self.stage2.take() {
+            redirect = self.execute_bundle(bpc)?;
+        }
+
+        if self.halted {
+            self.cycle += 1;
+            self.stats.cycles = self.cycle;
+            return Ok(true);
+        }
+
+        // ---- stage 1: fetch / decode / issue ---------------------------
+        if let Some(target) = redirect {
+            // The bundle fetched this cycle is squashed; deeper pipelines
+            // lose one further fetch cycle per extra stage (§6's
+            // pipelining parameter).
+            self.pc = target;
+            self.stats.stalls.branch_flush += 1;
+            self.flush_wait = self.config.pipeline_stages() as u32 - 2;
+        } else if self.flush_wait > 0 {
+            self.flush_wait -= 1;
+            self.stats.stalls.branch_flush += 1;
+        } else if self.mem_debt >= 2 {
+            // The memory controller spent this cycle's fetch bandwidth on
+            // data accesses; fetch resumes next cycle.
+            self.mem_debt -= 2;
+            self.stats.stalls.memory_contention += 1;
+        } else {
+            self.try_issue()?;
+        }
+
+        self.cycle += 1;
+        self.stats.cycles = self.cycle;
+        Ok(true)
+    }
+
+    fn try_issue(&mut self) -> Result<(), SimError> {
+        let pc = self.pc;
+        if pc as usize >= self.bundles.len() {
+            return Err(SimError::PcOutOfRange {
+                pc,
+                bundles: self.bundles.len(),
+            });
+        }
+        let exec_cycle = self.cycle + 1;
+        let bundle = &self.bundles[pc as usize];
+
+        // Operand scoreboard.
+        for instr in bundle {
+            for r in instr.gpr_reads() {
+                if self.gpr_ready[r.0 as usize] > exec_cycle {
+                    self.stats.stalls.data_hazard += 1;
+                    return Ok(());
+                }
+            }
+            for p in instr.pred_reads() {
+                if self.pred_ready[p.0 as usize] > exec_cycle {
+                    self.stats.stalls.data_hazard += 1;
+                    return Ok(());
+                }
+            }
+            if let Some(b) = instr.btr_read() {
+                if self.btr_ready[b.0 as usize] > exec_cycle {
+                    self.stats.stalls.data_hazard += 1;
+                    return Ok(());
+                }
+            }
+        }
+
+        // Functional-unit availability (the blocking divider).
+        let alu_wanted = bundle
+            .iter()
+            .filter(|i| i.opcode.unit() == Some(Unit::Alu))
+            .count();
+        let alu_free = self.alu_busy.iter().filter(|&&b| b <= exec_cycle).count();
+        if alu_wanted > alu_free {
+            self.stats.stalls.unit_busy += 1;
+            return Ok(());
+        }
+
+        // Register-file port budget: reads at issue + writes at WB share
+        // the controller's slots; forwarded operands bypass the file.
+        let forwarding = self.config.forwarding();
+        let mut ports = 0usize;
+        for instr in bundle {
+            for r in instr.gpr_reads() {
+                let forwarded = forwarding && self.gpr_ready[r.0 as usize] == exec_cycle;
+                if !forwarded {
+                    ports += 1;
+                }
+            }
+            if instr.gpr_write().is_some() {
+                ports += 1;
+            }
+        }
+        let budget = self.config.regfile_ops_per_cycle();
+        let needed_cycles = ports.div_ceil(budget).max(1) as u32;
+        if self.port_wait_pc != Some(pc) && needed_cycles > 1 {
+            // The controller serialises the excess operations over extra
+            // cycles; arm the wait once per bundle.
+            self.port_wait = needed_cycles - 1;
+            self.port_wait_pc = Some(pc);
+        }
+        if self.port_wait > 0 {
+            self.port_wait -= 1;
+            self.stats.stalls.regfile_port += 1;
+            return Ok(());
+        }
+        self.port_wait_pc = None;
+
+        // Issue: book destinations and unit occupancy for the execute
+        // stage next cycle.
+        let fwd_extra = u64::from(!forwarding);
+        for instr in bundle {
+            let latency = u64::from(instr.opcode.latency(&self.config));
+            if let Some(r) = instr.gpr_write() {
+                self.gpr_ready[r.0 as usize] = exec_cycle + latency + fwd_extra;
+            }
+            for p in instr.pred_writes() {
+                if p.0 != 0 {
+                    self.pred_ready[p.0 as usize] = exec_cycle + 1;
+                }
+            }
+            if let Some(b) = instr.btr_write() {
+                self.btr_ready[b.0 as usize] = exec_cycle + 1;
+            }
+            if matches!(instr.opcode, Opcode::Div | Opcode::Rem) {
+                let occupancy = u64::from(self.config.div_latency());
+                if let Some(slot) = self.alu_busy.iter_mut().find(|b| **b <= exec_cycle) {
+                    *slot = exec_cycle + occupancy;
+                }
+            }
+        }
+        self.stage2 = Some(pc);
+        self.pc = pc + 1;
+        Ok(())
+    }
+
+    /// Executes one bundle: all reads see pre-bundle state, writes apply
+    /// together at the end, squashed instructions write nothing.
+    fn execute_bundle(&mut self, bpc: u32) -> Result<Option<u32>, SimError> {
+        enum Write {
+            Gpr(u16, u32),
+            Pred(u16, bool),
+            Btr(u16, u32),
+        }
+        let bundle = self.bundles[bpc as usize].clone();
+        let mut writes: Vec<Write> = Vec::with_capacity(bundle.len());
+        let mut redirect: Option<u32> = None;
+        self.stats.bundles += 1;
+
+        for instr in &bundle {
+            if instr.opcode == Opcode::Nop {
+                self.stats.nops += 1;
+                continue;
+            }
+            self.stats.instructions += 1;
+            match instr.opcode.unit() {
+                Some(Unit::Alu) => self.stats.alu_busy_cycles += 1,
+                Some(Unit::Lsu) => self.stats.lsu_busy_cycles += 1,
+                Some(Unit::Cmpu) => self.stats.cmpu_busy_cycles += 1,
+                Some(Unit::Bru) => self.stats.bru_busy_cycles += 1,
+                None => {}
+            }
+
+            let guard = self.pred(instr.pred.0 as usize);
+            // BRCF branches when its predicate is FALSE; it is the one
+            // operation not squashed by a false guard.
+            if instr.opcode == Opcode::Brcf {
+                if !guard {
+                    redirect = Some(self.btr_operand(instr));
+                }
+                continue;
+            }
+            if !guard {
+                self.stats.squashed += 1;
+                continue;
+            }
+
+            let a = self.src_value(&instr.src1);
+            let b = self.src_value(&instr.src2);
+
+            match instr.opcode {
+                Opcode::Cmp(cond) => {
+                    let outcome = eval_cmp(cond, a, b);
+                    if let Dest::Pred(p) = instr.dest1 {
+                        writes.push(Write::Pred(p.0, outcome));
+                    }
+                    if let Dest::Pred(p) = instr.dest2 {
+                        writes.push(Write::Pred(p.0, !outcome));
+                    }
+                }
+                Opcode::PredSet | Opcode::PredClr => {
+                    if let Dest::Pred(p) = instr.dest1 {
+                        writes.push(Write::Pred(p.0, instr.opcode == Opcode::PredSet));
+                    }
+                }
+                Opcode::MovGp => {
+                    if let Dest::Pred(p) = instr.dest1 {
+                        writes.push(Write::Pred(p.0, a != 0));
+                    }
+                }
+                Opcode::MovPg => {
+                    let value = match instr.src1 {
+                        Operand::Pred(p) => u32::from(self.pred(p.0 as usize)),
+                        _ => 0,
+                    };
+                    if let Dest::Gpr(r) = instr.dest1 {
+                        writes.push(Write::Gpr(r.0, value));
+                    }
+                }
+                op if op.is_load() => {
+                    let address = a.wrapping_add(b);
+                    let width = load_width(op);
+                    let raw = if op == Opcode::LwS {
+                        // Dismissible load: faults yield 0.
+                        self.memory.load(bpc, address, width).unwrap_or(0)
+                    } else {
+                        self.memory.load(bpc, address, width)?
+                    };
+                    let value = extend_load(op, raw);
+                    self.stats.loads += 1;
+                    if self.config.memory_contention() {
+                        self.mem_debt += 1;
+                    }
+                    if let Dest::Gpr(r) = instr.dest1 {
+                        writes.push(Write::Gpr(r.0, value));
+                    }
+                }
+                op if op.is_store() => {
+                    let address = a.wrapping_add(b);
+                    let width = match op {
+                        Opcode::Sw => 4,
+                        Opcode::Sh => 2,
+                        _ => 1,
+                    };
+                    let value = match instr.dest1 {
+                        Dest::Gpr(r) => self.gprs[r.0 as usize],
+                        _ => 0,
+                    };
+                    self.memory.store(bpc, address, width, value)?;
+                    self.stats.stores += 1;
+                    if self.config.memory_contention() {
+                        self.mem_debt += 1;
+                    }
+                }
+                Opcode::Pbr => {
+                    if let Dest::Btr(btr) = instr.dest1 {
+                        writes.push(Write::Btr(btr.0, a));
+                    }
+                }
+                Opcode::Br | Opcode::Brct => {
+                    redirect = Some(self.btr_operand(instr));
+                }
+                Opcode::Brl => {
+                    redirect = Some(self.btr_operand(instr));
+                    if let Dest::Gpr(r) = instr.dest1 {
+                        writes.push(Write::Gpr(r.0, bpc + 1));
+                    }
+                }
+                Opcode::Halt => {
+                    self.halted = true;
+                }
+                _ => {
+                    // ALU class (including Move/Movil and custom slots).
+                    let value = eval_alu(instr.opcode, a, b, &self.config);
+                    if let Dest::Gpr(r) = instr.dest1 {
+                        writes.push(Write::Gpr(r.0, value & self.config.datapath_mask() as u32));
+                    }
+                }
+            }
+        }
+
+        for write in writes {
+            match write {
+                Write::Gpr(r, v) => self.gprs[r as usize] = v,
+                Write::Pred(p, v) => {
+                    if p != 0 {
+                        self.preds[p as usize] = v;
+                    }
+                }
+                Write::Btr(b, v) => self.btrs[b as usize] = v,
+            }
+        }
+        Ok(redirect)
+    }
+
+    fn src_value(&self, src: &Operand) -> u32 {
+        match src {
+            Operand::Gpr(r) => self.gprs[r.0 as usize],
+            Operand::Lit(v) => *v as u32,
+            _ => 0,
+        }
+    }
+
+    fn btr_operand(&self, instr: &Instruction) -> u32 {
+        match instr.src1 {
+            Operand::Btr(b) => self.btrs[b.0 as usize],
+            _ => 0,
+        }
+    }
+}
+
+fn load_width(op: Opcode) -> u32 {
+    match op {
+        Opcode::Lw | Opcode::LwS => 4,
+        Opcode::Lh | Opcode::Lhu => 2,
+        _ => 1,
+    }
+}
+
+fn extend_load(op: Opcode, raw: u32) -> u32 {
+    match op {
+        Opcode::Lh => i32::from(raw as u16 as i16) as u32,
+        Opcode::Lb => i32::from(raw as u8 as i8) as u32,
+        _ => raw,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use epic_asm::assemble;
+
+    fn run_asm(src: &str, config: &Config) -> Simulator {
+        let program = assemble(src, config).expect("assembles");
+        let mut sim = Simulator::new(config, program.bundles().to_vec(), program.entry());
+        sim.set_memory(Memory::new(4096));
+        sim.run().expect("runs");
+        sim
+    }
+
+    #[test]
+    fn arithmetic_and_halt() {
+        let c = Config::default();
+        let sim = run_asm(
+            "    MOVE r1, #40\n;;\n    ADD r2, r1, #2\n;;\n    HALT\n;;\n",
+            &c,
+        );
+        assert_eq!(sim.gpr(2), 42);
+        // 3 bundles + 1-cycle pipeline fill.
+        assert_eq!(sim.stats().cycles, 4);
+        assert_eq!(sim.stats().bundles, 3);
+    }
+
+    #[test]
+    fn forwarding_enables_back_to_back_dependent_bundles() {
+        let c = Config::default();
+        let sim = run_asm(
+            "    MOVE r1, #1\n;;\n    ADD r1, r1, #1\n;;\n    ADD r1, r1, #1\n;;\n    HALT\n;;\n",
+            &c,
+        );
+        assert_eq!(sim.gpr(1), 3);
+        assert_eq!(sim.stats().stalls.data_hazard, 0, "latency-1 chain never stalls");
+    }
+
+    #[test]
+    fn forwarding_off_costs_a_cycle_per_dependence() {
+        let c = Config::builder().forwarding(false).build().unwrap();
+        let sim = run_asm(
+            "    MOVE r1, #1\n;;\n    ADD r1, r1, #1\n;;\n    HALT\n;;\n",
+            &c,
+        );
+        assert_eq!(sim.gpr(1), 2);
+        assert!(sim.stats().stalls.data_hazard >= 1);
+    }
+
+    #[test]
+    fn predication_squashes_writes() {
+        let c = Config::default();
+        let sim = run_asm(
+            "\
+    MOVE r1, #5
+    MOVE r2, #100
+;;
+    CMP_LT p1, p2, r1, #3
+;;
+    MOVE r2, #1 (p1)
+    MOVE r3, #2 (p2)
+;;
+    HALT
+;;
+",
+            &c,
+        );
+        // 5 < 3 is false: p1 clear, p2 set.
+        assert_eq!(sim.gpr(2), 100, "guarded write squashed");
+        assert_eq!(sim.gpr(3), 2, "complement side committed");
+        assert_eq!(sim.stats().squashed, 1);
+    }
+
+    #[test]
+    fn taken_branch_flushes_one_fetch() {
+        let c = Config::default();
+        let sim = run_asm(
+            "\
+    PBR b1, @target
+;;
+    BR b1
+;;
+    MOVE r1, #111
+;;
+target:
+    MOVE r2, #7
+;;
+    HALT
+;;
+",
+            &c,
+        );
+        assert_eq!(sim.gpr(1), 0, "skipped by the branch");
+        assert_eq!(sim.gpr(2), 7);
+        assert_eq!(sim.stats().stalls.branch_flush, 1);
+    }
+
+    #[test]
+    fn conditional_branch_both_ways() {
+        let c = Config::default();
+        let loop_src = "\
+    MOVE r1, #0
+    PBR b1, @head
+;;
+head:
+    ADD r1, r1, #1
+;;
+    CMP_LT p1, p0, r1, #5
+;;
+    BRCT b1 (p1)
+;;
+    HALT
+;;
+";
+        let sim = run_asm(loop_src, &c);
+        assert_eq!(sim.gpr(1), 5, "loop ran 5 iterations");
+        assert_eq!(sim.stats().stalls.branch_flush, 4, "4 taken back-edges");
+    }
+
+    #[test]
+    fn deeper_pipelines_pay_longer_flushes() {
+        let src = "\
+    MOVE r1, #0
+    PBR b1, @head
+;;
+head:
+    ADD r1, r1, #1
+;;
+    CMP_LT p1, p0, r1, #5
+;;
+    BRCT b1 (p1)
+;;
+    HALT
+;;
+";
+        let two = run_asm(src, &Config::default());
+        let four = run_asm(
+            src,
+            &Config::builder().pipeline_stages(4).build().unwrap(),
+        );
+        assert_eq!(two.gpr(1), four.gpr(1), "semantics unchanged");
+        assert_eq!(two.stats().stalls.branch_flush, 4, "1 cycle per taken branch");
+        assert_eq!(
+            four.stats().stalls.branch_flush,
+            12,
+            "3 cycles per taken branch at depth 4"
+        );
+        assert!(four.stats().cycles > two.stats().cycles);
+    }
+
+    #[test]
+    fn brcf_branches_on_false() {
+        let c = Config::default();
+        let sim = run_asm(
+            "\
+    PBR b1, @skip
+    CMP_EQ p1, p0, r0, #1
+;;
+    BRCF b1 (p1)
+;;
+    MOVE r1, #1
+;;
+skip:
+    HALT
+;;
+",
+            &c,
+        );
+        // r0==1 is false -> p1 false -> BRCF taken.
+        assert_eq!(sim.gpr(1), 0);
+    }
+
+    #[test]
+    fn memory_round_trip_and_bytes() {
+        let c = Config::default();
+        let sim = run_asm(
+            "\
+    MOVE r1, #64
+    MOVIL r2, #305419896
+;;
+    SW r2, r1, #0
+;;
+    LW r3, r1, #0
+;;
+    LBU r4, r1, #4
+;;
+    LB r5, r1, #0
+;;
+    HALT
+;;
+",
+            &c,
+        );
+        assert_eq!(sim.gpr(3), 0x12345678);
+        assert_eq!(sim.gpr(4), 0, "beyond the stored word");
+        assert_eq!(sim.gpr(5), 0x12, "big-endian: MSB first");
+        assert_eq!(sim.stats().loads, 3);
+        assert_eq!(sim.stats().stores, 1);
+    }
+
+    #[test]
+    fn load_use_respects_latency() {
+        let c = Config::builder().load_latency(2).build().unwrap();
+        let sim = run_asm(
+            "\
+    MOVE r1, #64
+;;
+    LW r2, r1, #0
+;;
+    ADD r3, r2, #1
+;;
+    HALT
+;;
+",
+            &c,
+        );
+        // The consumer bundle is only 1 cycle behind a latency-2 load:
+        // one data-hazard stall.
+        assert_eq!(sim.stats().stalls.data_hazard, 1);
+        assert_eq!(sim.gpr(3), 1);
+    }
+
+    #[test]
+    fn divider_blocks_subsequent_alu_work() {
+        let c = Config::builder().num_alus(1).div_latency(8).build().unwrap();
+        let sim = run_asm(
+            "\
+    MOVE r1, #100
+;;
+    DIV r2, r1, #7
+;;
+    ADD r3, r1, #1
+;;
+    HALT
+;;
+",
+            &c,
+        );
+        assert_eq!(sim.gpr(2), 14);
+        assert_eq!(sim.gpr(3), 101);
+        assert!(sim.stats().stalls.unit_busy >= 6, "single ALU blocked by divide");
+    }
+
+    #[test]
+    fn port_budget_stalls_wide_read_bundles() {
+        // 4 instructions × 3 ports = 12 > 8: one extra cycle.
+        let c = Config::default();
+        let sim = run_asm(
+            "\
+    MOVE r10, #1
+    MOVE r11, #2
+    MOVE r12, #3
+    MOVE r13, #4
+;;
+    NOP
+;;
+    NOP
+;;
+    ADD r1, r10, r11
+    ADD r2, r11, r12
+    ADD r3, r12, r13
+    ADD r4, r13, r10
+;;
+    HALT
+;;
+",
+            &c,
+        );
+        assert_eq!(sim.stats().stalls.regfile_port, 1);
+        assert_eq!(sim.gpr(1), 3);
+        assert_eq!(sim.gpr(4), 5);
+    }
+
+    #[test]
+    fn brl_links_and_returns() {
+        let c = Config::default();
+        let sim = run_asm(
+            "\
+    PBR b0, @callee
+;;
+    BRL r10, b0
+;;
+    MOVE r1, #1
+;;
+    HALT
+;;
+callee:
+    MOVE r2, #2
+    PBR b0, r10
+;;
+    BR b0
+;;
+",
+            &c,
+        );
+        assert_eq!(sim.gpr(2), 2, "callee ran");
+        assert_eq!(sim.gpr(1), 1, "returned to the bundle after BRL");
+        assert_eq!(sim.gpr(10), 2, "link holds the return bundle address");
+    }
+
+    #[test]
+    fn runaway_pc_is_reported() {
+        let c = Config::default();
+        let program = assemble("    MOVE r1, #1\n;;\n", &c).unwrap();
+        let mut sim = Simulator::new(&c, program.bundles().to_vec(), 0);
+        assert!(matches!(
+            sim.run(),
+            Err(SimError::PcOutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn cycle_limit_is_enforced() {
+        let c = Config::default();
+        let spin = "\
+    PBR b1, @spin
+;;
+spin:
+    BR b1
+;;
+";
+        let program = assemble(spin, &c).unwrap();
+        let mut sim = Simulator::new(&c, program.bundles().to_vec(), 0);
+        sim.set_cycle_limit(100);
+        assert!(matches!(sim.run(), Err(SimError::CycleLimit { limit: 100 })));
+    }
+
+    #[test]
+    fn memory_fault_reports_pc() {
+        let c = Config::default();
+        let src = "    MOVIL r1, #100000\n;;\n    LW r2, r1, #0\n;;\n    HALT\n;;\n";
+        let program = assemble(src, &c).unwrap();
+        let mut sim = Simulator::new(&c, program.bundles().to_vec(), 0);
+        sim.set_memory(Memory::new(64));
+        let err = sim.run().unwrap_err();
+        assert!(matches!(err, SimError::MemoryFault { pc: 1, .. }), "{err}");
+    }
+
+    #[test]
+    fn speculative_load_dismisses_faults() {
+        let c = Config::default();
+        let src = "    MOVIL r1, #100000\n;;\n    LWS r2, r1, #0\n;;\n    HALT\n;;\n";
+        let program = assemble(src, &c).unwrap();
+        let mut sim = Simulator::new(&c, program.bundles().to_vec(), 0);
+        sim.set_memory(Memory::new(64));
+        sim.run().unwrap();
+        assert_eq!(sim.gpr(2), 0);
+    }
+
+    #[test]
+    fn custom_instruction_executes() {
+        let c = Config::builder()
+            .custom_op(epic_config::CustomOp::new(
+                "rotr",
+                epic_config::CustomSemantics::RotateRight,
+            ))
+            .build()
+            .unwrap();
+        let sim = run_asm(
+            "    MOVE r1, #1\n;;\n    rotr r2, r1, #1\n;;\n    HALT\n;;\n",
+            &c,
+        );
+        assert_eq!(sim.gpr(2), 0x8000_0000);
+    }
+}

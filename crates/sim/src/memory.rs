@@ -1,0 +1,168 @@
+//! The data memory behind the 2× memory controller.
+//!
+//! The prototype assumes "4 external banks of memory, each 32-bits wide"
+//! overseen by "a memory controller which runs at twice the speed of the
+//! EPIC processor" (§3.2). Data is big-endian, like the architecture
+//! (§3.1). Word and half-word accesses must be naturally aligned — the
+//! banked SRAM cannot split an access across banks mid-word.
+
+use crate::error::{MemFaultReason, SimError};
+
+/// Big-endian byte-addressed data memory with access statistics.
+#[derive(Debug, Clone)]
+pub struct Memory {
+    bytes: Vec<u8>,
+    loads: u64,
+    stores: u64,
+}
+
+impl Memory {
+    /// A zero-filled memory of `size` bytes.
+    #[must_use]
+    pub fn new(size: u32) -> Self {
+        Memory {
+            bytes: vec![0; size as usize],
+            loads: 0,
+            stores: 0,
+        }
+    }
+
+    /// A memory initialised from an image (its length fixes the size).
+    #[must_use]
+    pub fn from_image(image: Vec<u8>) -> Self {
+        Memory {
+            bytes: image,
+            loads: 0,
+            stores: 0,
+        }
+    }
+
+    /// Size in bytes.
+    #[must_use]
+    pub fn size(&self) -> u32 {
+        self.bytes.len() as u32
+    }
+
+    /// The raw bytes.
+    #[must_use]
+    pub fn bytes(&self) -> &[u8] {
+        &self.bytes
+    }
+
+    /// Loads performed so far.
+    #[must_use]
+    pub fn load_count(&self) -> u64 {
+        self.loads
+    }
+
+    /// Stores performed so far.
+    #[must_use]
+    pub fn store_count(&self) -> u64 {
+        self.stores
+    }
+
+    fn check(&self, pc: u32, address: u32, width: u32) -> Result<(), SimError> {
+        if u64::from(address) + u64::from(width) > self.bytes.len() as u64 {
+            return Err(SimError::MemoryFault {
+                pc,
+                address,
+                reason: MemFaultReason::OutOfBounds,
+            });
+        }
+        if address % width != 0 {
+            return Err(SimError::MemoryFault {
+                pc,
+                address,
+                reason: MemFaultReason::Misaligned,
+            });
+        }
+        Ok(())
+    }
+
+    /// Reads `width` bytes (1, 2 or 4) big-endian.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::MemoryFault`] on bounds or alignment faults.
+    pub fn load(&mut self, pc: u32, address: u32, width: u32) -> Result<u32, SimError> {
+        self.check(pc, address, width)?;
+        self.loads += 1;
+        let a = address as usize;
+        Ok(match width {
+            1 => u32::from(self.bytes[a]),
+            2 => u32::from(u16::from_be_bytes([self.bytes[a], self.bytes[a + 1]])),
+            _ => u32::from_be_bytes([
+                self.bytes[a],
+                self.bytes[a + 1],
+                self.bytes[a + 2],
+                self.bytes[a + 3],
+            ]),
+        })
+    }
+
+    /// Writes the low `width` bytes of `value` big-endian.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::MemoryFault`] on bounds or alignment faults.
+    pub fn store(&mut self, pc: u32, address: u32, width: u32, value: u32) -> Result<(), SimError> {
+        self.check(pc, address, width)?;
+        self.stores += 1;
+        let a = address as usize;
+        match width {
+            1 => self.bytes[a] = value as u8,
+            2 => self.bytes[a..a + 2].copy_from_slice(&(value as u16).to_be_bytes()),
+            _ => self.bytes[a..a + 4].copy_from_slice(&value.to_be_bytes()),
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn big_endian_round_trip() {
+        let mut m = Memory::new(16);
+        m.store(0, 4, 4, 0x1122_3344).unwrap();
+        assert_eq!(m.bytes()[4..8], [0x11, 0x22, 0x33, 0x44]);
+        assert_eq!(m.load(0, 4, 4).unwrap(), 0x1122_3344);
+        assert_eq!(m.load(0, 4, 1).unwrap(), 0x11);
+        assert_eq!(m.load(0, 6, 2).unwrap(), 0x3344);
+    }
+
+    #[test]
+    fn faults_are_reported() {
+        let mut m = Memory::new(8);
+        assert!(matches!(
+            m.load(3, 8, 4),
+            Err(SimError::MemoryFault {
+                pc: 3,
+                reason: MemFaultReason::OutOfBounds,
+                ..
+            })
+        ));
+        assert!(matches!(
+            m.load(3, 2, 4),
+            Err(SimError::MemoryFault {
+                reason: MemFaultReason::Misaligned,
+                ..
+            })
+        ));
+        assert!(matches!(
+            m.store(3, 7, 2, 0),
+            Err(SimError::MemoryFault { .. })
+        ));
+    }
+
+    #[test]
+    fn counters_track_traffic() {
+        let mut m = Memory::new(8);
+        m.store(0, 0, 4, 1).unwrap();
+        m.load(0, 0, 4).unwrap();
+        m.load(0, 0, 1).unwrap();
+        assert_eq!(m.store_count(), 1);
+        assert_eq!(m.load_count(), 2);
+    }
+}

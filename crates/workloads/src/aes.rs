@@ -1,0 +1,496 @@
+//! AES benchmark: iterated AES-128 encryption and decryption.
+//!
+//! "The AES benchmark encrypts 'Hello AES World!' 1000 times and then
+//! decrypts it" (paper §5.2). The block is chained through the
+//! iterations (`ct = E(ct)` repeated, then `pt = D(pt)` repeated), so the
+//! final decryption output must equal the original plaintext — a strong
+//! end-to-end check. Key expansion, the S-box rounds, `MixColumns` and
+//! their inverses are all executed by the program itself, in the classic
+//! table-driven style of 2000s AES software: S-boxes plus GF(2⁸)
+//! multiplication tables (×2, ×3 for `MixColumns`; ×9, ×11, ×13, ×14 for
+//! the inverse). Nearly every operation is therefore a byte lookup
+//! through the single load/store unit — which is why Table 1 shows AES
+//! gaining nothing from extra ALUs and staying a win for the SA-110.
+
+
+use crate::{Scale, Workload};
+use epic_ir::ast::{Expr, FunctionDef, Program, Stmt};
+use epic_ir::Global;
+
+/// The 16-byte plaintext from the paper.
+pub const PLAINTEXT: &[u8; 16] = b"Hello AES World!";
+
+/// The cipher key used by the reproduction (any fixed key works; the
+/// paper does not publish one).
+pub const KEY: &[u8; 16] = b"EPIC @ DATE 2004";
+
+/// Iteration counts per scale.
+#[must_use]
+pub fn iterations(scale: Scale) -> u32 {
+    match scale {
+        Scale::Test => 4,
+        Scale::Paper => 1000,
+    }
+}
+
+/// The AES S-box (FIPS 197 §5.1.1).
+pub const SBOX: [u8; 256] = [
+    0x63, 0x7c, 0x77, 0x7b, 0xf2, 0x6b, 0x6f, 0xc5, 0x30, 0x01, 0x67, 0x2b, 0xfe, 0xd7, 0xab,
+    0x76, 0xca, 0x82, 0xc9, 0x7d, 0xfa, 0x59, 0x47, 0xf0, 0xad, 0xd4, 0xa2, 0xaf, 0x9c, 0xa4,
+    0x72, 0xc0, 0xb7, 0xfd, 0x93, 0x26, 0x36, 0x3f, 0xf7, 0xcc, 0x34, 0xa5, 0xe5, 0xf1, 0x71,
+    0xd8, 0x31, 0x15, 0x04, 0xc7, 0x23, 0xc3, 0x18, 0x96, 0x05, 0x9a, 0x07, 0x12, 0x80, 0xe2,
+    0xeb, 0x27, 0xb2, 0x75, 0x09, 0x83, 0x2c, 0x1a, 0x1b, 0x6e, 0x5a, 0xa0, 0x52, 0x3b, 0xd6,
+    0xb3, 0x29, 0xe3, 0x2f, 0x84, 0x53, 0xd1, 0x00, 0xed, 0x20, 0xfc, 0xb1, 0x5b, 0x6a, 0xcb,
+    0xbe, 0x39, 0x4a, 0x4c, 0x58, 0xcf, 0xd0, 0xef, 0xaa, 0xfb, 0x43, 0x4d, 0x33, 0x85, 0x45,
+    0xf9, 0x02, 0x7f, 0x50, 0x3c, 0x9f, 0xa8, 0x51, 0xa3, 0x40, 0x8f, 0x92, 0x9d, 0x38, 0xf5,
+    0xbc, 0xb6, 0xda, 0x21, 0x10, 0xff, 0xf3, 0xd2, 0xcd, 0x0c, 0x13, 0xec, 0x5f, 0x97, 0x44,
+    0x17, 0xc4, 0xa7, 0x7e, 0x3d, 0x64, 0x5d, 0x19, 0x73, 0x60, 0x81, 0x4f, 0xdc, 0x22, 0x2a,
+    0x90, 0x88, 0x46, 0xee, 0xb8, 0x14, 0xde, 0x5e, 0x0b, 0xdb, 0xe0, 0x32, 0x3a, 0x0a, 0x49,
+    0x06, 0x24, 0x5c, 0xc2, 0xd3, 0xac, 0x62, 0x91, 0x95, 0xe4, 0x79, 0xe7, 0xc8, 0x37, 0x6d,
+    0x8d, 0xd5, 0x4e, 0xa9, 0x6c, 0x56, 0xf4, 0xea, 0x65, 0x7a, 0xae, 0x08, 0xba, 0x78, 0x25,
+    0x2e, 0x1c, 0xa6, 0xb4, 0xc6, 0xe8, 0xdd, 0x74, 0x1f, 0x4b, 0xbd, 0x8b, 0x8a, 0x70, 0x3e,
+    0xb5, 0x66, 0x48, 0x03, 0xf6, 0x0e, 0x61, 0x35, 0x57, 0xb9, 0x86, 0xc1, 0x1d, 0x9e, 0xe1,
+    0xf8, 0x98, 0x11, 0x69, 0xd9, 0x8e, 0x94, 0x9b, 0x1e, 0x87, 0xe9, 0xce, 0x55, 0x28, 0xdf,
+    0x8c, 0xa1, 0x89, 0x0d, 0xbf, 0xe6, 0x42, 0x68, 0x41, 0x99, 0x2d, 0x0f, 0xb0, 0x54, 0xbb,
+    0x16,
+];
+
+/// The inverse S-box (FIPS 197 §5.3.2).
+pub const INV_SBOX: [u8; 256] = [
+    0x52, 0x09, 0x6a, 0xd5, 0x30, 0x36, 0xa5, 0x38, 0xbf, 0x40, 0xa3, 0x9e, 0x81, 0xf3, 0xd7,
+    0xfb, 0x7c, 0xe3, 0x39, 0x82, 0x9b, 0x2f, 0xff, 0x87, 0x34, 0x8e, 0x43, 0x44, 0xc4, 0xde,
+    0xe9, 0xcb, 0x54, 0x7b, 0x94, 0x32, 0xa6, 0xc2, 0x23, 0x3d, 0xee, 0x4c, 0x95, 0x0b, 0x42,
+    0xfa, 0xc3, 0x4e, 0x08, 0x2e, 0xa1, 0x66, 0x28, 0xd9, 0x24, 0xb2, 0x76, 0x5b, 0xa2, 0x49,
+    0x6d, 0x8b, 0xd1, 0x25, 0x72, 0xf8, 0xf6, 0x64, 0x86, 0x68, 0x98, 0x16, 0xd4, 0xa4, 0x5c,
+    0xcc, 0x5d, 0x65, 0xb6, 0x92, 0x6c, 0x70, 0x48, 0x50, 0xfd, 0xed, 0xb9, 0xda, 0x5e, 0x15,
+    0x46, 0x57, 0xa7, 0x8d, 0x9d, 0x84, 0x90, 0xd8, 0xab, 0x00, 0x8c, 0xbc, 0xd3, 0x0a, 0xf7,
+    0xe4, 0x58, 0x05, 0xb8, 0xb3, 0x45, 0x06, 0xd0, 0x2c, 0x1e, 0x8f, 0xca, 0x3f, 0x0f, 0x02,
+    0xc1, 0xaf, 0xbd, 0x03, 0x01, 0x13, 0x8a, 0x6b, 0x3a, 0x91, 0x11, 0x41, 0x4f, 0x67, 0xdc,
+    0xea, 0x97, 0xf2, 0xcf, 0xce, 0xf0, 0xb4, 0xe6, 0x73, 0x96, 0xac, 0x74, 0x22, 0xe7, 0xad,
+    0x35, 0x85, 0xe2, 0xf9, 0x37, 0xe8, 0x1c, 0x75, 0xdf, 0x6e, 0x47, 0xf1, 0x1a, 0x71, 0x1d,
+    0x29, 0xc5, 0x89, 0x6f, 0xb7, 0x62, 0x0e, 0xaa, 0x18, 0xbe, 0x1b, 0xfc, 0x56, 0x3e, 0x4b,
+    0xc6, 0xd2, 0x79, 0x20, 0x9a, 0xdb, 0xc0, 0xfe, 0x78, 0xcd, 0x5a, 0xf4, 0x1f, 0xdd, 0xa8,
+    0x33, 0x88, 0x07, 0xc7, 0x31, 0xb1, 0x12, 0x10, 0x59, 0x27, 0x80, 0xec, 0x5f, 0x60, 0x51,
+    0x7f, 0xa9, 0x19, 0xb5, 0x4a, 0x0d, 0x2d, 0xe5, 0x7a, 0x9f, 0x93, 0xc9, 0x9c, 0xef, 0xa0,
+    0xe0, 0x3b, 0x4d, 0xae, 0x2a, 0xf5, 0xb0, 0xc8, 0xeb, 0xbb, 0x3c, 0x83, 0x53, 0x99, 0x61,
+    0x17, 0x2b, 0x04, 0x7e, 0xba, 0x77, 0xd6, 0x26, 0xe1, 0x69, 0x14, 0x63, 0x55, 0x21, 0x0c,
+    0x7d,
+];
+
+/// Round constants for key expansion.
+pub const RCON: [u8; 10] = [0x01, 0x02, 0x04, 0x08, 0x10, 0x20, 0x40, 0x80, 0x1b, 0x36];
+
+/// A GF(2⁸) multiplication table (`table[x] = x · factor`), the lookup
+/// form used by the table-driven cipher.
+#[must_use]
+pub fn gf_mul_table(factor: u8) -> [u8; 256] {
+    let mut t = [0u8; 256];
+    for (x, out) in t.iter_mut().enumerate() {
+        *out = gf_mul(x as u8, factor);
+    }
+    t
+}
+
+// ----------------------------------------------------------------------
+// Golden model
+// ----------------------------------------------------------------------
+
+fn xtime(x: u8) -> u8 {
+    (x << 1) ^ (((x >> 7) & 1) * 0x1b)
+}
+
+/// Expands a 16-byte key into 44 round-key words (the golden model).
+#[must_use]
+pub fn golden_key_expansion(key: &[u8; 16]) -> [u32; 44] {
+    let mut w = [0u32; 44];
+    for i in 0..4 {
+        w[i] = u32::from_be_bytes([key[4 * i], key[4 * i + 1], key[4 * i + 2], key[4 * i + 3]]);
+    }
+    for i in 4..44 {
+        let mut temp = w[i - 1];
+        if i % 4 == 0 {
+            temp = temp.rotate_left(8);
+            temp = u32::from_be_bytes([
+                SBOX[(temp >> 24) as usize],
+                SBOX[((temp >> 16) & 0xFF) as usize],
+                SBOX[((temp >> 8) & 0xFF) as usize],
+                SBOX[(temp & 0xFF) as usize],
+            ]);
+            temp ^= u32::from(RCON[i / 4 - 1]) << 24;
+        }
+        w[i] = w[i - 4] ^ temp;
+    }
+    w
+}
+
+fn add_round_key(s: &mut [u8; 16], w: &[u32; 44], round: usize) {
+    for c in 0..4 {
+        let word = w[round * 4 + c];
+        for r in 0..4 {
+            s[4 * c + r] ^= ((word >> (24 - 8 * r)) & 0xFF) as u8;
+        }
+    }
+}
+
+/// Encrypts one block (the golden model).
+#[must_use]
+pub fn golden_encrypt(block: &[u8; 16], w: &[u32; 44]) -> [u8; 16] {
+    let mut s = *block;
+    add_round_key(&mut s, w, 0);
+    for round in 1..=10 {
+        for b in s.iter_mut() {
+            *b = SBOX[*b as usize];
+        }
+        // ShiftRows: s'[r + 4c] = s[r + 4((c + r) % 4)].
+        let old = s;
+        for c in 0..4 {
+            for r in 0..4 {
+                s[4 * c + r] = old[4 * ((c + r) % 4) + r];
+            }
+        }
+        if round != 10 {
+            for c in 0..4 {
+                let (a0, a1, a2, a3) = (s[4 * c], s[4 * c + 1], s[4 * c + 2], s[4 * c + 3]);
+                let t = a0 ^ a1 ^ a2 ^ a3;
+                s[4 * c] = a0 ^ t ^ xtime(a0 ^ a1);
+                s[4 * c + 1] = a1 ^ t ^ xtime(a1 ^ a2);
+                s[4 * c + 2] = a2 ^ t ^ xtime(a2 ^ a3);
+                s[4 * c + 3] = a3 ^ t ^ xtime(a3 ^ a0);
+            }
+        }
+        add_round_key(&mut s, w, round);
+    }
+    s
+}
+
+fn gf_mul(a: u8, b: u8) -> u8 {
+    let mut result = 0u8;
+    let mut a = a;
+    let mut b = b;
+    while b != 0 {
+        if b & 1 != 0 {
+            result ^= a;
+        }
+        a = xtime(a);
+        b >>= 1;
+    }
+    result
+}
+
+/// Decrypts one block (the golden model).
+#[must_use]
+pub fn golden_decrypt(block: &[u8; 16], w: &[u32; 44]) -> [u8; 16] {
+    let mut s = *block;
+    add_round_key(&mut s, w, 10);
+    for round in (0..10).rev() {
+        // InvShiftRows: s'[r + 4c] = s[r + 4((c + 4 - r) % 4)].
+        let old = s;
+        for c in 0..4 {
+            for r in 0..4 {
+                s[4 * c + r] = old[4 * ((c + 4 - r) % 4) + r];
+            }
+        }
+        for b in s.iter_mut() {
+            *b = INV_SBOX[*b as usize];
+        }
+        add_round_key(&mut s, w, round);
+        if round != 0 {
+            for c in 0..4 {
+                let (a0, a1, a2, a3) = (s[4 * c], s[4 * c + 1], s[4 * c + 2], s[4 * c + 3]);
+                s[4 * c] = gf_mul(a0, 14) ^ gf_mul(a1, 11) ^ gf_mul(a2, 13) ^ gf_mul(a3, 9);
+                s[4 * c + 1] = gf_mul(a0, 9) ^ gf_mul(a1, 14) ^ gf_mul(a2, 11) ^ gf_mul(a3, 13);
+                s[4 * c + 2] = gf_mul(a0, 13) ^ gf_mul(a1, 9) ^ gf_mul(a2, 14) ^ gf_mul(a3, 11);
+                s[4 * c + 3] = gf_mul(a0, 11) ^ gf_mul(a1, 13) ^ gf_mul(a2, 9) ^ gf_mul(a3, 14);
+            }
+        }
+    }
+    s
+}
+
+/// Runs the full benchmark computation natively: encrypt `n` times, then
+/// decrypt `n` times; returns (final ciphertext, round-tripped plaintext).
+#[must_use]
+pub fn golden_chain(n: u32) -> ([u8; 16], [u8; 16]) {
+    let w = golden_key_expansion(KEY);
+    let mut block = *PLAINTEXT;
+    for _ in 0..n {
+        block = golden_encrypt(&block, &w);
+    }
+    let ct = block;
+    for _ in 0..n {
+        block = golden_decrypt(&block, &w);
+    }
+    (ct, block)
+}
+
+// ----------------------------------------------------------------------
+// AST program
+// ----------------------------------------------------------------------
+
+fn v(name: &str) -> Expr {
+    Expr::var(name)
+}
+
+fn lit(x: i64) -> Expr {
+    Expr::lit(x)
+}
+
+fn s_name(i: usize) -> String {
+    format!("s{i}")
+}
+
+fn sbox_lookup(table: &str, index: Expr) -> Expr {
+    (Expr::global(table) + index).load_byte_u()
+}
+
+fn emit_add_round_key(stmts: &mut Vec<Stmt>, round_expr: &Expr) {
+    // The round keys are stored as big-endian words, so byte `i` of the
+    // 16-byte round key is simply `rk[round*16 + i]` — the byte-table
+    // style every 2000s AES implementation used.
+    stmts.push(Stmt::let_("koff", round_expr.clone() * lit(16)));
+    stmts.push(Stmt::let_("kbase", Expr::global("aes_rk") + v("koff")));
+    for i in 0..16usize {
+        stmts.push(Stmt::assign(
+            s_name(i),
+            v(&s_name(i)) ^ (v("kbase") + lit(i as i64)).load_byte_u(),
+        ));
+    }
+}
+
+fn emit_sub_bytes(stmts: &mut Vec<Stmt>, table: &str) {
+    for i in 0..16usize {
+        stmts.push(Stmt::assign(s_name(i), sbox_lookup(table, v(&s_name(i)))));
+    }
+}
+
+fn emit_shift_rows(stmts: &mut Vec<Stmt>, inverse: bool) {
+    for c in 0..4usize {
+        for r in 0..4usize {
+            let src_c = if inverse { (c + 4 - r) % 4 } else { (c + r) % 4 };
+            stmts.push(Stmt::let_(
+                format!("t{}", 4 * c + r),
+                v(&s_name(4 * src_c + r)),
+            ));
+        }
+    }
+    for i in 0..16usize {
+        stmts.push(Stmt::assign(s_name(i), v(&format!("t{i}"))));
+    }
+}
+
+/// `MixColumns` in the table-driven style: per output byte two GF-table
+/// lookups and two plain XOR terms.
+fn emit_mix_columns(stmts: &mut Vec<Stmt>) {
+    for c in 0..4usize {
+        let a = |r: usize| v(&s_name(4 * c + r));
+        for r in 0..4usize {
+            // s_r' = 2·a_r ^ 3·a_{r+1} ^ a_{r+2} ^ a_{r+3}
+            stmts.push(Stmt::let_(
+                format!("mc{c}_{r}"),
+                sbox_lookup("aes_mul2", a(r))
+                    ^ sbox_lookup("aes_mul3", a((r + 1) % 4))
+                    ^ a((r + 2) % 4)
+                    ^ a((r + 3) % 4),
+            ));
+        }
+        for r in 0..4usize {
+            stmts.push(Stmt::assign(s_name(4 * c + r), v(&format!("mc{c}_{r}"))));
+        }
+    }
+}
+
+/// Inverse `MixColumns`: four GF-table lookups per output byte
+/// (×14, ×11, ×13, ×9) — the load-dominated inner loop of decryption.
+fn emit_inv_mix_columns(stmts: &mut Vec<Stmt>) {
+    let tables = ["aes_mul14", "aes_mul11", "aes_mul13", "aes_mul9"];
+    for c in 0..4usize {
+        let a = |r: usize| v(&s_name(4 * c + r));
+        for r in 0..4usize {
+            // Row r of the inverse matrix is [14,11,13,9] rotated right r.
+            stmts.push(Stmt::let_(
+                format!("imc{c}_{r}"),
+                sbox_lookup(tables[0], a(r))
+                    ^ sbox_lookup(tables[1], a((r + 1) % 4))
+                    ^ sbox_lookup(tables[2], a((r + 2) % 4))
+                    ^ sbox_lookup(tables[3], a((r + 3) % 4)),
+            ));
+        }
+        for r in 0..4usize {
+            stmts.push(Stmt::assign(s_name(4 * c + r), v(&format!("imc{c}_{r}"))));
+        }
+    }
+}
+
+fn emit_key_expansion(body: &mut Vec<Stmt>) {
+    body.push(Stmt::for_("i", lit(0), lit(4), [Stmt::store_word(
+        Expr::global("aes_rk") + v("i") * lit(4),
+        (Expr::global("aes_key") + v("i") * lit(4)).load_word(),
+    )]));
+    body.push(Stmt::for_("i", lit(4), lit(44), [
+        Stmt::let_(
+            "temp",
+            (Expr::global("aes_rk") + (v("i") - lit(1)) * lit(4)).load_word(),
+        ),
+        Stmt::if_((v("i") & lit(3)).eq(lit(0)), [
+            // RotWord.
+            Stmt::assign(
+                "temp",
+                (v("temp") << lit(8)) | v("temp").shr(lit(24)),
+            ),
+            // SubWord byte by byte.
+            Stmt::let_("sb0", sbox_lookup("aes_sbox", v("temp").shr(lit(24)) & lit(0xff))),
+            Stmt::let_("sb1", sbox_lookup("aes_sbox", v("temp").shr(lit(16)) & lit(0xff))),
+            Stmt::let_("sb2", sbox_lookup("aes_sbox", v("temp").shr(lit(8)) & lit(0xff))),
+            Stmt::let_("sb3", sbox_lookup("aes_sbox", v("temp") & lit(0xff))),
+            Stmt::let_(
+                "rc",
+                (Expr::global("aes_rcon") + v("i").shr(lit(2)) - lit(1)).load_byte_u(),
+            ),
+            Stmt::assign(
+                "temp",
+                ((v("sb0") ^ v("rc")) << lit(24))
+                    | (v("sb1") << lit(16))
+                    | (v("sb2") << lit(8))
+                    | v("sb3"),
+            ),
+        ]),
+        Stmt::store_word(
+            Expr::global("aes_rk") + v("i") * lit(4),
+            (Expr::global("aes_rk") + (v("i") - lit(4)) * lit(4)).load_word() ^ v("temp"),
+        ),
+    ]));
+}
+
+/// Builds the benchmark at the given scale.
+#[must_use]
+pub fn build(scale: Scale) -> Workload {
+    let n = iterations(scale);
+    let (ct, pt) = golden_chain(n);
+    let mut expected = Vec::with_capacity(32);
+    expected.extend_from_slice(&ct);
+    expected.extend_from_slice(&pt);
+
+    let mut body: Vec<Stmt> = Vec::new();
+    emit_key_expansion(&mut body);
+
+    // Load the plaintext into the 16 state locals.
+    for i in 0..16usize {
+        body.push(Stmt::let_(
+            s_name(i),
+            (Expr::global("aes_block") + lit(i as i64)).load_byte_u(),
+        ));
+    }
+
+    // Encrypt n times.
+    let mut enc_body: Vec<Stmt> = Vec::new();
+    emit_add_round_key(&mut enc_body, &lit(0));
+    for round in 1..=10 {
+        emit_sub_bytes(&mut enc_body, "aes_sbox");
+        emit_shift_rows(&mut enc_body, false);
+        if round != 10 {
+            emit_mix_columns(&mut enc_body);
+        }
+        emit_add_round_key(&mut enc_body, &lit(round));
+    }
+    body.push(Stmt::for_("it", lit(0), lit(i64::from(n)), enc_body));
+
+    // Record the final ciphertext.
+    for i in 0..16usize {
+        body.push(Stmt::store_byte(
+            Expr::global("aes_out") + lit(i as i64),
+            v(&s_name(i)),
+        ));
+    }
+
+    // Decrypt n times.
+    let mut dec_body: Vec<Stmt> = Vec::new();
+    emit_add_round_key(&mut dec_body, &lit(10));
+    for round in (0..10).rev() {
+        emit_shift_rows(&mut dec_body, true);
+        emit_sub_bytes(&mut dec_body, "aes_inv_sbox");
+        emit_add_round_key(&mut dec_body, &lit(round));
+        if round != 0 {
+            emit_inv_mix_columns(&mut dec_body);
+        }
+    }
+    body.push(Stmt::for_("it", lit(0), lit(i64::from(n)), dec_body));
+
+    // Record the round-tripped plaintext.
+    for i in 0..16usize {
+        body.push(Stmt::store_byte(
+            Expr::global("aes_out") + lit(16 + i as i64),
+            v(&s_name(i)),
+        ));
+    }
+
+    let program = Program::new()
+        .global(Global::with_bytes("aes_key", KEY.to_vec()))
+        .global(Global::with_bytes("aes_block", PLAINTEXT.to_vec()))
+        .global(Global::with_bytes("aes_sbox", SBOX.to_vec()))
+        .global(Global::with_bytes("aes_inv_sbox", INV_SBOX.to_vec()))
+        .global(Global::with_bytes("aes_rcon", RCON.to_vec()))
+        .global(Global::with_bytes("aes_mul2", gf_mul_table(2).to_vec()))
+        .global(Global::with_bytes("aes_mul3", gf_mul_table(3).to_vec()))
+        .global(Global::with_bytes("aes_mul9", gf_mul_table(9).to_vec()))
+        .global(Global::with_bytes("aes_mul11", gf_mul_table(11).to_vec()))
+        .global(Global::with_bytes("aes_mul13", gf_mul_table(13).to_vec()))
+        .global(Global::with_bytes("aes_mul14", gf_mul_table(14).to_vec()))
+        .global(Global::zeroed("aes_rk", 44 * 4))
+        .global(Global::zeroed("aes_out", 32))
+        .function(FunctionDef::new("aes_main", [] as [&str; 0]).body(body));
+
+    Workload {
+        name: "aes".to_owned(),
+        description: format!("AES-128: encrypt 'Hello AES World!' {n}x, then decrypt {n}x"),
+        program,
+        entry: "aes_main".to_owned(),
+        output_global: "aes_out".to_owned(),
+        expected,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use epic_ir::{lower, Interpreter};
+
+    #[test]
+    fn golden_matches_fips_197_vector() {
+        // FIPS 197 appendix C.1.
+        let key: [u8; 16] = [
+            0x00, 0x01, 0x02, 0x03, 0x04, 0x05, 0x06, 0x07, 0x08, 0x09, 0x0a, 0x0b, 0x0c, 0x0d,
+            0x0e, 0x0f,
+        ];
+        let pt: [u8; 16] = [
+            0x00, 0x11, 0x22, 0x33, 0x44, 0x55, 0x66, 0x77, 0x88, 0x99, 0xaa, 0xbb, 0xcc, 0xdd,
+            0xee, 0xff,
+        ];
+        let w = golden_key_expansion(&key);
+        let ct = golden_encrypt(&pt, &w);
+        assert_eq!(
+            ct,
+            [
+                0x69, 0xc4, 0xe0, 0xd8, 0x6a, 0x7b, 0x04, 0x30, 0xd8, 0xcd, 0xb7, 0x80, 0x70,
+                0xb4, 0xc5, 0x5a
+            ]
+        );
+        assert_eq!(golden_decrypt(&ct, &w), pt);
+    }
+
+    #[test]
+    fn chain_round_trips() {
+        let (ct, pt) = golden_chain(10);
+        assert_ne!(&ct, PLAINTEXT);
+        assert_eq!(&pt, PLAINTEXT, "N decryptions undo N encryptions");
+    }
+
+    #[test]
+    fn ast_program_matches_golden_on_interpreter() {
+        let w = build(Scale::Test);
+        let module = lower::lower(&w.program).unwrap();
+        let mut interp = Interpreter::new(&module);
+        interp.call(&w.entry, &[]).unwrap();
+        w.verify_memory(|addr, len| interp.read_bytes(addr, len).map(<[u8]>::to_vec))
+            .unwrap();
+    }
+}

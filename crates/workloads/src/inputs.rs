@@ -1,0 +1,133 @@
+//! Deterministic synthetic inputs.
+//!
+//! The paper's 256×256 PPM images and "large graph" are not published.
+//! These generators produce deterministic equivalents from fixed seeds;
+//! since all four kernels are data-independent (their control flow and
+//! memory traffic depend only on input sizes), any same-size input
+//! exercises the same cycle behaviour.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// "Infinite" distance for absent graph edges (fits comfortably in
+/// additions without overflow).
+pub const GRAPH_INF: u32 = 0x3FFF_FFFF;
+
+/// A binary PPM (P6) image of `width`×`height` RGB pixels with a
+/// deterministic pseudo-random payload.
+#[must_use]
+pub fn ppm_image(width: u32, height: u32, seed: u64) -> Vec<u8> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut out = format!("P6\n{width} {height}\n255\n").into_bytes();
+    out.extend((0..width * height * 3).map(|_| rng.random::<u8>()));
+    out
+}
+
+/// The grayscale plane the DCT benchmark transforms, derived from a PPM
+/// the way the in-program conversion does: `(r + 2g + b) >> 2`.
+#[must_use]
+pub fn grayscale_from_ppm(ppm: &[u8], width: u32, height: u32) -> Vec<u8> {
+    let header_len = ppm_header_len(ppm);
+    let pixels = &ppm[header_len..];
+    (0..(width * height) as usize)
+        .map(|i| {
+            let r = u32::from(pixels[3 * i]);
+            let g = u32::from(pixels[3 * i + 1]);
+            let b = u32::from(pixels[3 * i + 2]);
+            ((r + 2 * g + b) >> 2) as u8
+        })
+        .collect()
+}
+
+/// Byte length of a P6 header produced by [`ppm_image`].
+#[must_use]
+pub fn ppm_header_len(ppm: &[u8]) -> usize {
+    // Three '\n'-terminated fields: magic, dimensions, maxval.
+    let mut newlines = 0;
+    for (i, b) in ppm.iter().enumerate() {
+        if *b == b'\n' {
+            newlines += 1;
+            if newlines == 3 {
+                return i + 1;
+            }
+        }
+    }
+    ppm.len()
+}
+
+/// A dense directed graph as an adjacency matrix of edge weights
+/// (row-major, `n`×`n` words): weight 1..=99, [`GRAPH_INF`] for the ~25 %
+/// of pairs with no edge, 0 on the diagonal.
+#[must_use]
+pub fn adjacency_matrix(n: u32, seed: u64) -> Vec<u32> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut matrix = vec![0u32; (n * n) as usize];
+    for i in 0..n {
+        for j in 0..n {
+            let w = if i == j {
+                0
+            } else if rng.random_range(0..4) == 0 {
+                GRAPH_INF
+            } else {
+                rng.random_range(1..100)
+            };
+            matrix[(i * n + j) as usize] = w;
+        }
+    }
+    matrix
+}
+
+/// Packs words into big-endian bytes (the machines' memory order).
+#[must_use]
+pub fn words_to_be_bytes(words: &[u32]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(words.len() * 4);
+    for w in words {
+        out.extend_from_slice(&w.to_be_bytes());
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ppm_is_deterministic_and_well_formed() {
+        let a = ppm_image(16, 8, 42);
+        let b = ppm_image(16, 8, 42);
+        assert_eq!(a, b);
+        assert!(a.starts_with(b"P6\n16 8\n255\n"));
+        let header = ppm_header_len(&a);
+        assert_eq!(a.len() - header, 16 * 8 * 3);
+        assert_ne!(a, ppm_image(16, 8, 43), "seed changes payload");
+    }
+
+    #[test]
+    fn grayscale_matches_formula() {
+        let ppm = ppm_image(4, 4, 1);
+        let gray = grayscale_from_ppm(&ppm, 4, 4);
+        assert_eq!(gray.len(), 16);
+        let h = ppm_header_len(&ppm);
+        let (r, g, b) = (ppm[h] as u32, ppm[h + 1] as u32, ppm[h + 2] as u32);
+        assert_eq!(u32::from(gray[0]), (r + 2 * g + b) >> 2);
+    }
+
+    #[test]
+    fn adjacency_matrix_shape() {
+        let m = adjacency_matrix(10, 7);
+        assert_eq!(m.len(), 100);
+        for i in 0..10 {
+            assert_eq!(m[i * 10 + i], 0, "diagonal is zero");
+        }
+        assert!(m.iter().any(|w| *w == GRAPH_INF), "some edges are absent");
+        assert!(m.iter().any(|w| (1..100).contains(w)));
+    }
+
+    #[test]
+    fn word_packing_is_big_endian() {
+        assert_eq!(
+            words_to_be_bytes(&[0x0102_0304]),
+            vec![0x01, 0x02, 0x03, 0x04]
+        );
+    }
+}

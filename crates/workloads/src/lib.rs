@@ -1,0 +1,141 @@
+//! The paper's benchmark suite (Table 1): SHA, AES, DCT and Dijkstra.
+//!
+//! Each benchmark is written **once** in the `epic-ir` AST frontend — the
+//! role of the C sources fed to Trimaran — and executes unmodified on the
+//! reference interpreter, the EPIC cycle-level simulator and the SA-110
+//! baseline. Each module also contains a *golden* native-Rust
+//! implementation of the same computation; differential tests demand
+//! bit-identical outputs from all executions.
+//!
+//! The paper's operation of the benchmarks (§5.2):
+//!
+//! * **SHA** — "calculates the SHA-256 secure hash of a 256 by 256 image
+//!   in the PPM format";
+//! * **AES** — "encrypts 'Hello AES World!' 1000 times and then decrypts
+//!   it" (AES-128; we chain the block through the iterations so the
+//!   round-trip is checkable);
+//! * **DCT** — "fixed-point Discrete Cosine Transform (DCT) encoding and
+//!   decoding of a 256 by 256 image in the PPM format";
+//! * **Dijkstra** — "finds the shortest path between every pair of nodes
+//!   in a large graph represented by an adjacency matrix".
+//!
+//! The original images and graphs are not published; [`inputs`] generates
+//! deterministic synthetic equivalents (the kernels are data-independent,
+//! so cycle counts depend on input *size* only). [`Scale::Paper`]
+//! reproduces the paper's sizes; [`Scale::Test`] keeps CI fast.
+//!
+//! # Examples
+//!
+//! ```
+//! use epic_workloads::{dct, Scale};
+//! use epic_ir::{lower, Interpreter};
+//!
+//! let workload = dct::build(Scale::Test);
+//! let module = lower::lower(&workload.program)?;
+//! let mut interp = Interpreter::new(&module);
+//! interp.call(&workload.entry, &[])?;
+//! workload.verify_memory(|addr, len| interp.read_bytes(addr, len).map(<[u8]>::to_vec))
+//!     .expect("interpreter output matches the golden model");
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod aes;
+pub mod dct;
+pub mod dijkstra;
+pub mod inputs;
+pub mod sha;
+
+use epic_ir::ast::Program;
+
+/// Problem sizes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Reduced sizes for fast tests (same code paths, smaller loops).
+    Test,
+    /// The paper's sizes: 256×256 images, 1000 AES iterations, a
+    /// 100-node graph.
+    Paper,
+}
+
+/// A benchmark instance: program, entry point and expected output.
+#[derive(Debug, Clone)]
+pub struct Workload {
+    /// Benchmark name (`sha`, `aes`, `dct`, `dijkstra`).
+    pub name: String,
+    /// One-line description including the active scale.
+    pub description: String,
+    /// The AST program (lower with [`epic_ir::lower::lower`]).
+    pub program: Program,
+    /// Zero-argument entry function.
+    pub entry: String,
+    /// Name of the global holding the result.
+    pub output_global: String,
+    /// Expected bytes of that global, from the golden model.
+    pub expected: Vec<u8>,
+}
+
+impl Workload {
+    /// Inline hints collected from the program (pass to the compiler).
+    #[must_use]
+    pub fn inline_hints(&self) -> Vec<String> {
+        epic_ir::lower::inline_hints(&self.program)
+    }
+
+    /// Verifies an execution by reading the output global through the
+    /// provided memory accessor and comparing with the golden bytes.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first mismatch (offset and bytes) or
+    /// whatever error the accessor produced.
+    pub fn verify_memory<E: std::fmt::Display>(
+        &self,
+        read: impl Fn(u32, u32) -> Result<Vec<u8>, E>,
+    ) -> Result<(), String> {
+        let module = epic_ir::lower::lower(&self.program)
+            .map_err(|e| format!("lowering failed: {e}"))?;
+        let layout = module.layout().map_err(|e| format!("layout failed: {e}"))?;
+        let base = layout
+            .address_of(&self.output_global)
+            .ok_or_else(|| format!("no global named `{}`", self.output_global))?;
+        let actual = read(base, self.expected.len() as u32).map_err(|e| e.to_string())?;
+        if actual == self.expected {
+            return Ok(());
+        }
+        let first = actual
+            .iter()
+            .zip(&self.expected)
+            .position(|(a, b)| a != b)
+            .unwrap_or(0);
+        Err(format!(
+            "{}: output differs from the golden model at byte {first}: got {:#04x}, expected {:#04x}",
+            self.name, actual[first], self.expected[first]
+        ))
+    }
+
+    /// Data-memory bytes this workload's module needs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the program fails to lower (workload construction is
+    /// tested).
+    #[must_use]
+    pub fn memory_size(&self) -> u32 {
+        let module = epic_ir::lower::lower(&self.program).expect("workload lowers");
+        module.layout().expect("workload lays out").memory_size()
+    }
+}
+
+/// Builds all four benchmarks at the given scale, in Table 1 order.
+#[must_use]
+pub fn all(scale: Scale) -> Vec<Workload> {
+    vec![
+        sha::build(scale),
+        aes::build(scale),
+        dct::build(scale),
+        dijkstra::build(scale),
+    ]
+}

@@ -1,0 +1,308 @@
+//! SHA benchmark: SHA-256 of a PPM image.
+//!
+//! "The SHA benchmark calculates the SHA-256 secure hash of a 256 by 256
+//! image in the PPM format" (paper §5.2). The program pads the message
+//! in place (the buffer is allocated with room for the `0x80` marker and
+//! the 64-bit length) and hashes every 64-byte block with the full
+//! FIPS 180-2 compression function. The 64 rounds are written as a loop
+//! of eight statically renamed rounds — the unrolling an EPIC compiler
+//! needs to expose instruction-level parallelism to the replicated ALUs.
+
+use crate::inputs;
+use crate::{Scale, Workload};
+use epic_ir::ast::{Expr, FunctionDef, Program, Stmt};
+use epic_ir::Global;
+
+/// Round constants (FIPS 180-2 §4.2.2).
+pub const K: [u32; 64] = [
+    0x428a2f98, 0x71374491, 0xb5c0fbcf, 0xe9b5dba5, 0x3956c25b, 0x59f111f1, 0x923f82a4,
+    0xab1c5ed5, 0xd807aa98, 0x12835b01, 0x243185be, 0x550c7dc3, 0x72be5d74, 0x80deb1fe,
+    0x9bdc06a7, 0xc19bf174, 0xe49b69c1, 0xefbe4786, 0x0fc19dc6, 0x240ca1cc, 0x2de92c6f,
+    0x4a7484aa, 0x5cb0a9dc, 0x76f988da, 0x983e5152, 0xa831c66d, 0xb00327c8, 0xbf597fc7,
+    0xc6e00bf3, 0xd5a79147, 0x06ca6351, 0x14292967, 0x27b70a85, 0x2e1b2138, 0x4d2c6dfc,
+    0x53380d13, 0x650a7354, 0x766a0abb, 0x81c2c92e, 0x92722c85, 0xa2bfe8a1, 0xa81a664b,
+    0xc24b8b70, 0xc76c51a3, 0xd192e819, 0xd6990624, 0xf40e3585, 0x106aa070, 0x19a4c116,
+    0x1e376c08, 0x2748774c, 0x34b0bcb5, 0x391c0cb3, 0x4ed8aa4a, 0x5b9cca4f, 0x682e6ff3,
+    0x748f82ee, 0x78a5636f, 0x84c87814, 0x8cc70208, 0x90befffa, 0xa4506ceb, 0xbef9a3f7,
+    0xc67178f2,
+];
+
+/// Initial hash value (FIPS 180-2 §5.3.2).
+pub const H0: [u32; 8] = [
+    0x6a09e667, 0xbb67ae85, 0x3c6ef372, 0xa54ff53a, 0x510e527f, 0x9b05688c, 0x1f83d9ab,
+    0x5be0cd19,
+];
+
+/// Image dimensions per scale.
+#[must_use]
+pub fn dimensions(scale: Scale) -> (u32, u32) {
+    match scale {
+        Scale::Test => (12, 12),
+        Scale::Paper => (256, 256),
+    }
+}
+
+/// The input seed (fixed so all runs agree).
+pub const SEED: u64 = 0x5AD0_0001;
+
+/// Computes SHA-256 of a message natively (the golden model).
+#[must_use]
+pub fn golden_sha256(message: &[u8]) -> [u32; 8] {
+    let mut padded = message.to_vec();
+    let bit_len = (message.len() as u64) * 8;
+    padded.push(0x80);
+    while padded.len() % 64 != 56 {
+        padded.push(0);
+    }
+    padded.extend_from_slice(&bit_len.to_be_bytes());
+
+    let mut h = H0;
+    let mut w = [0u32; 64];
+    for block in padded.chunks(64) {
+        for t in 0..16 {
+            w[t] = u32::from_be_bytes([
+                block[4 * t],
+                block[4 * t + 1],
+                block[4 * t + 2],
+                block[4 * t + 3],
+            ]);
+        }
+        for t in 16..64 {
+            let s0 = w[t - 15].rotate_right(7) ^ w[t - 15].rotate_right(18) ^ (w[t - 15] >> 3);
+            let s1 = w[t - 2].rotate_right(17) ^ w[t - 2].rotate_right(19) ^ (w[t - 2] >> 10);
+            w[t] = w[t - 16]
+                .wrapping_add(s0)
+                .wrapping_add(w[t - 7])
+                .wrapping_add(s1);
+        }
+        let [mut a, mut b, mut c, mut d, mut e, mut f, mut g, mut hh] = h;
+        for t in 0..64 {
+            let s1 = e.rotate_right(6) ^ e.rotate_right(11) ^ e.rotate_right(25);
+            let ch = (e & f) ^ (!e & g);
+            let t1 = hh
+                .wrapping_add(s1)
+                .wrapping_add(ch)
+                .wrapping_add(K[t])
+                .wrapping_add(w[t]);
+            let s0 = a.rotate_right(2) ^ a.rotate_right(13) ^ a.rotate_right(22);
+            let maj = (a & b) ^ (a & c) ^ (b & c);
+            let t2 = s0.wrapping_add(maj);
+            hh = g;
+            g = f;
+            f = e;
+            e = d.wrapping_add(t1);
+            d = c;
+            c = b;
+            b = a;
+            a = t1.wrapping_add(t2);
+        }
+        h[0] = h[0].wrapping_add(a);
+        h[1] = h[1].wrapping_add(b);
+        h[2] = h[2].wrapping_add(c);
+        h[3] = h[3].wrapping_add(d);
+        h[4] = h[4].wrapping_add(e);
+        h[5] = h[5].wrapping_add(f);
+        h[6] = h[6].wrapping_add(g);
+        h[7] = h[7].wrapping_add(hh);
+    }
+    h
+}
+
+fn v(name: &str) -> Expr {
+    Expr::var(name)
+}
+
+fn lit(x: i64) -> Expr {
+    Expr::lit(x)
+}
+
+fn rotr(e: Expr, n: i64) -> Expr {
+    e.rotr(lit(n))
+}
+
+/// Builds the benchmark at the given scale.
+#[must_use]
+pub fn build(scale: Scale) -> Workload {
+    let (width, height) = dimensions(scale);
+    let message = inputs::ppm_image(width, height, SEED);
+    let msg_len = message.len() as u32;
+    let padded_len = (msg_len + 9).div_ceil(64) * 64;
+    let n_blocks = padded_len / 64;
+
+    let digest = golden_sha256(&message);
+    let expected = inputs::words_to_be_bytes(&digest);
+
+    // Input buffer with room for the in-program padding.
+    let mut input_init = message;
+    input_init.resize(padded_len as usize, 0);
+
+    let mut body: Vec<Stmt> = Vec::new();
+
+    // --- padding: 0x80 marker and the 64-bit message length ------------
+    body.push(Stmt::store_byte(
+        Expr::global("sha_input") + lit(i64::from(msg_len)),
+        lit(0x80),
+    ));
+    let bit_len = u64::from(msg_len) * 8;
+    body.push(Stmt::store_word(
+        Expr::global("sha_input") + lit(i64::from(padded_len) - 8),
+        lit((bit_len >> 32) as i64),
+    ));
+    body.push(Stmt::store_word(
+        Expr::global("sha_input") + lit(i64::from(padded_len) - 4),
+        lit((bit_len & 0xFFFF_FFFF) as i64),
+    ));
+
+    // --- hash state -----------------------------------------------------
+    for (i, h) in H0.iter().enumerate() {
+        body.push(Stmt::let_(format!("h{i}"), lit(i64::from(*h))));
+    }
+
+    // --- per-block loop --------------------------------------------------
+    let mut block_body: Vec<Stmt> = vec![Stmt::let_(
+        "base",
+        Expr::global("sha_input") + v("blk") * lit(64),
+    )];
+
+    // W[0..16] from the message (big-endian loads match the word order).
+    block_body.push(Stmt::for_("t", lit(0), lit(16), [
+        Stmt::store_word(
+            Expr::global("sha_w") + v("t") * lit(4),
+            (v("base") + v("t") * lit(4)).load_word(),
+        ),
+    ]));
+    // W[16..64] message schedule.
+    block_body.push(Stmt::for_("t", lit(16), lit(64), [
+        Stmt::let_("wa", (Expr::global("sha_w") + (v("t") - lit(2)) * lit(4)).load_word()),
+        Stmt::let_("wb", (Expr::global("sha_w") + (v("t") - lit(7)) * lit(4)).load_word()),
+        Stmt::let_("wc", (Expr::global("sha_w") + (v("t") - lit(15)) * lit(4)).load_word()),
+        Stmt::let_("wd", (Expr::global("sha_w") + (v("t") - lit(16)) * lit(4)).load_word()),
+        Stmt::let_(
+            "sig1",
+            rotr(v("wa"), 17) ^ rotr(v("wa"), 19) ^ v("wa").shr(lit(10)),
+        ),
+        Stmt::let_(
+            "sig0",
+            rotr(v("wc"), 7) ^ rotr(v("wc"), 18) ^ v("wc").shr(lit(3)),
+        ),
+        Stmt::store_word(
+            Expr::global("sha_w") + v("t") * lit(4),
+            v("wd") + v("sig0") + v("wb") + v("sig1"),
+        ),
+    ]));
+
+    // Working variables.
+    let names = ["va", "vb", "vc", "vd", "ve", "vf", "vg", "vh"];
+    for (i, n) in names.iter().enumerate() {
+        block_body.push(Stmt::let_(*n, v(&format!("h{i}"))));
+    }
+
+    // 64 rounds as 8 outer iterations of 8 statically renamed rounds —
+    // after 8 rounds the role rotation returns to the identity.
+    let mut octet: Vec<Stmt> = vec![Stmt::let_("koff", v("t8") * lit(4))];
+    for r in 0..8usize {
+        let var = |role: usize| names[(role + 8 - r) % 8]; // role 0=a .. 7=h
+        let (a, b, c, e, f, g, h) = (var(0), var(1), var(2), var(4), var(5), var(6), var(7));
+        let d = var(3);
+        let kw_k = (Expr::global("sha_k") + v("koff") + lit((r * 4) as i64)).load_word();
+        let kw_w = (Expr::global("sha_w") + v("koff") + lit((r * 4) as i64)).load_word();
+        octet.push(Stmt::let_(
+            format!("s1_{r}"),
+            rotr(v(e), 6) ^ rotr(v(e), 11) ^ rotr(v(e), 25),
+        ));
+        octet.push(Stmt::let_(
+            format!("ch_{r}"),
+            (v(e) & v(f)) ^ (!v(e) & v(g)),
+        ));
+        octet.push(Stmt::let_(
+            format!("t1_{r}"),
+            v(h) + v(&format!("s1_{r}")) + v(&format!("ch_{r}")) + kw_k + kw_w,
+        ));
+        octet.push(Stmt::let_(
+            format!("s0_{r}"),
+            rotr(v(a), 2) ^ rotr(v(a), 13) ^ rotr(v(a), 22),
+        ));
+        octet.push(Stmt::let_(
+            format!("mj_{r}"),
+            (v(a) & v(b)) ^ (v(a) & v(c)) ^ (v(b) & v(c)),
+        ));
+        // h's variable becomes next round's a; d's variable becomes e.
+        octet.push(Stmt::assign(h, v(&format!("t1_{r}")) + v(&format!("s0_{r}")) + v(&format!("mj_{r}"))));
+        octet.push(Stmt::assign(d, v(d) + v(&format!("t1_{r}"))));
+    }
+    octet.push(Stmt::assign("t8", v("t8") + lit(8)));
+    block_body.push(Stmt::let_("t8", lit(0)));
+    block_body.push(Stmt::while_(v("t8").lt_s(lit(64)), octet));
+
+    for (i, n) in names.iter().enumerate() {
+        block_body.push(Stmt::assign(format!("h{i}"), v(&format!("h{i}")) + v(n)));
+    }
+    body.push(Stmt::for_("blk", lit(0), lit(i64::from(n_blocks)), block_body));
+
+    // --- emit the digest -------------------------------------------------
+    for i in 0..8usize {
+        body.push(Stmt::store_word(
+            Expr::global("sha_digest") + lit((i * 4) as i64),
+            v(&format!("h{i}")),
+        ));
+    }
+
+    let program = Program::new()
+        .global(Global::with_bytes("sha_input", input_init))
+        .global(Global::with_words("sha_k", &K))
+        .global(Global::zeroed("sha_w", 64 * 4))
+        .global(Global::zeroed("sha_digest", 32))
+        .function(FunctionDef::new("sha_main", [] as [&str; 0]).body(body));
+
+    Workload {
+        name: "sha".to_owned(),
+        description: format!(
+            "SHA-256 of a {width}x{height} PPM image ({msg_len} bytes, {n_blocks} blocks)"
+        ),
+        program,
+        entry: "sha_main".to_owned(),
+        output_global: "sha_digest".to_owned(),
+        expected,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use epic_ir::{lower, Interpreter};
+
+    #[test]
+    fn golden_matches_fips_vector() {
+        // FIPS 180-2 appendix B.1: SHA-256("abc").
+        let digest = golden_sha256(b"abc");
+        assert_eq!(
+            digest,
+            [
+                0xba7816bf, 0x8f01cfea, 0x414140de, 0x5dae2223, 0xb00361a3, 0x96177a9c,
+                0xb410ff61, 0xf20015ad
+            ]
+        );
+        // Appendix B.2: two-block message.
+        let digest = golden_sha256(b"abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq");
+        assert_eq!(digest[0], 0x248d6a61);
+        assert_eq!(digest[7], 0x19db06c1);
+    }
+
+    #[test]
+    fn ast_program_matches_golden_on_interpreter() {
+        let w = build(Scale::Test);
+        let module = lower::lower(&w.program).unwrap();
+        let mut interp = Interpreter::new(&module);
+        interp.call(&w.entry, &[]).unwrap();
+        w.verify_memory(|addr, len| interp.read_bytes(addr, len).map(<[u8]>::to_vec))
+            .unwrap();
+    }
+
+    #[test]
+    fn scales_differ_in_size_only() {
+        let (tw, th) = dimensions(Scale::Test);
+        let (pw, ph) = dimensions(Scale::Paper);
+        assert!(pw * ph > tw * th);
+        assert_eq!((pw, ph), (256, 256), "paper scale hashes a 256x256 image");
+    }
+}

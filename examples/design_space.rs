@@ -1,0 +1,62 @@
+//! Design-space exploration: the performance/area trade-off the
+//! customisable processor exists to explore (paper §1, §3.3).
+//!
+//! Sweeps the DCT benchmark across ALU counts, issue widths and a
+//! feature-trimmed ALU, then prints the measured cycles, modelled slices
+//! and the Pareto frontier, plus the smallest Virtex-II part each design
+//! fits.
+//!
+//! ```text
+//! cargo run --release --example design_space
+//! ```
+
+use epic::area::AreaModel;
+use epic::config::{AluFeature, Config};
+use epic::explore::{pareto, render, sweep};
+use epic::workloads::{dct, Scale};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let workload = dct::build(Scale::Test);
+    println!("workload: {}", workload.description);
+
+    let mut configs: Vec<(String, Config)> = Vec::new();
+    for alus in 1..=4 {
+        configs.push((
+            format!("{alus} ALU, 4-issue"),
+            Config::builder().num_alus(alus).build()?,
+        ));
+    }
+    for issue in [1usize, 2] {
+        configs.push((
+            format!("2 ALU, {issue}-issue"),
+            Config::builder().num_alus(2).issue_width(issue).build()?,
+        ));
+    }
+    // DCT never divides: drop the iterative divider from every ALU.
+    configs.push((
+        "4 ALU, no divider".to_owned(),
+        Config::builder()
+            .num_alus(4)
+            .without_alu_feature(AluFeature::Divide)
+            .build()?,
+    ));
+
+    let points = sweep(&workload, configs.clone())?;
+    println!("\n{}", render(&points));
+
+    println!("Pareto frontier (fewest cycles / fewest slices):");
+    println!("{}", render(&pareto(&points)));
+
+    println!("device fitting:");
+    for (label, config) in &configs {
+        let model = AreaModel::new(config);
+        let device = model
+            .smallest_device()
+            .map_or("(none)", |d| d.name);
+        println!(
+            "  {label:<20} {:>6} slices -> {device}",
+            model.slices()
+        );
+    }
+    Ok(())
+}

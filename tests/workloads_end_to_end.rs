@@ -1,0 +1,62 @@
+//! End-to-end differential tests: every benchmark runs on the reference
+//! interpreter, the EPIC machine (via the full compile → assemble →
+//! simulate pipeline) and the SA-110 baseline, and all three must produce
+//! the golden model's exact output bytes.
+
+use epic_core::config::Config;
+use epic_core::experiments::{run_epic_workload, run_sa110_workload};
+use epic_core::ir::{lower, Interpreter};
+use epic_core::workloads::{self, Scale};
+
+fn check_interpreter(workload: &epic_core::workloads::Workload) {
+    let module = lower::lower(&workload.program).expect("lowers");
+    let mut interp = Interpreter::new(&module);
+    interp.call(&workload.entry, &[]).expect("interprets");
+    workload
+        .verify_memory(|addr, len| interp.read_bytes(addr, len).map(<[u8]>::to_vec))
+        .expect("interpreter output matches golden model");
+}
+
+#[test]
+fn sha_on_all_executors() {
+    let w = workloads::sha::build(Scale::Test);
+    check_interpreter(&w);
+    run_sa110_workload(&w).expect("SA-110 run verifies");
+    run_epic_workload(&w, &Config::default()).expect("EPIC run verifies");
+}
+
+#[test]
+fn aes_on_all_executors() {
+    let w = workloads::aes::build(Scale::Test);
+    check_interpreter(&w);
+    run_sa110_workload(&w).expect("SA-110 run verifies");
+    run_epic_workload(&w, &Config::default()).expect("EPIC run verifies");
+}
+
+#[test]
+fn dct_on_all_executors() {
+    let w = workloads::dct::build(Scale::Test);
+    check_interpreter(&w);
+    run_sa110_workload(&w).expect("SA-110 run verifies");
+    run_epic_workload(&w, &Config::default()).expect("EPIC run verifies");
+}
+
+#[test]
+fn dijkstra_on_all_executors() {
+    let w = workloads::dijkstra::build(Scale::Test);
+    check_interpreter(&w);
+    run_sa110_workload(&w).expect("SA-110 run verifies");
+    run_epic_workload(&w, &Config::default()).expect("EPIC run verifies");
+}
+
+#[test]
+fn every_workload_on_every_alu_count() {
+    for workload in workloads::all(Scale::Test) {
+        for alus in 1..=4 {
+            let config = Config::builder().num_alus(alus).build().unwrap();
+            run_epic_workload(&workload, &config).unwrap_or_else(|e| {
+                panic!("{} on {alus} ALU(s): {e}", workload.name)
+            });
+        }
+    }
+}
