@@ -64,17 +64,61 @@ pub struct Device {
 /// to [tens of thousands of] configurable logic slices and … distributed
 /// configurable memory", §5).
 pub const VIRTEX_II: [Device; 11] = [
-    Device { name: "XC2V40", slices: 256, block_rams: 4 },
-    Device { name: "XC2V80", slices: 512, block_rams: 8 },
-    Device { name: "XC2V250", slices: 1536, block_rams: 24 },
-    Device { name: "XC2V500", slices: 3072, block_rams: 32 },
-    Device { name: "XC2V1000", slices: 5120, block_rams: 40 },
-    Device { name: "XC2V1500", slices: 7680, block_rams: 48 },
-    Device { name: "XC2V2000", slices: 10752, block_rams: 56 },
-    Device { name: "XC2V3000", slices: 14336, block_rams: 96 },
-    Device { name: "XC2V4000", slices: 23040, block_rams: 120 },
-    Device { name: "XC2V6000", slices: 33792, block_rams: 144 },
-    Device { name: "XC2V8000", slices: 46592, block_rams: 168 },
+    Device {
+        name: "XC2V40",
+        slices: 256,
+        block_rams: 4,
+    },
+    Device {
+        name: "XC2V80",
+        slices: 512,
+        block_rams: 8,
+    },
+    Device {
+        name: "XC2V250",
+        slices: 1536,
+        block_rams: 24,
+    },
+    Device {
+        name: "XC2V500",
+        slices: 3072,
+        block_rams: 32,
+    },
+    Device {
+        name: "XC2V1000",
+        slices: 5120,
+        block_rams: 40,
+    },
+    Device {
+        name: "XC2V1500",
+        slices: 7680,
+        block_rams: 48,
+    },
+    Device {
+        name: "XC2V2000",
+        slices: 10752,
+        block_rams: 56,
+    },
+    Device {
+        name: "XC2V3000",
+        slices: 14336,
+        block_rams: 96,
+    },
+    Device {
+        name: "XC2V4000",
+        slices: 23040,
+        block_rams: 120,
+    },
+    Device {
+        name: "XC2V6000",
+        slices: 33792,
+        block_rams: 144,
+    },
+    Device {
+        name: "XC2V8000",
+        slices: 46592,
+        block_rams: 168,
+    },
 ];
 
 /// Per-component slice breakdown of one configuration.
@@ -418,11 +462,18 @@ mod tests {
     fn deeper_pipelines_trade_slices_for_clock() {
         let base = model(4);
         let deep = AreaModel::new(
-            &Config::builder().num_alus(4).pipeline_stages(3).build().unwrap(),
+            &Config::builder()
+                .num_alus(4)
+                .pipeline_stages(3)
+                .build()
+                .unwrap(),
         );
         assert!(deep.clock_mhz() > base.clock_mhz());
         assert!((deep.clock_mhz() - 41.8 * 1.3).abs() < 1e-9);
-        assert!(deep.slices() > base.slices(), "pipeline registers cost slices");
+        assert!(
+            deep.slices() > base.slices(),
+            "pipeline registers cost slices"
+        );
         // Fewer wall-clock seconds for the same cycle count.
         assert!(deep.execution_time(1_000_000) < base.execution_time(1_000_000));
     }
@@ -439,10 +490,26 @@ mod tests {
     #[test]
     fn pareto_frontier_drops_dominated_points() {
         let points = vec![
-            DesignPoint { label: "slow small".into(), cycles: 100, slices: 10 },
-            DesignPoint { label: "fast big".into(), cycles: 50, slices: 30 },
-            DesignPoint { label: "dominated".into(), cycles: 120, slices: 30 },
-            DesignPoint { label: "mid".into(), cycles: 70, slices: 20 },
+            DesignPoint {
+                label: "slow small".into(),
+                cycles: 100,
+                slices: 10,
+            },
+            DesignPoint {
+                label: "fast big".into(),
+                cycles: 50,
+                slices: 30,
+            },
+            DesignPoint {
+                label: "dominated".into(),
+                cycles: 120,
+                slices: 30,
+            },
+            DesignPoint {
+                label: "mid".into(),
+                cycles: 70,
+                slices: 20,
+            },
         ];
         let frontier = pareto_frontier(&points);
         let labels: Vec<&str> = frontier.iter().map(|p| p.label.as_str()).collect();

@@ -32,9 +32,7 @@ fn parse_args() -> Result<Args, String> {
     while let Some(arg) = iter.next() {
         match arg.as_str() {
             "--config" => {
-                config = Some(PathBuf::from(
-                    iter.next().ok_or("--config needs a path")?,
-                ));
+                config = Some(PathBuf::from(iter.next().ok_or("--config needs a path")?));
             }
             "-o" | "--output" => {
                 output = Some(PathBuf::from(iter.next().ok_or("-o needs a path")?));
@@ -60,16 +58,18 @@ fn parse_args() -> Result<Args, String> {
 fn run(args: &Args) -> Result<(), String> {
     let config = match &args.config {
         Some(path) => {
-            let text = std::fs::read_to_string(path)
-                .map_err(|e| format!("{}: {e}", path.display()))?;
+            let text =
+                std::fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
             header::parse(&text).map_err(|e| format!("{}: {e}", path.display()))?
         }
         None => Config::default(),
     };
     let source = std::fs::read_to_string(&args.source)
         .map_err(|e| format!("{}: {e}", args.source.display()))?;
-    let program = assemble(&source, &config)
-        .map_err(|e| format!("{}: {e}", args.source.display()))?;
+    let program = assemble(&source, &config).map_err(|e| {
+        e.to_diagnostic()
+            .render(&args.source.display().to_string(), Some(&source))
+    })?;
     let bytes = program
         .to_bytes(&config)
         .map_err(|e| format!("encoding: {e}"))?;

@@ -48,6 +48,6 @@ mod error;
 mod parser;
 mod program;
 
-pub use error::AsmError;
+pub use error::{AsmError, Diagnostic, Severity};
 pub use parser::assemble;
 pub use program::{disassemble_program, Program};

@@ -118,12 +118,10 @@ pub fn assemble(source: &str, config: &Config) -> Result<Program, AsmError> {
                 })?;
                 instr.src1 = Operand::Lit(i64::from(*addr));
             }
-            instr
-                .validate(config)
-                .map_err(|source| AsmError::Isa {
-                    line: pending.line,
-                    source,
-                })?;
+            instr.validate(config).map_err(|source| AsmError::Isa {
+                line: pending.line,
+                source,
+            })?;
             out.push(instr);
         }
         // NOP padding up to the issue width (paper §4.2).
@@ -224,13 +222,7 @@ fn parse_instruction(
         });
     }
 
-    let mut instr = Instruction::new(
-        opcode,
-        Dest::None,
-        Dest::None,
-        Operand::None,
-        Operand::None,
-    );
+    let mut instr = Instruction::new(opcode, Dest::None, Dest::None, Operand::None, Operand::None);
     let mut label_ref = None;
 
     for (slot, text) in slots.iter().zip(&operands) {
@@ -419,7 +411,14 @@ main:
     fn wrong_operand_count_is_reported() {
         let err = assemble("    ADD r1, r2\n;;\n", &config()).unwrap_err();
         assert!(
-            matches!(err, AsmError::WrongOperandCount { expected: 3, found: 2, .. }),
+            matches!(
+                err,
+                AsmError::WrongOperandCount {
+                    expected: 3,
+                    found: 2,
+                    ..
+                }
+            ),
             "{err}"
         );
     }

@@ -92,7 +92,7 @@ impl Program {
     pub fn from_bytes(bytes: &[u8], config: &Config) -> Result<Program, AsmError> {
         let width = config.instruction_format().width_bytes();
         let row = width * config.issue_width();
-        if bytes.is_empty() || bytes.len() % row != 0 {
+        if bytes.is_empty() || !bytes.len().is_multiple_of(row) {
             return Err(AsmError::EmptyProgram);
         }
         let mut bundles = Vec::with_capacity(bytes.len() / row);

@@ -11,9 +11,8 @@ use proptest::prelude::*;
 fn source_strategy() -> impl Strategy<Value = String> {
     // Destination ranges are disjoint between unit classes so that no
     // two instructions of one bundle can write the same register.
-    let alu = (0u16..30, 0u16..64, -100i64..100).prop_map(|(d, a, l)| {
-        format!("    ADD r{d}, r{a}, #{l}")
-    });
+    let alu = (0u16..30, 0u16..64, -100i64..100)
+        .prop_map(|(d, a, l)| format!("    ADD r{d}, r{a}, #{l}"));
     let mem = (30u16..60, 0u16..64, prop::bool::ANY).prop_map(|(d, b, load)| {
         if load {
             format!("    LW r{d}, r{b}, #0")
@@ -21,9 +20,8 @@ fn source_strategy() -> impl Strategy<Value = String> {
             format!("    SW r{d}, r{b}, #0")
         }
     });
-    let cmp = (1u16..32, 0u16..64, -50i64..50).prop_map(|(p, a, l)| {
-        format!("    CMP_LT p{p}, p0, r{a}, #{l}")
-    });
+    let cmp = (1u16..32, 0u16..64, -50i64..50)
+        .prop_map(|(p, a, l)| format!("    CMP_LT p{p}, p0, r{a}, #{l}"));
     // At most one op per unit class per bundle (so any issue width >= 3
     // accepts the bundle and no write conflicts can arise).
     let bundle = (

@@ -33,7 +33,11 @@ fn bench_custom_instruction(c: &mut Criterion) {
             println!("[cycles] SHA {label}: {}", stats.cycles);
         }
         group.bench_with_input(BenchmarkId::new("sha", label), &config, |b, config| {
-            b.iter(|| run_epic_workload(&workload, config).expect("verified run").cycles);
+            b.iter(|| {
+                run_epic_workload(&workload, config)
+                    .expect("verified run")
+                    .cycles
+            });
         });
     }
     group.finish();
@@ -60,7 +64,11 @@ fn bench_regfile_controller(c: &mut Criterion) {
             println!("[cycles] DCT {label}: {}", stats.cycles);
         }
         group.bench_with_input(BenchmarkId::new("dct", label), &config, |b, config| {
-            b.iter(|| run_epic_workload(&workload, config).expect("verified run").cycles);
+            b.iter(|| {
+                run_epic_workload(&workload, config)
+                    .expect("verified run")
+                    .cycles
+            });
         });
     }
     group.finish();

@@ -26,11 +26,7 @@ fn prepare(workload: &workloads::Workload, alus: usize) -> Simulator {
         .run_module(&module, &workload.entry, &[], &workload.inline_hints())
         .expect("pipeline runs");
     let layout = module.layout().expect("layout");
-    let mut sim = Simulator::new(
-        &config,
-        run.program.bundles().to_vec(),
-        run.program.entry(),
-    );
+    let mut sim = Simulator::new(&config, run.program.bundles().to_vec(), run.program.entry());
     sim.set_memory(Memory::from_image(module.initial_memory(&layout)));
     sim
 }
@@ -74,8 +70,7 @@ fn bench_sa110(c: &mut Criterion) {
         let module = lower::lower(&workload.program).expect("lowers");
         let mut optimised = module.clone();
         epic_compiler::passes::optimize(&mut optimised, &workload.inline_hints());
-        let compiled =
-            epic_sa110::compile(&optimised, &workload.entry, &[]).expect("codegen");
+        let compiled = epic_sa110::compile(&optimised, &workload.entry, &[]).expect("codegen");
         let layout = module.layout().expect("layout");
         let image = module.initial_memory(&layout);
         {

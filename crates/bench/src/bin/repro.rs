@@ -16,6 +16,10 @@
 //!
 //! `--full` runs the paper's problem sizes (256×256 images, 1000 AES
 //! iterations, a 100-node graph); the default is the reduced test scale.
+//!
+//! `--no-verify` skips the static post-schedule verifier (`epic-verify`)
+//! that every compile otherwise runs; use it only to time raw compilation
+//! or to inspect output the verifier rejects.
 
 use epic_bench::{render_headline, render_resources};
 use epic_core::config::{Config, CustomOp, CustomSemantics};
@@ -31,6 +35,9 @@ const ALUS: [usize; 4] = [1, 2, 3, 4];
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let full = args.iter().any(|a| a == "--full");
+    if args.iter().any(|a| a == "--no-verify") {
+        epic_core::compiler::set_default_verify(false);
+    }
     let scale = if full { Scale::Paper } else { Scale::Test };
     let command = args
         .iter()
@@ -43,7 +50,10 @@ fn main() -> ExitCode {
         "fig4" => cmd_figure(scale, "dct"),
         "fig5" => cmd_figure(scale, "dijkstra"),
         "resources" => {
-            print!("{}", render_resources(&resource_usage(&[1, 2, 3, 4, 5, 6, 7, 8])));
+            print!(
+                "{}",
+                render_resources(&resource_usage(&[1, 2, 3, 4, 5, 6, 7, 8]))
+            );
             Ok(())
         }
         "headline" => cmd_table1(scale).map(|t| {
@@ -99,8 +109,14 @@ fn cmd_custom(scale: Scale) -> Result<(), String> {
     let rotr = run_epic_workload(&workload, &custom).map_err(|e| e.to_string())?;
     let speedup = plain.cycles as f64 / rotr.cycles as f64;
     println!("Custom-instruction ablation: SHA-256, 4 ALUs");
-    println!("  base ISA (rotate = 4-op shift sequence): {:>12} cycles", plain.cycles);
-    println!("  with ROTR custom instruction:            {:>12} cycles", rotr.cycles);
+    println!(
+        "  base ISA (rotate = 4-op shift sequence): {:>12} cycles",
+        plain.cycles
+    );
+    println!(
+        "  with ROTR custom instruction:            {:>12} cycles",
+        rotr.cycles
+    );
     println!("  speedup from one custom instruction:     {speedup:.2}x");
     println!(
         "  area cost: +{} slices",
@@ -115,7 +131,10 @@ fn cmd_custom(scale: Scale) -> Result<(), String> {
 fn cmd_ports(scale: Scale) -> Result<(), String> {
     let workload = workloads::dct::build(scale);
     println!("Register-file controller ablation: DCT, 4 ALUs");
-    println!("{:<34} {:>12} {:>10}", "configuration", "cycles", "port stalls");
+    println!(
+        "{:<34} {:>12} {:>10}",
+        "configuration", "cycles", "port stalls"
+    );
     for (label, ops, forwarding) in [
         ("8 ops/cycle + forwarding (paper)", 8usize, true),
         ("8 ops/cycle, no forwarding", 8, false),

@@ -63,10 +63,22 @@ pub fn paper_table1() -> Vec<(&'static str, [u64; 5])> {
     // SA-110. Entries are therefore representative shapes, not exact
     // digits; see EXPERIMENTS.md.
     vec![
-        ("SHA", [17_320_000, 14_800_000, 8_300_000, 5_600_000, 4_527_000]),
-        ("AES", [1_100_000, 3_600_000, 3_400_000, 3_300_000, 3_250_000]),
-        ("DCT", [49_000_000, 13_200_000, 7_300_000, 4_900_000, 3_990_000]),
-        ("DIJKSTRA", [7_600_000, 9_800_000, 7_000_000, 5_100_000, 4_470_000]),
+        (
+            "SHA",
+            [17_320_000, 14_800_000, 8_300_000, 5_600_000, 4_527_000],
+        ),
+        (
+            "AES",
+            [1_100_000, 3_600_000, 3_400_000, 3_300_000, 3_250_000],
+        ),
+        (
+            "DCT",
+            [49_000_000, 13_200_000, 7_300_000, 4_900_000, 3_990_000],
+        ),
+        (
+            "DIJKSTRA",
+            [7_600_000, 9_800_000, 7_000_000, 5_100_000, 4_470_000],
+        ),
     ]
 }
 

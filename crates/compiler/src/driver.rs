@@ -9,9 +9,10 @@ use crate::regalloc::{allocate, Abi, RegAllocStats};
 use crate::sched::{schedule_function, SchedStats};
 use crate::select::{fold_literal_operands, select};
 use epic_config::Config;
+use epic_ir::Module;
 use epic_isa::Opcode;
 use epic_mdes::MachineDescription;
-use epic_ir::Module;
+use std::sync::atomic::{AtomicBool, Ordering};
 
 /// Compilation options.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -26,6 +27,10 @@ pub struct Options {
     pub entry: String,
     /// Arguments the stub passes to the entry function.
     pub entry_args: Vec<u32>,
+    /// Statically verify the scheduled output with `epic-verify` and
+    /// fail compilation on any error diagnostic (default: on, see
+    /// [`set_default_verify`]).
+    pub verify: bool,
 }
 
 impl Default for Options {
@@ -36,8 +41,29 @@ impl Default for Options {
             inline_hints: Vec::new(),
             entry: "main".to_owned(),
             entry_args: Vec::new(),
+            verify: default_verify(),
         }
     }
+}
+
+/// Process-wide default for [`Options::verify`]. On unless
+/// [`set_default_verify`] turned it off.
+static VERIFY_BY_DEFAULT: AtomicBool = AtomicBool::new(true);
+
+/// Sets the process-wide default for [`Options::verify`].
+///
+/// The post-schedule verifier run is cheap and on by default in every
+/// build profile; batch drivers (`repro --no-verify`) use this escape
+/// hatch to time raw compilation or to inspect rejected output. Code
+/// that builds its own [`Options`] literal is unaffected.
+pub fn set_default_verify(on: bool) {
+    VERIFY_BY_DEFAULT.store(on, Ordering::Relaxed);
+}
+
+/// The current process-wide default for [`Options::verify`].
+#[must_use]
+pub fn default_verify() -> bool {
+    VERIFY_BY_DEFAULT.load(Ordering::Relaxed)
 }
 
 /// Aggregated per-compilation statistics.
@@ -191,6 +217,30 @@ impl Compiler {
         }
 
         let assembly = emit_program(&scheduled, &self.config);
+
+        // The scheduler claims its output respects the machine contract
+        // (port budget, unit occupancy, prepared branches); make the
+        // claim load-bearing by running the static verifier over the
+        // assembled bundles. Warnings (scoreboard-covered hazards) are
+        // expected across block boundaries; errors are compiler bugs.
+        if options.verify {
+            let program = epic_asm::assemble(&assembly, &self.config).map_err(|e| {
+                CompileError::Internal {
+                    message: format!("emitted assembly does not assemble: {e}"),
+                }
+            })?;
+            let report = epic_verify::check(&program, &self.config);
+            if report.has_errors() {
+                let errors: String = report
+                    .diagnostics()
+                    .iter()
+                    .filter(|d| d.severity == epic_asm::Severity::Error)
+                    .map(|d| d.render("<scheduled output>", None))
+                    .collect();
+                return Err(CompileError::Verification { report: errors });
+            }
+        }
+
         Ok(CompiledProgram {
             assembly,
             stats,
@@ -258,7 +308,9 @@ mod tests {
         let module = lower::lower(program).unwrap();
         let mut options = Options::default();
         options.inline_hints = lower::inline_hints(program);
-        Compiler::new(config).compile_with(&module, &options).unwrap()
+        Compiler::new(config)
+            .compile_with(&module, &options)
+            .unwrap()
     }
 
     #[test]
@@ -305,9 +357,8 @@ mod tests {
 
     #[test]
     fn non_32_bit_datapath_is_rejected() {
-        let p = Program::new().function(
-            FunctionDef::new("main", [] as [&str; 0]).body([Stmt::ret_void()]),
-        );
+        let p = Program::new()
+            .function(FunctionDef::new("main", [] as [&str; 0]).body([Stmt::ret_void()]));
         let module = lower::lower(&p).unwrap();
         let config = Config::builder().datapath_width(16).build().unwrap();
         assert!(matches!(
@@ -319,9 +370,7 @@ mod tests {
     #[test]
     fn entry_arguments_appear_in_the_stub() {
         let p = Program::new().function(
-            FunctionDef::new("main", ["a", "b"]).body([Stmt::ret(
-                Expr::var("a") + Expr::var("b"),
-            )]),
+            FunctionDef::new("main", ["a", "b"]).body([Stmt::ret(Expr::var("a") + Expr::var("b"))]),
         );
         let module = lower::lower(&p).unwrap();
         let mut options = Options::default();

@@ -91,7 +91,10 @@ pub fn finalize_control(mfunc: &mut MFunction, abi: &Abi) -> Vec<MBlockId> {
                 }
             }
             MTerm::Ret(value) => {
-                debug_assert!(value.is_none(), "regalloc moves return values to the ABI register");
+                debug_assert!(
+                    value.is_none(),
+                    "regalloc moves return values to the ABI register"
+                );
                 let mut pbr = MOp::bare(Opcode::Pbr);
                 pbr.dest1 = MDest::Btr(CALL_BTR);
                 pbr.src1 = MSrc::Gpr(abi.link);

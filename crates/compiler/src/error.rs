@@ -54,6 +54,14 @@ pub enum CompileError {
         /// What went wrong.
         message: String,
     },
+    /// The static verifier (`epic-verify`) rejected the scheduled
+    /// output — the emitted program would stall or misbehave on the
+    /// configured machine. Always a compiler bug; disable with
+    /// [`Options::verify`](crate::Options) only to inspect the bad code.
+    Verification {
+        /// Error diagnostics in the verifier's rendered form.
+        report: String,
+    },
 }
 
 impl fmt::Display for CompileError {
@@ -86,6 +94,9 @@ impl fmt::Display for CompileError {
                 write!(f, "{operation} requires the {feature} ALU feature")
             }
             CompileError::Internal { message } => write!(f, "internal compiler error: {message}"),
+            CompileError::Verification { report } => {
+                write!(f, "static verification of the scheduled output failed:\n{report}")
+            }
         }
     }
 }

@@ -84,7 +84,10 @@ fn try_convert(mfunc: &mut MFunction, id: MBlockId, stats: &mut IfConvStats) -> 
     };
 
     // Diamond: A -> T, F; T -> J; F -> J.
-    if single_pred(on_true) && single_pred(on_false) && arm_ok(mfunc, on_true) && arm_ok(mfunc, on_false)
+    if single_pred(on_true)
+        && single_pred(on_false)
+        && arm_ok(mfunc, on_true)
+        && arm_ok(mfunc, on_false)
     {
         let t_exit = mfunc.block(on_true).term.clone();
         let f_exit = mfunc.block(on_false).term.clone();
@@ -236,9 +239,10 @@ mod tests {
     fn triangle_converts() {
         let f = FunctionDef::new("f", ["x"]).body([
             Stmt::let_("r", Expr::var("x")),
-            Stmt::if_(Expr::var("x").lt_s(Expr::lit(0)), [
-                Stmt::assign("r", -Expr::var("x")),
-            ]),
+            Stmt::if_(
+                Expr::var("x").lt_s(Expr::lit(0)),
+                [Stmt::assign("r", -Expr::var("x"))],
+            ),
             Stmt::ret(Expr::var("r")),
         ]);
         let mut mf = mir_for(f);
@@ -250,9 +254,10 @@ mod tests {
     fn loops_are_not_converted() {
         let f = FunctionDef::new("f", ["n"]).body([
             Stmt::let_("i", Expr::lit(0)),
-            Stmt::while_(Expr::var("i").lt_s(Expr::var("n")), [
-                Stmt::assign("i", Expr::var("i") + Expr::lit(1)),
-            ]),
+            Stmt::while_(
+                Expr::var("i").lt_s(Expr::var("n")),
+                [Stmt::assign("i", Expr::var("i") + Expr::lit(1))],
+            ),
             Stmt::ret(Expr::var("i")),
         ]);
         let mut mf = mir_for(f);

@@ -58,5 +58,7 @@ pub mod sched;
 pub mod select;
 pub mod suggest;
 
-pub use driver::{CompileStats, CompiledProgram, Compiler, Options};
+pub use driver::{
+    default_verify, set_default_verify, CompileStats, CompiledProgram, Compiler, Options,
+};
 pub use error::CompileError;

@@ -434,7 +434,11 @@ impl MFunction {
 
 impl fmt::Display for MFunction {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "mfn {} (vregs {}, vpreds {}):", self.name, self.vreg_count, self.vpred_count)?;
+        writeln!(
+            f,
+            "mfn {} (vregs {}, vpreds {}):",
+            self.name, self.vreg_count, self.vpred_count
+        )?;
         for b in &self.blocks {
             writeln!(f, "{}:", b.id)?;
             for i in &b.insts {

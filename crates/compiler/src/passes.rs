@@ -83,7 +83,7 @@ pub fn inline(module: &mut Module, hints: &[String]) -> usize {
         let snapshot: HashMap<String, Function> = module
             .functions
             .iter()
-            .filter(|f| hints.contains(&f.name) && !calls_any_of(f, &[f.name.clone()]))
+            .filter(|f| hints.contains(&f.name) && !calls_any_of(f, std::slice::from_ref(&f.name)))
             .map(|f| (f.name.clone(), f.clone()))
             .collect();
         if snapshot.is_empty() {
@@ -91,10 +91,7 @@ pub fn inline(module: &mut Module, hints: &[String]) -> usize {
         }
         let mut any = false;
         for func in &mut module.functions {
-            loop {
-                let Some((block, index, callee)) = find_inlinable(func, &snapshot) else {
-                    break;
-                };
+            while let Some((block, index, callee)) = find_inlinable(func, &snapshot) {
                 inline_site(func, block, index, &snapshot[&callee]);
                 expanded += 1;
                 any = true;
@@ -108,9 +105,10 @@ pub fn inline(module: &mut Module, hints: &[String]) -> usize {
 }
 
 fn calls_any_of(f: &Function, names: &[String]) -> bool {
-    f.blocks.iter().flat_map(|b| &b.ops).any(|op| {
-        matches!(op, IrOp::Call { callee, .. } if names.contains(callee))
-    })
+    f.blocks
+        .iter()
+        .flat_map(|b| &b.ops)
+        .any(|op| matches!(op, IrOp::Call { callee, .. } if names.contains(callee)))
 }
 
 fn find_inlinable(
@@ -422,10 +420,7 @@ pub fn cse(func: &mut Function) -> usize {
         for op in &mut block.ops {
             let key = match op {
                 IrOp::Bin {
-                    op: bop,
-                    lhs,
-                    rhs,
-                    ..
+                    op: bop, lhs, rhs, ..
                 } => {
                     let (a, b) = if bop.is_commutative() && rhs < lhs {
                         (*rhs, *lhs)
@@ -453,11 +448,10 @@ pub fn cse(func: &mut Function) -> usize {
 
             if let (Some(key), Some(dest)) = (key, op.def()) {
                 match table.get(&key) {
-                    Some((prev, prev_ver)) if ver(&version, *prev) == *prev_ver && *prev != dest => {
-                        *op = IrOp::Copy {
-                            dest,
-                            src: *prev,
-                        };
+                    Some((prev, prev_ver))
+                        if ver(&version, *prev) == *prev_ver && *prev != dest =>
+                    {
+                        *op = IrOp::Copy { dest, src: *prev };
                         hits += 1;
                     }
                     _ => {
@@ -495,8 +489,7 @@ pub fn dce(func: &mut Function) -> usize {
             }
             let mut keep = vec![true; block.ops.len()];
             for (i, op) in block.ops.iter().enumerate().rev() {
-                let dead = !op.has_side_effects()
-                    && op.def().is_some_and(|d| !live.contains(&d));
+                let dead = !op.has_side_effects() && op.def().is_some_and(|d| !live.contains(&d));
                 if dead {
                     keep[i] = false;
                     continue;
@@ -586,10 +579,8 @@ mod tests {
 
     #[test]
     fn dce_keeps_stores_and_calls() {
-        let side = FunctionDef::new("side", [] as [&str; 0]).body([Stmt::store_word(
-            Expr::global("g"),
-            Expr::lit(7),
-        )]);
+        let side = FunctionDef::new("side", [] as [&str; 0])
+            .body([Stmt::store_word(Expr::global("g"), Expr::lit(7))]);
         let main = FunctionDef::new("main", [] as [&str; 0]).body([
             Stmt::let_("dead", Expr::lit(1) + Expr::lit(2)),
             Stmt::call("side", []),
@@ -631,7 +622,10 @@ mod tests {
     fn inline_handles_branching_callees() {
         let abs = FunctionDef::new("abs", ["x"])
             .body([
-                Stmt::if_(Expr::var("x").lt_s(Expr::lit(0)), [Stmt::ret(-Expr::var("x"))]),
+                Stmt::if_(
+                    Expr::var("x").lt_s(Expr::lit(0)),
+                    [Stmt::ret(-Expr::var("x"))],
+                ),
                 Stmt::ret(Expr::var("x")),
             ])
             .inline();
@@ -650,7 +644,10 @@ mod tests {
     fn recursive_hints_are_not_inlined() {
         let fib = FunctionDef::new("fib", ["n"])
             .body([
-                Stmt::if_(Expr::var("n").lt_s(Expr::lit(2)), [Stmt::ret(Expr::var("n"))]),
+                Stmt::if_(
+                    Expr::var("n").lt_s(Expr::lit(2)),
+                    [Stmt::ret(Expr::var("n"))],
+                ),
                 Stmt::ret(
                     Expr::call("fib", [Expr::var("n") - Expr::lit(1)])
                         + Expr::call("fib", [Expr::var("n") - Expr::lit(2)]),
@@ -669,12 +666,15 @@ mod tests {
     fn optimized_loop_still_computes() {
         let f = FunctionDef::new("sum", ["n"]).body([
             Stmt::let_("acc", Expr::lit(0)),
-            Stmt::for_("i", Expr::lit(0), Expr::var("n"), [
-                Stmt::assign(
+            Stmt::for_(
+                "i",
+                Expr::lit(0),
+                Expr::var("n"),
+                [Stmt::assign(
                     "acc",
                     Expr::var("acc") + Expr::var("i") * Expr::lit(4) + Expr::lit(0),
-                ),
-            ]),
+                )],
+            ),
             Stmt::ret(Expr::var("acc")),
         ]);
         let mut m = lowered(&Program::new().function(f));
@@ -684,8 +684,7 @@ mod tests {
 
     #[test]
     fn same_register_comparisons_fold() {
-        let f = FunctionDef::new("f", ["x"])
-            .body([Stmt::ret(Expr::var("x").eq(Expr::var("x")))]);
+        let f = FunctionDef::new("f", ["x"]).body([Stmt::ret(Expr::var("x").eq(Expr::var("x")))]);
         let mut m = lowered(&Program::new().function(f));
         let stats = optimize(&mut m, &[]);
         assert!(stats.simplified >= 1);

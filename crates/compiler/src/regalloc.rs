@@ -323,7 +323,9 @@ pub fn allocate(
                 block.insts.push(reload(abi.link, abi.sp, 0));
             }
             if frame_bytes > 0 {
-                block.insts.push(add_imm(abi.sp, abi.sp, i64::from(frame_bytes)));
+                block
+                    .insts
+                    .push(add_imm(abi.sp, abi.sp, i64::from(frame_bytes)));
             }
             block.term = MTerm::Ret(None);
         }
@@ -671,7 +673,6 @@ fn linear_scan_with_spill(intervals: &[Interval], pool_size: u32) -> Assignment 
                 .iter()
                 .enumerate()
                 .max_by_key(|(_, (end, _, _))| *end)
-                .map(|(i, t)| (i, t))
                 .expect("active is nonempty when the pool is full");
             if v_end > iv.end {
                 assigned.remove(&v_vreg);

@@ -20,9 +20,9 @@
 //! same-base/different-offset case, which is proven independent.
 
 use crate::mir::{MFunction, MInst, MOp, MSrc};
+use epic_isa::Opcode;
 use epic_isa::{Instruction, Unit};
 use epic_mdes::MachineDescription;
-use epic_isa::Opcode;
 use std::collections::HashMap;
 
 /// A scheduled basic block: label plus bundles of machine operations.
@@ -33,6 +33,27 @@ pub struct ScheduledBlock {
     /// Issue bundles in execution order. Every bundle is non-empty and
     /// legal for the machine description.
     pub bundles: Vec<Vec<MOp>>,
+    /// Per-bundle schedule metadata, aligned with `bundles`. Downstream
+    /// verification and reporting read the scheduler's own cost model
+    /// from here instead of re-deriving it.
+    pub meta: Vec<BundleMeta>,
+}
+
+/// Schedule metadata for one bundle, as accounted by the list scheduler
+/// while packing it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BundleMeta {
+    /// Issue cycle relative to the block start. Gaps between successive
+    /// bundles mark cycles where nothing could issue (latency waits or
+    /// a divider shadow) — the hardware covers them with interlocks.
+    pub cycle: u32,
+    /// Register-file port operations the bundle performs (GPR reads
+    /// plus writes), always ≤ the configured per-cycle budget.
+    pub port_ops: usize,
+    /// Largest result latency of the bundle's operations: consumers
+    /// scheduled fewer than this many cycles later rely on the
+    /// scoreboard.
+    pub max_latency: u32,
 }
 
 /// Statistics reported by [`schedule_function`].
@@ -83,12 +104,13 @@ pub fn schedule_function(
                 MInst::Call { .. } => panic!("call pseudo reached the scheduler"),
             })
             .collect();
-        let bundles = schedule_block(&ops, mdes);
+        let (bundles, meta) = schedule_block_with_meta(&ops, mdes);
         stats.ops += ops.len();
         stats.bundles += bundles.len();
         blocks.push(ScheduledBlock {
             label: block_label(&mfunc.name, block.id.0),
             bundles,
+            meta,
         });
     }
     (blocks, stats)
@@ -122,15 +144,30 @@ struct MemRef {
     is_store: bool,
 }
 
-/// Builds the dependence DAG and list-schedules one block.
+/// Builds the dependence DAG and list-schedules one block, discarding
+/// the per-bundle metadata (test convenience).
+#[cfg(test)]
 fn schedule_block(ops: &[MOp], mdes: &MachineDescription) -> Vec<Vec<MOp>> {
+    schedule_block_with_meta(ops, mdes).0
+}
+
+/// Builds the dependence DAG and list-schedules one block, returning
+/// the bundles plus the scheduler's own per-bundle accounting.
+fn schedule_block_with_meta(
+    ops: &[MOp],
+    mdes: &MachineDescription,
+) -> (Vec<Vec<MOp>>, Vec<BundleMeta>) {
     let n = ops.len();
     if n == 0 {
-        return Vec::new();
+        return (Vec::new(), Vec::new());
     }
     let mut succs: Vec<Vec<Edge>> = vec![Vec::new(); n];
     let mut pred_count = vec![0usize; n];
-    let add_edge = |succs: &mut Vec<Vec<Edge>>, pred_count: &mut Vec<usize>, from: usize, to: usize, latency: u32| {
+    let add_edge = |succs: &mut Vec<Vec<Edge>>,
+                    pred_count: &mut Vec<usize>,
+                    from: usize,
+                    to: usize,
+                    latency: u32| {
         if from == to {
             return;
         }
@@ -204,9 +241,10 @@ fn schedule_block(ops: &[MOp], mdes: &MachineDescription) -> Vec<Vec<MOp>> {
         // Memory dependences.
         let is_mem = op.opcode.is_load() || op.opcode.is_store();
         if is_mem {
-            let base = op.src1.gpr().map(|b| {
-                (b, track.write_count.get(&(GPR, b)).copied().unwrap_or(0))
-            });
+            let base = op
+                .src1
+                .gpr()
+                .map(|b| (b, track.write_count.get(&(GPR, b)).copied().unwrap_or(0)));
             let offset = match &op.src2 {
                 MSrc::Lit(v) => Some(*v),
                 _ => None,
@@ -235,8 +273,8 @@ fn schedule_block(ops: &[MOp], mdes: &MachineDescription) -> Vec<Vec<MOp>> {
         // Branch ordering: every earlier op must not be after the branch;
         // branches chain among themselves and come last.
         if op.opcode.is_branch() || op.opcode == Opcode::Halt {
-            for j in 0..i {
-                let lat = if ops[j].opcode.is_branch() || ops[j].opcode == Opcode::Halt {
+            for (j, earlier) in ops.iter().enumerate().take(i) {
+                let lat = if earlier.opcode.is_branch() || earlier.opcode == Opcode::Halt {
                     1
                 } else {
                     0
@@ -285,6 +323,7 @@ fn schedule_block(ops: &[MOp], mdes: &MachineDescription) -> Vec<Vec<MOp>> {
     let mut scheduled = vec![false; n];
     let mut ready: Vec<usize> = (0..n).filter(|&i| unsat[i] == 0).collect();
     let mut bundles: Vec<Vec<MOp>> = Vec::new();
+    let mut meta: Vec<BundleMeta> = Vec::new();
     let mut cycle: u32 = 0;
     let mut done = 0usize;
     // Per-ALU-instance busy-until cycles (the blocking divider).
@@ -380,11 +419,20 @@ fn schedule_block(ops: &[MOp], mdes: &MachineDescription) -> Vec<Vec<MOp>> {
 
         if !bundle.is_empty() {
             ready.retain(|&i| !scheduled[i]);
+            meta.push(BundleMeta {
+                cycle,
+                port_ops,
+                max_latency: bundle
+                    .iter()
+                    .map(|&i| mdes.latency(ops[i].opcode))
+                    .max()
+                    .unwrap_or(0),
+            });
             bundles.push(bundle.iter().map(|&i| ops[i].clone()).collect());
         }
         cycle += 1;
     }
-    bundles
+    (bundles, meta)
 }
 
 fn access_size(opcode: Opcode) -> u32 {
@@ -401,8 +449,7 @@ fn provably_disjoint(
     size: u32,
     other: &MemRef,
 ) -> bool {
-    let (Some(b1), Some(o1), Some(b2), Some(o2)) = (base, offset, other.base, other.offset)
-    else {
+    let (Some(b1), Some(o1), Some(b2), Some(o2)) = (base, offset, other.base, other.offset) else {
         return false;
     };
     if b1 != b2 {
@@ -522,7 +569,11 @@ mod tests {
 
     #[test]
     fn divider_blocks_one_alu_instance() {
-        let config = Config::builder().num_alus(2).div_latency(4).build().unwrap();
+        let config = Config::builder()
+            .num_alus(2)
+            .div_latency(4)
+            .build()
+            .unwrap();
         let m = MachineDescription::new(&config);
         let mut div = MOp::bare(Opcode::Div);
         div.dest1 = MDest::Gpr(10);
@@ -580,7 +631,10 @@ mod tests {
         let bundles = schedule_block(&[s1.clone(), l0], &mdes(4));
         assert_eq!(bundles.len(), 2);
         let first = &bundles[0][0];
-        assert!(first.opcode.is_store(), "aliasing load must stay after store");
+        assert!(
+            first.opcode.is_store(),
+            "aliasing load must stay after store"
+        );
         let _ = s2;
     }
 

@@ -15,8 +15,8 @@
 use crate::error::CompileError;
 use crate::mir::{MBlock, MBlockId, MDest, MFunction, MInst, MOp, MSrc, MTerm};
 use epic_config::{Config, CustomSemantics};
-use epic_isa::{CmpCond, Opcode};
 use epic_ir::{BinOp, Function, IrOp, LoadKind, StoreKind, Terminator, UnOp, VReg};
+use epic_isa::{CmpCond, Opcode};
 use std::collections::HashMap;
 
 /// Lowers one IR function to machine IR for the given configuration.
@@ -605,8 +605,7 @@ mod tests {
             ))
             .build()
             .unwrap();
-        let f = FunctionDef::new("f", ["x"])
-            .body([Stmt::ret(Expr::var("x").rotr(Expr::lit(7)))]);
+        let f = FunctionDef::new("f", ["x"]).body([Stmt::ret(Expr::var("x").rotr(Expr::lit(7)))]);
         let mf = select_one(f, &config);
         let custom = mf.blocks[0]
             .insts
@@ -618,8 +617,7 @@ mod tests {
 
     #[test]
     fn rotate_expands_without_custom_op() {
-        let f = FunctionDef::new("f", ["x"])
-            .body([Stmt::ret(Expr::var("x").rotr(Expr::lit(7)))]);
+        let f = FunctionDef::new("f", ["x"]).body([Stmt::ret(Expr::var("x").rotr(Expr::lit(7)))]);
         let mf = select_one(f, &Config::default());
         let opcodes: Vec<Opcode> = mf.blocks[0]
             .insts
@@ -638,8 +636,8 @@ mod tests {
             .without_alu_feature(epic_config::AluFeature::MinMax)
             .build()
             .unwrap();
-        let f = FunctionDef::new("f", ["a", "b"])
-            .body([Stmt::ret(Expr::var("a").min(Expr::var("b")))]);
+        let f =
+            FunctionDef::new("f", ["a", "b"]).body([Stmt::ret(Expr::var("a").min(Expr::var("b")))]);
         let mf = select_one(f, &config);
         let guarded = mf.blocks[0]
             .insts
@@ -656,8 +654,7 @@ mod tests {
             .without_alu_feature(epic_config::AluFeature::Divide)
             .build()
             .unwrap();
-        let f = FunctionDef::new("f", ["a"])
-            .body([Stmt::ret(Expr::var("a").div(Expr::lit(3)))]);
+        let f = FunctionDef::new("f", ["a"]).body([Stmt::ret(Expr::var("a").div(Expr::lit(3)))]);
         let m = lower::lower(&Program::new().function(f)).unwrap();
         let err = select(&m.functions[0], &config).unwrap_err();
         assert!(matches!(err, CompileError::MissingFeature { .. }));
@@ -681,8 +678,8 @@ mod tests {
     #[test]
     fn calls_become_pseudos_and_mark_the_function() {
         let callee = FunctionDef::new("g", ["x"]).body([Stmt::ret(Expr::var("x"))]);
-        let caller = FunctionDef::new("f", ["x"])
-            .body([Stmt::ret(Expr::call("g", [Expr::var("x")]))]);
+        let caller =
+            FunctionDef::new("f", ["x"]).body([Stmt::ret(Expr::call("g", [Expr::var("x")]))]);
         let m = lower::lower(&Program::new().function(callee).function(caller)).unwrap();
         let mf = select(m.function("f").unwrap(), &Config::default()).unwrap();
         assert!(mf.makes_calls);

@@ -65,9 +65,7 @@ pub fn suggest_custom_ops(module: &Module) -> Vec<Suggestion> {
                     } => {
                         if let Some(IrOp::Un { op: UnOp::Not, .. }) = def_of.get(rhs) {
                             if uses.get(rhs).copied().unwrap_or(0) == 1 {
-                                *counts
-                                    .entry(CustomSemantics::AndComplement)
-                                    .or_insert(0) += 1;
+                                *counts.entry(CustomSemantics::AndComplement).or_insert(0) += 1;
                             }
                         }
                     }
@@ -78,10 +76,8 @@ pub fn suggest_custom_ops(module: &Module) -> Vec<Suggestion> {
                         ..
                     } => {
                         // (a + b + 1) >> 1 with both intermediates single-use.
-                        let shift_is_one = matches!(
-                            def_of.get(rhs),
-                            Some(IrOp::Const { value: 1, .. })
-                        );
+                        let shift_is_one =
+                            matches!(def_of.get(rhs), Some(IrOp::Const { value: 1, .. }));
                         if shift_is_one && uses.get(lhs).copied().unwrap_or(0) == 1 {
                             if let Some(IrOp::Bin {
                                 op: BinOp::Add,
@@ -91,23 +87,15 @@ pub fn suggest_custom_ops(module: &Module) -> Vec<Suggestion> {
                             }) = def_of.get(lhs)
                             {
                                 let plus_one = |v: &VReg| {
-                                    matches!(
-                                        def_of.get(v),
-                                        Some(IrOp::Const { value: 1, .. })
-                                    )
+                                    matches!(def_of.get(v), Some(IrOp::Const { value: 1, .. }))
                                 };
                                 let inner_add = |v: &VReg| {
-                                    matches!(
-                                        def_of.get(v),
-                                        Some(IrOp::Bin { op: BinOp::Add, .. })
-                                    )
+                                    matches!(def_of.get(v), Some(IrOp::Bin { op: BinOp::Add, .. }))
                                 };
                                 if (plus_one(sum_r) && inner_add(sum_l))
                                     || (plus_one(sum_l) && inner_add(sum_r))
                                 {
-                                    *counts
-                                        .entry(CustomSemantics::AverageRound)
-                                        .or_insert(0) += 1;
+                                    *counts.entry(CustomSemantics::AverageRound).or_insert(0) += 1;
                                 }
                             }
                         }

@@ -17,8 +17,8 @@ fn expr_strategy() -> impl Strategy<Value = Expr> {
     leaf.prop_recursive(4, 64, 3, |inner| {
         (
             prop::sample::select(vec![
-                "add", "sub", "mul", "div", "rem", "and", "or", "xor", "shl", "shr", "sra",
-                "rotr", "min", "max", "lt", "ltu", "eq",
+                "add", "sub", "mul", "div", "rem", "and", "or", "xor", "shl", "shr", "sra", "rotr",
+                "min", "max", "lt", "ltu", "eq",
             ]),
             inner.clone(),
             inner,

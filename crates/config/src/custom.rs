@@ -69,18 +69,33 @@ impl CustomSemantics {
     /// ```
     #[must_use]
     pub fn evaluate(self, a: u64, b: u64, width: u32) -> u64 {
-        assert!(width > 0 && width <= 64, "datapath width {width} out of range");
-        let mask = if width == 64 { u64::MAX } else { (1u64 << width) - 1 };
+        assert!(
+            width > 0 && width <= 64,
+            "datapath width {width} out of range"
+        );
+        let mask = if width == 64 {
+            u64::MAX
+        } else {
+            (1u64 << width) - 1
+        };
         let a = a & mask;
         let b = b & mask;
         let value = match self {
             CustomSemantics::RotateRight => {
                 let sh = (b % u64::from(width)) as u32;
-                if sh == 0 { a } else { (a >> sh) | (a << (width - sh)) }
+                if sh == 0 {
+                    a
+                } else {
+                    (a >> sh) | (a << (width - sh))
+                }
             }
             CustomSemantics::RotateLeft => {
                 let sh = (b % u64::from(width)) as u32;
-                if sh == 0 { a } else { (a << sh) | (a >> (width - sh)) }
+                if sh == 0 {
+                    a
+                } else {
+                    (a << sh) | (a >> (width - sh))
+                }
             }
             CustomSemantics::ByteSwap => {
                 let bytes = (width / 8).max(1);
@@ -101,12 +116,8 @@ impl CustomSemantics {
                 (u128::from(a) + u128::from(b)).min(u128::from(mask)) as u64
             }
             CustomSemantics::SaturatingSub => a.saturating_sub(b),
-            CustomSemantics::AverageRound => {
-                ((u128::from(a) + u128::from(b) + 1) >> 1) as u64
-            }
-            CustomSemantics::MulHighUnsigned => {
-                ((u128::from(a) * u128::from(b)) >> width) as u64
-            }
+            CustomSemantics::AverageRound => ((u128::from(a) + u128::from(b) + 1) >> 1) as u64,
+            CustomSemantics::MulHighUnsigned => ((u128::from(a) * u128::from(b)) >> width) as u64,
             CustomSemantics::AbsDiff => a.abs_diff(b),
         };
         value & mask
@@ -266,7 +277,11 @@ mod tests {
     fn rotate_right_wraps_bits() {
         let s = CustomSemantics::RotateRight;
         assert_eq!(s.evaluate(0x1, 1, 32), 0x8000_0000);
-        assert_eq!(s.evaluate(0x1, 33, 32), 0x8000_0000, "shift is modulo width");
+        assert_eq!(
+            s.evaluate(0x1, 33, 32),
+            0x8000_0000,
+            "shift is modulo width"
+        );
         assert_eq!(s.evaluate(0xABCD_1234, 0, 32), 0xABCD_1234);
     }
 
@@ -281,7 +296,10 @@ mod tests {
 
     #[test]
     fn byteswap_respects_width() {
-        assert_eq!(CustomSemantics::ByteSwap.evaluate(0x1122_3344, 0, 32), 0x4433_2211);
+        assert_eq!(
+            CustomSemantics::ByteSwap.evaluate(0x1122_3344, 0, 32),
+            0x4433_2211
+        );
         assert_eq!(CustomSemantics::ByteSwap.evaluate(0x1122, 0, 16), 0x2211);
     }
 

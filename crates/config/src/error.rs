@@ -103,7 +103,10 @@ impl fmt::Display for ConfigError {
                 write!(f, "configuration header line {line}: {message}")
             }
             ConfigError::UnknownParameter { line, key } => {
-                write!(f, "configuration header line {line}: unknown parameter `{key}`")
+                write!(
+                    f,
+                    "configuration header line {line}: unknown parameter `{key}`"
+                )
             }
         }
     }

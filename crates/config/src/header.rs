@@ -64,7 +64,10 @@ pub fn emit(config: &Config) -> String {
     line("MUL_LATENCY", config.mul_latency().to_string());
     line("DIV_LATENCY", config.div_latency().to_string());
     line("FORWARDING", u32::from(config.forwarding()).to_string());
-    line("MEM_CONTENTION", u32::from(config.memory_contention()).to_string());
+    line(
+        "MEM_CONTENTION",
+        u32::from(config.memory_contention()).to_string(),
+    );
     line("PIPELINE_STAGES", config.pipeline_stages().to_string());
     line("REGFILE_OPS", config.regfile_ops_per_cycle().to_string());
     for (i, op) in config.custom_ops().iter().enumerate() {
@@ -156,9 +159,7 @@ pub fn parse(text: &str) -> Result<Config, ConfigError> {
             "NUM_GPRS" => builder = builder.num_gprs(parse_usize(value)?),
             "NUM_PRED_REGS" => builder = builder.num_pred_regs(parse_usize(value)?),
             "NUM_BTRS" => builder = builder.num_btrs(parse_usize(value)?),
-            "REGS_PER_INSTR" => {
-                builder = builder.registers_per_instruction(parse_usize(value)?)
-            }
+            "REGS_PER_INSTR" => builder = builder.registers_per_instruction(parse_usize(value)?),
             "ISSUE_WIDTH" => builder = builder.issue_width(parse_usize(value)?),
             "DATAPATH_WIDTH" => builder = builder.datapath_width(parse_usize(value)? as u32),
             "ALU_FEATURES" => {
@@ -168,9 +169,7 @@ pub fn parse(text: &str) -> Result<Config, ConfigError> {
             "MUL_LATENCY" => builder = builder.mul_latency(parse_usize(value)? as u32),
             "DIV_LATENCY" => builder = builder.div_latency(parse_usize(value)? as u32),
             "FORWARDING" => builder = builder.forwarding(parse_usize(value)? != 0),
-            "MEM_CONTENTION" => {
-                builder = builder.memory_contention(parse_usize(value)? != 0)
-            }
+            "MEM_CONTENTION" => builder = builder.memory_contention(parse_usize(value)? != 0),
             "PIPELINE_STAGES" => builder = builder.pipeline_stages(parse_usize(value)?),
             "REGFILE_OPS" => builder = builder.regfile_ops_per_cycle(parse_usize(value)?),
             _ if key.starts_with("CUSTOM_OP_") => {

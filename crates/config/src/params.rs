@@ -1,8 +1,7 @@
 //! The processor configuration itself.
 
 use crate::{
-    ConfigBuilder, ConfigError, CustomOp, InstructionFormat, MAX_ISSUE_WIDTH,
-    REGFILE_OPS_PER_CYCLE,
+    ConfigBuilder, ConfigError, CustomOp, InstructionFormat, MAX_ISSUE_WIDTH, REGFILE_OPS_PER_CYCLE,
 };
 use std::fmt;
 
@@ -392,7 +391,7 @@ impl Config {
                 value: self.registers_per_instruction,
             });
         }
-        if self.datapath_width % 8 != 0 {
+        if !self.datapath_width.is_multiple_of(8) {
             return Err(ConfigError::OutOfRange {
                 parameter: "datapath_width (must be a multiple of 8)",
                 value: self.datapath_width as usize,
@@ -423,7 +422,9 @@ impl Default for Config {
     /// registers, 16 BTRs, 4 instructions per issue, 32-bit datapath, all
     /// ALU features, result forwarding on.
     fn default() -> Self {
-        ConfigBuilder::new().build().expect("default configuration is valid")
+        ConfigBuilder::new()
+            .build()
+            .expect("default configuration is valid")
     }
 }
 
@@ -474,8 +475,9 @@ mod tests {
 
     #[test]
     fn feature_set_round_trips_through_iterator() {
-        let set: AluFeatureSet =
-            [AluFeature::Multiply, AluFeature::Shifts].into_iter().collect();
+        let set: AluFeatureSet = [AluFeature::Multiply, AluFeature::Shifts]
+            .into_iter()
+            .collect();
         assert!(set.contains(AluFeature::Multiply));
         assert!(!set.contains(AluFeature::Divide));
         assert_eq!(set.iter().count(), 2);

@@ -1,9 +1,7 @@
 //! Property tests: the configuration header format is a faithful,
 //! total serialisation of [`Config`].
 
-use epic_config::{
-    header, AluFeature, AluFeatureSet, Config, CustomOp, CustomSemantics,
-};
+use epic_config::{header, AluFeature, AluFeatureSet, Config, CustomOp, CustomSemantics};
 use proptest::prelude::*;
 
 fn semantics_strategy() -> impl Strategy<Value = CustomSemantics> {
@@ -69,11 +67,12 @@ fn config_strategy() -> impl Strategy<Value = Config> {
                     .forwarding(forwarding)
                     .memory_contention(contention);
                 for (i, (sem, lat)) in customs.into_iter().enumerate() {
-                    builder = builder.custom_op(
-                        CustomOp::new(format!("custom_{i}"), sem).with_latency(lat),
-                    );
+                    builder = builder
+                        .custom_op(CustomOp::new(format!("custom_{i}"), sem).with_latency(lat));
                 }
-                builder.build().expect("strategy yields valid configurations")
+                builder
+                    .build()
+                    .expect("strategy yields valid configurations")
             },
         )
 }

@@ -81,14 +81,13 @@ fn parse_args() -> Result<Args, String> {
 fn run(args: &Args) -> Result<(), String> {
     let config = match &args.config {
         Some(path) => {
-            let text = std::fs::read_to_string(path)
-                .map_err(|e| format!("{}: {e}", path.display()))?;
+            let text =
+                std::fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
             header::parse(&text).map_err(|e| format!("{}: {e}", path.display()))?
         }
         None => Config::default(),
     };
-    let bytes =
-        std::fs::read(&args.image).map_err(|e| format!("{}: {e}", args.image.display()))?;
+    let bytes = std::fs::read(&args.image).map_err(|e| format!("{}: {e}", args.image.display()))?;
     let program = Program::from_bytes(&bytes, &config)
         .map_err(|e| format!("{}: {e}", args.image.display()))?;
 

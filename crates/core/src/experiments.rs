@@ -158,10 +158,7 @@ impl Table1 {
     #[must_use]
     pub fn render(&self) -> String {
         let mut out = String::new();
-        out.push_str(&format!(
-            "Table 1: clock cycles ({:?} scale)\n",
-            self.scale
-        ));
+        out.push_str(&format!("Table 1: clock cycles ({:?} scale)\n", self.scale));
         out.push_str(&format!("{:<10}", ""));
         for row in &self.rows {
             out.push_str(&format!("{:>14}", row.workload.to_uppercase()));
@@ -233,11 +230,7 @@ impl FigureSeries {
     /// Renders the series as an ASCII bar chart.
     #[must_use]
     pub fn render(&self) -> String {
-        let max = self
-            .points
-            .iter()
-            .map(|(_, s)| *s)
-            .fold(f64::MIN, f64::max);
+        let max = self.points.iter().map(|(_, s)| *s).fold(f64::MIN, f64::max);
         let mut out = format!("Execution time for {} (seconds)\n", self.workload);
         for (label, seconds) in &self.points {
             let bar = ((seconds / max) * 50.0).round() as usize;
@@ -360,9 +353,11 @@ pub fn headline_checks(table: &Table1) -> Vec<HeadlineCheck> {
     let cycle_ratio = |name: &str| -> Option<f64> {
         Some(table.sa110_cycles(name)? as f64 / table.epic_cycles(name, max_alus)? as f64)
     };
-    if let (Some(sha), Some(dct), Some(dij)) =
-        (cycle_ratio("sha"), cycle_ratio("dct"), cycle_ratio("dijkstra"))
-    {
+    if let (Some(sha), Some(dct), Some(dij)) = (
+        cycle_ratio("sha"),
+        cycle_ratio("dct"),
+        cycle_ratio("dijkstra"),
+    ) {
         checks.push(HeadlineCheck {
             claim: format!(
                 "at equal clock the {max_alus}-ALU EPIC beats the SA-110 on SHA, DCT and Dijkstra, most on DCT"
@@ -389,10 +384,7 @@ pub fn headline_checks(table: &Table1) -> Vec<HeadlineCheck> {
             claim: "at 41.8 vs 100 MHz the EPIC still wins SHA and DCT clearly, while the \
                     clock deficit makes AES and Dijkstra the SA-110's best benchmarks"
                 .into(),
-            holds: sha_a > 1.3
-                && dct_a > 1.3
-                && dij_a.min(aes_a) < sha_a.min(dct_a)
-                && dij_a < 1.3,
+            holds: sha_a > 1.3 && dct_a > 1.3 && dij_a.min(aes_a) < sha_a.min(dct_a) && dij_a < 1.3,
             detail: format!(
                 "EPIC wall-clock advantage: SHA {sha_a:.2}x, DCT {dct_a:.2}x, AES {aes_a:.2}x, \
                  Dijkstra {dij_a:.2}x (paper: SA-110 wins AES and Dijkstra outright; our \

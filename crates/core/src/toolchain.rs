@@ -207,11 +207,8 @@ impl Toolchain {
         let compiled = self.compiler.compile_with(module, options)?;
         let program = epic_asm::assemble(compiled.assembly(), &self.config)?;
         let layout = module.layout()?;
-        let mut simulator = Simulator::new(
-            &self.config,
-            program.bundles().to_vec(),
-            program.entry(),
-        );
+        let mut simulator =
+            Simulator::new(&self.config, program.bundles().to_vec(), program.entry());
         simulator.set_memory(Memory::from_image(module.initial_memory(&layout)));
         simulator.run()?;
         Ok(EpicRun {
@@ -273,9 +270,15 @@ mod tests {
             .global(epic_ir::Global::zeroed("out", 4))
             .function(FunctionDef::new("main", ["n"]).body([
                 Stmt::let_("acc", Expr::lit(0)),
-                Stmt::for_("i", Expr::lit(1), Expr::var("n") + Expr::lit(1), [
-                    Stmt::assign("acc", Expr::var("acc") + Expr::var("i") * Expr::var("i")),
-                ]),
+                Stmt::for_(
+                    "i",
+                    Expr::lit(1),
+                    Expr::var("n") + Expr::lit(1),
+                    [Stmt::assign(
+                        "acc",
+                        Expr::var("acc") + Expr::var("i") * Expr::var("i"),
+                    )],
+                ),
                 Stmt::store_word(Expr::global("out"), Expr::var("acc")),
                 Stmt::ret(Expr::var("acc")),
             ]));
@@ -311,7 +314,10 @@ mod tests {
     #[test]
     fn recursion_works_on_the_epic_machine() {
         let fib = FunctionDef::new("fib", ["n"]).body([
-            Stmt::if_(Expr::var("n").lt_s(Expr::lit(2)), [Stmt::ret(Expr::var("n"))]),
+            Stmt::if_(
+                Expr::var("n").lt_s(Expr::lit(2)),
+                [Stmt::ret(Expr::var("n"))],
+            ),
             Stmt::ret(
                 Expr::call("fib", [Expr::var("n") - Expr::lit(1)])
                     + Expr::call("fib", [Expr::var("n") - Expr::lit(2)]),
@@ -328,7 +334,10 @@ mod tests {
     fn wider_machines_are_not_slower() {
         let mut body = vec![Stmt::let_("acc", Expr::lit(0))];
         for i in 0..16 {
-            body.push(Stmt::let_(format!("t{i}"), Expr::var("x") * Expr::lit(i + 1)));
+            body.push(Stmt::let_(
+                format!("t{i}"),
+                Expr::var("x") * Expr::lit(i + 1),
+            ));
         }
         let mut total = Expr::var("t0");
         for i in 1..16 {
@@ -337,9 +346,15 @@ mod tests {
         body.push(Stmt::ret(total));
         let ast = Ast::new().function(FunctionDef::new("main", ["x"]).body(body));
         let m = module(&ast);
-        let narrow = Toolchain::new(Config::builder().num_alus(1).issue_width(1).build().unwrap())
-            .run_module(&m, "main", &[3], &[])
-            .unwrap();
+        let narrow = Toolchain::new(
+            Config::builder()
+                .num_alus(1)
+                .issue_width(1)
+                .build()
+                .unwrap(),
+        )
+        .run_module(&m, "main", &[3], &[])
+        .unwrap();
         let wide = Toolchain::new(Config::default())
             .run_module(&m, "main", &[3], &[])
             .unwrap();

@@ -168,10 +168,14 @@ mod tests {
     use crate::lower;
 
     fn func_of(f: FunctionDef) -> Function {
-        lower::lower(&Program::new().global(crate::Global::zeroed("g", 64)).function(f))
-            .unwrap()
-            .functions
-            .remove(0)
+        lower::lower(
+            &Program::new()
+                .global(crate::Global::zeroed("g", 64))
+                .function(f),
+        )
+        .unwrap()
+        .functions
+        .remove(0)
     }
 
     #[test]
@@ -210,7 +214,7 @@ mod tests {
         // must never fold when `uses != 1`; just check it does not panic
         // and produces a consistent map.)
         let folds = addr_folds(&f);
-        assert!(folds.len() % 2 == 0);
+        assert!(folds.len().is_multiple_of(2));
     }
 
     #[test]

@@ -109,18 +109,21 @@ impl Expr {
 
     /// Signed division (0 on division by zero).
     #[must_use]
+    #[allow(clippy::should_implement_trait)] // builder API over `Expr`, not arithmetic on values
     pub fn div(self, rhs: Expr) -> Expr {
         self.bin(BinOp::Div, rhs)
     }
 
     /// Signed remainder (0 on division by zero).
     #[must_use]
+    #[allow(clippy::should_implement_trait)] // builder API over `Expr`, not arithmetic on values
     pub fn rem(self, rhs: Expr) -> Expr {
         self.bin(BinOp::Rem, rhs)
     }
 
     /// Logical shift right.
     #[must_use]
+    #[allow(clippy::should_implement_trait)] // builder API over `Expr`, not arithmetic on values
     pub fn shr(self, rhs: Expr) -> Expr {
         self.bin(BinOp::Shr, rhs)
     }

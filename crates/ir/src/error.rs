@@ -89,10 +89,16 @@ impl fmt::Display for IrError {
                 "function `{function}` takes {expected} arguments, {found} supplied"
             ),
             IrError::BadVReg { function, vreg } => {
-                write!(f, "function `{function}` references unallocated register v{vreg}")
+                write!(
+                    f,
+                    "function `{function}` references unallocated register v{vreg}"
+                )
             }
             IrError::BadBlock { function, block } => {
-                write!(f, "function `{function}` references missing block bb{block}")
+                write!(
+                    f,
+                    "function `{function}` references missing block bb{block}"
+                )
             }
             IrError::UnknownVariable { name, function } => {
                 write!(f, "variable `{name}` is not in scope in `{function}`")

@@ -136,8 +136,7 @@ impl<'m> Interpreter<'m> {
     /// [`IrError::MisalignedAccess`].
     pub fn write_word(&mut self, address: u32, value: u32) -> Result<(), IrError> {
         check_access(address, 4, self.memory.len() as u32)?;
-        self.memory[address as usize..address as usize + 4]
-            .copy_from_slice(&value.to_be_bytes());
+        self.memory[address as usize..address as usize + 4].copy_from_slice(&value.to_be_bytes());
         Ok(())
     }
 
@@ -263,9 +262,7 @@ impl<'m> Interpreter<'m> {
             LoadKind::Half => {
                 i32::from(i16::from_be_bytes([self.memory[a], self.memory[a + 1]])) as u32
             }
-            LoadKind::HalfU => {
-                u32::from(u16::from_be_bytes([self.memory[a], self.memory[a + 1]]))
-            }
+            LoadKind::HalfU => u32::from(u16::from_be_bytes([self.memory[a], self.memory[a + 1]])),
             LoadKind::Byte => i32::from(self.memory[a] as i8) as u32,
             LoadKind::ByteU => u32::from(self.memory[a]),
         })
@@ -294,7 +291,7 @@ fn check_access(address: u32, bytes: u32, memory_size: u32) -> Result<(), IrErro
             memory_size,
         });
     }
-    if address % bytes != 0 {
+    if !address.is_multiple_of(bytes) {
         return Err(IrError::MisalignedAccess {
             address,
             alignment: bytes,
@@ -320,9 +317,12 @@ mod tests {
     fn loops_and_arithmetic() {
         let f = FunctionDef::new("sum", ["n"]).body([
             Stmt::let_("acc", Expr::lit(0)),
-            Stmt::for_("i", Expr::lit(0), Expr::var("n"), [
-                Stmt::assign("acc", Expr::var("acc") + Expr::var("i")),
-            ]),
+            Stmt::for_(
+                "i",
+                Expr::lit(0),
+                Expr::var("n"),
+                [Stmt::assign("acc", Expr::var("acc") + Expr::var("i"))],
+            ),
             Stmt::ret(Expr::var("acc")),
         ]);
         assert_eq!(run(&Program::new().function(f), "sum", &[10]), Some(45));
@@ -332,9 +332,10 @@ mod tests {
     fn if_else_both_arms() {
         let f = FunctionDef::new("abs", ["x"]).body([
             Stmt::let_("r", Expr::var("x")),
-            Stmt::if_(Expr::var("x").lt_s(Expr::lit(0)), [
-                Stmt::assign("r", -Expr::var("x")),
-            ]),
+            Stmt::if_(
+                Expr::var("x").lt_s(Expr::lit(0)),
+                [Stmt::assign("r", -Expr::var("x"))],
+            ),
             Stmt::ret(Expr::var("r")),
         ]);
         let p = Program::new().function(f);
@@ -355,7 +356,10 @@ mod tests {
     #[test]
     fn recursion_works() {
         let fib = FunctionDef::new("fib", ["n"]).body([
-            Stmt::if_(Expr::var("n").lt_s(Expr::lit(2)), [Stmt::ret(Expr::var("n"))]),
+            Stmt::if_(
+                Expr::var("n").lt_s(Expr::lit(2)),
+                [Stmt::ret(Expr::var("n"))],
+            ),
             Stmt::ret(
                 Expr::call("fib", [Expr::var("n") - Expr::lit(1)])
                     + Expr::call("fib", [Expr::var("n") - Expr::lit(2)]),
@@ -389,15 +393,18 @@ mod tests {
     fn sign_extension_on_sub_word_loads() {
         let p = Program::new()
             .global(Global::with_bytes("b", vec![0xFF, 0x80, 0x7F, 0x00]))
-            .function(FunctionDef::new("f", [] as [&str; 0]).body([Stmt::ret(
-                Expr::global("b").load_byte_s(),
-            )]))
-            .function(FunctionDef::new("g", [] as [&str; 0]).body([Stmt::ret(
-                Expr::global("b").load_half_s(),
-            )]))
-            .function(FunctionDef::new("h", [] as [&str; 0]).body([Stmt::ret(
-                Expr::global("b").load_half_u(),
-            )]));
+            .function(
+                FunctionDef::new("f", [] as [&str; 0])
+                    .body([Stmt::ret(Expr::global("b").load_byte_s())]),
+            )
+            .function(
+                FunctionDef::new("g", [] as [&str; 0])
+                    .body([Stmt::ret(Expr::global("b").load_half_s())]),
+            )
+            .function(
+                FunctionDef::new("h", [] as [&str; 0])
+                    .body([Stmt::ret(Expr::global("b").load_half_u())]),
+            );
         let module = lower::lower(&p).unwrap();
         let mut i = Interpreter::new(&module);
         assert_eq!(i.call("f", &[]).unwrap(), Some(-1i32 as u32));
@@ -407,9 +414,8 @@ mod tests {
 
     #[test]
     fn misaligned_word_access_faults() {
-        let f = FunctionDef::new("f", [] as [&str; 0]).body([Stmt::ret(
-            (Expr::global("buf") + Expr::lit(1)).load_word(),
-        )]);
+        let f = FunctionDef::new("f", [] as [&str; 0])
+            .body([Stmt::ret((Expr::global("buf") + Expr::lit(1)).load_word())]);
         let p = Program::new().global(Global::zeroed("buf", 8)).function(f);
         let module = lower::lower(&p).unwrap();
         let mut i = Interpreter::new(&module);
@@ -433,12 +439,14 @@ mod tests {
 
     #[test]
     fn step_limit_catches_endless_loops() {
-        let f = FunctionDef::new("spin", [] as [&str; 0])
-            .body([Stmt::while_(Expr::lit(1), [])]);
+        let f = FunctionDef::new("spin", [] as [&str; 0]).body([Stmt::while_(Expr::lit(1), [])]);
         let module = lower::lower(&Program::new().function(f)).unwrap();
         let mut i = Interpreter::new(&module);
         i.set_step_limit(1000);
-        assert!(matches!(i.call("spin", &[]), Err(IrError::StepLimit { .. })));
+        assert!(matches!(
+            i.call("spin", &[]),
+            Err(IrError::StepLimit { .. })
+        ));
     }
 
     #[test]

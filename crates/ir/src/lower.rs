@@ -95,10 +95,13 @@ fn lower_stmt(ctx: &mut LowerCtx<'_>, stmt: &Stmt) -> Result<(), IrError> {
         }
         Stmt::Assign(name, value) => {
             let v = lower_expr(ctx, value)?;
-            let slot = *ctx.scope.get(name).ok_or_else(|| IrError::UnknownVariable {
-                name: name.clone(),
-                function: ctx.function.clone(),
-            })?;
+            let slot = *ctx
+                .scope
+                .get(name)
+                .ok_or_else(|| IrError::UnknownVariable {
+                    name: name.clone(),
+                    function: ctx.function.clone(),
+                })?;
             ctx.builder.push(IrOp::Copy { dest: slot, src: v });
         }
         Stmt::Store(kind, addr, value) => {
@@ -182,10 +185,13 @@ fn lower_expr(ctx: &mut LowerCtx<'_>, expr: &Expr) -> Result<VReg, IrError> {
             ctx.builder.push(IrOp::Const { dest, value: *v });
             dest
         }
-        Expr::Var(name) => *ctx.scope.get(name).ok_or_else(|| IrError::UnknownVariable {
-            name: name.clone(),
-            function: ctx.function.clone(),
-        })?,
+        Expr::Var(name) => *ctx
+            .scope
+            .get(name)
+            .ok_or_else(|| IrError::UnknownVariable {
+                name: name.clone(),
+                function: ctx.function.clone(),
+            })?,
         Expr::GlobalAddr(name) => {
             let addr = ctx
                 .layout
@@ -306,20 +312,17 @@ mod tests {
 
     #[test]
     fn unknown_global_is_reported() {
-        let f = ast::FunctionDef::new("f", [] as [&str; 0])
-            .body([Stmt::ret(Expr::global("table"))]);
+        let f =
+            ast::FunctionDef::new("f", [] as [&str; 0]).body([Stmt::ret(Expr::global("table"))]);
         let err = lower(&one(f)).unwrap_err();
         assert!(matches!(err, IrError::UnknownGlobal { ref name } if name == "table"));
     }
 
     #[test]
     fn global_addresses_become_constants() {
-        let program = Program::new()
-            .global(Global::zeroed("buf", 16))
-            .function(
-                ast::FunctionDef::new("f", [] as [&str; 0])
-                    .body([Stmt::ret(Expr::global("buf"))]),
-            );
+        let program = Program::new().global(Global::zeroed("buf", 16)).function(
+            ast::FunctionDef::new("f", [] as [&str; 0]).body([Stmt::ret(Expr::global("buf"))]),
+        );
         let m = lower(&program).unwrap();
         let layout = m.layout().unwrap();
         let f = &m.functions[0];
@@ -332,10 +335,8 @@ mod tests {
 
     #[test]
     fn code_after_return_is_dropped() {
-        let f = ast::FunctionDef::new("f", [] as [&str; 0]).body([
-            Stmt::ret(Expr::lit(1)),
-            Stmt::ret(Expr::lit(2)),
-        ]);
+        let f = ast::FunctionDef::new("f", [] as [&str; 0])
+            .body([Stmt::ret(Expr::lit(1)), Stmt::ret(Expr::lit(2))]);
         let m = lower(&one(f)).unwrap();
         let consts: Vec<i64> = m.functions[0]
             .blocks

@@ -267,7 +267,11 @@ mod tests {
         let layout = m.layout().unwrap();
         let mem = m.initial_memory(&layout);
         let base = layout.address_of("w").unwrap() as usize;
-        assert_eq!(&mem[base..base + 4], &[0x11, 0x22, 0x33, 0x44], "big-endian");
+        assert_eq!(
+            &mem[base..base + 4],
+            &[0x11, 0x22, 0x33, 0x44],
+            "big-endian"
+        );
     }
 
     #[test]

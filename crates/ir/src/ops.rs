@@ -487,7 +487,11 @@ mod tests {
         ] {
             let neg = op.negate_comparison().unwrap();
             for (a, b) in [(0u32, 0u32), (1, 2), (u32::MAX, 1), (5, 5)] {
-                assert_eq!(op.eval(a, b) ^ neg.eval(a, b), 1, "{op} vs {neg} on ({a},{b})");
+                assert_eq!(
+                    op.eval(a, b) ^ neg.eval(a, b),
+                    1,
+                    "{op} vs {neg} on ({a},{b})"
+                );
             }
         }
         assert_eq!(BinOp::Add.negate_comparison(), None);
@@ -496,8 +500,15 @@ mod tests {
     #[test]
     fn commutativity_claims_hold() {
         let samples = [(3u32, 9u32), (u32::MAX, 0), (0x8000_0000, 7)];
-        for op in [BinOp::Add, BinOp::Mul, BinOp::And, BinOp::Or, BinOp::Xor, BinOp::Min, BinOp::Max]
-        {
+        for op in [
+            BinOp::Add,
+            BinOp::Mul,
+            BinOp::And,
+            BinOp::Or,
+            BinOp::Xor,
+            BinOp::Min,
+            BinOp::Max,
+        ] {
             assert!(op.is_commutative());
             for (a, b) in samples {
                 assert_eq!(op.eval(a, b), op.eval(b, a), "{op}");

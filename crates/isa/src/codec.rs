@@ -62,7 +62,13 @@ pub fn encode_into(instr: &Instruction, config: &Config, buf: &mut [u8]) -> Resu
     let mut word: u128 = 0;
     let [o_off, d1_off, d2_off, s1_off, s2_off, p_off] = format.field_offsets();
 
-    put(&mut word, format, o_off, format.opcode_bits(), u128::from(instr.opcode.encoding()));
+    put(
+        &mut word,
+        format,
+        o_off,
+        format.opcode_bits(),
+        u128::from(instr.opcode.encoding()),
+    );
     put(
         &mut word,
         format,
@@ -85,7 +91,13 @@ pub fn encode_into(instr: &Instruction, config: &Config, buf: &mut [u8]) -> Resu
         let value = (instr.src1_literal() as u128) & mask(width as usize);
         let total = 2 * format.src_bits();
         let combined = value; // already < 2^total by validation
-        put(&mut word, format, s1_off, format.src_bits(), combined >> format.src_bits());
+        put(
+            &mut word,
+            format,
+            s1_off,
+            format.src_bits(),
+            combined >> format.src_bits(),
+        );
         put(
             &mut word,
             format,
@@ -110,7 +122,13 @@ pub fn encode_into(instr: &Instruction, config: &Config, buf: &mut [u8]) -> Resu
             src_field(instr.src2, format),
         );
     }
-    put(&mut word, format, p_off, format.pred_bits(), u128::from(instr.pred.0));
+    put(
+        &mut word,
+        format,
+        p_off,
+        format.pred_bits(),
+        u128::from(instr.pred.0),
+    );
 
     for (i, byte) in buf.iter_mut().enumerate() {
         let shift = (format.width_bytes() - 1 - i) * 8;
@@ -201,7 +219,10 @@ fn mask(bits: usize) -> u128 {
 }
 
 fn put(word: &mut u128, format: &InstructionFormat, offset: usize, bits: usize, value: u128) {
-    debug_assert!(value <= mask(bits), "field value {value:#x} exceeds {bits} bits");
+    debug_assert!(
+        value <= mask(bits),
+        "field value {value:#x} exceeds {bits} bits"
+    );
     let shift = format.width_bits() - offset - bits;
     *word |= (value & mask(bits)) << shift;
 }
@@ -300,7 +321,12 @@ mod tests {
     fn representative_instructions_round_trip() {
         let config = Config::default();
         let cases = [
-            Instruction::alu3(Opcode::Add, Gpr(1), Operand::Gpr(Gpr(2)), Operand::Gpr(Gpr(3))),
+            Instruction::alu3(
+                Opcode::Add,
+                Gpr(1),
+                Operand::Gpr(Gpr(2)),
+                Operand::Gpr(Gpr(3)),
+            ),
             Instruction::alu3(Opcode::Sub, Gpr(63), Operand::Gpr(Gpr(0)), Operand::Lit(-1)),
             Instruction::alu3(Opcode::Shl, Gpr(5), Operand::Gpr(Gpr(5)), Operand::Lit(31))
                 .with_pred(PredReg(7)),
@@ -324,7 +350,12 @@ mod tests {
                 Operand::None,
             ),
             Instruction::load(Opcode::Lbu, Gpr(8), Operand::Gpr(Gpr(9)), Operand::Lit(-4)),
-            Instruction::store(Opcode::Sh, Gpr(8), Operand::Gpr(Gpr(9)), Operand::Gpr(Gpr(10))),
+            Instruction::store(
+                Opcode::Sh,
+                Gpr(8),
+                Operand::Gpr(Gpr(9)),
+                Operand::Gpr(Gpr(10)),
+            ),
             Instruction::pbr(Btr(15), Operand::Lit(12345)),
             Instruction::br(Btr(3)),
             Instruction::brct(Btr(3), PredReg(9)),
@@ -346,7 +377,12 @@ mod tests {
             .build()
             .unwrap();
         round_trip(
-            Instruction::alu3(Opcode::Custom(0), Gpr(1), Operand::Gpr(Gpr(2)), Operand::Lit(7)),
+            Instruction::alu3(
+                Opcode::Custom(0),
+                Gpr(1),
+                Operand::Gpr(Gpr(2)),
+                Operand::Lit(7),
+            ),
             &config,
         );
     }
@@ -361,7 +397,12 @@ mod tests {
             .unwrap();
         assert!(config.instruction_format().width_bits() > 64);
         round_trip(
-            Instruction::alu3(Opcode::Add, Gpr(255), Operand::Gpr(Gpr(128)), Operand::Lit(-100)),
+            Instruction::alu3(
+                Opcode::Add,
+                Gpr(255),
+                Operand::Gpr(Gpr(128)),
+                Operand::Lit(-100),
+            ),
             &config,
         );
         round_trip(Instruction::movil(Gpr(200), -12345), &config);
@@ -379,7 +420,12 @@ mod tests {
         // The opcode field occupies the most significant bits, so the ADD
         // encoding (class 0, ordinal 0) starts with a zero byte.
         let config = Config::default();
-        let add = Instruction::alu3(Opcode::Add, Gpr(0), Operand::Gpr(Gpr(0)), Operand::Gpr(Gpr(0)));
+        let add = Instruction::alu3(
+            Opcode::Add,
+            Gpr(0),
+            Operand::Gpr(Gpr(0)),
+            Operand::Gpr(Gpr(0)),
+        );
         let bytes = encode(&add, &config).unwrap();
         assert_eq!(bytes[0], 0);
         // HALT is BRU class (3) ordinal 5 -> gray(5)=7; top 15 bits are
@@ -395,11 +441,17 @@ mod tests {
         let mut short = [0u8; 4];
         assert!(matches!(
             encode_into(&Instruction::nop(), &config, &mut short),
-            Err(IsaError::BufferSize { expected: 8, found: 4 })
+            Err(IsaError::BufferSize {
+                expected: 8,
+                found: 4
+            })
         ));
         assert!(matches!(
             decode(&[0u8; 7], &config),
-            Err(IsaError::BufferSize { expected: 8, found: 7 })
+            Err(IsaError::BufferSize {
+                expected: 8,
+                found: 7
+            })
         ));
     }
 

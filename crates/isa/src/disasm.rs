@@ -100,10 +100,7 @@ mod tests {
                 Instruction::store(Opcode::Sw, Gpr(5), Operand::Gpr(Gpr(6)), Operand::Lit(8)),
                 "SW r5, r6, #8",
             ),
-            (
-                Instruction::pbr(Btr(1), Operand::Lit(42)),
-                "PBR b1, #42",
-            ),
+            (Instruction::pbr(Btr(1), Operand::Lit(42)), "PBR b1, #42"),
             (Instruction::br(Btr(1)), "BR b1"),
             (Instruction::brct(Btr(2), PredReg(5)), "BRCT b2 (p5)"),
             (Instruction::brl(Gpr(1), Btr(0)), "BRL r1, b0"),

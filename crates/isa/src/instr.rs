@@ -175,13 +175,7 @@ impl Instruction {
     ///
     /// Pass `PredReg(0)` for either destination to discard that half.
     #[must_use]
-    pub fn cmp(
-        cond: crate::CmpCond,
-        t: PredReg,
-        f: PredReg,
-        src1: Operand,
-        src2: Operand,
-    ) -> Self {
+    pub fn cmp(cond: crate::CmpCond, t: PredReg, f: PredReg, src1: Operand, src2: Operand) -> Self {
         Instruction::new(Opcode::Cmp(cond), Dest::Pred(t), Dest::Pred(f), src1, src2)
     }
 
@@ -202,7 +196,13 @@ impl Instruction {
     /// `PBR btr, #bundle` — prepare a branch target.
     #[must_use]
     pub fn pbr(btr: Btr, target: Operand) -> Self {
-        Instruction::new(Opcode::Pbr, Dest::Btr(btr), Dest::None, target, Operand::None)
+        Instruction::new(
+            Opcode::Pbr,
+            Dest::Btr(btr),
+            Dest::None,
+            target,
+            Operand::None,
+        )
     }
 
     /// `BR btr` — unconditional branch through a BTR.
@@ -458,9 +458,7 @@ fn validate_dest(
         (DestKind::Gpr | DestKind::GprRead, Dest::Gpr(r)) => {
             range("general-purpose register", r.0, config.num_gprs())
         }
-        (DestKind::Pred, Dest::Pred(p)) => {
-            range("predicate register", p.0, config.num_pred_regs())
-        }
+        (DestKind::Pred, Dest::Pred(p)) => range("predicate register", p.0, config.num_pred_regs()),
         (DestKind::Btr, Dest::Btr(b)) => range("branch target register", b.0, config.num_btrs()),
         _ => Err(bad()),
     }
@@ -529,7 +527,12 @@ mod tests {
 
     #[test]
     fn reads_and_writes_are_accounted() {
-        let add = Instruction::alu3(Opcode::Add, Gpr(1), Operand::Gpr(Gpr(2)), Operand::Gpr(Gpr(3)));
+        let add = Instruction::alu3(
+            Opcode::Add,
+            Gpr(1),
+            Operand::Gpr(Gpr(2)),
+            Operand::Gpr(Gpr(3)),
+        );
         assert_eq!(add.gpr_reads(), vec![Gpr(2), Gpr(3)]);
         assert_eq!(add.gpr_write(), Some(Gpr(1)));
 
@@ -559,7 +562,12 @@ mod tests {
     fn validate_accepts_well_formed_instructions() {
         let c = cfg();
         for i in [
-            Instruction::alu3(Opcode::Add, Gpr(63), Operand::Gpr(Gpr(0)), Operand::Lit(-16384)),
+            Instruction::alu3(
+                Opcode::Add,
+                Gpr(63),
+                Operand::Gpr(Gpr(0)),
+                Operand::Lit(-16384),
+            ),
             Instruction::movil(Gpr(1), 0xDEAD_BEEFu32 as i64),
             Instruction::movil(Gpr(1), i32::MIN as i64),
             Instruction::load(Opcode::Lw, Gpr(2), Operand::Gpr(Gpr(3)), Operand::Lit(8)),
@@ -597,8 +605,16 @@ mod tests {
             .without_alu_feature(epic_config::AluFeature::Divide)
             .build()
             .unwrap();
-        let i = Instruction::alu3(Opcode::Div, Gpr(1), Operand::Gpr(Gpr(2)), Operand::Gpr(Gpr(3)));
-        assert!(matches!(i.validate(&c), Err(IsaError::FeatureDisabled { .. })));
+        let i = Instruction::alu3(
+            Opcode::Div,
+            Gpr(1),
+            Operand::Gpr(Gpr(2)),
+            Operand::Gpr(Gpr(3)),
+        );
+        assert!(matches!(
+            i.validate(&c),
+            Err(IsaError::FeatureDisabled { .. })
+        ));
     }
 
     #[test]
@@ -632,7 +648,11 @@ mod tests {
     #[test]
     fn movil_accepts_full_width_constants_only() {
         let c = cfg();
-        assert!(Instruction::movil(Gpr(1), u32::MAX as i64).validate(&c).is_ok());
-        assert!(Instruction::movil(Gpr(1), (u32::MAX as i64) + 1).validate(&c).is_err());
+        assert!(Instruction::movil(Gpr(1), u32::MAX as i64)
+            .validate(&c)
+            .is_ok());
+        assert!(Instruction::movil(Gpr(1), (u32::MAX as i64) + 1)
+            .validate(&c)
+            .is_err());
     }
 }

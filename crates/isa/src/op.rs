@@ -386,7 +386,10 @@ impl Opcode {
         match self {
             Opcode::Cmp(cond) => (
                 CLASS_CMPU,
-                CmpCond::ALL.iter().position(|c| *c == cond).expect("known cond") as u16,
+                CmpCond::ALL
+                    .iter()
+                    .position(|c| *c == cond)
+                    .expect("known cond") as u16,
             ),
             Opcode::PredSet => (CLASS_CMPU, 10),
             Opcode::PredClr => (CLASS_CMPU, 11),
@@ -432,14 +435,23 @@ impl Opcode {
         let ordinal = from_gray(value & 0x0FFF);
         let unknown = || IsaError::UnknownOpcode { value };
         match class {
-            CLASS_ALU => ALU_ORDINALS.get(ordinal as usize).copied().ok_or_else(unknown),
+            CLASS_ALU => ALU_ORDINALS
+                .get(ordinal as usize)
+                .copied()
+                .ok_or_else(unknown),
             CLASS_CMPU => match ordinal {
                 0..=9 => Ok(Opcode::Cmp(CmpCond::ALL[ordinal as usize])),
                 10..=13 => Ok(CMPU_EXTRA_ORDINALS[ordinal as usize - 10]),
                 _ => Err(unknown()),
             },
-            CLASS_LSU => LSU_ORDINALS.get(ordinal as usize).copied().ok_or_else(unknown),
-            CLASS_BRU => BRU_ORDINALS.get(ordinal as usize).copied().ok_or_else(unknown),
+            CLASS_LSU => LSU_ORDINALS
+                .get(ordinal as usize)
+                .copied()
+                .ok_or_else(unknown),
+            CLASS_BRU => BRU_ORDINALS
+                .get(ordinal as usize)
+                .copied()
+                .ok_or_else(unknown),
             CLASS_MISC if ordinal == 0 => Ok(Opcode::Nop),
             CLASS_CUSTOM => Ok(Opcode::Custom(ordinal)),
             _ => Err(unknown()),
@@ -472,7 +484,11 @@ impl Opcode {
             | Opcode::Shra
             | Opcode::Min
             | Opcode::Max => sig(Some(Unit::Alu), D::Gpr, D::None, S::GprOrLit, S::GprOrLit),
-            Opcode::Abs | Opcode::Sxtb | Opcode::Sxth | Opcode::Zxtb | Opcode::Zxth
+            Opcode::Abs
+            | Opcode::Sxtb
+            | Opcode::Sxth
+            | Opcode::Zxtb
+            | Opcode::Zxth
             | Opcode::Move => sig(Some(Unit::Alu), D::Gpr, D::None, S::GprOrLit, S::None),
             Opcode::Movil => sig(Some(Unit::Alu), D::Gpr, D::None, S::LongLit, S::LongLit),
             Opcode::Cmp(_) => sig(Some(Unit::Cmpu), D::Pred, D::Pred, S::GprOrLit, S::GprOrLit),
@@ -484,9 +500,13 @@ impl Opcode {
             Opcode::Lw | Opcode::Lh | Opcode::Lhu | Opcode::Lb | Opcode::Lbu | Opcode::LwS => {
                 sig(Some(Unit::Lsu), D::Gpr, D::None, S::GprOrLit, S::GprOrLit)
             }
-            Opcode::Sw | Opcode::Sh | Opcode::Sb => {
-                sig(Some(Unit::Lsu), D::GprRead, D::None, S::GprOrLit, S::GprOrLit)
-            }
+            Opcode::Sw | Opcode::Sh | Opcode::Sb => sig(
+                Some(Unit::Lsu),
+                D::GprRead,
+                D::None,
+                S::GprOrLit,
+                S::GprOrLit,
+            ),
             Opcode::Pbr => sig(Some(Unit::Bru), D::Btr, D::None, S::GprOrLit, S::None),
             Opcode::Br | Opcode::Brct | Opcode::Brcf => {
                 sig(Some(Unit::Bru), D::None, D::None, S::Btr, S::None)
@@ -557,9 +577,7 @@ impl Opcode {
             Opcode::Div | Opcode::Rem => Some(AluFeature::Divide),
             Opcode::Shl | Opcode::Shr | Opcode::Shra => Some(AluFeature::Shifts),
             Opcode::Min | Opcode::Max | Opcode::Abs => Some(AluFeature::MinMax),
-            Opcode::Sxtb | Opcode::Sxth | Opcode::Zxtb | Opcode::Zxth => {
-                Some(AluFeature::Extend)
-            }
+            Opcode::Sxtb | Opcode::Sxth | Opcode::Zxtb | Opcode::Zxth => Some(AluFeature::Extend),
             _ => None,
         }
     }

@@ -3,20 +3,18 @@
 //! instruction formats.
 
 use epic_config::Config;
-use epic_isa::{
-    decode, encode, Btr, CmpCond, Gpr, Instruction, Opcode, Operand, PredReg,
-};
+use epic_isa::{decode, encode, Btr, CmpCond, Gpr, Instruction, Opcode, Operand, PredReg};
 use proptest::prelude::*;
 
 /// A strategy over valid configurations (register counts drive the
 /// derived field widths, so this exercises widened formats too).
 fn config_strategy() -> impl Strategy<Value = Config> {
     (
-        1usize..=8,                       // ALUs
+        1usize..=8, // ALUs
         prop::sample::select(vec![32usize, 64, 128, 256]),
         prop::sample::select(vec![8usize, 32, 64]),
         prop::sample::select(vec![4usize, 16, 32]),
-        1usize..=4,                       // issue width
+        1usize..=4, // issue width
     )
         .prop_map(|(alus, gprs, preds, btrs, issue)| {
             Config::builder()
@@ -89,9 +87,15 @@ fn instruction_strategy(config: &Config) -> BoxedStrategy<Instruction> {
     });
     let cmp = {
         let conds = prop::sample::select(CmpCond::ALL.to_vec());
-        (conds, pred.clone(), pred.clone(), src.clone(), src.clone(), guard.clone()).prop_map(
-            |(c, t, f, a, b, g)| Instruction::cmp(c, t, f, a, b).with_pred(g),
+        (
+            conds,
+            pred.clone(),
+            pred.clone(),
+            src.clone(),
+            src.clone(),
+            guard.clone(),
         )
+            .prop_map(|(c, t, f, a, b, g)| Instruction::cmp(c, t, f, a, b).with_pred(g))
     };
     let mem = {
         let loads = prop::sample::select(vec![

@@ -328,13 +328,14 @@ mod tests {
 
     #[test]
     fn bundle_wider_than_issue_is_rejected() {
-        let m = MachineDescription::new(
-            &Config::builder().issue_width(2).build().unwrap(),
-        );
+        let m = MachineDescription::new(&Config::builder().issue_width(2).build().unwrap());
         let bundle = vec![add(1, 2, 3), add(4, 5, 6), add(7, 8, 9)];
         assert!(matches!(
             m.check_bundle(&bundle),
-            Err(BundleError::TooWide { size: 3, issue_width: 2 })
+            Err(BundleError::TooWide {
+                size: 3,
+                issue_width: 2
+            })
         ));
     }
 
@@ -344,7 +345,11 @@ mod tests {
         let bundle = vec![add(1, 2, 3), add(4, 5, 6)];
         assert!(matches!(
             m.check_bundle(&bundle),
-            Err(BundleError::UnitOversubscribed { unit: Unit::Alu, wanted: 2, available: 1 })
+            Err(BundleError::UnitOversubscribed {
+                unit: Unit::Alu,
+                wanted: 2,
+                available: 1
+            })
         ));
     }
 
@@ -355,7 +360,10 @@ mod tests {
         let l2 = Instruction::load(Opcode::Lw, Gpr(3), Operand::Gpr(Gpr(4)), Operand::Lit(4));
         assert!(matches!(
             m.check_bundle(&[l1, l2]),
-            Err(BundleError::UnitOversubscribed { unit: Unit::Lsu, .. })
+            Err(BundleError::UnitOversubscribed {
+                unit: Unit::Lsu,
+                ..
+            })
         ));
     }
 

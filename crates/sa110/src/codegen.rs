@@ -381,10 +381,8 @@ fn analyse(func: &Function) -> FnCtx<'_> {
             extend(u.0, block_end[bi] - 1);
         }
     }
-    let mut intervals: Vec<(u32, u32, u32)> = range
-        .into_iter()
-        .map(|(v, (s, e))| (v, s, e))
-        .collect();
+    let mut intervals: Vec<(u32, u32, u32)> =
+        range.into_iter().map(|(v, (s, e))| (v, s, e)).collect();
     intervals.sort_by_key(|(v, s, _)| (*s, *v));
 
     // Comparison → branch fusion (single-use comparisons defined in the
@@ -413,10 +411,7 @@ fn analyse(func: &Function) -> FnCtx<'_> {
             if op.def() == Some(*cond) {
                 last = match op {
                     IrOp::Bin {
-                        op: bop,
-                        lhs,
-                        rhs,
-                        ..
+                        op: bop, lhs, rhs, ..
                     } => arm_cond(*bop).map(|c| (c, *lhs, *rhs)),
                     _ => None,
                 };
@@ -837,14 +832,7 @@ fn live_phys_across(ctx: &FnCtx<'_>, block: u32, op_index: usize) -> Vec<Reg> {
     regs
 }
 
-fn emit_bin(
-    ctx: &FnCtx<'_>,
-    bop: BinOp,
-    dest: u32,
-    lhs: u32,
-    rhs: u32,
-    insts: &mut Vec<ArmInst>,
-) {
+fn emit_bin(ctx: &FnCtx<'_>, bop: BinOp, dest: u32, lhs: u32, rhs: u32, insts: &mut Vec<ArmInst>) {
     let simple = |op: ArmOp| Some(op);
     let arm_op = match bop {
         BinOp::Add => simple(ArmOp::Add),
@@ -897,7 +885,11 @@ fn emit_bin(
                 rd: TEMPS[2],
                 op2: Op2::Reg(rn),
             });
-            let take_rm_when = if bop == BinOp::Min { Cond::Gt } else { Cond::Lt };
+            let take_rm_when = if bop == BinOp::Min {
+                Cond::Gt
+            } else {
+                Cond::Lt
+            };
             insts.push(ArmInst::MovCond {
                 cond: take_rm_when,
                 rd: TEMPS[2],
@@ -1047,9 +1039,8 @@ mod tests {
 
     #[test]
     fn straight_line_codegen() {
-        let p = Program::new().function(
-            FunctionDef::new("main", [] as [&str; 0]).body([Stmt::ret(Expr::lit(7))]),
-        );
+        let p = Program::new()
+            .function(FunctionDef::new("main", [] as [&str; 0]).body([Stmt::ret(Expr::lit(7))]));
         let program = compile_program(&p, "main", &[]);
         assert!(program.symbol("main").is_some());
         assert!(matches!(program.insts()[0], ArmInst::Bl { .. }));
@@ -1061,8 +1052,7 @@ mod tests {
     #[test]
     fn rotate_is_native() {
         let p = Program::new().function(
-            FunctionDef::new("main", ["x"])
-                .body([Stmt::ret(Expr::var("x").rotr(Expr::lit(3)))]),
+            FunctionDef::new("main", ["x"]).body([Stmt::ret(Expr::var("x").rotr(Expr::lit(3)))]),
         );
         let program = compile_program(&p, "main", &[5]);
         assert!(program
@@ -1120,9 +1110,8 @@ mod tests {
 
     #[test]
     fn unknown_entry_is_reported() {
-        let p = Program::new().function(
-            FunctionDef::new("main", [] as [&str; 0]).body([Stmt::ret_void()]),
-        );
+        let p = Program::new()
+            .function(FunctionDef::new("main", [] as [&str; 0]).body([Stmt::ret_void()]));
         let module = lower::lower(&p).unwrap();
         assert!(matches!(
             compile(&module, "nope", &[]),
@@ -1132,9 +1121,8 @@ mod tests {
 
     #[test]
     fn too_many_parameters_rejected() {
-        let p = Program::new().function(
-            FunctionDef::new("main", ["a", "b", "c", "d", "e"]).body([Stmt::ret_void()]),
-        );
+        let p = Program::new()
+            .function(FunctionDef::new("main", ["a", "b", "c", "d", "e"]).body([Stmt::ret_void()]));
         let module = lower::lower(&p).unwrap();
         assert!(matches!(
             compile(&module, "main", &[]),

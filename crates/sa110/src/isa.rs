@@ -362,7 +362,6 @@ fn width_suffix(width: MemWidth) -> &'static str {
     }
 }
 
-
 #[cfg(test)]
 mod tests {
     use super::*;

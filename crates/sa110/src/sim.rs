@@ -1,8 +1,8 @@
 //! The SA-110 timing-model simulator.
 
+use crate::codegen::ArmProgram;
 use crate::isa::{ArmInst, ArmOp, Cond, MemWidth, Op2, LR, SP};
 use crate::{BRANCH_PENALTY, MUL_EXTRA_CYCLES, SOFT_DIV_CYCLES, WIDE_IMM_EXTRA_CYCLES};
-use crate::codegen::ArmProgram;
 use std::error::Error;
 use std::fmt;
 
@@ -324,7 +324,7 @@ impl ArmSimulator {
 
     fn load(&mut self, pc: u32, address: u32, width: u32) -> Result<u32, ArmSimError> {
         if u64::from(address) + u64::from(width) > self.memory.len() as u64
-            || address % width != 0
+            || !address.is_multiple_of(width)
         {
             return Err(ArmSimError::MemoryFault { pc, address });
         }
@@ -341,15 +341,9 @@ impl ArmSimulator {
         })
     }
 
-    fn store(
-        &mut self,
-        pc: u32,
-        address: u32,
-        width: u32,
-        value: u32,
-    ) -> Result<(), ArmSimError> {
+    fn store(&mut self, pc: u32, address: u32, width: u32, value: u32) -> Result<(), ArmSimError> {
         if u64::from(address) + u64::from(width) > self.memory.len() as u64
-            || address % width != 0
+            || !address.is_multiple_of(width)
         {
             return Err(ArmSimError::MemoryFault { pc, address });
         }
@@ -448,9 +442,12 @@ mod tests {
     fn loops_and_branch_penalties() {
         let p = Program::new().function(FunctionDef::new("main", ["n"]).body([
             Stmt::let_("acc", Expr::lit(0)),
-            Stmt::for_("i", Expr::lit(0), Expr::var("n"), [
-                Stmt::assign("acc", Expr::var("acc") + Expr::var("i")),
-            ]),
+            Stmt::for_(
+                "i",
+                Expr::lit(0),
+                Expr::var("n"),
+                [Stmt::assign("acc", Expr::var("acc") + Expr::var("i"))],
+            ),
             Stmt::ret(Expr::var("acc")),
         ]));
         let sim = run(&p, "main", &[10]);
@@ -486,7 +483,10 @@ mod tests {
     #[test]
     fn recursion_works() {
         let fib = FunctionDef::new("fib", ["n"]).body([
-            Stmt::if_(Expr::var("n").lt_s(Expr::lit(2)), [Stmt::ret(Expr::var("n"))]),
+            Stmt::if_(
+                Expr::var("n").lt_s(Expr::lit(2)),
+                [Stmt::ret(Expr::var("n"))],
+            ),
             Stmt::ret(
                 Expr::call("fib", [Expr::var("n") - Expr::lit(1)])
                     + Expr::call("fib", [Expr::var("n") - Expr::lit(2)]),
@@ -560,8 +560,7 @@ mod tests {
     #[test]
     fn wide_immediates_cost_extra() {
         let p = Program::new().function(
-            FunctionDef::new("main", [] as [&str; 0])
-                .body([Stmt::ret(Expr::lit(0x12345678))]),
+            FunctionDef::new("main", [] as [&str; 0]).body([Stmt::ret(Expr::lit(0x12345678))]),
         );
         let sim = run(&p, "main", &[]);
         assert_eq!(sim.reg(0), 0x12345678);
@@ -582,9 +581,8 @@ mod tests {
 
     #[test]
     fn runaway_pc_is_reported() {
-        let p = Program::new().function(
-            FunctionDef::new("main", [] as [&str; 0]).body([Stmt::ret_void()]),
-        );
+        let p = Program::new()
+            .function(FunctionDef::new("main", [] as [&str; 0]).body([Stmt::ret_void()]));
         let module = lower::lower(&p).unwrap();
         let compiled = compile(&module, "main", &[]).unwrap();
         let mut sim = ArmSimulator::new(&compiled, vec![0; 64]);

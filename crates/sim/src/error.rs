@@ -79,7 +79,6 @@ impl fmt::Display for SimError {
 
 impl Error for SimError {}
 
-
 #[cfg(test)]
 mod tests {
     use super::*;

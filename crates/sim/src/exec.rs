@@ -94,7 +94,10 @@ mod tests {
             i32::MIN as u32
         );
         assert_eq!(eval_alu(Opcode::Shl, 1, 33, &c), 2, "shift modulo 32");
-        assert_eq!(eval_alu(Opcode::Shra, (-8i32) as u32, 1, &c), (-4i32) as u32);
+        assert_eq!(
+            eval_alu(Opcode::Shra, (-8i32) as u32, 1, &c),
+            (-4i32) as u32
+        );
         assert_eq!(eval_alu(Opcode::Sxtb, 0x80, 0, &c) as i32, -128);
         assert_eq!(eval_alu(Opcode::Zxth, 0xABCD_EF01, 0, &c), 0xEF01);
         assert_eq!(eval_alu(Opcode::Abs, (-7i32) as u32, 0, &c), 7);

@@ -53,4 +53,4 @@ mod stats;
 pub use error::SimError;
 pub use machine::Simulator;
 pub use memory::Memory;
-pub use stats::{SimStats, StallBreakdown};
+pub use stats::{SimStats, StallBreakdown, StallCause, StallEvent};

@@ -3,7 +3,7 @@
 use crate::error::SimError;
 use crate::exec::{eval_alu, eval_cmp};
 use crate::memory::Memory;
-use crate::stats::SimStats;
+use crate::stats::{SimStats, StallCause, StallEvent};
 use epic_config::Config;
 use epic_isa::{Dest, Instruction, Opcode, Operand, Unit};
 use epic_mdes::MachineDescription;
@@ -52,6 +52,9 @@ pub struct Simulator {
     halted: bool,
     stats: SimStats,
     cycle_limit: u64,
+    /// Opt-in per-cycle stall log (see [`Simulator::record_stalls`]).
+    record_stalls: bool,
+    stall_log: Vec<StallEvent>,
 }
 
 impl Simulator {
@@ -93,6 +96,8 @@ impl Simulator {
             halted: false,
             stats: SimStats::default(),
             cycle_limit: DEFAULT_CYCLE_LIMIT,
+            record_stalls: false,
+            stall_log: Vec::new(),
             config: config.clone(),
             bundles,
         }
@@ -154,6 +159,32 @@ impl Simulator {
         &self.stats
     }
 
+    /// Enables (or disables) per-cycle stall recording.
+    ///
+    /// Off by default: the log grows by one [`StallEvent`] per stall
+    /// cycle, which long runs cannot afford. The verifier's differential
+    /// oracle turns it on to attribute every stall to a bundle address.
+    pub fn record_stalls(&mut self, on: bool) {
+        self.record_stalls = on;
+    }
+
+    /// The stall events recorded so far (empty unless
+    /// [`record_stalls`](Simulator::record_stalls) was enabled).
+    #[must_use]
+    pub fn stall_log(&self) -> &[StallEvent] {
+        &self.stall_log
+    }
+
+    fn note_stall(&mut self, pc: u32, cause: StallCause) {
+        if self.record_stalls {
+            self.stall_log.push(StallEvent {
+                cycle: self.cycle,
+                pc,
+                cause,
+            });
+        }
+    }
+
     /// Reads a big-endian word from data memory (no statistics impact).
     ///
     /// # Errors
@@ -210,15 +241,18 @@ impl Simulator {
             // pipelining parameter).
             self.pc = target;
             self.stats.stalls.branch_flush += 1;
+            self.note_stall(target, StallCause::BranchFlush);
             self.flush_wait = self.config.pipeline_stages() as u32 - 2;
         } else if self.flush_wait > 0 {
             self.flush_wait -= 1;
             self.stats.stalls.branch_flush += 1;
+            self.note_stall(self.pc, StallCause::BranchFlush);
         } else if self.mem_debt >= 2 {
             // The memory controller spent this cycle's fetch bandwidth on
             // data accesses; fetch resumes next cycle.
             self.mem_debt -= 2;
             self.stats.stalls.memory_contention += 1;
+            self.note_stall(self.pc, StallCause::MemoryContention);
         } else {
             self.try_issue()?;
         }
@@ -240,26 +274,25 @@ impl Simulator {
         let bundle = &self.bundles[pc as usize];
 
         // Operand scoreboard.
-        for instr in bundle {
-            for r in instr.gpr_reads() {
-                if self.gpr_ready[r.0 as usize] > exec_cycle {
-                    self.stats.stalls.data_hazard += 1;
-                    return Ok(());
-                }
-            }
-            for p in instr.pred_reads() {
-                if self.pred_ready[p.0 as usize] > exec_cycle {
-                    self.stats.stalls.data_hazard += 1;
-                    return Ok(());
-                }
-            }
-            if let Some(b) = instr.btr_read() {
-                if self.btr_ready[b.0 as usize] > exec_cycle {
-                    self.stats.stalls.data_hazard += 1;
-                    return Ok(());
-                }
-            }
+        let hazard = bundle.iter().any(|instr| {
+            instr
+                .gpr_reads()
+                .iter()
+                .any(|r| self.gpr_ready[r.0 as usize] > exec_cycle)
+                || instr
+                    .pred_reads()
+                    .iter()
+                    .any(|p| self.pred_ready[p.0 as usize] > exec_cycle)
+                || instr
+                    .btr_read()
+                    .is_some_and(|b| self.btr_ready[b.0 as usize] > exec_cycle)
+        });
+        if hazard {
+            self.stats.stalls.data_hazard += 1;
+            self.note_stall(pc, StallCause::DataHazard);
+            return Ok(());
         }
+        let bundle = &self.bundles[pc as usize];
 
         // Functional-unit availability (the blocking divider).
         let alu_wanted = bundle
@@ -269,8 +302,10 @@ impl Simulator {
         let alu_free = self.alu_busy.iter().filter(|&&b| b <= exec_cycle).count();
         if alu_wanted > alu_free {
             self.stats.stalls.unit_busy += 1;
+            self.note_stall(pc, StallCause::UnitBusy);
             return Ok(());
         }
+        let bundle = &self.bundles[pc as usize];
 
         // Register-file port budget: reads at issue + writes at WB share
         // the controller's slots; forwarded operands bypass the file.
@@ -298,12 +333,14 @@ impl Simulator {
         if self.port_wait > 0 {
             self.port_wait -= 1;
             self.stats.stalls.regfile_port += 1;
+            self.note_stall(pc, StallCause::RegfilePort);
             return Ok(());
         }
         self.port_wait_pc = None;
 
         // Issue: book destinations and unit occupancy for the execute
         // stage next cycle.
+        let bundle = &self.bundles[pc as usize];
         let fwd_extra = u64::from(!forwarding);
         for instr in bundle {
             let latency = u64::from(instr.opcode.latency(&self.config));
@@ -545,7 +582,11 @@ mod tests {
             &c,
         );
         assert_eq!(sim.gpr(1), 3);
-        assert_eq!(sim.stats().stalls.data_hazard, 0, "latency-1 chain never stalls");
+        assert_eq!(
+            sim.stats().stalls.data_hazard,
+            0,
+            "latency-1 chain never stalls"
+        );
     }
 
     #[test]
@@ -646,12 +687,13 @@ head:
 ;;
 ";
         let two = run_asm(src, &Config::default());
-        let four = run_asm(
-            src,
-            &Config::builder().pipeline_stages(4).build().unwrap(),
-        );
+        let four = run_asm(src, &Config::builder().pipeline_stages(4).build().unwrap());
         assert_eq!(two.gpr(1), four.gpr(1), "semantics unchanged");
-        assert_eq!(two.stats().stalls.branch_flush, 4, "1 cycle per taken branch");
+        assert_eq!(
+            two.stats().stalls.branch_flush,
+            4,
+            "1 cycle per taken branch"
+        );
         assert_eq!(
             four.stats().stalls.branch_flush,
             12,
@@ -734,7 +776,11 @@ skip:
 
     #[test]
     fn divider_blocks_subsequent_alu_work() {
-        let c = Config::builder().num_alus(1).div_latency(8).build().unwrap();
+        let c = Config::builder()
+            .num_alus(1)
+            .div_latency(8)
+            .build()
+            .unwrap();
         let sim = run_asm(
             "\
     MOVE r1, #100
@@ -750,7 +796,10 @@ skip:
         );
         assert_eq!(sim.gpr(2), 14);
         assert_eq!(sim.gpr(3), 101);
-        assert!(sim.stats().stalls.unit_busy >= 6, "single ALU blocked by divide");
+        assert!(
+            sim.stats().stalls.unit_busy >= 6,
+            "single ALU blocked by divide"
+        );
     }
 
     #[test]
@@ -815,10 +864,7 @@ callee:
         let c = Config::default();
         let program = assemble("    MOVE r1, #1\n;;\n", &c).unwrap();
         let mut sim = Simulator::new(&c, program.bundles().to_vec(), 0);
-        assert!(matches!(
-            sim.run(),
-            Err(SimError::PcOutOfRange { .. })
-        ));
+        assert!(matches!(sim.run(), Err(SimError::PcOutOfRange { .. })));
     }
 
     #[test]
@@ -834,7 +880,10 @@ spin:
         let program = assemble(spin, &c).unwrap();
         let mut sim = Simulator::new(&c, program.bundles().to_vec(), 0);
         sim.set_cycle_limit(100);
-        assert!(matches!(sim.run(), Err(SimError::CycleLimit { limit: 100 })));
+        assert!(matches!(
+            sim.run(),
+            Err(SimError::CycleLimit { limit: 100 })
+        ));
     }
 
     #[test]

@@ -69,7 +69,7 @@ impl Memory {
                 reason: MemFaultReason::OutOfBounds,
             });
         }
-        if address % width != 0 {
+        if !address.is_multiple_of(width) {
             return Err(SimError::MemoryFault {
                 pc,
                 address,

@@ -2,6 +2,39 @@
 
 use std::fmt;
 
+/// Why a fetch/issue cycle stalled.
+///
+/// Mirrors the counters of [`StallBreakdown`]; the verifier's differential
+/// oracle uses per-event records to attribute each stall to a bundle
+/// address when cross-validating static diagnostics against the simulator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StallCause {
+    /// An operand was still in flight (see [`StallBreakdown::data_hazard`]).
+    DataHazard,
+    /// A functional unit was busy (see [`StallBreakdown::unit_busy`]).
+    UnitBusy,
+    /// The register-file port budget was exceeded
+    /// (see [`StallBreakdown::regfile_port`]).
+    RegfilePort,
+    /// A taken branch flushed the fetch
+    /// (see [`StallBreakdown::branch_flush`]).
+    BranchFlush,
+    /// Data accesses displaced instruction fetch
+    /// (see [`StallBreakdown::memory_contention`]).
+    MemoryContention,
+}
+
+/// One recorded stall cycle (opt-in; see `Simulator::record_stalls`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StallEvent {
+    /// Processor cycle in which the stall was taken.
+    pub cycle: u64,
+    /// Bundle address the front end was stalled on.
+    pub pc: u32,
+    /// Why the cycle was lost.
+    pub cause: StallCause,
+}
+
 /// Stall cycles broken down by cause.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct StallBreakdown {
@@ -116,7 +149,11 @@ impl fmt::Display for SimStats {
             self.stalls.branch_flush,
             self.stalls.memory_contention
         )?;
-        write!(f, "memory              {} loads, {} stores", self.loads, self.stores)
+        write!(
+            f,
+            "memory              {} loads, {} stores",
+            self.loads, self.stores
+        )
     }
 }
 

@@ -1,0 +1,191 @@
+//! `epic-lint`: static linter for EPIC assembly sources.
+//!
+//! Feeds a `.s` file through the existing assembler (so it accepts
+//! exactly the language `epic-asm` accepts, for any configuration
+//! header) and then runs the `epic-verify` static analyzer over the
+//! assembled bundles, mapping every finding back to a source line:
+//!
+//! ```text
+//! epic-lint <source.s> [--config <header.cfg>] [--format text|json]
+//! ```
+//!
+//! Diagnostics are rendered rustc-style with caret lines (`--format
+//! text`, the default) or as one JSON object (`--format json`). The
+//! exit code is nonzero when any error-severity diagnostic is present;
+//! warnings alone exit zero.
+
+use epic_config::{header, Config};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Format {
+    Text,
+    Json,
+}
+
+struct Args {
+    source: PathBuf,
+    config: Option<PathBuf>,
+    format: Format,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut source = None;
+    let mut config = None;
+    let mut format = Format::Text;
+    let mut iter = std::env::args().skip(1);
+    while let Some(arg) = iter.next() {
+        let parse_format = |text: &str| match text {
+            "text" => Ok(Format::Text),
+            "json" => Ok(Format::Json),
+            other => Err(format!("unknown format `{other}` (text or json)")),
+        };
+        match arg.as_str() {
+            "--config" => {
+                config = Some(PathBuf::from(iter.next().ok_or("--config needs a path")?));
+            }
+            "--format" => {
+                format = parse_format(&iter.next().ok_or("--format needs a value")?)?;
+            }
+            "--help" | "-h" => {
+                return Err("usage: epic-lint <source.s> [--config <header.cfg>] \
+                            [--format text|json]"
+                    .to_owned())
+            }
+            other => {
+                if let Some(value) = other.strip_prefix("--format=") {
+                    format = parse_format(value)?;
+                } else if !other.starts_with('-') {
+                    source = Some(PathBuf::from(other));
+                } else {
+                    return Err(format!("unknown flag `{other}`"));
+                }
+            }
+        }
+    }
+    Ok(Args {
+        source: source.ok_or("no source file given (try --help)")?,
+        config,
+        format,
+    })
+}
+
+/// Maps each bundle to the 1-based source lines of its instructions, in
+/// slot order, by replaying the assembler's line discipline: `;;` alone
+/// ends a bundle, `;` starts a comment, whole-line labels and `.entry`
+/// carry no instruction.
+fn bundle_lines(source: &str) -> Vec<Vec<usize>> {
+    let mut map = Vec::new();
+    let mut current = Vec::new();
+    for (idx, raw) in source.lines().enumerate() {
+        let trimmed = raw.trim();
+        if trimmed == ";;" {
+            map.push(std::mem::take(&mut current));
+            continue;
+        }
+        let code = match trimmed.find(';') {
+            Some(pos) => trimmed[..pos].trim(),
+            None => trimmed,
+        };
+        if code.is_empty() || code.starts_with(".entry") || code.ends_with(':') {
+            continue;
+        }
+        current.push(idx + 1);
+    }
+    map
+}
+
+fn emit(diags: &[epic_asm::Diagnostic], origin: &str, source: &str, format: Format) {
+    match format {
+        Format::Text => {
+            for diag in diags {
+                eprint!("{}", diag.render(origin, Some(source)));
+            }
+            let errors = diags
+                .iter()
+                .filter(|d| d.severity == epic_asm::Severity::Error)
+                .count();
+            eprintln!(
+                "{origin}: {} error(s), {} warning(s)",
+                errors,
+                diags.len() - errors
+            );
+        }
+        Format::Json => {
+            let body: Vec<String> = diags.iter().map(epic_asm::Diagnostic::to_json).collect();
+            println!(
+                "{{\"file\":\"{origin}\",\"diagnostics\":[{}]}}",
+                body.join(",")
+            );
+        }
+    }
+}
+
+fn run(args: &Args) -> Result<ExitCode, String> {
+    let config = match &args.config {
+        Some(path) => {
+            let text =
+                std::fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
+            header::parse(&text).map_err(|e| format!("{}: {e}", path.display()))?
+        }
+        None => Config::default(),
+    };
+    let source = std::fs::read_to_string(&args.source)
+        .map_err(|e| format!("{}: {e}", args.source.display()))?;
+    let origin = args.source.display().to_string();
+
+    let program = match epic_asm::assemble(&source, &config) {
+        Ok(program) => program,
+        Err(err) => {
+            // The source does not even assemble: report the assembler's
+            // diagnostic through the same channel and fail.
+            emit(&[err.to_diagnostic()], &origin, &source, args.format);
+            return Ok(ExitCode::FAILURE);
+        }
+    };
+
+    let report = epic_verify::check(&program, &config);
+    let lines = bundle_lines(&source);
+    let located: Vec<epic_asm::Diagnostic> = report
+        .diagnostics()
+        .iter()
+        .map(|diag| {
+            let mut diag = diag.clone();
+            if diag.line == 0 {
+                if let Some(bundle_map) = diag.bundle.and_then(|b| lines.get(b)) {
+                    let line = diag
+                        .slot
+                        .and_then(|s| bundle_map.get(s))
+                        .or_else(|| bundle_map.first());
+                    diag.line = line.copied().unwrap_or(0);
+                }
+            }
+            diag
+        })
+        .collect();
+
+    emit(&located, &origin, &source, args.format);
+    Ok(if report.has_errors() {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    })
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(message) => {
+            eprintln!("{message}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match run(&args) {
+        Ok(code) => code,
+        Err(message) => {
+            eprintln!("epic-lint: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}

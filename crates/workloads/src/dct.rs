@@ -41,11 +41,7 @@ pub fn cosine_matrix() -> [[i32; 8]; 8] {
     let mut m = [[0i32; 8]; 8];
     for (u, row) in m.iter_mut().enumerate() {
         for (x, cell) in row.iter_mut().enumerate() {
-            let c = if u == 0 {
-                1.0 / (2.0f64).sqrt()
-            } else {
-                1.0
-            };
+            let c = if u == 0 { 1.0 / (2.0f64).sqrt() } else { 1.0 };
             let angle = (2.0 * x as f64 + 1.0) * u as f64 * std::f64::consts::PI / 16.0;
             *cell = (0.5 * c * angle.cos() * f64::from(1 << COS_SHIFT)).round() as i32;
         }
@@ -138,6 +134,7 @@ fn word_at(table: &str, index: i64) -> Expr {
 
 /// Builds the benchmark at the given scale.
 #[must_use]
+#[allow(clippy::needless_range_loop)] // loop indices mirror the DCT matrix maths
 pub fn build(scale: Scale) -> Workload {
     let (width, height) = dimensions(scale);
     let ppm = inputs::ppm_image(width, height, SEED);
@@ -248,9 +245,12 @@ pub fn build(scale: Scale) -> Workload {
         }
     }
 
-    let body = vec![Stmt::for_("by", lit(0), lit(blocks_y), [
-        Stmt::for_("bx", lit(0), lit(blocks_x), block_body),
-    ])];
+    let body = vec![Stmt::for_(
+        "by",
+        lit(0),
+        lit(blocks_y),
+        [Stmt::for_("bx", lit(0), lit(blocks_x), block_body)],
+    )];
 
     let program = Program::new()
         .global(Global::with_bytes("dct_input", gray))

@@ -83,53 +83,80 @@ pub fn build(scale: Scale) -> Workload {
     let dist = |i: Expr| (Expr::global("dij_dist") + i * lit(4)).load_word();
     let visited = |i: Expr| (Expr::global("dij_visited") + i * lit(4)).load_word();
 
-    let body = vec![Stmt::for_("src", lit(0), lit(nn), [
-        // Initialise dist and visited.
-        Stmt::for_("i", lit(0), lit(nn), [
-            Stmt::store_word(
-                Expr::global("dij_dist") + v("i") * lit(4),
-                lit(i64::from(GRAPH_INF)),
+    let body = vec![Stmt::for_(
+        "src",
+        lit(0),
+        lit(nn),
+        [
+            // Initialise dist and visited.
+            Stmt::for_(
+                "i",
+                lit(0),
+                lit(nn),
+                [
+                    Stmt::store_word(
+                        Expr::global("dij_dist") + v("i") * lit(4),
+                        lit(i64::from(GRAPH_INF)),
+                    ),
+                    Stmt::store_word(Expr::global("dij_visited") + v("i") * lit(4), lit(0)),
+                ],
             ),
-            Stmt::store_word(Expr::global("dij_visited") + v("i") * lit(4), lit(0)),
-        ]),
-        Stmt::store_word(Expr::global("dij_dist") + v("src") * lit(4), lit(0)),
-        // n rounds of select-minimum + relax.
-        Stmt::for_("round", lit(0), lit(nn), [
-            Stmt::let_("best", lit(i64::from(ABOVE_INF))),
-            Stmt::let_("bi", lit(0)),
-            Stmt::for_("i", lit(0), lit(nn), [
-                Stmt::let_("di", dist(v("i"))),
-                // Unsigned compare mirrors the golden model; the predicated
-                // update is a textbook if-conversion target.
-                Stmt::if_(
-                    visited(v("i")).eq(lit(0)) & v("di").lt_u(v("best")),
-                    [
-                        Stmt::assign("best", v("di")),
-                        Stmt::assign("bi", v("i")),
-                    ],
-                ),
-            ]),
-            Stmt::store_word(Expr::global("dij_visited") + v("bi") * lit(4), lit(1)),
-            Stmt::let_("base", dist(v("bi"))),
-            Stmt::let_("row", Expr::global("dij_adj") + v("bi") * lit(4 * nn)),
-            Stmt::for_("j", lit(0), lit(nn), [
-                Stmt::let_("nd", v("base") + (v("row") + v("j") * lit(4)).load_word()),
-                Stmt::let_("dj", dist(v("j"))),
-                Stmt::if_(
-                    visited(v("j")).eq(lit(0)) & v("nd").lt_u(v("dj")),
-                    [Stmt::store_word(
-                        Expr::global("dij_dist") + v("j") * lit(4),
-                        v("nd"),
-                    )],
-                ),
-            ]),
-        ]),
-        // Emit the row of the all-pairs matrix.
-        Stmt::for_("i", lit(0), lit(nn), [Stmt::store_word(
-            Expr::global("dij_out") + (v("src") * lit(nn) + v("i")) * lit(4),
-            dist(v("i")),
-        )]),
-    ])];
+            Stmt::store_word(Expr::global("dij_dist") + v("src") * lit(4), lit(0)),
+            // n rounds of select-minimum + relax.
+            Stmt::for_(
+                "round",
+                lit(0),
+                lit(nn),
+                [
+                    Stmt::let_("best", lit(i64::from(ABOVE_INF))),
+                    Stmt::let_("bi", lit(0)),
+                    Stmt::for_(
+                        "i",
+                        lit(0),
+                        lit(nn),
+                        [
+                            Stmt::let_("di", dist(v("i"))),
+                            // Unsigned compare mirrors the golden model; the predicated
+                            // update is a textbook if-conversion target.
+                            Stmt::if_(
+                                visited(v("i")).eq(lit(0)) & v("di").lt_u(v("best")),
+                                [Stmt::assign("best", v("di")), Stmt::assign("bi", v("i"))],
+                            ),
+                        ],
+                    ),
+                    Stmt::store_word(Expr::global("dij_visited") + v("bi") * lit(4), lit(1)),
+                    Stmt::let_("base", dist(v("bi"))),
+                    Stmt::let_("row", Expr::global("dij_adj") + v("bi") * lit(4 * nn)),
+                    Stmt::for_(
+                        "j",
+                        lit(0),
+                        lit(nn),
+                        [
+                            Stmt::let_("nd", v("base") + (v("row") + v("j") * lit(4)).load_word()),
+                            Stmt::let_("dj", dist(v("j"))),
+                            Stmt::if_(
+                                visited(v("j")).eq(lit(0)) & v("nd").lt_u(v("dj")),
+                                [Stmt::store_word(
+                                    Expr::global("dij_dist") + v("j") * lit(4),
+                                    v("nd"),
+                                )],
+                            ),
+                        ],
+                    ),
+                ],
+            ),
+            // Emit the row of the all-pairs matrix.
+            Stmt::for_(
+                "i",
+                lit(0),
+                lit(nn),
+                [Stmt::store_word(
+                    Expr::global("dij_out") + (v("src") * lit(nn) + v("i")) * lit(4),
+                    dist(v("i")),
+                )],
+            ),
+        ],
+    )];
 
     let program = Program::new()
         .global(Global::with_words("dij_adj", &adj))
@@ -164,10 +191,10 @@ mod tests {
             inf, inf, 0,
         ];
         let d = golden_all_pairs(&adj, 3);
-        assert_eq!(d[0 * 3 + 2], 5);
-        assert_eq!(d[0 * 3 + 1], 2);
-        assert_eq!(d[2 * 3 + 0], GRAPH_INF, "2 has no outgoing edges");
-        assert_eq!(d[1 * 3 + 2], 3);
+        assert_eq!(d[2], 5);
+        assert_eq!(d[1], 2);
+        assert_eq!(d[(2 * 3)], GRAPH_INF, "2 has no outgoing edges");
+        assert_eq!(d[3 + 2], 3);
         for i in 0..3 {
             assert_eq!(d[i * 3 + i], 0);
         }

@@ -95,8 +95,8 @@ impl Workload {
         &self,
         read: impl Fn(u32, u32) -> Result<Vec<u8>, E>,
     ) -> Result<(), String> {
-        let module = epic_ir::lower::lower(&self.program)
-            .map_err(|e| format!("lowering failed: {e}"))?;
+        let module =
+            epic_ir::lower::lower(&self.program).map_err(|e| format!("lowering failed: {e}"))?;
         let layout = module.layout().map_err(|e| format!("layout failed: {e}"))?;
         let base = layout
             .address_of(&self.output_global)

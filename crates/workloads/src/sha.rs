@@ -15,22 +15,19 @@ use epic_ir::Global;
 
 /// Round constants (FIPS 180-2 §4.2.2).
 pub const K: [u32; 64] = [
-    0x428a2f98, 0x71374491, 0xb5c0fbcf, 0xe9b5dba5, 0x3956c25b, 0x59f111f1, 0x923f82a4,
-    0xab1c5ed5, 0xd807aa98, 0x12835b01, 0x243185be, 0x550c7dc3, 0x72be5d74, 0x80deb1fe,
-    0x9bdc06a7, 0xc19bf174, 0xe49b69c1, 0xefbe4786, 0x0fc19dc6, 0x240ca1cc, 0x2de92c6f,
-    0x4a7484aa, 0x5cb0a9dc, 0x76f988da, 0x983e5152, 0xa831c66d, 0xb00327c8, 0xbf597fc7,
-    0xc6e00bf3, 0xd5a79147, 0x06ca6351, 0x14292967, 0x27b70a85, 0x2e1b2138, 0x4d2c6dfc,
-    0x53380d13, 0x650a7354, 0x766a0abb, 0x81c2c92e, 0x92722c85, 0xa2bfe8a1, 0xa81a664b,
-    0xc24b8b70, 0xc76c51a3, 0xd192e819, 0xd6990624, 0xf40e3585, 0x106aa070, 0x19a4c116,
-    0x1e376c08, 0x2748774c, 0x34b0bcb5, 0x391c0cb3, 0x4ed8aa4a, 0x5b9cca4f, 0x682e6ff3,
-    0x748f82ee, 0x78a5636f, 0x84c87814, 0x8cc70208, 0x90befffa, 0xa4506ceb, 0xbef9a3f7,
-    0xc67178f2,
+    0x428a2f98, 0x71374491, 0xb5c0fbcf, 0xe9b5dba5, 0x3956c25b, 0x59f111f1, 0x923f82a4, 0xab1c5ed5,
+    0xd807aa98, 0x12835b01, 0x243185be, 0x550c7dc3, 0x72be5d74, 0x80deb1fe, 0x9bdc06a7, 0xc19bf174,
+    0xe49b69c1, 0xefbe4786, 0x0fc19dc6, 0x240ca1cc, 0x2de92c6f, 0x4a7484aa, 0x5cb0a9dc, 0x76f988da,
+    0x983e5152, 0xa831c66d, 0xb00327c8, 0xbf597fc7, 0xc6e00bf3, 0xd5a79147, 0x06ca6351, 0x14292967,
+    0x27b70a85, 0x2e1b2138, 0x4d2c6dfc, 0x53380d13, 0x650a7354, 0x766a0abb, 0x81c2c92e, 0x92722c85,
+    0xa2bfe8a1, 0xa81a664b, 0xc24b8b70, 0xc76c51a3, 0xd192e819, 0xd6990624, 0xf40e3585, 0x106aa070,
+    0x19a4c116, 0x1e376c08, 0x2748774c, 0x34b0bcb5, 0x391c0cb3, 0x4ed8aa4a, 0x5b9cca4f, 0x682e6ff3,
+    0x748f82ee, 0x78a5636f, 0x84c87814, 0x8cc70208, 0x90befffa, 0xa4506ceb, 0xbef9a3f7, 0xc67178f2,
 ];
 
 /// Initial hash value (FIPS 180-2 §5.3.2).
 pub const H0: [u32; 8] = [
-    0x6a09e667, 0xbb67ae85, 0x3c6ef372, 0xa54ff53a, 0x510e527f, 0x9b05688c, 0x1f83d9ab,
-    0x5be0cd19,
+    0x6a09e667, 0xbb67ae85, 0x3c6ef372, 0xa54ff53a, 0x510e527f, 0x9b05688c, 0x1f83d9ab, 0x5be0cd19,
 ];
 
 /// Image dimensions per scale.
@@ -165,31 +162,51 @@ pub fn build(scale: Scale) -> Workload {
     )];
 
     // W[0..16] from the message (big-endian loads match the word order).
-    block_body.push(Stmt::for_("t", lit(0), lit(16), [
-        Stmt::store_word(
+    block_body.push(Stmt::for_(
+        "t",
+        lit(0),
+        lit(16),
+        [Stmt::store_word(
             Expr::global("sha_w") + v("t") * lit(4),
             (v("base") + v("t") * lit(4)).load_word(),
-        ),
-    ]));
+        )],
+    ));
     // W[16..64] message schedule.
-    block_body.push(Stmt::for_("t", lit(16), lit(64), [
-        Stmt::let_("wa", (Expr::global("sha_w") + (v("t") - lit(2)) * lit(4)).load_word()),
-        Stmt::let_("wb", (Expr::global("sha_w") + (v("t") - lit(7)) * lit(4)).load_word()),
-        Stmt::let_("wc", (Expr::global("sha_w") + (v("t") - lit(15)) * lit(4)).load_word()),
-        Stmt::let_("wd", (Expr::global("sha_w") + (v("t") - lit(16)) * lit(4)).load_word()),
-        Stmt::let_(
-            "sig1",
-            rotr(v("wa"), 17) ^ rotr(v("wa"), 19) ^ v("wa").shr(lit(10)),
-        ),
-        Stmt::let_(
-            "sig0",
-            rotr(v("wc"), 7) ^ rotr(v("wc"), 18) ^ v("wc").shr(lit(3)),
-        ),
-        Stmt::store_word(
-            Expr::global("sha_w") + v("t") * lit(4),
-            v("wd") + v("sig0") + v("wb") + v("sig1"),
-        ),
-    ]));
+    block_body.push(Stmt::for_(
+        "t",
+        lit(16),
+        lit(64),
+        [
+            Stmt::let_(
+                "wa",
+                (Expr::global("sha_w") + (v("t") - lit(2)) * lit(4)).load_word(),
+            ),
+            Stmt::let_(
+                "wb",
+                (Expr::global("sha_w") + (v("t") - lit(7)) * lit(4)).load_word(),
+            ),
+            Stmt::let_(
+                "wc",
+                (Expr::global("sha_w") + (v("t") - lit(15)) * lit(4)).load_word(),
+            ),
+            Stmt::let_(
+                "wd",
+                (Expr::global("sha_w") + (v("t") - lit(16)) * lit(4)).load_word(),
+            ),
+            Stmt::let_(
+                "sig1",
+                rotr(v("wa"), 17) ^ rotr(v("wa"), 19) ^ v("wa").shr(lit(10)),
+            ),
+            Stmt::let_(
+                "sig0",
+                rotr(v("wc"), 7) ^ rotr(v("wc"), 18) ^ v("wc").shr(lit(3)),
+            ),
+            Stmt::store_word(
+                Expr::global("sha_w") + v("t") * lit(4),
+                v("wd") + v("sig0") + v("wb") + v("sig1"),
+            ),
+        ],
+    ));
 
     // Working variables.
     let names = ["va", "vb", "vc", "vd", "ve", "vf", "vg", "vh"];
@@ -227,7 +244,10 @@ pub fn build(scale: Scale) -> Workload {
             (v(a) & v(b)) ^ (v(a) & v(c)) ^ (v(b) & v(c)),
         ));
         // h's variable becomes next round's a; d's variable becomes e.
-        octet.push(Stmt::assign(h, v(&format!("t1_{r}")) + v(&format!("s0_{r}")) + v(&format!("mj_{r}"))));
+        octet.push(Stmt::assign(
+            h,
+            v(&format!("t1_{r}")) + v(&format!("s0_{r}")) + v(&format!("mj_{r}")),
+        ));
         octet.push(Stmt::assign(d, v(d) + v(&format!("t1_{r}"))));
     }
     octet.push(Stmt::assign("t8", v("t8") + lit(8)));
@@ -237,7 +257,12 @@ pub fn build(scale: Scale) -> Workload {
     for (i, n) in names.iter().enumerate() {
         block_body.push(Stmt::assign(format!("h{i}"), v(&format!("h{i}")) + v(n)));
     }
-    body.push(Stmt::for_("blk", lit(0), lit(i64::from(n_blocks)), block_body));
+    body.push(Stmt::for_(
+        "blk",
+        lit(0),
+        lit(i64::from(n_blocks)),
+        block_body,
+    ));
 
     // --- emit the digest -------------------------------------------------
     for i in 0..8usize {
@@ -278,8 +303,8 @@ mod tests {
         assert_eq!(
             digest,
             [
-                0xba7816bf, 0x8f01cfea, 0x414140de, 0x5dae2223, 0xb00361a3, 0x96177a9c,
-                0xb410ff61, 0xf20015ad
+                0xba7816bf, 0x8f01cfea, 0x414140de, 0x5dae2223, 0xb00361a3, 0x96177a9c, 0xb410ff61,
+                0xf20015ad
             ]
         );
         // Appendix B.2: two-block message.

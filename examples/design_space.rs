@@ -50,13 +50,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("device fitting:");
     for (label, config) in &configs {
         let model = AreaModel::new(config);
-        let device = model
-            .smallest_device()
-            .map_or("(none)", |d| d.name);
-        println!(
-            "  {label:<20} {:>6} slices -> {device}",
-            model.slices()
-        );
+        let device = model.smallest_device().map_or("(none)", |d| d.name);
+        println!("  {label:<20} {:>6} slices -> {device}", model.slices());
     }
     Ok(())
 }

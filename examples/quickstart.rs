@@ -13,22 +13,21 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 1. Write a program in the C-like frontend: dot product of two
     //    vectors living in global memory.
     let program = Program::new()
-        .global(epic::ir::Global::with_words(
-            "a",
-            &[1, 2, 3, 4, 5, 6, 7, 8],
-        ))
-        .global(epic::ir::Global::with_words(
-            "b",
-            &[8, 7, 6, 5, 4, 3, 2, 1],
-        ))
+        .global(epic::ir::Global::with_words("a", &[1, 2, 3, 4, 5, 6, 7, 8]))
+        .global(epic::ir::Global::with_words("b", &[8, 7, 6, 5, 4, 3, 2, 1]))
         .function(FunctionDef::new("main", [] as [&str; 0]).body([
             Stmt::let_("acc", Expr::lit(0)),
-            Stmt::for_("i", Expr::lit(0), Expr::lit(8), [Stmt::assign(
-                "acc",
-                Expr::var("acc")
-                    + (Expr::global("a") + Expr::var("i") * Expr::lit(4)).load_word()
-                        * (Expr::global("b") + Expr::var("i") * Expr::lit(4)).load_word(),
-            )]),
+            Stmt::for_(
+                "i",
+                Expr::lit(0),
+                Expr::lit(8),
+                [Stmt::assign(
+                    "acc",
+                    Expr::var("acc")
+                        + (Expr::global("a") + Expr::var("i") * Expr::lit(4)).load_word()
+                            * (Expr::global("b") + Expr::var("i") * Expr::lit(4)).load_word(),
+                )],
+            ),
             Stmt::ret(Expr::var("acc")),
         ]));
     let module = epic::ir::lower::lower(&program)?;
@@ -37,10 +36,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     //    32 predicates, 16 BTRs, 4-wide issue at 41.8 MHz.
     let config = Config::default();
     println!("target machine: {config}");
-    println!(
-        "area model:    {}",
-        epic::area::AreaModel::new(&config)
-    );
+    println!("area model:    {}", epic::area::AreaModel::new(&config));
 
     // 3. Compile, assemble, load and simulate in one call.
     let toolchain = Toolchain::new(config);

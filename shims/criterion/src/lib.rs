@@ -1,0 +1,196 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no crates.io access, so the workspace
+//! vendors a minimal timing harness with the real crate's spelling:
+//! [`Criterion`], [`criterion_group!`], [`criterion_main!`],
+//! benchmark groups with `sample_size` / `bench_function` /
+//! `bench_with_input` / `finish`, [`BenchmarkId::new`] and
+//! [`Bencher::iter`]. It runs a small fixed number of timed iterations
+//! and prints mean wall-clock time per iteration — enough to compare
+//! configurations locally without statistical machinery.
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Display;
+use std::hint;
+use std::time::Instant;
+
+/// Number of timed iterations per benchmark (after one warm-up).
+const DEFAULT_ITERS: u32 = 10;
+
+/// Prevents the optimiser from deleting a benchmarked computation.
+pub fn black_box<T>(value: T) -> T {
+    hint::black_box(value)
+}
+
+/// Identifies one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    text: String,
+}
+
+impl BenchmarkId {
+    /// Combines a function name and a parameter display.
+    pub fn new(name: impl Display, parameter: impl Display) -> Self {
+        BenchmarkId {
+            text: format!("{name}/{parameter}"),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId {
+            text: s.to_string(),
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { text: s }
+    }
+}
+
+impl From<&String> for BenchmarkId {
+    fn from(s: &String) -> Self {
+        BenchmarkId { text: s.clone() }
+    }
+}
+
+/// Times closures passed to [`Bencher::iter`].
+pub struct Bencher {
+    iters: u32,
+}
+
+impl Bencher {
+    /// Runs `routine` repeatedly and records the mean time.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        hint::black_box(routine()); // warm-up, untimed
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            hint::black_box(routine());
+        }
+        let total = start.elapsed();
+        let mean = total / self.iters;
+        println!("    {:>12.3?} /iter over {} iters", mean, self.iters);
+    }
+}
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    sample_size: u32,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: DEFAULT_ITERS,
+        }
+    }
+}
+
+impl Criterion {
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("group {name}");
+        BenchmarkGroup {
+            _parent: self,
+            iters: DEFAULT_ITERS,
+        }
+    }
+
+    /// Runs one stand-alone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        mut f: F,
+    ) -> &mut Self {
+        println!("  bench {}", id.into().text);
+        f(&mut Bencher {
+            iters: self.sample_size,
+        });
+        self
+    }
+}
+
+/// A group of related benchmarks sharing settings.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    iters: u32,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the iteration count for subsequent benchmarks (the real
+    /// crate's statistical sample size; here, timed iterations, capped
+    /// to keep local runs quick).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.iters = u32::try_from(n.clamp(1, 50)).unwrap_or(DEFAULT_ITERS);
+        self
+    }
+
+    /// Runs one benchmark in this group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        mut f: F,
+    ) -> &mut Self {
+        println!("  bench {}", id.into().text);
+        f(&mut Bencher { iters: self.iters });
+        self
+    }
+
+    /// Runs one parameterised benchmark in this group.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        println!("  bench {}", id.text);
+        f(&mut Bencher { iters: self.iters }, input);
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Declares a group function running the listed benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_api_runs() {
+        let mut c = Criterion::default();
+        c.bench_function("smoke", |b| b.iter(|| black_box(2 + 2)));
+        let mut group = c.benchmark_group("g");
+        group.sample_size(3);
+        group.bench_with_input(BenchmarkId::new("sq", 4), &4u32, |b, &n| {
+            b.iter(|| black_box(n * n));
+        });
+        group.finish();
+    }
+}

@@ -1,0 +1,173 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The build environment has no access to a crates.io registry, so the
+//! workspace vendors the minimal API surface it actually uses: a
+//! deterministic [`rngs::StdRng`] seeded through [`SeedableRng`], plus
+//! [`Rng::random`] and [`Rng::random_range`] for integer types. The
+//! generator is a SplitMix64 — statistically fine for synthetic test
+//! inputs, and fully deterministic for a given seed (the only property
+//! the workspace's tests rely on).
+
+#![forbid(unsafe_code)]
+
+/// Concrete generators.
+pub mod rngs {
+    /// Deterministic 64-bit generator (SplitMix64 core).
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        pub(crate) state: u64,
+    }
+
+    impl crate::SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            StdRng { state: seed }
+        }
+    }
+
+    impl StdRng {
+        pub(crate) fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        }
+    }
+}
+
+/// Seeding trait (subset of the real crate's).
+pub trait SeedableRng: Sized {
+    /// Builds a generator from a 64-bit seed, deterministically.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// A value samplable uniformly over its whole domain.
+pub trait Standard: Sized {
+    /// Draws one value from `rng`.
+    fn sample(rng: &mut rngs::StdRng) -> Self;
+}
+
+macro_rules! impl_standard_int {
+    ($($t:ty),*) => {$(
+        impl Standard for $t {
+            #[allow(clippy::cast_possible_truncation)]
+            fn sample(rng: &mut rngs::StdRng) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+impl_standard_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Standard for bool {
+    fn sample(rng: &mut rngs::StdRng) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// An integer type usable with [`Rng::random_range`].
+pub trait UniformInt: Copy {
+    /// Uniform draw from `[lo, hi)` (`hi` exclusive).
+    fn uniform(rng: &mut rngs::StdRng, lo: Self, hi: Self) -> Self;
+}
+
+macro_rules! impl_uniform_int {
+    ($($t:ty),*) => {$(
+        impl UniformInt for $t {
+            #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss, clippy::cast_possible_wrap)]
+            fn uniform(rng: &mut rngs::StdRng, lo: Self, hi: Self) -> Self {
+                assert!(lo < hi, "random_range requires a non-empty range");
+                let span = (hi as i128 - lo as i128) as u128;
+                let draw = u128::from(rng.next_u64()) % span;
+                (lo as i128 + draw as i128) as $t
+            }
+        }
+    )*};
+}
+impl_uniform_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Ranges accepted by [`Rng::random_range`].
+pub trait SampleRange<T> {
+    /// Draws one value inside the range.
+    fn sample_from(self, rng: &mut rngs::StdRng) -> T;
+}
+
+impl<T: UniformInt> SampleRange<T> for std::ops::Range<T> {
+    fn sample_from(self, rng: &mut rngs::StdRng) -> T {
+        T::uniform(rng, self.start, self.end)
+    }
+}
+
+impl<T: UniformInt + num_bound::One> SampleRange<T> for std::ops::RangeInclusive<T> {
+    fn sample_from(self, rng: &mut rngs::StdRng) -> T {
+        let (lo, hi) = self.into_inner();
+        T::uniform_inclusive(rng, lo, hi)
+    }
+}
+
+mod num_bound {
+    /// Helper so inclusive ranges avoid overflow at the type maximum.
+    pub trait One: super::UniformInt {
+        fn uniform_inclusive(rng: &mut super::rngs::StdRng, lo: Self, hi: Self) -> Self;
+    }
+    macro_rules! impl_one {
+        ($($t:ty),*) => {$(
+            impl One for $t {
+                #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss, clippy::cast_possible_wrap)]
+                fn uniform_inclusive(
+                    rng: &mut super::rngs::StdRng,
+                    lo: Self,
+                    hi: Self,
+                ) -> Self {
+                    assert!(lo <= hi, "random_range requires a non-empty range");
+                    let span = (hi as i128 - lo as i128 + 1) as u128;
+                    let draw = u128::from(rng.next_u64()) % span;
+                    (lo as i128 + draw as i128) as $t
+                }
+            }
+        )*};
+    }
+    impl_one!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+}
+
+/// Random-value methods (subset of the real crate's `Rng`).
+pub trait Rng {
+    /// Draws a uniformly random value of type `T`.
+    fn random<T: Standard>(&mut self) -> T;
+    /// Draws a value uniformly from the given range.
+    fn random_range<T, R: SampleRange<T>>(&mut self, range: R) -> T;
+}
+
+impl Rng for rngs::StdRng {
+    fn random<T: Standard>(&mut self) -> T {
+        T::sample(self)
+    }
+    fn random_range<T, R: SampleRange<T>>(&mut self, range: R) -> T {
+        range.sample_from(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_for_a_seed() {
+        let mut a = rngs::StdRng::seed_from_u64(7);
+        let mut b = rngs::StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.random::<u64>(), b.random::<u64>());
+        }
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = rngs::StdRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let v: u32 = rng.random_range(1..100);
+            assert!((1..100).contains(&v));
+            let w: i64 = rng.random_range(-5..=5);
+            assert!((-5..=5).contains(&w));
+        }
+    }
+}

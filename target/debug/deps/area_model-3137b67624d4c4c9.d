@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/area_model-3137b67624d4c4c9.d: crates/bench/benches/area_model.rs Cargo.toml
+
+/root/repo/target/debug/deps/libarea_model-3137b67624d4c4c9.rmeta: crates/bench/benches/area_model.rs Cargo.toml
+
+crates/bench/benches/area_model.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=--no-deps__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/differential_prop-28bf8fb60c56d79b.d: tests/differential_prop.rs
+
+/root/repo/target/debug/deps/differential_prop-28bf8fb60c56d79b: tests/differential_prop.rs
+
+tests/differential_prop.rs:

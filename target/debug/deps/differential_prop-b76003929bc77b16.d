@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/differential_prop-b76003929bc77b16.d: tests/differential_prop.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdifferential_prop-b76003929bc77b16.rmeta: tests/differential_prop.rs Cargo.toml
+
+tests/differential_prop.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/differential_prop-ee59e08ebf5efc61.d: tests/differential_prop.rs
+
+/root/repo/target/debug/deps/differential_prop-ee59e08ebf5efc61: tests/differential_prop.rs
+
+tests/differential_prop.rs:

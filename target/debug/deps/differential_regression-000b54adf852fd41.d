@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/differential_regression-000b54adf852fd41.d: tests/differential_regression.rs
+
+/root/repo/target/debug/deps/differential_regression-000b54adf852fd41: tests/differential_regression.rs
+
+tests/differential_regression.rs:

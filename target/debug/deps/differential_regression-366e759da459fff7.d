@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/differential_regression-366e759da459fff7.d: tests/differential_regression.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdifferential_regression-366e759da459fff7.rmeta: tests/differential_regression.rs Cargo.toml
+
+tests/differential_regression.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/epic-1920f0b7085a5c58.d: src/lib.rs
+
+/root/repo/target/debug/deps/epic-1920f0b7085a5c58: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/epic-454a401e468f2e10.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libepic-454a401e468f2e10.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

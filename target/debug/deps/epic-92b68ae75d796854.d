@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/epic-92b68ae75d796854.d: src/lib.rs
+
+/root/repo/target/debug/deps/libepic-92b68ae75d796854.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libepic-92b68ae75d796854.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/epic-d0940c5dde3a5ff8.d: src/lib.rs
+
+/root/repo/target/debug/deps/epic-d0940c5dde3a5ff8: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/epic-ed8503db5470f9ed.d: src/lib.rs
+
+/root/repo/target/debug/deps/libepic-ed8503db5470f9ed.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libepic-ed8503db5470f9ed.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/epic_area-56713fbab18c7663.d: crates/area/src/lib.rs crates/area/src/power.rs Cargo.toml
+
+/root/repo/target/debug/deps/libepic_area-56713fbab18c7663.rmeta: crates/area/src/lib.rs crates/area/src/power.rs Cargo.toml
+
+crates/area/src/lib.rs:
+crates/area/src/power.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=--no-deps__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/epic_area-5ef144332799469b.d: crates/area/src/lib.rs crates/area/src/power.rs Cargo.toml
+
+/root/repo/target/debug/deps/libepic_area-5ef144332799469b.rmeta: crates/area/src/lib.rs crates/area/src/power.rs Cargo.toml
+
+crates/area/src/lib.rs:
+crates/area/src/power.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/epic_area-7998b3f48975a0c7.d: crates/area/src/lib.rs crates/area/src/power.rs
+
+/root/repo/target/debug/deps/epic_area-7998b3f48975a0c7: crates/area/src/lib.rs crates/area/src/power.rs
+
+crates/area/src/lib.rs:
+crates/area/src/power.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/epic_area-fea049859ed76e08.d: crates/area/src/lib.rs crates/area/src/power.rs
+
+/root/repo/target/debug/deps/libepic_area-fea049859ed76e08.rlib: crates/area/src/lib.rs crates/area/src/power.rs
+
+/root/repo/target/debug/deps/libepic_area-fea049859ed76e08.rmeta: crates/area/src/lib.rs crates/area/src/power.rs
+
+crates/area/src/lib.rs:
+crates/area/src/power.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/epic_asm-1ec9a206eb1cf990.d: crates/asm/src/lib.rs crates/asm/src/error.rs crates/asm/src/parser.rs crates/asm/src/program.rs
+
+/root/repo/target/debug/deps/epic_asm-1ec9a206eb1cf990: crates/asm/src/lib.rs crates/asm/src/error.rs crates/asm/src/parser.rs crates/asm/src/program.rs
+
+crates/asm/src/lib.rs:
+crates/asm/src/error.rs:
+crates/asm/src/parser.rs:
+crates/asm/src/program.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/epic_asm-4d4460369f9e922b.d: crates/asm/src/lib.rs crates/asm/src/error.rs crates/asm/src/parser.rs crates/asm/src/program.rs Cargo.toml
+
+/root/repo/target/debug/deps/libepic_asm-4d4460369f9e922b.rmeta: crates/asm/src/lib.rs crates/asm/src/error.rs crates/asm/src/parser.rs crates/asm/src/program.rs Cargo.toml
+
+crates/asm/src/lib.rs:
+crates/asm/src/error.rs:
+crates/asm/src/parser.rs:
+crates/asm/src/program.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/epic_asm-7083cae3e5970a37.d: crates/asm/src/bin/epic-asm.rs Cargo.toml
+
+/root/repo/target/debug/deps/libepic_asm-7083cae3e5970a37.rmeta: crates/asm/src/bin/epic-asm.rs Cargo.toml
+
+crates/asm/src/bin/epic-asm.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=--no-deps__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

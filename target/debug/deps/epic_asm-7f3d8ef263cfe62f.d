@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/epic_asm-7f3d8ef263cfe62f.d: crates/asm/src/bin/epic-asm.rs
+
+/root/repo/target/debug/deps/epic_asm-7f3d8ef263cfe62f: crates/asm/src/bin/epic-asm.rs
+
+crates/asm/src/bin/epic-asm.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/epic_asm-80a3755832211398.d: crates/asm/src/lib.rs crates/asm/src/error.rs crates/asm/src/parser.rs crates/asm/src/program.rs Cargo.toml
+
+/root/repo/target/debug/deps/libepic_asm-80a3755832211398.rmeta: crates/asm/src/lib.rs crates/asm/src/error.rs crates/asm/src/parser.rs crates/asm/src/program.rs Cargo.toml
+
+crates/asm/src/lib.rs:
+crates/asm/src/error.rs:
+crates/asm/src/parser.rs:
+crates/asm/src/program.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=--no-deps__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/epic_asm-91973d732c4630bb.d: crates/asm/src/bin/epic-asm.rs Cargo.toml
+
+/root/repo/target/debug/deps/libepic_asm-91973d732c4630bb.rmeta: crates/asm/src/bin/epic-asm.rs Cargo.toml
+
+crates/asm/src/bin/epic-asm.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=--no-deps__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/epic_asm-aedecd9339158dee.d: crates/asm/src/bin/epic-asm.rs
+
+/root/repo/target/debug/deps/epic_asm-aedecd9339158dee: crates/asm/src/bin/epic-asm.rs
+
+crates/asm/src/bin/epic-asm.rs:

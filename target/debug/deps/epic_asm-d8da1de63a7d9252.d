@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/epic_asm-d8da1de63a7d9252.d: crates/asm/src/lib.rs crates/asm/src/error.rs crates/asm/src/parser.rs crates/asm/src/program.rs
+
+/root/repo/target/debug/deps/libepic_asm-d8da1de63a7d9252.rlib: crates/asm/src/lib.rs crates/asm/src/error.rs crates/asm/src/parser.rs crates/asm/src/program.rs
+
+/root/repo/target/debug/deps/libepic_asm-d8da1de63a7d9252.rmeta: crates/asm/src/lib.rs crates/asm/src/error.rs crates/asm/src/parser.rs crates/asm/src/program.rs
+
+crates/asm/src/lib.rs:
+crates/asm/src/error.rs:
+crates/asm/src/parser.rs:
+crates/asm/src/program.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/epic_bench-136169a3b2f5494d.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libepic_bench-136169a3b2f5494d.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libepic_bench-136169a3b2f5494d.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/epic_bench-354e2047b64cdfa2.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libepic_bench-354e2047b64cdfa2.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=--no-deps__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

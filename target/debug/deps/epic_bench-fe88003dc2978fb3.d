@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/epic_bench-fe88003dc2978fb3.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/epic_bench-fe88003dc2978fb3: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

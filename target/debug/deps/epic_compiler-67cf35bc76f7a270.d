@@ -1,0 +1,19 @@
+/root/repo/target/debug/deps/epic_compiler-67cf35bc76f7a270.d: crates/compiler/src/lib.rs crates/compiler/src/driver.rs crates/compiler/src/emit.rs crates/compiler/src/error.rs crates/compiler/src/ifconv.rs crates/compiler/src/mir.rs crates/compiler/src/passes.rs crates/compiler/src/regalloc.rs crates/compiler/src/sched.rs crates/compiler/src/select.rs crates/compiler/src/suggest.rs Cargo.toml
+
+/root/repo/target/debug/deps/libepic_compiler-67cf35bc76f7a270.rmeta: crates/compiler/src/lib.rs crates/compiler/src/driver.rs crates/compiler/src/emit.rs crates/compiler/src/error.rs crates/compiler/src/ifconv.rs crates/compiler/src/mir.rs crates/compiler/src/passes.rs crates/compiler/src/regalloc.rs crates/compiler/src/sched.rs crates/compiler/src/select.rs crates/compiler/src/suggest.rs Cargo.toml
+
+crates/compiler/src/lib.rs:
+crates/compiler/src/driver.rs:
+crates/compiler/src/emit.rs:
+crates/compiler/src/error.rs:
+crates/compiler/src/ifconv.rs:
+crates/compiler/src/mir.rs:
+crates/compiler/src/passes.rs:
+crates/compiler/src/regalloc.rs:
+crates/compiler/src/sched.rs:
+crates/compiler/src/select.rs:
+crates/compiler/src/suggest.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

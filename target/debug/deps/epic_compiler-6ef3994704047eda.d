@@ -1,0 +1,19 @@
+/root/repo/target/debug/deps/epic_compiler-6ef3994704047eda.d: crates/compiler/src/lib.rs crates/compiler/src/driver.rs crates/compiler/src/emit.rs crates/compiler/src/error.rs crates/compiler/src/ifconv.rs crates/compiler/src/mir.rs crates/compiler/src/passes.rs crates/compiler/src/regalloc.rs crates/compiler/src/sched.rs crates/compiler/src/select.rs crates/compiler/src/suggest.rs Cargo.toml
+
+/root/repo/target/debug/deps/libepic_compiler-6ef3994704047eda.rmeta: crates/compiler/src/lib.rs crates/compiler/src/driver.rs crates/compiler/src/emit.rs crates/compiler/src/error.rs crates/compiler/src/ifconv.rs crates/compiler/src/mir.rs crates/compiler/src/passes.rs crates/compiler/src/regalloc.rs crates/compiler/src/sched.rs crates/compiler/src/select.rs crates/compiler/src/suggest.rs Cargo.toml
+
+crates/compiler/src/lib.rs:
+crates/compiler/src/driver.rs:
+crates/compiler/src/emit.rs:
+crates/compiler/src/error.rs:
+crates/compiler/src/ifconv.rs:
+crates/compiler/src/mir.rs:
+crates/compiler/src/passes.rs:
+crates/compiler/src/regalloc.rs:
+crates/compiler/src/sched.rs:
+crates/compiler/src/select.rs:
+crates/compiler/src/suggest.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=--no-deps__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

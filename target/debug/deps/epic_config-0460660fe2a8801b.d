@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/epic_config-0460660fe2a8801b.d: crates/config/src/lib.rs crates/config/src/builder.rs crates/config/src/custom.rs crates/config/src/error.rs crates/config/src/format.rs crates/config/src/header.rs crates/config/src/params.rs
+
+/root/repo/target/debug/deps/epic_config-0460660fe2a8801b: crates/config/src/lib.rs crates/config/src/builder.rs crates/config/src/custom.rs crates/config/src/error.rs crates/config/src/format.rs crates/config/src/header.rs crates/config/src/params.rs
+
+crates/config/src/lib.rs:
+crates/config/src/builder.rs:
+crates/config/src/custom.rs:
+crates/config/src/error.rs:
+crates/config/src/format.rs:
+crates/config/src/header.rs:
+crates/config/src/params.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/epic_config-11c822a5682f8b6a.d: crates/config/src/lib.rs crates/config/src/builder.rs crates/config/src/custom.rs crates/config/src/error.rs crates/config/src/format.rs crates/config/src/header.rs crates/config/src/params.rs
+
+/root/repo/target/debug/deps/libepic_config-11c822a5682f8b6a.rlib: crates/config/src/lib.rs crates/config/src/builder.rs crates/config/src/custom.rs crates/config/src/error.rs crates/config/src/format.rs crates/config/src/header.rs crates/config/src/params.rs
+
+/root/repo/target/debug/deps/libepic_config-11c822a5682f8b6a.rmeta: crates/config/src/lib.rs crates/config/src/builder.rs crates/config/src/custom.rs crates/config/src/error.rs crates/config/src/format.rs crates/config/src/header.rs crates/config/src/params.rs
+
+crates/config/src/lib.rs:
+crates/config/src/builder.rs:
+crates/config/src/custom.rs:
+crates/config/src/error.rs:
+crates/config/src/format.rs:
+crates/config/src/header.rs:
+crates/config/src/params.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/epic_config-cad333cf093bd8e3.d: crates/config/src/lib.rs crates/config/src/builder.rs crates/config/src/custom.rs crates/config/src/error.rs crates/config/src/format.rs crates/config/src/header.rs crates/config/src/params.rs Cargo.toml
+
+/root/repo/target/debug/deps/libepic_config-cad333cf093bd8e3.rmeta: crates/config/src/lib.rs crates/config/src/builder.rs crates/config/src/custom.rs crates/config/src/error.rs crates/config/src/format.rs crates/config/src/header.rs crates/config/src/params.rs Cargo.toml
+
+crates/config/src/lib.rs:
+crates/config/src/builder.rs:
+crates/config/src/custom.rs:
+crates/config/src/error.rs:
+crates/config/src/format.rs:
+crates/config/src/header.rs:
+crates/config/src/params.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

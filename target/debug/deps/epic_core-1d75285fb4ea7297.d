@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/epic_core-1d75285fb4ea7297.d: crates/core/src/lib.rs crates/core/src/experiments.rs crates/core/src/explore.rs crates/core/src/toolchain.rs Cargo.toml
+
+/root/repo/target/debug/deps/libepic_core-1d75285fb4ea7297.rmeta: crates/core/src/lib.rs crates/core/src/experiments.rs crates/core/src/explore.rs crates/core/src/toolchain.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/experiments.rs:
+crates/core/src/explore.rs:
+crates/core/src/toolchain.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=--no-deps__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

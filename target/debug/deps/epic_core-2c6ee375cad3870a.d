@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/epic_core-2c6ee375cad3870a.d: crates/core/src/lib.rs crates/core/src/experiments.rs crates/core/src/explore.rs crates/core/src/toolchain.rs
+
+/root/repo/target/debug/deps/epic_core-2c6ee375cad3870a: crates/core/src/lib.rs crates/core/src/experiments.rs crates/core/src/explore.rs crates/core/src/toolchain.rs
+
+crates/core/src/lib.rs:
+crates/core/src/experiments.rs:
+crates/core/src/explore.rs:
+crates/core/src/toolchain.rs:

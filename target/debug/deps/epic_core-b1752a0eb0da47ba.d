@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/epic_core-b1752a0eb0da47ba.d: crates/core/src/lib.rs crates/core/src/experiments.rs crates/core/src/explore.rs crates/core/src/toolchain.rs
+
+/root/repo/target/debug/deps/libepic_core-b1752a0eb0da47ba.rlib: crates/core/src/lib.rs crates/core/src/experiments.rs crates/core/src/explore.rs crates/core/src/toolchain.rs
+
+/root/repo/target/debug/deps/libepic_core-b1752a0eb0da47ba.rmeta: crates/core/src/lib.rs crates/core/src/experiments.rs crates/core/src/explore.rs crates/core/src/toolchain.rs
+
+crates/core/src/lib.rs:
+crates/core/src/experiments.rs:
+crates/core/src/explore.rs:
+crates/core/src/toolchain.rs:

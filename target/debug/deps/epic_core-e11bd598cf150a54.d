@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/epic_core-e11bd598cf150a54.d: crates/core/src/lib.rs crates/core/src/experiments.rs crates/core/src/explore.rs crates/core/src/toolchain.rs
+
+/root/repo/target/debug/deps/libepic_core-e11bd598cf150a54.rlib: crates/core/src/lib.rs crates/core/src/experiments.rs crates/core/src/explore.rs crates/core/src/toolchain.rs
+
+/root/repo/target/debug/deps/libepic_core-e11bd598cf150a54.rmeta: crates/core/src/lib.rs crates/core/src/experiments.rs crates/core/src/explore.rs crates/core/src/toolchain.rs
+
+crates/core/src/lib.rs:
+crates/core/src/experiments.rs:
+crates/core/src/explore.rs:
+crates/core/src/toolchain.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/epic_ir-72a13153a909d66d.d: crates/ir/src/lib.rs crates/ir/src/analysis.rs crates/ir/src/ast.rs crates/ir/src/error.rs crates/ir/src/func.rs crates/ir/src/interp.rs crates/ir/src/lower.rs crates/ir/src/module.rs crates/ir/src/ops.rs
+
+/root/repo/target/debug/deps/libepic_ir-72a13153a909d66d.rlib: crates/ir/src/lib.rs crates/ir/src/analysis.rs crates/ir/src/ast.rs crates/ir/src/error.rs crates/ir/src/func.rs crates/ir/src/interp.rs crates/ir/src/lower.rs crates/ir/src/module.rs crates/ir/src/ops.rs
+
+/root/repo/target/debug/deps/libepic_ir-72a13153a909d66d.rmeta: crates/ir/src/lib.rs crates/ir/src/analysis.rs crates/ir/src/ast.rs crates/ir/src/error.rs crates/ir/src/func.rs crates/ir/src/interp.rs crates/ir/src/lower.rs crates/ir/src/module.rs crates/ir/src/ops.rs
+
+crates/ir/src/lib.rs:
+crates/ir/src/analysis.rs:
+crates/ir/src/ast.rs:
+crates/ir/src/error.rs:
+crates/ir/src/func.rs:
+crates/ir/src/interp.rs:
+crates/ir/src/lower.rs:
+crates/ir/src/module.rs:
+crates/ir/src/ops.rs:

@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/epic_ir-76366dda3aa0a45c.d: crates/ir/src/lib.rs crates/ir/src/analysis.rs crates/ir/src/ast.rs crates/ir/src/error.rs crates/ir/src/func.rs crates/ir/src/interp.rs crates/ir/src/lower.rs crates/ir/src/module.rs crates/ir/src/ops.rs Cargo.toml
+
+/root/repo/target/debug/deps/libepic_ir-76366dda3aa0a45c.rmeta: crates/ir/src/lib.rs crates/ir/src/analysis.rs crates/ir/src/ast.rs crates/ir/src/error.rs crates/ir/src/func.rs crates/ir/src/interp.rs crates/ir/src/lower.rs crates/ir/src/module.rs crates/ir/src/ops.rs Cargo.toml
+
+crates/ir/src/lib.rs:
+crates/ir/src/analysis.rs:
+crates/ir/src/ast.rs:
+crates/ir/src/error.rs:
+crates/ir/src/func.rs:
+crates/ir/src/interp.rs:
+crates/ir/src/lower.rs:
+crates/ir/src/module.rs:
+crates/ir/src/ops.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=--no-deps__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

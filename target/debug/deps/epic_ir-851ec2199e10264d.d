@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/epic_ir-851ec2199e10264d.d: crates/ir/src/lib.rs crates/ir/src/analysis.rs crates/ir/src/ast.rs crates/ir/src/error.rs crates/ir/src/func.rs crates/ir/src/interp.rs crates/ir/src/lower.rs crates/ir/src/module.rs crates/ir/src/ops.rs Cargo.toml
+
+/root/repo/target/debug/deps/libepic_ir-851ec2199e10264d.rmeta: crates/ir/src/lib.rs crates/ir/src/analysis.rs crates/ir/src/ast.rs crates/ir/src/error.rs crates/ir/src/func.rs crates/ir/src/interp.rs crates/ir/src/lower.rs crates/ir/src/module.rs crates/ir/src/ops.rs Cargo.toml
+
+crates/ir/src/lib.rs:
+crates/ir/src/analysis.rs:
+crates/ir/src/ast.rs:
+crates/ir/src/error.rs:
+crates/ir/src/func.rs:
+crates/ir/src/interp.rs:
+crates/ir/src/lower.rs:
+crates/ir/src/module.rs:
+crates/ir/src/ops.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

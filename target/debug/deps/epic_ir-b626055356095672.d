@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/epic_ir-b626055356095672.d: crates/ir/src/lib.rs crates/ir/src/analysis.rs crates/ir/src/ast.rs crates/ir/src/error.rs crates/ir/src/func.rs crates/ir/src/interp.rs crates/ir/src/lower.rs crates/ir/src/module.rs crates/ir/src/ops.rs
+
+/root/repo/target/debug/deps/epic_ir-b626055356095672: crates/ir/src/lib.rs crates/ir/src/analysis.rs crates/ir/src/ast.rs crates/ir/src/error.rs crates/ir/src/func.rs crates/ir/src/interp.rs crates/ir/src/lower.rs crates/ir/src/module.rs crates/ir/src/ops.rs
+
+crates/ir/src/lib.rs:
+crates/ir/src/analysis.rs:
+crates/ir/src/ast.rs:
+crates/ir/src/error.rs:
+crates/ir/src/func.rs:
+crates/ir/src/interp.rs:
+crates/ir/src/lower.rs:
+crates/ir/src/module.rs:
+crates/ir/src/ops.rs:

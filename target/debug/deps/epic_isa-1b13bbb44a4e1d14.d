@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/epic_isa-1b13bbb44a4e1d14.d: crates/isa/src/lib.rs crates/isa/src/codec.rs crates/isa/src/disasm.rs crates/isa/src/error.rs crates/isa/src/instr.rs crates/isa/src/op.rs
+
+/root/repo/target/debug/deps/epic_isa-1b13bbb44a4e1d14: crates/isa/src/lib.rs crates/isa/src/codec.rs crates/isa/src/disasm.rs crates/isa/src/error.rs crates/isa/src/instr.rs crates/isa/src/op.rs
+
+crates/isa/src/lib.rs:
+crates/isa/src/codec.rs:
+crates/isa/src/disasm.rs:
+crates/isa/src/error.rs:
+crates/isa/src/instr.rs:
+crates/isa/src/op.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/epic_isa-378daabe21edaf89.d: crates/isa/src/lib.rs crates/isa/src/codec.rs crates/isa/src/disasm.rs crates/isa/src/error.rs crates/isa/src/instr.rs crates/isa/src/op.rs Cargo.toml
+
+/root/repo/target/debug/deps/libepic_isa-378daabe21edaf89.rmeta: crates/isa/src/lib.rs crates/isa/src/codec.rs crates/isa/src/disasm.rs crates/isa/src/error.rs crates/isa/src/instr.rs crates/isa/src/op.rs Cargo.toml
+
+crates/isa/src/lib.rs:
+crates/isa/src/codec.rs:
+crates/isa/src/disasm.rs:
+crates/isa/src/error.rs:
+crates/isa/src/instr.rs:
+crates/isa/src/op.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=--no-deps__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

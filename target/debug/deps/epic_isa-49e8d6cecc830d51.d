@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/epic_isa-49e8d6cecc830d51.d: crates/isa/src/lib.rs crates/isa/src/codec.rs crates/isa/src/disasm.rs crates/isa/src/error.rs crates/isa/src/instr.rs crates/isa/src/op.rs
+
+/root/repo/target/debug/deps/libepic_isa-49e8d6cecc830d51.rlib: crates/isa/src/lib.rs crates/isa/src/codec.rs crates/isa/src/disasm.rs crates/isa/src/error.rs crates/isa/src/instr.rs crates/isa/src/op.rs
+
+/root/repo/target/debug/deps/libepic_isa-49e8d6cecc830d51.rmeta: crates/isa/src/lib.rs crates/isa/src/codec.rs crates/isa/src/disasm.rs crates/isa/src/error.rs crates/isa/src/instr.rs crates/isa/src/op.rs
+
+crates/isa/src/lib.rs:
+crates/isa/src/codec.rs:
+crates/isa/src/disasm.rs:
+crates/isa/src/error.rs:
+crates/isa/src/instr.rs:
+crates/isa/src/op.rs:

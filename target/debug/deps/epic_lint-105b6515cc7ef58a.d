@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/epic_lint-105b6515cc7ef58a.d: crates/verify/src/bin/epic-lint.rs
+
+/root/repo/target/debug/deps/epic_lint-105b6515cc7ef58a: crates/verify/src/bin/epic-lint.rs
+
+crates/verify/src/bin/epic-lint.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/epic_lint-28efa1822d66106f.d: crates/verify/src/bin/epic-lint.rs Cargo.toml
+
+/root/repo/target/debug/deps/libepic_lint-28efa1822d66106f.rmeta: crates/verify/src/bin/epic-lint.rs Cargo.toml
+
+crates/verify/src/bin/epic-lint.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=--no-deps__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

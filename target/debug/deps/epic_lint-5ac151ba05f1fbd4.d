@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/epic_lint-5ac151ba05f1fbd4.d: crates/verify/src/bin/epic-lint.rs
+
+/root/repo/target/debug/deps/epic_lint-5ac151ba05f1fbd4: crates/verify/src/bin/epic-lint.rs
+
+crates/verify/src/bin/epic-lint.rs:

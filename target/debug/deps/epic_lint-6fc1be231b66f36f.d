@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/epic_lint-6fc1be231b66f36f.d: crates/verify/src/bin/epic-lint.rs
+
+/root/repo/target/debug/deps/epic_lint-6fc1be231b66f36f: crates/verify/src/bin/epic-lint.rs
+
+crates/verify/src/bin/epic-lint.rs:

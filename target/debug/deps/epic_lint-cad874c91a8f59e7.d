@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/epic_lint-cad874c91a8f59e7.d: crates/verify/src/bin/epic-lint.rs Cargo.toml
+
+/root/repo/target/debug/deps/libepic_lint-cad874c91a8f59e7.rmeta: crates/verify/src/bin/epic-lint.rs Cargo.toml
+
+crates/verify/src/bin/epic-lint.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=--no-deps__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/epic_mdes-2243adb4849cb84e.d: crates/mdes/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libepic_mdes-2243adb4849cb84e.rmeta: crates/mdes/src/lib.rs Cargo.toml
+
+crates/mdes/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=--no-deps__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/epic_mdes-6b7a7b1e3679ef3c.d: crates/mdes/src/lib.rs
+
+/root/repo/target/debug/deps/epic_mdes-6b7a7b1e3679ef3c: crates/mdes/src/lib.rs
+
+crates/mdes/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/epic_mdes-797dc6fa3ab8f326.d: crates/mdes/src/lib.rs
+
+/root/repo/target/debug/deps/libepic_mdes-797dc6fa3ab8f326.rlib: crates/mdes/src/lib.rs
+
+/root/repo/target/debug/deps/libepic_mdes-797dc6fa3ab8f326.rmeta: crates/mdes/src/lib.rs
+
+crates/mdes/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/epic_mdes-7f2b5410b7eebcd4.d: crates/mdes/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libepic_mdes-7f2b5410b7eebcd4.rmeta: crates/mdes/src/lib.rs Cargo.toml
+
+crates/mdes/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

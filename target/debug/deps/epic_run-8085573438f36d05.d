@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/epic_run-8085573438f36d05.d: crates/core/src/bin/epic-run.rs
+
+/root/repo/target/debug/deps/epic_run-8085573438f36d05: crates/core/src/bin/epic-run.rs
+
+crates/core/src/bin/epic-run.rs:

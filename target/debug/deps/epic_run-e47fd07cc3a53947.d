@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/epic_run-e47fd07cc3a53947.d: crates/core/src/bin/epic-run.rs Cargo.toml
+
+/root/repo/target/debug/deps/libepic_run-e47fd07cc3a53947.rmeta: crates/core/src/bin/epic-run.rs Cargo.toml
+
+crates/core/src/bin/epic-run.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=--no-deps__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

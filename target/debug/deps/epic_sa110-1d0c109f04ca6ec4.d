@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/epic_sa110-1d0c109f04ca6ec4.d: crates/sa110/src/lib.rs crates/sa110/src/codegen.rs crates/sa110/src/isa.rs crates/sa110/src/sim.rs
+
+/root/repo/target/debug/deps/libepic_sa110-1d0c109f04ca6ec4.rlib: crates/sa110/src/lib.rs crates/sa110/src/codegen.rs crates/sa110/src/isa.rs crates/sa110/src/sim.rs
+
+/root/repo/target/debug/deps/libepic_sa110-1d0c109f04ca6ec4.rmeta: crates/sa110/src/lib.rs crates/sa110/src/codegen.rs crates/sa110/src/isa.rs crates/sa110/src/sim.rs
+
+crates/sa110/src/lib.rs:
+crates/sa110/src/codegen.rs:
+crates/sa110/src/isa.rs:
+crates/sa110/src/sim.rs:

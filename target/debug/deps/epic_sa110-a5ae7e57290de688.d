@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/epic_sa110-a5ae7e57290de688.d: crates/sa110/src/lib.rs crates/sa110/src/codegen.rs crates/sa110/src/isa.rs crates/sa110/src/sim.rs Cargo.toml
+
+/root/repo/target/debug/deps/libepic_sa110-a5ae7e57290de688.rmeta: crates/sa110/src/lib.rs crates/sa110/src/codegen.rs crates/sa110/src/isa.rs crates/sa110/src/sim.rs Cargo.toml
+
+crates/sa110/src/lib.rs:
+crates/sa110/src/codegen.rs:
+crates/sa110/src/isa.rs:
+crates/sa110/src/sim.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=--no-deps__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/epic_sa110-b15dc3e9c97a526f.d: crates/sa110/src/lib.rs crates/sa110/src/codegen.rs crates/sa110/src/isa.rs crates/sa110/src/sim.rs Cargo.toml
+
+/root/repo/target/debug/deps/libepic_sa110-b15dc3e9c97a526f.rmeta: crates/sa110/src/lib.rs crates/sa110/src/codegen.rs crates/sa110/src/isa.rs crates/sa110/src/sim.rs Cargo.toml
+
+crates/sa110/src/lib.rs:
+crates/sa110/src/codegen.rs:
+crates/sa110/src/isa.rs:
+crates/sa110/src/sim.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

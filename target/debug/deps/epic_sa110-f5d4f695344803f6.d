@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/epic_sa110-f5d4f695344803f6.d: crates/sa110/src/lib.rs crates/sa110/src/codegen.rs crates/sa110/src/isa.rs crates/sa110/src/sim.rs
+
+/root/repo/target/debug/deps/epic_sa110-f5d4f695344803f6: crates/sa110/src/lib.rs crates/sa110/src/codegen.rs crates/sa110/src/isa.rs crates/sa110/src/sim.rs
+
+crates/sa110/src/lib.rs:
+crates/sa110/src/codegen.rs:
+crates/sa110/src/isa.rs:
+crates/sa110/src/sim.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/epic_sim-94a45cd8a68f3a4c.d: crates/sim/src/lib.rs crates/sim/src/error.rs crates/sim/src/exec.rs crates/sim/src/machine.rs crates/sim/src/memory.rs crates/sim/src/stats.rs Cargo.toml
+
+/root/repo/target/debug/deps/libepic_sim-94a45cd8a68f3a4c.rmeta: crates/sim/src/lib.rs crates/sim/src/error.rs crates/sim/src/exec.rs crates/sim/src/machine.rs crates/sim/src/memory.rs crates/sim/src/stats.rs Cargo.toml
+
+crates/sim/src/lib.rs:
+crates/sim/src/error.rs:
+crates/sim/src/exec.rs:
+crates/sim/src/machine.rs:
+crates/sim/src/memory.rs:
+crates/sim/src/stats.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

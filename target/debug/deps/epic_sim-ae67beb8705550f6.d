@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/epic_sim-ae67beb8705550f6.d: crates/sim/src/lib.rs crates/sim/src/error.rs crates/sim/src/exec.rs crates/sim/src/machine.rs crates/sim/src/memory.rs crates/sim/src/stats.rs Cargo.toml
+
+/root/repo/target/debug/deps/libepic_sim-ae67beb8705550f6.rmeta: crates/sim/src/lib.rs crates/sim/src/error.rs crates/sim/src/exec.rs crates/sim/src/machine.rs crates/sim/src/memory.rs crates/sim/src/stats.rs Cargo.toml
+
+crates/sim/src/lib.rs:
+crates/sim/src/error.rs:
+crates/sim/src/exec.rs:
+crates/sim/src/machine.rs:
+crates/sim/src/memory.rs:
+crates/sim/src/stats.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=--no-deps__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

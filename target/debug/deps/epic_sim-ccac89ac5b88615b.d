@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/epic_sim-ccac89ac5b88615b.d: crates/sim/src/lib.rs crates/sim/src/error.rs crates/sim/src/exec.rs crates/sim/src/machine.rs crates/sim/src/memory.rs crates/sim/src/stats.rs
+
+/root/repo/target/debug/deps/epic_sim-ccac89ac5b88615b: crates/sim/src/lib.rs crates/sim/src/error.rs crates/sim/src/exec.rs crates/sim/src/machine.rs crates/sim/src/memory.rs crates/sim/src/stats.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/error.rs:
+crates/sim/src/exec.rs:
+crates/sim/src/machine.rs:
+crates/sim/src/memory.rs:
+crates/sim/src/stats.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/epic_sim-d5918d1480dbd006.d: crates/sim/src/lib.rs crates/sim/src/error.rs crates/sim/src/exec.rs crates/sim/src/machine.rs crates/sim/src/memory.rs crates/sim/src/stats.rs
+
+/root/repo/target/debug/deps/libepic_sim-d5918d1480dbd006.rlib: crates/sim/src/lib.rs crates/sim/src/error.rs crates/sim/src/exec.rs crates/sim/src/machine.rs crates/sim/src/memory.rs crates/sim/src/stats.rs
+
+/root/repo/target/debug/deps/libepic_sim-d5918d1480dbd006.rmeta: crates/sim/src/lib.rs crates/sim/src/error.rs crates/sim/src/exec.rs crates/sim/src/machine.rs crates/sim/src/memory.rs crates/sim/src/stats.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/error.rs:
+crates/sim/src/exec.rs:
+crates/sim/src/machine.rs:
+crates/sim/src/memory.rs:
+crates/sim/src/stats.rs:

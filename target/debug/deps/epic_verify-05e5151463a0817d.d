@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/epic_verify-05e5151463a0817d.d: crates/verify/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libepic_verify-05e5151463a0817d.rmeta: crates/verify/src/lib.rs Cargo.toml
+
+crates/verify/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=--no-deps__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

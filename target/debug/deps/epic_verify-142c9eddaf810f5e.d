@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/epic_verify-142c9eddaf810f5e.d: crates/verify/src/lib.rs
+
+/root/repo/target/debug/deps/epic_verify-142c9eddaf810f5e: crates/verify/src/lib.rs
+
+crates/verify/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/epic_verify-7c6140d0d54c58bd.d: crates/verify/src/lib.rs
+
+/root/repo/target/debug/deps/libepic_verify-7c6140d0d54c58bd.rlib: crates/verify/src/lib.rs
+
+/root/repo/target/debug/deps/libepic_verify-7c6140d0d54c58bd.rmeta: crates/verify/src/lib.rs
+
+crates/verify/src/lib.rs:

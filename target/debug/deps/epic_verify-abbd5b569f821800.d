@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/epic_verify-abbd5b569f821800.d: crates/verify/src/lib.rs
+
+/root/repo/target/debug/deps/epic_verify-abbd5b569f821800: crates/verify/src/lib.rs
+
+crates/verify/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/epic_verify-d8490dedc74c623f.d: crates/verify/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libepic_verify-d8490dedc74c623f.rmeta: crates/verify/src/lib.rs Cargo.toml
+
+crates/verify/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/epic_workloads-6477ad095fd885f7.d: crates/workloads/src/lib.rs crates/workloads/src/aes.rs crates/workloads/src/dct.rs crates/workloads/src/dijkstra.rs crates/workloads/src/inputs.rs crates/workloads/src/sha.rs Cargo.toml
+
+/root/repo/target/debug/deps/libepic_workloads-6477ad095fd885f7.rmeta: crates/workloads/src/lib.rs crates/workloads/src/aes.rs crates/workloads/src/dct.rs crates/workloads/src/dijkstra.rs crates/workloads/src/inputs.rs crates/workloads/src/sha.rs Cargo.toml
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/aes.rs:
+crates/workloads/src/dct.rs:
+crates/workloads/src/dijkstra.rs:
+crates/workloads/src/inputs.rs:
+crates/workloads/src/sha.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

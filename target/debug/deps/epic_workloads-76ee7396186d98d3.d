@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/epic_workloads-76ee7396186d98d3.d: crates/workloads/src/lib.rs crates/workloads/src/aes.rs crates/workloads/src/dct.rs crates/workloads/src/dijkstra.rs crates/workloads/src/inputs.rs crates/workloads/src/sha.rs Cargo.toml
+
+/root/repo/target/debug/deps/libepic_workloads-76ee7396186d98d3.rmeta: crates/workloads/src/lib.rs crates/workloads/src/aes.rs crates/workloads/src/dct.rs crates/workloads/src/dijkstra.rs crates/workloads/src/inputs.rs crates/workloads/src/sha.rs Cargo.toml
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/aes.rs:
+crates/workloads/src/dct.rs:
+crates/workloads/src/dijkstra.rs:
+crates/workloads/src/inputs.rs:
+crates/workloads/src/sha.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=--no-deps__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

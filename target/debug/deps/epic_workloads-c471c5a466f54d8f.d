@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/epic_workloads-c471c5a466f54d8f.d: crates/workloads/src/lib.rs crates/workloads/src/aes.rs crates/workloads/src/dct.rs crates/workloads/src/dijkstra.rs crates/workloads/src/inputs.rs crates/workloads/src/sha.rs
+
+/root/repo/target/debug/deps/epic_workloads-c471c5a466f54d8f: crates/workloads/src/lib.rs crates/workloads/src/aes.rs crates/workloads/src/dct.rs crates/workloads/src/dijkstra.rs crates/workloads/src/inputs.rs crates/workloads/src/sha.rs
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/aes.rs:
+crates/workloads/src/dct.rs:
+crates/workloads/src/dijkstra.rs:
+crates/workloads/src/inputs.rs:
+crates/workloads/src/sha.rs:

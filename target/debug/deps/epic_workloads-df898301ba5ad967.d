@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/epic_workloads-df898301ba5ad967.d: crates/workloads/src/lib.rs crates/workloads/src/aes.rs crates/workloads/src/dct.rs crates/workloads/src/dijkstra.rs crates/workloads/src/inputs.rs crates/workloads/src/sha.rs
+
+/root/repo/target/debug/deps/libepic_workloads-df898301ba5ad967.rlib: crates/workloads/src/lib.rs crates/workloads/src/aes.rs crates/workloads/src/dct.rs crates/workloads/src/dijkstra.rs crates/workloads/src/inputs.rs crates/workloads/src/sha.rs
+
+/root/repo/target/debug/deps/libepic_workloads-df898301ba5ad967.rmeta: crates/workloads/src/lib.rs crates/workloads/src/aes.rs crates/workloads/src/dct.rs crates/workloads/src/dijkstra.rs crates/workloads/src/inputs.rs crates/workloads/src/sha.rs
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/aes.rs:
+crates/workloads/src/dct.rs:
+crates/workloads/src/dijkstra.rs:
+crates/workloads/src/inputs.rs:
+crates/workloads/src/sha.rs:

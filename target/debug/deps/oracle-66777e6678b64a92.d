@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/oracle-66777e6678b64a92.d: crates/verify/tests/oracle.rs Cargo.toml
+
+/root/repo/target/debug/deps/liboracle-66777e6678b64a92.rmeta: crates/verify/tests/oracle.rs Cargo.toml
+
+crates/verify/tests/oracle.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=--no-deps__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

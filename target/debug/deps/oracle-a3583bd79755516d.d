@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/oracle-a3583bd79755516d.d: crates/verify/tests/oracle.rs
+
+/root/repo/target/debug/deps/oracle-a3583bd79755516d: crates/verify/tests/oracle.rs
+
+crates/verify/tests/oracle.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/prop_asm-0653073ba7c0560c.d: crates/asm/tests/prop_asm.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprop_asm-0653073ba7c0560c.rmeta: crates/asm/tests/prop_asm.rs Cargo.toml
+
+crates/asm/tests/prop_asm.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=--no-deps__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

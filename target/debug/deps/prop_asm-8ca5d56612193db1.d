@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop_asm-8ca5d56612193db1.d: crates/asm/tests/prop_asm.rs
+
+/root/repo/target/debug/deps/prop_asm-8ca5d56612193db1: crates/asm/tests/prop_asm.rs
+
+crates/asm/tests/prop_asm.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/prop_header-181c344c321fabda.d: crates/config/tests/prop_header.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprop_header-181c344c321fabda.rmeta: crates/config/tests/prop_header.rs Cargo.toml
+
+crates/config/tests/prop_header.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=--no-deps__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop_header-cd8a61024bddb526.d: crates/config/tests/prop_header.rs
+
+/root/repo/target/debug/deps/prop_header-cd8a61024bddb526: crates/config/tests/prop_header.rs
+
+crates/config/tests/prop_header.rs:

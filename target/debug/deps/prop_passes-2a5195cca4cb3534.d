@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop_passes-2a5195cca4cb3534.d: crates/compiler/tests/prop_passes.rs
+
+/root/repo/target/debug/deps/prop_passes-2a5195cca4cb3534: crates/compiler/tests/prop_passes.rs
+
+crates/compiler/tests/prop_passes.rs:

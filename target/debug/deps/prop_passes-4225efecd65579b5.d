@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/prop_passes-4225efecd65579b5.d: crates/compiler/tests/prop_passes.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprop_passes-4225efecd65579b5.rmeta: crates/compiler/tests/prop_passes.rs Cargo.toml
+
+crates/compiler/tests/prop_passes.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=--no-deps__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

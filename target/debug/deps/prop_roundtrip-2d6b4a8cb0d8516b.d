@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/prop_roundtrip-2d6b4a8cb0d8516b.d: crates/isa/tests/prop_roundtrip.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprop_roundtrip-2d6b4a8cb0d8516b.rmeta: crates/isa/tests/prop_roundtrip.rs Cargo.toml
+
+crates/isa/tests/prop_roundtrip.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=--no-deps__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

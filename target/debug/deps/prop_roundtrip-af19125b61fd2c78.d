@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop_roundtrip-af19125b61fd2c78.d: crates/isa/tests/prop_roundtrip.rs
+
+/root/repo/target/debug/deps/prop_roundtrip-af19125b61fd2c78: crates/isa/tests/prop_roundtrip.rs
+
+crates/isa/tests/prop_roundtrip.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/properties-1edc089149d14f00.d: crates/verify/tests/properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproperties-1edc089149d14f00.rmeta: crates/verify/tests/properties.rs Cargo.toml
+
+crates/verify/tests/properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=--no-deps__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-6408ad79e78b52ee.d: crates/verify/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-6408ad79e78b52ee: crates/verify/tests/properties.rs
+
+crates/verify/tests/properties.rs:

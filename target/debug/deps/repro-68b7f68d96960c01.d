@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro-68b7f68d96960c01.d: crates/bench/src/bin/repro.rs
+
+/root/repo/target/debug/deps/repro-68b7f68d96960c01: crates/bench/src/bin/repro.rs
+
+crates/bench/src/bin/repro.rs:

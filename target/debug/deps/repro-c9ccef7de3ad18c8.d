@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro-c9ccef7de3ad18c8.d: crates/bench/src/bin/repro.rs
+
+/root/repo/target/debug/deps/repro-c9ccef7de3ad18c8: crates/bench/src/bin/repro.rs
+
+crates/bench/src/bin/repro.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/seeded-ae52804e1f160aa1.d: crates/verify/tests/seeded.rs
+
+/root/repo/target/debug/deps/seeded-ae52804e1f160aa1: crates/verify/tests/seeded.rs
+
+crates/verify/tests/seeded.rs:

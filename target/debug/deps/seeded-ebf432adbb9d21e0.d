@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/seeded-ebf432adbb9d21e0.d: crates/verify/tests/seeded.rs Cargo.toml
+
+/root/repo/target/debug/deps/libseeded-ebf432adbb9d21e0.rmeta: crates/verify/tests/seeded.rs Cargo.toml
+
+crates/verify/tests/seeded.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=--no-deps__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

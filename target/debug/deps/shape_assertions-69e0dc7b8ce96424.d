@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/shape_assertions-69e0dc7b8ce96424.d: tests/shape_assertions.rs
+
+/root/repo/target/debug/deps/shape_assertions-69e0dc7b8ce96424: tests/shape_assertions.rs
+
+tests/shape_assertions.rs:

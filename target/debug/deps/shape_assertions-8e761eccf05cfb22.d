@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/shape_assertions-8e761eccf05cfb22.d: tests/shape_assertions.rs
+
+/root/repo/target/debug/deps/shape_assertions-8e761eccf05cfb22: tests/shape_assertions.rs
+
+tests/shape_assertions.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/shape_assertions-b2bce5f7b919e084.d: tests/shape_assertions.rs Cargo.toml
+
+/root/repo/target/debug/deps/libshape_assertions-b2bce5f7b919e084.rmeta: tests/shape_assertions.rs Cargo.toml
+
+tests/shape_assertions.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

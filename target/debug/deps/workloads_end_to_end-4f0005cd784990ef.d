@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/workloads_end_to_end-4f0005cd784990ef.d: tests/workloads_end_to_end.rs
+
+/root/repo/target/debug/deps/workloads_end_to_end-4f0005cd784990ef: tests/workloads_end_to_end.rs
+
+tests/workloads_end_to_end.rs:

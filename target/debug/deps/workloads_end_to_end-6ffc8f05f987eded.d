@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/workloads_end_to_end-6ffc8f05f987eded.d: tests/workloads_end_to_end.rs
+
+/root/repo/target/debug/deps/workloads_end_to_end-6ffc8f05f987eded: tests/workloads_end_to_end.rs
+
+tests/workloads_end_to_end.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/workloads_end_to_end-e97589415894f9c6.d: tests/workloads_end_to_end.rs Cargo.toml
+
+/root/repo/target/debug/deps/libworkloads_end_to_end-e97589415894f9c6.rmeta: tests/workloads_end_to_end.rs Cargo.toml
+
+tests/workloads_end_to_end.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

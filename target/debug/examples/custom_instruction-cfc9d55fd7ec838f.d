@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/custom_instruction-cfc9d55fd7ec838f.d: examples/custom_instruction.rs
+
+/root/repo/target/debug/examples/custom_instruction-cfc9d55fd7ec838f: examples/custom_instruction.rs
+
+examples/custom_instruction.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/custom_instruction-e328ca5423b75505.d: examples/custom_instruction.rs Cargo.toml
+
+/root/repo/target/debug/examples/libcustom_instruction-e328ca5423b75505.rmeta: examples/custom_instruction.rs Cargo.toml
+
+examples/custom_instruction.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/custom_instruction-e3f604ce3029cc86.d: examples/custom_instruction.rs
+
+/root/repo/target/debug/examples/custom_instruction-e3f604ce3029cc86: examples/custom_instruction.rs
+
+examples/custom_instruction.rs:

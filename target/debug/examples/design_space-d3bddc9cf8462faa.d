@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/design_space-d3bddc9cf8462faa.d: examples/design_space.rs
+
+/root/repo/target/debug/examples/design_space-d3bddc9cf8462faa: examples/design_space.rs
+
+examples/design_space.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/design_space-fc9344b119feaf28.d: examples/design_space.rs
+
+/root/repo/target/debug/examples/design_space-fc9344b119feaf28: examples/design_space.rs
+
+examples/design_space.rs:

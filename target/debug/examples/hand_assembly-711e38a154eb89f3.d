@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/hand_assembly-711e38a154eb89f3.d: examples/hand_assembly.rs
+
+/root/repo/target/debug/examples/hand_assembly-711e38a154eb89f3: examples/hand_assembly.rs
+
+examples/hand_assembly.rs:

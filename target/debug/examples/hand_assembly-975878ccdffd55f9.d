@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/hand_assembly-975878ccdffd55f9.d: examples/hand_assembly.rs
+
+/root/repo/target/debug/examples/hand_assembly-975878ccdffd55f9: examples/hand_assembly.rs
+
+examples/hand_assembly.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/hand_assembly-df220487e8f67268.d: examples/hand_assembly.rs Cargo.toml
+
+/root/repo/target/debug/examples/libhand_assembly-df220487e8f67268.rmeta: examples/hand_assembly.rs Cargo.toml
+
+examples/hand_assembly.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

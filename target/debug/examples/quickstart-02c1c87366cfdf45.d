@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-02c1c87366cfdf45.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-02c1c87366cfdf45: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-52d4849816580d00.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-52d4849816580d00: examples/quickstart.rs
+
+examples/quickstart.rs:

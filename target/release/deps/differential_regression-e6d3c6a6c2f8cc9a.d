@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/differential_regression-e6d3c6a6c2f8cc9a.d: tests/differential_regression.rs
+
+/root/repo/target/release/deps/differential_regression-e6d3c6a6c2f8cc9a: tests/differential_regression.rs
+
+tests/differential_regression.rs:

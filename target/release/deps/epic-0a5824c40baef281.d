@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/epic-0a5824c40baef281.d: src/lib.rs
+
+/root/repo/target/release/deps/libepic-0a5824c40baef281.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libepic-0a5824c40baef281.rmeta: src/lib.rs
+
+src/lib.rs:

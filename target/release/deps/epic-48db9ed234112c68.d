@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/epic-48db9ed234112c68.d: src/lib.rs
+
+/root/repo/target/release/deps/libepic-48db9ed234112c68.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libepic-48db9ed234112c68.rmeta: src/lib.rs
+
+src/lib.rs:

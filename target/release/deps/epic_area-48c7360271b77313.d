@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/epic_area-48c7360271b77313.d: crates/area/src/lib.rs crates/area/src/power.rs
+
+/root/repo/target/release/deps/libepic_area-48c7360271b77313.rlib: crates/area/src/lib.rs crates/area/src/power.rs
+
+/root/repo/target/release/deps/libepic_area-48c7360271b77313.rmeta: crates/area/src/lib.rs crates/area/src/power.rs
+
+crates/area/src/lib.rs:
+crates/area/src/power.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/epic_asm-6f800350df73844c.d: crates/asm/src/lib.rs crates/asm/src/error.rs crates/asm/src/parser.rs crates/asm/src/program.rs
+
+/root/repo/target/release/deps/libepic_asm-6f800350df73844c.rlib: crates/asm/src/lib.rs crates/asm/src/error.rs crates/asm/src/parser.rs crates/asm/src/program.rs
+
+/root/repo/target/release/deps/libepic_asm-6f800350df73844c.rmeta: crates/asm/src/lib.rs crates/asm/src/error.rs crates/asm/src/parser.rs crates/asm/src/program.rs
+
+crates/asm/src/lib.rs:
+crates/asm/src/error.rs:
+crates/asm/src/parser.rs:
+crates/asm/src/program.rs:

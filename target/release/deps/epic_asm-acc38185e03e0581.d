@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/epic_asm-acc38185e03e0581.d: crates/asm/src/bin/epic-asm.rs
+
+/root/repo/target/release/deps/epic_asm-acc38185e03e0581: crates/asm/src/bin/epic-asm.rs
+
+crates/asm/src/bin/epic-asm.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/epic_bench-ff57b47976f4406c.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libepic_bench-ff57b47976f4406c.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libepic_bench-ff57b47976f4406c.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,17 @@
+/root/repo/target/release/deps/epic_compiler-3e22b8b6c55bd6d2.d: crates/compiler/src/lib.rs crates/compiler/src/driver.rs crates/compiler/src/emit.rs crates/compiler/src/error.rs crates/compiler/src/ifconv.rs crates/compiler/src/mir.rs crates/compiler/src/passes.rs crates/compiler/src/regalloc.rs crates/compiler/src/sched.rs crates/compiler/src/select.rs crates/compiler/src/suggest.rs
+
+/root/repo/target/release/deps/libepic_compiler-3e22b8b6c55bd6d2.rlib: crates/compiler/src/lib.rs crates/compiler/src/driver.rs crates/compiler/src/emit.rs crates/compiler/src/error.rs crates/compiler/src/ifconv.rs crates/compiler/src/mir.rs crates/compiler/src/passes.rs crates/compiler/src/regalloc.rs crates/compiler/src/sched.rs crates/compiler/src/select.rs crates/compiler/src/suggest.rs
+
+/root/repo/target/release/deps/libepic_compiler-3e22b8b6c55bd6d2.rmeta: crates/compiler/src/lib.rs crates/compiler/src/driver.rs crates/compiler/src/emit.rs crates/compiler/src/error.rs crates/compiler/src/ifconv.rs crates/compiler/src/mir.rs crates/compiler/src/passes.rs crates/compiler/src/regalloc.rs crates/compiler/src/sched.rs crates/compiler/src/select.rs crates/compiler/src/suggest.rs
+
+crates/compiler/src/lib.rs:
+crates/compiler/src/driver.rs:
+crates/compiler/src/emit.rs:
+crates/compiler/src/error.rs:
+crates/compiler/src/ifconv.rs:
+crates/compiler/src/mir.rs:
+crates/compiler/src/passes.rs:
+crates/compiler/src/regalloc.rs:
+crates/compiler/src/sched.rs:
+crates/compiler/src/select.rs:
+crates/compiler/src/suggest.rs:

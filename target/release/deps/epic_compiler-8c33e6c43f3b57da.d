@@ -1,0 +1,17 @@
+/root/repo/target/release/deps/epic_compiler-8c33e6c43f3b57da.d: crates/compiler/src/lib.rs crates/compiler/src/driver.rs crates/compiler/src/emit.rs crates/compiler/src/error.rs crates/compiler/src/ifconv.rs crates/compiler/src/mir.rs crates/compiler/src/passes.rs crates/compiler/src/regalloc.rs crates/compiler/src/sched.rs crates/compiler/src/select.rs crates/compiler/src/suggest.rs
+
+/root/repo/target/release/deps/libepic_compiler-8c33e6c43f3b57da.rlib: crates/compiler/src/lib.rs crates/compiler/src/driver.rs crates/compiler/src/emit.rs crates/compiler/src/error.rs crates/compiler/src/ifconv.rs crates/compiler/src/mir.rs crates/compiler/src/passes.rs crates/compiler/src/regalloc.rs crates/compiler/src/sched.rs crates/compiler/src/select.rs crates/compiler/src/suggest.rs
+
+/root/repo/target/release/deps/libepic_compiler-8c33e6c43f3b57da.rmeta: crates/compiler/src/lib.rs crates/compiler/src/driver.rs crates/compiler/src/emit.rs crates/compiler/src/error.rs crates/compiler/src/ifconv.rs crates/compiler/src/mir.rs crates/compiler/src/passes.rs crates/compiler/src/regalloc.rs crates/compiler/src/sched.rs crates/compiler/src/select.rs crates/compiler/src/suggest.rs
+
+crates/compiler/src/lib.rs:
+crates/compiler/src/driver.rs:
+crates/compiler/src/emit.rs:
+crates/compiler/src/error.rs:
+crates/compiler/src/ifconv.rs:
+crates/compiler/src/mir.rs:
+crates/compiler/src/passes.rs:
+crates/compiler/src/regalloc.rs:
+crates/compiler/src/sched.rs:
+crates/compiler/src/select.rs:
+crates/compiler/src/suggest.rs:

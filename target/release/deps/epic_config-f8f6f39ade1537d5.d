@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/epic_config-f8f6f39ade1537d5.d: crates/config/src/lib.rs crates/config/src/builder.rs crates/config/src/custom.rs crates/config/src/error.rs crates/config/src/format.rs crates/config/src/header.rs crates/config/src/params.rs
+
+/root/repo/target/release/deps/libepic_config-f8f6f39ade1537d5.rlib: crates/config/src/lib.rs crates/config/src/builder.rs crates/config/src/custom.rs crates/config/src/error.rs crates/config/src/format.rs crates/config/src/header.rs crates/config/src/params.rs
+
+/root/repo/target/release/deps/libepic_config-f8f6f39ade1537d5.rmeta: crates/config/src/lib.rs crates/config/src/builder.rs crates/config/src/custom.rs crates/config/src/error.rs crates/config/src/format.rs crates/config/src/header.rs crates/config/src/params.rs
+
+crates/config/src/lib.rs:
+crates/config/src/builder.rs:
+crates/config/src/custom.rs:
+crates/config/src/error.rs:
+crates/config/src/format.rs:
+crates/config/src/header.rs:
+crates/config/src/params.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/epic_core-1f8fcdedfd576308.d: crates/core/src/lib.rs crates/core/src/experiments.rs crates/core/src/explore.rs crates/core/src/toolchain.rs
+
+/root/repo/target/release/deps/libepic_core-1f8fcdedfd576308.rlib: crates/core/src/lib.rs crates/core/src/experiments.rs crates/core/src/explore.rs crates/core/src/toolchain.rs
+
+/root/repo/target/release/deps/libepic_core-1f8fcdedfd576308.rmeta: crates/core/src/lib.rs crates/core/src/experiments.rs crates/core/src/explore.rs crates/core/src/toolchain.rs
+
+crates/core/src/lib.rs:
+crates/core/src/experiments.rs:
+crates/core/src/explore.rs:
+crates/core/src/toolchain.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/epic_core-e35e2b0bd53676d2.d: crates/core/src/lib.rs crates/core/src/experiments.rs crates/core/src/explore.rs crates/core/src/toolchain.rs
+
+/root/repo/target/release/deps/libepic_core-e35e2b0bd53676d2.rlib: crates/core/src/lib.rs crates/core/src/experiments.rs crates/core/src/explore.rs crates/core/src/toolchain.rs
+
+/root/repo/target/release/deps/libepic_core-e35e2b0bd53676d2.rmeta: crates/core/src/lib.rs crates/core/src/experiments.rs crates/core/src/explore.rs crates/core/src/toolchain.rs
+
+crates/core/src/lib.rs:
+crates/core/src/experiments.rs:
+crates/core/src/explore.rs:
+crates/core/src/toolchain.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/epic_ir-620af6ed2474dfa5.d: crates/ir/src/lib.rs crates/ir/src/analysis.rs crates/ir/src/ast.rs crates/ir/src/error.rs crates/ir/src/func.rs crates/ir/src/interp.rs crates/ir/src/lower.rs crates/ir/src/module.rs crates/ir/src/ops.rs
+
+/root/repo/target/release/deps/libepic_ir-620af6ed2474dfa5.rlib: crates/ir/src/lib.rs crates/ir/src/analysis.rs crates/ir/src/ast.rs crates/ir/src/error.rs crates/ir/src/func.rs crates/ir/src/interp.rs crates/ir/src/lower.rs crates/ir/src/module.rs crates/ir/src/ops.rs
+
+/root/repo/target/release/deps/libepic_ir-620af6ed2474dfa5.rmeta: crates/ir/src/lib.rs crates/ir/src/analysis.rs crates/ir/src/ast.rs crates/ir/src/error.rs crates/ir/src/func.rs crates/ir/src/interp.rs crates/ir/src/lower.rs crates/ir/src/module.rs crates/ir/src/ops.rs
+
+crates/ir/src/lib.rs:
+crates/ir/src/analysis.rs:
+crates/ir/src/ast.rs:
+crates/ir/src/error.rs:
+crates/ir/src/func.rs:
+crates/ir/src/interp.rs:
+crates/ir/src/lower.rs:
+crates/ir/src/module.rs:
+crates/ir/src/ops.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/epic_isa-0cfeb8ec0128c4f0.d: crates/isa/src/lib.rs crates/isa/src/codec.rs crates/isa/src/disasm.rs crates/isa/src/error.rs crates/isa/src/instr.rs crates/isa/src/op.rs
+
+/root/repo/target/release/deps/libepic_isa-0cfeb8ec0128c4f0.rlib: crates/isa/src/lib.rs crates/isa/src/codec.rs crates/isa/src/disasm.rs crates/isa/src/error.rs crates/isa/src/instr.rs crates/isa/src/op.rs
+
+/root/repo/target/release/deps/libepic_isa-0cfeb8ec0128c4f0.rmeta: crates/isa/src/lib.rs crates/isa/src/codec.rs crates/isa/src/disasm.rs crates/isa/src/error.rs crates/isa/src/instr.rs crates/isa/src/op.rs
+
+crates/isa/src/lib.rs:
+crates/isa/src/codec.rs:
+crates/isa/src/disasm.rs:
+crates/isa/src/error.rs:
+crates/isa/src/instr.rs:
+crates/isa/src/op.rs:

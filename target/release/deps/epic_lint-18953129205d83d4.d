@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/epic_lint-18953129205d83d4.d: crates/verify/src/bin/epic-lint.rs
+
+/root/repo/target/release/deps/epic_lint-18953129205d83d4: crates/verify/src/bin/epic-lint.rs
+
+crates/verify/src/bin/epic-lint.rs:

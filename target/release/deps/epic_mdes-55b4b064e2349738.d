@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/epic_mdes-55b4b064e2349738.d: crates/mdes/src/lib.rs
+
+/root/repo/target/release/deps/libepic_mdes-55b4b064e2349738.rlib: crates/mdes/src/lib.rs
+
+/root/repo/target/release/deps/libepic_mdes-55b4b064e2349738.rmeta: crates/mdes/src/lib.rs
+
+crates/mdes/src/lib.rs:

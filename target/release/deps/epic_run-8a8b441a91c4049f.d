@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/epic_run-8a8b441a91c4049f.d: crates/core/src/bin/epic-run.rs
+
+/root/repo/target/release/deps/epic_run-8a8b441a91c4049f: crates/core/src/bin/epic-run.rs
+
+crates/core/src/bin/epic-run.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/epic_sa110-da2415053fb6fc45.d: crates/sa110/src/lib.rs crates/sa110/src/codegen.rs crates/sa110/src/isa.rs crates/sa110/src/sim.rs
+
+/root/repo/target/release/deps/libepic_sa110-da2415053fb6fc45.rlib: crates/sa110/src/lib.rs crates/sa110/src/codegen.rs crates/sa110/src/isa.rs crates/sa110/src/sim.rs
+
+/root/repo/target/release/deps/libepic_sa110-da2415053fb6fc45.rmeta: crates/sa110/src/lib.rs crates/sa110/src/codegen.rs crates/sa110/src/isa.rs crates/sa110/src/sim.rs
+
+crates/sa110/src/lib.rs:
+crates/sa110/src/codegen.rs:
+crates/sa110/src/isa.rs:
+crates/sa110/src/sim.rs:

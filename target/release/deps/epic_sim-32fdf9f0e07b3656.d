@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/epic_sim-32fdf9f0e07b3656.d: crates/sim/src/lib.rs crates/sim/src/error.rs crates/sim/src/exec.rs crates/sim/src/machine.rs crates/sim/src/memory.rs crates/sim/src/stats.rs
+
+/root/repo/target/release/deps/libepic_sim-32fdf9f0e07b3656.rlib: crates/sim/src/lib.rs crates/sim/src/error.rs crates/sim/src/exec.rs crates/sim/src/machine.rs crates/sim/src/memory.rs crates/sim/src/stats.rs
+
+/root/repo/target/release/deps/libepic_sim-32fdf9f0e07b3656.rmeta: crates/sim/src/lib.rs crates/sim/src/error.rs crates/sim/src/exec.rs crates/sim/src/machine.rs crates/sim/src/memory.rs crates/sim/src/stats.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/error.rs:
+crates/sim/src/exec.rs:
+crates/sim/src/machine.rs:
+crates/sim/src/memory.rs:
+crates/sim/src/stats.rs:

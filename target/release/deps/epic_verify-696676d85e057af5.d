@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/epic_verify-696676d85e057af5.d: crates/verify/src/lib.rs
+
+/root/repo/target/release/deps/libepic_verify-696676d85e057af5.rlib: crates/verify/src/lib.rs
+
+/root/repo/target/release/deps/libepic_verify-696676d85e057af5.rmeta: crates/verify/src/lib.rs
+
+crates/verify/src/lib.rs:

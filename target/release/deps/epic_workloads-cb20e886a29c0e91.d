@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/epic_workloads-cb20e886a29c0e91.d: crates/workloads/src/lib.rs crates/workloads/src/aes.rs crates/workloads/src/dct.rs crates/workloads/src/dijkstra.rs crates/workloads/src/inputs.rs crates/workloads/src/sha.rs
+
+/root/repo/target/release/deps/libepic_workloads-cb20e886a29c0e91.rlib: crates/workloads/src/lib.rs crates/workloads/src/aes.rs crates/workloads/src/dct.rs crates/workloads/src/dijkstra.rs crates/workloads/src/inputs.rs crates/workloads/src/sha.rs
+
+/root/repo/target/release/deps/libepic_workloads-cb20e886a29c0e91.rmeta: crates/workloads/src/lib.rs crates/workloads/src/aes.rs crates/workloads/src/dct.rs crates/workloads/src/dijkstra.rs crates/workloads/src/inputs.rs crates/workloads/src/sha.rs
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/aes.rs:
+crates/workloads/src/dct.rs:
+crates/workloads/src/dijkstra.rs:
+crates/workloads/src/inputs.rs:
+crates/workloads/src/sha.rs:

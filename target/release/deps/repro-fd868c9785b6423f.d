@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/repro-fd868c9785b6423f.d: crates/bench/src/bin/repro.rs
+
+/root/repo/target/release/deps/repro-fd868c9785b6423f: crates/bench/src/bin/repro.rs
+
+crates/bench/src/bin/repro.rs:

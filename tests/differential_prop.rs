@@ -38,8 +38,8 @@ enum Op {
 
 fn binop_names() -> Vec<&'static str> {
     vec![
-        "add", "sub", "mul", "div", "rem", "and", "or", "xor", "shl", "shr", "sra", "rotr",
-        "min", "max", "ltu", "lt", "eq",
+        "add", "sub", "mul", "div", "rem", "and", "or", "xor", "shl", "shr", "sra", "rotr", "min",
+        "max", "ltu", "lt", "eq",
     ]
 }
 
@@ -126,8 +126,7 @@ fn build_program(seeds: &[i32], ops: &[Op]) -> Program {
                 Expr::lit(i64::from(*n)),
                 [Stmt::assign(
                     var_name(*d),
-                    Expr::var(var_name(*d)) + Expr::var(var_name(*a))
-                        + Expr::var(format!("i{k}")),
+                    Expr::var(var_name(*d)) + Expr::var(var_name(*a)) + Expr::var(format!("i{k}")),
                 )],
             )),
         }

@@ -54,9 +54,8 @@ fn every_workload_on_every_alu_count() {
     for workload in workloads::all(Scale::Test) {
         for alus in 1..=4 {
             let config = Config::builder().num_alus(alus).build().unwrap();
-            run_epic_workload(&workload, &config).unwrap_or_else(|e| {
-                panic!("{} on {alus} ALU(s): {e}", workload.name)
-            });
+            run_epic_workload(&workload, &config)
+                .unwrap_or_else(|e| panic!("{} on {alus} ALU(s): {e}", workload.name));
         }
     }
 }
