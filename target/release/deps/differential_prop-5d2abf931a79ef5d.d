@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/differential_prop-5d2abf931a79ef5d.d: tests/differential_prop.rs
+
+/root/repo/target/release/deps/differential_prop-5d2abf931a79ef5d: tests/differential_prop.rs
+
+tests/differential_prop.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/differential_regression-d44cf588107f0838.d: tests/differential_regression.rs
+
+/root/repo/target/release/deps/differential_regression-d44cf588107f0838: tests/differential_regression.rs
+
+tests/differential_regression.rs:

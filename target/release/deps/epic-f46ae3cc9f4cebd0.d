@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/epic-f46ae3cc9f4cebd0.d: src/lib.rs
+
+/root/repo/target/release/deps/epic-f46ae3cc9f4cebd0: src/lib.rs
+
+src/lib.rs:

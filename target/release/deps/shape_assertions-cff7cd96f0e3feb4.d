@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/shape_assertions-cff7cd96f0e3feb4.d: tests/shape_assertions.rs
+
+/root/repo/target/release/deps/shape_assertions-cff7cd96f0e3feb4: tests/shape_assertions.rs
+
+tests/shape_assertions.rs:

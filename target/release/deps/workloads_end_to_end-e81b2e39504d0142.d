@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/workloads_end_to_end-e81b2e39504d0142.d: tests/workloads_end_to_end.rs
+
+/root/repo/target/release/deps/workloads_end_to_end-e81b2e39504d0142: tests/workloads_end_to_end.rs
+
+tests/workloads_end_to_end.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/custom_instruction-354664ba9c4106ef.d: examples/custom_instruction.rs
+
+/root/repo/target/release/examples/custom_instruction-354664ba9c4106ef: examples/custom_instruction.rs
+
+examples/custom_instruction.rs:

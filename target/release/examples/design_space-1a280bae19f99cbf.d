@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/design_space-1a280bae19f99cbf.d: examples/design_space.rs
+
+/root/repo/target/release/examples/design_space-1a280bae19f99cbf: examples/design_space.rs
+
+examples/design_space.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/hand_assembly-e7ba4cc2769a8784.d: examples/hand_assembly.rs
+
+/root/repo/target/release/examples/hand_assembly-e7ba4cc2769a8784: examples/hand_assembly.rs
+
+examples/hand_assembly.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-844158ddda10886a.d: examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-844158ddda10886a: examples/quickstart.rs
+
+examples/quickstart.rs:
