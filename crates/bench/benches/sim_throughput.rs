@@ -1,0 +1,115 @@
+//! Measures simulator throughput in simulated cycles per second.
+//!
+//! Runs each workload twice: once on the decode-once engine
+//! ([`Simulator`]) and once on the frozen interpretive oracle
+//! ([`ReferenceSimulator`]). Both produce identical architectural
+//! results (see `tests/differential_regression.rs`); this bench reports
+//! how many simulated cycles each engine retires per wall-clock second,
+//! i.e. the speedup bought by decoding the program once at load time.
+//!
+//! ```text
+//! cargo bench -p epic-bench --bench sim_throughput
+//! ```
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use epic_core::config::Config;
+use epic_core::ir::lower;
+use epic_core::sim::{Memory, ReferenceSimulator, Simulator};
+use epic_core::workloads::{self, Scale};
+use epic_core::Toolchain;
+use std::time::Instant;
+
+/// Compiled program + memory image for one (workload, ALU count) point.
+struct Prepared {
+    config: Config,
+    bundles: Vec<Vec<epic_core::isa::Instruction>>,
+    entry: u32,
+    image: Vec<u8>,
+}
+
+/// Compiles a workload once; both engines then run the same binary.
+fn prepare(workload: &workloads::Workload, alus: usize) -> Prepared {
+    let config = Config::builder().num_alus(alus).build().expect("config");
+    let module = lower::lower(&workload.program).expect("lowers");
+    let run = Toolchain::new(config.clone())
+        .run_module(&module, &workload.entry, &[], &workload.inline_hints())
+        .expect("pipeline runs");
+    let layout = module.layout().expect("layout");
+    Prepared {
+        config,
+        bundles: run.program.bundles().to_vec(),
+        entry: run.program.entry(),
+        image: module.initial_memory(&layout),
+    }
+}
+
+/// Times one full run of `sim`, returning (cycles, seconds).
+fn timed<S, R: FnOnce(&mut S) -> u64>(sim: &mut S, run: R) -> (u64, f64) {
+    let start = Instant::now();
+    let cycles = run(sim);
+    (cycles, start.elapsed().as_secs_f64())
+}
+
+fn bench_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sim_throughput");
+    group.sample_size(10);
+    for workload in workloads::all(Scale::Test) {
+        let p = prepare(&workload, 4);
+
+        // Headline number: simulated cycles per second for each engine,
+        // measured over one run outside the criterion loop.
+        let mut decoded = Simulator::try_new(&p.config, p.bundles.clone(), p.entry)
+            .expect("toolchain output is always legal");
+        decoded.set_memory(Memory::from_image(p.image.clone()));
+        let (cycles, dec_s) = timed(&mut decoded, |s| {
+            s.run().expect("runs");
+            s.stats().cycles
+        });
+        let mut reference = ReferenceSimulator::new(&p.config, p.bundles.clone(), p.entry);
+        reference.set_memory(Memory::from_image(p.image.clone()));
+        let (ref_cycles, ref_s) = timed(&mut reference, |s| {
+            s.run().expect("runs");
+            s.stats().cycles
+        });
+        assert_eq!(cycles, ref_cycles, "engines disagree on {}", workload.name);
+        println!(
+            "[throughput] {} (4 ALUs, {} cycles): decoded {:.2} Mcycles/s, \
+             reference {:.2} Mcycles/s, speedup {:.2}x",
+            workload.name,
+            cycles,
+            cycles as f64 / dec_s / 1e6,
+            cycles as f64 / ref_s / 1e6,
+            ref_s / dec_s
+        );
+
+        let template = {
+            let mut sim = Simulator::try_new(&p.config, p.bundles.clone(), p.entry)
+                .expect("toolchain output is always legal");
+            sim.set_memory(Memory::from_image(p.image.clone()));
+            sim
+        };
+        group.bench_with_input(
+            BenchmarkId::new(&workload.name, "decoded"),
+            &template,
+            |b, template| {
+                b.iter(|| {
+                    let mut sim = template.clone();
+                    sim.run().expect("runs");
+                    sim.stats().cycles
+                });
+            },
+        );
+        group.bench_function(BenchmarkId::new(&workload.name, "reference"), |b| {
+            b.iter(|| {
+                let mut sim = ReferenceSimulator::new(&p.config, p.bundles.clone(), p.entry);
+                sim.set_memory(Memory::from_image(p.image.clone()));
+                sim.run().expect("runs");
+                sim.stats().cycles
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_throughput);
+criterion_main!(benches);

@@ -26,7 +26,8 @@ fn prepare(workload: &workloads::Workload, alus: usize) -> Simulator {
         .run_module(&module, &workload.entry, &[], &workload.inline_hints())
         .expect("pipeline runs");
     let layout = module.layout().expect("layout");
-    let mut sim = Simulator::new(&config, run.program.bundles().to_vec(), run.program.entry());
+    let mut sim = Simulator::try_new(&config, run.program.bundles().to_vec(), run.program.entry())
+        .expect("toolchain output is always legal");
     sim.set_memory(Memory::from_image(module.initial_memory(&layout)));
     sim
 }

@@ -20,11 +20,17 @@
 //! `--no-verify` skips the static post-schedule verifier (`epic-verify`)
 //! that every compile otherwise runs; use it only to time raw compilation
 //! or to inspect output the verifier rejects.
+//!
+//! `--threads N` caps the sweep worker count (default: all cores). The
+//! sweep farms independent (config × workload) points across threads and
+//! reassembles results by grid index, so the reported numbers are
+//! bit-identical at any thread count.
 
+use epic_bench::sweep::table1_parallel;
 use epic_bench::{render_headline, render_resources};
 use epic_core::config::{Config, CustomOp, CustomSemantics};
 use epic_core::experiments::{
-    figure_series, headline_checks, resource_usage, run_epic_workload, table1, Table1,
+    figure_series, headline_checks, resource_usage, run_epic_workload, Table1,
 };
 use epic_core::explore::{pareto, render, sweep, sweep_alus};
 use epic_core::workloads::{self, Scale};
@@ -38,13 +44,25 @@ fn main() -> ExitCode {
     if args.iter().any(|a| a == "--no-verify") {
         epic_core::compiler::set_default_verify(false);
     }
+    let threads = match parse_threads(&args) {
+        Ok(n) => n,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
     let scale = if full { Scale::Paper } else { Scale::Test };
     let command = args
         .iter()
-        .find(|a| !a.starts_with("--"))
-        .map_or("all", String::as_str);
+        .enumerate()
+        .find(|(i, a)| !a.starts_with("--") && (*i == 0 || args[i - 1] != "--threads"))
+        .map_or("all", |(_, a)| a.as_str());
 
-    let result = match command {
+    let pool = rayon::ThreadPoolBuilder::new()
+        .num_threads(threads)
+        .build()
+        .expect("thread pool");
+    let result = pool.install(|| match command {
         "table1" => cmd_table1(scale).map(|_| ()),
         "fig3" => cmd_figure(scale, "sha"),
         "fig4" => cmd_figure(scale, "dct"),
@@ -66,11 +84,10 @@ fn main() -> ExitCode {
         "power" => cmd_power(scale),
         "pipeline" => cmd_pipeline(scale),
         "all" => cmd_all(scale),
-        other => {
-            eprintln!("unknown command `{other}`; see the module docs for usage");
-            return ExitCode::FAILURE;
-        }
-    };
+        other => Err(format!(
+            "unknown command `{other}`; see the module docs for usage"
+        )),
+    });
     match result {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
@@ -80,15 +97,30 @@ fn main() -> ExitCode {
     }
 }
 
+/// Parses `--threads N` (0 or absent = use every core).
+fn parse_threads(args: &[String]) -> Result<usize, String> {
+    match args.iter().position(|a| a == "--threads") {
+        None => Ok(0),
+        Some(i) => args
+            .get(i + 1)
+            .ok_or_else(|| "--threads requires a count".to_string())?
+            .parse::<usize>()
+            .map_err(|_| "--threads requires a non-negative integer".to_string()),
+    }
+}
+
 fn cmd_table1(scale: Scale) -> Result<Table1, String> {
-    eprintln!("running Table 1 at {scale:?} scale (every run verified against the golden model)…");
-    let table = table1(scale, &ALUS).map_err(|e| e.to_string())?;
+    eprintln!(
+        "running Table 1 at {scale:?} scale on {} thread(s) (every run verified against the golden model)…",
+        rayon::current_num_threads()
+    );
+    let table = table1_parallel(scale, &ALUS).map_err(|e| e.to_string())?;
     print!("{}", table.render());
     Ok(table)
 }
 
 fn cmd_figure(scale: Scale, workload: &str) -> Result<(), String> {
-    let table = table1(scale, &ALUS).map_err(|e| e.to_string())?;
+    let table = table1_parallel(scale, &ALUS).map_err(|e| e.to_string())?;
     let series =
         figure_series(&table, workload).ok_or_else(|| format!("no data for {workload}"))?;
     print!("{}", series.render());

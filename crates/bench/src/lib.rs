@@ -10,6 +10,8 @@
 
 use epic_core::experiments::{headline_checks, HeadlineCheck, ResourceRow, Table1};
 
+pub mod sweep;
+
 /// Renders the §5.1 resource table.
 #[must_use]
 pub fn render_resources(rows: &[ResourceRow]) -> String {

@@ -306,8 +306,10 @@ mod tests {
 
     fn compile(program: &Program, config: Config) -> CompiledProgram {
         let module = lower::lower(program).unwrap();
-        let mut options = Options::default();
-        options.inline_hints = lower::inline_hints(program);
+        let options = Options {
+            inline_hints: lower::inline_hints(program),
+            ..Options::default()
+        };
         Compiler::new(config)
             .compile_with(&module, &options)
             .unwrap()
@@ -373,8 +375,10 @@ mod tests {
             FunctionDef::new("main", ["a", "b"]).body([Stmt::ret(Expr::var("a") + Expr::var("b"))]),
         );
         let module = lower::lower(&p).unwrap();
-        let mut options = Options::default();
-        options.entry_args = vec![11, 31];
+        let options = Options {
+            entry_args: vec![11, 31],
+            ..Options::default()
+        };
         let out = Compiler::new(Config::default())
             .compile_with(&module, &options)
             .unwrap();
@@ -398,8 +402,10 @@ mod tests {
         let on = Compiler::new(Config::default())
             .compile_with(&module, &Options::default())
             .unwrap();
-        let mut opt_off = Options::default();
-        opt_off.if_conversion = false;
+        let opt_off = Options {
+            if_conversion: false,
+            ..Options::default()
+        };
         let off = Compiler::new(Config::default())
             .compile_with(&module, &opt_off)
             .unwrap();

@@ -189,6 +189,21 @@ impl MOp {
     }
 }
 
+/// Lets the machine description price pre-encoding operations with the
+/// same [`epic_mdes::StaticBundleCost`] arithmetic the verifier and the
+/// simulator's decoder apply to encoded instructions.
+impl epic_mdes::CostedOp for MOp {
+    fn cost_opcode(&self) -> Opcode {
+        self.opcode
+    }
+    fn gpr_read_count(&self) -> usize {
+        self.gpr_uses().len()
+    }
+    fn writes_gpr(&self) -> bool {
+        self.gpr_def().is_some()
+    }
+}
+
 impl fmt::Display for MOp {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "{}", self.opcode.mnemonic())?;

@@ -380,7 +380,7 @@ fn schedule_block_with_meta(
                         continue;
                     }
                 }
-                let cost = op.gpr_uses().len() + usize::from(op.gpr_def().is_some());
+                let cost = mdes.op_port_cost(op);
                 if port_ops + cost > port_budget {
                     continue;
                 }
@@ -419,16 +419,18 @@ fn schedule_block_with_meta(
 
         if !bundle.is_empty() {
             ready.retain(|&i| !scheduled[i]);
+            let packed: Vec<MOp> = bundle.iter().map(|&i| ops[i].clone()).collect();
+            // The shared static cost model prices the finished bundle;
+            // `port_ops` accumulated during packing must agree (the
+            // property tests in tests/prop_passes.rs pin this).
+            let cost = mdes.bundle_cost(&packed);
+            debug_assert_eq!(cost.port_ops, port_ops);
             meta.push(BundleMeta {
                 cycle,
-                port_ops,
-                max_latency: bundle
-                    .iter()
-                    .map(|&i| mdes.latency(ops[i].opcode))
-                    .max()
-                    .unwrap_or(0),
+                port_ops: cost.port_ops,
+                max_latency: cost.max_latency,
             });
-            bundles.push(bundle.iter().map(|&i| ops[i].clone()).collect());
+            bundles.push(packed);
         }
         cycle += 1;
     }

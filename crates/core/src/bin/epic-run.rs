@@ -91,7 +91,8 @@ fn run(args: &Args) -> Result<(), String> {
     let program = Program::from_bytes(&bytes, &config)
         .map_err(|e| format!("{}: {e}", args.image.display()))?;
 
-    let mut sim = Simulator::new(&config, program.bundles().to_vec(), args.entry);
+    let mut sim = Simulator::try_new(&config, program.bundles().to_vec(), args.entry)
+        .map_err(|e| e.to_string())?;
     sim.set_memory(Memory::new(args.memory));
     if let Some(limit) = args.max_cycles {
         sim.set_cycle_limit(limit);

@@ -208,7 +208,7 @@ impl Toolchain {
         let program = epic_asm::assemble(compiled.assembly(), &self.config)?;
         let layout = module.layout()?;
         let mut simulator =
-            Simulator::new(&self.config, program.bundles().to_vec(), program.entry());
+            Simulator::try_new(&self.config, program.bundles().to_vec(), program.entry())?;
         simulator.set_memory(Memory::from_image(module.initial_memory(&layout)));
         simulator.run()?;
         Ok(EpicRun {

@@ -15,7 +15,11 @@
 //! * whether a candidate issue bundle is legal
 //!   ([`MachineDescription::check_bundle`]), and
 //! * how many register-file port operations a bundle costs
-//!   ([`MachineDescription::regfile_ops`]).
+//!   ([`MachineDescription::regfile_ops`]), and
+//! * a bundle's whole static price in one shot
+//!   ([`MachineDescription::bundle_cost`] → [`StaticBundleCost`]): port
+//!   operations, worst-case latency/occupancy and per-unit demand,
+//!   shared by the scheduler, the verifier and the simulator's decoder.
 //!
 //! Keeping these rules in one crate guarantees the compiler schedules
 //! against exactly the machine the simulator implements, just as one HMDES
@@ -82,6 +86,80 @@ impl fmt::Display for BundleError {
 }
 
 impl Error for BundleError {}
+
+/// One operation's contribution to a bundle's static cost.
+///
+/// The scheduler prices bundles before register operands are final
+/// (`MOp` in `epic-compiler`), while the verifier and the simulator's
+/// decoder price encoded [`Instruction`]s. Both implement this trait so
+/// all three layers share [`MachineDescription::bundle_cost`]'s
+/// arithmetic instead of reimplementing it.
+pub trait CostedOp {
+    /// The operation's opcode.
+    fn cost_opcode(&self) -> Opcode;
+    /// GPR reads the operation performs (sources and store data).
+    fn gpr_read_count(&self) -> usize;
+    /// Whether the operation writes a GPR at write-back.
+    fn writes_gpr(&self) -> bool;
+}
+
+impl CostedOp for Instruction {
+    fn cost_opcode(&self) -> Opcode {
+        self.opcode
+    }
+    fn gpr_read_count(&self) -> usize {
+        self.gpr_reads().len()
+    }
+    fn writes_gpr(&self) -> bool {
+        self.gpr_write().is_some()
+    }
+}
+
+/// Static, input-independent cost of one issue bundle.
+///
+/// Computed once by [`MachineDescription::bundle_cost`] and consumed by
+/// the scheduler (port/latency accounting in `BundleMeta`), the verifier
+/// (VER002 unit demand and VER003 port budget) and the simulator's
+/// decoder (issue-stage bookkeeping precomputed at load time).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StaticBundleCost {
+    /// Register-file port operations: GPR reads (sources and store data)
+    /// plus GPR writes, with no forwarding discount (conservative, like
+    /// [`MachineDescription::regfile_ops`]).
+    pub port_ops: usize,
+    /// Longest result latency among the bundle's operations.
+    pub max_latency: u32,
+    /// Longest unit occupancy among the bundle's operations (the
+    /// blocking divider shows up here).
+    pub max_occupancy: u32,
+    /// Operations wanting each unit class, indexed `[ALU, LSU, CMPU,
+    /// BRU]` (see [`StaticBundleCost::demand`]).
+    pub unit_demand: [usize; 4],
+}
+
+impl StaticBundleCost {
+    /// Operations in the bundle wanting `unit`.
+    #[must_use]
+    pub fn demand(&self, unit: Unit) -> usize {
+        self.unit_demand[unit_index(unit)]
+    }
+
+    /// Extra register-file controller cycles the bundle needs beyond the
+    /// first, against a ports-per-cycle `budget` (0 when it fits).
+    #[must_use]
+    pub fn extra_port_cycles(&self, budget: usize) -> u32 {
+        (self.port_ops.div_ceil(budget.max(1)).max(1) - 1) as u32
+    }
+}
+
+fn unit_index(unit: Unit) -> usize {
+    match unit {
+        Unit::Alu => 0,
+        Unit::Lsu => 1,
+        Unit::Cmpu => 2,
+        Unit::Bru => 3,
+    }
+}
 
 /// The scheduler- and simulator-facing view of a processor configuration.
 ///
@@ -170,10 +248,35 @@ impl MachineDescription {
     /// forwarding satisfies some reads without a port.
     #[must_use]
     pub fn regfile_ops(&self, bundle: &[Instruction]) -> usize {
-        bundle
-            .iter()
-            .map(|i| i.gpr_reads().len() + usize::from(i.gpr_write().is_some()))
-            .sum()
+        self.bundle_cost(bundle).port_ops
+    }
+
+    /// Register-file port operations one operation costs (its GPR reads
+    /// plus one write port if it writes a GPR).
+    #[must_use]
+    pub fn op_port_cost(&self, op: &impl CostedOp) -> usize {
+        op.gpr_read_count() + usize::from(op.writes_gpr())
+    }
+
+    /// Prices a bundle: port operations, worst-case result latency,
+    /// worst-case unit occupancy and per-unit demand, all from the same
+    /// machine description the simulator executes against.
+    pub fn bundle_cost<'a, O, I>(&self, ops: I) -> StaticBundleCost
+    where
+        O: CostedOp + 'a,
+        I: IntoIterator<Item = &'a O>,
+    {
+        let mut cost = StaticBundleCost::default();
+        for op in ops {
+            let opcode = op.cost_opcode();
+            cost.port_ops += self.op_port_cost(op);
+            cost.max_latency = cost.max_latency.max(self.latency(opcode));
+            cost.max_occupancy = cost.max_occupancy.max(self.occupancy(opcode));
+            if let Some(unit) = opcode.unit() {
+                cost.unit_demand[unit_index(unit)] += 1;
+            }
+        }
+        cost
     }
 
     /// Whether a bundle fits the register-file port budget without
@@ -201,11 +304,9 @@ impl MachineDescription {
                 issue_width: self.issue_width(),
             });
         }
+        let cost = self.bundle_cost(bundle);
         for unit in [Unit::Alu, Unit::Lsu, Unit::Cmpu, Unit::Bru] {
-            let wanted = bundle
-                .iter()
-                .filter(|i| i.opcode.unit() == Some(unit))
-                .count();
+            let wanted = cost.demand(unit);
             let available = self.unit_count(unit);
             if wanted > available {
                 return Err(BundleError::UnitOversubscribed {
@@ -413,6 +514,36 @@ mod tests {
         ];
         assert_eq!(m.regfile_ops(&lit), 8);
         assert!(m.fits_port_budget(&lit));
+    }
+
+    #[test]
+    fn bundle_cost_prices_ports_latency_and_demand() {
+        let m = MachineDescription::new(
+            &Config::builder()
+                .num_alus(2)
+                .load_latency(3)
+                .div_latency(8)
+                .build()
+                .unwrap(),
+        );
+        let load = Instruction::load(Opcode::Lw, Gpr(1), Operand::Gpr(Gpr(2)), Operand::Lit(0));
+        let div = Instruction::alu3(
+            Opcode::Div,
+            Gpr(3),
+            Operand::Gpr(Gpr(4)),
+            Operand::Gpr(Gpr(5)),
+        );
+        let cost = m.bundle_cost(&[load, div]);
+        // load: 1 read + 1 write; div: 2 reads + 1 write.
+        assert_eq!(cost.port_ops, 5);
+        assert_eq!(cost.max_latency, 8, "divide dominates the load");
+        assert_eq!(cost.max_occupancy, 8, "the divider blocks its ALU");
+        assert_eq!(cost.demand(Unit::Alu), 1);
+        assert_eq!(cost.demand(Unit::Lsu), 1);
+        assert_eq!(cost.demand(Unit::Bru), 0);
+        assert_eq!(cost.extra_port_cycles(8), 0);
+        assert_eq!(cost.extra_port_cycles(4), 1);
+        assert_eq!(StaticBundleCost::default().extra_port_cycles(8), 0);
     }
 
     #[test]

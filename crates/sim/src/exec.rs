@@ -16,6 +16,27 @@ use epic_isa::{CmpCond, Opcode};
 /// Panics on non-ALU opcodes or unregistered custom slots; issue
 /// validation rules both out.
 pub(crate) fn eval_alu(opcode: Opcode, a: u32, b: u32, config: &Config) -> u32 {
+    match opcode {
+        Opcode::Custom(i) => {
+            let op = config
+                .custom_ops()
+                .get(i as usize)
+                .expect("issue validated the custom slot");
+            op.semantics()
+                .evaluate(u64::from(a), u64::from(b), config.datapath_width()) as u32
+        }
+        other => eval_alu_basic(other, a, b),
+    }
+}
+
+/// Evaluates a fixed-function ALU operation — everything but custom
+/// slots, whose semantics the decoder resolves once at load time.
+///
+/// # Panics
+///
+/// Panics on non-ALU opcodes and `Custom`; decode validation rules both
+/// out.
+pub(crate) fn eval_alu_basic(opcode: Opcode, a: u32, b: u32) -> u32 {
     let sa = a as i32;
     let sb = b as i32;
     match opcode {
@@ -50,14 +71,6 @@ pub(crate) fn eval_alu(opcode: Opcode, a: u32, b: u32, config: &Config) -> u32 {
         Opcode::Zxtb => a & 0xFF,
         Opcode::Zxth => a & 0xFFFF,
         Opcode::Move | Opcode::Movil => a,
-        Opcode::Custom(i) => {
-            let op = config
-                .custom_ops()
-                .get(i as usize)
-                .expect("issue validated the custom slot");
-            op.semantics()
-                .evaluate(u64::from(a), u64::from(b), config.datapath_width()) as u32
-        }
         other => panic!("{other:?} is not an ALU operation"),
     }
 }

@@ -24,6 +24,13 @@
 //! cause and per-unit utilisation, which the benchmark harness turns into
 //! the paper's tables and figures.
 //!
+//! Programs are **decoded once** at load time (unit classes, latencies,
+//! port costs, operand indices and custom-op semantics pre-resolved from
+//! the machine description), so the per-cycle loop touches only dense
+//! arrays. The original interpret-every-cycle engine survives as
+//! [`ReferenceSimulator`], the golden model differential tests hold the
+//! fast core bit-identical to.
+//!
 //! # Examples
 //!
 //! ```
@@ -35,7 +42,7 @@
 //!     "start:\n    MOVE r1, #40\n;;\n    ADD r1, r1, #2\n    HALT\n;;\n",
 //!     &config,
 //! )?;
-//! let mut sim = Simulator::new(&config, program.bundles().to_vec(), program.entry());
+//! let mut sim = Simulator::try_new(&config, program.bundles().to_vec(), program.entry())?;
 //! sim.run()?;
 //! assert_eq!(sim.gpr(1), 42);
 //! # Ok::<(), Box<dyn std::error::Error>>(())
@@ -44,13 +51,16 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod decoded;
 mod error;
 mod exec;
 mod machine;
 mod memory;
+mod reference;
 mod stats;
 
 pub use error::SimError;
 pub use machine::Simulator;
 pub use memory::Memory;
+pub use reference::ReferenceSimulator;
 pub use stats::{SimStats, StallBreakdown, StallCause, StallEvent};

@@ -1,15 +1,24 @@
 //! The 2-stage pipeline.
 
+use crate::decoded::{Action, DecodedProgram, Src};
 use crate::error::SimError;
-use crate::exec::{eval_alu, eval_cmp};
+use crate::exec::{eval_alu_basic, eval_cmp};
 use crate::memory::Memory;
 use crate::stats::{SimStats, StallCause, StallEvent};
 use epic_config::Config;
-use epic_isa::{Dest, Instruction, Opcode, Operand, Unit};
-use epic_mdes::MachineDescription;
+use epic_isa::Instruction;
+use std::sync::Arc;
 
 /// Default cycle budget before a run is declared runaway.
 const DEFAULT_CYCLE_LIMIT: u64 = 20_000_000_000;
+
+/// A buffered write-back (all reads of a bundle see pre-bundle state).
+#[derive(Debug, Clone, Copy)]
+enum Write {
+    Gpr(u16, u32),
+    Pred(u16, bool),
+    Btr(u16, u32),
+}
 
 /// The cycle-level simulator.
 ///
@@ -19,10 +28,15 @@ const DEFAULT_CYCLE_LIMIT: u64 = 20_000_000_000;
 /// the ALUs, LSU, CMPU, BRU and write-back — the second. Issue performs
 /// the hazard checks (operand scoreboard, unit availability, register-file
 /// port budget); execute resolves branches and performs memory traffic.
+///
+/// The program is decoded **once** at construction (see
+/// `crates/sim/src/decoded.rs`): unit classes, latencies, port costs,
+/// operand indices and custom-op semantics are resolved up front, so the
+/// per-cycle loop touches only dense arrays. The architectural results
+/// are bit-identical to the interpretive [`crate::ReferenceSimulator`].
 #[derive(Debug, Clone)]
 pub struct Simulator {
-    config: Config,
-    bundles: Vec<Vec<Instruction>>,
+    program: Arc<DecodedProgram>,
     memory: Memory,
     pc: u32,
     gprs: Vec<u32>,
@@ -55,29 +69,30 @@ pub struct Simulator {
     /// Opt-in per-cycle stall log (see [`Simulator::record_stalls`]).
     record_stalls: bool,
     stall_log: Vec<StallEvent>,
+    /// Reused write-back buffer (no per-bundle allocation).
+    write_buf: Vec<Write>,
 }
 
 impl Simulator {
     /// Creates a simulator for a configuration, program and entry bundle.
     ///
-    /// The data memory starts empty; install one with
+    /// The program is validated and decoded once, up front. The data
+    /// memory starts empty; install one with
     /// [`set_memory`](Simulator::set_memory) before running programs that
     /// touch memory.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if a bundle violates the machine description — `epic-asm`
-    /// output never does; validate hand-built bundle vectors with
-    /// [`epic_mdes::MachineDescription::check_bundle`] first.
-    #[must_use]
-    pub fn new(config: &Config, bundles: Vec<Vec<Instruction>>, entry: u32) -> Self {
-        let mdes = MachineDescription::new(config);
-        for (pc, bundle) in bundles.iter().enumerate() {
-            if let Err(e) = mdes.check_bundle(bundle) {
-                panic!("illegal bundle at address {pc}: {e}");
-            }
-        }
-        Simulator {
+    /// Returns [`SimError::IllegalBundle`] if a bundle violates the
+    /// machine description or names an unregistered custom-op slot —
+    /// `epic-asm` output never does; only hand-built bundle vectors can.
+    pub fn try_new(
+        config: &Config,
+        bundles: Vec<Vec<Instruction>>,
+        entry: u32,
+    ) -> Result<Self, SimError> {
+        let program = DecodedProgram::decode(config, &bundles)?;
+        Ok(Simulator {
             gprs: vec![0; config.num_gprs()],
             preds: vec![false; config.num_pred_regs()],
             btrs: vec![0; config.num_btrs()],
@@ -98,8 +113,26 @@ impl Simulator {
             cycle_limit: DEFAULT_CYCLE_LIMIT,
             record_stalls: false,
             stall_log: Vec::new(),
-            config: config.clone(),
-            bundles,
+            write_buf: Vec::new(),
+            program: Arc::new(program),
+        })
+    }
+
+    /// Creates a simulator, panicking on an illegal program.
+    ///
+    /// Thin wrapper over [`try_new`](Simulator::try_new) for callers that
+    /// feed assembler output (always legal by construction).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a bundle violates the machine description — validate
+    /// hand-built bundle vectors with [`try_new`](Simulator::try_new) or
+    /// [`epic_mdes::MachineDescription::check_bundle`] instead.
+    #[must_use]
+    pub fn new(config: &Config, bundles: Vec<Vec<Instruction>>, entry: u32) -> Self {
+        match Simulator::try_new(config, bundles, entry) {
+            Ok(sim) => sim,
+            Err(e) => panic!("{e}"),
         }
     }
 
@@ -201,7 +234,8 @@ impl Simulator {
     ///
     /// Returns the first [`SimError`] raised.
     pub fn run(&mut self) -> Result<&SimStats, SimError> {
-        while self.step()? {}
+        let program = Arc::clone(&self.program);
+        while self.step_program(&program)? {}
         Ok(&self.stats)
     }
 
@@ -213,6 +247,11 @@ impl Simulator {
     /// [`SimError::PcOutOfRange`] for runaway fetch and
     /// [`SimError::CycleLimit`] past the cycle budget.
     pub fn step(&mut self) -> Result<bool, SimError> {
+        let program = Arc::clone(&self.program);
+        self.step_program(&program)
+    }
+
+    fn step_program(&mut self, program: &DecodedProgram) -> Result<bool, SimError> {
         if self.halted {
             return Ok(false);
         }
@@ -225,7 +264,7 @@ impl Simulator {
         // ---- stage 2: execute + write back -----------------------------
         let mut redirect = None;
         if let Some(bpc) = self.stage2.take() {
-            redirect = self.execute_bundle(bpc)?;
+            redirect = self.execute_bundle(program, bpc)?;
         }
 
         if self.halted {
@@ -242,7 +281,7 @@ impl Simulator {
             self.pc = target;
             self.stats.stalls.branch_flush += 1;
             self.note_stall(target, StallCause::BranchFlush);
-            self.flush_wait = self.config.pipeline_stages() as u32 - 2;
+            self.flush_wait = program.flush_penalty;
         } else if self.flush_wait > 0 {
             self.flush_wait -= 1;
             self.stats.stalls.branch_flush += 1;
@@ -254,7 +293,7 @@ impl Simulator {
             self.stats.stalls.memory_contention += 1;
             self.note_stall(self.pc, StallCause::MemoryContention);
         } else {
-            self.try_issue()?;
+            self.try_issue(program)?;
         }
 
         self.cycle += 1;
@@ -262,68 +301,53 @@ impl Simulator {
         Ok(true)
     }
 
-    fn try_issue(&mut self) -> Result<(), SimError> {
+    fn try_issue(&mut self, program: &DecodedProgram) -> Result<(), SimError> {
         let pc = self.pc;
-        if pc as usize >= self.bundles.len() {
+        let Some(bundle) = program.bundles.get(pc as usize) else {
             return Err(SimError::PcOutOfRange {
                 pc,
-                bundles: self.bundles.len(),
+                bundles: program.bundles.len(),
             });
-        }
+        };
         let exec_cycle = self.cycle + 1;
-        let bundle = &self.bundles[pc as usize];
 
         // Operand scoreboard.
-        let hazard = bundle.iter().any(|instr| {
-            instr
-                .gpr_reads()
+        let hazard = bundle
+            .gpr_reads
+            .iter()
+            .any(|&r| self.gpr_ready[r as usize] > exec_cycle)
+            || bundle
+                .pred_reads
                 .iter()
-                .any(|r| self.gpr_ready[r.0 as usize] > exec_cycle)
-                || instr
-                    .pred_reads()
-                    .iter()
-                    .any(|p| self.pred_ready[p.0 as usize] > exec_cycle)
-                || instr
-                    .btr_read()
-                    .is_some_and(|b| self.btr_ready[b.0 as usize] > exec_cycle)
-        });
+                .any(|&p| self.pred_ready[p as usize] > exec_cycle)
+            || bundle
+                .btr_reads
+                .iter()
+                .any(|&b| self.btr_ready[b as usize] > exec_cycle);
         if hazard {
             self.stats.stalls.data_hazard += 1;
             self.note_stall(pc, StallCause::DataHazard);
             return Ok(());
         }
-        let bundle = &self.bundles[pc as usize];
 
         // Functional-unit availability (the blocking divider).
-        let alu_wanted = bundle
-            .iter()
-            .filter(|i| i.opcode.unit() == Some(Unit::Alu))
-            .count();
         let alu_free = self.alu_busy.iter().filter(|&&b| b <= exec_cycle).count();
-        if alu_wanted > alu_free {
+        if bundle.alu_wanted > alu_free {
             self.stats.stalls.unit_busy += 1;
             self.note_stall(pc, StallCause::UnitBusy);
             return Ok(());
         }
-        let bundle = &self.bundles[pc as usize];
 
         // Register-file port budget: reads at issue + writes at WB share
         // the controller's slots; forwarded operands bypass the file.
-        let forwarding = self.config.forwarding();
-        let mut ports = 0usize;
-        for instr in bundle {
-            for r in instr.gpr_reads() {
-                let forwarded = forwarding && self.gpr_ready[r.0 as usize] == exec_cycle;
-                if !forwarded {
-                    ports += 1;
-                }
-            }
-            if instr.gpr_write().is_some() {
+        let mut ports = bundle.write_ports;
+        for &r in &bundle.gpr_reads {
+            let forwarded = program.forwarding && self.gpr_ready[r as usize] == exec_cycle;
+            if !forwarded {
                 ports += 1;
             }
         }
-        let budget = self.config.regfile_ops_per_cycle();
-        let needed_cycles = ports.div_ceil(budget).max(1) as u32;
+        let needed_cycles = ports.div_ceil(program.port_budget).max(1) as u32;
         if self.port_wait_pc != Some(pc) && needed_cycles > 1 {
             // The controller serialises the excess operations over extra
             // cycles; arm the wait once per bundle.
@@ -340,26 +364,18 @@ impl Simulator {
 
         // Issue: book destinations and unit occupancy for the execute
         // stage next cycle.
-        let bundle = &self.bundles[pc as usize];
-        let fwd_extra = u64::from(!forwarding);
-        for instr in bundle {
-            let latency = u64::from(instr.opcode.latency(&self.config));
-            if let Some(r) = instr.gpr_write() {
-                self.gpr_ready[r.0 as usize] = exec_cycle + latency + fwd_extra;
-            }
-            for p in instr.pred_writes() {
-                if p.0 != 0 {
-                    self.pred_ready[p.0 as usize] = exec_cycle + 1;
-                }
-            }
-            if let Some(b) = instr.btr_write() {
-                self.btr_ready[b.0 as usize] = exec_cycle + 1;
-            }
-            if matches!(instr.opcode, Opcode::Div | Opcode::Rem) {
-                let occupancy = u64::from(self.config.div_latency());
-                if let Some(slot) = self.alu_busy.iter_mut().find(|b| **b <= exec_cycle) {
-                    *slot = exec_cycle + occupancy;
-                }
+        for &(r, ready_after) in &bundle.gpr_writes {
+            self.gpr_ready[r as usize] = exec_cycle + ready_after;
+        }
+        for &p in &bundle.pred_writes {
+            self.pred_ready[p as usize] = exec_cycle + 1;
+        }
+        for &b in &bundle.btr_writes {
+            self.btr_ready[b as usize] = exec_cycle + 1;
+        }
+        for _ in 0..bundle.div_ops {
+            if let Some(slot) = self.alu_busy.iter_mut().find(|b| **b <= exec_cycle) {
+                *slot = exec_cycle + program.div_occupancy;
             }
         }
         self.stage2 = Some(pc);
@@ -369,37 +385,41 @@ impl Simulator {
 
     /// Executes one bundle: all reads see pre-bundle state, writes apply
     /// together at the end, squashed instructions write nothing.
-    fn execute_bundle(&mut self, bpc: u32) -> Result<Option<u32>, SimError> {
-        enum Write {
-            Gpr(u16, u32),
-            Pred(u16, bool),
-            Btr(u16, u32),
-        }
-        let bundle = self.bundles[bpc as usize].clone();
-        let mut writes: Vec<Write> = Vec::with_capacity(bundle.len());
+    fn execute_bundle(
+        &mut self,
+        program: &DecodedProgram,
+        bpc: u32,
+    ) -> Result<Option<u32>, SimError> {
+        let bundle = &program.bundles[bpc as usize];
+        let mut writes = std::mem::take(&mut self.write_buf);
+        writes.clear();
         let mut redirect: Option<u32> = None;
         self.stats.bundles += 1;
+        self.stats.nops += bundle.nops;
+        self.stats.instructions += bundle.instructions;
+        self.stats.alu_busy_cycles += bundle.unit_ops[0];
+        self.stats.lsu_busy_cycles += bundle.unit_ops[1];
+        self.stats.cmpu_busy_cycles += bundle.unit_ops[2];
+        self.stats.bru_busy_cycles += bundle.unit_ops[3];
 
-        for instr in &bundle {
-            if instr.opcode == Opcode::Nop {
-                self.stats.nops += 1;
-                continue;
-            }
-            self.stats.instructions += 1;
-            match instr.opcode.unit() {
-                Some(Unit::Alu) => self.stats.alu_busy_cycles += 1,
-                Some(Unit::Lsu) => self.stats.lsu_busy_cycles += 1,
-                Some(Unit::Cmpu) => self.stats.cmpu_busy_cycles += 1,
-                Some(Unit::Bru) => self.stats.bru_busy_cycles += 1,
-                None => {}
-            }
+        for op in &bundle.ops {
+            let guard = self.pred(op.guard as usize);
 
-            let guard = self.pred(instr.pred.0 as usize);
             // BRCF branches when its predicate is FALSE; it is the one
             // operation not squashed by a false guard.
-            if instr.opcode == Opcode::Brcf {
-                if !guard {
-                    redirect = Some(self.btr_operand(instr));
+            if let Action::Branch {
+                target,
+                link,
+                on_false,
+            } = op.action
+            {
+                if guard != on_false {
+                    redirect = Some(target.map_or(0, |b| self.btrs[b as usize]));
+                    if let Some(r) = link {
+                        writes.push(Write::Gpr(r, bpc + 1));
+                    }
+                } else if !on_false {
+                    self.stats.squashed += 1;
                 }
                 continue;
             }
@@ -408,101 +428,119 @@ impl Simulator {
                 continue;
             }
 
-            let a = self.src_value(&instr.src1);
-            let b = self.src_value(&instr.src2);
-
-            match instr.opcode {
-                Opcode::Cmp(cond) => {
-                    let outcome = eval_cmp(cond, a, b);
-                    if let Dest::Pred(p) = instr.dest1 {
-                        writes.push(Write::Pred(p.0, outcome));
-                    }
-                    if let Dest::Pred(p) = instr.dest2 {
-                        writes.push(Write::Pred(p.0, !outcome));
+            match op.action {
+                Action::Alu { opcode, dest, a, b } => {
+                    let value = eval_alu_basic(opcode, self.src(a), self.src(b));
+                    if let Some(r) = dest {
+                        writes.push(Write::Gpr(r, value & program.datapath_mask));
                     }
                 }
-                Opcode::PredSet | Opcode::PredClr => {
-                    if let Dest::Pred(p) = instr.dest1 {
-                        writes.push(Write::Pred(p.0, instr.opcode == Opcode::PredSet));
+                Action::CustomAlu {
+                    semantics,
+                    dest,
+                    a,
+                    b,
+                } => {
+                    let value = semantics.evaluate(
+                        u64::from(self.src(a)),
+                        u64::from(self.src(b)),
+                        program.custom_width,
+                    ) as u32;
+                    if let Some(r) = dest {
+                        writes.push(Write::Gpr(r, value & program.datapath_mask));
                     }
                 }
-                Opcode::MovGp => {
-                    if let Dest::Pred(p) = instr.dest1 {
-                        writes.push(Write::Pred(p.0, a != 0));
+                Action::Cmp {
+                    cond,
+                    if_true,
+                    if_false,
+                    a,
+                    b,
+                } => {
+                    let outcome = eval_cmp(cond, self.src(a), self.src(b));
+                    if let Some(p) = if_true {
+                        writes.push(Write::Pred(p, outcome));
+                    }
+                    if let Some(p) = if_false {
+                        writes.push(Write::Pred(p, !outcome));
                     }
                 }
-                Opcode::MovPg => {
-                    let value = match instr.src1 {
-                        Operand::Pred(p) => u32::from(self.pred(p.0 as usize)),
-                        _ => 0,
-                    };
-                    if let Dest::Gpr(r) = instr.dest1 {
-                        writes.push(Write::Gpr(r.0, value));
+                Action::PredPut { dest, value } => {
+                    if let Some(p) = dest {
+                        writes.push(Write::Pred(p, value));
                     }
                 }
-                op if op.is_load() => {
-                    let address = a.wrapping_add(b);
-                    let width = load_width(op);
-                    let raw = if op == Opcode::LwS {
+                Action::MovGp { dest, a } => {
+                    if let Some(p) = dest {
+                        writes.push(Write::Pred(p, self.src(a) != 0));
+                    }
+                }
+                Action::MovPg { dest, pred } => {
+                    let value = pred.map_or(0, |p| u32::from(self.pred(p as usize)));
+                    if let Some(r) = dest {
+                        writes.push(Write::Gpr(r, value));
+                    }
+                }
+                Action::Load {
+                    dest,
+                    base,
+                    offset,
+                    width,
+                    extend,
+                    dismissible,
+                } => {
+                    let address = self.src(base).wrapping_add(self.src(offset));
+                    let raw = if dismissible {
                         // Dismissible load: faults yield 0.
                         self.memory.load(bpc, address, width).unwrap_or(0)
                     } else {
-                        self.memory.load(bpc, address, width)?
+                        match self.memory.load(bpc, address, width) {
+                            Ok(raw) => raw,
+                            Err(e) => {
+                                self.write_buf = writes;
+                                return Err(e);
+                            }
+                        }
                     };
-                    let value = extend_load(op, raw);
                     self.stats.loads += 1;
-                    if self.config.memory_contention() {
+                    if program.mem_contention {
                         self.mem_debt += 1;
                     }
-                    if let Dest::Gpr(r) = instr.dest1 {
-                        writes.push(Write::Gpr(r.0, value));
+                    if let Some(r) = dest {
+                        writes.push(Write::Gpr(r, extend.apply(raw)));
                     }
                 }
-                op if op.is_store() => {
-                    let address = a.wrapping_add(b);
-                    let width = match op {
-                        Opcode::Sw => 4,
-                        Opcode::Sh => 2,
-                        _ => 1,
-                    };
-                    let value = match instr.dest1 {
-                        Dest::Gpr(r) => self.gprs[r.0 as usize],
-                        _ => 0,
-                    };
-                    self.memory.store(bpc, address, width, value)?;
+                Action::Store {
+                    value,
+                    base,
+                    offset,
+                    width,
+                } => {
+                    let address = self.src(base).wrapping_add(self.src(offset));
+                    let stored = value.map_or(0, |r| self.gprs[r as usize]);
+                    if let Err(e) = self.memory.store(bpc, address, width, stored) {
+                        self.write_buf = writes;
+                        return Err(e);
+                    }
                     self.stats.stores += 1;
-                    if self.config.memory_contention() {
+                    if program.mem_contention {
                         self.mem_debt += 1;
                     }
                 }
-                Opcode::Pbr => {
-                    if let Dest::Btr(btr) = instr.dest1 {
-                        writes.push(Write::Btr(btr.0, a));
+                Action::Pbr { dest, a } => {
+                    let value = self.src(a);
+                    if let Some(btr) = dest {
+                        writes.push(Write::Btr(btr, value));
                     }
                 }
-                Opcode::Br | Opcode::Brct => {
-                    redirect = Some(self.btr_operand(instr));
-                }
-                Opcode::Brl => {
-                    redirect = Some(self.btr_operand(instr));
-                    if let Dest::Gpr(r) = instr.dest1 {
-                        writes.push(Write::Gpr(r.0, bpc + 1));
-                    }
-                }
-                Opcode::Halt => {
+                Action::Halt => {
                     self.halted = true;
                 }
-                _ => {
-                    // ALU class (including Move/Movil and custom slots).
-                    let value = eval_alu(instr.opcode, a, b, &self.config);
-                    if let Dest::Gpr(r) = instr.dest1 {
-                        writes.push(Write::Gpr(r.0, value & self.config.datapath_mask() as u32));
-                    }
-                }
+                Action::Branch { .. } => unreachable!("handled before the guard check"),
             }
         }
 
-        for write in writes {
+        for write in writes.drain(..) {
             match write {
                 Write::Gpr(r, v) => self.gprs[r as usize] = v,
                 Write::Pred(p, v) => {
@@ -513,38 +551,16 @@ impl Simulator {
                 Write::Btr(b, v) => self.btrs[b as usize] = v,
             }
         }
+        self.write_buf = writes;
         Ok(redirect)
     }
 
-    fn src_value(&self, src: &Operand) -> u32 {
+    fn src(&self, src: Src) -> u32 {
         match src {
-            Operand::Gpr(r) => self.gprs[r.0 as usize],
-            Operand::Lit(v) => *v as u32,
-            _ => 0,
+            Src::Gpr(r) => self.gprs[r as usize],
+            Src::Lit(v) => v,
+            Src::Zero => 0,
         }
-    }
-
-    fn btr_operand(&self, instr: &Instruction) -> u32 {
-        match instr.src1 {
-            Operand::Btr(b) => self.btrs[b.0 as usize],
-            _ => 0,
-        }
-    }
-}
-
-fn load_width(op: Opcode) -> u32 {
-    match op {
-        Opcode::Lw | Opcode::LwS => 4,
-        Opcode::Lh | Opcode::Lhu => 2,
-        _ => 1,
-    }
-}
-
-fn extend_load(op: Opcode, raw: u32) -> u32 {
-    match op {
-        Opcode::Lh => i32::from(raw as u16 as i16) as u32,
-        Opcode::Lb => i32::from(raw as u8 as i8) as u32,
-        _ => raw,
     }
 }
 
@@ -922,5 +938,41 @@ spin:
             &c,
         );
         assert_eq!(sim.gpr(2), 0x8000_0000);
+    }
+
+    #[test]
+    fn try_new_rejects_illegal_bundles() {
+        use epic_isa::{Gpr, Instruction, Opcode, Operand};
+        let c = Config::default();
+        let bundles = vec![
+            vec![
+                Instruction::load(Opcode::Lw, Gpr(1), Operand::Gpr(Gpr(2)), Operand::Lit(0)),
+                Instruction::load(Opcode::Lw, Gpr(3), Operand::Gpr(Gpr(4)), Operand::Lit(4)),
+            ],
+            vec![Instruction::halt()],
+        ];
+        let err = Simulator::try_new(&c, bundles, 0).unwrap_err();
+        assert!(
+            matches!(err, SimError::IllegalBundle { pc: 0, .. }),
+            "{err}"
+        );
+        assert!(err.to_string().contains("LSU"), "{err}");
+    }
+
+    #[test]
+    fn try_new_rejects_unregistered_custom_slots() {
+        use epic_isa::{Gpr, Instruction, Opcode, Operand};
+        let c = Config::default();
+        let bundles = vec![vec![Instruction::alu3(
+            Opcode::Custom(0),
+            Gpr(1),
+            Operand::Gpr(Gpr(2)),
+            Operand::Lit(1),
+        )]];
+        let err = Simulator::try_new(&c, bundles, 0).unwrap_err();
+        assert!(
+            matches!(err, SimError::IllegalBundle { pc: 0, .. }),
+            "{err}"
+        );
     }
 }

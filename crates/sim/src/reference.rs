@@ -1,0 +1,462 @@
+//! The pre-decode interpretive engine, kept as the differential oracle.
+//!
+//! This is the original interpret-every-cycle core: it re-reads
+//! [`Instruction`] enums and re-derives latencies, unit classes and port
+//! costs from the configuration on every cycle. The production
+//! [`crate::Simulator`] decodes the program once instead; this engine
+//! stays exactly as it was so differential tests (and the
+//! `sim_throughput` bench) can hold the fast core bit-identical to the
+//! model the paper's numbers were validated against. Keep its semantics
+//! frozen — fixes belong in both engines or in neither.
+
+use crate::error::SimError;
+use crate::exec::{eval_alu, eval_cmp};
+use crate::memory::Memory;
+use crate::stats::SimStats;
+use epic_config::Config;
+use epic_isa::{Dest, Instruction, Opcode, Operand, Unit};
+
+/// Default cycle budget before a run is declared runaway.
+const DEFAULT_CYCLE_LIMIT: u64 = 20_000_000_000;
+
+/// The interpret-every-cycle simulator (golden reference).
+///
+/// Architecturally identical to [`crate::Simulator`] — same 2-stage
+/// pipeline, scoreboard, port budget, predication and branch model —
+/// but paying full instruction interpretation each cycle. Use it only
+/// to cross-validate the decoded engine.
+#[derive(Debug, Clone)]
+pub struct ReferenceSimulator {
+    config: Config,
+    bundles: Vec<Vec<Instruction>>,
+    memory: Memory,
+    pc: u32,
+    gprs: Vec<u32>,
+    preds: Vec<bool>,
+    btrs: Vec<u32>,
+    gpr_ready: Vec<u64>,
+    pred_ready: Vec<u64>,
+    btr_ready: Vec<u64>,
+    alu_busy: Vec<u64>,
+    stage2: Option<u32>,
+    port_wait: u32,
+    port_wait_pc: Option<u32>,
+    mem_debt: u32,
+    flush_wait: u32,
+    cycle: u64,
+    halted: bool,
+    stats: SimStats,
+    cycle_limit: u64,
+}
+
+impl ReferenceSimulator {
+    /// Creates a reference simulator (see [`crate::Simulator::new`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a bundle violates the machine description.
+    #[must_use]
+    pub fn new(config: &Config, bundles: Vec<Vec<Instruction>>, entry: u32) -> Self {
+        let mdes = epic_mdes::MachineDescription::new(config);
+        for (pc, bundle) in bundles.iter().enumerate() {
+            if let Err(e) = mdes.check_bundle(bundle) {
+                panic!("illegal bundle at address {pc}: {e}");
+            }
+        }
+        ReferenceSimulator {
+            gprs: vec![0; config.num_gprs()],
+            preds: vec![false; config.num_pred_regs()],
+            btrs: vec![0; config.num_btrs()],
+            gpr_ready: vec![0; config.num_gprs()],
+            pred_ready: vec![0; config.num_pred_regs()],
+            btr_ready: vec![0; config.num_btrs()],
+            alu_busy: vec![0; config.num_alus()],
+            memory: Memory::new(0),
+            pc: entry,
+            stage2: None,
+            port_wait: 0,
+            port_wait_pc: None,
+            mem_debt: 0,
+            flush_wait: 0,
+            cycle: 0,
+            halted: false,
+            stats: SimStats::default(),
+            cycle_limit: DEFAULT_CYCLE_LIMIT,
+            config: config.clone(),
+            bundles,
+        }
+    }
+
+    /// Installs the data memory.
+    pub fn set_memory(&mut self, memory: Memory) {
+        self.memory = memory;
+    }
+
+    /// Caps the simulated cycles.
+    pub fn set_cycle_limit(&mut self, limit: u64) {
+        self.cycle_limit = limit;
+    }
+
+    /// The data memory.
+    #[must_use]
+    pub fn memory(&self) -> &Memory {
+        &self.memory
+    }
+
+    /// Reads a general-purpose register.
+    #[must_use]
+    pub fn gpr(&self, index: usize) -> u32 {
+        self.gprs[index]
+    }
+
+    /// Reads a predicate register (`p0` is hard-wired true).
+    #[must_use]
+    pub fn pred(&self, index: usize) -> bool {
+        if index == 0 {
+            true
+        } else {
+            self.preds[index]
+        }
+    }
+
+    /// Reads a branch target register.
+    #[must_use]
+    pub fn btr(&self, index: usize) -> u32 {
+        self.btrs[index]
+    }
+
+    /// Whether the processor has executed `HALT`.
+    #[must_use]
+    pub fn is_halted(&self) -> bool {
+        self.halted
+    }
+
+    /// Statistics gathered so far.
+    #[must_use]
+    pub fn stats(&self) -> &SimStats {
+        &self.stats
+    }
+
+    /// Runs until `HALT` (or an error).
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`SimError`] raised.
+    pub fn run(&mut self) -> Result<&SimStats, SimError> {
+        while self.step()? {}
+        Ok(&self.stats)
+    }
+
+    /// Advances one processor cycle. Returns `false` once halted.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::MemoryFault`] for faulting accesses,
+    /// [`SimError::PcOutOfRange`] for runaway fetch and
+    /// [`SimError::CycleLimit`] past the cycle budget.
+    pub fn step(&mut self) -> Result<bool, SimError> {
+        if self.halted {
+            return Ok(false);
+        }
+        if self.cycle >= self.cycle_limit {
+            return Err(SimError::CycleLimit {
+                limit: self.cycle_limit,
+            });
+        }
+
+        // ---- stage 2: execute + write back -----------------------------
+        let mut redirect = None;
+        if let Some(bpc) = self.stage2.take() {
+            redirect = self.execute_bundle(bpc)?;
+        }
+
+        if self.halted {
+            self.cycle += 1;
+            self.stats.cycles = self.cycle;
+            return Ok(true);
+        }
+
+        // ---- stage 1: fetch / decode / issue ---------------------------
+        if let Some(target) = redirect {
+            self.pc = target;
+            self.stats.stalls.branch_flush += 1;
+            self.flush_wait = self.config.pipeline_stages() as u32 - 2;
+        } else if self.flush_wait > 0 {
+            self.flush_wait -= 1;
+            self.stats.stalls.branch_flush += 1;
+        } else if self.mem_debt >= 2 {
+            self.mem_debt -= 2;
+            self.stats.stalls.memory_contention += 1;
+        } else {
+            self.try_issue()?;
+        }
+
+        self.cycle += 1;
+        self.stats.cycles = self.cycle;
+        Ok(true)
+    }
+
+    fn try_issue(&mut self) -> Result<(), SimError> {
+        let pc = self.pc;
+        if pc as usize >= self.bundles.len() {
+            return Err(SimError::PcOutOfRange {
+                pc,
+                bundles: self.bundles.len(),
+            });
+        }
+        let exec_cycle = self.cycle + 1;
+        let bundle = &self.bundles[pc as usize];
+
+        // Operand scoreboard.
+        let hazard = bundle.iter().any(|instr| {
+            instr
+                .gpr_reads()
+                .iter()
+                .any(|r| self.gpr_ready[r.0 as usize] > exec_cycle)
+                || instr
+                    .pred_reads()
+                    .iter()
+                    .any(|p| self.pred_ready[p.0 as usize] > exec_cycle)
+                || instr
+                    .btr_read()
+                    .is_some_and(|b| self.btr_ready[b.0 as usize] > exec_cycle)
+        });
+        if hazard {
+            self.stats.stalls.data_hazard += 1;
+            return Ok(());
+        }
+        let bundle = &self.bundles[pc as usize];
+
+        // Functional-unit availability (the blocking divider).
+        let alu_wanted = bundle
+            .iter()
+            .filter(|i| i.opcode.unit() == Some(Unit::Alu))
+            .count();
+        let alu_free = self.alu_busy.iter().filter(|&&b| b <= exec_cycle).count();
+        if alu_wanted > alu_free {
+            self.stats.stalls.unit_busy += 1;
+            return Ok(());
+        }
+        let bundle = &self.bundles[pc as usize];
+
+        // Register-file port budget.
+        let forwarding = self.config.forwarding();
+        let mut ports = 0usize;
+        for instr in bundle {
+            for r in instr.gpr_reads() {
+                let forwarded = forwarding && self.gpr_ready[r.0 as usize] == exec_cycle;
+                if !forwarded {
+                    ports += 1;
+                }
+            }
+            if instr.gpr_write().is_some() {
+                ports += 1;
+            }
+        }
+        let budget = self.config.regfile_ops_per_cycle();
+        let needed_cycles = ports.div_ceil(budget).max(1) as u32;
+        if self.port_wait_pc != Some(pc) && needed_cycles > 1 {
+            self.port_wait = needed_cycles - 1;
+            self.port_wait_pc = Some(pc);
+        }
+        if self.port_wait > 0 {
+            self.port_wait -= 1;
+            self.stats.stalls.regfile_port += 1;
+            return Ok(());
+        }
+        self.port_wait_pc = None;
+
+        // Issue: book destinations and unit occupancy.
+        let bundle = &self.bundles[pc as usize];
+        let fwd_extra = u64::from(!forwarding);
+        for instr in bundle {
+            let latency = u64::from(instr.opcode.latency(&self.config));
+            if let Some(r) = instr.gpr_write() {
+                self.gpr_ready[r.0 as usize] = exec_cycle + latency + fwd_extra;
+            }
+            for p in instr.pred_writes() {
+                if p.0 != 0 {
+                    self.pred_ready[p.0 as usize] = exec_cycle + 1;
+                }
+            }
+            if let Some(b) = instr.btr_write() {
+                self.btr_ready[b.0 as usize] = exec_cycle + 1;
+            }
+            if matches!(instr.opcode, Opcode::Div | Opcode::Rem) {
+                let occupancy = u64::from(self.config.div_latency());
+                if let Some(slot) = self.alu_busy.iter_mut().find(|b| **b <= exec_cycle) {
+                    *slot = exec_cycle + occupancy;
+                }
+            }
+        }
+        self.stage2 = Some(pc);
+        self.pc = pc + 1;
+        Ok(())
+    }
+
+    fn execute_bundle(&mut self, bpc: u32) -> Result<Option<u32>, SimError> {
+        enum Write {
+            Gpr(u16, u32),
+            Pred(u16, bool),
+            Btr(u16, u32),
+        }
+        let bundle = self.bundles[bpc as usize].clone();
+        let mut writes: Vec<Write> = Vec::with_capacity(bundle.len());
+        let mut redirect: Option<u32> = None;
+        self.stats.bundles += 1;
+
+        for instr in &bundle {
+            if instr.opcode == Opcode::Nop {
+                self.stats.nops += 1;
+                continue;
+            }
+            self.stats.instructions += 1;
+            match instr.opcode.unit() {
+                Some(Unit::Alu) => self.stats.alu_busy_cycles += 1,
+                Some(Unit::Lsu) => self.stats.lsu_busy_cycles += 1,
+                Some(Unit::Cmpu) => self.stats.cmpu_busy_cycles += 1,
+                Some(Unit::Bru) => self.stats.bru_busy_cycles += 1,
+                None => {}
+            }
+
+            let guard = self.pred(instr.pred.0 as usize);
+            if instr.opcode == Opcode::Brcf {
+                if !guard {
+                    redirect = Some(self.btr_operand(instr));
+                }
+                continue;
+            }
+            if !guard {
+                self.stats.squashed += 1;
+                continue;
+            }
+
+            let a = self.src_value(&instr.src1);
+            let b = self.src_value(&instr.src2);
+
+            match instr.opcode {
+                Opcode::Cmp(cond) => {
+                    let outcome = eval_cmp(cond, a, b);
+                    if let Dest::Pred(p) = instr.dest1 {
+                        writes.push(Write::Pred(p.0, outcome));
+                    }
+                    if let Dest::Pred(p) = instr.dest2 {
+                        writes.push(Write::Pred(p.0, !outcome));
+                    }
+                }
+                Opcode::PredSet | Opcode::PredClr => {
+                    if let Dest::Pred(p) = instr.dest1 {
+                        writes.push(Write::Pred(p.0, instr.opcode == Opcode::PredSet));
+                    }
+                }
+                Opcode::MovGp => {
+                    if let Dest::Pred(p) = instr.dest1 {
+                        writes.push(Write::Pred(p.0, a != 0));
+                    }
+                }
+                Opcode::MovPg => {
+                    let value = match instr.src1 {
+                        Operand::Pred(p) => u32::from(self.pred(p.0 as usize)),
+                        _ => 0,
+                    };
+                    if let Dest::Gpr(r) = instr.dest1 {
+                        writes.push(Write::Gpr(r.0, value));
+                    }
+                }
+                op if op.is_load() => {
+                    let address = a.wrapping_add(b);
+                    let width = match op {
+                        Opcode::Lw | Opcode::LwS => 4,
+                        Opcode::Lh | Opcode::Lhu => 2,
+                        _ => 1,
+                    };
+                    let raw = if op == Opcode::LwS {
+                        self.memory.load(bpc, address, width).unwrap_or(0)
+                    } else {
+                        self.memory.load(bpc, address, width)?
+                    };
+                    let value = match op {
+                        Opcode::Lh => i32::from(raw as u16 as i16) as u32,
+                        Opcode::Lb => i32::from(raw as u8 as i8) as u32,
+                        _ => raw,
+                    };
+                    self.stats.loads += 1;
+                    if self.config.memory_contention() {
+                        self.mem_debt += 1;
+                    }
+                    if let Dest::Gpr(r) = instr.dest1 {
+                        writes.push(Write::Gpr(r.0, value));
+                    }
+                }
+                op if op.is_store() => {
+                    let address = a.wrapping_add(b);
+                    let width = match op {
+                        Opcode::Sw => 4,
+                        Opcode::Sh => 2,
+                        _ => 1,
+                    };
+                    let value = match instr.dest1 {
+                        Dest::Gpr(r) => self.gprs[r.0 as usize],
+                        _ => 0,
+                    };
+                    self.memory.store(bpc, address, width, value)?;
+                    self.stats.stores += 1;
+                    if self.config.memory_contention() {
+                        self.mem_debt += 1;
+                    }
+                }
+                Opcode::Pbr => {
+                    if let Dest::Btr(btr) = instr.dest1 {
+                        writes.push(Write::Btr(btr.0, a));
+                    }
+                }
+                Opcode::Br | Opcode::Brct => {
+                    redirect = Some(self.btr_operand(instr));
+                }
+                Opcode::Brl => {
+                    redirect = Some(self.btr_operand(instr));
+                    if let Dest::Gpr(r) = instr.dest1 {
+                        writes.push(Write::Gpr(r.0, bpc + 1));
+                    }
+                }
+                Opcode::Halt => {
+                    self.halted = true;
+                }
+                _ => {
+                    let value = eval_alu(instr.opcode, a, b, &self.config);
+                    if let Dest::Gpr(r) = instr.dest1 {
+                        writes.push(Write::Gpr(r.0, value & self.config.datapath_mask() as u32));
+                    }
+                }
+            }
+        }
+
+        for write in writes {
+            match write {
+                Write::Gpr(r, v) => self.gprs[r as usize] = v,
+                Write::Pred(p, v) => {
+                    if p != 0 {
+                        self.preds[p as usize] = v;
+                    }
+                }
+                Write::Btr(b, v) => self.btrs[b as usize] = v,
+            }
+        }
+        Ok(redirect)
+    }
+
+    fn src_value(&self, src: &Operand) -> u32 {
+        match src {
+            Operand::Gpr(r) => self.gprs[r.0 as usize],
+            Operand::Lit(v) => *v as u32,
+            _ => 0,
+        }
+    }
+
+    fn btr_operand(&self, instr: &Instruction) -> u32 {
+        match instr.src1 {
+            Operand::Btr(b) => self.btrs[b.0 as usize],
+            _ => 0,
+        }
+    }
+}

@@ -311,11 +311,11 @@ impl Verifier {
             );
         }
 
+        // The shared static cost model prices the bundle once; VER002 and
+        // VER003 read unit demand and port operations from it.
+        let cost = self.mdes.bundle_cost(bundle);
         for unit in [Unit::Alu, Unit::Lsu, Unit::Cmpu, Unit::Bru] {
-            let wanted = bundle
-                .iter()
-                .filter(|i| i.opcode.unit() == Some(unit))
-                .count();
+            let wanted = cost.demand(unit);
             let available = self.mdes.unit_count(unit);
             if wanted > available {
                 diags.push(
@@ -334,7 +334,7 @@ impl Verifier {
         // VER003: static port count, deliberately without the forwarding
         // discount the hardware may apply — static ≤ budget implies the
         // register-file controller finishes in one processor cycle.
-        let ports = self.mdes.regfile_ops(bundle);
+        let ports = cost.port_ops;
         let budget = self.config.regfile_ops_per_cycle();
         if ports > budget {
             diags.push(
@@ -561,11 +561,10 @@ impl Verifier {
 
         // VER011: ALU demand against instances still held by a divide.
         // The issue stage interlocks (a `unit_busy` stall), so this is a
-        // warning, like the scoreboard hazards.
-        let alu_wanted = bundle
-            .iter()
-            .filter(|i| i.opcode.unit() == Some(Unit::Alu))
-            .count();
+        // warning, like the scoreboard hazards. Demand comes from the
+        // shared static cost model, exactly as the simulator's decoder
+        // precomputes it.
+        let alu_wanted = self.mdes.bundle_cost(bundle).demand(Unit::Alu);
         let alu_free = out.alu_busy.iter().filter(|&&c| c == 0).count();
         if alu_wanted > alu_free {
             if let Some(diags) = diags.as_deref_mut() {

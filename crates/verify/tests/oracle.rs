@@ -86,7 +86,8 @@ fn stall_log_attributes_stalls_to_bundles() {
     let source = "\
     ADD r1, r2, r3\n    ADD r4, r5, r6\n    ADD r7, r8, r9\n;;\n    HALT\n;;\n";
     let program = epic_core::asm::assemble(source, &config).expect("assembles");
-    let mut sim = Simulator::new(&config, program.bundles().to_vec(), program.entry());
+    let mut sim = Simulator::try_new(&config, program.bundles().to_vec(), program.entry())
+        .expect("assembler output is always legal");
     sim.record_stalls(true);
     sim.run().expect("runs to HALT");
 

@@ -51,8 +51,14 @@ fn seeded_unit_overcommit() {
     assert!(report.has_code("VER002"), "{}", report.render("seed", None));
     assert!(report.has_errors());
 
-    let result = std::panic::catch_unwind(|| Simulator::new(&config, bundles.clone(), 0));
-    assert!(result.is_err(), "the simulator rejects the bundle as well");
+    let result = Simulator::try_new(&config, bundles.clone(), 0);
+    assert!(
+        matches!(
+            result,
+            Err(epic_core::sim::SimError::IllegalBundle { pc: 0, .. })
+        ),
+        "the simulator rejects the bundle as well"
+    );
 }
 
 /// Latency hazard (VER004): a multiply's consumer scheduled before the

@@ -193,7 +193,7 @@ mod tests {
         let d = golden_all_pairs(&adj, 3);
         assert_eq!(d[2], 5);
         assert_eq!(d[1], 2);
-        assert_eq!(d[(2 * 3)], GRAPH_INF, "2 has no outgoing edges");
+        assert_eq!(d[2 * 3], GRAPH_INF, "2 has no outgoing edges");
         assert_eq!(d[3 + 2], 3);
         for i in 0..3 {
             assert_eq!(d[i * 3 + i], 0);

@@ -1,0 +1,292 @@
+//! Offline stand-in for the `rayon` crate.
+//!
+//! The build environment has no crates.io access, so the workspace
+//! vendors a minimal data-parallelism layer with the real crate's
+//! spelling: `vec.into_par_iter().map(f).collect()`, a
+//! [`ThreadPoolBuilder`] whose pool scopes a thread-count override via
+//! [`ThreadPool::install`], and [`current_num_threads`]. Work is farmed
+//! over `std::thread::scope` workers pulling indices from a shared
+//! atomic counter; results land in their input slot, so collected order
+//! is deterministic regardless of which worker ran which item.
+
+#![forbid(unsafe_code)]
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Thread-count override installed by [`ThreadPool::install`]
+/// (0 = no override, use the machine's available parallelism).
+static POOL_THREADS: AtomicUsize = AtomicUsize::new(0);
+
+/// The number of threads parallel iterators fan out to.
+pub fn current_num_threads() -> usize {
+    let installed = POOL_THREADS.load(Ordering::Relaxed);
+    if installed > 0 {
+        return installed;
+    }
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// Error building a thread pool (the shim never fails; kept for API
+/// compatibility).
+#[derive(Debug)]
+pub struct ThreadPoolBuildError;
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "thread pool build error")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// Builds a [`ThreadPool`] with a fixed thread count.
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: usize,
+}
+
+impl ThreadPoolBuilder {
+    /// A builder with default settings.
+    #[must_use]
+    pub fn new() -> Self {
+        ThreadPoolBuilder::default()
+    }
+
+    /// Sets the thread count (0 = available parallelism).
+    #[must_use]
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = n;
+        self
+    }
+
+    /// Builds the pool.
+    ///
+    /// # Errors
+    ///
+    /// Never fails in the shim; the `Result` mirrors rayon's API.
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        Ok(ThreadPool {
+            num_threads: self.num_threads,
+        })
+    }
+}
+
+/// A scoped thread-count setting for parallel iterators.
+///
+/// Unlike real rayon there are no persistent worker threads; `install`
+/// only pins how many scoped workers each parallel iterator spawns
+/// while the closure runs.
+#[derive(Debug)]
+pub struct ThreadPool {
+    num_threads: usize,
+}
+
+impl ThreadPool {
+    /// Runs `f` with this pool's thread count installed.
+    pub fn install<R>(&self, f: impl FnOnce() -> R) -> R {
+        let previous = POOL_THREADS.swap(self.num_threads, Ordering::Relaxed);
+        let result = f();
+        POOL_THREADS.store(previous, Ordering::Relaxed);
+        result
+    }
+
+    /// The pool's thread count.
+    #[must_use]
+    pub fn current_num_threads(&self) -> usize {
+        if self.num_threads > 0 {
+            self.num_threads
+        } else {
+            current_num_threads()
+        }
+    }
+}
+
+/// The traits the `use rayon::prelude::*` idiom brings into scope.
+pub mod prelude {
+    pub use super::{IntoParallelIterator, ParallelIterator};
+}
+
+/// Conversion into a parallel iterator.
+pub trait IntoParallelIterator {
+    /// The item type.
+    type Item: Send;
+    /// The parallel iterator type.
+    type Iter: ParallelIterator<Item = Self::Item>;
+    /// Converts `self` into a parallel iterator.
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    type Iter = IntoParIter<T>;
+    fn into_par_iter(self) -> IntoParIter<T> {
+        IntoParIter { items: self }
+    }
+}
+
+/// A parallel iterator: the subset of rayon's `ParallelIterator` this
+/// workspace uses (`map` + `collect`).
+pub trait ParallelIterator: Sized {
+    /// The item type.
+    type Item: Send;
+
+    /// Drains into a vector, preserving input order.
+    fn drive(self) -> Vec<Self::Item>;
+
+    /// Maps each item through `f` (evaluated in parallel at `collect`).
+    fn map<U, F>(self, f: F) -> Map<Self, F>
+    where
+        U: Send,
+        F: Fn(Self::Item) -> U + Sync + Send,
+    {
+        Map { base: self, f }
+    }
+
+    /// Collects into a container, preserving input order.
+    fn collect<C: FromParallelIterator<Self::Item>>(self) -> C {
+        C::from_par_iter(self.drive())
+    }
+}
+
+/// Collection from an (already-ordered) parallel computation.
+pub trait FromParallelIterator<T> {
+    /// Builds the container from ordered results.
+    fn from_par_iter(items: Vec<T>) -> Self;
+}
+
+impl<T> FromParallelIterator<T> for Vec<T> {
+    fn from_par_iter(items: Vec<T>) -> Self {
+        items
+    }
+}
+
+impl<T, E> FromParallelIterator<Result<T, E>> for Result<Vec<T>, E> {
+    fn from_par_iter(items: Vec<Result<T, E>>) -> Self {
+        items.into_iter().collect()
+    }
+}
+
+/// Parallel iterator over a vector's items.
+pub struct IntoParIter<T> {
+    items: Vec<T>,
+}
+
+impl<T: Send> ParallelIterator for IntoParIter<T> {
+    type Item = T;
+    fn drive(self) -> Vec<T> {
+        self.items
+    }
+}
+
+/// A mapped parallel iterator.
+pub struct Map<I, F> {
+    base: I,
+    f: F,
+}
+
+impl<I, U, F> ParallelIterator for Map<I, F>
+where
+    I: ParallelIterator,
+    U: Send,
+    F: Fn(I::Item) -> U + Sync + Send,
+{
+    type Item = U;
+    fn drive(self) -> Vec<U> {
+        par_map(self.base.drive(), &self.f)
+    }
+}
+
+/// Farms `f` over `items` with scoped workers; results are returned in
+/// input order (worker scheduling never reorders them).
+fn par_map<T: Send, U: Send, F: Fn(T) -> U + Sync>(items: Vec<T>, f: &F) -> Vec<U> {
+    let n = items.len();
+    let threads = current_num_threads().min(n).max(1);
+    if threads == 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let inputs: Vec<Mutex<Option<T>>> = items.into_iter().map(|t| Mutex::new(Some(t))).collect();
+    let outputs: Vec<Mutex<Option<U>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let next = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let item = inputs[i]
+                    .lock()
+                    .expect("input slot poisoned")
+                    .take()
+                    .expect("each slot is taken once");
+                let result = f(item);
+                *outputs[i].lock().expect("output slot poisoned") = Some(result);
+            });
+        }
+    });
+    outputs
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("output slot poisoned")
+                .expect("every slot was filled")
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::*;
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let squares: Vec<u64> = (0u64..1000)
+            .collect::<Vec<_>>()
+            .into_par_iter()
+            .map(|i| i * i)
+            .collect();
+        assert_eq!(squares.len(), 1000);
+        assert!(squares
+            .iter()
+            .enumerate()
+            .all(|(i, &s)| s == (i as u64) * (i as u64)));
+    }
+
+    #[test]
+    fn install_scopes_the_thread_count() {
+        let pool = ThreadPoolBuilder::new().num_threads(3).build().unwrap();
+        assert_eq!(pool.current_num_threads(), 3);
+        let (inside, results) = pool.install(|| {
+            let inside = current_num_threads();
+            let results: Vec<usize> = (0..10)
+                .collect::<Vec<_>>()
+                .into_par_iter()
+                .map(|i| i + 1)
+                .collect();
+            (inside, results)
+        });
+        assert_eq!(inside, 3);
+        assert_eq!(results, (1..=10).collect::<Vec<_>>());
+        assert_ne!(current_num_threads(), 0, "override restored");
+    }
+
+    #[test]
+    fn result_collection_short_circuits_to_the_first_error() {
+        let r: Result<Vec<u32>, String> = (0u32..8)
+            .collect::<Vec<_>>()
+            .into_par_iter()
+            .map(|i| {
+                if i == 5 {
+                    Err(format!("bad {i}"))
+                } else {
+                    Ok(i)
+                }
+            })
+            .collect();
+        assert_eq!(r, Err("bad 5".to_string()));
+    }
+}

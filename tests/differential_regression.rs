@@ -1,4 +1,6 @@
-//! Differential regression: the scheduler's stall-freedom claims, enforced.
+//! Differential regression: the scheduler's stall-freedom claims, enforced,
+//! and the decode-once engine pinned bit-identical to the interpretive
+//! oracle.
 //!
 //! `crates/compiler/src/sched.rs` documents that scheduled code respects
 //! the register-file port budget "so the scheduled code never provokes
@@ -8,9 +10,16 @@
 //! issue width the paper explores, must simulate with zero
 //! `regfile_port` and zero `unit_busy` stalls — cross-validated against
 //! the static verifier, which must accept exactly these programs.
+//!
+//! The second test runs the same grid through both execution engines —
+//! the decode-once [`Simulator`] and the frozen [`ReferenceSimulator`]
+//! oracle — and demands bit-identical statistics, register files and
+//! memory images. Any divergence in the decoded fast path fails here
+//! before it can skew a single paper number.
 
 use epic_core::config::Config;
 use epic_core::ir::lower;
+use epic_core::sim::{Memory, ReferenceSimulator, Simulator};
 use epic_core::workloads::{self, Scale};
 use epic_core::Toolchain;
 
@@ -43,6 +52,76 @@ fn compiled_workloads_never_stall_on_ports_or_units() {
                     "{} alus={alus} iw={issue_width}: scheduler let the \
                      blocking divider collide with issue",
                     workload.name
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn decoded_engine_is_bit_identical_to_the_reference_oracle() {
+    for workload in workloads::all(Scale::Test) {
+        let module = lower::lower(&workload.program).expect("workload lowers");
+        let layout = module.layout().expect("layout");
+        for alus in 1..=4usize {
+            for issue_width in 1..=4usize {
+                let config = Config::builder()
+                    .num_alus(alus)
+                    .issue_width(issue_width)
+                    .build()
+                    .expect("valid configuration");
+                let toolchain = Toolchain::new(config.clone());
+                let run = toolchain
+                    .run_module(&module, &workload.entry, &[], &workload.inline_hints())
+                    .unwrap_or_else(|e| {
+                        panic!("{} alus={alus} iw={issue_width}: {e}", workload.name)
+                    });
+                let label = format!("{} alus={alus} iw={issue_width}", workload.name);
+
+                // Re-run the exact same binary on the decoded engine
+                // (from scratch, not the toolchain's simulator, so the
+                // comparison covers the whole decode path) and on the
+                // interpretive oracle.
+                let image = module.initial_memory(&layout);
+                let bundles = run.program.bundles().to_vec();
+                let entry = run.program.entry();
+
+                let mut decoded = Simulator::try_new(&config, bundles.clone(), entry)
+                    .unwrap_or_else(|e| panic!("{label}: decode rejected legal program: {e}"));
+                decoded.set_memory(Memory::from_image(image.clone()));
+                decoded
+                    .run()
+                    .unwrap_or_else(|e| panic!("{label}: decoded run failed: {e}"));
+
+                let mut oracle = ReferenceSimulator::new(&config, bundles, entry);
+                oracle.set_memory(Memory::from_image(image));
+                oracle
+                    .run()
+                    .unwrap_or_else(|e| panic!("{label}: reference run failed: {e}"));
+
+                assert_eq!(
+                    decoded.stats(),
+                    oracle.stats(),
+                    "{label}: SimStats diverged between engines"
+                );
+                assert_eq!(
+                    decoded.stats(),
+                    run.stats(),
+                    "{label}: toolchain-embedded simulator diverged"
+                );
+                for r in 0..config.num_gprs() {
+                    assert_eq!(decoded.gpr(r), oracle.gpr(r), "{label}: r{r} diverged");
+                }
+                for p in 0..config.num_pred_regs() {
+                    assert_eq!(decoded.pred(p), oracle.pred(p), "{label}: p{p} diverged");
+                }
+                for b in 0..config.num_btrs() {
+                    assert_eq!(decoded.btr(b), oracle.btr(b), "{label}: b{b} diverged");
+                }
+                assert_eq!(
+                    decoded.memory().bytes(),
+                    oracle.memory().bytes(),
+                    "{label}: final memory images diverged"
                 );
             }
         }
