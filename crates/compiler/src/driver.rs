@@ -8,6 +8,7 @@ use crate::passes::{self, PassStats};
 use crate::regalloc::{allocate, Abi, RegAllocStats};
 use crate::sched::{schedule_function, SchedStats};
 use crate::select::{fold_literal_operands, select};
+use crate::trace::{FunctionTrace, PipelineTrace};
 use epic_config::Config;
 use epic_ir::Module;
 use epic_isa::Opcode;
@@ -85,6 +86,7 @@ pub struct CompiledProgram {
     assembly: String,
     stats: CompileStats,
     config: Config,
+    trace: Option<PipelineTrace>,
 }
 
 impl CompiledProgram {
@@ -104,6 +106,16 @@ impl CompiledProgram {
     #[must_use]
     pub fn config(&self) -> &Config {
         &self.config
+    }
+
+    /// Per-stage pipeline snapshots for translation validation.
+    ///
+    /// Present when the compile ran with [`Options::verify`] on; the
+    /// `--no-verify` escape hatch drops trace collection along with the
+    /// post-schedule verifier run.
+    #[must_use]
+    pub fn trace(&self) -> Option<&PipelineTrace> {
+        self.trace.as_ref()
     }
 }
 
@@ -187,6 +199,9 @@ impl Compiler {
         })?;
 
         let mut scheduled = Vec::with_capacity(module.functions.len() + 1);
+        // Stage snapshots for translation validation ride along with the
+        // verifier switch: `--no-verify` drops both.
+        let mut trace = options.verify.then(PipelineTrace::default);
 
         // The start-up stub comes first: its first bundle is the entry PC.
         let mut stub = self.start_stub(&abi, options, layout.initial_sp())?;
@@ -194,25 +209,52 @@ impl Compiler {
         let (blocks, s) = schedule_function(&stub, &stub_layout, &self.mdes);
         stats.sched.ops += s.ops;
         stats.sched.bundles += s.bundles;
+        if let Some(trace) = &mut trace {
+            // The stub is born allocated; only the back-end stages exist.
+            trace.functions.push(FunctionTrace {
+                name: stub.name.clone(),
+                post_select: None,
+                post_ifconv: None,
+                post_regalloc: None,
+                post_finalize: stub.clone(),
+                layout: stub_layout.clone(),
+                scheduled: blocks.clone(),
+            });
+        }
         scheduled.push(blocks);
 
         for func in &module.functions {
             let mut mf = select(func, &self.config)?;
             fold_literal_operands(&mut mf, &self.config);
+            let post_select = trace.is_some().then(|| mf.clone());
+            let mut post_ifconv = None;
             if options.if_conversion {
                 let s = if_convert(&mut mf);
                 stats.ifconv.diamonds += s.diamonds;
                 stats.ifconv.triangles += s.triangles;
                 stats.ifconv.predicated_insts += s.predicated_insts;
+                post_ifconv = trace.is_some().then(|| mf.clone());
             }
             let ra = allocate(&mut mf, &abi, &self.config)?;
             stats.regalloc.spilled += ra.spilled;
             stats.regalloc.call_saves += ra.call_saves;
             stats.regalloc.frame_bytes += ra.frame_bytes;
+            let post_regalloc = trace.is_some().then(|| mf.clone());
             let fl = finalize_control(&mut mf, &abi);
             let (blocks, s) = schedule_function(&mf, &fl, &self.mdes);
             stats.sched.ops += s.ops;
             stats.sched.bundles += s.bundles;
+            if let Some(trace) = &mut trace {
+                trace.functions.push(FunctionTrace {
+                    name: mf.name.clone(),
+                    post_select,
+                    post_ifconv,
+                    post_regalloc,
+                    post_finalize: mf.clone(),
+                    layout: fl.clone(),
+                    scheduled: blocks.clone(),
+                });
+            }
             scheduled.push(blocks);
         }
 
@@ -245,6 +287,7 @@ impl Compiler {
             assembly,
             stats,
             config: self.config.clone(),
+            trace,
         })
     }
 

@@ -57,6 +57,7 @@ pub mod regalloc;
 pub mod sched;
 pub mod select;
 pub mod suggest;
+pub mod trace;
 
 pub use driver::{
     default_verify, set_default_verify, CompileStats, CompiledProgram, Compiler, Options,

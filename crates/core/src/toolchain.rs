@@ -19,6 +19,9 @@ pub enum ToolchainError {
     Compile(CompileError),
     /// Assembly failed (a compiler bug if the source was generated).
     Asm(AsmError),
+    /// Translation validation rejected a compiler pass (the rendered
+    /// `epic-tv` report; always a compiler bug).
+    Tv(String),
     /// Simulation faulted.
     Sim(SimError),
     /// Baseline code generation failed.
@@ -33,6 +36,7 @@ impl fmt::Display for ToolchainError {
             ToolchainError::Ir(e) => write!(f, "ir: {e}"),
             ToolchainError::Compile(e) => write!(f, "compile: {e}"),
             ToolchainError::Asm(e) => write!(f, "assemble: {e}"),
+            ToolchainError::Tv(report) => write!(f, "translation validation: {report}"),
             ToolchainError::Sim(e) => write!(f, "simulate: {e}"),
             ToolchainError::ArmCodegen(e) => write!(f, "baseline codegen: {e}"),
             ToolchainError::ArmSim(e) => write!(f, "baseline simulate: {e}"),
@@ -46,6 +50,7 @@ impl Error for ToolchainError {
             ToolchainError::Ir(e) => Some(e),
             ToolchainError::Compile(e) => Some(e),
             ToolchainError::Asm(e) => Some(e),
+            ToolchainError::Tv(_) => None,
             ToolchainError::Sim(e) => Some(e),
             ToolchainError::ArmCodegen(e) => Some(e),
             ToolchainError::ArmSim(e) => Some(e),
@@ -206,6 +211,14 @@ impl Toolchain {
     ) -> Result<EpicRun, ToolchainError> {
         let compiled = self.compiler.compile_with(module, options)?;
         let program = epic_asm::assemble(compiled.assembly(), &self.config)?;
+        // Translation validation rides on the same trace the bundle
+        // verifier uses, so `--no-verify` disables both together.
+        if let Some(trace) = compiled.trace() {
+            let report = epic_tv::validate_trace(trace, &program, &self.config);
+            if report.has_errors() {
+                return Err(ToolchainError::Tv(report.render("<pipeline>", None)));
+            }
+        }
         let layout = module.layout()?;
         let mut simulator =
             Simulator::try_new(&self.config, program.bundles().to_vec(), program.entry())?;

@@ -47,6 +47,7 @@ pub struct ReferenceSimulator {
     halted: bool,
     stats: SimStats,
     cycle_limit: u64,
+    last_executed: Option<u32>,
 }
 
 impl ReferenceSimulator {
@@ -82,6 +83,7 @@ impl ReferenceSimulator {
             halted: false,
             stats: SimStats::default(),
             cycle_limit: DEFAULT_CYCLE_LIMIT,
+            last_executed: None,
             config: config.clone(),
             bundles,
         }
@@ -135,6 +137,16 @@ impl ReferenceSimulator {
     #[must_use]
     pub fn stats(&self) -> &SimStats {
         &self.stats
+    }
+
+    /// Address of the most recently executed bundle, if any. Paired
+    /// with [`SimStats::bundles`] this exposes the dynamic bundle trace
+    /// one execution event at a time (the counter ticks exactly when
+    /// this updates), which the verifier's CFG tests replay against the
+    /// static successor relation.
+    #[must_use]
+    pub fn last_executed(&self) -> Option<u32> {
+        self.last_executed
     }
 
     /// Runs until `HALT` (or an error).
@@ -304,6 +316,7 @@ impl ReferenceSimulator {
         let mut writes: Vec<Write> = Vec::with_capacity(bundle.len());
         let mut redirect: Option<u32> = None;
         self.stats.bundles += 1;
+        self.last_executed = Some(bpc);
 
         for instr in &bundle {
             if instr.opcode == Opcode::Nop {

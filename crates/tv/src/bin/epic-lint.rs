@@ -1,18 +1,30 @@
-//! `epic-lint`: static linter for EPIC assembly sources.
+//! `epic-lint`: static linter for EPIC assembly sources and the
+//! compiler's own pipeline.
 //!
-//! Feeds a `.s` file through the existing assembler (so it accepts
-//! exactly the language `epic-asm` accepts, for any configuration
-//! header) and then runs the `epic-verify` static analyzer over the
-//! assembled bundles, mapping every finding back to a source line:
+//! File mode feeds a `.s` file through the existing assembler (so it
+//! accepts exactly the language `epic-asm` accepts, for any
+//! configuration header) and then runs the `epic-verify` static
+//! analyzer over the assembled bundles, mapping every finding back to a
+//! source line:
 //!
 //! ```text
 //! epic-lint <source.s> [--config <header.cfg>] [--format text|json]
 //! ```
 //!
+//! Translation-validation mode (`--tv`) takes no source file: it
+//! compiles every built-in workload across the ALU (1–4) × issue-width
+//! (1–4) grid and runs the `epic-tv` pass-by-pass validator over each
+//! pipeline trace, reporting any refinement violation the compiler
+//! produced:
+//!
+//! ```text
+//! epic-lint --tv [--format text|json]
+//! ```
+//!
 //! Diagnostics are rendered rustc-style with caret lines (`--format
-//! text`, the default) or as one JSON object (`--format json`). The
-//! exit code is nonzero when any error-severity diagnostic is present;
-//! warnings alone exit zero.
+//! text`, the default) or as JSON (`--format json`). The exit code is
+//! nonzero when any error-severity diagnostic is present; warnings
+//! alone exit zero.
 
 use epic_config::{header, Config};
 use std::path::PathBuf;
@@ -25,15 +37,17 @@ enum Format {
 }
 
 struct Args {
-    source: PathBuf,
+    source: Option<PathBuf>,
     config: Option<PathBuf>,
     format: Format,
+    tv: bool,
 }
 
 fn parse_args() -> Result<Args, String> {
     let mut source = None;
     let mut config = None;
     let mut format = Format::Text;
+    let mut tv = false;
     let mut iter = std::env::args().skip(1);
     while let Some(arg) = iter.next() {
         let parse_format = |text: &str| match text {
@@ -48,9 +62,10 @@ fn parse_args() -> Result<Args, String> {
             "--format" => {
                 format = parse_format(&iter.next().ok_or("--format needs a value")?)?;
             }
+            "--tv" => tv = true,
             "--help" | "-h" => {
                 return Err("usage: epic-lint <source.s> [--config <header.cfg>] \
-                            [--format text|json]"
+                            [--format text|json]\n       epic-lint --tv [--format text|json]"
                     .to_owned())
             }
             other => {
@@ -64,10 +79,17 @@ fn parse_args() -> Result<Args, String> {
             }
         }
     }
+    if tv && source.is_some() {
+        return Err("--tv takes no source file".to_owned());
+    }
+    if !tv && source.is_none() {
+        return Err("no source file given (try --help)".to_owned());
+    }
     Ok(Args {
-        source: source.ok_or("no source file given (try --help)")?,
+        source,
         config,
         format,
+        tv,
     })
 }
 
@@ -96,11 +118,11 @@ fn bundle_lines(source: &str) -> Vec<Vec<usize>> {
     map
 }
 
-fn emit(diags: &[epic_asm::Diagnostic], origin: &str, source: &str, format: Format) {
+fn emit(diags: &[epic_asm::Diagnostic], origin: &str, source: Option<&str>, format: Format) {
     match format {
         Format::Text => {
             for diag in diags {
-                eprint!("{}", diag.render(origin, Some(source)));
+                eprint!("{}", diag.render(origin, source));
             }
             let errors = diags
                 .iter()
@@ -122,7 +144,7 @@ fn emit(diags: &[epic_asm::Diagnostic], origin: &str, source: &str, format: Form
     }
 }
 
-fn run(args: &Args) -> Result<ExitCode, String> {
+fn lint_file(args: &Args) -> Result<ExitCode, String> {
     let config = match &args.config {
         Some(path) => {
             let text =
@@ -131,16 +153,16 @@ fn run(args: &Args) -> Result<ExitCode, String> {
         }
         None => Config::default(),
     };
-    let source = std::fs::read_to_string(&args.source)
-        .map_err(|e| format!("{}: {e}", args.source.display()))?;
-    let origin = args.source.display().to_string();
+    let path = args.source.as_ref().expect("file mode has a source");
+    let source = std::fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
+    let origin = path.display().to_string();
 
     let program = match epic_asm::assemble(&source, &config) {
         Ok(program) => program,
         Err(err) => {
             // The source does not even assemble: report the assembler's
             // diagnostic through the same channel and fail.
-            emit(&[err.to_diagnostic()], &origin, &source, args.format);
+            emit(&[err.to_diagnostic()], &origin, Some(&source), args.format);
             return Ok(ExitCode::FAILURE);
         }
     };
@@ -165,8 +187,59 @@ fn run(args: &Args) -> Result<ExitCode, String> {
         })
         .collect();
 
-    emit(&located, &origin, &source, args.format);
+    emit(&located, &origin, Some(&source), args.format);
     Ok(if report.has_errors() {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    })
+}
+
+/// Compiles every workload across the design-space grid and validates
+/// each pipeline trace.
+fn lint_pipeline(args: &Args) -> Result<ExitCode, String> {
+    let mut failed = false;
+    let workloads = epic_workloads::all(epic_workloads::Scale::Test);
+    for workload in &workloads {
+        let module = epic_ir::lower::lower(&workload.program)
+            .map_err(|e| format!("{}: lowering failed: {e}", workload.name))?;
+        for alus in 1..=4usize {
+            for width in 1..=4usize {
+                let config = Config::builder()
+                    .num_alus(alus)
+                    .issue_width(width)
+                    .build()
+                    .map_err(|e| format!("config {alus} ALU / {width} IW: {e}"))?;
+                let options = epic_compiler::Options {
+                    entry: workload.entry.clone(),
+                    inline_hints: workload.inline_hints(),
+                    verify: true, // also enables pipeline trace collection
+                    ..epic_compiler::Options::default()
+                };
+                let compiled = epic_compiler::Compiler::new(config.clone())
+                    .compile_with(&module, &options)
+                    .map_err(|e| format!("{}: compile failed: {e}", workload.name))?;
+                let program = epic_asm::assemble(compiled.assembly(), &config)
+                    .map_err(|e| format!("{}: assembly rejected: {e}", workload.name))?;
+                let trace = compiled
+                    .trace()
+                    .ok_or_else(|| format!("{}: compiler produced no trace", workload.name))?;
+                let report = epic_tv::validate_trace(trace, &program, &config);
+                let origin = format!("{}[alus={alus},iw={width}]", workload.name);
+                if args.format == Format::Json || !report.is_clean() {
+                    emit(report.diagnostics(), &origin, None, args.format);
+                }
+                failed |= report.has_errors();
+            }
+        }
+    }
+    if !failed && args.format == Format::Text {
+        eprintln!(
+            "epic-lint --tv: {} workload(s) x 16 configuration(s): no refinement violations",
+            workloads.len()
+        );
+    }
+    Ok(if failed {
         ExitCode::FAILURE
     } else {
         ExitCode::SUCCESS
@@ -181,7 +254,12 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    match run(&args) {
+    let result = if args.tv {
+        lint_pipeline(&args)
+    } else {
+        lint_file(&args)
+    };
+    match result {
         Ok(code) => code,
         Err(message) => {
             eprintln!("epic-lint: {message}");

@@ -1,0 +1,208 @@
+//! A mutation harness for exercising the validator.
+//!
+//! Replays the compiler driver's pipeline stage by stage, optionally
+//! corrupting the artifact a stage produced *before* it is snapshotted
+//! into the [`PipelineTrace`] and handed to the next stage — exactly the
+//! effect of a bug inside that stage. The seeded-miscompile corpus in
+//! `tests/mutants.rs` uses this to prove every checker has teeth: each
+//! mutant must be flagged statically by [`crate::validate_trace`] *and*
+//! confirmed as a real miscompile (or an unassemblable program) by a
+//! differential `ReferenceSimulator` run.
+//!
+//! The harness deliberately skips the driver's built-in `epic-verify`
+//! run: mutants must reach the validator, not die inside the compiler.
+
+use epic_compiler::emit::{emit_program, finalize_control, CALL_BTR};
+use epic_compiler::ifconv::if_convert;
+use epic_compiler::mir::{MBlock, MBlockId, MDest, MFunction, MInst, MOp, MSrc, MTerm};
+use epic_compiler::passes;
+use epic_compiler::regalloc::{allocate, Abi};
+use epic_compiler::sched::{schedule_function, ScheduledBlock};
+use epic_compiler::select::{fold_literal_operands, select};
+use epic_compiler::trace::{FunctionTrace, PipelineTrace};
+use epic_compiler::CompileError;
+use epic_config::Config;
+use epic_ir::Module;
+use epic_isa::Opcode;
+use epic_mdes::MachineDescription;
+
+/// A corrupting edit over one function's scheduled blocks.
+pub type SchedEdit = dyn Fn(&mut Vec<ScheduledBlock>);
+
+/// Stage-corrupting closures, applied to the named function's artifact
+/// right after the stage runs. `None` leaves the stage honest.
+#[derive(Default)]
+pub struct Mutation<'a> {
+    /// Function whose pipeline is corrupted (others compile honestly).
+    pub function: &'a str,
+    /// Applied to the machine IR after if-conversion.
+    pub post_ifconv: Option<&'a dyn Fn(&mut MFunction)>,
+    /// Applied to the machine IR after register allocation.
+    pub post_regalloc: Option<&'a dyn Fn(&mut MFunction)>,
+    /// Applied to the machine IR after control finalisation (the
+    /// lowered branch tails).
+    pub post_finalize: Option<&'a dyn Fn(&mut MFunction)>,
+    /// Applied to the scheduled bundles after list scheduling.
+    pub post_sched: Option<&'a SchedEdit>,
+    /// Applied to the emitted assembly text (the trace keeps the honest
+    /// schedule, so divergence surfaces in the emission check).
+    pub post_emit: Option<&'a dyn Fn(&mut String)>,
+}
+
+/// Pipeline switches mirroring [`epic_compiler::Options`].
+pub struct PipelineOptions {
+    /// Run the machine-independent optimiser.
+    pub optimize: bool,
+    /// Run if-conversion.
+    pub if_conversion: bool,
+    /// Functions marked for inlining.
+    pub inline_hints: Vec<String>,
+    /// Entry function called by the start-up stub.
+    pub entry: String,
+    /// Arguments the stub passes to the entry function.
+    pub entry_args: Vec<u32>,
+}
+
+impl Default for PipelineOptions {
+    fn default() -> Self {
+        PipelineOptions {
+            optimize: true,
+            if_conversion: true,
+            inline_hints: Vec::new(),
+            entry: "main".to_owned(),
+            entry_args: Vec::new(),
+        }
+    }
+}
+
+/// Compiles `module` like the driver does, applying `mutation`, and
+/// returns the emitted assembly together with the pipeline trace.
+///
+/// # Errors
+///
+/// Propagates selection/allocation errors from the honest stages; a
+/// mutation that makes a *later* stage panic is a corpus bug.
+pub fn compile_mutated(
+    module: &Module,
+    config: &Config,
+    options: &PipelineOptions,
+    mutation: &Mutation<'_>,
+) -> Result<(String, PipelineTrace), CompileError> {
+    let abi = Abi::new(config)?;
+    let mdes = MachineDescription::new(config);
+    let mut module = module.clone();
+    if options.optimize {
+        passes::optimize(&mut module, &options.inline_hints);
+    }
+    let layout = module.layout().map_err(|e| CompileError::Internal {
+        message: format!("module layout: {e}"),
+    })?;
+
+    let mut trace = PipelineTrace::default();
+    let mut scheduled = Vec::with_capacity(module.functions.len() + 1);
+
+    let mut stub = start_stub(&abi, options, layout.initial_sp());
+    let stub_layout = finalize_control(&mut stub, &abi);
+    let (blocks, _) = schedule_function(&stub, &stub_layout, &mdes);
+    trace.functions.push(FunctionTrace {
+        name: stub.name.clone(),
+        post_select: None,
+        post_ifconv: None,
+        post_regalloc: None,
+        post_finalize: stub.clone(),
+        layout: stub_layout,
+        scheduled: blocks.clone(),
+    });
+    scheduled.push(blocks);
+
+    for func in &module.functions {
+        let target = func.name == mutation.function;
+        let mut mf = select(func, config)?;
+        fold_literal_operands(&mut mf, config);
+        let post_select = Some(mf.clone());
+        let mut post_ifconv = None;
+        if options.if_conversion {
+            if_convert(&mut mf);
+            if target {
+                if let Some(m) = mutation.post_ifconv {
+                    m(&mut mf);
+                }
+            }
+            post_ifconv = Some(mf.clone());
+        }
+        allocate(&mut mf, &abi, config)?;
+        if target {
+            if let Some(m) = mutation.post_regalloc {
+                m(&mut mf);
+            }
+        }
+        let post_regalloc = Some(mf.clone());
+        let fl = finalize_control(&mut mf, &abi);
+        if target {
+            if let Some(m) = mutation.post_finalize {
+                m(&mut mf);
+            }
+        }
+        let (mut blocks, _) = schedule_function(&mf, &fl, &mdes);
+        if target {
+            if let Some(m) = mutation.post_sched {
+                m(&mut blocks);
+            }
+        }
+        trace.functions.push(FunctionTrace {
+            name: mf.name.clone(),
+            post_select,
+            post_ifconv,
+            post_regalloc,
+            post_finalize: mf.clone(),
+            layout: fl,
+            scheduled: blocks.clone(),
+        });
+        scheduled.push(blocks);
+    }
+
+    let mut assembly = emit_program(&scheduled, config);
+    if let Some(m) = mutation.post_emit {
+        m(&mut assembly);
+    }
+    Ok((assembly, trace))
+}
+
+/// The `_start` stub, replicated from the driver (which keeps its own
+/// private; the shapes must stay in sync with
+/// [`epic_compiler::Compiler::compile_with`]).
+fn start_stub(abi: &Abi, options: &PipelineOptions, initial_sp: u32) -> MFunction {
+    let mut insts: Vec<MInst> = Vec::new();
+    let mut movil = MOp::bare(Opcode::Movil);
+    movil.dest1 = MDest::Gpr(abi.sp);
+    movil.src1 = MSrc::Lit(i64::from(initial_sp));
+    insts.push(MInst::Op(movil));
+    for (i, arg) in options.entry_args.iter().enumerate() {
+        let mut op = MOp::bare(Opcode::Movil);
+        op.dest1 = MDest::Gpr(abi.args[i]);
+        op.src1 = MSrc::Lit(i64::from(*arg));
+        insts.push(MInst::Op(op));
+    }
+    let mut pbr = MOp::bare(Opcode::Pbr);
+    pbr.dest1 = MDest::Btr(CALL_BTR);
+    pbr.src1 = MSrc::Label(format!("fn_{}", options.entry));
+    insts.push(MInst::Op(pbr));
+    let mut brl = MOp::bare(Opcode::Brl);
+    brl.dest1 = MDest::Gpr(abi.link);
+    brl.src1 = MSrc::Btr(CALL_BTR);
+    insts.push(MInst::Op(brl));
+    MFunction {
+        name: "_start".to_owned(),
+        params: vec![],
+        blocks: vec![MBlock {
+            id: MBlockId(0),
+            insts,
+            term: MTerm::Halt,
+        }],
+        vreg_count: 0,
+        vpred_count: 1,
+        allocated: true,
+        frame_bytes: 0,
+        makes_calls: true,
+    }
+}

@@ -1,0 +1,331 @@
+//! Predicate-aware refinement check for if-conversion.
+//!
+//! The pass converts hammocks (diamond / triangle / mirrored triangle)
+//! into predicated straight-line code: the branch block keeps its own
+//! instructions as a prefix, the arm blocks donate theirs — guarded with
+//! the branch predicate (true arm) or its complement (false arm) — and
+//! the donors are left empty. The only other change the pass may make is
+//! patching the complement predicate into a compare's `dest2`.
+//!
+//! The check classifies every block by comparing terminators, infers the
+//! conversion pattern from the pre-CFG, and demands:
+//!
+//! * the recipient's prefix is position-wise identical to its pre
+//!   instructions (modulo the `dest2` patch),
+//! * the donated suffix equals the arm instructions in order, each
+//!   carrying *exactly* the inherited guard (TV001 otherwise),
+//! * donors are empty and were only reachable through the recipient
+//!   (TV002 otherwise), and
+//! * every untouched block is unchanged.
+
+use crate::Diagnostic;
+use epic_compiler::mir::{MBlockId, MDest, MFunction, MInst, MOp, MTerm};
+use epic_isa::Opcode;
+
+/// How one instruction pair may legally differ.
+enum Mismatch {
+    Guard { expected: u32, got: u32 },
+    Other,
+}
+
+/// Compares two ops that must be identical except for the complement
+/// `dest2` patch (an unguarded compare whose discarded complement gains a
+/// fresh virtual predicate). `expected_guard` overrides the guard the
+/// post op must carry (donated ops inherit the branch predicate).
+fn op_matches(pre: &MOp, post: &MOp, expected_guard: u32, pre_vpreds: u32) -> Result<(), Mismatch> {
+    if post.guard != expected_guard {
+        return Err(Mismatch::Guard {
+            expected: expected_guard,
+            got: post.guard,
+        });
+    }
+    let dest2_patched = matches!(pre.opcode, Opcode::Cmp(_))
+        && pre.guard == 0
+        && matches!(pre.dest2, MDest::None | MDest::Pred(0))
+        && matches!(post.dest2, MDest::Pred(p) if p != 0 && p >= pre_vpreds);
+    let fields_equal = pre.opcode == post.opcode
+        && pre.dest1 == post.dest1
+        && (pre.dest2 == post.dest2 || dest2_patched)
+        && pre.src1 == post.src1
+        && pre.src2 == post.src2
+        && pre.store_value == post.store_value;
+    if fields_equal {
+        Ok(())
+    } else {
+        Err(Mismatch::Other)
+    }
+}
+
+fn inst_matches(
+    pre: &MInst,
+    post: &MInst,
+    expected_guard: u32,
+    pre_vpreds: u32,
+) -> Result<(), Mismatch> {
+    match (pre, post) {
+        (MInst::Op(p), MInst::Op(q)) => op_matches(p, q, expected_guard, pre_vpreds),
+        (a, b) if a == b && expected_guard == 0 => Ok(()),
+        _ => Err(Mismatch::Other),
+    }
+}
+
+/// Checks that `post` is a legal if-conversion of `pre`.
+pub fn check(fname: &str, pre: &MFunction, post: &MFunction, diags: &mut Vec<Diagnostic>) {
+    let err = |diags: &mut Vec<Diagnostic>, code: &'static str, msg: String| {
+        diags.push(Diagnostic::error(code, format!("{fname}: {msg}")));
+    };
+    if pre.blocks.len() != post.blocks.len() {
+        err(
+            diags,
+            "TV002",
+            format!(
+                "if-conversion changed the block count ({} -> {})",
+                pre.blocks.len(),
+                post.blocks.len()
+            ),
+        );
+        return;
+    }
+    if post.vreg_count != pre.vreg_count || post.vpred_count < pre.vpred_count {
+        err(
+            diags,
+            "TV002",
+            "if-conversion changed the virtual register space illegally".to_owned(),
+        );
+    }
+
+    let n = pre.blocks.len();
+    let pre_preds = pre.predecessors();
+    // donated_to[b] = recipient that absorbed block b's instructions.
+    let mut donated_to: Vec<Option<MBlockId>> = vec![None; n];
+    let mut recipients: Vec<usize> = Vec::new();
+    let mut bad = false;
+    for b in 0..n {
+        let pt = &pre.blocks[b].term;
+        let qt = &post.blocks[b].term;
+        match (pt, qt) {
+            (MTerm::CondJump { .. }, MTerm::Jump(_)) => recipients.push(b),
+            _ if pt == qt => {}
+            _ => {
+                err(
+                    diags,
+                    "TV002",
+                    format!("block mb{b}: terminator changed from `{pt:?}` to `{qt:?}` without a matching conversion"),
+                );
+                bad = true;
+            }
+        }
+    }
+    if bad {
+        return;
+    }
+
+    // Pattern-match every recipient against the pre-CFG and mark donors.
+    // arms[r] = (arm block, true-guard?) in donation order.
+    let mut arms: Vec<Vec<(MBlockId, bool)>> = vec![Vec::new(); n];
+    for &b in &recipients {
+        let MTerm::CondJump {
+            on_true, on_false, ..
+        } = pre.blocks[b].term
+        else {
+            unreachable!()
+        };
+        let MTerm::Jump(join) = post.blocks[b].term else {
+            unreachable!()
+        };
+        let (t, f) = (on_true, on_false);
+        let arm_jumps_to =
+            |a: MBlockId, j: MBlockId| post.blocks[a.0 as usize].term == MTerm::Jump(j);
+        let pattern: Option<Vec<(MBlockId, bool)>> =
+            if join != t && join != f && arm_jumps_to(t, join) && arm_jumps_to(f, join) {
+                Some(vec![(t, true), (f, false)]) // diamond
+            } else if join == f && join != t && arm_jumps_to(t, join) {
+                Some(vec![(t, true)]) // triangle
+            } else if join == t && join != f && arm_jumps_to(f, join) {
+                Some(vec![(f, false)]) // mirrored triangle
+            } else {
+                None
+            };
+        let Some(pattern) = pattern else {
+            err(
+                diags,
+                "TV002",
+                format!(
+                    "block mb{b}: branch on (mb{}, mb{}) was removed but the jump to mb{} matches no if-conversion pattern",
+                    t.0, f.0, join.0
+                ),
+            );
+            continue;
+        };
+        for &(arm, _) in &pattern {
+            if pre_preds[arm.0 as usize] != vec![MBlockId(b as u32)] {
+                err(
+                    diags,
+                    "TV002",
+                    format!(
+                        "block mb{}: donated its instructions to mb{b} but has other predecessors — their paths now reach an empty block",
+                        arm.0
+                    ),
+                );
+            }
+            if donated_to[arm.0 as usize].is_some() {
+                err(
+                    diags,
+                    "TV002",
+                    format!("block mb{}: donated to two recipients", arm.0),
+                );
+            }
+            donated_to[arm.0 as usize] = Some(MBlockId(b as u32));
+        }
+        arms[b] = pattern;
+    }
+
+    // Content checks.
+    for b in 0..n {
+        let pre_insts = &pre.blocks[b].insts;
+        let post_insts = &post.blocks[b].insts;
+        if donated_to[b].is_some() {
+            if !post_insts.is_empty() {
+                err(
+                    diags,
+                    "TV002",
+                    format!(
+                        "block mb{b}: donated its instructions to mb{} but still contains {} op(s) — they would execute twice",
+                        donated_to[b].unwrap().0,
+                        post_insts.len()
+                    ),
+                );
+            }
+            // Contents are checked at the recipient.
+            continue;
+        }
+        if arms[b].is_empty() {
+            // Untouched block: must be identical (modulo dest2 patch).
+            if pre_insts.len() != post_insts.len() {
+                err(
+                    diags,
+                    "TV002",
+                    format!(
+                        "block mb{b}: instruction count changed ({} -> {}) outside any conversion",
+                        pre_insts.len(),
+                        post_insts.len()
+                    ),
+                );
+                continue;
+            }
+            for (i, (p, q)) in pre_insts.iter().zip(post_insts).enumerate() {
+                let expected = p.as_op().map_or(0, |op| op.guard);
+                if let Err(m) = inst_matches(p, q, expected, pre.vpred_count) {
+                    report_mismatch(diags, fname, b, i, p, q, m);
+                }
+            }
+            continue;
+        }
+
+        // Recipient: prefix ++ donated suffix.
+        let k = pre_insts.len();
+        if post_insts.len() < k {
+            err(
+                diags,
+                "TV002",
+                format!(
+                    "block mb{b}: if-conversion dropped {} op(s) from the branch block",
+                    k - post_insts.len()
+                ),
+            );
+            continue;
+        }
+        for (i, (p, q)) in pre_insts.iter().zip(&post_insts[..k]).enumerate() {
+            let expected = p.as_op().map_or(0, |op| op.guard);
+            if let Err(m) = inst_matches(p, q, expected, pre.vpred_count) {
+                report_mismatch(diags, fname, b, i, p, q, m);
+            }
+        }
+
+        let MTerm::CondJump { pred, .. } = pre.blocks[b].term else {
+            unreachable!()
+        };
+        // The complement predicate: dest2 of the last unguarded compare
+        // (in the post prefix, where the patch lives) defining `pred`.
+        let false_pred = post_insts[..k]
+            .iter()
+            .filter_map(MInst::as_op)
+            .rfind(|op| {
+                matches!(op.opcode, Opcode::Cmp(_))
+                    && op.guard == 0
+                    && op.pred_defs().contains(&pred)
+            })
+            .and_then(|op| match op.dest2 {
+                MDest::Pred(p) if p != 0 => Some(p),
+                _ => None,
+            });
+
+        let expected: Vec<(&MInst, u32)> = arms[b]
+            .iter()
+            .flat_map(|&(arm, is_true)| {
+                pre.blocks[arm.0 as usize].insts.iter().map(move |inst| {
+                    let guard = if is_true { Some(pred) } else { false_pred };
+                    (inst, guard.unwrap_or(0))
+                })
+            })
+            .collect();
+        if arms[b].iter().any(|&(_, is_true)| !is_true)
+            && false_pred.is_none()
+            && expected.len() > k.min(expected.len()) - k.min(expected.len())
+        {
+            // A false arm donated instructions but no complement predicate
+            // is defined in the prefix: every false-arm guard is wrong.
+            err(
+                diags,
+                "TV002",
+                format!("block mb{b}: no complement predicate for q{pred} is defined in the branch block"),
+            );
+        }
+        let suffix = &post_insts[k..];
+        if suffix.len() != expected.len() {
+            err(
+                diags,
+                "TV002",
+                format!(
+                    "block mb{b}: donated suffix has {} op(s) but the source arms hold {} — op(s) {}",
+                    suffix.len(),
+                    expected.len(),
+                    if suffix.len() < expected.len() {
+                        "dropped"
+                    } else {
+                        "duplicated"
+                    }
+                ),
+            );
+            continue;
+        }
+        for (i, ((p, guard), q)) in expected.iter().zip(suffix).enumerate() {
+            if let Err(m) = inst_matches(p, q, *guard, pre.vpred_count) {
+                report_mismatch(diags, fname, b, k + i, p, q, m);
+            }
+        }
+    }
+}
+
+fn report_mismatch(
+    diags: &mut Vec<Diagnostic>,
+    fname: &str,
+    block: usize,
+    index: usize,
+    pre: &MInst,
+    post: &MInst,
+    m: Mismatch,
+) {
+    match m {
+        Mismatch::Guard { expected, got } => diags.push(Diagnostic::error(
+            "TV001",
+            format!(
+                "{fname}: block mb{block}, op {index}: `{post}` must inherit guard q{expected} from its source arm, found q{got}"
+            ),
+        )),
+        Mismatch::Other => diags.push(Diagnostic::error(
+            "TV002",
+            format!("{fname}: block mb{block}, op {index}: `{pre}` became `{post}` during if-conversion"),
+        )),
+    }
+}

@@ -1,0 +1,561 @@
+//! Refinement checks for control finalisation and list scheduling.
+//!
+//! [`check_finalize`] (TV008) recomputes the reachable-block layout and
+//! the `PBR`/branch lowering of every abstract terminator from first
+//! principles and demands the finalised function is exactly the
+//! allocated function plus those lowered tails.
+//!
+//! [`check_schedule`] (TV005–TV007) proves each scheduled block is a
+//! permutation of the finalised block's operations (TV005), rebuilds the
+//! dependence DAG — flow, output, anti, memory and branch-order edges,
+//! with the same conditional-write and memory-disambiguation rules as
+//! the scheduler — and checks every edge against the issue cycles the
+//! schedule actually chose (TV006), and cross-checks the per-bundle
+//! metadata against [`epic_mdes::MachineDescription::bundle_cost`] and
+//! the machine's structural limits (TV007).
+//!
+//! A flow edge scheduled closer than the producer's latency — but still
+//! in a *later* cycle — is a TV006 **warning**: the scoreboard interlock
+//! covers it at run time, costing stall cycles but not correctness.
+//! Same-cycle flow, output or memory reordering has no interlock to hide
+//! behind and is an error.
+
+use crate::Diagnostic;
+use epic_compiler::emit::{BRANCH_BTR, BRANCH_BTR_ALT, CALL_BTR};
+use epic_compiler::mir::{MBlockId, MDest, MFunction, MInst, MOp, MSrc, MTerm};
+use epic_compiler::regalloc::Abi;
+use epic_compiler::sched::block_label;
+use epic_compiler::trace::FunctionTrace;
+use epic_isa::{Opcode, Unit};
+use epic_mdes::MachineDescription;
+use std::collections::HashMap;
+
+fn pbr_label(btr: u16, target: &str) -> MInst {
+    let mut op = MOp::bare(Opcode::Pbr);
+    op.dest1 = MDest::Btr(btr);
+    op.src1 = MSrc::Label(target.to_owned());
+    MInst::Op(op)
+}
+
+fn branch(opcode: Opcode, btr: u16, guard: u32) -> MInst {
+    let mut op = MOp::bare(opcode);
+    op.src1 = MSrc::Btr(btr);
+    op.guard = guard;
+    MInst::Op(op)
+}
+
+/// The lowering of one abstract terminator, given the fall-through
+/// successor. Mirrors `finalize_control` independently.
+fn expected_tail(term: &MTerm, next: Option<MBlockId>, fname: &str, abi: &Abi) -> Vec<MInst> {
+    let label = |b: MBlockId| block_label(fname, b.0);
+    match term {
+        MTerm::Jump(t) => {
+            if next == Some(*t) {
+                vec![]
+            } else {
+                vec![
+                    pbr_label(BRANCH_BTR, &label(*t)),
+                    branch(Opcode::Br, BRANCH_BTR, 0),
+                ]
+            }
+        }
+        MTerm::CondJump {
+            pred,
+            on_true,
+            on_false,
+        } => {
+            if next == Some(*on_false) {
+                vec![
+                    pbr_label(BRANCH_BTR, &label(*on_true)),
+                    branch(Opcode::Brct, BRANCH_BTR, *pred),
+                ]
+            } else if next == Some(*on_true) {
+                vec![
+                    pbr_label(BRANCH_BTR, &label(*on_false)),
+                    branch(Opcode::Brcf, BRANCH_BTR, *pred),
+                ]
+            } else {
+                vec![
+                    pbr_label(BRANCH_BTR, &label(*on_true)),
+                    branch(Opcode::Brct, BRANCH_BTR, *pred),
+                    pbr_label(BRANCH_BTR_ALT, &label(*on_false)),
+                    branch(Opcode::Br, BRANCH_BTR_ALT, 0),
+                ]
+            }
+        }
+        MTerm::Ret(_) => {
+            let mut pbr = MOp::bare(Opcode::Pbr);
+            pbr.dest1 = MDest::Btr(CALL_BTR);
+            pbr.src1 = MSrc::Gpr(abi.link);
+            vec![MInst::Op(pbr), branch(Opcode::Br, CALL_BTR, 0)]
+        }
+        MTerm::Halt => vec![MInst::Op(MOp::bare(Opcode::Halt))],
+    }
+}
+
+/// Recomputes the reachable-block layout (id order) from the terminators.
+fn reachable_layout(func: &MFunction) -> Vec<MBlockId> {
+    let mut reachable = vec![false; func.blocks.len()];
+    if func.blocks.is_empty() {
+        return vec![];
+    }
+    reachable[0] = true;
+    let mut stack = vec![MBlockId(0)];
+    while let Some(b) = stack.pop() {
+        for s in func.block(b).term.successors() {
+            if !reachable[s.0 as usize] {
+                reachable[s.0 as usize] = true;
+                stack.push(s);
+            }
+        }
+    }
+    (0..func.blocks.len() as u32)
+        .map(MBlockId)
+        .filter(|b| reachable[b.0 as usize])
+        .collect()
+}
+
+/// Checks the control-finalisation step of one traced function (TV008).
+pub fn check_finalize(func: &FunctionTrace, abi: &Abi, diags: &mut Vec<Diagnostic>) {
+    let fname = &func.name;
+    let fin = &func.post_finalize;
+    let layout = reachable_layout(fin);
+    if layout != func.layout {
+        diags.push(Diagnostic::error(
+            "TV008",
+            format!(
+                "{fname}: recorded layout {:?} is not the reachable blocks in id order {:?}",
+                func.layout.iter().map(|b| b.0).collect::<Vec<_>>(),
+                layout.iter().map(|b| b.0).collect::<Vec<_>>()
+            ),
+        ));
+        return;
+    }
+    for (k, &b) in layout.iter().enumerate() {
+        let next = layout.get(k + 1).copied();
+        let tail = expected_tail(&fin.block(b).term, next, fname, abi);
+        let insts = &fin.block(b).insts;
+        if let Some(base) = &func.post_regalloc {
+            let base = &base.block(b).insts;
+            let ok = insts.len() == base.len() + tail.len()
+                && insts[..base.len()] == base[..]
+                && insts[base.len()..] == tail[..];
+            if !ok {
+                diags.push(Diagnostic::error(
+                    "TV008",
+                    format!(
+                        "{fname}: block mb{}: finalised instructions are not the allocated block plus the lowered `{:?}` tail",
+                        b.0,
+                        fin.block(b).term
+                    ),
+                ));
+            }
+        } else {
+            // No pre-finalise snapshot (the start stub): the lowered tail
+            // must still terminate the block.
+            let ok = insts.len() >= tail.len() && insts[insts.len() - tail.len()..] == tail[..];
+            if !ok {
+                diags.push(Diagnostic::error(
+                    "TV008",
+                    format!(
+                        "{fname}: block mb{}: block does not end in the lowering of `{:?}`",
+                        b.0,
+                        fin.block(b).term
+                    ),
+                ));
+            }
+        }
+    }
+    if let Some(base) = &func.post_regalloc {
+        for b in 0..fin.blocks.len() {
+            let id = MBlockId(b as u32);
+            if !layout.contains(&id) && fin.blocks[b].insts != base.blocks[b].insts {
+                diags.push(Diagnostic::error(
+                    "TV008",
+                    format!(
+                        "{fname}: unreachable block mb{b} was modified by control finalisation"
+                    ),
+                ));
+            }
+        }
+    }
+}
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum DepKind {
+    Flow,
+    Output,
+    Anti,
+    Mem,
+    Branch,
+}
+
+impl DepKind {
+    fn name(self) -> &'static str {
+        match self {
+            DepKind::Flow => "flow",
+            DepKind::Output => "output",
+            DepKind::Anti => "anti",
+            DepKind::Mem => "memory",
+            DepKind::Branch => "branch-order",
+        }
+    }
+}
+
+struct Dep {
+    from: usize,
+    to: usize,
+    latency: u32,
+    kind: DepKind,
+}
+
+struct MemRef {
+    index: usize,
+    base: Option<(u32, u32)>,
+    offset: Option<i64>,
+    size: u32,
+    is_store: bool,
+}
+
+fn access_size(opcode: Opcode) -> u32 {
+    match opcode {
+        Opcode::Lw | Opcode::LwS | Opcode::Sw => 4,
+        Opcode::Lh | Opcode::Lhu | Opcode::Sh => 2,
+        _ => 1,
+    }
+}
+
+fn provably_disjoint(
+    base: Option<(u32, u32)>,
+    offset: Option<i64>,
+    size: u32,
+    other: &MemRef,
+) -> bool {
+    let (Some(b1), Some(o1), Some(b2), Some(o2)) = (base, offset, other.base, other.offset) else {
+        return false;
+    };
+    if b1 != b2 {
+        return false;
+    }
+    o1 + i64::from(size) <= o2 || o2 + i64::from(other.size) <= o1
+}
+
+/// Rebuilds the block's dependence DAG with the same semantics as the
+/// list scheduler: conditional writes read the merged-over value, memory
+/// accesses disambiguate only in the same-base/literal-offset case, and
+/// control transfers order against everything.
+fn dependences(ops: &[MOp], mdes: &MachineDescription) -> Vec<Dep> {
+    const GPR: u8 = 0;
+    const PRED: u8 = 1;
+    const BTR: u8 = 2;
+    let mut deps = Vec::new();
+    let push = |deps: &mut Vec<Dep>, from: usize, to: usize, latency: u32, kind: DepKind| {
+        if from != to {
+            deps.push(Dep {
+                from,
+                to,
+                latency,
+                kind,
+            });
+        }
+    };
+    let mut last_write: HashMap<(u8, u32), usize> = HashMap::new();
+    let mut readers: HashMap<(u8, u32), Vec<usize>> = HashMap::new();
+    let mut write_count: HashMap<(u8, u32), u32> = HashMap::new();
+    let mut mem: Vec<MemRef> = Vec::new();
+    let mut last_branch: Option<usize> = None;
+
+    for (i, op) in ops.iter().enumerate() {
+        if let Some(b) = last_branch {
+            push(&mut deps, b, i, 1, DepKind::Branch);
+        }
+        let mut reads: Vec<(u8, u32)> = op.gpr_uses().into_iter().map(|r| (GPR, r)).collect();
+        reads.extend(op.pred_uses().into_iter().map(|p| (PRED, p)));
+        if let Some(b) = op.btr_use() {
+            reads.push((BTR, u32::from(b)));
+        }
+        let mut writes: Vec<(u8, u32)> = Vec::new();
+        if let Some(r) = op.gpr_def() {
+            writes.push((GPR, r));
+        }
+        writes.extend(op.pred_defs().into_iter().map(|p| (PRED, p)));
+        if let Some(b) = op.btr_def() {
+            writes.push((BTR, u32::from(b)));
+        }
+        let conditional = op.is_conditional();
+
+        for r in &reads {
+            if let Some(&w) = last_write.get(r) {
+                push(&mut deps, w, i, mdes.latency(ops[w].opcode), DepKind::Flow);
+            }
+        }
+        for wreg in &writes {
+            if let Some(&w) = last_write.get(wreg) {
+                push(&mut deps, w, i, 1, DepKind::Output);
+            }
+            if let Some(rs) = readers.get(wreg) {
+                for &r in rs {
+                    push(&mut deps, r, i, 0, DepKind::Anti);
+                }
+            }
+        }
+
+        if op.opcode.is_load() || op.opcode.is_store() {
+            let base = op
+                .src1
+                .gpr()
+                .map(|b| (b, write_count.get(&(GPR, b)).copied().unwrap_or(0)));
+            let offset = match &op.src2 {
+                MSrc::Lit(v) => Some(*v),
+                _ => None,
+            };
+            let size = access_size(op.opcode);
+            let is_store = op.opcode.is_store();
+            for m in &mem {
+                let ordered = (is_store || m.is_store) && !provably_disjoint(base, offset, size, m);
+                if ordered {
+                    push(&mut deps, m.index, i, 1, DepKind::Mem);
+                }
+            }
+            mem.push(MemRef {
+                index: i,
+                base,
+                offset,
+                size,
+                is_store,
+            });
+        }
+
+        if op.opcode.is_branch() || op.opcode == Opcode::Halt {
+            for (j, earlier) in ops.iter().enumerate().take(i) {
+                let lat = u32::from(earlier.opcode.is_branch() || earlier.opcode == Opcode::Halt);
+                push(&mut deps, j, i, lat, DepKind::Branch);
+            }
+            last_branch = Some(i);
+        }
+
+        for r in reads {
+            readers.entry(r).or_default().push(i);
+        }
+        for w in writes {
+            if conditional {
+                readers.entry(w).or_default().push(i);
+            }
+            last_write.insert(w, i);
+            *write_count.entry(w).or_insert(0) += 1;
+            readers.entry(w).or_default().clear();
+            if conditional {
+                readers.entry(w).or_default().push(i);
+            }
+        }
+    }
+    deps
+}
+
+/// Checks the schedule of one traced function (TV005–TV007).
+pub fn check_schedule(
+    func: &FunctionTrace,
+    mdes: &MachineDescription,
+    diags: &mut Vec<Diagnostic>,
+) {
+    let fname = &func.name;
+    if func.scheduled.len() != func.layout.len() {
+        diags.push(Diagnostic::error(
+            "TV005",
+            format!(
+                "{fname}: {} scheduled block(s) for {} laid-out block(s)",
+                func.scheduled.len(),
+                func.layout.len()
+            ),
+        ));
+        return;
+    }
+    for (k, sb) in func.scheduled.iter().enumerate() {
+        let id = func.layout[k];
+        let want_label = block_label(fname, id.0);
+        if sb.label != want_label {
+            diags.push(Diagnostic::error(
+                "TV005",
+                format!(
+                    "{fname}: scheduled block {k} is labelled `{}`, expected `{want_label}`",
+                    sb.label
+                ),
+            ));
+        }
+        let mut ops: Vec<MOp> = Vec::new();
+        let mut callful = false;
+        for inst in &func.post_finalize.block(id).insts {
+            match inst {
+                MInst::Op(op) => ops.push(op.clone()),
+                MInst::Call { .. } => callful = true,
+            }
+        }
+        if callful {
+            diags.push(Diagnostic::error(
+                "TV005",
+                format!("{fname}: block mb{} still contains a call pseudo", id.0),
+            ));
+            continue;
+        }
+        check_block_schedule(fname, &sb.label, &ops, sb, mdes, diags);
+    }
+}
+
+fn check_block_schedule(
+    fname: &str,
+    label: &str,
+    ops: &[MOp],
+    sb: &epic_compiler::sched::ScheduledBlock,
+    mdes: &MachineDescription,
+    diags: &mut Vec<Diagnostic>,
+) {
+    // TV007: metadata and structural limits first — cycle numbers below
+    // depend on it.
+    if sb.meta.len() != sb.bundles.len() {
+        diags.push(Diagnostic::error(
+            "TV007",
+            format!(
+                "{fname}: {label}: {} metadata record(s) for {} bundle(s)",
+                sb.meta.len(),
+                sb.bundles.len()
+            ),
+        ));
+        return;
+    }
+    let config = mdes.config();
+    for (bi, (bundle, meta)) in sb.bundles.iter().zip(&sb.meta).enumerate() {
+        if bundle.is_empty() {
+            diags.push(Diagnostic::error(
+                "TV007",
+                format!("{fname}: {label}: bundle {bi} is empty"),
+            ));
+            continue;
+        }
+        if bi > 0 && meta.cycle <= sb.meta[bi - 1].cycle {
+            diags.push(Diagnostic::error(
+                "TV007",
+                format!(
+                    "{fname}: {label}: bundle {bi} issues in cycle {} after cycle {}",
+                    meta.cycle,
+                    sb.meta[bi - 1].cycle
+                ),
+            ));
+        }
+        if bundle.len() > mdes.issue_width() {
+            diags.push(Diagnostic::error(
+                "TV007",
+                format!(
+                    "{fname}: {label}: bundle {bi} holds {} op(s), issue width is {}",
+                    bundle.len(),
+                    mdes.issue_width()
+                ),
+            ));
+        }
+        let cost = mdes.bundle_cost(bundle);
+        if meta.port_ops != cost.port_ops || meta.max_latency != cost.max_latency {
+            diags.push(Diagnostic::error(
+                "TV007",
+                format!(
+                    "{fname}: {label}: bundle {bi} metadata (ports {}, latency {}) diverges from the machine description (ports {}, latency {})",
+                    meta.port_ops, meta.max_latency, cost.port_ops, cost.max_latency
+                ),
+            ));
+        }
+        if cost.port_ops > config.regfile_ops_per_cycle() {
+            diags.push(Diagnostic::error(
+                "TV007",
+                format!(
+                    "{fname}: {label}: bundle {bi} needs {} register-file ports, budget is {}",
+                    cost.port_ops,
+                    config.regfile_ops_per_cycle()
+                ),
+            ));
+        }
+        for unit in [Unit::Alu, Unit::Lsu, Unit::Cmpu, Unit::Bru] {
+            if cost.demand(unit) > mdes.unit_count(unit) {
+                diags.push(Diagnostic::error(
+                    "TV007",
+                    format!(
+                        "{fname}: {label}: bundle {bi} needs {} {unit:?} unit(s), machine has {}",
+                        cost.demand(unit),
+                        mdes.unit_count(unit)
+                    ),
+                ));
+            }
+        }
+    }
+
+    // TV005: the bundles must hold exactly the block's operations.
+    let flat: Vec<(usize, &MOp)> = sb
+        .bundles
+        .iter()
+        .enumerate()
+        .flat_map(|(bi, b)| b.iter().map(move |op| (bi, op)))
+        .collect();
+    let key = |op: &MOp| format!("{op:?}");
+    let mut want: Vec<String> = ops.iter().map(&key).collect();
+    let mut got: Vec<String> = flat.iter().map(|(_, o)| key(o)).collect();
+    want.sort();
+    got.sort();
+    if want != got {
+        diags.push(Diagnostic::error(
+            "TV005",
+            format!(
+                "{fname}: {label}: scheduled bundles hold {} op(s) that are not a permutation of the block's {} op(s)",
+                flat.len(),
+                ops.len()
+            ),
+        ));
+        return;
+    }
+
+    // Map every original op to its issue cycle: pair program-order
+    // instances with schedule-order instances (identical ops are
+    // interchangeable, so first-match is sound).
+    let mut used = vec![false; flat.len()];
+    let mut cycle_of = vec![0u32; ops.len()];
+    for (i, op) in ops.iter().enumerate() {
+        let mut found = None;
+        for (jj, (bi, other)) in flat.iter().enumerate() {
+            if !used[jj] && *other == op {
+                found = Some((jj, *bi));
+                break;
+            }
+        }
+        let (jj, bi) = found.expect("multiset equality guarantees a match");
+        used[jj] = true;
+        cycle_of[i] = sb.meta[bi].cycle;
+    }
+
+    // TV006: every dependence edge against the chosen cycles.
+    for dep in dependences(ops, mdes) {
+        let (ca, cb) = (cycle_of[dep.from], cycle_of[dep.to]);
+        let violation = match dep.kind {
+            DepKind::Flow | DepKind::Output | DepKind::Mem => cb <= ca,
+            DepKind::Anti => cb < ca,
+            DepKind::Branch => cb < ca + dep.latency,
+        };
+        if violation {
+            diags.push(Diagnostic::error(
+                "TV006",
+                format!(
+                    "{fname}: {label}: `{}` (cycle {cb}) reorders a {} dependence on `{}` (cycle {ca})",
+                    ops[dep.to],
+                    dep.kind.name(),
+                    ops[dep.from]
+                ),
+            ));
+        } else if dep.kind == DepKind::Flow && cb < ca + dep.latency {
+            diags.push(Diagnostic::warning(
+                "TV006",
+                format!(
+                    "{fname}: {label}: `{}` issues {} cycle(s) after its {}-cycle producer `{}` — scoreboard interlock will stall",
+                    ops[dep.to],
+                    cb - ca,
+                    dep.latency,
+                    ops[dep.from]
+                ),
+            ));
+        }
+    }
+}

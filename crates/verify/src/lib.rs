@@ -26,6 +26,7 @@
 //! | VER010 | error    | two writes to one register within a bundle          |
 //! | VER011 | warning  | ALU demand collides with a blocking divide in flight|
 //! | VER012 | error    | entry address outside the program                   |
+//! | VER013 | warning  | GPR read with no reaching write on any entry path   |
 //!
 //! # Soundness contract
 //!
@@ -177,6 +178,8 @@ struct Flow {
     prepared: Vec<bool>,
     /// Predicates written on some path from the entry (`p0` always).
     pred_def: Vec<bool>,
+    /// GPRs written on some path from the entry.
+    gpr_def: Vec<bool>,
 }
 
 impl Flow {
@@ -190,6 +193,7 @@ impl Flow {
             alu_busy: vec![0; config.num_alus()],
             prepared: vec![false; config.num_btrs()],
             pred_def,
+            gpr_def: vec![false; config.num_gprs()],
         }
     }
 
@@ -229,6 +233,12 @@ impl Flow {
             }
         }
         for (dst, src) in self.pred_def.iter_mut().zip(&other.pred_def) {
+            if *src && !*dst {
+                *dst = true;
+                changed = true;
+            }
+        }
+        for (dst, src) in self.gpr_def.iter_mut().zip(&other.gpr_def) {
             if *src && !*dst {
                 *dst = true;
                 changed = true;
@@ -290,6 +300,17 @@ impl Verifier {
         }
 
         Report { diagnostics: diags }
+    }
+
+    /// The static control-flow over-approximation the dataflow fixpoint
+    /// runs on: for every bundle address, the possible successor bundle
+    /// addresses with the minimum cycle distance to each. Every edge the
+    /// hardware can take is present (the differential CFG tests drive
+    /// the reference simulator and assert exactly this containment);
+    /// edges the hardware never takes may be present too.
+    #[must_use]
+    pub fn cfg(&self, bundles: &[Vec<Instruction>]) -> Vec<Vec<(usize, u32)>> {
+        self.build_cfg(bundles)
     }
 
     // --- per-bundle structural checks (no control flow needed) ---------
@@ -644,12 +665,34 @@ impl Verifier {
                         );
                     }
                 }
+
+                // VER013: GPRs consumed but never produced. Registers
+                // reset to zero, so this interlocks nothing — but code
+                // meaning to read zero should produce it explicitly.
+                for gpr in instr.gpr_reads() {
+                    let defined = input.gpr_def.get(gpr.0 as usize).copied().unwrap_or(true);
+                    if !defined {
+                        diags.push(
+                            Diagnostic::warning(
+                                "VER013",
+                                format!(
+                                    "{gpr} is read but never written on any path \
+                                     from the entry"
+                                ),
+                            )
+                            .with_bundle(bi, Some(slot)),
+                        );
+                    }
+                }
             }
 
             // Transfer: book results, preparations and definitions.
             if let Some(gpr) = instr.gpr_write() {
                 if let Some(wait) = out.gpr_wait.get_mut(gpr.0 as usize) {
                     *wait = self.mdes.latency(instr.opcode) + forwarding_extra;
+                }
+                if let Some(defined) = out.gpr_def.get_mut(gpr.0 as usize) {
+                    *defined = true;
                 }
             }
             if let Some(btr) = instr.btr_write() {
@@ -735,6 +778,31 @@ mod tests {
     fn defined_predicate_read_is_clean() {
         let report = verify("CMP_LT p1, p2, r1, #4\n;;\nADD r2, r2, #1 (p1)\n;;\nHALT\n;;\n");
         assert!(!report.has_code("VER006"), "{}", report.render("t", None));
+    }
+
+    #[test]
+    fn undefined_gpr_read_warns() {
+        let report = verify("ADD r2, r1, #1\n;;\nHALT\n;;\n");
+        assert!(report.has_code("VER013"), "{}", report.render("t", None));
+        assert!(!report.has_errors());
+    }
+
+    #[test]
+    fn defined_gpr_read_is_clean() {
+        let report = verify("MOVIL r1, #5\n;;\nADD r2, r1, #1\n;;\nHALT\n;;\n");
+        assert!(!report.has_code("VER013"), "{}", report.render("t", None));
+    }
+
+    #[test]
+    fn gpr_written_on_one_path_does_not_warn() {
+        // The branch path skips the write to r1, but the fall-through
+        // path defines it: the may-join keeps VER013 quiet unless *no*
+        // entry path writes the register.
+        let report = verify(
+            "MOVIL r2, #9\n;;\nPBR b1, @join\n;;\nCMP_LT p1, p2, r2, #4\n;;\n\
+             BRCT b1 (p1)\n;;\nMOVIL r1, #1\n;;\njoin:\nADD r3, r1, #1\n;;\nHALT\n;;\n",
+        );
+        assert!(!report.has_code("VER013"), "{}", report.render("t", None));
     }
 
     #[test]

@@ -1,0 +1,92 @@
+//! Differential CFG oracle: the verifier's dataflow results are only
+//! sound if its static control-flow graph over-approximates what the
+//! hardware can do. This test drives the reference simulator one cycle
+//! at a time over every compiled workload and asserts that **every**
+//! bundle-to-bundle transition it actually takes is an edge of
+//! [`Verifier::cfg`] — across the full configuration grid the paper
+//! explores.
+
+use std::collections::BTreeSet;
+
+use epic_core::config::Config;
+use epic_core::ir::lower;
+use epic_core::workloads::{self, Scale};
+use epic_core::Toolchain;
+use epic_sim::{Memory, ReferenceSimulator};
+use epic_verify::Verifier;
+
+const CYCLE_LIMIT: u64 = 2_000_000;
+
+fn config(alus: usize, issue_width: usize) -> Config {
+    Config::builder()
+        .num_alus(alus)
+        .issue_width(issue_width)
+        .build()
+        .expect("valid configuration")
+}
+
+/// Replays one program in the reference simulator and collects every
+/// consecutive pair of executed bundle addresses. `SimStats::bundles`
+/// ticks exactly once per execution event, so stall cycles (where
+/// `last_executed` goes stale) contribute no edge, while a bundle
+/// re-executing — a tight self-loop — still does.
+fn dynamic_edges(
+    program: &epic_asm::Program,
+    module: &epic_core::ir::Module,
+    config: &Config,
+) -> BTreeSet<(usize, usize)> {
+    let layout = module.layout().expect("module layout");
+    let mut sim = ReferenceSimulator::new(config, program.bundles().to_vec(), program.entry());
+    sim.set_memory(Memory::from_image(module.initial_memory(&layout)));
+    sim.set_cycle_limit(CYCLE_LIMIT);
+
+    let mut edges = BTreeSet::new();
+    let mut prev: Option<u32> = None;
+    let mut executed = 0u64;
+    loop {
+        let more = sim.step().expect("workload simulates");
+        if sim.stats().bundles > executed {
+            executed = sim.stats().bundles;
+            let cur = sim
+                .last_executed()
+                .expect("an executed bundle has an address");
+            if let Some(p) = prev {
+                edges.insert((p as usize, cur as usize));
+            }
+            prev = Some(cur);
+        }
+        if !more {
+            break;
+        }
+    }
+    edges
+}
+
+#[test]
+fn every_dynamic_edge_is_in_the_static_cfg() {
+    for workload in workloads::all(Scale::Test) {
+        let module = lower::lower(&workload.program).expect("lowering succeeds");
+        for alus in 1..=4 {
+            for issue_width in 1..=4 {
+                let config = config(alus, issue_width);
+                let run = Toolchain::new(config.clone())
+                    .run_module(&module, &workload.entry, &[], &workload.inline_hints())
+                    .expect("toolchain run succeeds");
+
+                let cfg = Verifier::new(&config).cfg(run.program.bundles());
+                let taken = dynamic_edges(&run.program, &module, &config);
+                assert!(!taken.is_empty(), "{}: no executed edges", workload.name);
+                for &(from, to) in &taken {
+                    assert!(
+                        cfg[from].iter().any(|&(succ, _)| succ == to),
+                        "{} @ {alus} ALUs, issue width {issue_width}: the simulator \
+                         went from bundle {from} to bundle {to}, but the static CFG \
+                         has no such edge (successors of {from}: {:?})",
+                        workload.name,
+                        cfg[from]
+                    );
+                }
+            }
+        }
+    }
+}
