@@ -11,6 +11,7 @@
 //! cargo run --release -p epic-bench --bin repro -- suggest [--full]
 //! cargo run --release -p epic-bench --bin repro -- power [--full]
 //! cargo run --release -p epic-bench --bin repro -- pipeline [--full]
+//! cargo run --release -p epic-bench --bin repro -- metrics [--out <dir>] [--full]
 //! cargo run --release -p epic-bench --bin repro -- all [--full]
 //! ```
 //!
@@ -26,7 +27,7 @@
 //! reassembles results by grid index, so the reported numbers are
 //! bit-identical at any thread count.
 
-use epic_bench::sweep::table1_parallel;
+use epic_bench::sweep::{sweep_grid_observed, table1_parallel};
 use epic_bench::{render_headline, render_resources};
 use epic_core::config::{Config, CustomOp, CustomSemantics};
 use epic_core::experiments::{
@@ -55,7 +56,10 @@ fn main() -> ExitCode {
     let command = args
         .iter()
         .enumerate()
-        .find(|(i, a)| !a.starts_with("--") && (*i == 0 || args[i - 1] != "--threads"))
+        .find(|(i, a)| {
+            !a.starts_with("--")
+                && (*i == 0 || (args[i - 1] != "--threads" && args[i - 1] != "--out"))
+        })
         .map_or("all", |(_, a)| a.as_str());
 
     let pool = rayon::ThreadPoolBuilder::new()
@@ -83,6 +87,7 @@ fn main() -> ExitCode {
         "suggest" => cmd_suggest(scale),
         "power" => cmd_power(scale),
         "pipeline" => cmd_pipeline(scale),
+        "metrics" => cmd_metrics(scale, parse_out(&args)),
         "all" => cmd_all(scale),
         other => Err(format!(
             "unknown command `{other}`; see the module docs for usage"
@@ -107,6 +112,93 @@ fn parse_threads(args: &[String]) -> Result<usize, String> {
             .parse::<usize>()
             .map_err(|_| "--threads requires a non-negative integer".to_string()),
     }
+}
+
+/// Parses `--out <dir>` (absent = print a summary, write nothing).
+fn parse_out(args: &[String]) -> Option<std::path::PathBuf> {
+    args.iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .map(std::path::PathBuf::from)
+}
+
+/// Observed design-space sweep: every (workload × ALU-count) grid point
+/// runs with an `epic-obs` metrics registry attached — reconciled
+/// against `SimStats` on the spot — and, with `--out <dir>`, dumps one
+/// `<workload>-<alus>alu.json` metrics file per point.
+fn cmd_metrics(scale: Scale, out: Option<std::path::PathBuf>) -> Result<(), String> {
+    let workloads = workloads::all(scale);
+    let configs: Vec<(String, Config)> = ALUS
+        .iter()
+        .map(|&alus| {
+            (
+                format!("{alus}alu"),
+                Config::builder().num_alus(alus).build().expect("valid"),
+            )
+        })
+        .collect();
+    let points = sweep_grid_observed(&workloads, &configs).map_err(|e| e.to_string())?;
+    if let Some(dir) = &out {
+        std::fs::create_dir_all(dir).map_err(|e| format!("{}: {e}", dir.display()))?;
+    }
+    println!("Observed sweep ({scale:?} scale): every point reconciled against SimStats");
+    println!(
+        "{:<10} {:<6} {:>12} {:>8} {:>10} {:>12}",
+        "workload", "config", "cycles", "stalls", "max run", "mean ports"
+    );
+    for point in &points {
+        let longest_run = epic_obs::StallCause::ALL
+            .iter()
+            .filter_map(|cause| {
+                point
+                    .metrics
+                    .histogram(&format!("stall_length.{}", cause.name()))
+            })
+            .flat_map(|hist| {
+                hist.bounds()
+                    .iter()
+                    .copied()
+                    .chain([u64::MAX])
+                    .zip(hist.buckets().iter().copied())
+            })
+            .filter(|&(_, n)| n > 0)
+            .map(|(bound, _)| bound)
+            .max()
+            .unwrap_or(0);
+        let ports = point.metrics.histogram("port_demand").expect("registered");
+        let mean_ports = if ports.count() == 0 {
+            0.0
+        } else {
+            ports.sum() as f64 / ports.count() as f64
+        };
+        println!(
+            "{:<10} {:<6} {:>12} {:>8} {:>9}{} {:>12.2}",
+            point.workload,
+            point.config,
+            point.stats.cycles,
+            point.stats.stalls.total(),
+            if longest_run == u64::MAX {
+                "64".to_owned()
+            } else {
+                longest_run.to_string()
+            },
+            if longest_run == u64::MAX { "+" } else { "" },
+            mean_ports
+        );
+        if let Some(dir) = &out {
+            let path = dir.join(format!("{}-{}.json", point.workload, point.config));
+            std::fs::write(&path, point.metrics.to_json())
+                .map_err(|e| format!("{}: {e}", path.display()))?;
+        }
+    }
+    if let Some(dir) = &out {
+        println!(
+            "wrote {} metrics file(s) to {}",
+            points.len(),
+            dir.display()
+        );
+    }
+    Ok(())
 }
 
 fn cmd_table1(scale: Scale) -> Result<Table1, String> {

@@ -9,10 +9,12 @@
 
 use epic_core::config::Config;
 use epic_core::experiments::{
-    run_epic_workload, run_sa110_workload, ExperimentError, Table1, Table1Row,
+    run_epic_workload, run_epic_workload_observed, run_sa110_workload, ExperimentError, Table1,
+    Table1Row, VerifyError,
 };
 use epic_core::sim::SimStats;
 use epic_core::workloads::{self, Scale, Workload};
+use epic_obs::MetricsRegistry;
 use rayon::prelude::*;
 
 /// One evaluated point of a sweep grid.
@@ -49,6 +51,63 @@ pub fn sweep_grid(
                 workload: workload.name.clone(),
                 config: label.clone(),
                 stats,
+            })
+        })
+        .collect()
+}
+
+/// One evaluated grid point with its full metrics registry.
+#[derive(Debug, Clone)]
+pub struct ObservedPoint {
+    /// Name of the workload that ran.
+    pub workload: String,
+    /// Label of the configuration it ran on.
+    pub config: String,
+    /// Architectural statistics of the (verified) run.
+    pub stats: SimStats,
+    /// The metrics registry fed by the run's trace-event stream,
+    /// already reconciled against `stats`.
+    pub metrics: MetricsRegistry,
+}
+
+/// [`sweep_grid`] with an `epic-obs` [`MetricsRegistry`] attached to
+/// every point, so each grid cell can dump counters and histograms
+/// (stall lengths, port demand, bundle occupancy) alongside its
+/// statistics.
+///
+/// Every point's registry is reconciled against the engine's own
+/// statistics before it is returned; a mismatch is an error, never a
+/// silently wrong report.
+///
+/// # Errors
+///
+/// Returns the first (in grid order) [`ExperimentError`] of any point,
+/// including reconciliation failures.
+pub fn sweep_grid_observed(
+    workloads: &[Workload],
+    configs: &[(String, Config)],
+) -> Result<Vec<ObservedPoint>, ExperimentError> {
+    let jobs: Vec<(usize, usize)> = (0..workloads.len())
+        .flat_map(|w| (0..configs.len()).map(move |c| (w, c)))
+        .collect();
+    jobs.into_par_iter()
+        .map(|(w, c)| {
+            let workload = &workloads[w];
+            let (label, config) = &configs[c];
+            let mut metrics = MetricsRegistry::default();
+            let run = run_epic_workload_observed(workload, config, &mut metrics)?;
+            metrics.finish();
+            metrics.reconcile(run.stats()).map_err(|message| {
+                ExperimentError::Verify(VerifyError(format!(
+                    "{} on {label}: metrics do not reconcile:\n{message}",
+                    workload.name
+                )))
+            })?;
+            Ok(ObservedPoint {
+                workload: workload.name.clone(),
+                config: label.clone(),
+                stats: *run.stats(),
+                metrics,
             })
         })
         .collect()

@@ -12,11 +12,11 @@
 //! * [`headline_checks`] — the paper's qualitative claims as testable
 //!   predicates (who wins, where the benchmark scales, where it is flat).
 
-use crate::toolchain::{run_sa110, Toolchain, ToolchainError};
+use crate::toolchain::{run_sa110, EpicRun, Toolchain, ToolchainError};
 use epic_area::{sa110_execution_time, AreaModel};
 use epic_config::Config;
 use epic_ir::lower;
-use epic_sim::SimStats;
+use epic_sim::{NopSink, SimStats, TraceSink};
 use epic_workloads::{Scale, Workload};
 use std::fmt;
 
@@ -70,13 +70,30 @@ pub fn run_epic_workload(
     workload: &Workload,
     config: &Config,
 ) -> Result<SimStats, ExperimentError> {
+    Ok(*run_epic_workload_observed(workload, config, &mut NopSink)?.stats())
+}
+
+/// [`run_epic_workload`] with a [`TraceSink`] observing the simulation,
+/// returning the full run (program, labels, final machine state) for
+/// tools that map observations back to source — this is the entry point
+/// of `epic-prof`.
+///
+/// # Errors
+///
+/// Returns any pipeline error or a [`VerifyError`] on a golden-model
+/// mismatch.
+pub fn run_epic_workload_observed<S: TraceSink>(
+    workload: &Workload,
+    config: &Config,
+    sink: &mut S,
+) -> Result<EpicRun, ExperimentError> {
     let module = lower::lower(&workload.program)?;
-    let run = Toolchain::new(config.clone()).run_module(
-        &module,
-        &workload.entry,
-        &[],
-        &workload.inline_hints(),
-    )?;
+    let options = epic_compiler::Options {
+        entry: workload.entry.clone(),
+        inline_hints: workload.inline_hints(),
+        ..epic_compiler::Options::default()
+    };
+    let run = Toolchain::new(config.clone()).run_module_observed(&module, &options, sink)?;
     workload
         .verify_memory(|addr, len| -> Result<Vec<u8>, VerifyError> {
             let bytes = run.simulator.memory().bytes();
@@ -87,7 +104,7 @@ pub fn run_epic_workload(
             Ok(bytes[start..end].to_vec())
         })
         .map_err(|m| ExperimentError::Verify(VerifyError(m)))?;
-    Ok(*run.stats())
+    Ok(run)
 }
 
 /// Runs one workload on the SA-110 baseline, verifying the output.

@@ -5,7 +5,7 @@ use epic_compiler::{CompileError, CompiledProgram, Compiler, Options};
 use epic_config::Config;
 use epic_ir::{IrError, Module};
 use epic_sa110::{ArmCodegenError, ArmSimError, ArmSimulator, ArmStats};
-use epic_sim::{Memory, SimError, SimStats, Simulator};
+use epic_sim::{Memory, NopSink, SimError, SimStats, Simulator, TraceSink};
 use std::error::Error;
 use std::fmt;
 
@@ -209,6 +209,27 @@ impl Toolchain {
         module: &Module,
         options: &Options,
     ) -> Result<EpicRun, ToolchainError> {
+        self.run_module_observed(module, options, &mut NopSink)
+    }
+
+    /// [`run_module_with`](Toolchain::run_module_with) with a
+    /// [`TraceSink`] observing the simulation.
+    ///
+    /// The simulator is monomorphised over the sink, so passing
+    /// [`NopSink`] (what `run_module_with` does) compiles to the
+    /// unobserved execution path. Plug in an `epic-obs` sink — a
+    /// metrics registry, a Perfetto writer, a stall profiler — to
+    /// watch the run cycle by cycle.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first pipeline error.
+    pub fn run_module_observed<S: TraceSink>(
+        &self,
+        module: &Module,
+        options: &Options,
+        sink: &mut S,
+    ) -> Result<EpicRun, ToolchainError> {
         let compiled = self.compiler.compile_with(module, options)?;
         let program = epic_asm::assemble(compiled.assembly(), &self.config)?;
         // Translation validation rides on the same trace the bundle
@@ -223,7 +244,7 @@ impl Toolchain {
         let mut simulator =
             Simulator::try_new(&self.config, program.bundles().to_vec(), program.entry())?;
         simulator.set_memory(Memory::from_image(module.initial_memory(&layout)));
-        simulator.run()?;
+        simulator.run_with_sink(sink)?;
         Ok(EpicRun {
             compiled,
             program,

@@ -1,0 +1,354 @@
+//! `epic-prof`: where did the cycles go?
+//!
+//! Compiles a built-in workload for one processor configuration, runs it
+//! with the full observability stack plugged in (metrics registry, stall
+//! profiler and — on request — the Perfetto trace writer), verifies the
+//! output against the workload's golden model, and prints a per-basic-
+//! block hot-spot and stall-attribution report:
+//!
+//! ```text
+//! epic-prof <workload> [--alus N] [--issue-width N] [--paper]
+//!           [--format text|json] [--perfetto <trace.json>]
+//! ```
+//!
+//! The text report names the hottest blocks of the *compiled assembly*
+//! and renders each as a rustc-style diagnostic pointing at the block's
+//! label in the generated source (the same `epic_asm::Diagnostic`
+//! plumbing `epic-lint` uses). `--format json` emits one machine-
+//! readable object with the configuration, the simulator statistics,
+//! the metrics registry and the block table. `--perfetto <path>` also
+//! writes a Chrome trace-event file for <https://ui.perfetto.dev>.
+//!
+//! Before printing anything the tool reconciles the metrics registry
+//! against the engine's own `SimStats` and exits nonzero on any
+//! mismatch, so a report can never disagree with the simulator.
+
+use epic_config::Config;
+use epic_obs::{MetricsRegistry, PerfettoSink, ProfileSink, StallCause, StallProfile, TeeSink};
+use epic_sim::SimStats;
+use epic_workloads::Scale;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Format {
+    Text,
+    Json,
+}
+
+struct Args {
+    workload: String,
+    alus: usize,
+    issue_width: usize,
+    scale: Scale,
+    format: Format,
+    perfetto: Option<PathBuf>,
+}
+
+const USAGE: &str = "usage: epic-prof <workload> [--alus N] [--issue-width N] [--paper] \
+                     [--format text|json] [--perfetto <trace.json>]";
+
+fn parse_args() -> Result<Args, String> {
+    let mut workload = None;
+    let mut alus = 4usize;
+    let mut issue_width = 4usize;
+    let mut scale = Scale::Test;
+    let mut format = Format::Text;
+    let mut perfetto = None;
+    let mut iter = std::env::args().skip(1);
+    while let Some(arg) = iter.next() {
+        let parse_format = |text: &str| match text {
+            "text" => Ok(Format::Text),
+            "json" => Ok(Format::Json),
+            other => Err(format!("unknown format `{other}` (text or json)")),
+        };
+        match arg.as_str() {
+            "--alus" => {
+                alus = iter
+                    .next()
+                    .ok_or("--alus needs a count")?
+                    .parse()
+                    .map_err(|e| format!("--alus: {e}"))?;
+            }
+            "--issue-width" => {
+                issue_width = iter
+                    .next()
+                    .ok_or("--issue-width needs a count")?
+                    .parse()
+                    .map_err(|e| format!("--issue-width: {e}"))?;
+            }
+            "--paper" => scale = Scale::Paper,
+            "--format" => {
+                format = parse_format(&iter.next().ok_or("--format needs a value")?)?;
+            }
+            "--perfetto" => {
+                perfetto = Some(PathBuf::from(iter.next().ok_or("--perfetto needs a path")?));
+            }
+            "--help" | "-h" => return Err(USAGE.to_owned()),
+            other => {
+                if let Some(value) = other.strip_prefix("--format=") {
+                    format = parse_format(value)?;
+                } else if !other.starts_with('-') && workload.is_none() {
+                    workload = Some(other.to_owned());
+                } else {
+                    return Err(format!("unknown flag `{other}`\n{USAGE}"));
+                }
+            }
+        }
+    }
+    Ok(Args {
+        workload: workload.ok_or_else(|| format!("no workload given\n{USAGE}"))?,
+        alus,
+        issue_width,
+        scale,
+        format,
+        perfetto,
+    })
+}
+
+fn stats_json(stats: &SimStats) -> String {
+    format!(
+        "{{\"cycles\":{},\"bundles\":{},\"instructions\":{},\"squashed\":{},\"nops\":{},\
+         \"loads\":{},\"stores\":{},\"ipc\":{:.4},\"stalls\":{{\"data_hazard\":{},\
+         \"unit_busy\":{},\"regfile_port\":{},\"branch_flush\":{},\"memory_contention\":{},\
+         \"total\":{}}},\"fu_busy_cycles\":{{\"alu\":{},\"lsu\":{},\"cmpu\":{},\"bru\":{}}}}}",
+        stats.cycles,
+        stats.bundles,
+        stats.instructions,
+        stats.squashed,
+        stats.nops,
+        stats.loads,
+        stats.stores,
+        stats.ipc(),
+        stats.stalls.data_hazard,
+        stats.stalls.unit_busy,
+        stats.stalls.regfile_port,
+        stats.stalls.branch_flush,
+        stats.stalls.memory_contention,
+        stats.stalls.total(),
+        stats.alu_busy_cycles,
+        stats.lsu_busy_cycles,
+        stats.cmpu_busy_cycles,
+        stats.bru_busy_cycles,
+    )
+}
+
+fn blocks_json(profile: &StallProfile) -> String {
+    let rows: Vec<String> = profile
+        .blocks
+        .iter()
+        .map(|block| {
+            let stalls: Vec<String> = StallCause::ALL
+                .iter()
+                .map(|&cause| format!("\"{}\":{}", cause.name(), block.stalls[cause as usize]))
+                .collect();
+            format!(
+                "{{\"label\":\"{}\",\"start_pc\":{},\"issue_cycles\":{},\"instructions\":{},\
+                 \"squashed\":{},\"loads\":{},\"stores\":{},\"stalls\":{{{}}},\"cost\":{}}}",
+                block.label,
+                block.start_pc,
+                block.issue_cycles,
+                block.instructions,
+                block.squashed,
+                block.loads,
+                block.stores,
+                stalls.join(","),
+                block.cost()
+            )
+        })
+        .collect();
+    format!("[{}]", rows.join(","))
+}
+
+/// 1-based line of `label:` in the assembly source, 0 when absent.
+fn label_line(source: &str, label: &str) -> usize {
+    source
+        .lines()
+        .position(|line| {
+            let code = match line.find(';') {
+                Some(pos) => &line[..pos],
+                None => line,
+            };
+            code.trim() == format!("{label}:")
+        })
+        .map_or(0, |idx| idx + 1)
+}
+
+fn dominant_cause(block: &epic_obs::BlockProfile) -> Option<StallCause> {
+    StallCause::ALL
+        .iter()
+        .copied()
+        .max_by_key(|&cause| block.stalls[cause as usize])
+        .filter(|&cause| block.stalls[cause as usize] > 0)
+}
+
+fn text_report(args: &Args, stats: &SimStats, profile: &StallProfile, assembly: &str) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "epic-prof: {} on {} ALU / {}-wide EPIC ({:?} scale)\n",
+        args.workload, args.alus, args.issue_width, args.scale
+    );
+    let _ = writeln!(out, "{stats}\n");
+
+    let _ = writeln!(
+        out,
+        "hot blocks (cost = issue cycles + attributed stall cycles):\n"
+    );
+    let _ = writeln!(
+        out,
+        "  {:<16} {:>7} {:>6} {:>7} {:>6} {:>6} {:>6} {:>6} {:>6} {:>6}",
+        "block", "cost", "%cyc", "issue", "stall", "data", "unit", "port", "flush", "mem"
+    );
+    for block in &profile.blocks {
+        let percent = if profile.cycles == 0 {
+            0.0
+        } else {
+            block.cost() as f64 * 100.0 / profile.cycles as f64
+        };
+        let _ = writeln!(
+            out,
+            "  {:<16} {:>7} {:>5.1}% {:>7} {:>6} {:>6} {:>6} {:>6} {:>6} {:>6}",
+            block.label,
+            block.cost(),
+            percent,
+            block.issue_cycles,
+            block.stall_total(),
+            block.stalls[StallCause::DataHazard as usize],
+            block.stalls[StallCause::UnitBusy as usize],
+            block.stalls[StallCause::RegfilePort as usize],
+            block.stalls[StallCause::BranchFlush as usize],
+            block.stalls[StallCause::MemoryContention as usize],
+        );
+    }
+    out.push('\n');
+
+    // The hottest stalling blocks, rendered as rustc-style diagnostics
+    // against the compiled assembly (the same plumbing epic-lint uses).
+    let origin = format!("{}.s", args.workload);
+    for block in profile
+        .blocks
+        .iter()
+        .filter(|b| b.stall_total() > 0)
+        .take(3)
+    {
+        let Some(cause) = dominant_cause(block) else {
+            continue;
+        };
+        let percent = if profile.cycles == 0 {
+            0.0
+        } else {
+            block.stall_total() as f64 * 100.0 / profile.cycles as f64
+        };
+        let diag = epic_asm::Diagnostic::warning(
+            "PRF001",
+            format!(
+                "block `{}` loses {} cycle(s) to stalls ({percent:.1}% of the run), \
+                 mostly {}",
+                block.label,
+                block.stall_total(),
+                cause.name()
+            ),
+        )
+        .with_line(label_line(assembly, &block.label))
+        .with_bundle(block.start_pc as usize, None);
+        out.push_str(&diag.render(&origin, Some(assembly)));
+    }
+    out
+}
+
+fn run(args: &Args) -> Result<ExitCode, String> {
+    let workloads = epic_workloads::all(args.scale);
+    let workload = workloads
+        .iter()
+        .find(|w| w.name == args.workload)
+        .ok_or_else(|| {
+            let names: Vec<&str> = workloads.iter().map(|w| w.name.as_str()).collect();
+            format!(
+                "unknown workload `{}` (available: {})",
+                args.workload,
+                names.join(", ")
+            )
+        })?;
+    let config = Config::builder()
+        .num_alus(args.alus)
+        .issue_width(args.issue_width)
+        .build()
+        .map_err(|e| format!("configuration: {e}"))?;
+
+    let perfetto = args.perfetto.as_ref().map(|_| PerfettoSink::default());
+    let mut sink = TeeSink(
+        TeeSink(MetricsRegistry::default(), ProfileSink::default()),
+        perfetto,
+    );
+    let run = epic_core::experiments::run_epic_workload_observed(workload, &config, &mut sink)
+        .map_err(|e| e.to_string())?;
+    let TeeSink(TeeSink(mut metrics, profiler), perfetto) = sink;
+
+    // The report must never disagree with the engine: reconcile the
+    // registry against SimStats before printing anything.
+    metrics.finish();
+    let stats = run.stats();
+    metrics
+        .reconcile(stats)
+        .map_err(|e| format!("metrics/SimStats reconciliation failed:\n{e}"))?;
+    let profile = StallProfile::build(&profiler, run.program.labels());
+    let attributed: u64 = profile.stall_totals().iter().sum();
+    if attributed != stats.stalls.total() {
+        return Err(format!(
+            "stall attribution ({attributed}) does not sum to SimStats.stalls ({})",
+            stats.stalls.total()
+        ));
+    }
+
+    if let (Some(path), Some(mut sink)) = (args.perfetto.as_ref(), perfetto) {
+        std::fs::write(path, sink.to_json()).map_err(|e| format!("{}: {e}", path.display()))?;
+        if args.format == Format::Text {
+            eprintln!(
+                "epic-prof: wrote {} (open at https://ui.perfetto.dev)",
+                path.display()
+            );
+        }
+    }
+
+    match args.format {
+        Format::Text => {
+            print!(
+                "{}",
+                text_report(args, stats, &profile, run.compiled.assembly())
+            );
+        }
+        Format::Json => {
+            println!(
+                "{{\"workload\":\"{}\",\"scale\":\"{:?}\",\"config\":{{\"alus\":{},\
+                 \"issue_width\":{}}},\"stats\":{},\"metrics\":{},\"blocks\":{}}}",
+                args.workload,
+                args.scale,
+                args.alus,
+                args.issue_width,
+                stats_json(stats),
+                metrics.to_json(),
+                blocks_json(&profile)
+            );
+        }
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(message) => {
+            eprintln!("{message}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match run(&args) {
+        Ok(code) => code,
+        Err(message) => {
+            eprintln!("epic-prof: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,409 @@
+//! Counters and fixed-bucket histograms over the trace-event stream.
+
+use epic_sim::{SimStats, StallCause, TraceSink};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// A fixed-bucket histogram of `u64` samples.
+///
+/// `bounds[i]` is the **inclusive** upper edge of bucket `i`; one extra
+/// overflow bucket collects everything above the last bound. The bucket
+/// layout is fixed at construction, so recording is a branch-free scan
+/// and two histograms with the same bounds can be compared bucket by
+/// bucket.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Histogram {
+    bounds: Vec<u64>,
+    buckets: Vec<u64>,
+    count: u64,
+    sum: u64,
+}
+
+impl Histogram {
+    /// Creates an empty histogram with the given inclusive upper bounds
+    /// (must be strictly increasing).
+    #[must_use]
+    pub fn new(bounds: &[u64]) -> Self {
+        debug_assert!(bounds.windows(2).all(|w| w[0] < w[1]));
+        Histogram {
+            bounds: bounds.to_vec(),
+            buckets: vec![0; bounds.len() + 1],
+            count: 0,
+            sum: 0,
+        }
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, value: u64) {
+        let slot = self
+            .bounds
+            .iter()
+            .position(|&b| value <= b)
+            .unwrap_or(self.bounds.len());
+        self.buckets[slot] += 1;
+        self.count += 1;
+        self.sum += value;
+    }
+
+    /// Inclusive upper bucket edges.
+    #[must_use]
+    pub fn bounds(&self) -> &[u64] {
+        &self.bounds
+    }
+
+    /// Bucket occupancies (`bounds().len() + 1` entries; last is
+    /// overflow).
+    #[must_use]
+    pub fn buckets(&self) -> &[u64] {
+        &self.buckets
+    }
+
+    /// Number of recorded samples.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all recorded samples.
+    #[must_use]
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    fn to_json(&self) -> String {
+        let join = |values: &[u64]| {
+            values
+                .iter()
+                .map(u64::to_string)
+                .collect::<Vec<_>>()
+                .join(",")
+        };
+        format!(
+            "{{\"bounds\":[{}],\"buckets\":[{}],\"count\":{},\"sum\":{}}}",
+            join(&self.bounds),
+            join(&self.buckets),
+            self.count,
+            self.sum
+        )
+    }
+}
+
+/// An open run of consecutive stall cycles with one cause.
+#[derive(Debug, Clone, Copy)]
+struct StallRun {
+    cause: StallCause,
+    last_cycle: u64,
+    length: u64,
+}
+
+/// The registry: named counters plus named fixed-bucket histograms, fed
+/// directly as a [`TraceSink`].
+///
+/// Counter names mirror [`SimStats`] fields (`cycles`, `bundles`,
+/// `instructions`, `squashed`, `nops`, `loads`, `stores`,
+/// `fu.*_busy_cycles`, `stall.<cause>`); histograms are
+/// `stall_length.<cause>` (length of each contiguous same-cause stall
+/// run, in cycles), `port_demand` (register-file port operations per
+/// issued bundle) and `bundle_occupancy` (non-`NOP` instructions per
+/// executed bundle). [`reconcile`](MetricsRegistry::reconcile) proves
+/// the totals equal the engine's own statistics field for field.
+#[derive(Debug, Clone)]
+pub struct MetricsRegistry {
+    counters: BTreeMap<&'static str, u64>,
+    histograms: BTreeMap<String, Histogram>,
+    run: Option<StallRun>,
+}
+
+/// Inclusive bucket edges for stall-run lengths (cycles).
+const STALL_LENGTH_BOUNDS: [u64; 7] = [1, 2, 4, 8, 16, 32, 64];
+/// Inclusive bucket edges for per-bundle register-file port demand.
+const PORT_DEMAND_BOUNDS: [u64; 17] = [0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16];
+/// Inclusive bucket edges for non-`NOP` instructions per bundle.
+const OCCUPANCY_BOUNDS: [u64; 9] = [0, 1, 2, 3, 4, 5, 6, 7, 8];
+
+impl Default for MetricsRegistry {
+    fn default() -> Self {
+        let mut histograms = BTreeMap::new();
+        for cause in StallCause::ALL {
+            histograms.insert(
+                format!("stall_length.{}", cause.name()),
+                Histogram::new(&STALL_LENGTH_BOUNDS),
+            );
+        }
+        histograms.insert(
+            "port_demand".to_owned(),
+            Histogram::new(&PORT_DEMAND_BOUNDS),
+        );
+        histograms.insert(
+            "bundle_occupancy".to_owned(),
+            Histogram::new(&OCCUPANCY_BOUNDS),
+        );
+        MetricsRegistry {
+            counters: BTreeMap::new(),
+            histograms,
+            run: None,
+        }
+    }
+}
+
+impl MetricsRegistry {
+    /// Reads a counter (0 when never incremented).
+    #[must_use]
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// All counters, sorted by name.
+    #[must_use]
+    pub fn counters(&self) -> &BTreeMap<&'static str, u64> {
+        &self.counters
+    }
+
+    /// Looks up a histogram by name.
+    #[must_use]
+    pub fn histogram(&self, name: &str) -> Option<&Histogram> {
+        self.histograms.get(name)
+    }
+
+    /// All histograms, sorted by name.
+    #[must_use]
+    pub fn histograms(&self) -> &BTreeMap<String, Histogram> {
+        &self.histograms
+    }
+
+    fn bump(&mut self, name: &'static str, by: u64) {
+        *self.counters.entry(name).or_insert(0) += by;
+    }
+
+    fn flush_run(&mut self) {
+        if let Some(run) = self.run.take() {
+            let key = format!("stall_length.{}", run.cause.name());
+            self.histograms
+                .get_mut(&key)
+                .expect("per-cause histogram pre-registered")
+                .record(run.length);
+        }
+    }
+
+    /// Closes any open stall run. Called automatically when the
+    /// processor halts or issues again; call it by hand only when a run
+    /// was aborted mid-stall (e.g. a simulator error).
+    pub fn finish(&mut self) {
+        self.flush_run();
+    }
+
+    /// Proves the registry's totals equal `stats` field for field:
+    /// every counter against its [`SimStats`] field, and each
+    /// `stall_length.<cause>` histogram's cycle sum against the
+    /// engine's per-cause stall counter.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming every mismatching field.
+    pub fn reconcile(&self, stats: &SimStats) -> Result<(), String> {
+        let mut errors = String::new();
+        let mut check = |name: &str, got: u64, want: u64| {
+            if got != want {
+                let _ = writeln!(errors, "{name}: metrics {got} != SimStats {want}");
+            }
+        };
+        check("cycles", self.counter("cycles"), stats.cycles);
+        check("bundles", self.counter("bundles"), stats.bundles);
+        check(
+            "instructions",
+            self.counter("instructions"),
+            stats.instructions,
+        );
+        check("squashed", self.counter("squashed"), stats.squashed);
+        check("nops", self.counter("nops"), stats.nops);
+        check("loads", self.counter("loads"), stats.loads);
+        check("stores", self.counter("stores"), stats.stores);
+        check(
+            "fu.alu_busy_cycles",
+            self.counter("fu.alu_busy_cycles"),
+            stats.alu_busy_cycles,
+        );
+        check(
+            "fu.lsu_busy_cycles",
+            self.counter("fu.lsu_busy_cycles"),
+            stats.lsu_busy_cycles,
+        );
+        check(
+            "fu.cmpu_busy_cycles",
+            self.counter("fu.cmpu_busy_cycles"),
+            stats.cmpu_busy_cycles,
+        );
+        check(
+            "fu.bru_busy_cycles",
+            self.counter("fu.bru_busy_cycles"),
+            stats.bru_busy_cycles,
+        );
+        for cause in StallCause::ALL {
+            let name = cause.name();
+            let want = stats.stalls.by_cause(cause);
+            check(&format!("stall.{name}"), self.stall_counter(cause), want);
+            let hist = &self.histograms[&format!("stall_length.{name}")];
+            check(&format!("stall_length.{name}.sum"), hist.sum(), want);
+        }
+        let occupancy = &self.histograms["bundle_occupancy"];
+        check("bundle_occupancy.count", occupancy.count(), stats.bundles);
+        check("bundle_occupancy.sum", occupancy.sum(), stats.instructions);
+        check(
+            "port_demand.count",
+            self.histograms["port_demand"].count(),
+            stats.bundles,
+        );
+        if self.run.is_some() {
+            errors.push_str("open stall run: call finish() before reconcile()\n");
+        }
+        if errors.is_empty() {
+            Ok(())
+        } else {
+            Err(errors)
+        }
+    }
+
+    fn stall_counter(&self, cause: StallCause) -> u64 {
+        let name = match cause {
+            StallCause::DataHazard => "stall.data_hazard",
+            StallCause::UnitBusy => "stall.unit_busy",
+            StallCause::RegfilePort => "stall.regfile_port",
+            StallCause::BranchFlush => "stall.branch_flush",
+            StallCause::MemoryContention => "stall.memory_contention",
+        };
+        self.counter(name)
+    }
+
+    /// Renders the registry as one JSON object with stable field order
+    /// (`{"counters":{...},"histograms":{...}}`).
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let counters = self
+            .counters
+            .iter()
+            .map(|(name, value)| format!("\"{name}\":{value}"))
+            .collect::<Vec<_>>()
+            .join(",");
+        let histograms = self
+            .histograms
+            .iter()
+            .map(|(name, hist)| format!("\"{name}\":{}", hist.to_json()))
+            .collect::<Vec<_>>()
+            .join(",");
+        format!("{{\"counters\":{{{counters}}},\"histograms\":{{{histograms}}}}}")
+    }
+}
+
+impl TraceSink for MetricsRegistry {
+    fn bundle_issue(&mut self, _cycle: u64, _pc: u32, ports: usize, _budget: usize) {
+        self.flush_run();
+        self.histograms
+            .get_mut("port_demand")
+            .expect("pre-registered")
+            .record(ports as u64);
+    }
+
+    fn bundle_execute(
+        &mut self,
+        _cycle: u64,
+        _pc: u32,
+        instructions: u64,
+        nops: u64,
+        unit_ops: &[u64; 4],
+    ) {
+        self.bump("bundles", 1);
+        self.bump("instructions", instructions);
+        self.bump("nops", nops);
+        self.bump("fu.alu_busy_cycles", unit_ops[0]);
+        self.bump("fu.lsu_busy_cycles", unit_ops[1]);
+        self.bump("fu.cmpu_busy_cycles", unit_ops[2]);
+        self.bump("fu.bru_busy_cycles", unit_ops[3]);
+        self.histograms
+            .get_mut("bundle_occupancy")
+            .expect("pre-registered")
+            .record(instructions);
+    }
+
+    fn squash(&mut self, _cycle: u64, _pc: u32) {
+        self.bump("squashed", 1);
+    }
+
+    fn stall(&mut self, cycle: u64, _pc: u32, cause: StallCause) {
+        let name = match cause {
+            StallCause::DataHazard => "stall.data_hazard",
+            StallCause::UnitBusy => "stall.unit_busy",
+            StallCause::RegfilePort => "stall.regfile_port",
+            StallCause::BranchFlush => "stall.branch_flush",
+            StallCause::MemoryContention => "stall.memory_contention",
+        };
+        self.bump(name, 1);
+        match &mut self.run {
+            Some(run) if run.cause == cause && run.last_cycle + 1 == cycle => {
+                run.last_cycle = cycle;
+                run.length += 1;
+            }
+            _ => {
+                self.flush_run();
+                self.run = Some(StallRun {
+                    cause,
+                    last_cycle: cycle,
+                    length: 1,
+                });
+            }
+        }
+    }
+
+    fn mem_op(&mut self, _cycle: u64, _pc: u32, store: bool) {
+        self.bump(if store { "stores" } else { "loads" }, 1);
+    }
+
+    fn halt(&mut self, _cycle: u64) {
+        self.flush_run();
+    }
+
+    fn cycle_retired(&mut self, _cycle: u64) {
+        self.bump("cycles", 1);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_buckets_and_overflow() {
+        let mut h = Histogram::new(&[1, 2, 4]);
+        for v in [0, 1, 2, 3, 4, 5, 100] {
+            h.record(v);
+        }
+        assert_eq!(h.buckets(), &[2, 1, 2, 2]);
+        assert_eq!(h.count(), 7);
+        assert_eq!(h.sum(), 115);
+    }
+
+    #[test]
+    fn stall_runs_coalesce_by_cause_and_adjacency() {
+        let mut m = MetricsRegistry::default();
+        // 3-cycle data-hazard run, then a 1-cycle flush, then issue.
+        m.stall(10, 7, StallCause::DataHazard);
+        m.stall(11, 7, StallCause::DataHazard);
+        m.stall(12, 7, StallCause::DataHazard);
+        m.stall(13, 7, StallCause::BranchFlush);
+        m.bundle_issue(14, 7, 4, 8);
+        assert_eq!(m.counter("stall.data_hazard"), 3);
+        let lengths = m.histogram("stall_length.data_hazard").unwrap();
+        assert_eq!(lengths.count(), 1, "one run of length 3");
+        assert_eq!(lengths.sum(), 3);
+        assert_eq!(m.histogram("stall_length.branch_flush").unwrap().count(), 1);
+    }
+
+    #[test]
+    fn json_is_stable_and_parsable_shape() {
+        let mut m = MetricsRegistry::default();
+        m.cycle_retired(0);
+        let text = m.to_json();
+        assert!(text.starts_with("{\"counters\":{"));
+        assert!(text.contains("\"cycles\":1"));
+        assert!(text.contains("\"histograms\":{"));
+    }
+}

@@ -1,0 +1,237 @@
+//! Chrome/Perfetto trace-event JSON export.
+//!
+//! [`PerfettoSink`] turns the per-cycle event stream into a
+//! `traceEvents` JSON document that <https://ui.perfetto.dev> (or
+//! `chrome://tracing`) renders directly. The document holds one track
+//! per functional-unit class (ALU, LSU, CMPU, BRU) plus a fetch track
+//! (which bundle occupied the front end each cycle) and a stall track
+//! (contiguous runs of lost cycles, labelled by cause). Timestamps are
+//! processor cycles, written into the `ts` microsecond field — in the
+//! UI one "µs" reads as one cycle.
+//!
+//! The schema (track ids, span names, B/E pairing rules) is documented
+//! in `DESIGN.md` §11 and pinned by `tests/perfetto.rs` against a
+//! golden file.
+
+use epic_sim::{StallCause, TraceSink};
+
+/// Trace track (Perfetto thread) identifiers, in display order.
+const TRACKS: [(u32, &str); 6] = [
+    (1, "fetch"),
+    (2, "stall"),
+    (3, "ALU"),
+    (4, "LSU"),
+    (5, "CMPU"),
+    (6, "BRU"),
+];
+
+const TID_FETCH: u32 = 1;
+const TID_STALL: u32 = 2;
+/// `unit_ops` index → track id (ALU, LSU, CMPU, BRU).
+const TID_UNIT: [u32; 4] = [3, 4, 5, 6];
+const UNIT_NAMES: [&str; 4] = ["ALU", "LSU", "CMPU", "BRU"];
+
+/// One closed span on one track: `[start, end)` in cycles.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceSpan {
+    /// Track (Perfetto `tid`) the span belongs to.
+    pub tid: u32,
+    /// Span label.
+    pub name: String,
+    /// First cycle covered.
+    pub start: u64,
+    /// One past the last cycle covered (`end > start` always).
+    pub end: u64,
+}
+
+/// An in-progress run on one track, extended cycle by cycle.
+#[derive(Debug, Clone)]
+struct OpenRun {
+    name: String,
+    start: u64,
+    last_cycle: u64,
+}
+
+/// Collects per-cycle events into spans and renders trace-event JSON.
+#[derive(Debug, Default)]
+pub struct PerfettoSink {
+    spans: Vec<TraceSpan>,
+    /// Open run per track, indexed by `tid - 1`.
+    open: [Option<OpenRun>; 6],
+}
+
+impl PerfettoSink {
+    /// Extends the open run on `tid` if `name` matches and `cycle` is
+    /// adjacent; otherwise closes it and opens a new one.
+    fn extend(&mut self, tid: u32, cycle: u64, name: String) {
+        let slot = &mut self.open[(tid - 1) as usize];
+        if let Some(run) = slot {
+            if run.name == name && run.last_cycle + 1 == cycle {
+                run.last_cycle = cycle;
+                return;
+            }
+            let run = slot.take().expect("checked above");
+            self.spans.push(TraceSpan {
+                tid,
+                name: run.name,
+                start: run.start,
+                end: run.last_cycle + 1,
+            });
+        }
+        *slot = Some(OpenRun {
+            name,
+            start: cycle,
+            last_cycle: cycle,
+        });
+    }
+
+    /// Closes every open run. Idempotent; called by [`Self::to_json`].
+    pub fn finish(&mut self) {
+        for (index, slot) in self.open.iter_mut().enumerate() {
+            if let Some(run) = slot.take() {
+                self.spans.push(TraceSpan {
+                    tid: index as u32 + 1,
+                    name: run.name,
+                    start: run.start,
+                    end: run.last_cycle + 1,
+                });
+            }
+        }
+        // Renderers expect non-decreasing timestamps; runs close out of
+        // order, so restore global order (stable: equal keys keep their
+        // emission order).
+        self.spans
+            .sort_by_key(|span| (span.start, span.end, span.tid));
+    }
+
+    /// The collected spans (call [`Self::finish`] first to include
+    /// still-open runs).
+    #[must_use]
+    pub fn spans(&self) -> &[TraceSpan] {
+        &self.spans
+    }
+
+    /// Renders the Chrome trace-event JSON document.
+    ///
+    /// Emits `thread_name` metadata for every track, then a matched
+    /// `B`/`E` pair per span, ordered by timestamp with `E` before `B`
+    /// at equal timestamps so back-to-back spans never appear nested.
+    #[must_use]
+    pub fn to_json(&mut self) -> String {
+        self.finish();
+
+        // (ts, phase rank, tid, emission seq): rank 0 = E, 1 = B.
+        let mut events: Vec<(u64, u8, u32, usize, &TraceSpan)> = Vec::new();
+        for (seq, span) in self.spans.iter().enumerate() {
+            events.push((span.start, 1, span.tid, seq, span));
+            events.push((span.end, 0, span.tid, seq, span));
+        }
+        events.sort_by_key(|&(ts, rank, tid, seq, _)| (ts, rank, tid, seq));
+
+        let mut out = String::from("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n");
+        out.push_str(
+            "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,\"tid\":0,\
+             \"args\":{\"name\":\"epic-sim\"}}",
+        );
+        for (tid, name) in TRACKS {
+            out.push_str(&format!(
+                ",\n{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":{tid},\
+                 \"args\":{{\"name\":\"{name}\"}}}}"
+            ));
+            out.push_str(&format!(
+                ",\n{{\"name\":\"thread_sort_index\",\"ph\":\"M\",\"pid\":1,\"tid\":{tid},\
+                 \"args\":{{\"sort_index\":{tid}}}}}"
+            ));
+        }
+        for (ts, rank, tid, _, span) in events {
+            let phase = if rank == 0 { "E" } else { "B" };
+            out.push_str(&format!(
+                ",\n{{\"name\":\"{}\",\"ph\":\"{phase}\",\"ts\":{ts},\"pid\":1,\"tid\":{tid}}}",
+                escape(&span.name)
+            ));
+        }
+        out.push_str("\n]}\n");
+        out
+    }
+}
+
+fn escape(text: &str) -> String {
+    let mut out = String::with_capacity(text.len());
+    for ch in text.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+impl TraceSink for PerfettoSink {
+    fn bundle_issue(&mut self, cycle: u64, pc: u32, _ports: usize, _budget: usize) {
+        self.extend(TID_FETCH, cycle, format!("0x{pc:04x}"));
+    }
+
+    fn bundle_execute(
+        &mut self,
+        cycle: u64,
+        _pc: u32,
+        _instructions: u64,
+        _nops: u64,
+        unit_ops: &[u64; 4],
+    ) {
+        for (index, &ops) in unit_ops.iter().enumerate() {
+            if ops > 0 {
+                let name = if ops == 1 {
+                    UNIT_NAMES[index].to_string()
+                } else {
+                    format!("{} x{ops}", UNIT_NAMES[index])
+                };
+                self.extend(TID_UNIT[index], cycle, name);
+            }
+        }
+    }
+
+    fn stall(&mut self, cycle: u64, _pc: u32, cause: StallCause) {
+        self.extend(TID_STALL, cycle, cause.name().to_string());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn adjacent_same_name_cycles_coalesce() {
+        let mut sink = PerfettoSink::default();
+        sink.stall(3, 0, StallCause::DataHazard);
+        sink.stall(4, 0, StallCause::DataHazard);
+        sink.stall(5, 0, StallCause::BranchFlush);
+        sink.stall(9, 0, StallCause::BranchFlush);
+        sink.finish();
+        let spans = sink.spans();
+        assert_eq!(spans.len(), 3);
+        assert_eq!((spans[0].start, spans[0].end), (3, 5));
+        assert_eq!(spans[0].name, "data_hazard");
+        assert_eq!((spans[1].start, spans[1].end), (5, 6));
+        assert_eq!((spans[2].start, spans[2].end), (9, 10));
+    }
+
+    #[test]
+    fn json_has_matched_begin_end_pairs() {
+        let mut sink = PerfettoSink::default();
+        sink.bundle_issue(0, 0, 3, 8);
+        sink.bundle_execute(1, 0, 2, 2, &[1, 1, 0, 0]);
+        sink.stall(2, 4, StallCause::MemoryContention);
+        let json = sink.to_json();
+        assert_eq!(
+            json.matches("\"ph\":\"B\"").count(),
+            json.matches("\"ph\":\"E\"").count()
+        );
+        assert!(json.contains("\"name\":\"fetch\""));
+        assert!(json.contains("\"name\":\"memory_contention\""));
+        assert!(json.contains("\"name\":\"ALU\""));
+    }
+}

@@ -1,0 +1,222 @@
+//! Per-bundle and per-basic-block stall attribution.
+//!
+//! [`ProfileSink`] counts, for every bundle address, how many cycles
+//! the bundle issued and how many front-end cycles were lost *waiting
+//! to issue it*, broken down by [`StallCause`]. [`StallProfile`] then
+//! folds those addresses into basic blocks using the assembler's label
+//! table (each address belongs to the greatest label at or below it),
+//! producing the hot-spot report behind the `epic-prof` binary.
+
+use std::collections::{BTreeMap, HashMap};
+
+use epic_sim::{StallCause, TraceSink};
+
+/// Counters for one bundle address.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+struct PcCounters {
+    issues: u64,
+    instructions: u64,
+    squashed: u64,
+    stalls: [u64; 5],
+    loads: u64,
+    stores: u64,
+}
+
+/// Accumulates per-bundle-address issue and stall counts.
+#[derive(Debug, Default)]
+pub struct ProfileSink {
+    per_pc: BTreeMap<u32, PcCounters>,
+    cycles: u64,
+}
+
+impl ProfileSink {
+    /// Total cycles observed.
+    #[must_use]
+    pub fn cycles(&self) -> u64 {
+        self.cycles
+    }
+
+    fn entry(&mut self, pc: u32) -> &mut PcCounters {
+        self.per_pc.entry(pc).or_default()
+    }
+}
+
+impl TraceSink for ProfileSink {
+    fn bundle_issue(&mut self, _cycle: u64, pc: u32, _ports: usize, _budget: usize) {
+        self.entry(pc).issues += 1;
+    }
+
+    fn bundle_execute(
+        &mut self,
+        _cycle: u64,
+        pc: u32,
+        instructions: u64,
+        _nops: u64,
+        _unit_ops: &[u64; 4],
+    ) {
+        self.entry(pc).instructions += instructions;
+    }
+
+    fn squash(&mut self, _cycle: u64, pc: u32) {
+        self.entry(pc).squashed += 1;
+    }
+
+    fn stall(&mut self, _cycle: u64, pc: u32, cause: StallCause) {
+        self.entry(pc).stalls[cause as usize] += 1;
+    }
+
+    fn mem_op(&mut self, _cycle: u64, pc: u32, store: bool) {
+        let counters = self.entry(pc);
+        if store {
+            counters.stores += 1;
+        } else {
+            counters.loads += 1;
+        }
+    }
+
+    fn cycle_retired(&mut self, _cycle: u64) {
+        self.cycles += 1;
+    }
+}
+
+/// One basic block's share of execution time.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BlockProfile {
+    /// Label naming the block (`<entry>` for addresses before the
+    /// first label).
+    pub label: String,
+    /// First bundle address of the block.
+    pub start_pc: u32,
+    /// Cycles spent issuing the block's bundles.
+    pub issue_cycles: u64,
+    /// Instructions issued from the block (`NOP` padding excluded).
+    pub instructions: u64,
+    /// Issued instructions squashed by a false guard.
+    pub squashed: u64,
+    /// Stall cycles attributed to the block, indexed by
+    /// `StallCause as usize` (see [`StallCause::ALL`]).
+    pub stalls: [u64; 5],
+    /// Data-memory loads performed by the block.
+    pub loads: u64,
+    /// Data-memory stores performed by the block.
+    pub stores: u64,
+}
+
+impl BlockProfile {
+    /// Total stall cycles attributed to the block.
+    #[must_use]
+    pub fn stall_total(&self) -> u64 {
+        self.stalls.iter().sum()
+    }
+
+    /// Issue plus stall cycles: the block's total claim on the machine.
+    #[must_use]
+    pub fn cost(&self) -> u64 {
+        self.issue_cycles + self.stall_total()
+    }
+}
+
+/// The aggregated per-block report.
+#[derive(Debug, Clone, Default)]
+pub struct StallProfile {
+    /// Total cycles of the run.
+    pub cycles: u64,
+    /// Blocks, sorted by descending [`BlockProfile::cost`].
+    pub blocks: Vec<BlockProfile>,
+}
+
+impl StallProfile {
+    /// Folds per-address counters into per-block rows.
+    ///
+    /// `labels` maps label name → bundle address (the assembler's
+    /// [`epic_asm::Program::labels`] table). Every profiled address is
+    /// attributed to the greatest label at or below it; addresses
+    /// before the first label fall into a synthetic `<entry>` block.
+    #[must_use]
+    pub fn build(sink: &ProfileSink, labels: &HashMap<String, u32>) -> StallProfile {
+        // Sorted (address, name); ties broken by name for determinism.
+        let mut sorted: Vec<(u32, &str)> = labels
+            .iter()
+            .map(|(name, &addr)| (addr, name.as_str()))
+            .collect();
+        sorted.sort();
+
+        let mut by_block: BTreeMap<u32, BlockProfile> = BTreeMap::new();
+        for (&pc, counters) in &sink.per_pc {
+            let (start_pc, label) = match sorted.iter().rev().find(|&&(addr, _)| addr <= pc) {
+                Some(&(addr, name)) => (addr, name.to_string()),
+                None => (0, String::from("<entry>")),
+            };
+            let block = by_block.entry(start_pc).or_insert_with(|| BlockProfile {
+                label,
+                start_pc,
+                issue_cycles: 0,
+                instructions: 0,
+                squashed: 0,
+                stalls: [0; 5],
+                loads: 0,
+                stores: 0,
+            });
+            block.issue_cycles += counters.issues;
+            block.instructions += counters.instructions;
+            block.squashed += counters.squashed;
+            for (total, &n) in block.stalls.iter_mut().zip(&counters.stalls) {
+                *total += n;
+            }
+            block.loads += counters.loads;
+            block.stores += counters.stores;
+        }
+
+        let mut blocks: Vec<BlockProfile> = by_block.into_values().collect();
+        blocks.sort_by(|a, b| b.cost().cmp(&a.cost()).then(a.start_pc.cmp(&b.start_pc)));
+        StallProfile {
+            cycles: sink.cycles(),
+            blocks,
+        }
+    }
+
+    /// Stall cycles across all blocks, by cause.
+    #[must_use]
+    pub fn stall_totals(&self) -> [u64; 5] {
+        let mut totals = [0u64; 5];
+        for block in &self.blocks {
+            for (total, &n) in totals.iter_mut().zip(&block.stalls) {
+                *total += n;
+            }
+        }
+        totals
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn addresses_fold_into_the_nearest_label_at_or_below() {
+        let mut sink = ProfileSink::default();
+        sink.bundle_issue(0, 0, 1, 8); // before any label -> <entry>
+        sink.bundle_issue(1, 4, 1, 8); // loop
+        sink.bundle_issue(2, 5, 1, 8); // still loop
+        sink.stall(3, 5, StallCause::DataHazard);
+        sink.bundle_issue(4, 9, 1, 8); // done
+        sink.cycle_retired(0);
+        sink.cycle_retired(1);
+
+        let labels = HashMap::from([(String::from("loop"), 4u32), (String::from("done"), 9u32)]);
+        let profile = StallProfile::build(&sink, &labels);
+        assert_eq!(profile.cycles, 2);
+        assert_eq!(profile.blocks.len(), 3);
+        let loop_block = profile
+            .blocks
+            .iter()
+            .find(|b| b.label == "loop")
+            .expect("loop block");
+        assert_eq!(loop_block.issue_cycles, 2);
+        assert_eq!(loop_block.stalls[StallCause::DataHazard as usize], 1);
+        assert_eq!(loop_block.cost(), 3);
+        // Highest-cost block sorts first.
+        assert_eq!(profile.blocks[0].label, "loop");
+        assert!(profile.blocks.iter().any(|b| b.label == "<entry>"));
+    }
+}

@@ -1,0 +1,140 @@
+//! The raw event log: every trace event, in emission order.
+
+use epic_sim::{StallCause, TraceSink};
+
+/// One captured [`TraceSink`] event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceEvent {
+    /// A bundle issued (`cycle`, `pc`, port demand, port budget).
+    Issue {
+        /// Processor cycle.
+        cycle: u64,
+        /// Bundle address.
+        pc: u32,
+        /// Register-file port operations the bundle needed.
+        ports: usize,
+        /// Port operations the controller provides per cycle.
+        budget: usize,
+    },
+    /// A bundle occupied the execute stage.
+    Execute {
+        /// Processor cycle.
+        cycle: u64,
+        /// Bundle address.
+        pc: u32,
+        /// Non-`NOP` instructions in the bundle.
+        instructions: u64,
+        /// `NOP` padding slots.
+        nops: u64,
+        /// Operations per unit class (`[ALU, LSU, CMPU, BRU]`).
+        unit_ops: [u64; 4],
+    },
+    /// An instruction was squashed by a false guard.
+    Squash {
+        /// Processor cycle.
+        cycle: u64,
+        /// Bundle address.
+        pc: u32,
+    },
+    /// The front end lost a cycle.
+    Stall {
+        /// Processor cycle.
+        cycle: u64,
+        /// Bundle address the front end was stalled on.
+        pc: u32,
+        /// Why the cycle was lost.
+        cause: StallCause,
+    },
+    /// A data-memory access (load when `store` is false).
+    MemOp {
+        /// Processor cycle.
+        cycle: u64,
+        /// Bundle address of the accessing bundle.
+        pc: u32,
+        /// Whether the access was a store.
+        store: bool,
+    },
+    /// The processor executed `HALT`.
+    Halt {
+        /// Processor cycle.
+        cycle: u64,
+    },
+    /// A cycle completed.
+    CycleRetired {
+        /// Processor cycle.
+        cycle: u64,
+    },
+}
+
+/// Captures the complete event stream in memory.
+///
+/// One event per stall cycle / issued bundle / squashed instruction —
+/// long runs cannot afford this; it exists for tests (the
+/// no-perturbation proptest, the engine-equivalence differential) and
+/// ad-hoc inspection.
+#[derive(Debug, Clone, Default)]
+pub struct RecordingSink {
+    events: Vec<TraceEvent>,
+}
+
+impl RecordingSink {
+    /// The captured events, in emission order.
+    #[must_use]
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// Consumes the sink, returning the captured events.
+    #[must_use]
+    pub fn into_events(self) -> Vec<TraceEvent> {
+        self.events
+    }
+}
+
+impl TraceSink for RecordingSink {
+    fn bundle_issue(&mut self, cycle: u64, pc: u32, ports: usize, budget: usize) {
+        self.events.push(TraceEvent::Issue {
+            cycle,
+            pc,
+            ports,
+            budget,
+        });
+    }
+
+    fn bundle_execute(
+        &mut self,
+        cycle: u64,
+        pc: u32,
+        instructions: u64,
+        nops: u64,
+        unit_ops: &[u64; 4],
+    ) {
+        self.events.push(TraceEvent::Execute {
+            cycle,
+            pc,
+            instructions,
+            nops,
+            unit_ops: *unit_ops,
+        });
+    }
+
+    fn squash(&mut self, cycle: u64, pc: u32) {
+        self.events.push(TraceEvent::Squash { cycle, pc });
+    }
+
+    fn stall(&mut self, cycle: u64, pc: u32, cause: StallCause) {
+        self.events.push(TraceEvent::Stall { cycle, pc, cause });
+    }
+
+    fn mem_op(&mut self, cycle: u64, pc: u32, store: bool) {
+        self.events.push(TraceEvent::MemOp { cycle, pc, store });
+    }
+
+    fn halt(&mut self, cycle: u64) {
+        self.events.push(TraceEvent::Halt { cycle });
+    }
+
+    fn cycle_retired(&mut self, cycle: u64) {
+        self.events.push(TraceEvent::CycleRetired { cycle });
+    }
+}

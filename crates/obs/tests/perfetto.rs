@@ -1,0 +1,160 @@
+//! Perfetto export: golden-file pin plus structural invariants.
+//!
+//! A small fixed assembly program (a counted loop with loads, stores,
+//! compares and a conditional branch — enough to light up every track)
+//! is simulated with the [`PerfettoSink`] attached. The resulting
+//! Chrome trace-event JSON is pinned byte-for-byte against
+//! `tests/golden/trace.json` (regenerate with `EPIC_BLESS=1 cargo test
+//! -p epic-obs --test perfetto`) and checked structurally: timestamps
+//! non-decreasing, every `B` matched by an `E` on the same track, and
+//! the six track names stable.
+
+use epic_config::Config;
+use epic_obs::PerfettoSink;
+use epic_sim::{Memory, Simulator};
+use std::path::PathBuf;
+
+/// Four loop iterations of load → add → store over buf[0..4], then halt.
+const SOURCE: &str = "\
+.entry main
+main:
+    MOVE r1, #0
+    MOVE r2, #16
+    PBR b1, @loop
+;;
+loop:
+    LW r3, r1, #0
+;;
+    ADD r3, r3, #1
+;;
+    SW r3, r1, #0
+    ADD r1, r1, #4
+;;
+    CMP_LT p1, p2, r1, r2
+;;
+    BRCT b1 (p1)
+;;
+    HALT
+;;
+";
+
+fn golden_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/golden/trace.json")
+}
+
+fn trace_json() -> String {
+    let config = Config::default();
+    let program = epic_asm::assemble(SOURCE, &config).expect("fixture assembles");
+    let mut simulator = Simulator::try_new(&config, program.bundles().to_vec(), program.entry())
+        .expect("fixture decodes");
+    simulator.set_memory(Memory::from_image(vec![0; 64]));
+    let mut sink = PerfettoSink::default();
+    simulator.run_with_sink(&mut sink).expect("fixture runs");
+    sink.to_json()
+}
+
+/// Minimal field scraper for the flat, self-generated event lines: every
+/// event object is one line, so `"key":value` lookups are unambiguous.
+fn field<'a>(line: &'a str, key: &str) -> Option<&'a str> {
+    let pattern = format!("\"{key}\":");
+    let start = line.find(&pattern)? + pattern.len();
+    let rest = &line[start..];
+    let end = rest.find([',', '}']).expect("event fields end with , or }");
+    Some(rest[..end].trim_matches('"'))
+}
+
+#[test]
+fn trace_matches_golden_file() {
+    let path = golden_path();
+    let current = trace_json();
+    if std::env::var_os("EPIC_BLESS").is_some() {
+        std::fs::write(&path, &current).expect("write golden trace");
+        return;
+    }
+    let golden = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "{}: {e}\nrun `EPIC_BLESS=1 cargo test -p epic-obs --test perfetto` to create it",
+            path.display()
+        )
+    });
+    assert_eq!(
+        golden, current,
+        "Perfetto trace drifted; if intentional, regenerate with \
+         `EPIC_BLESS=1 cargo test -p epic-obs --test perfetto`"
+    );
+}
+
+#[test]
+fn trace_is_structurally_valid() {
+    let json = trace_json();
+    let events: Vec<&str> = json
+        .lines()
+        .filter(|line| line.contains("\"ph\":"))
+        .collect();
+    assert!(!events.is_empty(), "trace has no events");
+
+    // Track names are stable, each declared exactly once.
+    let mut tracks: Vec<&str> = events
+        .iter()
+        .filter(|line| line.contains("\"thread_name\""))
+        .map(|line| {
+            let args = line
+                .find("\"args\":")
+                .expect("thread_name events carry args");
+            field(&line[args..], "name").expect("thread_name args carry a name")
+        })
+        .collect();
+    tracks.sort_unstable();
+    assert_eq!(tracks, ["ALU", "BRU", "CMPU", "LSU", "fetch", "stall"]);
+
+    // Timestamps are non-decreasing and every B has its E, per track,
+    // with no nesting (the machine issues one bundle at a time).
+    let mut last_ts = 0u64;
+    let mut open: std::collections::HashMap<&str, u32> = std::collections::HashMap::new();
+    for line in &events {
+        let phase = field(line, "ph").expect("every event has a phase");
+        if phase == "M" {
+            continue;
+        }
+        let ts: u64 = field(line, "ts")
+            .expect("B/E events carry ts")
+            .parse()
+            .expect("ts is an integer");
+        assert!(ts >= last_ts, "timestamps regressed: {ts} after {last_ts}");
+        last_ts = ts;
+        let tid = field(line, "tid").expect("B/E events carry tid");
+        let depth = open.entry(tid).or_insert(0);
+        match phase {
+            "B" => {
+                assert_eq!(*depth, 0, "nested span on track {tid}");
+                *depth = 1;
+            }
+            "E" => {
+                assert_eq!(*depth, 1, "E without open B on track {tid}");
+                *depth = 0;
+            }
+            other => panic!("unexpected phase {other}"),
+        }
+    }
+    for (tid, depth) in open {
+        assert_eq!(depth, 0, "unclosed span on track {tid}");
+    }
+
+    // The fixture exercises every track.
+    for track in ["fetch", "stall", "ALU", "LSU", "CMPU", "BRU"] {
+        let tid = match track {
+            "fetch" => "1",
+            "stall" => "2",
+            "ALU" => "3",
+            "LSU" => "4",
+            "CMPU" => "5",
+            _ => "6",
+        };
+        assert!(
+            events
+                .iter()
+                .any(|line| { field(line, "ph") == Some("B") && field(line, "tid") == Some(tid) }),
+            "no spans on the {track} track"
+        );
+    }
+}

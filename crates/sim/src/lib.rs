@@ -58,9 +58,11 @@ mod machine;
 mod memory;
 mod reference;
 mod stats;
+mod trace;
 
 pub use error::SimError;
 pub use machine::Simulator;
 pub use memory::Memory;
 pub use reference::ReferenceSimulator;
 pub use stats::{SimStats, StallBreakdown, StallCause, StallEvent};
+pub use trace::{NopSink, TeeSink, TraceSink};

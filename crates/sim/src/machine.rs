@@ -5,6 +5,7 @@ use crate::error::SimError;
 use crate::exec::{eval_alu_basic, eval_cmp};
 use crate::memory::Memory;
 use crate::stats::{SimStats, StallCause, StallEvent};
+use crate::trace::{NopSink, TraceSink};
 use epic_config::Config;
 use epic_isa::Instruction;
 use std::sync::Arc;
@@ -234,8 +235,21 @@ impl Simulator {
     ///
     /// Returns the first [`SimError`] raised.
     pub fn run(&mut self) -> Result<&SimStats, SimError> {
+        self.run_with_sink(&mut NopSink)
+    }
+
+    /// Runs until `HALT`, streaming per-cycle events into `sink`.
+    ///
+    /// The loop is monomorphised per sink type: with [`NopSink`] this is
+    /// exactly [`run`](Simulator::run); with a real sink every issue,
+    /// stall, squash and memory access is reported as it happens.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`SimError`] raised.
+    pub fn run_with_sink<S: TraceSink>(&mut self, sink: &mut S) -> Result<&SimStats, SimError> {
         let program = Arc::clone(&self.program);
-        while self.step_program(&program)? {}
+        while self.step_program(&program, sink)? {}
         Ok(&self.stats)
     }
 
@@ -247,11 +261,25 @@ impl Simulator {
     /// [`SimError::PcOutOfRange`] for runaway fetch and
     /// [`SimError::CycleLimit`] past the cycle budget.
     pub fn step(&mut self) -> Result<bool, SimError> {
-        let program = Arc::clone(&self.program);
-        self.step_program(&program)
+        self.step_with_sink(&mut NopSink)
     }
 
-    fn step_program(&mut self, program: &DecodedProgram) -> Result<bool, SimError> {
+    /// [`step`](Simulator::step), streaming this cycle's events into
+    /// `sink`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`SimError`] raised (see [`step`](Simulator::step)).
+    pub fn step_with_sink<S: TraceSink>(&mut self, sink: &mut S) -> Result<bool, SimError> {
+        let program = Arc::clone(&self.program);
+        self.step_program(&program, sink)
+    }
+
+    fn step_program<S: TraceSink>(
+        &mut self,
+        program: &DecodedProgram,
+        sink: &mut S,
+    ) -> Result<bool, SimError> {
         if self.halted {
             return Ok(false);
         }
@@ -264,10 +292,12 @@ impl Simulator {
         // ---- stage 2: execute + write back -----------------------------
         let mut redirect = None;
         if let Some(bpc) = self.stage2.take() {
-            redirect = self.execute_bundle(program, bpc)?;
+            redirect = self.execute_bundle(program, bpc, sink)?;
         }
 
         if self.halted {
+            sink.halt(self.cycle);
+            sink.cycle_retired(self.cycle);
             self.cycle += 1;
             self.stats.cycles = self.cycle;
             return Ok(true);
@@ -281,27 +311,35 @@ impl Simulator {
             self.pc = target;
             self.stats.stalls.branch_flush += 1;
             self.note_stall(target, StallCause::BranchFlush);
+            sink.stall(self.cycle, target, StallCause::BranchFlush);
             self.flush_wait = program.flush_penalty;
         } else if self.flush_wait > 0 {
             self.flush_wait -= 1;
             self.stats.stalls.branch_flush += 1;
             self.note_stall(self.pc, StallCause::BranchFlush);
+            sink.stall(self.cycle, self.pc, StallCause::BranchFlush);
         } else if self.mem_debt >= 2 {
             // The memory controller spent this cycle's fetch bandwidth on
             // data accesses; fetch resumes next cycle.
             self.mem_debt -= 2;
             self.stats.stalls.memory_contention += 1;
             self.note_stall(self.pc, StallCause::MemoryContention);
+            sink.stall(self.cycle, self.pc, StallCause::MemoryContention);
         } else {
-            self.try_issue(program)?;
+            self.try_issue(program, sink)?;
         }
 
+        sink.cycle_retired(self.cycle);
         self.cycle += 1;
         self.stats.cycles = self.cycle;
         Ok(true)
     }
 
-    fn try_issue(&mut self, program: &DecodedProgram) -> Result<(), SimError> {
+    fn try_issue<S: TraceSink>(
+        &mut self,
+        program: &DecodedProgram,
+        sink: &mut S,
+    ) -> Result<(), SimError> {
         let pc = self.pc;
         let Some(bundle) = program.bundles.get(pc as usize) else {
             return Err(SimError::PcOutOfRange {
@@ -327,6 +365,7 @@ impl Simulator {
         if hazard {
             self.stats.stalls.data_hazard += 1;
             self.note_stall(pc, StallCause::DataHazard);
+            sink.stall(self.cycle, pc, StallCause::DataHazard);
             return Ok(());
         }
 
@@ -335,6 +374,7 @@ impl Simulator {
         if bundle.alu_wanted > alu_free {
             self.stats.stalls.unit_busy += 1;
             self.note_stall(pc, StallCause::UnitBusy);
+            sink.stall(self.cycle, pc, StallCause::UnitBusy);
             return Ok(());
         }
 
@@ -358,9 +398,11 @@ impl Simulator {
             self.port_wait -= 1;
             self.stats.stalls.regfile_port += 1;
             self.note_stall(pc, StallCause::RegfilePort);
+            sink.stall(self.cycle, pc, StallCause::RegfilePort);
             return Ok(());
         }
         self.port_wait_pc = None;
+        sink.bundle_issue(self.cycle, pc, ports, program.port_budget);
 
         // Issue: book destinations and unit occupancy for the execute
         // stage next cycle.
@@ -385,10 +427,11 @@ impl Simulator {
 
     /// Executes one bundle: all reads see pre-bundle state, writes apply
     /// together at the end, squashed instructions write nothing.
-    fn execute_bundle(
+    fn execute_bundle<S: TraceSink>(
         &mut self,
         program: &DecodedProgram,
         bpc: u32,
+        sink: &mut S,
     ) -> Result<Option<u32>, SimError> {
         let bundle = &program.bundles[bpc as usize];
         let mut writes = std::mem::take(&mut self.write_buf);
@@ -401,6 +444,13 @@ impl Simulator {
         self.stats.lsu_busy_cycles += bundle.unit_ops[1];
         self.stats.cmpu_busy_cycles += bundle.unit_ops[2];
         self.stats.bru_busy_cycles += bundle.unit_ops[3];
+        sink.bundle_execute(
+            self.cycle,
+            bpc,
+            bundle.instructions,
+            bundle.nops,
+            &bundle.unit_ops,
+        );
 
         for op in &bundle.ops {
             let guard = self.pred(op.guard as usize);
@@ -420,11 +470,13 @@ impl Simulator {
                     }
                 } else if !on_false {
                     self.stats.squashed += 1;
+                    sink.squash(self.cycle, bpc);
                 }
                 continue;
             }
             if !guard {
                 self.stats.squashed += 1;
+                sink.squash(self.cycle, bpc);
                 continue;
             }
 
@@ -503,6 +555,7 @@ impl Simulator {
                         }
                     };
                     self.stats.loads += 1;
+                    sink.mem_op(self.cycle, bpc, false);
                     if program.mem_contention {
                         self.mem_debt += 1;
                     }
@@ -523,6 +576,7 @@ impl Simulator {
                         return Err(e);
                     }
                     self.stats.stores += 1;
+                    sink.mem_op(self.cycle, bpc, true);
                     if program.mem_contention {
                         self.mem_debt += 1;
                     }

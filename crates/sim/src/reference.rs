@@ -12,7 +12,8 @@
 use crate::error::SimError;
 use crate::exec::{eval_alu, eval_cmp};
 use crate::memory::Memory;
-use crate::stats::SimStats;
+use crate::stats::{SimStats, StallCause};
+use crate::trace::{NopSink, TraceSink};
 use epic_config::Config;
 use epic_isa::{Dest, Instruction, Opcode, Operand, Unit};
 
@@ -159,6 +160,20 @@ impl ReferenceSimulator {
         Ok(&self.stats)
     }
 
+    /// Runs until `HALT`, streaming per-cycle events into `sink`.
+    ///
+    /// The oracle emits events at exactly the same sites as the decoded
+    /// [`crate::Simulator`], so differential tests can demand
+    /// bit-identical event streams from the two engines.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`SimError`] raised.
+    pub fn run_with_sink<S: TraceSink>(&mut self, sink: &mut S) -> Result<&SimStats, SimError> {
+        while self.step_with_sink(sink)? {}
+        Ok(&self.stats)
+    }
+
     /// Advances one processor cycle. Returns `false` once halted.
     ///
     /// # Errors
@@ -167,6 +182,17 @@ impl ReferenceSimulator {
     /// [`SimError::PcOutOfRange`] for runaway fetch and
     /// [`SimError::CycleLimit`] past the cycle budget.
     pub fn step(&mut self) -> Result<bool, SimError> {
+        self.step_with_sink(&mut NopSink)
+    }
+
+    /// [`step`](ReferenceSimulator::step), streaming this cycle's events
+    /// into `sink`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`SimError`] raised (see
+    /// [`step`](ReferenceSimulator::step)).
+    pub fn step_with_sink<S: TraceSink>(&mut self, sink: &mut S) -> Result<bool, SimError> {
         if self.halted {
             return Ok(false);
         }
@@ -179,10 +205,12 @@ impl ReferenceSimulator {
         // ---- stage 2: execute + write back -----------------------------
         let mut redirect = None;
         if let Some(bpc) = self.stage2.take() {
-            redirect = self.execute_bundle(bpc)?;
+            redirect = self.execute_bundle(bpc, sink)?;
         }
 
         if self.halted {
+            sink.halt(self.cycle);
+            sink.cycle_retired(self.cycle);
             self.cycle += 1;
             self.stats.cycles = self.cycle;
             return Ok(true);
@@ -192,23 +220,27 @@ impl ReferenceSimulator {
         if let Some(target) = redirect {
             self.pc = target;
             self.stats.stalls.branch_flush += 1;
+            sink.stall(self.cycle, target, StallCause::BranchFlush);
             self.flush_wait = self.config.pipeline_stages() as u32 - 2;
         } else if self.flush_wait > 0 {
             self.flush_wait -= 1;
             self.stats.stalls.branch_flush += 1;
+            sink.stall(self.cycle, self.pc, StallCause::BranchFlush);
         } else if self.mem_debt >= 2 {
             self.mem_debt -= 2;
             self.stats.stalls.memory_contention += 1;
+            sink.stall(self.cycle, self.pc, StallCause::MemoryContention);
         } else {
-            self.try_issue()?;
+            self.try_issue(sink)?;
         }
 
+        sink.cycle_retired(self.cycle);
         self.cycle += 1;
         self.stats.cycles = self.cycle;
         Ok(true)
     }
 
-    fn try_issue(&mut self) -> Result<(), SimError> {
+    fn try_issue<S: TraceSink>(&mut self, sink: &mut S) -> Result<(), SimError> {
         let pc = self.pc;
         if pc as usize >= self.bundles.len() {
             return Err(SimError::PcOutOfRange {
@@ -235,6 +267,7 @@ impl ReferenceSimulator {
         });
         if hazard {
             self.stats.stalls.data_hazard += 1;
+            sink.stall(self.cycle, pc, StallCause::DataHazard);
             return Ok(());
         }
         let bundle = &self.bundles[pc as usize];
@@ -247,6 +280,7 @@ impl ReferenceSimulator {
         let alu_free = self.alu_busy.iter().filter(|&&b| b <= exec_cycle).count();
         if alu_wanted > alu_free {
             self.stats.stalls.unit_busy += 1;
+            sink.stall(self.cycle, pc, StallCause::UnitBusy);
             return Ok(());
         }
         let bundle = &self.bundles[pc as usize];
@@ -274,9 +308,11 @@ impl ReferenceSimulator {
         if self.port_wait > 0 {
             self.port_wait -= 1;
             self.stats.stalls.regfile_port += 1;
+            sink.stall(self.cycle, pc, StallCause::RegfilePort);
             return Ok(());
         }
         self.port_wait_pc = None;
+        sink.bundle_issue(self.cycle, pc, ports, budget);
 
         // Issue: book destinations and unit occupancy.
         let bundle = &self.bundles[pc as usize];
@@ -306,7 +342,11 @@ impl ReferenceSimulator {
         Ok(())
     }
 
-    fn execute_bundle(&mut self, bpc: u32) -> Result<Option<u32>, SimError> {
+    fn execute_bundle<S: TraceSink>(
+        &mut self,
+        bpc: u32,
+        sink: &mut S,
+    ) -> Result<Option<u32>, SimError> {
         enum Write {
             Gpr(u16, u32),
             Pred(u16, bool),
@@ -317,6 +357,26 @@ impl ReferenceSimulator {
         let mut redirect: Option<u32> = None;
         self.stats.bundles += 1;
         self.last_executed = Some(bpc);
+
+        // Pre-count the bundle's shape so the execute event fires before
+        // the per-instruction squash/memory events, exactly as in the
+        // decoded engine (whose counts are resolved at load time).
+        let mut unit_ops = [0u64; 4];
+        let mut nops = 0u64;
+        for instr in &bundle {
+            if instr.opcode == Opcode::Nop {
+                nops += 1;
+                continue;
+            }
+            match instr.opcode.unit() {
+                Some(Unit::Alu) => unit_ops[0] += 1,
+                Some(Unit::Lsu) => unit_ops[1] += 1,
+                Some(Unit::Cmpu) => unit_ops[2] += 1,
+                Some(Unit::Bru) => unit_ops[3] += 1,
+                None => {}
+            }
+        }
+        sink.bundle_execute(self.cycle, bpc, bundle.len() as u64 - nops, nops, &unit_ops);
 
         for instr in &bundle {
             if instr.opcode == Opcode::Nop {
@@ -341,6 +401,7 @@ impl ReferenceSimulator {
             }
             if !guard {
                 self.stats.squashed += 1;
+                sink.squash(self.cycle, bpc);
                 continue;
             }
 
@@ -394,6 +455,7 @@ impl ReferenceSimulator {
                         _ => raw,
                     };
                     self.stats.loads += 1;
+                    sink.mem_op(self.cycle, bpc, false);
                     if self.config.memory_contention() {
                         self.mem_debt += 1;
                     }
@@ -414,6 +476,7 @@ impl ReferenceSimulator {
                     };
                     self.memory.store(bpc, address, width, value)?;
                     self.stats.stores += 1;
+                    sink.mem_op(self.cycle, bpc, true);
                     if self.config.memory_contention() {
                         self.mem_debt += 1;
                     }

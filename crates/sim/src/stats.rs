@@ -24,6 +24,43 @@ pub enum StallCause {
     MemoryContention,
 }
 
+impl StallCause {
+    /// Every cause, in [`StallBreakdown`] field order.
+    pub const ALL: [StallCause; 5] = [
+        StallCause::DataHazard,
+        StallCause::UnitBusy,
+        StallCause::RegfilePort,
+        StallCause::BranchFlush,
+        StallCause::MemoryContention,
+    ];
+
+    /// Stable snake_case name (metric keys, trace labels, JSON fields).
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            StallCause::DataHazard => "data_hazard",
+            StallCause::UnitBusy => "unit_busy",
+            StallCause::RegfilePort => "regfile_port",
+            StallCause::BranchFlush => "branch_flush",
+            StallCause::MemoryContention => "memory_contention",
+        }
+    }
+}
+
+impl StallBreakdown {
+    /// Reads the counter for one cause.
+    #[must_use]
+    pub fn by_cause(&self, cause: StallCause) -> u64 {
+        match cause {
+            StallCause::DataHazard => self.data_hazard,
+            StallCause::UnitBusy => self.unit_busy,
+            StallCause::RegfilePort => self.regfile_port,
+            StallCause::BranchFlush => self.branch_flush,
+            StallCause::MemoryContention => self.memory_contention,
+        }
+    }
+}
+
 /// One recorded stall cycle (opt-in; see `Simulator::record_stalls`).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct StallEvent {
