@@ -12,6 +12,7 @@
 //! cargo run --release -p epic-bench --bin repro -- power [--full]
 //! cargo run --release -p epic-bench --bin repro -- pipeline [--full]
 //! cargo run --release -p epic-bench --bin repro -- metrics [--out <dir>] [--full]
+//! cargo run --release -p epic-bench --bin repro -- bench [--out <file>] [--full]
 //! cargo run --release -p epic-bench --bin repro -- all [--full]
 //! ```
 //!
@@ -88,6 +89,7 @@ fn main() -> ExitCode {
         "power" => cmd_power(scale),
         "pipeline" => cmd_pipeline(scale),
         "metrics" => cmd_metrics(scale, parse_out(&args)),
+        "bench" => cmd_bench(scale, parse_out(&args)),
         "all" => cmd_all(scale),
         other => Err(format!(
             "unknown command `{other}`; see the module docs for usage"
@@ -198,6 +200,75 @@ fn cmd_metrics(scale: Scale, out: Option<std::path::PathBuf>) -> Result<(), Stri
             dir.display()
         );
     }
+    Ok(())
+}
+
+/// Machine-readable cycle trajectory: the full workload × ALUs 1–4 ×
+/// issue-width 1–4 grid as `BENCH_cycles.json` (schema
+/// `epic-bench-cycles/v1`, stable field set and ordering), so perf
+/// changes across PRs diff as data, not prose. The table mirrors the
+/// JSON and adds the scheduler's issue-slot occupancy (filled /
+/// available) next to the dynamic ILP.
+fn cmd_bench(scale: Scale, out: Option<std::path::PathBuf>) -> Result<(), String> {
+    let out = out.unwrap_or_else(|| std::path::PathBuf::from("BENCH_cycles.json"));
+    let workloads = workloads::all(scale);
+    println!("Cycle grid ({scale:?} scale): workload x ALUs 1-4 x issue width 1-4");
+    println!(
+        "{:<10} {:>5} {:>3} {:>10} {:>8} {:>6} {:>10}",
+        "workload", "alus", "iw", "cycles", "ipc", "ilp", "occupancy"
+    );
+    let mut entries = String::new();
+    for workload in &workloads {
+        for alus in ALUS {
+            for width in [1usize, 2, 3, 4] {
+                let config = Config::builder()
+                    .num_alus(alus)
+                    .issue_width(width)
+                    .build()
+                    .expect("valid grid configuration");
+                let run = epic_core::experiments::run_epic_workload_observed(
+                    workload,
+                    &config,
+                    &mut epic_core::sim::NopSink,
+                )
+                .map_err(|e| format!("{} at {alus} ALU / {width}-wide: {e}", workload.name))?;
+                let stats = run.stats();
+                let sched = run.compiled.stats().sched;
+                println!(
+                    "{:<10} {:>5} {:>3} {:>10} {:>8.3} {:>6.3} {:>9.1}%",
+                    workload.name,
+                    alus,
+                    width,
+                    stats.cycles,
+                    stats.ipc(),
+                    stats.bundle_fill(),
+                    100.0 * sched.occupancy()
+                );
+                if !entries.is_empty() {
+                    entries.push_str(",\n");
+                }
+                entries.push_str(&format!(
+                    "    {{\"workload\": \"{}\", \"alus\": {}, \"issue_width\": {}, \
+                     \"cycles\": {}, \"instructions\": {}, \"ipc\": {:.4}, \"ilp\": {:.4}, \
+                     \"occupancy\": {:.4}}}",
+                    workload.name,
+                    alus,
+                    width,
+                    stats.cycles,
+                    stats.instructions,
+                    stats.ipc(),
+                    stats.bundle_fill(),
+                    sched.occupancy()
+                ));
+            }
+        }
+    }
+    let json = format!(
+        "{{\n  \"schema\": \"epic-bench-cycles/v1\",\n  \"scale\": \"{scale:?}\",\n  \
+         \"points\": [\n{entries}\n  ]\n}}\n"
+    );
+    std::fs::write(&out, json).map_err(|e| format!("{}: {e}", out.display()))?;
+    println!("wrote {}", out.display());
     Ok(())
 }
 

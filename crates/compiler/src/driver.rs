@@ -6,8 +6,9 @@ use crate::ifconv::{if_convert, IfConvStats};
 use crate::mir::{MBlock, MBlockId, MDest, MFunction, MInst, MOp, MSrc, MTerm};
 use crate::passes::{self, PassStats};
 use crate::regalloc::{allocate, Abi, RegAllocStats};
-use crate::sched::{schedule_function, SchedStats};
+use crate::sched::{schedule_function, schedule_function_regions, SchedStats};
 use crate::select::{fold_literal_operands, select};
+use crate::superblock::{form_superblocks, ProfileData, SuperblockStats};
 use crate::trace::{FunctionTrace, PipelineTrace};
 use epic_config::Config;
 use epic_ir::Module;
@@ -22,6 +23,14 @@ pub struct Options {
     pub optimize: bool,
     /// Run if-conversion (default: on; off is useful for ablation).
     pub if_conversion: bool,
+    /// Form superblocks and schedule them as multi-block regions
+    /// (default: on; only takes effect at issue width ≥ 2, where the
+    /// freed issue slots exist to be filled).
+    pub superblock: bool,
+    /// Block execution counts from an instrumented training run; guides
+    /// superblock trace selection. `None` falls back to the static
+    /// loop-nesting heuristic.
+    pub profile: Option<ProfileData>,
     /// Functions the frontend marked for inlining.
     pub inline_hints: Vec<String>,
     /// Entry function called by the start-up stub.
@@ -39,6 +48,8 @@ impl Default for Options {
         Options {
             optimize: true,
             if_conversion: true,
+            superblock: true,
+            profile: None,
             inline_hints: Vec::new(),
             entry: "main".to_owned(),
             entry_args: Vec::new(),
@@ -67,6 +78,14 @@ pub fn default_verify() -> bool {
     VERIFY_BY_DEFAULT.load(Ordering::Relaxed)
 }
 
+/// Accumulates one function's scheduling statistics into the totals.
+fn absorb_sched(total: &mut SchedStats, s: &SchedStats) {
+    total.ops += s.ops;
+    total.bundles += s.bundles;
+    total.slots_filled += s.slots_filled;
+    total.slots_available += s.slots_available;
+}
+
 /// Aggregated per-compilation statistics.
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct CompileStats {
@@ -74,6 +93,8 @@ pub struct CompileStats {
     pub passes: PassStats,
     /// If-conversion statistics (summed over functions).
     pub ifconv: IfConvStats,
+    /// Superblock-formation statistics (summed over functions).
+    pub superblock: SuperblockStats,
     /// Register-allocation statistics (summed over functions).
     pub regalloc: RegAllocStats,
     /// Scheduling statistics (summed over functions).
@@ -207,14 +228,16 @@ impl Compiler {
         let mut stub = self.start_stub(&abi, options, layout.initial_sp())?;
         let stub_layout = finalize_control(&mut stub, &abi);
         let (blocks, s) = schedule_function(&stub, &stub_layout, &self.mdes);
-        stats.sched.ops += s.ops;
-        stats.sched.bundles += s.bundles;
+        absorb_sched(&mut stats.sched, &s);
         if let Some(trace) = &mut trace {
             // The stub is born allocated; only the back-end stages exist.
             trace.functions.push(FunctionTrace {
                 name: stub.name.clone(),
                 post_select: None,
                 post_ifconv: None,
+                post_superblock: None,
+                origin: None,
+                traces: Vec::new(),
                 post_regalloc: None,
                 post_finalize: stub.clone(),
                 layout: stub_layout.clone(),
@@ -240,15 +263,33 @@ impl Compiler {
             stats.regalloc.call_saves += ra.call_saves;
             stats.regalloc.frame_bytes += ra.frame_bytes;
             let post_regalloc = trace.is_some().then(|| mf.clone());
+            // Superblock formation runs on *allocated* code: cloning a
+            // tail of physical registers cannot perturb the allocator,
+            // whereas pre-allocation clones at the end of the block list
+            // would stretch every cloned vreg's linear-scan interval
+            // across the whole function and drown the win in spills.
+            let mut post_superblock = None;
+            let mut origin = None;
+            let mut trace_groups: Vec<Vec<MBlockId>> = Vec::new();
+            if options.superblock && self.mdes.issue_width() >= 2 {
+                if let Some(f) = form_superblocks(&mut mf, options.profile.as_ref()) {
+                    stats.superblock.absorb(f.stats);
+                    post_superblock = trace.is_some().then(|| mf.clone());
+                    origin = trace.is_some().then(|| f.origin.clone());
+                    trace_groups = f.traces;
+                }
+            }
             let fl = finalize_control(&mut mf, &abi);
-            let (blocks, s) = schedule_function(&mf, &fl, &self.mdes);
-            stats.sched.ops += s.ops;
-            stats.sched.bundles += s.bundles;
+            let (blocks, s) = schedule_function_regions(&mf, &fl, &trace_groups, &self.mdes);
+            absorb_sched(&mut stats.sched, &s);
             if let Some(trace) = &mut trace {
                 trace.functions.push(FunctionTrace {
                     name: mf.name.clone(),
                     post_select,
                     post_ifconv,
+                    post_superblock,
+                    origin,
+                    traces: trace_groups.clone(),
                     post_regalloc,
                     post_finalize: mf.clone(),
                     layout: fl.clone(),

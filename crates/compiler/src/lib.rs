@@ -57,6 +57,7 @@ pub mod regalloc;
 pub mod sched;
 pub mod select;
 pub mod suggest;
+pub mod superblock;
 pub mod trace;
 
 pub use driver::{

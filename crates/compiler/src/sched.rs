@@ -18,12 +18,23 @@
 //! Branch operations are constrained to the final cycle of their block.
 //! Memory disambiguation is conservative except for the common
 //! same-base/different-offset case, which is proven independent.
+//!
+//! When superblock formation ran (see [`crate::superblock`]), each trace
+//! is scheduled as **one region**: the internal conditional branches
+//! become *side exits*, and an operation from below a side exit may hoist
+//! above it when doing so is speculation-safe — it is not a store or a
+//! control transfer, it writes nothing live at the exit target, and, if
+//! it is a word load, it can be replaced by the dismissible `LWS` (a
+//! fault on the speculated path must not trap). Bundles then straddle the
+//! former block boundaries; side-exit paths never get slower because
+//! nothing ever moves *down* across an exit.
 
-use crate::mir::{MFunction, MInst, MOp, MSrc};
+use crate::mir::{MBlockId, MFunction, MInst, MOp, MSrc, MTerm};
+use crate::regalloc::Abi;
 use epic_isa::Opcode;
 use epic_isa::{Instruction, Unit};
 use epic_mdes::MachineDescription;
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 
 /// A scheduled basic block: label plus bundles of machine operations.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -63,6 +74,12 @@ pub struct SchedStats {
     pub ops: usize,
     /// Bundles emitted.
     pub bundles: usize,
+    /// Issue slots actually filled (equals `ops`; kept separate so the
+    /// occupancy ratio reads as filled/available).
+    pub slots_filled: usize,
+    /// Issue slots available across every region's span: issue width ×
+    /// scheduled cycles, empty trailing cycles excluded.
+    pub slots_available: usize,
 }
 
 impl SchedStats {
@@ -73,6 +90,18 @@ impl SchedStats {
             0.0
         } else {
             self.ops as f64 / self.bundles as f64
+        }
+    }
+
+    /// Fraction of available issue slots filled across all regions —
+    /// unlike [`SchedStats::ilp`], this charges the cycles where nothing
+    /// could issue (latency gaps, divider shadows) as empty slots.
+    #[must_use]
+    pub fn occupancy(&self) -> f64 {
+        if self.slots_available == 0 {
+            0.0
+        } else {
+            self.slots_filled as f64 / self.slots_available as f64
         }
     }
 }
@@ -91,29 +120,248 @@ pub fn schedule_function(
     layout: &[crate::mir::MBlockId],
     mdes: &MachineDescription,
 ) -> (Vec<ScheduledBlock>, SchedStats) {
+    schedule_function_regions(mfunc, layout, &[], mdes)
+}
+
+/// Schedules a laid-out function with superblock traces as scheduling
+/// regions.
+///
+/// Every trace in `traces` (from [`crate::superblock`]) must appear as a
+/// consecutive run in `layout`; its blocks are scheduled as one
+/// dependence region whose internal branches are side exits. Blocks
+/// outside any trace are scheduled alone, exactly as
+/// [`schedule_function`] does. The returned `ScheduledBlock` for a trace
+/// carries the *head* block's label; interior blocks disappear from the
+/// emitted text (their ops live in the head's bundles), which is safe
+/// because single-entry regions have no interior labels to jump to.
+///
+/// # Panics
+///
+/// Panics when handed a function that still contains call pseudos or
+/// virtual registers (`allocated` unset), or a trace that is not a
+/// consecutive run of `layout` — pipeline-ordering bugs either way.
+pub fn schedule_function_regions(
+    mfunc: &MFunction,
+    layout: &[crate::mir::MBlockId],
+    traces: &[Vec<MBlockId>],
+    mdes: &MachineDescription,
+) -> (Vec<ScheduledBlock>, SchedStats) {
     assert!(mfunc.allocated, "schedule_function needs allocated code");
+    let live_in = if traces.is_empty() {
+        HashMap::new()
+    } else {
+        let abi = Abi::new(mdes.config()).expect("allocated code implies a valid ABI");
+        block_live_in(mfunc, &abi)
+    };
     let mut stats = SchedStats::default();
-    let mut blocks = Vec::with_capacity(layout.len());
-    for &id in layout {
-        let block = mfunc.block(id);
-        let ops: Vec<MOp> = block
-            .insts
-            .iter()
-            .map(|inst| match inst {
-                MInst::Op(op) => op.clone(),
-                MInst::Call { .. } => panic!("call pseudo reached the scheduler"),
-            })
-            .collect();
-        let (bundles, meta) = schedule_block_with_meta(&ops, mdes);
+    let mut blocks = Vec::new();
+    for group in region_groups(layout, traces) {
+        let (ops, exits) = region_ops(mfunc, &group, &live_in);
+        let (bundles, meta) = schedule_ops(&ops, &exits, mdes);
         stats.ops += ops.len();
         stats.bundles += bundles.len();
+        stats.slots_filled += ops.len();
+        stats.slots_available +=
+            mdes.issue_width() * meta.last().map_or(0, |m| m.cycle as usize + 1);
         blocks.push(ScheduledBlock {
-            label: block_label(&mfunc.name, block.id.0),
+            label: block_label(&mfunc.name, group[0].0),
             bundles,
             meta,
         });
     }
     (blocks, stats)
+}
+
+/// Splits the layout into scheduling regions: each trace becomes one
+/// group (asserting it sits consecutively in the layout), every other
+/// block a singleton.
+fn region_groups(layout: &[MBlockId], traces: &[Vec<MBlockId>]) -> Vec<Vec<MBlockId>> {
+    let heads: HashMap<MBlockId, &Vec<MBlockId>> = traces.iter().map(|t| (t[0], t)).collect();
+    let interior: HashSet<MBlockId> = traces.iter().flat_map(|t| t[1..].iter().copied()).collect();
+    let mut groups = Vec::new();
+    let mut i = 0;
+    while i < layout.len() {
+        let b = layout[i];
+        if let Some(trace) = heads.get(&b) {
+            assert!(
+                layout[i..].starts_with(trace),
+                "trace {trace:?} is not consecutive in layout at {i}"
+            );
+            groups.push((*trace).clone());
+            i += trace.len();
+        } else {
+            assert!(
+                !interior.contains(&b),
+                "trace interior block {b:?} reached outside its trace"
+            );
+            groups.push(vec![b]);
+            i += 1;
+        }
+    }
+    groups
+}
+
+/// A side exit inside a scheduling region: the conditional branch at op
+/// index `op` leaves the trace, and anything hoisted above it must not
+/// write a register in `live` (the exit target's live-ins) or touch
+/// memory non-dismissibly.
+struct RegionExit {
+    op: usize,
+    live: HashSet<Res>,
+}
+
+/// Concatenates a region's ops and derives its side exits. Interior
+/// blocks must fall through (their lowered terminator is at most one
+/// conditional branch, which becomes the side exit).
+fn region_ops(
+    mfunc: &MFunction,
+    group: &[MBlockId],
+    live_in: &HashMap<MBlockId, HashSet<Res>>,
+) -> (Vec<MOp>, Vec<RegionExit>) {
+    let mut ops: Vec<MOp> = Vec::new();
+    let mut exits: Vec<RegionExit> = Vec::new();
+    for (k, &id) in group.iter().enumerate() {
+        let block = mfunc.block(id);
+        for inst in &block.insts {
+            match inst {
+                MInst::Op(op) => ops.push(op.clone()),
+                MInst::Call { .. } => panic!("call pseudo reached the scheduler"),
+            }
+        }
+        if k + 1 == group.len() {
+            break; // the last block's branches are barriers, not exits
+        }
+        match &block.term {
+            MTerm::Jump(t) => debug_assert_eq!(*t, group[k + 1], "interior must fall through"),
+            MTerm::CondJump {
+                on_true, on_false, ..
+            } => {
+                let next = group[k + 1];
+                debug_assert!(*on_true == next || *on_false == next);
+                let target = if *on_false == next {
+                    *on_true
+                } else {
+                    *on_false
+                };
+                debug_assert!(
+                    matches!(
+                        ops.last().map(|o| o.opcode),
+                        Some(Opcode::Brct | Opcode::Brcf)
+                    ),
+                    "interior CondJump must lower to one conditional branch"
+                );
+                exits.push(RegionExit {
+                    op: ops.len() - 1,
+                    live: live_in.get(&target).cloned().unwrap_or_default(),
+                });
+            }
+            MTerm::Ret(_) | MTerm::Halt => {
+                debug_assert!(false, "interior trace block cannot leave the function")
+            }
+        }
+    }
+    (ops, exits)
+}
+
+/// A trackable register resource: `(kind, number)` with kind 0 = GPR,
+/// 1 = predicate, 2 = BTR.
+type Res = (u8, u32);
+
+const GPR: u8 = 0;
+const PRED: u8 = 1;
+const BTR: u8 = 2;
+
+fn op_reads(op: &MOp) -> Vec<Res> {
+    let mut reads: Vec<Res> = op.gpr_uses().into_iter().map(|r| (GPR, r)).collect();
+    reads.extend(op.pred_uses().into_iter().map(|p| (PRED, p)));
+    if let Some(b) = op.btr_use() {
+        reads.push((BTR, u32::from(b)));
+    }
+    reads
+}
+
+fn op_writes(op: &MOp) -> Vec<Res> {
+    let mut writes: Vec<Res> = Vec::new();
+    if let Some(r) = op.gpr_def() {
+        writes.push((GPR, r));
+    }
+    writes.extend(op.pred_defs().into_iter().map(|p| (PRED, p)));
+    if let Some(b) = op.btr_def() {
+        writes.push((BTR, u32::from(b)));
+    }
+    writes
+}
+
+/// Per-block live-in sets over physical registers, by backward dataflow
+/// on the post-finalize CFG. `BRL` conservatively uses every argument
+/// register plus the stack pointer (the callee's interface); `Ret`
+/// blocks keep the return value and stack pointer live out of the
+/// function. Guarded definitions do not kill (a false guard preserves
+/// the old value).
+fn block_live_in(mfunc: &MFunction, abi: &Abi) -> HashMap<MBlockId, HashSet<Res>> {
+    let mut live_in: HashMap<MBlockId, HashSet<Res>> = mfunc
+        .blocks
+        .iter()
+        .map(|b| (b.id, HashSet::new()))
+        .collect();
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for block in mfunc.blocks.iter().rev() {
+            let mut live: HashSet<Res> = HashSet::new();
+            match &block.term {
+                MTerm::Ret(_) => {
+                    live.insert((GPR, abi.ret));
+                    live.insert((GPR, abi.sp));
+                }
+                MTerm::Halt => {}
+                _ => {
+                    for s in block.term.successors() {
+                        if let Some(succ_in) = live_in.get(&s) {
+                            live.extend(succ_in.iter().copied());
+                        }
+                    }
+                }
+            }
+            for inst in block.insts.iter().rev() {
+                let MInst::Op(op) = inst else {
+                    panic!("call pseudo reached the scheduler")
+                };
+                if !op.is_conditional() {
+                    for w in op_writes(op) {
+                        live.remove(&w);
+                    }
+                }
+                live.extend(op_reads(op));
+                if op.opcode == Opcode::Brl {
+                    live.extend(abi.args.iter().map(|&a| (GPR, a)));
+                    live.insert((GPR, abi.sp));
+                }
+            }
+            let entry = live_in.get_mut(&block.id).expect("all blocks seeded");
+            if *entry != live {
+                *entry = live;
+                changed = true;
+            }
+        }
+    }
+    live_in
+}
+
+/// Whether `op` may hoist above a side exit whose target's live-ins are
+/// `live`: no stores (memory state must be exit-clean), no control, the
+/// only speculable load is the word load (rewritten to dismissible
+/// `LWS` after placement), and nothing live at the target may be
+/// overwritten — not even conditionally, since a true guard on the
+/// not-taken path still clobbers.
+fn may_speculate(op: &MOp, live: &HashSet<Res>) -> bool {
+    if op.opcode.is_store() {
+        return false;
+    }
+    if op.opcode.is_load() && !matches!(op.opcode, Opcode::Lw | Opcode::LwS) {
+        return false;
+    }
+    op_writes(op).iter().all(|w| !live.contains(w))
 }
 
 /// The label naming scheme shared with emission.
@@ -148,13 +396,20 @@ struct MemRef {
 /// the per-bundle metadata (test convenience).
 #[cfg(test)]
 fn schedule_block(ops: &[MOp], mdes: &MachineDescription) -> Vec<Vec<MOp>> {
-    schedule_block_with_meta(ops, mdes).0
+    schedule_ops(ops, &[], mdes).0
 }
 
-/// Builds the dependence DAG and list-schedules one block, returning
+/// Builds the dependence DAG and list-schedules one region, returning
 /// the bundles plus the scheduler's own per-bundle accounting.
-fn schedule_block_with_meta(
+///
+/// With an empty `exits` this is exactly single-block scheduling: every
+/// branch is a barrier nothing may cross. Each [`RegionExit`] relaxes
+/// the barrier for its branch — speculation-safe ops from below may
+/// share its cycle or move above it, and any word load that does so is
+/// rewritten to the dismissible `LWS` after placement.
+fn schedule_ops(
     ops: &[MOp],
+    exits: &[RegionExit],
     mdes: &MachineDescription,
 ) -> (Vec<Vec<MOp>>, Vec<BundleMeta>) {
     let n = ops.len();
@@ -187,34 +442,43 @@ fn schedule_block_with_meta(
         write_count: HashMap<(u8, u32), u32>, // versions for mem disambiguation
     }
     let mut track = ResTrack::default();
-    const GPR: u8 = 0;
-    const PRED: u8 = 1;
-    const BTR: u8 = 2;
 
+    let exit_live: HashMap<usize, &HashSet<Res>> = exits.iter().map(|e| (e.op, &e.live)).collect();
+    // For each op, the side exits it is *allowed* to cross. Placement
+    // uses this to keep speculation fill-only: an op goes above a
+    // pending exit only into issue slots no non-speculative ready op
+    // wants, so wasted work on the taken path never displaces useful
+    // work on the fall-through path.
+    let mut spec_across: Vec<Vec<usize>> = vec![Vec::new(); n];
     let mut mem: Vec<MemRef> = Vec::new();
-    let mut last_branch: Option<usize> = None;
+    // Branches an op may not cross at all (calls, unconditional
+    // branches, the region's final control chain) vs. open side exits
+    // it may cross when speculation-safe.
+    let mut barrier: Option<usize> = None;
+    let mut open_exits: Vec<usize> = Vec::new();
 
     for (i, op) in ops.iter().enumerate() {
-        // Nothing moves across a control transfer: `BRL` call sites have
-        // register restores *after* them in program order that must stay
-        // after (the callee returns to the next bundle).
-        if let Some(b) = last_branch {
+        let is_ctl = op.opcode.is_branch() || op.opcode == Opcode::Halt;
+        // Nothing moves across a barrier control transfer: `BRL` call
+        // sites have register restores *after* them in program order
+        // that must stay after (the callee returns to the next bundle).
+        // Control ops get their (latency-1) edges from *every* earlier
+        // branch in the all-predecessors loop below instead.
+        if let Some(b) = barrier {
             add_edge(&mut succs, &mut pred_count, b, i, 1);
         }
+        if !is_ctl {
+            for &e in &open_exits {
+                if may_speculate(op, exit_live[&e]) {
+                    spec_across[i].push(e);
+                } else {
+                    add_edge(&mut succs, &mut pred_count, e, i, 1);
+                }
+            }
+        }
         let latency = mdes.latency(op.opcode);
-        let mut reads: Vec<(u8, u32)> = op.gpr_uses().into_iter().map(|r| (GPR, r)).collect();
-        reads.extend(op.pred_uses().into_iter().map(|p| (PRED, p)));
-        if let Some(b) = op.btr_use() {
-            reads.push((BTR, u32::from(b)));
-        }
-        let mut writes: Vec<(u8, u32)> = Vec::new();
-        if let Some(r) = op.gpr_def() {
-            writes.push((GPR, r));
-        }
-        writes.extend(op.pred_defs().into_iter().map(|p| (PRED, p)));
-        if let Some(b) = op.btr_def() {
-            writes.push((BTR, u32::from(b)));
-        }
+        let reads: Vec<Res> = op_reads(op);
+        let writes: Vec<Res> = op_writes(op);
         // A guarded (conditional) definition merges with the previous
         // value: order it after prior writers *and* treat it as a reader
         // so later writers order after it (handled by WAW/WAR below).
@@ -271,8 +535,9 @@ fn schedule_block_with_meta(
         }
 
         // Branch ordering: every earlier op must not be after the branch;
-        // branches chain among themselves and come last.
-        if op.opcode.is_branch() || op.opcode == Opcode::Halt {
+        // branches chain among themselves and come last. A side exit
+        // leaves the door open behind it; anything else slams it.
+        if is_ctl {
             for (j, earlier) in ops.iter().enumerate().take(i) {
                 let lat = if earlier.opcode.is_branch() || earlier.opcode == Opcode::Halt {
                     1
@@ -281,7 +546,12 @@ fn schedule_block_with_meta(
                 };
                 add_edge(&mut succs, &mut pred_count, j, i, lat);
             }
-            last_branch = Some(i);
+            if exit_live.contains_key(&i) {
+                open_exits.push(i);
+            } else {
+                barrier = Some(i);
+                open_exits.clear();
+            }
         }
 
         // Update trackers.
@@ -326,6 +596,9 @@ fn schedule_block_with_meta(
     let mut meta: Vec<BundleMeta> = Vec::new();
     let mut cycle: u32 = 0;
     let mut done = 0usize;
+    // Final placement of each op, for the dismissible-load rewrite.
+    let mut cycle_of = vec![0u32; n];
+    let mut slot_of = vec![(0usize, 0usize); n];
     // Per-ALU-instance busy-until cycles (the blocking divider).
     let mut alu_busy: Vec<u32> = vec![0; mdes.unit_count(Unit::Alu)];
 
@@ -353,12 +626,21 @@ fn schedule_block_with_meta(
         // Keep packing until nothing more fits; accepting a node can make
         // its zero-latency successors ready within the same cycle.
         loop {
+            // Placing an op now is speculative when any exit it may
+            // cross has not issued in a strictly earlier cycle —
+            // speculative candidates only fill slots left over once
+            // every non-speculative ready op has been considered.
+            let spec_now = |i: usize| {
+                spec_across[i]
+                    .iter()
+                    .any(|&e| !scheduled[e] || cycle_of[e] >= cycle)
+            };
             let mut candidates: Vec<usize> = ready
                 .iter()
                 .copied()
                 .filter(|&i| !scheduled[i] && !bundle.contains(&i))
                 .collect();
-            candidates.sort_by_key(|&i| (std::cmp::Reverse(priority[i]), i));
+            candidates.sort_by_key(|&i| (spec_now(i), std::cmp::Reverse(priority[i]), i));
 
             let mut accepted = None;
             for &i in &candidates {
@@ -398,6 +680,7 @@ fn schedule_block_with_meta(
             let Some(i) = accepted else { break };
             bundle.push(i);
             scheduled[i] = true;
+            cycle_of[i] = cycle; // final; the bundle-close loop only assigns slots
             done += 1;
             let occupancy = mdes.occupancy(ops[i].opcode);
             if ops[i].opcode.unit() == Some(Unit::Alu) && occupancy > 1 {
@@ -419,6 +702,16 @@ fn schedule_block_with_meta(
 
         if !bundle.is_empty() {
             ready.retain(|&i| !scheduled[i]);
+            // Control transfers go last in the bundle (stable, so
+            // blocks without side exits keep their historical order):
+            // the verifier's VER009 treats any op after a branch slot
+            // as dead, and a hoisted op sharing a side exit's cycle
+            // must sit before it.
+            let mut bundle = bundle;
+            bundle.sort_by_key(|&i| ops[i].opcode.is_branch() || ops[i].opcode == Opcode::Halt);
+            for (slot, &i) in bundle.iter().enumerate() {
+                slot_of[i] = (bundles.len(), slot);
+            }
             let packed: Vec<MOp> = bundle.iter().map(|&i| ops[i].clone()).collect();
             // The shared static cost model prices the finished bundle;
             // `port_ops` accumulated during packing must agree (the
@@ -433,6 +726,20 @@ fn schedule_block_with_meta(
             bundles.push(packed);
         }
         cycle += 1;
+    }
+
+    // Any word load that crossed a side exit (scheduled at or before the
+    // exit's cycle despite following it in program order) executes
+    // speculatively on the exit path: rewrite it to the dismissible LWS,
+    // which returns 0 instead of faulting (HPL-PD's recovery-free
+    // speculation; the paper's ISA carries LWS for exactly this).
+    for exit in exits {
+        for i in exit.op + 1..n {
+            if ops[i].opcode == Opcode::Lw && cycle_of[i] <= cycle_of[exit.op] {
+                let (b, s) = slot_of[i];
+                bundles[b][s].opcode = Opcode::LwS;
+            }
+        }
     }
     (bundles, meta)
 }
@@ -638,6 +945,117 @@ mod tests {
             "aliasing load must stay after store"
         );
         let _ = s2;
+    }
+
+    fn store(base: u32, offset: i64, value: u32) -> MOp {
+        let mut op = MOp::bare(Opcode::Sw);
+        op.store_value = Some(value);
+        op.src1 = MSrc::Gpr(base);
+        op.src2 = MSrc::Lit(offset);
+        op
+    }
+
+    fn load(dest: u32, base: u32, offset: MSrc) -> MOp {
+        let mut op = MOp::bare(Opcode::Lw);
+        op.dest1 = MDest::Gpr(dest);
+        op.src1 = MSrc::Gpr(base);
+        op.src2 = offset;
+        op
+    }
+
+    #[test]
+    fn same_base_disjoint_offset_load_hoists_above_store() {
+        // store [r20+0]; load [r20+4] feeding a two-add chain. The
+        // accesses are provably disjoint, so the critical-path load
+        // issues first — the positive disambiguation case.
+        let ops = vec![
+            store(20, 0, 10),
+            load(12, 20, MSrc::Lit(4)),
+            add(13, 12, 12),
+            add(14, 13, 13),
+        ];
+        let bundles = schedule_block(&ops, &mdes(4));
+        assert!(
+            bundles[0][0].opcode.is_load(),
+            "disjoint load should lead: {bundles:?}"
+        );
+    }
+
+    #[test]
+    fn different_bases_stay_conservative_even_when_values_match() {
+        // r20 and r21 may well hold the same address at run time; the
+        // scheduler cannot prove otherwise from register names, so the
+        // load must stay behind the store despite its longer path.
+        let ops = vec![
+            store(20, 0, 10),
+            load(12, 21, MSrc::Lit(0)),
+            add(13, 12, 12),
+            add(14, 13, 13),
+        ];
+        let bundles = schedule_block(&ops, &mdes(4));
+        assert!(
+            bundles[0][0].opcode.is_store(),
+            "different-base load must not reorder: {bundles:?}"
+        );
+    }
+
+    #[test]
+    fn partially_overlapping_ranges_stay_ordered() {
+        // Word store at [r20+0] covers bytes 0..4; a halfword load at
+        // [r20+2] overlaps it, so the interval arithmetic must keep the
+        // order even though the offsets differ.
+        let mut lh = load(12, 20, MSrc::Lit(2));
+        lh.opcode = Opcode::Lh;
+        let ops = vec![store(20, 0, 10), lh, add(13, 12, 12), add(14, 13, 13)];
+        let bundles = schedule_block(&ops, &mdes(4));
+        assert!(
+            bundles[0][0].opcode.is_store(),
+            "overlapping halfword must not reorder: {bundles:?}"
+        );
+    }
+
+    #[test]
+    fn register_offset_defeats_disambiguation() {
+        // A register offset has no compile-time value: even with the
+        // same base the pair must stay conservative.
+        let ops = vec![
+            store(20, 0, 10),
+            load(12, 20, MSrc::Gpr(22)),
+            add(13, 12, 12),
+            add(14, 13, 13),
+        ];
+        let bundles = schedule_block(&ops, &mdes(4));
+        assert!(
+            bundles[0][0].opcode.is_store(),
+            "register-offset load must not reorder: {bundles:?}"
+        );
+    }
+
+    #[test]
+    fn base_redefinition_between_accesses_stays_conservative() {
+        // store [r20+0]; r20 changes; load [r20+0]. The equal literal
+        // offsets are against *different* base values, so the version
+        // tag must block the disjointness proof and keep the order.
+        let ops = vec![
+            store(20, 0, 10),
+            add(20, 20, 20),
+            load(12, 20, MSrc::Lit(4)),
+            add(13, 12, 12),
+            add(14, 13, 13),
+        ];
+        let bundles = schedule_block(&ops, &mdes(4));
+        let store_cycle = bundles
+            .iter()
+            .position(|b| b.iter().any(|o| o.opcode.is_store()))
+            .expect("store scheduled");
+        let load_cycle = bundles
+            .iter()
+            .position(|b| b.iter().any(|o| o.opcode.is_load()))
+            .expect("load scheduled");
+        assert!(
+            store_cycle < load_cycle,
+            "redefined-base load must stay after the store: {bundles:?}"
+        );
     }
 
     #[test]

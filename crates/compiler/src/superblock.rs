@@ -1,0 +1,854 @@
+//! Profile-guided superblock formation (the IMPACT-signature pass).
+//!
+//! A *superblock* is a single-entry multiple-exit trace of basic blocks:
+//! control enters only at the head, may leave early through the internal
+//! conditional branches (now *side exits*), and otherwise falls through
+//! block to block. The scheduler treats the whole trace as one
+//! dependence region (see [`crate::sched::schedule_function_regions`]),
+//! so bundles straddle the former block boundaries and issue slots
+//! around branches stop going empty — the region-ILP move Trimaran's
+//! IMPACT/elcor pipeline performs for the paper's toolchain.
+//!
+//! Formation runs after register allocation, before control
+//! finalisation — cloning allocated code cannot perturb the allocator's
+//! linear-scan intervals (clones land at the end of the block list,
+//! which would otherwise stretch every cloned virtual register's
+//! interval across the whole function and drown the win in spills):
+//!
+//! 1. **Weights.** Each block gets an execution weight, either from a
+//!    [`ProfileData`] (per-block issue counts of an instrumented
+//!    training run, keyed by the emitted block label) or, when no
+//!    profile is available, from a static loop-nesting heuristic
+//!    (depth *d* weighs `10^d`).
+//! 2. **Trace selection.** Hot traces grow along *existing layout
+//!    adjacency*: a block joins the trace only if it is the next
+//!    reachable block by id — i.e. already the fall-through — and the
+//!    profile says the fall-through edge dominates its sibling. Loop
+//!    headers may only start a trace (back edges never extend one), the
+//!    entry block never joins mid-trace, and no trace member may branch
+//!    back into the trace's interior. Restricting growth to layout
+//!    order means formation never reorders existing blocks, so every
+//!    fall-through the old layout enjoyed survives and cold paths pay
+//!    no new branches.
+//! 3. **Loop unrolling.** A trace whose tail branches back to its head
+//!    is a hot loop body. When the profile says the loop iterates (the
+//!    header's weight dominates its external entries), the whole trace
+//!    is cloned [`MAX_UNROLL_FACTOR`] times into one chain appended
+//!    after the original blocks: copy *c*'s back edge is retargeted to
+//!    copy *c*+1's head, the last copy loops to the first, and every
+//!    external predecessor of the header enters the chain instead. The
+//!    chain schedules as a single region, so iterations overlap in the
+//!    issue slots and the taken back edge (one pipeline flush each
+//!    trip) is paid once per *K* iterations instead of every one. The
+//!    original loop body goes unreachable and drops out of the layout.
+//! 4. **Tail duplication.** A side *entry* into the trace interior
+//!    would break the single-entry property, so the tail from the first
+//!    side-entered block on is cloned and the off-trace predecessors
+//!    retargeted to the clone (placed after all original blocks). When
+//!    the tail is too big ([`MAX_DUPLICATED_OPS`]) or a side
+//!    predecessor reaches the trace by falling through (retargeting it
+//!    would materialise a branch), the trace is truncated instead.
+//!
+//! The pass returns an *origin witness*: for every post-formation block
+//! the id of the pre-formation block it copies. `epic-tv`'s TV010 check
+//! replays the witness to prove the transformed CFG is a refinement —
+//! block bodies are bit-identical to their origins and every terminator
+//! edge maps back through the witness.
+
+use crate::mir::{MBlockId, MFunction, MTerm};
+use std::collections::{HashMap, HashSet};
+
+/// Block execution weights from an instrumented training run.
+///
+/// Keys are emitted block labels (`fn_<name>` / `<name>_bb<id>`, see
+/// [`crate::sched::block_label`]); values are execution counts — how
+/// often the block's first bundle issued. `epic-core` builds one from a
+/// [`ProfileSink`](../../epic_sim/struct.ProfileSink.html) run plus the
+/// assembler's label table.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ProfileData {
+    weights: HashMap<String, u64>,
+}
+
+impl ProfileData {
+    /// An empty profile (formation falls back to the static heuristic).
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records the execution count of one block label.
+    pub fn record(&mut self, label: impl Into<String>, count: u64) {
+        self.weights.insert(label.into(), count);
+    }
+
+    /// The recorded count for a label, if any.
+    #[must_use]
+    pub fn weight(&self, label: &str) -> Option<u64> {
+        self.weights.get(label).copied()
+    }
+
+    /// Whether any counts were recorded.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.weights.is_empty()
+    }
+}
+
+/// Per-function formation statistics, summed into
+/// [`crate::CompileStats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SuperblockStats {
+    /// Superblocks formed (traces of ≥ 2 blocks).
+    pub traces: usize,
+    /// Blocks merged into those traces (heads included).
+    pub trace_blocks: usize,
+    /// Blocks cloned by tail duplication.
+    pub duplicated_blocks: usize,
+    /// Instructions in those clones.
+    pub duplicated_ops: usize,
+    /// Hot loops unrolled into a single chained region.
+    pub unrolled_loops: usize,
+    /// Blocks cloned by unrolling (every copy of the loop body).
+    pub unrolled_blocks: usize,
+}
+
+impl SuperblockStats {
+    /// Accumulates another function's counts.
+    pub fn absorb(&mut self, other: SuperblockStats) {
+        self.traces += other.traces;
+        self.trace_blocks += other.trace_blocks;
+        self.duplicated_blocks += other.duplicated_blocks;
+        self.duplicated_ops += other.duplicated_ops;
+        self.unrolled_loops += other.unrolled_loops;
+        self.unrolled_blocks += other.unrolled_blocks;
+    }
+}
+
+/// The result of [`form_superblocks`] on one function.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Formation {
+    /// Each formed trace as consecutive block ids, head first.
+    pub traces: Vec<Vec<MBlockId>>,
+    /// For every post-formation block, the pre-formation block it
+    /// copies (identity for original blocks, the cloned id for tail
+    /// duplicates). TV010 replays this witness.
+    pub origin: Vec<u32>,
+    /// Formation statistics.
+    pub stats: SuperblockStats,
+}
+
+/// Longest trace formation will grow.
+pub const MAX_TRACE_BLOCKS: usize = 8;
+/// Most instructions tail duplication may clone per trace; larger tails
+/// truncate the trace instead.
+pub const MAX_DUPLICATED_OPS: usize = 24;
+/// Most copies of a loop body unrolling will chain.
+pub const MAX_UNROLL_FACTOR: usize = 8;
+/// Budget for the whole unrolled chain: the factor shrinks until
+/// `factor * body_ops` fits, and bodies too big for even two copies are
+/// left rolled.
+pub const MAX_UNROLL_OPS: usize = 256;
+/// A loop unrolls only when the header's weight is at least this many
+/// times the combined weight of its external predecessors — a crude
+/// trip-count floor that keeps cold or once-through loops rolled (the
+/// retargeted entry edge costs a taken branch, so low-trip loops would
+/// lose).
+pub const UNROLL_MIN_TRIPS: u64 = 4;
+
+/// Forms superblocks in `mfunc`, mutating it in place.
+///
+/// Returns `None` — and leaves the function untouched — when no trace
+/// of at least two blocks forms. `profile` weights win over the static
+/// heuristic whenever they cover at least one of the function's blocks.
+pub fn form_superblocks(mfunc: &mut MFunction, profile: Option<&ProfileData>) -> Option<Formation> {
+    let plan = trace_plan(mfunc, profile);
+    let reachable = reachable_blocks(mfunc);
+    let (_, static_weights) = loop_analysis(mfunc, &reachable);
+    let weights = profile
+        .and_then(|p| profile_weights(mfunc, p))
+        .unwrap_or(static_weights);
+    apply_plan(mfunc, &plan, &weights)
+}
+
+/// Reachability over terminator successors from the entry block.
+fn reachable_blocks(mfunc: &MFunction) -> Vec<bool> {
+    let n = mfunc.blocks.len();
+    let mut seen = vec![false; n];
+    let mut stack = vec![0usize];
+    seen[0] = true;
+    while let Some(b) = stack.pop() {
+        for s in mfunc.blocks[b].term.successors() {
+            let s = s.0 as usize;
+            if !seen[s] {
+                seen[s] = true;
+                stack.push(s);
+            }
+        }
+    }
+    seen
+}
+
+/// Back-edge targets (natural-loop headers) and a static block weight:
+/// `10^depth`, where depth counts the natural loops containing the
+/// block. Used when no profile covers the function.
+fn loop_analysis(mfunc: &MFunction, reachable: &[bool]) -> (HashSet<usize>, Vec<u64>) {
+    let n = mfunc.blocks.len();
+    // Iterative DFS with an explicit on-stack marker to find back edges.
+    let mut state = vec![0u8; n]; // 0 unvisited, 1 on stack, 2 done
+    let mut back_edges: Vec<(usize, usize)> = Vec::new();
+    let mut stack: Vec<(usize, usize)> = vec![(0, 0)];
+    state[0] = 1;
+    while let Some(&mut (b, ref mut next)) = stack.last_mut() {
+        let succs = mfunc.blocks[b].term.successors();
+        if *next < succs.len() {
+            let s = succs[*next].0 as usize;
+            *next += 1;
+            match state[s] {
+                0 => {
+                    state[s] = 1;
+                    stack.push((s, 0));
+                }
+                1 => back_edges.push((b, s)),
+                _ => {}
+            }
+        } else {
+            state[b] = 2;
+            stack.pop();
+        }
+    }
+
+    let mut preds: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for (b, block) in mfunc.blocks.iter().enumerate() {
+        if !reachable[b] {
+            continue;
+        }
+        for s in block.term.successors() {
+            preds[s.0 as usize].push(b);
+        }
+    }
+
+    // Natural loop of header h = union over back edges (t, h) of blocks
+    // reaching t without passing h.
+    let headers: HashSet<usize> = back_edges.iter().map(|&(_, h)| h).collect();
+    let mut depth = vec![0u32; n];
+    for &h in &headers {
+        let mut members: HashSet<usize> = HashSet::from([h]);
+        let mut work: Vec<usize> = back_edges
+            .iter()
+            .filter(|&&(_, hdr)| hdr == h)
+            .map(|&(t, _)| t)
+            .collect();
+        while let Some(x) = work.pop() {
+            if members.insert(x) {
+                work.extend(preds[x].iter().copied());
+            }
+        }
+        for &m in &members {
+            depth[m] += 1;
+        }
+    }
+
+    let weights = depth
+        .iter()
+        .map(|&d| 10u64.saturating_pow(d.min(9)))
+        .collect();
+    (headers, weights)
+}
+
+/// Per-block weights from a profile, if it covers this function at all.
+fn profile_weights(mfunc: &MFunction, profile: &ProfileData) -> Option<Vec<u64>> {
+    let weights: Vec<u64> = (0..mfunc.blocks.len())
+        .map(|b| {
+            profile
+                .weight(&crate::sched::block_label(&mfunc.name, b as u32))
+                .unwrap_or(0)
+        })
+        .collect();
+    weights.iter().any(|&w| w > 0).then_some(weights)
+}
+
+/// Selects hot traces without mutating the function. Public so that
+/// `epic-prof`'s PRF001 diagnostic can name the trace a hot block would
+/// join (see [`crate::suggest::superblock_hint`]). A single-block
+/// entry in the plan is a hot self-loop: it only becomes a superblock
+/// if unrolling chains copies of it.
+#[must_use]
+pub fn trace_plan(mfunc: &MFunction, profile: Option<&ProfileData>) -> Vec<Vec<MBlockId>> {
+    let n = mfunc.blocks.len();
+    if n < 2 {
+        return Vec::new();
+    }
+    let reachable = reachable_blocks(mfunc);
+    let (headers, static_weights) = loop_analysis(mfunc, &reachable);
+    let weights = profile
+        .and_then(|p| profile_weights(mfunc, p))
+        .unwrap_or(static_weights);
+
+    // The next reachable block by id: the block that will sit directly
+    // below `b` in the final layout (finalize_control lays reachable
+    // blocks out in id order).
+    let layout_next = |b: usize| -> Option<usize> { (b + 1..n).find(|&x| reachable[x]) };
+
+    let mut claimed = vec![false; n];
+    let mut seeds: Vec<usize> = (0..n).filter(|&b| reachable[b] && weights[b] > 0).collect();
+    seeds.sort_by_key(|&b| (std::cmp::Reverse(weights[b]), b));
+
+    let mut traces: Vec<Vec<MBlockId>> = Vec::new();
+    for seed in seeds {
+        if claimed[seed] {
+            continue;
+        }
+        let mut trace = vec![seed];
+        claimed[seed] = true;
+        while trace.len() < MAX_TRACE_BLOCKS {
+            let cur = *trace.last().expect("trace is non-empty");
+            let Some(next) = layout_next(cur) else { break };
+            // Only the existing fall-through may extend the trace, and
+            // only when the terminator actually reaches it and the
+            // weights say the fall-through edge dominates.
+            let eligible = match &mfunc.blocks[cur].term {
+                MTerm::Jump(t) => t.0 as usize == next,
+                MTerm::CondJump {
+                    on_true, on_false, ..
+                } => {
+                    let (t, f) = (on_true.0 as usize, on_false.0 as usize);
+                    let other = if t == next {
+                        f
+                    } else if f == next {
+                        t
+                    } else {
+                        // Neither arm falls through; the trace ends.
+                        break;
+                    };
+                    other == next || weights[next] > weights[other]
+                }
+                MTerm::Ret(_) | MTerm::Halt => false,
+            };
+            if !eligible
+                || next == 0
+                || claimed[next]
+                || headers.contains(&next)
+                || 2 * weights[next] < weights[cur]
+            {
+                break;
+            }
+            // No trace member may branch into the interior (the head is
+            // fine: that is the superblock's entry), and no earlier
+            // member may already target `next` — both would recreate a
+            // side entry from inside the trace.
+            let next_succs = mfunc.blocks[next].term.successors();
+            if next_succs
+                .iter()
+                .any(|s| trace[1..].contains(&(s.0 as usize)))
+            {
+                break;
+            }
+            if trace[..trace.len() - 1].iter().any(|&t| {
+                mfunc.blocks[t]
+                    .term
+                    .successors()
+                    .contains(&MBlockId(next as u32))
+            }) {
+                break;
+            }
+            trace.push(next);
+            claimed[next] = true;
+        }
+        if trace.len() >= 2 {
+            traces.push(trace.into_iter().map(|b| MBlockId(b as u32)).collect());
+        } else if mfunc.blocks[seed]
+            .term
+            .successors()
+            .contains(&MBlockId(seed as u32))
+        {
+            // A single-block self-loop cannot grow, but unrolling can
+            // still chain copies of it into a superblock.
+            traces.push(vec![MBlockId(seed as u32)]);
+        } else {
+            claimed[seed] = false; // a failed head may still join a later trace
+        }
+    }
+    traces
+}
+
+/// Replaces every successor equal to `old` with `new`.
+fn retarget(term: &mut MTerm, old: MBlockId, new: MBlockId) {
+    match term {
+        MTerm::Jump(t) => {
+            if *t == old {
+                *t = new;
+            }
+        }
+        MTerm::CondJump {
+            on_true, on_false, ..
+        } => {
+            if *on_true == old {
+                *on_true = new;
+            }
+            if *on_false == old {
+                *on_false = new;
+            }
+        }
+        MTerm::Ret(_) | MTerm::Halt => {}
+    }
+}
+
+/// Unrolls a loop trace (tail branches back to the head) into a chain
+/// of `K` cloned copies appended after all existing blocks, retargeting
+/// the external predecessors of the head into the chain. Returns the
+/// chain (the new superblock) or `None` when the trace is not an
+/// unrollable hot loop. Original blocks are never modified except for
+/// the retargeted entry edges, so the origin witness stays a
+/// refinement.
+fn try_unroll(
+    mfunc: &mut MFunction,
+    trace: &[MBlockId],
+    weights: &[u64],
+    origin: &mut Vec<u32>,
+    stats: &mut SuperblockStats,
+) -> Option<Vec<MBlockId>> {
+    let head = trace[0];
+    if head.0 == 0 {
+        return None; // execution enters at block 0; it cannot relocate
+    }
+    let tail = *trace.last().expect("trace is non-empty");
+    if !mfunc.block(tail).term.successors().contains(&head) {
+        return None; // not a loop
+    }
+    // Only the tail may take the back edge: a mid-trace branch to the
+    // head would give interior copies a second predecessor.
+    if trace[..trace.len() - 1]
+        .iter()
+        .any(|&b| mfunc.block(b).term.successors().contains(&head))
+    {
+        return None;
+    }
+    let weight_of = |b: MBlockId| weights.get(b.0 as usize).copied().unwrap_or(0);
+    let reachable = reachable_blocks(mfunc);
+    let entry_preds: Vec<MBlockId> = mfunc
+        .blocks
+        .iter()
+        .filter(|b| reachable[b.id.0 as usize] && !trace.contains(&b.id))
+        .filter(|b| b.term.successors().contains(&head))
+        .map(|b| b.id)
+        .collect();
+    if entry_preds.is_empty() {
+        return None; // head is only side-entered; the chain would be dead
+    }
+    let entry_weight: u64 = entry_preds.iter().map(|&p| weight_of(p)).sum();
+    if weight_of(head) < UNROLL_MIN_TRIPS * entry_weight.max(1) {
+        return None; // too few trips to amortise the entry branch
+    }
+    let body_ops: usize = trace.iter().map(|&b| mfunc.block(b).insts.len()).sum();
+    let factor = MAX_UNROLL_FACTOR.min(MAX_UNROLL_OPS / body_ops.max(1));
+    if factor < 2 {
+        return None;
+    }
+
+    let first_clone = mfunc.blocks.len() as u32;
+    let mut chain: Vec<MBlockId> = Vec::with_capacity(factor * trace.len());
+    for copy in 0..factor {
+        for &b in trace {
+            let new_id = MBlockId(mfunc.blocks.len() as u32);
+            let mut clone = mfunc.block(b).clone();
+            clone.id = new_id;
+            stats.unrolled_blocks += 1;
+            mfunc.blocks.push(clone);
+            origin.push(b.0);
+            chain.push(new_id);
+        }
+        // Interior fall-throughs stay within this copy.
+        let base = copy * trace.len();
+        for (j, w) in trace.windows(2).enumerate() {
+            let this = chain[base + j];
+            retarget(
+                &mut mfunc.blocks[this.0 as usize].term,
+                w[1],
+                chain[base + j + 1],
+            );
+        }
+    }
+    // Chain the back edges: copy c falls into copy c+1's head, and the
+    // last copy loops to the first — one taken branch per `factor`
+    // iterations.
+    for copy in 0..factor {
+        let copy_tail = chain[copy * trace.len() + trace.len() - 1];
+        let next_head = chain[((copy + 1) % factor) * trace.len()];
+        retarget(
+            &mut mfunc.blocks[copy_tail.0 as usize].term,
+            head,
+            next_head,
+        );
+    }
+    // Every pre-existing block outside the trace now enters the chain
+    // instead of the original head, which goes unreachable (along with
+    // the rest of the original body when it has no side entries).
+    for p in 0..first_clone as usize {
+        if !trace.contains(&MBlockId(p as u32)) {
+            retarget(&mut mfunc.blocks[p].term, head, chain[0]);
+        }
+    }
+    stats.unrolled_loops += 1;
+    Some(chain)
+}
+
+/// Applies a trace plan: unrolls hot loops, tail-duplicates
+/// side-entered interiors (or truncates when duplication is not worth
+/// it) and appends the clones after all original blocks. Original block
+/// ids never change.
+fn apply_plan(mfunc: &mut MFunction, plan: &[Vec<MBlockId>], weights: &[u64]) -> Option<Formation> {
+    let orig_n = mfunc.blocks.len();
+    let mut origin: Vec<u32> = (0..orig_n as u32).collect();
+    let mut stats = SuperblockStats::default();
+    let mut final_traces: Vec<Vec<MBlockId>> = Vec::new();
+
+    for trace in plan {
+        if let Some(chain) = try_unroll(mfunc, trace, weights, &mut origin, &mut stats) {
+            stats.traces += 1;
+            stats.trace_blocks += chain.len();
+            final_traces.push(chain);
+            continue;
+        }
+        if trace.len() < 2 {
+            continue; // a self-loop that did not unroll stays as-is
+        }
+        let mut trace = trace.clone();
+        // Fresh predecessor sets over *reachable* blocks: earlier traces
+        // may have retargeted edges (including edges originating in
+        // duplicate blocks), and unreachable predecessors are neither
+        // side entries nor worth duplicating for.
+        let reachable = reachable_blocks(mfunc);
+        let mut preds: Vec<HashSet<MBlockId>> = vec![HashSet::new(); mfunc.blocks.len()];
+        for block in &mfunc.blocks {
+            if !reachable[block.id.0 as usize] {
+                continue;
+            }
+            for s in block.term.successors() {
+                preds[s.0 as usize].insert(block.id);
+            }
+        }
+        // First interior block with an off-trace predecessor. (A side
+        // predecessor can never reach the interior by falling through:
+        // growth follows layout adjacency, so the block directly above
+        // any interior block is its on-trace predecessor.)
+        let side_entered = (1..trace.len()).find(|&j| {
+            preds[trace[j].0 as usize]
+                .iter()
+                .any(|&p| p != trace[j - 1])
+        });
+        if let Some(j0) = side_entered {
+            let tail_ops: usize = trace[j0..]
+                .iter()
+                .map(|&b| mfunc.block(b).insts.len())
+                .sum();
+            if tail_ops > MAX_DUPLICATED_OPS {
+                trace.truncate(j0);
+            } else {
+                // Clone the tail and retarget the side entries into it.
+                let mut clone_of: HashMap<MBlockId, MBlockId> = HashMap::new();
+                for &b in &trace[j0..] {
+                    let new_id = MBlockId(mfunc.blocks.len() as u32);
+                    let mut clone = mfunc.block(b).clone();
+                    clone.id = new_id;
+                    stats.duplicated_blocks += 1;
+                    stats.duplicated_ops += clone.insts.len();
+                    mfunc.blocks.push(clone);
+                    origin.push(b.0);
+                    clone_of.insert(b, new_id);
+                }
+                // Chain the clones: each clone falls to the next clone
+                // instead of back into the trace.
+                for w in trace[j0..].windows(2) {
+                    let (this, next) = (clone_of[&w[0]], clone_of[&w[1]]);
+                    retarget(&mut mfunc.blocks[this.0 as usize].term, w[1], next);
+                }
+                // Side predecessors enter the clone chain.
+                for j in j0..trace.len() {
+                    let b = trace[j];
+                    for &p in &preds[b.0 as usize] {
+                        if p != trace[j - 1] {
+                            retarget(&mut mfunc.blocks[p.0 as usize].term, b, clone_of[&b]);
+                        }
+                    }
+                }
+            }
+        }
+        if trace.len() >= 2 {
+            stats.traces += 1;
+            stats.trace_blocks += trace.len();
+            final_traces.push(trace);
+        }
+    }
+
+    if final_traces.is_empty() {
+        debug_assert_eq!(mfunc.blocks.len(), orig_n, "no trace must mean no change");
+        return None;
+    }
+    Some(Formation {
+        traces: final_traces,
+        origin,
+        stats,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mir::{MBlock, MDest, MInst, MOp, MSrc};
+    use epic_isa::Opcode;
+
+    fn op(dest: u32) -> MInst {
+        let mut o = MOp::bare(Opcode::Add);
+        o.dest1 = MDest::Gpr(dest);
+        o.src1 = MSrc::Gpr(dest);
+        o.src2 = MSrc::Lit(1);
+        MInst::Op(o)
+    }
+
+    fn func(blocks: Vec<(Vec<MInst>, MTerm)>) -> MFunction {
+        MFunction {
+            name: "t".into(),
+            params: vec![],
+            blocks: blocks
+                .into_iter()
+                .enumerate()
+                .map(|(i, (insts, term))| MBlock {
+                    id: MBlockId(i as u32),
+                    insts,
+                    term,
+                })
+                .collect(),
+            vreg_count: 32,
+            vpred_count: 4,
+            allocated: false,
+            frame_bytes: 0,
+            makes_calls: false,
+        }
+    }
+
+    fn cond(pred: u32, on_true: u32, on_false: u32) -> MTerm {
+        MTerm::CondJump {
+            pred,
+            on_true: MBlockId(on_true),
+            on_false: MBlockId(on_false),
+        }
+    }
+
+    #[test]
+    fn while_loop_header_and_body_form_a_trace() {
+        // 0: entry -> 1; 1: header cond(body=2, exit=3); 2: body -> 1;
+        // 3: exit. Header 1 heads the trace; the back edge never
+        // extends it; body joins as the fall-through.
+        let f = func(vec![
+            (vec![op(1)], MTerm::Jump(MBlockId(1))),
+            (vec![op(2)], cond(1, 2, 3)),
+            (vec![op(3)], MTerm::Jump(MBlockId(1))),
+            (vec![op(4)], MTerm::Ret(None)),
+        ]);
+        let plan = trace_plan(&f, None);
+        assert!(
+            plan.contains(&vec![MBlockId(1), MBlockId(2)]),
+            "plan: {plan:?}"
+        );
+        // Block 1 is a loop header: nothing may extend *into* it.
+        assert!(plan
+            .iter()
+            .all(|t| t[1..].iter().all(|&b| b != MBlockId(1))));
+    }
+
+    #[test]
+    fn straight_jump_chain_merges_without_duplication() {
+        let f = func(vec![
+            (vec![op(1)], MTerm::Jump(MBlockId(1))),
+            (vec![op(2)], MTerm::Jump(MBlockId(2))),
+            (vec![op(3)], MTerm::Ret(None)),
+        ]);
+        let mut g = f.clone();
+        let formation = form_superblocks(&mut g, None).expect("chain forms a trace");
+        assert_eq!(
+            formation.traces,
+            vec![vec![MBlockId(0), MBlockId(1), MBlockId(2)]]
+        );
+        assert_eq!(formation.stats.duplicated_blocks, 0);
+        assert_eq!(g.blocks.len(), 3, "no clones needed");
+        assert_eq!(formation.origin, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn side_entry_is_tail_duplicated_and_retargeted() {
+        // 0 -> 1 -> 2 (trace), but 3 also branches into 2 (side entry)
+        // and 2 returns. Block 3 is reachable off the cold arm of 0.
+        let f = func(vec![
+            (vec![op(1)], cond(1, 3, 1)), // fall-through 1, cold arm 3
+            (vec![op(2)], MTerm::Jump(MBlockId(2))),
+            (vec![op(3), op(4)], MTerm::Ret(None)),
+            (vec![op(5)], MTerm::Jump(MBlockId(2))), // side entry into 2
+        ]);
+        let mut g = f.clone();
+        // Make the fall-through arm hot so 0 -> 1 extends.
+        let mut profile = ProfileData::new();
+        profile.record("fn_t", 100);
+        profile.record("t_bb1", 90);
+        profile.record("t_bb2", 95);
+        profile.record("t_bb3", 10);
+        let formation = form_superblocks(&mut g, Some(&profile)).expect("trace forms");
+        assert_eq!(
+            formation.traces,
+            vec![vec![MBlockId(0), MBlockId(1), MBlockId(2)]]
+        );
+        // Block 2 was cloned; 3 now targets the clone.
+        assert_eq!(g.blocks.len(), 5);
+        assert_eq!(formation.origin, vec![0, 1, 2, 3, 2]);
+        assert_eq!(g.blocks[3].term, MTerm::Jump(MBlockId(4)));
+        assert_eq!(g.blocks[4].insts, f.blocks[2].insts);
+        assert_eq!(formation.stats.duplicated_blocks, 1);
+        assert_eq!(formation.stats.duplicated_ops, 2);
+        // The original trace blocks are untouched.
+        assert_eq!(g.blocks[0].insts, f.blocks[0].insts);
+        assert_eq!(g.blocks[2].term, MTerm::Ret(None));
+    }
+
+    #[test]
+    fn oversized_side_entered_tail_truncates_instead_of_duplicating() {
+        // Same shape as the duplication test, but the side-entered block
+        // is too big to clone: the trace is truncated before it.
+        let big: Vec<MInst> = (0..=MAX_DUPLICATED_OPS as u32).map(op).collect();
+        let f = func(vec![
+            (vec![op(1)], cond(1, 3, 1)),
+            (vec![op(2)], MTerm::Jump(MBlockId(2))),
+            (big, MTerm::Ret(None)),
+            (vec![op(5)], MTerm::Jump(MBlockId(2))), // side entry into 2
+        ]);
+        let mut g = f.clone();
+        let mut profile = ProfileData::new();
+        profile.record("fn_t", 100);
+        profile.record("t_bb1", 90);
+        profile.record("t_bb2", 95);
+        profile.record("t_bb3", 10);
+        let formation = form_superblocks(&mut g, Some(&profile)).expect("trace forms");
+        assert_eq!(formation.traces, vec![vec![MBlockId(0), MBlockId(1)]]);
+        assert_eq!(g.blocks.len(), 4, "nothing cloned");
+        assert_eq!(formation.stats.duplicated_blocks, 0);
+        assert_eq!(g.blocks[3].term, MTerm::Jump(MBlockId(2)), "edge kept");
+    }
+
+    #[test]
+    fn hot_while_loop_unrolls_into_a_chain() {
+        // 0: entry -> 1; 1: header cond(body=2, exit=3); 2: body -> 1;
+        // 3: exit. The profile says the loop iterates ~100 times per
+        // entry, so the [1, 2] trace unrolls into a 4-copy chain.
+        let f = func(vec![
+            (vec![op(1)], MTerm::Jump(MBlockId(1))),
+            (vec![op(2)], cond(1, 2, 3)),
+            (vec![op(3)], MTerm::Jump(MBlockId(1))),
+            (vec![op(4)], MTerm::Ret(None)),
+        ]);
+        let mut g = f.clone();
+        let mut profile = ProfileData::new();
+        profile.record("fn_t", 1);
+        profile.record("t_bb1", 100);
+        profile.record("t_bb2", 99);
+        profile.record("t_bb3", 1);
+        let formation = form_superblocks(&mut g, Some(&profile)).expect("loop unrolls");
+        let k = MAX_UNROLL_FACTOR as u32;
+        let chain: Vec<MBlockId> = (4..4 + 2 * k).map(MBlockId).collect();
+        assert_eq!(formation.traces, vec![chain]);
+        assert_eq!(formation.stats.unrolled_loops, 1);
+        assert_eq!(formation.stats.unrolled_blocks, 2 * MAX_UNROLL_FACTOR);
+        let mut expected_origin = vec![0, 1, 2, 3];
+        expected_origin.extend([1, 2].repeat(MAX_UNROLL_FACTOR));
+        assert_eq!(formation.origin, expected_origin);
+        // The entry now jumps straight into the chain, each copy's back
+        // edge falls into the next copy, and the last loops to the
+        // first.
+        assert_eq!(g.blocks[0].term, MTerm::Jump(MBlockId(4)));
+        assert_eq!(g.blocks[5].term, MTerm::Jump(MBlockId(6)));
+        assert_eq!(g.blocks[3 + 2 * k as usize].term, MTerm::Jump(MBlockId(4)));
+        // Every copy keeps the original side exit to block 3.
+        for copy in 0..k {
+            let head = 4 + 2 * copy;
+            assert_eq!(g.blocks[head as usize].term, cond(1, head + 1, 3));
+            assert_eq!(g.blocks[head as usize].insts, f.blocks[1].insts);
+        }
+        // The original loop body is untouched (now unreachable).
+        assert_eq!(g.blocks[1], f.blocks[1]);
+        assert_eq!(g.blocks[2], f.blocks[2]);
+    }
+
+    #[test]
+    fn hot_self_loop_unrolls() {
+        // 1 is a single-block loop: cond(stay=1, exit=2). The static
+        // heuristic weighs it 10 vs the entry's 1, which clears the
+        // trip gate.
+        let f = func(vec![
+            (vec![op(1)], MTerm::Jump(MBlockId(1))),
+            (vec![op(2)], cond(1, 1, 2)),
+            (vec![op(3)], MTerm::Ret(None)),
+        ]);
+        let mut g = f.clone();
+        let formation = form_superblocks(&mut g, None).expect("self-loop unrolls");
+        let k = MAX_UNROLL_FACTOR as u32;
+        let chain: Vec<MBlockId> = (3..3 + k).map(MBlockId).collect();
+        assert_eq!(formation.traces, vec![chain]);
+        assert_eq!(g.blocks[0].term, MTerm::Jump(MBlockId(3)));
+        assert_eq!(g.blocks[3].term, cond(1, 4, 2));
+        assert_eq!(g.blocks[2 + k as usize].term, cond(1, 3, 2));
+        let mut expected_origin = vec![0, 1, 2];
+        expected_origin.extend(std::iter::repeat_n(1, MAX_UNROLL_FACTOR));
+        assert_eq!(formation.origin, expected_origin);
+    }
+
+    #[test]
+    fn cold_loop_stays_rolled() {
+        // Same shape as the unroll test, but the profile says the loop
+        // runs ~2 trips per entry: below UNROLL_MIN_TRIPS, so the trace
+        // schedules as a plain two-block superblock.
+        let f = func(vec![
+            (vec![op(1)], MTerm::Jump(MBlockId(1))),
+            (vec![op(2)], cond(1, 2, 3)),
+            (vec![op(3)], MTerm::Jump(MBlockId(1))),
+            (vec![op(4)], MTerm::Ret(None)),
+        ]);
+        let mut g = f.clone();
+        let mut profile = ProfileData::new();
+        profile.record("fn_t", 10);
+        profile.record("t_bb1", 20);
+        profile.record("t_bb2", 15);
+        profile.record("t_bb3", 10);
+        let formation = form_superblocks(&mut g, Some(&profile)).expect("trace forms");
+        assert_eq!(formation.traces, vec![vec![MBlockId(1), MBlockId(2)]]);
+        assert_eq!(formation.stats.unrolled_loops, 0);
+        assert_eq!(g.blocks.len(), 4, "nothing cloned");
+    }
+
+    #[test]
+    fn no_trace_leaves_function_untouched() {
+        let f = func(vec![(vec![op(1)], MTerm::Ret(None))]);
+        let mut g = f.clone();
+        assert!(form_superblocks(&mut g, None).is_none());
+        assert_eq!(f, g);
+    }
+
+    #[test]
+    fn profile_beats_static_heuristic_on_arm_choice() {
+        // Diamond where static weights are flat; profile says the
+        // fall-through arm is cold, so no trace grows past the split.
+        let f = func(vec![
+            (vec![op(1)], cond(1, 2, 1)),
+            (vec![op(2)], MTerm::Jump(MBlockId(3))),
+            (vec![op(3)], MTerm::Jump(MBlockId(3))),
+            (vec![op(4)], MTerm::Ret(None)),
+        ]);
+        let mut profile = ProfileData::new();
+        profile.record("fn_t", 100);
+        profile.record("t_bb1", 1);
+        profile.record("t_bb2", 99);
+        profile.record("t_bb3", 100);
+        let plan = trace_plan(&f, Some(&profile));
+        assert!(
+            plan.iter().all(|t| t[0] != MBlockId(0)),
+            "cold fall-through must not extend the entry: {plan:?}"
+        );
+    }
+}

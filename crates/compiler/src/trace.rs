@@ -30,6 +30,18 @@ pub struct FunctionTrace {
     /// After register allocation: physical registers, spill code,
     /// expanded call sequences.
     pub post_regalloc: Option<MFunction>,
+    /// After superblock formation, which runs on the allocated code
+    /// (present only when the pass ran *and* formed at least one trace).
+    pub post_superblock: Option<MFunction>,
+    /// Origin witness for superblock formation: for every
+    /// `post_superblock` block, the id of the `post_regalloc` block it
+    /// copies (see [`crate::superblock::Formation::origin`]). Present
+    /// exactly when `post_superblock` is.
+    pub origin: Option<Vec<u32>>,
+    /// Superblock traces as consecutive block ids (empty when formation
+    /// did not run or formed nothing). The scheduler packed each as one
+    /// region.
+    pub traces: Vec<Vec<MBlockId>>,
     /// After control-flow finalisation: branch/PBR ops materialised,
     /// blocks laid out.
     pub post_finalize: MFunction,

@@ -14,10 +14,13 @@
 
 use crate::toolchain::{run_sa110, EpicRun, Toolchain, ToolchainError};
 use epic_area::{sa110_execution_time, AreaModel};
+use epic_compiler::superblock::ProfileData;
 use epic_config::Config;
 use epic_ir::lower;
-use epic_sim::{NopSink, SimStats, TraceSink};
+use epic_ir::Module;
+use epic_sim::{NopSink, ProfileSink, SimStats, TraceSink};
 use epic_workloads::{Scale, Workload};
+use std::collections::HashMap;
 use std::fmt;
 
 /// Verification failure raised when a simulated output disagrees with the
@@ -78,6 +81,14 @@ pub fn run_epic_workload(
 /// tools that map observations back to source — this is the entry point
 /// of `epic-prof`.
 ///
+/// On machines wide enough for superblock formation (issue width ≥ 2)
+/// the run is *profile-guided*: a training compile with formation off
+/// executes under a [`ProfileSink`], its per-block entry counts become
+/// the [`ProfileData`] steering trace selection, and the measured run is
+/// the recompile. The training pass compiles with formation off so the
+/// emitted block labels name exactly the pre-formation blocks the
+/// second compile selects traces over.
+///
 /// # Errors
 ///
 /// Returns any pipeline error or a [`VerifyError`] on a golden-model
@@ -88,12 +99,16 @@ pub fn run_epic_workload_observed<S: TraceSink>(
     sink: &mut S,
 ) -> Result<EpicRun, ExperimentError> {
     let module = lower::lower(&workload.program)?;
-    let options = epic_compiler::Options {
+    let toolchain = Toolchain::new(config.clone());
+    let mut options = epic_compiler::Options {
         entry: workload.entry.clone(),
         inline_hints: workload.inline_hints(),
         ..epic_compiler::Options::default()
     };
-    let run = Toolchain::new(config.clone()).run_module_observed(&module, &options, sink)?;
+    if config.issue_width() >= 2 {
+        options.profile = train_profile(&toolchain, &module, &options)?;
+    }
+    let run = toolchain.run_module_observed(&module, &options, sink)?;
     workload
         .verify_memory(|addr, len| -> Result<Vec<u8>, VerifyError> {
             let bytes = run.simulator.memory().bytes();
@@ -105,6 +120,30 @@ pub fn run_epic_workload_observed<S: TraceSink>(
         })
         .map_err(|m| ExperimentError::Verify(VerifyError(m)))?;
     Ok(run)
+}
+
+/// The training pass behind profile-guided superblock formation: compile
+/// with formation off, simulate under a [`ProfileSink`], and fold the
+/// per-address issue counts through the assembler's label table into
+/// per-block entry counts (a block's entries are the issues of its first
+/// bundle, the same attribution `epic_obs::BlockProfile` uses).
+fn train_profile(
+    toolchain: &Toolchain,
+    module: &Module,
+    options: &epic_compiler::Options,
+) -> Result<Option<ProfileData>, ExperimentError> {
+    let train_options = epic_compiler::Options {
+        superblock: false,
+        ..options.clone()
+    };
+    let mut train_sink = ProfileSink::default();
+    let run = toolchain.run_module_observed(module, &train_options, &mut train_sink)?;
+    let issues_at: HashMap<u32, u64> = train_sink.per_pc().map(|(pc, c)| (pc, c.issues)).collect();
+    let mut profile = ProfileData::new();
+    for (label, &addr) in run.program.labels() {
+        profile.record(label.clone(), issues_at.get(&addr).copied().unwrap_or(0));
+    }
+    Ok((!profile.is_empty()).then_some(profile))
 }
 
 /// Runs one workload on the SA-110 baseline, verifying the output.

@@ -182,15 +182,29 @@ fn dominant_cause(block: &epic_obs::BlockProfile) -> Option<StallCause> {
         .filter(|&cause| block.stalls[cause as usize] > 0)
 }
 
-fn text_report(args: &Args, stats: &SimStats, profile: &StallProfile, assembly: &str) -> String {
+fn text_report(
+    args: &Args,
+    stats: &SimStats,
+    profile: &StallProfile,
+    compiled: &epic_core::compiler::CompiledProgram,
+) -> String {
     use std::fmt::Write as _;
+    let assembly = compiled.assembly();
     let mut out = String::new();
     let _ = writeln!(
         out,
         "epic-prof: {} on {} ALU / {}-wide EPIC ({:?} scale)\n",
         args.workload, args.alus, args.issue_width, args.scale
     );
-    let _ = writeln!(out, "{stats}\n");
+    let _ = writeln!(out, "{stats}");
+    let sched = compiled.stats().sched;
+    let _ = writeln!(
+        out,
+        "occupancy           {:.1}% of issue slots filled ({} / {})\n",
+        100.0 * sched.occupancy(),
+        sched.slots_filled,
+        sched.slots_available
+    );
 
     let _ = writeln!(
         out,
@@ -241,18 +255,39 @@ fn text_report(args: &Args, stats: &SimStats, profile: &StallProfile, assembly: 
         } else {
             block.stall_total() as f64 * 100.0 / profile.cycles as f64
         };
-        let diag = epic_asm::Diagnostic::warning(
-            "PRF001",
-            format!(
-                "block `{}` loses {} cycle(s) to stalls ({percent:.1}% of the run), \
-                 mostly {}",
-                block.label,
-                block.stall_total(),
-                cause.name()
-            ),
-        )
-        .with_line(label_line(assembly, &block.label))
-        .with_bundle(block.start_pc as usize, None);
+        let mut message = format!(
+            "block `{}` loses {} cycle(s) to stalls ({percent:.1}% of the run), \
+             mostly {}",
+            block.label,
+            block.stall_total(),
+            cause.name()
+        );
+        // Branch- and latency-shaped stalls are what region scheduling
+        // attacks: name the superblock trace through this block.
+        if matches!(cause, StallCause::BranchFlush | StallCause::DataHazard) {
+            if let Some(hint) = compiled.trace().and_then(|t| {
+                t.functions.iter().find_map(|f| {
+                    epic_core::compiler::suggest::superblock_hint(f, &block.label, None)
+                })
+            }) {
+                if hint.applied {
+                    let _ = write!(
+                        message,
+                        "; superblock region `{}` already absorbs it",
+                        hint.path()
+                    );
+                } else {
+                    let _ = write!(
+                        message,
+                        "; consider superblock scheduling: hot trace `{}`",
+                        hint.path()
+                    );
+                }
+            }
+        }
+        let diag = epic_asm::Diagnostic::warning("PRF001", message)
+            .with_line(label_line(assembly, &block.label))
+            .with_bundle(block.start_pc as usize, None);
         out.push_str(&diag.render(&origin, Some(assembly)));
     }
     out
@@ -314,10 +349,7 @@ fn run(args: &Args) -> Result<ExitCode, String> {
 
     match args.format {
         Format::Text => {
-            print!(
-                "{}",
-                text_report(args, stats, &profile, run.compiled.assembly())
-            );
+            print!("{}", text_report(args, stats, &profile, &run.compiled));
         }
         Format::Json => {
             println!(

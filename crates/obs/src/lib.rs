@@ -57,5 +57,5 @@ mod record;
 pub use epic_sim::{NopSink, SimStats, StallCause, TeeSink, TraceSink};
 pub use metrics::{Histogram, MetricsRegistry};
 pub use perfetto::{PerfettoSink, TraceSpan};
-pub use profile::{BlockProfile, ProfileSink, StallProfile};
+pub use profile::{BlockProfile, PcProfile, ProfileSink, StallProfile};
 pub use record::{RecordingSink, TraceEvent};

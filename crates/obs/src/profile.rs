@@ -1,83 +1,18 @@
-//! Per-bundle and per-basic-block stall attribution.
+//! Per-basic-block stall attribution.
 //!
-//! [`ProfileSink`] counts, for every bundle address, how many cycles
-//! the bundle issued and how many front-end cycles were lost *waiting
-//! to issue it*, broken down by [`StallCause`]. [`StallProfile`] then
-//! folds those addresses into basic blocks using the assembler's label
-//! table (each address belongs to the greatest label at or below it),
-//! producing the hot-spot report behind the `epic-prof` binary.
+//! [`ProfileSink`] (re-exported from `epic-sim`, where the compiler's
+//! profile-guided superblock formation also consumes it) counts, for
+//! every bundle address, how many cycles the bundle issued and how many
+//! front-end cycles were lost *waiting to issue it*, broken down by
+//! [`StallCause`](epic_sim::StallCause). [`StallProfile`] then folds
+//! those addresses into
+//! basic blocks using the assembler's label table (each address belongs
+//! to the greatest label at or below it), producing the hot-spot report
+//! behind the `epic-prof` binary.
 
 use std::collections::{BTreeMap, HashMap};
 
-use epic_sim::{StallCause, TraceSink};
-
-/// Counters for one bundle address.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
-struct PcCounters {
-    issues: u64,
-    instructions: u64,
-    squashed: u64,
-    stalls: [u64; 5],
-    loads: u64,
-    stores: u64,
-}
-
-/// Accumulates per-bundle-address issue and stall counts.
-#[derive(Debug, Default)]
-pub struct ProfileSink {
-    per_pc: BTreeMap<u32, PcCounters>,
-    cycles: u64,
-}
-
-impl ProfileSink {
-    /// Total cycles observed.
-    #[must_use]
-    pub fn cycles(&self) -> u64 {
-        self.cycles
-    }
-
-    fn entry(&mut self, pc: u32) -> &mut PcCounters {
-        self.per_pc.entry(pc).or_default()
-    }
-}
-
-impl TraceSink for ProfileSink {
-    fn bundle_issue(&mut self, _cycle: u64, pc: u32, _ports: usize, _budget: usize) {
-        self.entry(pc).issues += 1;
-    }
-
-    fn bundle_execute(
-        &mut self,
-        _cycle: u64,
-        pc: u32,
-        instructions: u64,
-        _nops: u64,
-        _unit_ops: &[u64; 4],
-    ) {
-        self.entry(pc).instructions += instructions;
-    }
-
-    fn squash(&mut self, _cycle: u64, pc: u32) {
-        self.entry(pc).squashed += 1;
-    }
-
-    fn stall(&mut self, _cycle: u64, pc: u32, cause: StallCause) {
-        self.entry(pc).stalls[cause as usize] += 1;
-    }
-
-    fn mem_op(&mut self, _cycle: u64, pc: u32, store: bool) {
-        let counters = self.entry(pc);
-        if store {
-            counters.stores += 1;
-        } else {
-            counters.loads += 1;
-        }
-    }
-
-    fn cycle_retired(&mut self, _cycle: u64) {
-        self.cycles += 1;
-    }
-}
+pub use epic_sim::{PcProfile, ProfileSink};
 
 /// One basic block's share of execution time.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -87,6 +22,8 @@ pub struct BlockProfile {
     pub label: String,
     /// First bundle address of the block.
     pub start_pc: u32,
+    /// Times control entered the block (issues of its first bundle).
+    pub entries: u64,
     /// Cycles spent issuing the block's bundles.
     pub issue_cycles: u64,
     /// Instructions issued from the block (`NOP` padding excluded).
@@ -94,7 +31,7 @@ pub struct BlockProfile {
     /// Issued instructions squashed by a false guard.
     pub squashed: u64,
     /// Stall cycles attributed to the block, indexed by
-    /// `StallCause as usize` (see [`StallCause::ALL`]).
+    /// `StallCause as usize` (see [`epic_sim::StallCause::ALL`]).
     pub stalls: [u64; 5],
     /// Data-memory loads performed by the block.
     pub loads: u64,
@@ -142,7 +79,7 @@ impl StallProfile {
         sorted.sort();
 
         let mut by_block: BTreeMap<u32, BlockProfile> = BTreeMap::new();
-        for (&pc, counters) in &sink.per_pc {
+        for (pc, counters) in sink.per_pc() {
             let (start_pc, label) = match sorted.iter().rev().find(|&&(addr, _)| addr <= pc) {
                 Some(&(addr, name)) => (addr, name.to_string()),
                 None => (0, String::from("<entry>")),
@@ -150,6 +87,7 @@ impl StallProfile {
             let block = by_block.entry(start_pc).or_insert_with(|| BlockProfile {
                 label,
                 start_pc,
+                entries: 0,
                 issue_cycles: 0,
                 instructions: 0,
                 squashed: 0,
@@ -157,6 +95,9 @@ impl StallProfile {
                 loads: 0,
                 stores: 0,
             });
+            if pc == start_pc {
+                block.entries += counters.issues;
+            }
             block.issue_cycles += counters.issues;
             block.instructions += counters.instructions;
             block.squashed += counters.squashed;
@@ -191,6 +132,7 @@ impl StallProfile {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use epic_sim::{StallCause, TraceSink};
 
     #[test]
     fn addresses_fold_into_the_nearest_label_at_or_below() {
@@ -213,6 +155,7 @@ mod tests {
             .find(|b| b.label == "loop")
             .expect("loop block");
         assert_eq!(loop_block.issue_cycles, 2);
+        assert_eq!(loop_block.entries, 1, "only address 4 starts the block");
         assert_eq!(loop_block.stalls[StallCause::DataHazard as usize], 1);
         assert_eq!(loop_block.cost(), 3);
         // Highest-cost block sorts first.

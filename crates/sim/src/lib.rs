@@ -56,6 +56,7 @@ mod error;
 mod exec;
 mod machine;
 mod memory;
+mod profile;
 mod reference;
 mod stats;
 mod trace;
@@ -63,6 +64,7 @@ mod trace;
 pub use error::SimError;
 pub use machine::Simulator;
 pub use memory::Memory;
+pub use profile::{PcProfile, ProfileSink};
 pub use reference::ReferenceSimulator;
 pub use stats::{SimStats, StallBreakdown, StallCause, StallEvent};
 pub use trace::{NopSink, TeeSink, TraceSink};

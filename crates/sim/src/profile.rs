@@ -1,0 +1,95 @@
+//! Per-bundle-address execution profiling.
+//!
+//! [`ProfileSink`] counts, for every bundle address, how many cycles the
+//! bundle issued and how many front-end cycles were lost *waiting to
+//! issue it*, broken down by [`StallCause`](crate::StallCause). It lives
+//! here rather than in `epic-obs` because the counts feed two consumers
+//! on opposite sides of the toolchain: `epic-obs` folds them into the
+//! per-basic-block stall report behind `epic-prof`, and the compiler's
+//! profile-guided superblock formation replays them as block weights for
+//! a second, trace-scheduled compile.
+
+use std::collections::BTreeMap;
+
+use crate::trace::TraceSink;
+use crate::StallCause;
+
+/// Counters for one bundle address.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PcProfile {
+    /// Cycles this bundle issued.
+    pub issues: u64,
+    /// Instructions issued from this bundle (`NOP` padding excluded).
+    pub instructions: u64,
+    /// Issued instructions squashed by a false guard.
+    pub squashed: u64,
+    /// Stall cycles charged to this address, indexed by
+    /// `StallCause as usize`.
+    pub stalls: [u64; 5],
+    /// Data-memory loads performed by this bundle.
+    pub loads: u64,
+    /// Data-memory stores performed by this bundle.
+    pub stores: u64,
+}
+
+/// Accumulates per-bundle-address issue and stall counts.
+#[derive(Debug, Default)]
+pub struct ProfileSink {
+    per_pc: BTreeMap<u32, PcProfile>,
+    cycles: u64,
+}
+
+impl ProfileSink {
+    /// Total cycles observed.
+    #[must_use]
+    pub fn cycles(&self) -> u64 {
+        self.cycles
+    }
+
+    /// The per-address counters, in ascending address order.
+    pub fn per_pc(&self) -> impl Iterator<Item = (u32, &PcProfile)> {
+        self.per_pc.iter().map(|(&pc, counters)| (pc, counters))
+    }
+
+    fn entry(&mut self, pc: u32) -> &mut PcProfile {
+        self.per_pc.entry(pc).or_default()
+    }
+}
+
+impl TraceSink for ProfileSink {
+    fn bundle_issue(&mut self, _cycle: u64, pc: u32, _ports: usize, _budget: usize) {
+        self.entry(pc).issues += 1;
+    }
+
+    fn bundle_execute(
+        &mut self,
+        _cycle: u64,
+        pc: u32,
+        instructions: u64,
+        _nops: u64,
+        _unit_ops: &[u64; 4],
+    ) {
+        self.entry(pc).instructions += instructions;
+    }
+
+    fn squash(&mut self, _cycle: u64, pc: u32) {
+        self.entry(pc).squashed += 1;
+    }
+
+    fn stall(&mut self, _cycle: u64, pc: u32, cause: StallCause) {
+        self.entry(pc).stalls[cause as usize] += 1;
+    }
+
+    fn mem_op(&mut self, _cycle: u64, pc: u32, store: bool) {
+        let counters = self.entry(pc);
+        if store {
+            counters.stores += 1;
+        } else {
+            counters.loads += 1;
+        }
+    }
+
+    fn cycle_retired(&mut self, _cycle: u64) {
+        self.cycles += 1;
+    }
+}

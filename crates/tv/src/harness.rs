@@ -17,8 +17,9 @@ use epic_compiler::ifconv::if_convert;
 use epic_compiler::mir::{MBlock, MBlockId, MDest, MFunction, MInst, MOp, MSrc, MTerm};
 use epic_compiler::passes;
 use epic_compiler::regalloc::{allocate, Abi};
-use epic_compiler::sched::{schedule_function, ScheduledBlock};
+use epic_compiler::sched::{schedule_function, schedule_function_regions, ScheduledBlock};
 use epic_compiler::select::{fold_literal_operands, select};
+use epic_compiler::superblock::{form_superblocks, ProfileData};
 use epic_compiler::trace::{FunctionTrace, PipelineTrace};
 use epic_compiler::CompileError;
 use epic_config::Config;
@@ -37,6 +38,9 @@ pub struct Mutation<'a> {
     pub function: &'a str,
     /// Applied to the machine IR after if-conversion.
     pub post_ifconv: Option<&'a dyn Fn(&mut MFunction)>,
+    /// Applied to the machine IR after superblock formation (only fires
+    /// when formation actually formed a trace).
+    pub post_superblock: Option<&'a dyn Fn(&mut MFunction)>,
     /// Applied to the machine IR after register allocation.
     pub post_regalloc: Option<&'a dyn Fn(&mut MFunction)>,
     /// Applied to the machine IR after control finalisation (the
@@ -55,6 +59,10 @@ pub struct PipelineOptions {
     pub optimize: bool,
     /// Run if-conversion.
     pub if_conversion: bool,
+    /// Form superblocks (region scheduling), as the driver does.
+    pub superblock: bool,
+    /// Profile guiding superblock trace selection.
+    pub profile: Option<ProfileData>,
     /// Functions marked for inlining.
     pub inline_hints: Vec<String>,
     /// Entry function called by the start-up stub.
@@ -68,6 +76,8 @@ impl Default for PipelineOptions {
         PipelineOptions {
             optimize: true,
             if_conversion: true,
+            superblock: true,
+            profile: None,
             inline_hints: Vec::new(),
             entry: "main".to_owned(),
             entry_args: Vec::new(),
@@ -108,6 +118,9 @@ pub fn compile_mutated(
         name: stub.name.clone(),
         post_select: None,
         post_ifconv: None,
+        post_superblock: None,
+        origin: None,
+        traces: Vec::new(),
         post_regalloc: None,
         post_finalize: stub.clone(),
         layout: stub_layout,
@@ -137,13 +150,29 @@ pub fn compile_mutated(
             }
         }
         let post_regalloc = Some(mf.clone());
+        // As in the driver, formation runs on allocated code.
+        let mut post_superblock = None;
+        let mut origin = None;
+        let mut trace_groups: Vec<Vec<MBlockId>> = Vec::new();
+        if options.superblock && mdes.issue_width() >= 2 {
+            if let Some(f) = form_superblocks(&mut mf, options.profile.as_ref()) {
+                if target {
+                    if let Some(m) = mutation.post_superblock {
+                        m(&mut mf);
+                    }
+                }
+                post_superblock = Some(mf.clone());
+                origin = Some(f.origin.clone());
+                trace_groups = f.traces;
+            }
+        }
         let fl = finalize_control(&mut mf, &abi);
         if target {
             if let Some(m) = mutation.post_finalize {
                 m(&mut mf);
             }
         }
-        let (mut blocks, _) = schedule_function(&mf, &fl, &mdes);
+        let (mut blocks, _) = schedule_function_regions(&mf, &fl, &trace_groups, &mdes);
         if target {
             if let Some(m) = mutation.post_sched {
                 m(&mut blocks);
@@ -153,6 +182,9 @@ pub fn compile_mutated(
             name: mf.name.clone(),
             post_select,
             post_ifconv,
+            post_superblock,
+            origin,
+            traces: trace_groups.clone(),
             post_regalloc,
             post_finalize: mf.clone(),
             layout: fl,

@@ -11,8 +11,9 @@
 //! |-------|------------------|-------|
 //! | if-conversion | every predicated op inherits exactly the guard of its source branch arm; donor blocks empty; ops preserved | TV001, TV002 |
 //! | register allocation | a virtual→physical location map exists: every read sees the value of the virtual register it replaces, no live range clobbered, call/prologue/epilogue bookkeeping moves data consistently | TV003, TV004 |
+//! | superblock formation (after allocation) | the origin witness proves the duplicated trace refines the allocated CFG: block bodies bit-identical to their origins, terminators map back through the witness | TV010 |
 //! | control finalisation | layout is the reachable blocks in id order; lowered terminators match the abstract CFG | TV008 |
-//! | scheduling | bundle contents are a permutation of the block's ops; no flow/anti/output/memory/branch dependence is reordered beyond machine latency ([`epic_mdes::MachineDescription::bundle_cost`] cross-checks the meta) | TV005, TV006, TV007 |
+//! | scheduling | bundle contents are a permutation of the region's ops (up to the dismissible-load rewrite); no flow/anti/output/memory/branch dependence is reordered beyond machine latency; superblock regions are well formed and only speculation-safe ops cross side exits | TV005, TV006, TV007, TV011, TV012 |
 //! | emission | the assembled bundles decode to exactly the scheduled ops, labels resolved | TV009 |
 //!
 //! # Diagnostic codes
@@ -28,6 +29,9 @@
 //! | TV007 | error | schedule metadata diverges from the machine description |
 //! | TV008 | error | control finalisation mismatch (layout or lowered terminator) |
 //! | TV009 | error | emitted assembly diverges from the scheduled program |
+//! | TV010 | error | superblock formation broke refinement (block body or terminator diverges from its origin, witness malformed) |
+//! | TV011 | error | malformed scheduling region (trace not consecutive in layout, side entry into an interior, interior not falling through) |
+//! | TV012 | error | dismissible-load rewrite mismatch (`LWS` without a crossed side exit, or a crossing `LW` left faulting) |
 //!
 //! Diagnostics share [`epic_asm::Diagnostic`] with the assembler and
 //! `epic-verify`, so `epic-lint --tv` renders the same rustc-style
@@ -40,6 +44,7 @@ mod emit_check;
 pub mod harness;
 mod ifconv_check;
 mod regalloc_check;
+mod region_check;
 mod sched_check;
 
 pub use epic_asm::{Diagnostic, Severity};
@@ -130,6 +135,7 @@ pub fn validate_trace(
         if let (Some(pre), Some(post)) = (&func.post_select, &func.post_ifconv) {
             ifconv_check::check(&func.name, pre, post, &mut diags);
         }
+        region_check::check(func, &mut diags);
         if let Some(post) = &func.post_regalloc {
             let pre = func.post_ifconv.as_ref().or(func.post_select.as_ref());
             if let (Some(pre), Some(abi)) = (pre, &abi) {
@@ -139,7 +145,7 @@ pub fn validate_trace(
         if let Some(abi) = &abi {
             sched_check::check_finalize(func, abi, &mut diags);
         }
-        sched_check::check_schedule(func, &mdes, &mut diags);
+        sched_check::check_schedule(func, &mdes, abi.as_ref(), &mut diags);
     }
     emit_check::check(trace, program, &mut diags);
     Report { diagnostics: diags }

@@ -1,0 +1,133 @@
+//! Refinement check for superblock formation (TV010).
+//!
+//! Formation may clone blocks (tail duplication) and retarget edges,
+//! but it must never invent, drop or alter computation: the transformed
+//! CFG has to *simulate* the original one. The pass emits its own
+//! witness — [`epic_compiler::superblock::Formation::origin`] maps every
+//! post-formation block to the pre-formation block it copies — and this
+//! check replays it:
+//!
+//! * originals stay put: the first `pre.blocks.len()` entries are the
+//!   identity, and the entry block maps to the entry block;
+//! * every post-formation block's instructions are bit-identical to its
+//!   origin's;
+//! * every terminator matches its origin's up to the witness: same
+//!   variant, same predicate/return operand, and each successor maps
+//!   back through `origin` to the origin's successor.
+//!
+//! Together these say: any execution of the transformed function is,
+//! block by block, an execution of the original (project each block
+//! through `origin`) — the definition of refinement for a pass that
+//! only duplicates code.
+
+use crate::Diagnostic;
+use epic_compiler::mir::{MFunction, MTerm};
+use epic_compiler::trace::FunctionTrace;
+
+/// Checks the superblock-formation stage of one traced function.
+pub fn check(func: &FunctionTrace, diags: &mut Vec<Diagnostic>) {
+    let fname = &func.name;
+    let Some(post) = &func.post_superblock else {
+        if func.origin.is_some() {
+            diags.push(Diagnostic::error(
+                "TV010",
+                format!("{fname}: origin witness recorded without a formation snapshot"),
+            ));
+        }
+        return;
+    };
+    let Some(origin) = &func.origin else {
+        diags.push(Diagnostic::error(
+            "TV010",
+            format!("{fname}: formation snapshot recorded without an origin witness"),
+        ));
+        return;
+    };
+    // Formation runs on allocated code, so its refinement baseline is
+    // the post-regalloc snapshot.
+    let Some(pre) = func.post_regalloc.as_ref() else {
+        diags.push(Diagnostic::error(
+            "TV010",
+            format!("{fname}: formation snapshot without a pre-formation stage"),
+        ));
+        return;
+    };
+    check_witness(fname, pre, post, origin, diags);
+}
+
+fn check_witness(
+    fname: &str,
+    pre: &MFunction,
+    post: &MFunction,
+    origin: &[u32],
+    diags: &mut Vec<Diagnostic>,
+) {
+    if origin.len() != post.blocks.len() || post.blocks.len() < pre.blocks.len() {
+        diags.push(Diagnostic::error(
+            "TV010",
+            format!(
+                "{fname}: witness covers {} block(s) for {} pre- / {} post-formation block(s)",
+                origin.len(),
+                pre.blocks.len(),
+                post.blocks.len()
+            ),
+        ));
+        return;
+    }
+    for (i, block) in post.blocks.iter().enumerate() {
+        let o = origin[i] as usize;
+        if o >= pre.blocks.len() {
+            diags.push(Diagnostic::error(
+                "TV010",
+                format!("{fname}: mb{i} claims nonexistent origin mb{o}"),
+            ));
+            continue;
+        }
+        if i < pre.blocks.len() && o != i {
+            diags.push(Diagnostic::error(
+                "TV010",
+                format!("{fname}: original block mb{i} was moved (witness says mb{o})"),
+            ));
+            continue;
+        }
+        let orig = &pre.blocks[o];
+        if block.insts != orig.insts {
+            diags.push(Diagnostic::error(
+                "TV010",
+                format!("{fname}: mb{i}'s instructions differ from its origin mb{o}"),
+            ));
+        }
+        // The terminator must be the origin's with successors mapped
+        // back through the witness.
+        let maps_to = |post_succ: u32, pre_succ: u32| {
+            (post_succ as usize) < origin.len() && origin[post_succ as usize] == pre_succ
+        };
+        let ok = match (&block.term, &orig.term) {
+            (MTerm::Jump(t), MTerm::Jump(t0)) => maps_to(t.0, t0.0),
+            (
+                MTerm::CondJump {
+                    pred,
+                    on_true,
+                    on_false,
+                },
+                MTerm::CondJump {
+                    pred: pred0,
+                    on_true: t0,
+                    on_false: f0,
+                },
+            ) => pred == pred0 && maps_to(on_true.0, t0.0) && maps_to(on_false.0, f0.0),
+            (MTerm::Ret(a), MTerm::Ret(b)) => a == b,
+            (MTerm::Halt, MTerm::Halt) => true,
+            _ => false,
+        };
+        if !ok {
+            diags.push(Diagnostic::error(
+                "TV010",
+                format!(
+                    "{fname}: mb{i}'s terminator `{:?}` does not refine its origin's `{:?}`",
+                    block.term, orig.term
+                ),
+            ));
+        }
+    }
+}

@@ -28,7 +28,36 @@ use epic_compiler::sched::block_label;
 use epic_compiler::trace::FunctionTrace;
 use epic_isa::{Opcode, Unit};
 use epic_mdes::MachineDescription;
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
+
+/// A register resource: `(kind, number)` with kind 0 = GPR,
+/// 1 = predicate, 2 = BTR.
+type Res = (u8, u32);
+
+const GPR: u8 = 0;
+const PRED: u8 = 1;
+const BTR: u8 = 2;
+
+fn op_reads(op: &MOp) -> Vec<Res> {
+    let mut reads: Vec<Res> = op.gpr_uses().into_iter().map(|r| (GPR, r)).collect();
+    reads.extend(op.pred_uses().into_iter().map(|p| (PRED, p)));
+    if let Some(b) = op.btr_use() {
+        reads.push((BTR, u32::from(b)));
+    }
+    reads
+}
+
+fn op_writes(op: &MOp) -> Vec<Res> {
+    let mut writes: Vec<Res> = Vec::new();
+    if let Some(r) = op.gpr_def() {
+        writes.push((GPR, r));
+    }
+    writes.extend(op.pred_defs().into_iter().map(|p| (PRED, p)));
+    if let Some(b) = op.btr_def() {
+        writes.push((BTR, u32::from(b)));
+    }
+    writes
+}
 
 fn pbr_label(btr: u16, target: &str) -> MInst {
     let mut op = MOp::bare(Opcode::Pbr);
@@ -119,6 +148,12 @@ fn reachable_layout(func: &MFunction) -> Vec<MBlockId> {
 pub fn check_finalize(func: &FunctionTrace, abi: &Abi, diags: &mut Vec<Diagnostic>) {
     let fname = &func.name;
     let fin = &func.post_finalize;
+    // The stage before finalisation is superblock formation when it
+    // fired (it runs on allocated code), register allocation otherwise.
+    let pre_finalize = func
+        .post_superblock
+        .as_ref()
+        .or(func.post_regalloc.as_ref());
     let layout = reachable_layout(fin);
     if layout != func.layout {
         diags.push(Diagnostic::error(
@@ -135,7 +170,7 @@ pub fn check_finalize(func: &FunctionTrace, abi: &Abi, diags: &mut Vec<Diagnosti
         let next = layout.get(k + 1).copied();
         let tail = expected_tail(&fin.block(b).term, next, fname, abi);
         let insts = &fin.block(b).insts;
-        if let Some(base) = &func.post_regalloc {
+        if let Some(base) = pre_finalize {
             let base = &base.block(b).insts;
             let ok = insts.len() == base.len() + tail.len()
                 && insts[..base.len()] == base[..]
@@ -166,7 +201,7 @@ pub fn check_finalize(func: &FunctionTrace, abi: &Abi, diags: &mut Vec<Diagnosti
             }
         }
     }
-    if let Some(base) = &func.post_regalloc {
+    if let Some(base) = pre_finalize {
         for b in 0..fin.blocks.len() {
             let id = MBlockId(b as u32);
             if !layout.contains(&id) && fin.blocks[b].insts != base.blocks[b].insts {
@@ -240,14 +275,85 @@ fn provably_disjoint(
     o1 + i64::from(size) <= o2 || o2 + i64::from(other.size) <= o1
 }
 
-/// Rebuilds the block's dependence DAG with the same semantics as the
+/// Per-block live-in sets over physical registers on the finalised CFG —
+/// an independent mirror of the scheduler's analysis, used to decide
+/// what may legally hoist above a side exit. `BRL` conservatively uses
+/// every argument register plus the stack pointer; `Ret` keeps the
+/// return value and stack pointer live; guarded definitions do not kill.
+fn block_live_in(mfunc: &MFunction, abi: &Abi) -> HashMap<MBlockId, HashSet<Res>> {
+    let mut live_in: HashMap<MBlockId, HashSet<Res>> = mfunc
+        .blocks
+        .iter()
+        .map(|b| (b.id, HashSet::new()))
+        .collect();
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for block in mfunc.blocks.iter().rev() {
+            let mut live: HashSet<Res> = HashSet::new();
+            match &block.term {
+                MTerm::Ret(_) => {
+                    live.insert((GPR, abi.ret));
+                    live.insert((GPR, abi.sp));
+                }
+                MTerm::Halt => {}
+                _ => {
+                    for s in block.term.successors() {
+                        if let Some(succ_in) = live_in.get(&s) {
+                            live.extend(succ_in.iter().copied());
+                        }
+                    }
+                }
+            }
+            for inst in block.insts.iter().rev() {
+                let MInst::Op(op) = inst else { continue };
+                if !op.is_conditional() {
+                    for w in op_writes(op) {
+                        live.remove(&w);
+                    }
+                }
+                live.extend(op_reads(op));
+                if op.opcode == Opcode::Brl {
+                    live.extend(abi.args.iter().map(|&a| (GPR, a)));
+                    live.insert((GPR, abi.sp));
+                }
+            }
+            let entry = live_in.get_mut(&block.id).expect("all blocks seeded");
+            if *entry != live {
+                *entry = live;
+                changed = true;
+            }
+        }
+    }
+    live_in
+}
+
+/// A side exit in a scheduling region: the branch at op index `op` and
+/// the live-ins of its off-trace target.
+struct RegionExit {
+    op: usize,
+    live: HashSet<Res>,
+}
+
+/// Whether `op` may hoist above a side exit whose target's live-ins are
+/// `live` — the validator's own statement of the speculation-safety
+/// rule the scheduler claims to follow.
+fn may_speculate(op: &MOp, live: &HashSet<Res>) -> bool {
+    if op.opcode.is_store() {
+        return false;
+    }
+    if op.opcode.is_load() && !matches!(op.opcode, Opcode::Lw | Opcode::LwS) {
+        return false;
+    }
+    op_writes(op).iter().all(|w| !live.contains(w))
+}
+
+/// Rebuilds a region's dependence DAG with the same semantics as the
 /// list scheduler: conditional writes read the merged-over value, memory
 /// accesses disambiguate only in the same-base/literal-offset case, and
-/// control transfers order against everything.
-fn dependences(ops: &[MOp], mdes: &MachineDescription) -> Vec<Dep> {
-    const GPR: u8 = 0;
-    const PRED: u8 = 1;
-    const BTR: u8 = 2;
+/// control transfers order against everything — except a side exit,
+/// which only blocks ops that are not speculation-safe against it.
+fn dependences(ops: &[MOp], exits: &[RegionExit], mdes: &MachineDescription) -> Vec<Dep> {
     let mut deps = Vec::new();
     let push = |deps: &mut Vec<Dep>, from: usize, to: usize, latency: u32, kind: DepKind| {
         if from != to {
@@ -263,25 +369,24 @@ fn dependences(ops: &[MOp], mdes: &MachineDescription) -> Vec<Dep> {
     let mut readers: HashMap<(u8, u32), Vec<usize>> = HashMap::new();
     let mut write_count: HashMap<(u8, u32), u32> = HashMap::new();
     let mut mem: Vec<MemRef> = Vec::new();
-    let mut last_branch: Option<usize> = None;
+    let exit_live: HashMap<usize, &HashSet<Res>> = exits.iter().map(|e| (e.op, &e.live)).collect();
+    let mut barrier: Option<usize> = None;
+    let mut open_exits: Vec<usize> = Vec::new();
 
     for (i, op) in ops.iter().enumerate() {
-        if let Some(b) = last_branch {
+        let is_ctl = op.opcode.is_branch() || op.opcode == Opcode::Halt;
+        if let Some(b) = barrier {
             push(&mut deps, b, i, 1, DepKind::Branch);
         }
-        let mut reads: Vec<(u8, u32)> = op.gpr_uses().into_iter().map(|r| (GPR, r)).collect();
-        reads.extend(op.pred_uses().into_iter().map(|p| (PRED, p)));
-        if let Some(b) = op.btr_use() {
-            reads.push((BTR, u32::from(b)));
+        if !is_ctl {
+            for &e in &open_exits {
+                if !may_speculate(op, exit_live[&e]) {
+                    push(&mut deps, e, i, 1, DepKind::Branch);
+                }
+            }
         }
-        let mut writes: Vec<(u8, u32)> = Vec::new();
-        if let Some(r) = op.gpr_def() {
-            writes.push((GPR, r));
-        }
-        writes.extend(op.pred_defs().into_iter().map(|p| (PRED, p)));
-        if let Some(b) = op.btr_def() {
-            writes.push((BTR, u32::from(b)));
-        }
+        let reads: Vec<Res> = op_reads(op);
+        let writes: Vec<Res> = op_writes(op);
         let conditional = op.is_conditional();
 
         for r in &reads {
@@ -326,12 +431,17 @@ fn dependences(ops: &[MOp], mdes: &MachineDescription) -> Vec<Dep> {
             });
         }
 
-        if op.opcode.is_branch() || op.opcode == Opcode::Halt {
+        if is_ctl {
             for (j, earlier) in ops.iter().enumerate().take(i) {
                 let lat = u32::from(earlier.opcode.is_branch() || earlier.opcode == Opcode::Halt);
                 push(&mut deps, j, i, lat, DepKind::Branch);
             }
-            last_branch = Some(i);
+            if exit_live.contains_key(&i) {
+                open_exits.push(i);
+            } else {
+                barrier = Some(i);
+                open_exits.clear();
+            }
         }
 
         for r in reads {
@@ -352,27 +462,136 @@ fn dependences(ops: &[MOp], mdes: &MachineDescription) -> Vec<Dep> {
     deps
 }
 
-/// Checks the schedule of one traced function (TV005–TV007).
+/// Validates the region structure (TV011) and returns the scheduling
+/// groups: each trace one group, every other laid-out block a singleton.
+fn region_groups(func: &FunctionTrace, diags: &mut Vec<Diagnostic>) -> Option<Vec<Vec<MBlockId>>> {
+    let fname = &func.name;
+    if func.traces.is_empty() {
+        return Some(func.layout.iter().map(|&b| vec![b]).collect());
+    }
+    let in_layout: HashSet<MBlockId> = func.layout.iter().copied().collect();
+    for t in &func.traces {
+        if t.len() < 2 {
+            diags.push(Diagnostic::error(
+                "TV011",
+                format!("{fname}: trace {t:?} has fewer than two blocks"),
+            ));
+            return None;
+        }
+        if let Some(b) = t.iter().find(|b| !in_layout.contains(b)) {
+            diags.push(Diagnostic::error(
+                "TV011",
+                format!("{fname}: trace block mb{} is not in the layout", b.0),
+            ));
+            return None;
+        }
+    }
+    let interior: HashSet<MBlockId> = func
+        .traces
+        .iter()
+        .flat_map(|t| t[1..].iter().copied())
+        .collect();
+    if interior.contains(&MBlockId(0)) {
+        diags.push(Diagnostic::error(
+            "TV011",
+            format!("{fname}: the entry block is a trace interior"),
+        ));
+        return None;
+    }
+    // Single entry: an interior block's only predecessor in the emitted
+    // program may be the trace member directly above it.
+    let mut preds: HashMap<MBlockId, Vec<MBlockId>> = HashMap::new();
+    for &b in &func.layout {
+        for s in func.post_finalize.block(b).term.successors() {
+            preds.entry(s).or_default().push(b);
+        }
+    }
+    for t in &func.traces {
+        for j in 1..t.len() {
+            if let Some(ps) = preds.get(&t[j]) {
+                if let Some(&p) = ps.iter().find(|&&p| p != t[j - 1]) {
+                    diags.push(Diagnostic::error(
+                        "TV011",
+                        format!(
+                            "{fname}: mb{} side-enters the trace interior mb{}",
+                            p.0, t[j].0
+                        ),
+                    ));
+                    return None;
+                }
+            }
+        }
+    }
+    let heads: HashMap<MBlockId, &Vec<MBlockId>> = func.traces.iter().map(|t| (t[0], t)).collect();
+    let mut groups = Vec::new();
+    let mut i = 0;
+    while i < func.layout.len() {
+        let b = func.layout[i];
+        if let Some(trace) = heads.get(&b) {
+            if !func.layout[i..].starts_with(trace) {
+                diags.push(Diagnostic::error(
+                    "TV011",
+                    format!("{fname}: trace {trace:?} is not a consecutive run of the layout"),
+                ));
+                return None;
+            }
+            groups.push((*trace).clone());
+            i += trace.len();
+        } else {
+            if interior.contains(&b) {
+                diags.push(Diagnostic::error(
+                    "TV011",
+                    format!(
+                        "{fname}: trace interior mb{} reached outside its trace",
+                        b.0
+                    ),
+                ));
+                return None;
+            }
+            groups.push(vec![b]);
+            i += 1;
+        }
+    }
+    Some(groups)
+}
+
+/// Checks the schedule of one traced function (TV005–TV007 plus the
+/// superblock-region obligations TV011/TV012).
 pub fn check_schedule(
     func: &FunctionTrace,
     mdes: &MachineDescription,
+    abi: Option<&Abi>,
     diags: &mut Vec<Diagnostic>,
 ) {
     let fname = &func.name;
-    if func.scheduled.len() != func.layout.len() {
+    let Some(groups) = region_groups(func, diags) else {
+        return;
+    };
+    if func.scheduled.len() != groups.len() {
         diags.push(Diagnostic::error(
             "TV005",
             format!(
-                "{fname}: {} scheduled block(s) for {} laid-out block(s)",
+                "{fname}: {} scheduled block(s) for {} scheduling region(s)",
                 func.scheduled.len(),
-                func.layout.len()
+                groups.len()
             ),
         ));
         return;
     }
+    let live_in = if func.traces.is_empty() {
+        HashMap::new()
+    } else if let Some(abi) = abi {
+        block_live_in(&func.post_finalize, abi)
+    } else {
+        diags.push(Diagnostic::error(
+            "TV011",
+            format!("{fname}: superblock traces recorded but the target has no valid ABI"),
+        ));
+        return;
+    };
     for (k, sb) in func.scheduled.iter().enumerate() {
-        let id = func.layout[k];
-        let want_label = block_label(fname, id.0);
+        let group = &groups[k];
+        let want_label = block_label(fname, group[0].0);
         if sb.label != want_label {
             diags.push(Diagnostic::error(
                 "TV005",
@@ -383,21 +602,75 @@ pub fn check_schedule(
             ));
         }
         let mut ops: Vec<MOp> = Vec::new();
+        let mut exits: Vec<RegionExit> = Vec::new();
         let mut callful = false;
-        for inst in &func.post_finalize.block(id).insts {
-            match inst {
-                MInst::Op(op) => ops.push(op.clone()),
-                MInst::Call { .. } => callful = true,
+        let mut well_formed = true;
+        for (j, &id) in group.iter().enumerate() {
+            for inst in &func.post_finalize.block(id).insts {
+                match inst {
+                    MInst::Op(op) => ops.push(op.clone()),
+                    MInst::Call { .. } => callful = true,
+                }
+            }
+            if j + 1 == group.len() {
+                break;
+            }
+            let next = group[j + 1];
+            match &func.post_finalize.block(id).term {
+                MTerm::Jump(t) if *t == next => {}
+                MTerm::CondJump {
+                    on_true, on_false, ..
+                } if *on_true == next || *on_false == next => {
+                    let target = if *on_false == next {
+                        *on_true
+                    } else {
+                        *on_false
+                    };
+                    if matches!(
+                        ops.last().map(|o| o.opcode),
+                        Some(Opcode::Brct | Opcode::Brcf)
+                    ) {
+                        exits.push(RegionExit {
+                            op: ops.len() - 1,
+                            live: live_in.get(&target).cloned().unwrap_or_default(),
+                        });
+                    } else {
+                        diags.push(Diagnostic::error(
+                            "TV011",
+                            format!(
+                                "{fname}: interior mb{} does not end in a lowered conditional branch",
+                                id.0
+                            ),
+                        ));
+                        well_formed = false;
+                    }
+                }
+                term => {
+                    diags.push(Diagnostic::error(
+                        "TV011",
+                        format!(
+                            "{fname}: interior mb{} does not fall through to mb{} (`{term:?}`)",
+                            id.0, next.0
+                        ),
+                    ));
+                    well_formed = false;
+                }
             }
         }
         if callful {
             diags.push(Diagnostic::error(
                 "TV005",
-                format!("{fname}: block mb{} still contains a call pseudo", id.0),
+                format!(
+                    "{fname}: region at mb{} still contains a call pseudo",
+                    group[0].0
+                ),
             ));
             continue;
         }
-        check_block_schedule(fname, &sb.label, &ops, sb, mdes, diags);
+        if !well_formed {
+            continue;
+        }
+        check_block_schedule(fname, &sb.label, &ops, &exits, sb, mdes, diags);
     }
 }
 
@@ -405,6 +678,7 @@ fn check_block_schedule(
     fname: &str,
     label: &str,
     ops: &[MOp],
+    exits: &[RegionExit],
     sb: &epic_compiler::sched::ScheduledBlock,
     mdes: &MachineDescription,
     diags: &mut Vec<Diagnostic>,
@@ -485,14 +759,22 @@ fn check_block_schedule(
         }
     }
 
-    // TV005: the bundles must hold exactly the block's operations.
+    // TV005: the bundles must hold exactly the region's operations — up
+    // to the dismissible-load rewrite (`LW` → `LWS`) for loads that
+    // crossed a side exit; TV012 settles each rewrite's legitimacy.
     let flat: Vec<(usize, &MOp)> = sb
         .bundles
         .iter()
         .enumerate()
         .flat_map(|(bi, b)| b.iter().map(move |op| (bi, op)))
         .collect();
-    let key = |op: &MOp| format!("{op:?}");
+    let key = |op: &MOp| {
+        let mut n = op.clone();
+        if n.opcode == Opcode::LwS {
+            n.opcode = Opcode::Lw;
+        }
+        format!("{n:?}")
+    };
     let mut want: Vec<String> = ops.iter().map(&key).collect();
     let mut got: Vec<String> = flat.iter().map(|(_, o)| key(o)).collect();
     want.sort();
@@ -501,7 +783,7 @@ fn check_block_schedule(
         diags.push(Diagnostic::error(
             "TV005",
             format!(
-                "{fname}: {label}: scheduled bundles hold {} op(s) that are not a permutation of the block's {} op(s)",
+                "{fname}: {label}: scheduled bundles hold {} op(s) that are not a permutation of the region's {} op(s)",
                 flat.len(),
                 ops.len()
             ),
@@ -510,25 +792,65 @@ fn check_block_schedule(
     }
 
     // Map every original op to its issue cycle: pair program-order
-    // instances with schedule-order instances (identical ops are
-    // interchangeable, so first-match is sound).
+    // instances with schedule-order instances under the normalized key.
+    // Identical writing ops carry a WAW chain, so their cycle order must
+    // equal their program order — matching in bundle (cycle) order is
+    // the unique consistent pairing. The only opcode change allowed is
+    // the word load's dismissible rewrite (`LW` → `LWS`).
     let mut used = vec![false; flat.len()];
     let mut cycle_of = vec![0u32; ops.len()];
+    let mut became_lws = vec![false; ops.len()];
     for (i, op) in ops.iter().enumerate() {
-        let mut found = None;
-        for (jj, (bi, other)) in flat.iter().enumerate() {
-            if !used[jj] && *other == op {
-                found = Some((jj, *bi));
-                break;
-            }
-        }
-        let (jj, bi) = found.expect("multiset equality guarantees a match");
+        let want = key(op);
+        let (jj, bi, other) = flat
+            .iter()
+            .enumerate()
+            .find_map(|(jj, (bi, other))| {
+                (!used[jj] && key(other) == want).then_some((jj, *bi, *other))
+            })
+            .expect("normalized multiset equality guarantees a match");
         used[jj] = true;
         cycle_of[i] = sb.meta[bi].cycle;
+        if other.opcode != op.opcode {
+            if op.opcode == Opcode::Lw && other.opcode == Opcode::LwS {
+                became_lws[i] = true;
+            } else {
+                diags.push(Diagnostic::error(
+                    "TV005",
+                    format!(
+                        "{fname}: {label}: `{op}` was rewritten to `{other}` — only LW may become LWS",
+                    ),
+                ));
+                return;
+            }
+        }
+    }
+
+    // TV012: the dismissible rewrite happens exactly when a load crossed
+    // a side exit (issued at or before the exit's cycle despite
+    // following it in program order). A gratuitous `LWS` masks faults on
+    // the committed path; a missing one traps on the speculated path.
+    for (i, op) in ops.iter().enumerate() {
+        let crossed = exits
+            .iter()
+            .any(|e| e.op < i && cycle_of[i] <= cycle_of[e.op]);
+        if became_lws[i] && !crossed {
+            diags.push(Diagnostic::error(
+                "TV012",
+                format!(
+                    "{fname}: {label}: `{op}` was rewritten to the dismissible LWS without crossing a side exit"
+                ),
+            ));
+        } else if op.opcode == Opcode::Lw && !became_lws[i] && crossed {
+            diags.push(Diagnostic::error(
+                "TV012",
+                format!("{fname}: {label}: `{op}` crossed a side exit but kept the faulting LW"),
+            ));
+        }
     }
 
     // TV006: every dependence edge against the chosen cycles.
-    for dep in dependences(ops, mdes) {
+    for dep in dependences(ops, exits, mdes) {
         let (ca, cb) = (cycle_of[dep.from], cycle_of[dep.to]);
         let violation = match dep.kind {
             DepKind::Flow | DepKind::Output | DepKind::Mem => cb <= ca,

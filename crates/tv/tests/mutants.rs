@@ -13,7 +13,7 @@
 //! (no errors *and* no warnings), which doubles as a false-positive
 //! guard on exactly the programs the mutants are derived from.
 
-use epic_compiler::mir::{MDest, MFunction, MInst, MOp, MSrc, MTerm};
+use epic_compiler::mir::{MBlockId, MDest, MFunction, MInst, MOp, MSrc, MTerm};
 use epic_compiler::regalloc::Abi;
 use epic_compiler::sched::{BundleMeta, ScheduledBlock};
 use epic_config::Config;
@@ -935,6 +935,154 @@ fn emit_corrupted_branch_label() {
         ..Default::default()
     };
     assert_mutant(&caller_callee(), "main", &[3], &m, "TV009");
+}
+
+// --------------------------------------------------------------------
+// Superblock mutants (TV010 / TV011 / TV012)
+// --------------------------------------------------------------------
+
+/// A hot counted loop: the static heuristic forms the header/body trace
+/// and unrolls it into a superblock chain.
+fn hot_loop() -> Program {
+    Program::new().function(FunctionDef::new("main", ["n"]).body([
+        Stmt::let_("s", Expr::lit(0)),
+        Stmt::let_("i", Expr::lit(0)),
+        Stmt::while_(
+            Expr::var("i").lt_s(Expr::var("n")),
+            [
+                Stmt::assign(
+                    "s",
+                    Expr::var("s") + (Expr::var("i") * Expr::lit(3) + Expr::lit(7)),
+                ),
+                Stmt::assign("i", Expr::var("i") + Expr::lit(1)),
+            ],
+        ),
+        Stmt::ret(Expr::var("s")),
+    ]))
+}
+
+/// A count-*down* loop striding a wide array: the scheduler speculates
+/// each copy's load across the preceding exit test, and the speculated
+/// address at `i == -1` underruns the data segment.
+fn hot_countdown_load() -> Program {
+    Program::new()
+        .global(Global::zeroed("g", 24 * 256))
+        .function(FunctionDef::new("main", ["n"]).body([
+            Stmt::let_("s", Expr::lit(0)),
+            Stmt::let_("i", Expr::var("n") - Expr::lit(1)),
+            Stmt::while_(
+                Expr::var("i").ge_s(Expr::lit(0)),
+                [
+                    Stmt::assign(
+                        "s",
+                        Expr::var("s")
+                            + (Expr::global("g") + Expr::var("i") * Expr::lit(256)).load_word()
+                            + Expr::lit(7),
+                    ),
+                    Stmt::assign("i", Expr::var("i") - Expr::lit(1)),
+                ],
+            ),
+            Stmt::ret(Expr::var("s")),
+        ]))
+}
+
+#[test]
+fn superblock_corrupted_unrolled_clone() {
+    let mutate = |f: &mut MFunction| {
+        // Corrupt a literal operand in the last unrolled copy: the clone
+        // no longer matches its origin block bit for bit, and every
+        // eighth iteration computes a different term.
+        let last = f.blocks.len() - 1;
+        let at = f.blocks[last]
+            .insts
+            .iter()
+            .position(|i| matches!(i, MInst::Op(op) if matches!(op.src2, MSrc::Lit(_))))
+            .expect("literal operand in the clone");
+        let op = op_mut(f, (last, at));
+        let MSrc::Lit(v) = op.src2 else {
+            unreachable!()
+        };
+        op.src2 = MSrc::Lit(v + 1);
+    };
+    let m = Mutation {
+        function: "main",
+        post_superblock: Some(&mutate),
+        ..Default::default()
+    };
+    assert_mutant(&hot_loop(), "main", &[24], &m, "TV010");
+}
+
+#[test]
+fn superblock_back_edge_skips_exit_test() {
+    let mutate = |f: &mut MFunction| {
+        // The chain's back edge re-enters at the head's successor: the
+        // first copy's loop-exit test is skipped, so after the last full
+        // wrap (`i == n`) the loop runs one body too many.
+        let last = f.blocks.last_mut().expect("blocks");
+        let MTerm::Jump(h) = last.term else {
+            panic!("the back edge should be an unconditional jump")
+        };
+        last.term = MTerm::Jump(MBlockId(h.0 + 1));
+    };
+    let m = Mutation {
+        function: "main",
+        post_superblock: Some(&mutate),
+        ..Default::default()
+    };
+    assert_mutant(&hot_loop(), "main", &[24], &m, "TV010");
+}
+
+#[test]
+fn superblock_side_entry_into_trace_interior() {
+    let mutate = |f: &mut MFunction| {
+        // The loop's external predecessor branches into the middle of
+        // the chain instead of its head, skipping the first exit test:
+        // with `n == 0` the body runs once when it should not run at all.
+        let MTerm::Jump(head) = f.blocks.last().expect("blocks").term else {
+            panic!("the back edge should be an unconditional jump")
+        };
+        let last = f.blocks.len() - 1;
+        let entry = f
+            .blocks
+            .iter()
+            .position(|b| b.term == MTerm::Jump(head) && b.id.0 as usize != last)
+            .expect("external predecessor of the chain head");
+        f.blocks[entry].term = MTerm::Jump(MBlockId(head.0 + 1));
+    };
+    let m = Mutation {
+        function: "main",
+        post_superblock: Some(&mutate),
+        ..Default::default()
+    };
+    assert_mutant(&hot_loop(), "main", &[0], &m, "TV011");
+}
+
+#[test]
+fn superblock_speculated_load_left_faulting() {
+    let mdes = MachineDescription::new(&Config::default());
+    let mutate = move |blocks: &mut Vec<ScheduledBlock>| {
+        // Undo the dismissible rewrite everywhere: each load hoisted
+        // across a side exit traps again on the speculated path.
+        let mut flipped = 0;
+        for sb in blocks.iter_mut() {
+            for bundle in &mut sb.bundles {
+                for op in bundle {
+                    if op.opcode == Opcode::LwS {
+                        op.opcode = Opcode::Lw;
+                        flipped += 1;
+                    }
+                }
+            }
+        }
+        assert!(flipped > 0, "no dismissible load in the schedule");
+        rebuild(blocks, &mdes);
+    };
+    let m = Mutation {
+        function: "main",
+        post_sched: Some(&mutate),
+        ..Default::default()
+    };
+    assert_mutant(&hot_countdown_load(), "main", &[24], &m, "TV012");
 }
 
 // --------------------------------------------------------------------

@@ -1,0 +1,111 @@
+//! Cycle-regression gate: no workload may get *slower* than the
+//! committed golden corpus at any grid point.
+//!
+//! The exact-match corpus in `golden_cycles.rs` catches every timing
+//! drift, improvements included, and asks for an explicit re-bless.
+//! This gate is the one-sided companion CI runs on top of it: it parses
+//! the committed `tests/golden/cycles.txt` and fails only when a grid
+//! point's cycle count *exceeds* the blessed number. Improvements pass
+//! here (and still surface in the exact-match test, where they must be
+//! re-blessed deliberately); regressions fail loudly with the full list
+//! of offending configurations.
+//!
+//! The test is `#[ignore]`d because it re-simulates the whole
+//! workload × ALU × issue-width grid, which the exact-match corpus test
+//! already does once per CI run. Invoke it explicitly:
+//!
+//! ```text
+//! cargo test --release --test cycle_gate -- --ignored
+//! ```
+
+use epic_core::config::Config;
+use epic_core::experiments::run_epic_workload;
+use epic_core::workloads::{self, Scale};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::path::PathBuf;
+
+fn golden_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/golden/cycles.txt")
+}
+
+/// Parses `tests/golden/cycles.txt` into `(workload, alus, iw) -> cycles`.
+fn golden_cycles() -> BTreeMap<(String, usize, usize), u64> {
+    let path = golden_path();
+    let text = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "{}: {e}\nrun `EPIC_BLESS=1 cargo test --test golden_cycles` to create it",
+            path.display()
+        )
+    });
+    let mut map = BTreeMap::new();
+    for line in text.lines() {
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut fields = line.split_whitespace();
+        let workload = fields.next().expect("workload name").to_string();
+        let mut keyed = |key: &str| -> u64 {
+            let field = fields
+                .next()
+                .unwrap_or_else(|| panic!("missing `{key}=` in golden line: {line}"));
+            field
+                .strip_prefix(&format!("{key}="))
+                .and_then(|v| v.parse().ok())
+                .unwrap_or_else(|| panic!("bad `{key}=` field `{field}` in golden line: {line}"))
+        };
+        let alus = keyed("alus") as usize;
+        let iw = keyed("iw") as usize;
+        let cycles = keyed("cycles");
+        map.insert((workload, alus, iw), cycles);
+    }
+    assert!(!map.is_empty(), "golden corpus parsed to zero grid points");
+    map
+}
+
+#[test]
+#[ignore = "re-simulates the full design-space grid; run explicitly in CI"]
+fn no_grid_point_exceeds_golden_cycles() {
+    let golden = golden_cycles();
+    let mut violations = String::new();
+    let mut checked = 0usize;
+    for workload in workloads::all(Scale::Test) {
+        for alus in 1..=4usize {
+            for width in 1..=4usize {
+                let Some(&budget) = golden.get(&(workload.name.clone(), alus, width)) else {
+                    // A new workload or grid point has no budget yet; the
+                    // exact-match corpus test forces a bless that adds one.
+                    continue;
+                };
+                let config = Config::builder()
+                    .num_alus(alus)
+                    .issue_width(width)
+                    .build()
+                    .expect("valid grid configuration");
+                let stats = run_epic_workload(&workload, &config).unwrap_or_else(|e| {
+                    panic!("{} at {alus} ALU / {width}-wide failed: {e}", workload.name)
+                });
+                checked += 1;
+                if stats.cycles > budget {
+                    let _ = writeln!(
+                        violations,
+                        "  {} alus={alus} iw={width}: {} cycles > golden {budget} (+{}, +{:.2}%)",
+                        workload.name,
+                        stats.cycles,
+                        stats.cycles - budget,
+                        100.0 * (stats.cycles - budget) as f64 / budget as f64,
+                    );
+                }
+            }
+        }
+    }
+    assert!(checked > 0, "no grid points matched the golden corpus");
+    assert!(
+        violations.is_empty(),
+        "cycle regression against {} ({checked} grid points checked):\n{violations}\
+         Performance must not regress at any grid point. If the slowdown is a \
+         deliberate trade-off, re-bless with `EPIC_BLESS=1 cargo test --test \
+         golden_cycles` and justify it in the commit.",
+        golden_path().display()
+    );
+}
