@@ -205,17 +205,21 @@ fn cmd_metrics(scale: Scale, out: Option<std::path::PathBuf>) -> Result<(), Stri
 
 /// Machine-readable cycle trajectory: the full workload × ALUs 1–4 ×
 /// issue-width 1–4 grid as `BENCH_cycles.json` (schema
-/// `epic-bench-cycles/v1`, stable field set and ordering), so perf
+/// `epic-bench-cycles/v2`, stable field set and ordering), so perf
 /// changes across PRs diff as data, not prose. The table mirrors the
 /// JSON and adds the scheduler's issue-slot occupancy (filled /
-/// available) next to the dynamic ILP.
+/// available) next to the dynamic ILP. Schema v2 prices every point with
+/// the `epic-bound` cycle-interval analysis over the run's own issue
+/// counts and records `bound_lower`/`bound_upper` alongside `cycles` —
+/// the committed file carries its own `lower <= cycles <= upper`
+/// containment proof, which CI re-checks.
 fn cmd_bench(scale: Scale, out: Option<std::path::PathBuf>) -> Result<(), String> {
     let out = out.unwrap_or_else(|| std::path::PathBuf::from("BENCH_cycles.json"));
     let workloads = workloads::all(scale);
     println!("Cycle grid ({scale:?} scale): workload x ALUs 1-4 x issue width 1-4");
     println!(
-        "{:<10} {:>5} {:>3} {:>10} {:>8} {:>6} {:>10}",
-        "workload", "alus", "iw", "cycles", "ipc", "ilp", "occupancy"
+        "{:<10} {:>5} {:>3} {:>10} {:>21} {:>8} {:>6} {:>10}",
+        "workload", "alus", "iw", "cycles", "static bound", "ipc", "ilp", "occupancy"
     );
     let mut entries = String::new();
     for workload in &workloads {
@@ -226,20 +230,41 @@ fn cmd_bench(scale: Scale, out: Option<std::path::PathBuf>) -> Result<(), String
                     .issue_width(width)
                     .build()
                     .expect("valid grid configuration");
+                let mut sink = epic_obs::ProfileSink::default();
                 let run = epic_core::experiments::run_epic_workload_observed(
-                    workload,
-                    &config,
-                    &mut epic_core::sim::NopSink,
+                    workload, &config, &mut sink,
                 )
                 .map_err(|e| format!("{} at {alus} ALU / {width}-wide: {e}", workload.name))?;
                 let stats = run.stats();
                 let sched = run.compiled.stats().sched;
+                let counts: std::collections::BTreeMap<u32, u64> =
+                    sink.per_pc().map(|(pc, p)| (pc, p.issues)).collect();
+                let model = epic_bound::CostModel::new(&config);
+                let bounds = epic_bound::analyze_cycles(
+                    &config,
+                    run.program.bundles(),
+                    run.program.entry() as usize,
+                    &epic_bound::CountSource::Measured(&counts),
+                    &model,
+                    &epic_bound::BoundOptions::default(),
+                );
+                if !bounds.contains(stats.cycles) {
+                    return Err(format!(
+                        "{} at {alus} ALU / {width}-wide: static interval [{}, {:?}] does \
+                         not contain the run's {} cycles",
+                        workload.name, bounds.lower, bounds.upper, stats.cycles
+                    ));
+                }
+                let upper = bounds
+                    .upper
+                    .expect("measured counts always close the interval");
                 println!(
-                    "{:<10} {:>5} {:>3} {:>10} {:>8.3} {:>6.3} {:>9.1}%",
+                    "{:<10} {:>5} {:>3} {:>10} {:>21} {:>8.3} {:>6.3} {:>9.1}%",
                     workload.name,
                     alus,
                     width,
                     stats.cycles,
+                    format!("[{}, {}]", bounds.lower, upper),
                     stats.ipc(),
                     stats.bundle_fill(),
                     100.0 * sched.occupancy()
@@ -249,12 +274,15 @@ fn cmd_bench(scale: Scale, out: Option<std::path::PathBuf>) -> Result<(), String
                 }
                 entries.push_str(&format!(
                     "    {{\"workload\": \"{}\", \"alus\": {}, \"issue_width\": {}, \
-                     \"cycles\": {}, \"instructions\": {}, \"ipc\": {:.4}, \"ilp\": {:.4}, \
+                     \"cycles\": {}, \"bound_lower\": {}, \"bound_upper\": {}, \
+                     \"instructions\": {}, \"ipc\": {:.4}, \"ilp\": {:.4}, \
                      \"occupancy\": {:.4}}}",
                     workload.name,
                     alus,
                     width,
                     stats.cycles,
+                    bounds.lower,
+                    upper,
                     stats.instructions,
                     stats.ipc(),
                     stats.bundle_fill(),
@@ -264,7 +292,7 @@ fn cmd_bench(scale: Scale, out: Option<std::path::PathBuf>) -> Result<(), String
         }
     }
     let json = format!(
-        "{{\n  \"schema\": \"epic-bench-cycles/v1\",\n  \"scale\": \"{scale:?}\",\n  \
+        "{{\n  \"schema\": \"epic-bench-cycles/v2\",\n  \"scale\": \"{scale:?}\",\n  \
          \"points\": [\n{entries}\n  ]\n}}\n"
     );
     std::fs::write(&out, json).map_err(|e| format!("{}: {e}", out.display()))?;

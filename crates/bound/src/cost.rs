@@ -1,0 +1,382 @@
+//! The static cost model behind the cycle-interval analysis, and the
+//! seeded-mutant corpus that keeps it honest.
+//!
+//! A [`CostModel`] precomputes, from one configuration, every per-bundle
+//! price the cycle analysis folds: result latencies (plus the
+//! no-forwarding penalty), register-file port serialisation against the
+//! controller budget, the taken-branch penalty and loop trip bounds.
+//! Each price is derived once at construction — which is exactly where a
+//! [`Mutation`] injects a deliberate, realistic bug. Two independent
+//! nets must catch every mutant:
+//!
+//! * [`CostModel::audit`] re-derives every price from the machine
+//!   description and first principles and reports mismatches, and
+//! * the differential oracle (`tests/mutants.rs`) runs crafted programs
+//!   whose simulated cycle counts escape the mutated interval.
+//!
+//! A mutant that survives both would be a soundness hole; the test suite
+//! requires all of them caught.
+
+use epic_config::Config;
+use epic_isa::Opcode;
+use epic_mdes::{MachineDescription, StaticBundleCost};
+
+/// A deliberate bug injected into the static cost model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Mutation {
+    /// The faithful model.
+    #[default]
+    None,
+    /// Loads priced at a single cycle regardless of the configured
+    /// memory latency.
+    WrongLoadLatency,
+    /// The register-file port budget is never charged.
+    IgnorePortBudget,
+    /// Taken branches cost nothing.
+    DropBranchPenalty,
+    /// Loop trip bounds drop the final iteration and the staleness
+    /// slack (the classic off-by-one at the exit test).
+    LoopBoundOffByOne,
+    /// Interval widening narrows instead of widening (drops values).
+    UnsoundWidening,
+}
+
+impl Mutation {
+    /// Every seeded mutant.
+    pub const ALL: [Mutation; 5] = [
+        Mutation::WrongLoadLatency,
+        Mutation::IgnorePortBudget,
+        Mutation::DropBranchPenalty,
+        Mutation::LoopBoundOffByOne,
+        Mutation::UnsoundWidening,
+    ];
+
+    /// A short stable name for reports.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Mutation::None => "none",
+            Mutation::WrongLoadLatency => "wrong-load-latency",
+            Mutation::IgnorePortBudget => "ignore-port-budget",
+            Mutation::DropBranchPenalty => "drop-branch-penalty",
+            Mutation::LoopBoundOffByOne => "loop-bound-off-by-one",
+            Mutation::UnsoundWidening => "unsound-widening",
+        }
+    }
+}
+
+/// Per-configuration static prices, precomputed at construction (where a
+/// [`Mutation`] can corrupt them) and consumed by the cycle analysis.
+#[derive(Debug, Clone)]
+pub struct CostModel {
+    config: Config,
+    mdes: MachineDescription,
+    mutation: Mutation,
+    /// Extra result cycles when forwarding is disabled.
+    fwd_extra: u64,
+    /// Load result latency (possibly mutated).
+    load_latency: u32,
+    /// Stalls per taken branch (possibly mutated): the redirect cycle
+    /// plus one flush bubble per pipeline stage beyond two.
+    branch_penalty: u64,
+    /// Whether port serialisation is charged (mutation hook).
+    charge_ports: bool,
+}
+
+impl CostModel {
+    /// The faithful cost model for a configuration.
+    #[must_use]
+    pub fn new(config: &Config) -> CostModel {
+        CostModel::mutated(config, Mutation::None)
+    }
+
+    /// A cost model with one seeded bug (or [`Mutation::None`]).
+    #[must_use]
+    pub fn mutated(config: &Config, mutation: Mutation) -> CostModel {
+        CostModel {
+            config: config.clone(),
+            mdes: MachineDescription::new(config),
+            mutation,
+            fwd_extra: u64::from(!config.forwarding()),
+            load_latency: if mutation == Mutation::WrongLoadLatency {
+                1
+            } else {
+                config.load_latency()
+            },
+            branch_penalty: if mutation == Mutation::DropBranchPenalty {
+                0
+            } else {
+                config.pipeline_stages() as u64 - 1
+            },
+            charge_ports: mutation != Mutation::IgnorePortBudget,
+        }
+    }
+
+    /// The configuration this model prices.
+    #[must_use]
+    pub fn config(&self) -> &Config {
+        &self.config
+    }
+
+    /// The machine description this model prices against.
+    #[must_use]
+    pub fn mdes(&self) -> &MachineDescription {
+        &self.mdes
+    }
+
+    /// The seeded mutation, if any.
+    #[must_use]
+    pub fn mutation(&self) -> Mutation {
+        self.mutation
+    }
+
+    /// Cycles after execute until an operation's GPR result may be
+    /// consumed without stalling (the scoreboard's booking).
+    #[must_use]
+    pub fn ready_after(&self, opcode: Opcode) -> u64 {
+        let latency = if opcode.is_load() {
+            self.load_latency
+        } else {
+            self.mdes.latency(opcode)
+        };
+        u64::from(latency) + self.fwd_extra
+    }
+
+    /// Cycles the iterative divider blocks its ALU.
+    #[must_use]
+    pub fn div_occupancy(&self) -> u64 {
+        u64::from(self.config.div_latency())
+    }
+
+    /// Upper bound on register-file port stalls per execution of a
+    /// bundle: no forwarding discount, every read charged.
+    #[must_use]
+    pub fn port_stall_hi(&self, cost: &StaticBundleCost) -> u64 {
+        if self.charge_ports {
+            u64::from(cost.extra_port_cycles(self.config.regfile_ops_per_cycle()))
+        } else {
+            0
+        }
+    }
+
+    /// Lower bound on port stalls per execution: with forwarding every
+    /// read may bypass the file, leaving only the writes; without it the
+    /// static count is exact.
+    #[must_use]
+    pub fn port_stall_lo(&self, cost: &StaticBundleCost, write_ports: usize) -> u64 {
+        if !self.charge_ports {
+            return 0;
+        }
+        let ops = if self.config.forwarding() {
+            write_ports
+        } else {
+            cost.port_ops
+        };
+        let budget = self.config.regfile_ops_per_cycle().max(1);
+        (ops.div_ceil(budget).max(1) - 1) as u64
+    }
+
+    /// Stalls per taken branch: one redirect cycle plus the flush
+    /// bubbles (`pipeline_stages - 1` total).
+    #[must_use]
+    pub fn branch_penalty(&self) -> u64 {
+        self.branch_penalty
+    }
+
+    /// Applies the loop-bound mutation to a statically derived trip
+    /// bound.
+    #[must_use]
+    pub fn loop_trips(&self, trips: Option<u64>) -> Option<u64> {
+        match self.mutation {
+            Mutation::LoopBoundOffByOne => trips.map(|t| t.saturating_sub(3)),
+            _ => trips,
+        }
+    }
+
+    /// Whether value-range widening should (unsoundly) narrow — wired
+    /// into [`crate::ranges::ValueAnalysis`] by the cycle analysis.
+    #[must_use]
+    pub fn unsound_widening(&self) -> bool {
+        self.mutation == Mutation::UnsoundWidening
+    }
+
+    /// Re-derives every price from the machine description and first
+    /// principles; each mismatch is one finding. The faithful model
+    /// audits clean, every seeded [`Mutation`] is reported.
+    #[must_use]
+    pub fn audit(&self) -> Vec<String> {
+        let mut findings = Vec::new();
+
+        // Latencies come from the machine description, nowhere else.
+        for opcode in [
+            Opcode::Add,
+            Opcode::Mull,
+            Opcode::Div,
+            Opcode::Lw,
+            Opcode::Lb,
+            Opcode::Sw,
+            Opcode::Cmp(epic_isa::CmpCond::Lt),
+        ] {
+            let expected =
+                u64::from(self.mdes.latency(opcode)) + u64::from(!self.config.forwarding());
+            let got = self.ready_after(opcode);
+            if got != expected {
+                findings.push(format!(
+                    "latency of {:?}: model books {got} cycles, machine description says {expected}",
+                    opcode
+                ));
+            }
+        }
+
+        // Port serialisation must match the shared static-cost formula.
+        let budget = self.config.regfile_ops_per_cycle();
+        for port_ops in 0..=24 {
+            let cost = StaticBundleCost {
+                port_ops,
+                ..StaticBundleCost::default()
+            };
+            let expected = u64::from(cost.extra_port_cycles(budget));
+            let got = self.port_stall_hi(&cost);
+            if got != expected {
+                findings.push(format!(
+                    "port budget: {port_ops} ops against {budget}/cycle \
+                     costs {expected} stalls, model charges {got}"
+                ));
+            }
+            if self.port_stall_lo(&cost, port_ops) > got {
+                findings.push(format!(
+                    "port bounds inverted at {port_ops} ops: lower exceeds upper"
+                ));
+            }
+        }
+
+        // Taken-branch penalty: redirect + flush bubbles.
+        let expected_penalty = self.config.pipeline_stages() as u64 - 1;
+        if self.branch_penalty() != expected_penalty {
+            findings.push(format!(
+                "taken branch: {} pipeline stages cost {expected_penalty} stalls, model charges {}",
+                self.config.pipeline_stages(),
+                self.branch_penalty()
+            ));
+        }
+
+        // Trip bounds: brute-force the induction recurrence (with the
+        // worst-case one-iteration-stale compare operand) and demand the
+        // closed form dominates it.
+        for (start, step, limit) in [(0u64, 1u64, 10i64), (3, 2, 40), (0, 5, 7), (9, 1, 3)] {
+            for cond in [epic_isa::CmpCond::Lt, epic_isa::CmpCond::Ltu] {
+                let Some(closed) =
+                    crate::loops::trip_bound(cond, start, start as u32, limit, step, 1)
+                else {
+                    findings.push(format!(
+                        "trip bound: counted shape r={start} +{step} while <{limit} not solved"
+                    ));
+                    continue;
+                };
+                let brute = brute_force_trips(start, step, limit as u64);
+                if self.loop_trips(Some(closed)).unwrap_or(0) < brute {
+                    findings.push(format!(
+                        "trip bound: loop r={start} +{step} while <{limit} runs {brute} \
+                         iterations, model bounds it at {:?}",
+                        self.loop_trips(Some(closed))
+                    ));
+                }
+            }
+        }
+
+        // Widening must be extensive: the widened interval contains the
+        // original.
+        let analysis = {
+            let mut a = crate::ranges::ValueAnalysis::new(&self.config);
+            a.narrow_instead_of_widen = self.unsound_widening();
+            a
+        };
+        use crate::solver::Analysis as _;
+        for interval in [
+            crate::lattice::Interval { lo: 0, hi: 200 },
+            crate::lattice::Interval { lo: 5, hi: 6 },
+            crate::lattice::Interval {
+                lo: 100,
+                hi: u32::MAX,
+            },
+        ] {
+            let mut state = analysis.boundary();
+            state.gprs[1] = interval;
+            let before = state.gprs[1];
+            analysis.widen(&mut state);
+            if !state.gprs[1].includes(&before) {
+                findings.push(format!(
+                    "widening is not extensive: [{}, {}] widened to [{}, {}]",
+                    before.lo, before.hi, state.gprs[1].lo, state.gprs[1].hi
+                ));
+            }
+        }
+
+        findings
+    }
+}
+
+/// Iterations of `r = start; loop { r += step; continue while seen < limit }`
+/// where the exit test may observe `r` one add late.
+fn brute_force_trips(start: u64, step: u64, limit: u64) -> u64 {
+    let mut iterations = 0u64;
+    loop {
+        iterations += 1;
+        // Worst case the compare saw the counter before this
+        // iteration's add.
+        let seen = start + (iterations - 1) * step;
+        if seen >= limit || iterations > 1_000_000 {
+            return iterations;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn faithful_model_audits_clean() {
+        for config in [
+            Config::default(),
+            Config::builder().forwarding(false).build().unwrap(),
+            Config::builder()
+                .pipeline_stages(4)
+                .regfile_ops_per_cycle(4)
+                .build()
+                .unwrap(),
+        ] {
+            let model = CostModel::new(&config);
+            let findings = model.audit();
+            assert!(findings.is_empty(), "clean model flagged: {findings:?}");
+        }
+    }
+
+    #[test]
+    fn every_mutation_is_caught_by_the_audit() {
+        let config = Config::default();
+        for mutation in Mutation::ALL {
+            let model = CostModel::mutated(&config, mutation);
+            let findings = model.audit();
+            assert!(
+                !findings.is_empty(),
+                "mutation {} survived the audit",
+                mutation.name()
+            );
+        }
+    }
+
+    #[test]
+    fn prices_follow_the_configuration() {
+        let config = Config::builder()
+            .load_latency(3)
+            .forwarding(false)
+            .pipeline_stages(4)
+            .build()
+            .unwrap();
+        let model = CostModel::new(&config);
+        assert_eq!(model.ready_after(Opcode::Lw), 4, "load latency + no-fwd");
+        assert_eq!(model.ready_after(Opcode::Add), 2);
+        assert_eq!(model.branch_penalty(), 3);
+    }
+}

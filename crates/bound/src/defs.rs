@@ -1,0 +1,341 @@
+//! Reaching definitions and predicate-aware definedness of GPRs.
+//!
+//! Two related forward analyses over the same solver:
+//!
+//! * [`ReachingDefs`] — the textbook analysis: for every bundle, which
+//!   write sites (bundle address, slot) may have produced each GPR's
+//!   current value. Small per-register site sets, capped to keep the
+//!   lattice finite.
+//! * [`Definedness`] — the condensation `epic-verify`'s VER013 needs,
+//!   refined with guard predicates: per GPR a *may* bit (some path
+//!   writes it) and a [`MustDef`] fact (on every path it is written
+//!   unconditionally, written only under one guard, or possibly not at
+//!   all). Sequential writes under the two complementary targets of one
+//!   compare promote to `Always` — the if-conversion pattern
+//!   (`CMP p1,p2,…; MOVE r (p1); MOVE r (p2)`) a path-insensitive
+//!   analysis cannot see through.
+
+use crate::cfg::Cfg;
+use crate::lattice::{Lattice, MustDef};
+use crate::solver::{solve_forward, Analysis, Direction};
+use epic_config::Config;
+use epic_isa::{Instruction, Opcode, PredReg, TRUE_PRED};
+
+/// Cap on tracked write sites per register; larger sets widen to `Top`.
+const MAX_SITES: usize = 8;
+
+/// The write sites that may reach a point, for one GPR.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub enum DefSites {
+    /// No write reaches (the register still holds its reset value).
+    #[default]
+    None,
+    /// Exactly these `(bundle, slot)` sites may reach.
+    Sites(Vec<(u32, u32)>),
+    /// Too many sites to track.
+    Top,
+}
+
+impl Lattice for DefSites {
+    fn join(&mut self, other: &DefSites) -> bool {
+        match (&mut *self, other) {
+            (_, DefSites::None) => false,
+            (DefSites::Top, _) => false,
+            (slot @ DefSites::None, _) => {
+                *slot = other.clone();
+                true
+            }
+            (slot @ DefSites::Sites(_), DefSites::Top) => {
+                *slot = DefSites::Top;
+                true
+            }
+            (DefSites::Sites(mine), DefSites::Sites(theirs)) => {
+                let mut changed = false;
+                for site in theirs {
+                    if !mine.contains(site) {
+                        mine.push(*site);
+                        changed = true;
+                    }
+                }
+                if mine.len() > MAX_SITES {
+                    *self = DefSites::Top;
+                    return true;
+                }
+                if changed {
+                    mine.sort_unstable();
+                }
+                changed
+            }
+        }
+    }
+}
+
+/// Per-bundle state of [`ReachingDefs`]: one [`DefSites`] per GPR.
+pub type ReachingState = Vec<DefSites>;
+
+/// The classic reaching-definitions analysis over GPRs.
+pub struct ReachingDefs {
+    num_gprs: usize,
+}
+
+impl Analysis for ReachingDefs {
+    type State = ReachingState;
+
+    fn direction(&self) -> Direction {
+        Direction::Forward
+    }
+
+    fn boundary(&self) -> ReachingState {
+        vec![DefSites::None; self.num_gprs]
+    }
+
+    fn transfer(&self, bi: usize, bundle: &[Instruction], state: &ReachingState) -> ReachingState {
+        let mut out = state.clone();
+        for (slot, instr) in bundle.iter().enumerate() {
+            if let Some(r) = instr.gpr_write() {
+                if let Some(sites) = out.get_mut(r.0 as usize) {
+                    let site = (bi as u32, slot as u32);
+                    if instr.pred == TRUE_PRED {
+                        // An unconditional write kills everything before.
+                        *sites = DefSites::Sites(vec![site]);
+                    } else {
+                        // A guarded write may or may not land: add it.
+                        sites.join(&DefSites::Sites(vec![site]));
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+impl ReachingDefs {
+    /// Solves reaching definitions; index result by bundle address for
+    /// each bundle's *input* state (`None` = unreachable).
+    #[must_use]
+    pub fn solve(
+        config: &Config,
+        cfg: &Cfg,
+        bundles: &[Vec<Instruction>],
+        entry: usize,
+    ) -> Vec<Option<ReachingState>> {
+        let analysis = ReachingDefs {
+            num_gprs: config.num_gprs(),
+        };
+        solve_forward(&analysis, cfg, bundles, entry)
+    }
+}
+
+/// Per-GPR definedness facts at one bundle's input.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GprDefs {
+    /// Some path from the entry writes the register.
+    pub may: Vec<bool>,
+    /// Guard-refined must-definedness.
+    pub must: Vec<MustDef>,
+}
+
+impl Lattice for GprDefs {
+    fn join(&mut self, other: &GprDefs) -> bool {
+        let a = self.may.join(&other.may);
+        let b = self.must.join(&other.must);
+        a || b
+    }
+}
+
+/// Predicate-aware GPR definedness (the VER013 engine).
+pub struct Definedness {
+    num_gprs: usize,
+    /// `complement[p] = Some(q)` when predicates `p` and `q` are each
+    /// written by exactly one instruction program-wide: the two targets
+    /// of one compare. Their guards then cover all outcomes.
+    complement: Vec<Option<PredReg>>,
+}
+
+impl Definedness {
+    /// Builds the analysis, scanning the program once for complementary
+    /// compare targets.
+    #[must_use]
+    pub fn new(config: &Config, bundles: &[Vec<Instruction>]) -> Definedness {
+        let num_preds = config.num_pred_regs();
+        let mut write_count = vec![0usize; num_preds];
+        let mut pair: Vec<Option<PredReg>> = vec![None; num_preds];
+        for bundle in bundles {
+            for instr in bundle {
+                for p in instr.pred_writes() {
+                    if p.0 != 0 {
+                        if let Some(count) = write_count.get_mut(p.0 as usize) {
+                            *count += 1;
+                        }
+                    }
+                }
+                if let Opcode::Cmp(_) = instr.opcode {
+                    if let (epic_isa::Dest::Pred(t), epic_isa::Dest::Pred(f)) =
+                        (instr.dest1, instr.dest2)
+                    {
+                        if t.0 != 0 && f.0 != 0 && t != f {
+                            if let Some(slot) = pair.get_mut(t.0 as usize) {
+                                *slot = Some(f);
+                            }
+                            if let Some(slot) = pair.get_mut(f.0 as usize) {
+                                *slot = Some(t);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        // The complement relation is only sound when both predicates
+        // have a single (shared) producer: otherwise `p` and `q` may
+        // hold values from different executions.
+        let complement = pair
+            .iter()
+            .enumerate()
+            .map(|(p, q)| {
+                q.filter(|q| write_count[p] == 1 && write_count.get(q.0 as usize) == Some(&1))
+            })
+            .collect();
+        Definedness {
+            num_gprs: config.num_gprs(),
+            complement,
+        }
+    }
+
+    /// Solves definedness; index by bundle address for each bundle's
+    /// input facts (`None` = unreachable).
+    #[must_use]
+    pub fn solve(
+        &self,
+        cfg: &Cfg,
+        bundles: &[Vec<Instruction>],
+        entry: usize,
+    ) -> Vec<Option<GprDefs>> {
+        solve_forward(self, cfg, bundles, entry)
+    }
+
+    fn complement_of(&self, p: PredReg) -> Option<PredReg> {
+        self.complement.get(p.0 as usize).copied().flatten()
+    }
+}
+
+impl Analysis for Definedness {
+    type State = GprDefs;
+
+    fn direction(&self) -> Direction {
+        Direction::Forward
+    }
+
+    fn boundary(&self) -> GprDefs {
+        GprDefs {
+            may: vec![false; self.num_gprs],
+            must: vec![MustDef::No; self.num_gprs],
+        }
+    }
+
+    fn transfer(&self, _bi: usize, bundle: &[Instruction], state: &GprDefs) -> GprDefs {
+        let mut out = state.clone();
+        for instr in bundle {
+            let Some(r) = instr.gpr_write() else {
+                continue;
+            };
+            let Some(may) = out.may.get_mut(r.0 as usize) else {
+                continue;
+            };
+            *may = true;
+            let must = &mut out.must[r.0 as usize];
+            if instr.pred == TRUE_PRED {
+                *must = MustDef::Always;
+            } else {
+                *must = match *must {
+                    MustDef::Always => MustDef::Always,
+                    MustDef::Under(p) if p == instr.pred => MustDef::Under(p),
+                    // Earlier write under `p`, this one under its
+                    // complement: together they always fire.
+                    MustDef::Under(p) if self.complement_of(p) == Some(instr.pred) => {
+                        MustDef::Always
+                    }
+                    // A write under an unrelated guard cannot weaken an
+                    // existing guarantee; keep the stronger fact.
+                    MustDef::Under(p) => MustDef::Under(p),
+                    MustDef::No => MustDef::Under(instr.pred),
+                };
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use epic_asm::assemble;
+
+    fn defs_at_halt(source: &str) -> GprDefs {
+        let config = Config::default();
+        let program = assemble(source, &config).expect("assembles");
+        let cfg = Cfg::build(&config, program.bundles());
+        let analysis = Definedness::new(&config, program.bundles());
+        let states = analysis.solve(&cfg, program.bundles(), program.entry() as usize);
+        let halt = *cfg.halt_bundles().first().expect("program halts");
+        states[halt].clone().expect("halt reachable")
+    }
+
+    #[test]
+    fn unconditional_write_is_always_defined() {
+        let d = defs_at_halt("MOVE r1, #1\n;;\nHALT\n;;\n");
+        assert!(d.may[1]);
+        assert_eq!(d.must[1], MustDef::Always);
+        assert!(!d.may[2]);
+        assert_eq!(d.must[2], MustDef::No);
+    }
+
+    #[test]
+    fn guarded_write_is_defined_only_under_its_guard() {
+        let d = defs_at_halt("CMP_LT p1, p2, r0, #1\n;;\nMOVE r1, #1 (p1)\n;;\nHALT\n;;\n");
+        assert!(d.may[1]);
+        assert_eq!(d.must[1], MustDef::Under(PredReg(1)));
+    }
+
+    #[test]
+    fn complementary_guards_promote_to_always() {
+        let d = defs_at_halt(
+            "CMP_LT p1, p2, r0, #1\n;;\nMOVE r1, #1 (p1)\n;;\nMOVE r1, #2 (p2)\n;;\nHALT\n;;\n",
+        );
+        assert_eq!(d.must[1], MustDef::Always, "if-conversion covers both arms");
+    }
+
+    #[test]
+    fn reused_predicates_disable_complement_promotion() {
+        // p1/p2 are written twice: the second compare may have replaced
+        // one half, so the two guarded writes need not cover all paths.
+        let d = defs_at_halt(
+            "CMP_LT p1, p2, r0, #1\n;;\nCMP_LT p1, p2, r0, #2\n;;\n\
+             MOVE r1, #1 (p1)\n;;\nMOVE r1, #2 (p2)\n;;\nHALT\n;;\n",
+        );
+        assert_eq!(d.must[1], MustDef::Under(PredReg(1)));
+    }
+
+    #[test]
+    fn reaching_defs_tracks_kill_and_merge() {
+        let config = Config::default();
+        let program = assemble(
+            "MOVE r1, #1\n;;\nMOVE r1, #2\n;;\nMOVE r2, #3 (p1)\n;;\nHALT\n;;\n",
+            &config,
+        )
+        .expect("assembles");
+        let cfg = Cfg::build(&config, program.bundles());
+        let states = ReachingDefs::solve(&config, &cfg, program.bundles(), 0);
+        let at_halt = states[3].as_ref().expect("reachable");
+        assert_eq!(
+            at_halt[1],
+            DefSites::Sites(vec![(1, 0)]),
+            "second write killed the first"
+        );
+        assert_eq!(
+            at_halt[2],
+            DefSites::Sites(vec![(2, 0)]),
+            "guarded write reaches without killing"
+        );
+        assert_eq!(at_halt[3], DefSites::None);
+    }
+}

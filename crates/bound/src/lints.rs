@@ -1,0 +1,224 @@
+//! Dataflow-backed lints (`BND001`–`BND003`).
+//!
+//! These consume the analyses in this crate and report through the same
+//! [`Diagnostic`] type the assembler and verifier use, so `epic-lint`
+//! renders and JSON-encodes them uniformly:
+//!
+//! * **BND001** — dead store: an unconditional GPR write that no path
+//!   reads before overwriting (liveness, all-live at exits).
+//! * **BND002** — unreachable code: a bundle no CFG path reaches, or an
+//!   instruction whose guard the value analysis proves always-false.
+//! * **BND003** — unnecessary speculation: a fault-tolerant `LW.S`
+//!   whose address interval is provably in-bounds and aligned, so a
+//!   plain `LW` behaves identically.
+
+use crate::cfg::Cfg;
+use crate::lattice::PredVal;
+use crate::liveness::gpr_liveness;
+use crate::ranges::{ValueAnalysis, Values};
+use epic_asm::Diagnostic;
+use epic_config::Config;
+use epic_isa::{Instruction, Opcode, TRUE_PRED};
+
+/// Options for [`lint_bundles`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct LintOptions {
+    /// Data-memory size in bytes, for the `BND003` in-bounds proof.
+    /// `None` disables BND003 (nothing is provable without a size).
+    pub mem_size: Option<u32>,
+}
+
+/// Runs every dataflow lint over an assembled program.
+#[must_use]
+pub fn lint_bundles(
+    config: &Config,
+    bundles: &[Vec<Instruction>],
+    entry: usize,
+    options: &LintOptions,
+) -> Vec<Diagnostic> {
+    let cfg = Cfg::build(config, bundles);
+    let liveness = gpr_liveness(config, &cfg, bundles);
+    let ranges = ValueAnalysis::new(config);
+    let values = ranges.solve(&cfg, bundles, entry);
+
+    let mut out = Vec::new();
+    for (bi, bundle) in bundles.iter().enumerate() {
+        if values[bi].is_none() {
+            out.push(
+                Diagnostic::warning(
+                    "BND002",
+                    format!("bundle {bi} is unreachable from the entry point"),
+                )
+                .with_bundle(bi, None),
+            );
+            continue;
+        }
+        let state = values[bi].as_ref().expect("checked above");
+        for (slot, instr) in bundle.iter().enumerate() {
+            dead_store(&liveness.flow_out[bi], bi, slot, instr, &mut out);
+            squashed_guard(state, bi, slot, instr, &mut out);
+            safe_speculation(state, options, bi, slot, instr, &mut out);
+        }
+    }
+    out
+}
+
+fn dead_store(
+    live_out: &[bool],
+    bi: usize,
+    slot: usize,
+    instr: &Instruction,
+    out: &mut Vec<Diagnostic>,
+) {
+    // Loads and stores have architectural effects beyond the register
+    // write; only pure ALU/move results can be dead.
+    if instr.pred != TRUE_PRED || instr.opcode.is_load() || instr.opcode.is_store() {
+        return;
+    }
+    if let Some(r) = instr.gpr_write() {
+        if !live_out[r.0 as usize] {
+            out.push(
+                Diagnostic::warning(
+                    "BND001",
+                    format!(
+                        "dead store: r{} is overwritten on every path before being read",
+                        r.0
+                    ),
+                )
+                .with_bundle(bi, Some(slot)),
+            );
+        }
+    }
+}
+
+fn squashed_guard(
+    state: &Values,
+    bi: usize,
+    slot: usize,
+    instr: &Instruction,
+    out: &mut Vec<Diagnostic>,
+) {
+    if instr.opcode == Opcode::Nop {
+        return;
+    }
+    if state.guard(instr.pred) == PredVal::False {
+        out.push(
+            Diagnostic::warning(
+                "BND002",
+                format!(
+                    "guard p{} is provably false here: the operation is always squashed",
+                    instr.pred.0
+                ),
+            )
+            .with_bundle(bi, Some(slot)),
+        );
+    }
+}
+
+fn safe_speculation(
+    state: &Values,
+    options: &LintOptions,
+    bi: usize,
+    slot: usize,
+    instr: &Instruction,
+    out: &mut Vec<Diagnostic>,
+) {
+    if instr.opcode != Opcode::LwS {
+        return;
+    }
+    let Some(mem_size) = options.mem_size else {
+        return;
+    };
+    // A squashed speculative load cannot fault either way.
+    if state.guard(instr.pred) == PredVal::False {
+        return;
+    }
+    let addr = state.operand(instr.src1).add(&state.operand(instr.src2));
+    let width = 4u32;
+    let in_bounds = u64::from(addr.hi) + u64::from(width) <= u64::from(mem_size);
+    // Alignment is provable when the whole interval is one value (or the
+    // interval stride is unknowable — then only a constant helps).
+    let aligned = addr.lo == addr.hi && addr.lo.is_multiple_of(width);
+    if in_bounds && aligned {
+        out.push(
+            Diagnostic::warning(
+                "BND003",
+                format!(
+                    "speculative load is provably safe (address {} in [0, {})): \
+                     a plain LW behaves identically",
+                    addr.lo, mem_size
+                ),
+            )
+            .with_bundle(bi, Some(slot)),
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use epic_asm::assemble;
+
+    fn lints(source: &str, mem_size: Option<u32>) -> Vec<Diagnostic> {
+        let config = Config::default();
+        let program = assemble(source, &config).expect("assembles");
+        lint_bundles(
+            &config,
+            program.bundles(),
+            program.entry() as usize,
+            &LintOptions { mem_size },
+        )
+    }
+
+    fn codes(diags: &[Diagnostic]) -> Vec<&'static str> {
+        diags.iter().map(|d| d.code).collect()
+    }
+
+    #[test]
+    fn dead_store_is_flagged() {
+        let d = lints("MOVE r1, #1\n;;\nMOVE r1, #2\n;;\nHALT\n;;\n", None);
+        assert_eq!(codes(&d), vec!["BND001"]);
+        assert_eq!(d[0].bundle, Some(0));
+    }
+
+    #[test]
+    fn a_live_store_is_not_flagged() {
+        let d = lints("MOVE r1, #1\n;;\nADD r2, r1, #1\n;;\nHALT\n;;\n", None);
+        assert!(d.is_empty(), "unexpected: {d:?}");
+    }
+
+    #[test]
+    fn provably_false_guard_is_flagged() {
+        // p1 is never written: it stays 0 (false) from reset.
+        let d = lints("ADD r1, r1, #1 (p1)\n;;\nHALT\n;;\n", None);
+        assert_eq!(codes(&d), vec!["BND002"]);
+    }
+
+    #[test]
+    fn unreachable_bundle_is_flagged() {
+        let d = lints("HALT\n;;\nMOVE r1, #1\n;;\nHALT\n;;\n", None);
+        assert!(
+            d.iter().any(|d| d.code == "BND002" && d.bundle == Some(1)),
+            "unexpected: {d:?}"
+        );
+    }
+
+    #[test]
+    fn provably_safe_speculative_load_is_flagged() {
+        let d = lints("MOVE r1, #8\n;;\nLWS r2, r1, #4\n;;\nHALT\n;;\n", Some(64));
+        assert_eq!(codes(&d), vec!["BND003"]);
+        // Without a memory size nothing is provable.
+        let none = lints("MOVE r1, #8\n;;\nLWS r2, r1, #4\n;;\nHALT\n;;\n", None);
+        assert!(none.is_empty());
+    }
+
+    #[test]
+    fn possibly_unsafe_speculative_load_is_quiet() {
+        // r1 is loaded from memory: its range is unknown.
+        let d = lints(
+            "LW r1, r0, #0\n;;\nLWS r2, r1, #4\n;;\nHALT\n;;\n",
+            Some(64),
+        );
+        assert!(d.is_empty(), "unexpected: {d:?}");
+    }
+}

@@ -1,0 +1,118 @@
+//! Backward GPR liveness over the bundle CFG.
+//!
+//! The boundary is all-live: the register file is observable state at
+//! every program exit (tests and the differential oracle compare it), so
+//! a value only counts as dead when some later bundle *overwrites* it
+//! unconditionally before any read on every path. That is exactly the
+//! dead-store question the `BND001` lint asks.
+
+use crate::cfg::Cfg;
+use crate::solver::{solve_backward, Analysis, BackwardSolution, Direction};
+use epic_config::Config;
+use epic_isa::{Instruction, TRUE_PRED};
+
+/// Per-bundle liveness state: one may-live bit per GPR.
+pub type LiveSet = Vec<bool>;
+
+struct GprLiveness {
+    num_gprs: usize,
+}
+
+impl Analysis for GprLiveness {
+    type State = LiveSet;
+
+    fn direction(&self) -> Direction {
+        Direction::Backward
+    }
+
+    fn boundary(&self) -> LiveSet {
+        // Registers are observable at exits.
+        vec![true; self.num_gprs]
+    }
+
+    fn bottom(&self) -> LiveSet {
+        vec![false; self.num_gprs]
+    }
+
+    fn transfer(&self, _bi: usize, bundle: &[Instruction], out: &LiveSet) -> LiveSet {
+        let mut live = out.clone();
+        // All reads in a bundle see the pre-bundle register state, so
+        // kills (unconditional writes) apply before uses are added.
+        for instr in bundle {
+            if instr.pred == TRUE_PRED {
+                if let Some(r) = instr.gpr_write() {
+                    if let Some(slot) = live.get_mut(r.0 as usize) {
+                        *slot = false;
+                    }
+                }
+            }
+        }
+        for instr in bundle {
+            for r in instr.gpr_reads() {
+                if let Some(slot) = live.get_mut(r.0 as usize) {
+                    *slot = true;
+                }
+            }
+        }
+        live
+    }
+}
+
+/// Solves backward GPR liveness for every bundle.
+///
+/// `flow_in[bi][r]` — `r` may be read before being overwritten, on some
+/// path starting at bundle `bi`. `flow_out[bi][r]` — the same question
+/// after `bi` executes; a write to `r` in `bi` with `flow_out[bi][r]`
+/// false is a dead store.
+#[must_use]
+pub fn gpr_liveness(
+    config: &Config,
+    cfg: &Cfg,
+    bundles: &[Vec<Instruction>],
+) -> BackwardSolution<LiveSet> {
+    let analysis = GprLiveness {
+        num_gprs: config.num_gprs(),
+    };
+    solve_backward(&analysis, cfg, bundles)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use epic_asm::assemble;
+
+    fn liveness_of(source: &str) -> BackwardSolution<LiveSet> {
+        let config = Config::default();
+        let program = assemble(source, &config).expect("assembles");
+        let cfg = Cfg::build(&config, program.bundles());
+        gpr_liveness(&config, &cfg, program.bundles())
+    }
+
+    #[test]
+    fn overwritten_before_read_is_dead() {
+        let sol = liveness_of("MOVE r1, #1\n;;\nMOVE r1, #2\n;;\nHALT\n;;\n");
+        assert!(!sol.flow_out[0][1], "first write is overwritten unread");
+        assert!(sol.flow_out[1][1], "second write reaches the exit");
+    }
+
+    #[test]
+    fn a_read_keeps_the_value_live() {
+        let sol = liveness_of("MOVE r1, #1\n;;\nADD r2, r1, #1\n;;\nMOVE r1, #2\n;;\nHALT\n;;\n");
+        assert!(sol.flow_out[0][1], "read in bundle 1 keeps r1 live");
+    }
+
+    #[test]
+    fn guarded_writes_do_not_kill() {
+        let sol = liveness_of("MOVE r1, #1\n;;\nMOVE r1, #2 (p1)\n;;\nHALT\n;;\n");
+        assert!(
+            sol.flow_out[0][1],
+            "a guarded overwrite may not land, the first value can survive"
+        );
+    }
+
+    #[test]
+    fn exits_observe_every_register() {
+        let sol = liveness_of("MOVE r1, #1\n;;\nHALT\n;;\n");
+        assert!(sol.flow_out[0].iter().all(|&l| l));
+    }
+}

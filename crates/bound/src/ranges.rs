@@ -1,0 +1,415 @@
+//! Value-range analysis: per-GPR intervals and per-predicate constants.
+//!
+//! A forward analysis pairing an unsigned [`Interval`] per GPR with a
+//! constant-propagation [`PredVal`] per predicate register. The machine
+//! resets every register to zero, so the entry boundary is perfectly
+//! known: all GPRs `[0,0]`, all predicates false (`p0` hard-wired true).
+//! Transfer functions model the cheap, commonly bounding operations
+//! (moves, literal materialisation, add/sub, zero-extends, masks) and
+//! fall to `⊤` for everything else; compares against decidable intervals
+//! produce predicate constants, which in turn let the analysis skip
+//! instructions guarded by a known-false predicate.
+//!
+//! Interval lattices have tall ascending chains, so the analysis opts
+//! into the solver's widening hook: once a node keeps changing, any
+//! interval wider than a small cap blows to `⊤`, which bounds every
+//! chain and terminates the fixpoint.
+
+use crate::cfg::Cfg;
+use crate::lattice::{Interval, Lattice, PredVal};
+use crate::solver::{solve_forward, Analysis, Direction};
+use epic_config::Config;
+use epic_isa::{CmpCond, Dest, Instruction, Opcode, Operand, PredReg};
+
+/// Interval width beyond which widening gives up on a still-changing
+/// node. Loop-invariant facts stabilise before widening triggers; only
+/// genuinely growing induction values are coarsened.
+const WIDEN_WIDTH: u32 = 64;
+
+/// Joint value state: one interval per GPR, one constant per predicate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Values {
+    /// Per-GPR unsigned value interval.
+    pub gprs: Vec<Interval>,
+    /// Per-predicate constant fact.
+    pub preds: Vec<PredVal>,
+}
+
+impl Values {
+    /// The interval of a source operand under this state.
+    #[must_use]
+    pub fn operand(&self, op: Operand) -> Interval {
+        match op {
+            Operand::Gpr(r) => self
+                .gprs
+                .get(r.0 as usize)
+                .copied()
+                .unwrap_or_else(Interval::top),
+            Operand::Lit(v) => Interval::constant(v as u32),
+            _ => Interval::top(),
+        }
+    }
+
+    /// The known truth value of a guard predicate (`p0` is always true).
+    #[must_use]
+    pub fn guard(&self, p: PredReg) -> PredVal {
+        if p.0 == 0 {
+            PredVal::True
+        } else {
+            self.preds
+                .get(p.0 as usize)
+                .copied()
+                .unwrap_or(PredVal::Top)
+        }
+    }
+}
+
+impl Lattice for Values {
+    fn join(&mut self, other: &Values) -> bool {
+        let a = self.gprs.join(&other.gprs);
+        let b = self.preds.join(&other.preds);
+        a || b
+    }
+}
+
+/// The value-range analysis over one configuration's register files.
+pub struct ValueAnalysis {
+    num_gprs: usize,
+    num_preds: usize,
+    /// Mutation hook: replace sound widening with an unsound narrowing
+    /// (collapse to the lower end). Exists so the mutant corpus can
+    /// prove the audit and the differential oracle catch it.
+    pub(crate) narrow_instead_of_widen: bool,
+}
+
+impl ValueAnalysis {
+    /// Builds the analysis for a configuration.
+    #[must_use]
+    pub fn new(config: &Config) -> ValueAnalysis {
+        ValueAnalysis {
+            num_gprs: config.num_gprs(),
+            num_preds: config.num_pred_regs(),
+            narrow_instead_of_widen: false,
+        }
+    }
+
+    /// Builds the analysis priced by a [`CostModel`], inheriting its
+    /// seeded mutation (if any) — this is how the mutant corpus drives
+    /// the unsound-widening variant.
+    #[must_use]
+    pub fn with_model(config: &Config, model: &crate::cost::CostModel) -> ValueAnalysis {
+        let mut analysis = ValueAnalysis::new(config);
+        analysis.narrow_instead_of_widen = model.unsound_widening();
+        analysis
+    }
+
+    /// Solves to fixpoint; index by bundle address for each bundle's
+    /// input state (`None` = unreachable).
+    #[must_use]
+    pub fn solve(
+        &self,
+        cfg: &Cfg,
+        bundles: &[Vec<Instruction>],
+        entry: usize,
+    ) -> Vec<Option<Values>> {
+        solve_forward(self, cfg, bundles, entry)
+    }
+}
+
+/// Decides a comparison between two intervals, if possible.
+///
+/// Signed conditions are only decided when both intervals sit in
+/// `[0, i32::MAX]`, where signed and unsigned order coincide.
+#[must_use]
+pub fn compare_intervals(cond: CmpCond, a: Interval, b: Interval) -> PredVal {
+    if a.is_bottom() || b.is_bottom() {
+        return PredVal::Top;
+    }
+    let unsigned = |cond: CmpCond| match cond {
+        CmpCond::Ltu => {
+            if a.hi < b.lo {
+                PredVal::True
+            } else if a.lo >= b.hi {
+                PredVal::False
+            } else {
+                PredVal::Top
+            }
+        }
+        CmpCond::Leu => {
+            if a.hi <= b.lo {
+                PredVal::True
+            } else if a.lo > b.hi {
+                PredVal::False
+            } else {
+                PredVal::Top
+            }
+        }
+        CmpCond::Gtu => {
+            if a.lo > b.hi {
+                PredVal::True
+            } else if a.hi <= b.lo {
+                PredVal::False
+            } else {
+                PredVal::Top
+            }
+        }
+        CmpCond::Geu => {
+            if a.lo >= b.hi {
+                PredVal::True
+            } else if a.hi < b.lo {
+                PredVal::False
+            } else {
+                PredVal::Top
+            }
+        }
+        _ => PredVal::Top,
+    };
+    match cond {
+        CmpCond::Eq => {
+            if a.lo == a.hi && b.lo == b.hi && a.lo == b.lo {
+                PredVal::True
+            } else if a.hi < b.lo || b.hi < a.lo {
+                PredVal::False
+            } else {
+                PredVal::Top
+            }
+        }
+        CmpCond::Ne => compare_intervals(CmpCond::Eq, a, b).not(),
+        CmpCond::Ltu | CmpCond::Leu | CmpCond::Gtu | CmpCond::Geu => unsigned(cond),
+        CmpCond::Lt | CmpCond::Le | CmpCond::Gt | CmpCond::Ge => {
+            let non_negative = Interval {
+                lo: 0,
+                hi: i32::MAX as u32,
+            };
+            if non_negative.includes(&a) && non_negative.includes(&b) {
+                let as_unsigned = match cond {
+                    CmpCond::Lt => CmpCond::Ltu,
+                    CmpCond::Le => CmpCond::Leu,
+                    CmpCond::Gt => CmpCond::Gtu,
+                    _ => CmpCond::Geu,
+                };
+                unsigned(as_unsigned)
+            } else {
+                PredVal::Top
+            }
+        }
+    }
+}
+
+/// Abstract result of one value-producing instruction against the
+/// bundle's input state.
+fn eval(instr: &Instruction, state: &Values) -> Interval {
+    let a = state.operand(instr.src1);
+    let b = state.operand(instr.src2);
+    match instr.opcode {
+        Opcode::Move | Opcode::Movil => a,
+        Opcode::Add => a.add(&b),
+        Opcode::Sub => a.sub(&b),
+        Opcode::MovPg => Interval { lo: 0, hi: 1 },
+        Opcode::Zxtb => clamp_width(a, 0xFF),
+        Opcode::Zxth => clamp_width(a, 0xFFFF),
+        // `x & y ≤ min(x, y)` for unsigned values.
+        Opcode::And if !a.is_bottom() && !b.is_bottom() => Interval {
+            lo: 0,
+            hi: a.hi.min(b.hi),
+        },
+        // A logical right shift never grows the value.
+        Opcode::Shr if !a.is_bottom() => Interval { lo: 0, hi: a.hi },
+        _ => Interval::top(),
+    }
+}
+
+fn clamp_width(a: Interval, mask: u32) -> Interval {
+    if !a.is_bottom() && a.hi <= mask {
+        a
+    } else {
+        Interval { lo: 0, hi: mask }
+    }
+}
+
+impl Analysis for ValueAnalysis {
+    type State = Values;
+
+    fn direction(&self) -> Direction {
+        Direction::Forward
+    }
+
+    fn boundary(&self) -> Values {
+        let mut preds = vec![PredVal::False; self.num_preds];
+        if let Some(p0) = preds.get_mut(0) {
+            *p0 = PredVal::True;
+        }
+        Values {
+            gprs: vec![Interval::constant(0); self.num_gprs],
+            preds,
+        }
+    }
+
+    fn transfer(&self, _bi: usize, bundle: &[Instruction], state: &Values) -> Values {
+        let mut out = state.clone();
+        for instr in bundle {
+            let guard = state.guard(instr.pred);
+            if guard == PredVal::False {
+                continue; // squashed: no architectural effect
+            }
+            // A guard that may be false makes every write a weak update.
+            let strong = guard == PredVal::True;
+            if let Some(r) = instr.gpr_write() {
+                let value = eval(instr, state);
+                if let Some(slot) = out.gprs.get_mut(r.0 as usize) {
+                    if strong {
+                        *slot = value;
+                    } else {
+                        slot.join(&value);
+                    }
+                }
+            }
+            let pred_result = match instr.opcode {
+                Opcode::Cmp(cond) => Some(compare_intervals(
+                    cond,
+                    state.operand(instr.src1),
+                    state.operand(instr.src2),
+                )),
+                Opcode::PredSet => Some(PredVal::True),
+                Opcode::PredClr => Some(PredVal::False),
+                Opcode::MovGp => {
+                    let a = state.operand(instr.src1);
+                    Some(if a.is_bottom() {
+                        PredVal::Top
+                    } else if !a.contains(0) {
+                        PredVal::True
+                    } else if a.lo == 0 && a.hi == 0 {
+                        PredVal::False
+                    } else {
+                        PredVal::Top
+                    })
+                }
+                _ => None,
+            };
+            if let Some(outcome) = pred_result {
+                let write = |out: &mut Values, dest: Dest, v: PredVal| {
+                    if let Dest::Pred(p) = dest {
+                        if p.0 != 0 {
+                            if let Some(slot) = out.preds.get_mut(p.0 as usize) {
+                                if strong {
+                                    *slot = v;
+                                } else {
+                                    slot.join(&v);
+                                }
+                            }
+                        }
+                    }
+                };
+                write(&mut out, instr.dest1, outcome);
+                if let Opcode::Cmp(_) = instr.opcode {
+                    write(&mut out, instr.dest2, outcome.not());
+                }
+            }
+        }
+        out
+    }
+
+    fn widen_after(&self) -> Option<u32> {
+        Some(8)
+    }
+
+    fn widen(&self, state: &mut Values) {
+        for interval in &mut state.gprs {
+            if interval.is_bottom() {
+                continue;
+            }
+            if self.narrow_instead_of_widen {
+                // Deliberately unsound: drops values instead of adding
+                // them. Only reachable through `Mutation::UnsoundWidening`.
+                interval.hi = interval.lo;
+            } else if interval.hi - interval.lo > WIDEN_WIDTH {
+                *interval = Interval::top();
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use epic_asm::assemble;
+
+    fn solve(source: &str) -> (Cfg, Vec<Option<Values>>) {
+        let config = Config::default();
+        let program = assemble(source, &config).expect("assembles");
+        let cfg = Cfg::build(&config, program.bundles());
+        let analysis = ValueAnalysis::new(&config);
+        let states = analysis.solve(&cfg, program.bundles(), program.entry() as usize);
+        (cfg, states)
+    }
+
+    #[test]
+    fn entry_state_is_all_zero_registers() {
+        let (_, states) = solve("HALT\n;;\n");
+        let entry = states[0].as_ref().expect("entry reachable");
+        assert!(entry.gprs.iter().all(|i| *i == Interval::constant(0)));
+        assert_eq!(entry.guard(PredReg(0)), PredVal::True);
+        assert_eq!(entry.guard(PredReg(1)), PredVal::False);
+    }
+
+    #[test]
+    fn constants_propagate_through_moves_and_adds() {
+        let (cfg, states) = solve("MOVE r1, #7\n;;\nADD r2, r1, #3\n;;\nHALT\n;;\n");
+        let halt = *cfg.halt_bundles().first().unwrap();
+        let at_halt = states[halt].as_ref().expect("reachable");
+        assert_eq!(at_halt.gprs[1], Interval::constant(7));
+        assert_eq!(at_halt.gprs[2], Interval::constant(10));
+    }
+
+    #[test]
+    fn decidable_compare_yields_predicate_constants() {
+        let (cfg, states) =
+            solve("MOVE r1, #7\n;;\nCMP_LT p1, p2, r1, #10\n;;\nMOVE r3, #99 (p2)\n;;\nHALT\n;;\n");
+        let halt = *cfg.halt_bundles().first().unwrap();
+        let at_halt = states[halt].as_ref().expect("reachable");
+        assert_eq!(at_halt.guard(PredReg(1)), PredVal::True);
+        assert_eq!(at_halt.guard(PredReg(2)), PredVal::False);
+        // The p2-guarded move is squashed, so r3 keeps its reset value.
+        assert_eq!(at_halt.gprs[3], Interval::constant(0));
+    }
+
+    #[test]
+    fn loop_counter_widens_but_stays_sound() {
+        // r1 counts 0..100; the fixpoint must terminate and keep an
+        // interval containing every value the counter takes.
+        let (cfg, states) = solve(
+            "PBR b1, @loop\n;;\nloop:\nADD r1, r1, #1\n;;\nCMP_LT p1, p0, r1, #100\n;;\n\
+             BRCT b1 (p1)\n;;\nHALT\n;;\n",
+        );
+        let halt = *cfg.halt_bundles().first().unwrap();
+        let at_halt = states[halt].as_ref().expect("reachable");
+        for v in [1u32, 50, 100] {
+            assert!(at_halt.gprs[1].contains(v), "{v} must stay in range");
+        }
+    }
+
+    #[test]
+    fn compare_decisions_respect_signedness() {
+        use CmpCond::*;
+        let small = Interval { lo: 0, hi: 5 };
+        let big = Interval { lo: 10, hi: 20 };
+        let negative = Interval {
+            lo: 0x8000_0000,
+            hi: 0x8000_0001,
+        };
+        assert_eq!(compare_intervals(Lt, small, big), PredVal::True);
+        assert_eq!(compare_intervals(Geu, big, small), PredVal::True);
+        assert_eq!(compare_intervals(Eq, small, big), PredVal::False);
+        assert_eq!(compare_intervals(Ne, small, big), PredVal::True);
+        assert_eq!(
+            compare_intervals(Lt, negative, small),
+            PredVal::Top,
+            "signed order of a negative value is not decided"
+        );
+        assert_eq!(
+            compare_intervals(Ltu, small, negative),
+            PredVal::True,
+            "unsigned order is decided directly"
+        );
+    }
+}

@@ -1,0 +1,229 @@
+//! Seeded-mutant corpus for the cycle-bound analysis.
+//!
+//! Soundness claims are only as good as the harness that would notice
+//! their violation. Each [`Mutation`] seeds one classic unsoundness into
+//! the cost model; the corpus demands every one of them is caught *two*
+//! independent ways:
+//!
+//! 1. **Statically** — [`CostModel::audit`] re-derives each price from
+//!    first principles and must flag the corrupted one.
+//! 2. **Differentially** — on a crafted program the mutated bound must
+//!    actually be violated by a real simulation (cycles above the
+//!    mutated upper bound, or a runtime value outside the claimed
+//!    interval), while the unmutated bound contains it.
+
+use epic_bound::{
+    analyze_cycles, BoundOptions, Cfg, CostModel, CountSource, CycleBounds, Mutation, ValueAnalysis,
+};
+use epic_config::Config;
+use epic_isa::Instruction;
+use epic_sim::Simulator;
+use std::collections::BTreeMap;
+
+struct Run {
+    bundles: Vec<Vec<Instruction>>,
+    entry: usize,
+    cycles: u64,
+    counts: BTreeMap<u32, u64>,
+    final_gprs: Vec<u32>,
+}
+
+/// Assembles and runs a program, collecting measured issue counts.
+fn simulate(source: &str, config: &Config) -> Run {
+    let program = epic_asm::assemble(source, config).expect("assembles");
+    let mut sim = Simulator::new(config, program.bundles().to_vec(), program.entry());
+    sim.set_memory(epic_sim::Memory::new(64));
+    let mut sink = epic_sim::ProfileSink::default();
+    let stats = *sim.run_with_sink(&mut sink).expect("runs to completion");
+    Run {
+        bundles: program.bundles().to_vec(),
+        entry: program.entry() as usize,
+        cycles: stats.cycles,
+        counts: sink.per_pc().map(|(pc, c)| (pc, c.issues)).collect(),
+        final_gprs: (0..config.num_gprs()).map(|r| sim.gpr(r)).collect(),
+    }
+}
+
+fn bounds(run: &Run, config: &Config, model: &CostModel, counts: &CountSource<'_>) -> CycleBounds {
+    analyze_cycles(
+        config,
+        &run.bundles,
+        run.entry,
+        counts,
+        model,
+        &BoundOptions::default(),
+    )
+}
+
+fn assert_audit_catches(config: &Config, mutation: Mutation) {
+    let clean = CostModel::new(config).audit();
+    assert!(
+        clean.is_empty(),
+        "faithful model must audit clean, got: {clean:?}"
+    );
+    let findings = CostModel::mutated(config, mutation).audit();
+    assert!(
+        !findings.is_empty(),
+        "audit missed the seeded {} mutation",
+        mutation.name()
+    );
+}
+
+/// Asserts the classic differential shape: the faithful interval
+/// contains the real run, the mutated upper bound falls below it.
+fn assert_upper_bound_escape(
+    source: &str,
+    config: &Config,
+    mutation: Mutation,
+    counts_of: impl Fn(&Run) -> CountSource<'_>,
+) {
+    let run = simulate(source, config);
+    let faithful = bounds(&run, config, &CostModel::new(config), &counts_of(&run));
+    assert!(
+        faithful.contains(run.cycles),
+        "faithful bound [{}, {:?}] must contain {} cycles",
+        faithful.lower,
+        faithful.upper,
+        run.cycles
+    );
+    let mutated = bounds(
+        &run,
+        config,
+        &CostModel::mutated(config, mutation),
+        &counts_of(&run),
+    );
+    let upper = mutated
+        .upper
+        .unwrap_or_else(|| panic!("{}: mutated upper must stay closed", mutation.name()));
+    assert!(
+        upper < run.cycles,
+        "{}: mutated upper {} was not violated by the real {} cycles",
+        mutation.name(),
+        upper,
+        run.cycles
+    );
+}
+
+#[test]
+fn wrong_load_latency_is_caught() {
+    // Loads take 4 cycles; the mutant prices them at 1, hiding three
+    // stall cycles on every load-use pair.
+    let config = Config::builder()
+        .load_latency(4)
+        .build()
+        .expect("valid config");
+    assert_audit_catches(&config, Mutation::WrongLoadLatency);
+    let mut source = String::new();
+    for _ in 0..10 {
+        source.push_str("LW r1, r0, #0\n;;\nADD r2, r1, #1\n;;\n");
+    }
+    source.push_str("HALT\n;;\n");
+    assert_upper_bound_escape(&source, &config, Mutation::WrongLoadLatency, |r| {
+        CountSource::Measured(&r.counts)
+    });
+}
+
+#[test]
+fn ignored_port_budget_is_caught() {
+    // Two register-file accesses per cycle: a 4-wide all-ALU bundle
+    // needs several serialisation cycles the mutant refuses to charge.
+    let config = Config::builder()
+        .issue_width(4)
+        .num_alus(4)
+        .regfile_ops_per_cycle(2)
+        .build()
+        .expect("valid config");
+    assert_audit_catches(&config, Mutation::IgnorePortBudget);
+    let mut source = String::new();
+    for _ in 0..10 {
+        source.push_str(
+            "ADD r1, r9, r10\nADD r2, r11, r12\nADD r3, r13, r14\nADD r4, r15, r16\n;;\n",
+        );
+    }
+    source.push_str("HALT\n;;\n");
+    assert_upper_bound_escape(&source, &config, Mutation::IgnorePortBudget, |r| {
+        CountSource::Measured(&r.counts)
+    });
+}
+
+#[test]
+fn dropped_branch_penalty_is_caught() {
+    // The deepest supported pipeline makes every taken branch cost
+    // three cycles; the mutant prices flushes at zero.
+    let config = Config::builder()
+        .pipeline_stages(4)
+        .build()
+        .expect("valid config");
+    assert_audit_catches(&config, Mutation::DropBranchPenalty);
+    let mut source = String::new();
+    for i in 0..10 {
+        source.push_str(&format!("PBR b1, @l{i}\n;;\nBR b1\n;;\nl{i}:\n"));
+    }
+    source.push_str("HALT\n;;\n");
+    assert_upper_bound_escape(&source, &config, Mutation::DropBranchPenalty, |r| {
+        CountSource::Measured(&r.counts)
+    });
+}
+
+#[test]
+fn loop_bound_off_by_one_is_caught() {
+    // A 200-iteration counted loop: the mutant undercounts trips, so the
+    // static upper bound lands below the real run.
+    let config = Config::default();
+    assert_audit_catches(&config, Mutation::LoopBoundOffByOne);
+    let source = "PBR b1, @loop\n;;\nloop:\nADD r1, r1, #1\n;;\n\
+                  CMP_LT p1, p0, r1, #200\n;;\nBRCT b1 (p1)\n;;\nHALT\n;;\n";
+    assert_upper_bound_escape(source, &config, Mutation::LoopBoundOffByOne, |_| {
+        CountSource::Static
+    });
+}
+
+#[test]
+fn unsound_widening_is_caught() {
+    // Narrowing instead of widening collapses the loop counter's
+    // interval to its lower end: the analysis then claims a final value
+    // the machine provably exceeds.
+    let config = Config::default();
+    assert_audit_catches(&config, Mutation::UnsoundWidening);
+    let source = "PBR b1, @loop\n;;\nloop:\nADD r1, r1, #1\n;;\n\
+                  CMP_LT p1, p0, r1, #200\n;;\nBRCT b1 (p1)\n;;\nHALT\n;;\n";
+    let run = simulate(source, &config);
+    let halt = run.bundles.len() - 1;
+    let cfg = Cfg::build(&config, &run.bundles);
+
+    let sound = ValueAnalysis::new(&config).solve(&cfg, &run.bundles, run.entry);
+    let at_halt = sound[halt].as_ref().expect("halt is reachable");
+    let claimed = at_halt.operand(epic_isa::Operand::Gpr(epic_isa::Gpr(1)));
+    assert!(
+        claimed.contains(run.final_gprs[1]),
+        "sound interval [{}, {}] must contain the real r1 = {}",
+        claimed.lo,
+        claimed.hi,
+        run.final_gprs[1]
+    );
+
+    let model = CostModel::mutated(&config, Mutation::UnsoundWidening);
+    let mutated = ValueAnalysis::with_model(&config, &model).solve(&cfg, &run.bundles, run.entry);
+    let at_halt = mutated[halt].as_ref().expect("halt is reachable");
+    let claimed = at_halt.operand(epic_isa::Operand::Gpr(epic_isa::Gpr(1)));
+    assert!(
+        !claimed.contains(run.final_gprs[1]),
+        "narrowed interval [{}, {}] unexpectedly still contains r1 = {}",
+        claimed.lo,
+        claimed.hi,
+        run.final_gprs[1]
+    );
+}
+
+#[test]
+fn every_mutation_has_a_distinct_audit_signature() {
+    let config = Config::default();
+    for mutation in Mutation::ALL {
+        let findings = CostModel::mutated(&config, mutation).audit();
+        assert!(
+            !findings.is_empty(),
+            "audit missed {} on the default configuration",
+            mutation.name()
+        );
+    }
+}

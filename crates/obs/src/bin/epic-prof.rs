@@ -160,6 +160,80 @@ fn blocks_json(profile: &StallProfile) -> String {
     format!("[{}]", rows.join(","))
 }
 
+/// One block's static worst-case price next to what the run actually
+/// paid — the raw material of the PRF002 diagnostic.
+struct BoundGap {
+    label: String,
+    start_pc: u32,
+    static_upper: u64,
+    observed: u64,
+}
+
+impl BoundGap {
+    fn gap(&self) -> u64 {
+        self.static_upper.saturating_sub(self.observed)
+    }
+}
+
+/// Prices every block with the static cost model (per-pc worst-case
+/// contributions from the measured issue counts) and pairs that with the
+/// block's observed cost (issue cycles + attributed stalls). Sorted by
+/// gap, widest first: the top entries are where the static bound is most
+/// pessimistic — or, when `observed` wins, where attribution found costs
+/// the model missed.
+fn bound_gaps(profile: &StallProfile, bounds: &epic_bound::CycleBounds) -> Vec<BoundGap> {
+    let mut starts: Vec<(u32, &str)> = profile
+        .blocks
+        .iter()
+        .map(|b| (b.start_pc, b.label.as_str()))
+        .collect();
+    starts.sort_unstable();
+    let block_of = |pc: u32| -> Option<&str> {
+        let idx = starts.partition_point(|&(start, _)| start <= pc);
+        idx.checked_sub(1).map(|i| starts[i].1)
+    };
+    let mut upper_by_label: std::collections::BTreeMap<&str, u64> =
+        std::collections::BTreeMap::new();
+    for pb in &bounds.per_pc {
+        if let Some(label) = block_of(pb.pc) {
+            *upper_by_label.entry(label).or_default() += pb.contribution_hi().unwrap_or(0);
+        }
+    }
+    let mut gaps: Vec<BoundGap> = profile
+        .blocks
+        .iter()
+        .map(|block| BoundGap {
+            label: block.label.clone(),
+            start_pc: block.start_pc,
+            static_upper: upper_by_label
+                .get(block.label.as_str())
+                .copied()
+                .unwrap_or(0),
+            observed: block.cost(),
+        })
+        .collect();
+    gaps.sort_by(|a, b| b.gap().cmp(&a.gap()).then(a.start_pc.cmp(&b.start_pc)));
+    gaps
+}
+
+fn gaps_json(gaps: &[BoundGap]) -> String {
+    let rows: Vec<String> = gaps
+        .iter()
+        .map(|g| {
+            format!(
+                "{{\"label\":\"{}\",\"start_pc\":{},\"static_upper\":{},\"observed\":{},\
+                 \"gap\":{}}}",
+                g.label,
+                g.start_pc,
+                g.static_upper,
+                g.observed,
+                g.gap()
+            )
+        })
+        .collect();
+    format!("[{}]", rows.join(","))
+}
+
 /// 1-based line of `label:` in the assembly source, 0 when absent.
 fn label_line(source: &str, label: &str) -> usize {
     source
@@ -186,6 +260,8 @@ fn text_report(
     args: &Args,
     stats: &SimStats,
     profile: &StallProfile,
+    bounds: &epic_bound::CycleBounds,
+    gaps: &[BoundGap],
     compiled: &epic_core::compiler::CompiledProgram,
 ) -> String {
     use std::fmt::Write as _;
@@ -204,6 +280,15 @@ fn text_report(
         100.0 * sched.occupancy(),
         sched.slots_filled,
         sched.slots_available
+    );
+    let _ = writeln!(
+        out,
+        "cycle bound         [{}, {}] from measured issue counts; actual {}\n",
+        bounds.lower,
+        bounds
+            .upper
+            .map_or_else(|| "inf".to_owned(), |u| u.to_string()),
+        stats.cycles
     );
 
     let _ = writeln!(
@@ -290,6 +375,32 @@ fn text_report(
             .with_bundle(block.start_pc as usize, None);
         out.push_str(&diag.render(&origin, Some(assembly)));
     }
+
+    // Where the static cost model is most pessimistic: blocks whose
+    // worst-case price exceeds what the run actually paid. A wide gap
+    // means the worst case (hazards unforwarded, ports saturated,
+    // branches always flushing) did not materialise here — tightening
+    // the bound starts at these blocks.
+    let total_gap: u64 = gaps.iter().map(BoundGap::gap).sum();
+    for gap in gaps.iter().filter(|g| g.gap() > 0).take(3) {
+        let share = if total_gap > 0 {
+            gap.gap() as f64 * 100.0 / total_gap as f64
+        } else {
+            0.0
+        };
+        let message = format!(
+            "block `{}` is priced at {} worst-case cycle(s) but cost {} — the static \
+             bound overestimates by {} cycle(s) ({share:.1}% of the pessimism)",
+            gap.label,
+            gap.static_upper,
+            gap.observed,
+            gap.gap()
+        );
+        let diag = epic_asm::Diagnostic::warning("PRF002", message)
+            .with_line(label_line(assembly, &gap.label))
+            .with_bundle(gap.start_pc as usize, None);
+        out.push_str(&diag.render(&origin, Some(assembly)));
+    }
     out
 }
 
@@ -337,6 +448,28 @@ fn run(args: &Args) -> Result<ExitCode, String> {
         ));
     }
 
+    // Price the program with the static cost model over the measured
+    // issue counts, then line the per-block worst case up against what
+    // the run actually paid (PRF002).
+    let counts: std::collections::BTreeMap<u32, u64> =
+        profiler.per_pc().map(|(pc, p)| (pc, p.issues)).collect();
+    let model = epic_bound::CostModel::new(&config);
+    let bounds = epic_bound::analyze_cycles(
+        &config,
+        run.program.bundles(),
+        run.program.entry() as usize,
+        &epic_bound::CountSource::Measured(&counts),
+        &model,
+        &epic_bound::BoundOptions::default(),
+    );
+    if !bounds.contains(stats.cycles) {
+        return Err(format!(
+            "static cycle interval [{}, {:?}] does not contain the run's {} cycles",
+            bounds.lower, bounds.upper, stats.cycles
+        ));
+    }
+    let gaps = bound_gaps(&profile, &bounds);
+
     if let (Some(path), Some(mut sink)) = (args.perfetto.as_ref(), perfetto) {
         std::fs::write(path, sink.to_json()).map_err(|e| format!("{}: {e}", path.display()))?;
         if args.format == Format::Text {
@@ -349,19 +482,28 @@ fn run(args: &Args) -> Result<ExitCode, String> {
 
     match args.format {
         Format::Text => {
-            print!("{}", text_report(args, stats, &profile, &run.compiled));
+            print!(
+                "{}",
+                text_report(args, stats, &profile, &bounds, &gaps, &run.compiled)
+            );
         }
         Format::Json => {
             println!(
                 "{{\"workload\":\"{}\",\"scale\":\"{:?}\",\"config\":{{\"alus\":{},\
-                 \"issue_width\":{}}},\"stats\":{},\"metrics\":{},\"blocks\":{}}}",
+                 \"issue_width\":{}}},\"stats\":{},\"metrics\":{},\"blocks\":{},\
+                 \"bound\":{{\"lower\":{},\"upper\":{}}},\"bound_gaps\":{}}}",
                 args.workload,
                 args.scale,
                 args.alus,
                 args.issue_width,
                 stats_json(stats),
                 metrics.to_json(),
-                blocks_json(&profile)
+                blocks_json(&profile),
+                bounds.lower,
+                bounds
+                    .upper
+                    .map_or_else(|| "null".to_owned(), |u| u.to_string()),
+                gaps_json(&gaps)
             );
         }
     }

@@ -11,6 +11,16 @@
 //! epic-lint <source.s> [--config <header.cfg>] [--format text|json]
 //! ```
 //!
+//! With `--bound`, file mode additionally runs the `epic-bound`
+//! dataflow lints (BND001 dead store, BND002 unreachable code, BND003
+//! unnecessary speculation — give `--mem-size <bytes>` to enable the
+//! in-bounds proof) and prints the program's static cycle interval
+//! (`--assume-trips <n>` closes loops the trip-bound analysis cannot):
+//!
+//! ```text
+//! epic-lint <source.s> --bound [--mem-size <bytes>] [--assume-trips <n>]
+//! ```
+//!
 //! Translation-validation mode (`--tv`) takes no source file: it
 //! compiles every built-in workload across the ALU (1–4) × issue-width
 //! (1–4) grid and runs the `epic-tv` pass-by-pass validator over each
@@ -19,6 +29,16 @@
 //!
 //! ```text
 //! epic-lint --tv [--format text|json]
+//! ```
+//!
+//! Bound mode (`--bound` with no source file) sweeps the same grid, but
+//! instead of validating passes it *simulates* every point and checks
+//! the measured cycle count against the static cycle-interval analysis
+//! — the command-line face of the differential oracle. The exit code is
+//! nonzero on any containment violation:
+//!
+//! ```text
+//! epic-lint --bound [--format text|json]
 //! ```
 //!
 //! Diagnostics are rendered rustc-style with caret lines (`--format
@@ -41,6 +61,9 @@ struct Args {
     config: Option<PathBuf>,
     format: Format,
     tv: bool,
+    bound: bool,
+    mem_size: Option<u32>,
+    assume_trips: Option<u64>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -48,6 +71,9 @@ fn parse_args() -> Result<Args, String> {
     let mut config = None;
     let mut format = Format::Text;
     let mut tv = false;
+    let mut bound = false;
+    let mut mem_size = None;
+    let mut assume_trips = None;
     let mut iter = std::env::args().skip(1);
     while let Some(arg) = iter.next() {
         let parse_format = |text: &str| match text {
@@ -63,10 +89,23 @@ fn parse_args() -> Result<Args, String> {
                 format = parse_format(&iter.next().ok_or("--format needs a value")?)?;
             }
             "--tv" => tv = true,
+            "--bound" => bound = true,
+            "--mem-size" => {
+                let value = iter.next().ok_or("--mem-size needs a byte count")?;
+                mem_size = Some(value.parse().map_err(|e| format!("--mem-size: {e}"))?);
+            }
+            "--assume-trips" => {
+                let value = iter.next().ok_or("--assume-trips needs a count")?;
+                assume_trips = Some(value.parse().map_err(|e| format!("--assume-trips: {e}"))?);
+            }
             "--help" | "-h" => {
-                return Err("usage: epic-lint <source.s> [--config <header.cfg>] \
-                            [--format text|json]\n       epic-lint --tv [--format text|json]"
-                    .to_owned())
+                return Err(
+                    "usage: epic-lint <source.s> [--config <header.cfg>] [--bound] \
+                            [--mem-size <bytes>] [--assume-trips <n>] [--format text|json]\n       \
+                            epic-lint --tv [--format text|json]\n       \
+                            epic-lint --bound [--format text|json]"
+                        .to_owned(),
+                )
             }
             other => {
                 if let Some(value) = other.strip_prefix("--format=") {
@@ -82,14 +121,20 @@ fn parse_args() -> Result<Args, String> {
     if tv && source.is_some() {
         return Err("--tv takes no source file".to_owned());
     }
-    if !tv && source.is_none() {
+    if !tv && !bound && source.is_none() {
         return Err("no source file given (try --help)".to_owned());
+    }
+    if tv && bound {
+        return Err("--tv and --bound are separate modes".to_owned());
     }
     Ok(Args {
         source,
         config,
         format,
         tv,
+        bound,
+        mem_size,
+        assume_trips,
     })
 }
 
@@ -167,7 +212,30 @@ fn lint_file(args: &Args) -> Result<ExitCode, String> {
         }
     };
 
-    let report = epic_verify::check(&program, &config);
+    let mut report = epic_verify::check(&program, &config);
+    let mut bound_summary = None;
+    if args.bound {
+        let entry = program.entry() as usize;
+        let lint_options = epic_bound::LintOptions {
+            mem_size: args.mem_size,
+        };
+        for diag in epic_bound::lint_bundles(&config, program.bundles(), entry, &lint_options) {
+            report.push(diag);
+        }
+        let model = epic_bound::CostModel::new(&config);
+        let bounds = epic_bound::analyze_cycles(
+            &config,
+            program.bundles(),
+            entry,
+            &epic_bound::CountSource::Static,
+            &model,
+            &epic_bound::BoundOptions {
+                assume_trips: args.assume_trips,
+            },
+        );
+        bound_summary = Some(bounds);
+    }
+    let report = report;
     let lines = bundle_lines(&source);
     let located: Vec<epic_asm::Diagnostic> = report
         .diagnostics()
@@ -188,7 +256,174 @@ fn lint_file(args: &Args) -> Result<ExitCode, String> {
         .collect();
 
     emit(&located, &origin, Some(&source), args.format);
+    if let Some(bounds) = &bound_summary {
+        match args.format {
+            Format::Text => {
+                let upper = bounds
+                    .upper
+                    .map_or_else(|| "unbounded".to_owned(), |u| u.to_string());
+                eprintln!(
+                    "{origin}: static cycle bound [{}, {upper}] over all inputs",
+                    bounds.lower
+                );
+                for note in &bounds.notes {
+                    eprintln!("{origin}: note: {note}");
+                }
+            }
+            Format::Json => {
+                println!("{}", bound_json(&origin, bounds));
+            }
+        }
+    }
     Ok(if report.has_errors() {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    })
+}
+
+/// Renders a [`epic_bound::CycleBounds`] as one JSON object.
+fn bound_json(origin: &str, bounds: &epic_bound::CycleBounds) -> String {
+    let upper = bounds
+        .upper
+        .map_or_else(|| "null".to_owned(), |u| u.to_string());
+    let notes: Vec<String> = bounds
+        .notes
+        .iter()
+        .map(|n| format!("\"{}\"", n.replace('\\', "\\\\").replace('"', "\\\"")))
+        .collect();
+    format!(
+        "{{\"file\":\"{origin}\",\"bound_lower\":{},\"bound_upper\":{upper},\"notes\":[{}]}}",
+        bounds.lower,
+        notes.join(",")
+    )
+}
+
+/// Compiles every workload across the design-space grid, simulates each
+/// point, and checks the measured cycle count against both the static
+/// and the measured cycle-interval analyses — the command-line face of
+/// the differential oracle.
+fn lint_bounds(args: &Args) -> Result<ExitCode, String> {
+    let mut failed = 0usize;
+    let mut points = 0usize;
+    let workloads = epic_workloads::all(epic_workloads::Scale::Test);
+    let mut rows = Vec::new();
+    for workload in &workloads {
+        let module = epic_ir::lower::lower(&workload.program)
+            .map_err(|e| format!("{}: lowering failed: {e}", workload.name))?;
+        let layout = module
+            .layout()
+            .map_err(|e| format!("{}: layout failed: {e}", workload.name))?;
+        let image = module.initial_memory(&layout);
+        for alus in 1..=4usize {
+            for width in 1..=4usize {
+                let config = Config::builder()
+                    .num_alus(alus)
+                    .issue_width(width)
+                    .build()
+                    .map_err(|e| format!("config {alus} ALU / {width} IW: {e}"))?;
+                let options = epic_compiler::Options {
+                    entry: workload.entry.clone(),
+                    inline_hints: workload.inline_hints(),
+                    ..epic_compiler::Options::default()
+                };
+                let compiled = epic_compiler::Compiler::new(config.clone())
+                    .compile_with(&module, &options)
+                    .map_err(|e| format!("{}: compile failed: {e}", workload.name))?;
+                let program = epic_asm::assemble(compiled.assembly(), &config)
+                    .map_err(|e| format!("{}: assembly rejected: {e}", workload.name))?;
+
+                let mut sim =
+                    epic_sim::Simulator::new(&config, program.bundles().to_vec(), program.entry());
+                sim.set_memory(epic_sim::Memory::from_image(image.clone()));
+                let mut sink = epic_sim::ProfileSink::default();
+                let stats = *sim
+                    .run_with_sink(&mut sink)
+                    .map_err(|e| format!("{}: simulation failed: {e:?}", workload.name))?;
+                let counts: std::collections::BTreeMap<u32, u64> =
+                    sink.per_pc().map(|(pc, p)| (pc, p.issues)).collect();
+
+                let entry = program.entry() as usize;
+                let model = epic_bound::CostModel::new(&config);
+                let bound_options = epic_bound::BoundOptions {
+                    assume_trips: args.assume_trips,
+                };
+                let statics = epic_bound::analyze_cycles(
+                    &config,
+                    program.bundles(),
+                    entry,
+                    &epic_bound::CountSource::Static,
+                    &model,
+                    &bound_options,
+                );
+                let measured = epic_bound::analyze_cycles(
+                    &config,
+                    program.bundles(),
+                    entry,
+                    &epic_bound::CountSource::Measured(&counts),
+                    &model,
+                    &bound_options,
+                );
+
+                points += 1;
+                let ok = statics.contains(stats.cycles) && measured.contains(stats.cycles);
+                if !ok {
+                    failed += 1;
+                }
+                let origin = format!("{}[alus={alus},iw={width}]", workload.name);
+                match args.format {
+                    Format::Json => {
+                        let upper = statics
+                            .upper
+                            .map_or_else(|| "null".to_owned(), |u| u.to_string());
+                        let measured_upper = measured
+                            .upper
+                            .map_or_else(|| "null".to_owned(), |u| u.to_string());
+                        rows.push(format!(
+                            "{{\"workload\":\"{}\",\"alus\":{alus},\"issue_width\":{width},\
+                             \"cycles\":{},\"lower\":{},\"upper\":{upper},\
+                             \"measured_lower\":{},\"measured_upper\":{measured_upper},\
+                             \"contained\":{ok}}}",
+                            workload.name, stats.cycles, statics.lower, measured.lower,
+                        ));
+                    }
+                    Format::Text => {
+                        if ok {
+                            eprintln!(
+                                "{origin}: {} cycles inside static [{}, {}] and measured [{}, {}]",
+                                stats.cycles,
+                                statics.lower,
+                                statics
+                                    .upper
+                                    .map_or_else(|| "inf".to_owned(), |u| u.to_string()),
+                                measured.lower,
+                                measured
+                                    .upper
+                                    .map_or_else(|| "inf".to_owned(), |u| u.to_string()),
+                            );
+                        } else {
+                            eprintln!(
+                                "{origin}: VIOLATION: {} cycles escapes static [{}, {:?}] \
+                                 or measured [{}, {:?}]",
+                                stats.cycles,
+                                statics.lower,
+                                statics.upper,
+                                measured.lower,
+                                measured.upper,
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+    match args.format {
+        Format::Json => println!("[{}]", rows.join(",\n ")),
+        Format::Text => {
+            eprintln!("epic-lint --bound: {points} point(s), {failed} containment violation(s)")
+        }
+    }
+    Ok(if failed > 0 {
         ExitCode::FAILURE
     } else {
         ExitCode::SUCCESS
@@ -256,6 +491,8 @@ fn main() -> ExitCode {
     };
     let result = if args.tv {
         lint_pipeline(&args)
+    } else if args.bound && args.source.is_none() {
+        lint_bounds(&args)
     } else {
         lint_file(&args)
     };

@@ -115,6 +115,13 @@ impl Report {
         self.diagnostics.is_empty()
     }
 
+    /// Appends a diagnostic — tools layering extra lints (e.g. the
+    /// `epic-bound` dataflow lints) onto a verifier report use this to
+    /// keep one rendering and one exit-code policy.
+    pub fn push(&mut self, diagnostic: Diagnostic) {
+        self.diagnostics.push(diagnostic);
+    }
+
     /// Whether a diagnostic with the given code is present.
     #[must_use]
     pub fn has_code(&self, code: &str) -> bool {
@@ -178,8 +185,6 @@ struct Flow {
     prepared: Vec<bool>,
     /// Predicates written on some path from the entry (`p0` always).
     pred_def: Vec<bool>,
-    /// GPRs written on some path from the entry.
-    gpr_def: Vec<bool>,
 }
 
 impl Flow {
@@ -193,7 +198,6 @@ impl Flow {
             alu_busy: vec![0; config.num_alus()],
             prepared: vec![false; config.num_btrs()],
             pred_def,
-            gpr_def: vec![false; config.num_gprs()],
         }
     }
 
@@ -233,12 +237,6 @@ impl Flow {
             }
         }
         for (dst, src) in self.pred_def.iter_mut().zip(&other.pred_def) {
-            if *src && !*dst {
-                *dst = true;
-                changed = true;
-            }
-        }
-        for (dst, src) in self.gpr_def.iter_mut().zip(&other.gpr_def) {
             if *src && !*dst {
                 *dst = true;
                 changed = true;
@@ -299,7 +297,88 @@ impl Verifier {
             }
         }
 
+        self.check_gpr_definedness(bundles, entry, &mut diags);
+
         Report { diagnostics: diags }
+    }
+
+    /// VER013: GPR reads that can observe a never-written register.
+    ///
+    /// Built on the predicate-aware definedness analysis from
+    /// `epic-bound`: a write under `p` together with a write under its
+    /// complement counts as a definition on every path, and a read
+    /// guarded by the *same* predicate as the only write is safe by
+    /// construction. Reads whose guard the value analysis proves false
+    /// never execute and are not reported. Registers reset to zero, so
+    /// none of this interlocks — but code meaning to read zero should
+    /// produce it explicitly.
+    fn check_gpr_definedness(
+        &self,
+        bundles: &[Vec<Instruction>],
+        entry: u32,
+        diags: &mut Vec<Diagnostic>,
+    ) {
+        use epic_bound::{MustDef, PredVal};
+
+        let entry = entry as usize;
+        if entry >= bundles.len() {
+            return;
+        }
+        let cfg = epic_bound::Cfg::build(&self.config, bundles);
+        let defs = epic_bound::Definedness::new(&self.config, bundles).solve(&cfg, bundles, entry);
+        let values = epic_bound::ValueAnalysis::new(&self.config).solve(&cfg, bundles, entry);
+
+        for (bi, bundle) in bundles.iter().enumerate() {
+            let Some(state) = &defs[bi] else {
+                continue; // unreachable bundle
+            };
+            for (slot, instr) in bundle.iter().enumerate() {
+                // A provably squashed read never observes anything.
+                let guard_known_false = values[bi]
+                    .as_ref()
+                    .is_some_and(|v| v.guard(instr.pred) == PredVal::False);
+                if guard_known_false {
+                    continue;
+                }
+                for gpr in instr.gpr_reads() {
+                    let Some(&may) = state.may.get(gpr.0 as usize) else {
+                        continue; // out-of-range index, already VER007
+                    };
+                    if !may {
+                        diags.push(
+                            Diagnostic::warning(
+                                "VER013",
+                                format!(
+                                    "{gpr} is read but never written on any path \
+                                     from the entry"
+                                ),
+                            )
+                            .with_bundle(bi, Some(slot)),
+                        );
+                        continue;
+                    }
+                    // Written somewhere — but is it written whenever this
+                    // read executes? Only the single-guard case is
+                    // decidable without a path-sensitive analysis; a read
+                    // under the defining guard is safe by construction.
+                    if let MustDef::Under(p) = state.must[gpr.0 as usize] {
+                        if instr.pred != p {
+                            diags.push(
+                                Diagnostic::warning(
+                                    "VER013",
+                                    format!(
+                                        "{gpr} is only written under {p}; reading it \
+                                         here may observe an undefined value when \
+                                         {p} is false"
+                                    ),
+                                )
+                                .with_bundle(bi, Some(slot)),
+                            );
+                        }
+                    }
+                }
+            }
+        }
     }
 
     /// The static control-flow over-approximation the dataflow fixpoint
@@ -665,34 +744,12 @@ impl Verifier {
                         );
                     }
                 }
-
-                // VER013: GPRs consumed but never produced. Registers
-                // reset to zero, so this interlocks nothing — but code
-                // meaning to read zero should produce it explicitly.
-                for gpr in instr.gpr_reads() {
-                    let defined = input.gpr_def.get(gpr.0 as usize).copied().unwrap_or(true);
-                    if !defined {
-                        diags.push(
-                            Diagnostic::warning(
-                                "VER013",
-                                format!(
-                                    "{gpr} is read but never written on any path \
-                                     from the entry"
-                                ),
-                            )
-                            .with_bundle(bi, Some(slot)),
-                        );
-                    }
-                }
             }
 
             // Transfer: book results, preparations and definitions.
             if let Some(gpr) = instr.gpr_write() {
                 if let Some(wait) = out.gpr_wait.get_mut(gpr.0 as usize) {
                     *wait = self.mdes.latency(instr.opcode) + forwarding_extra;
-                }
-                if let Some(defined) = out.gpr_def.get_mut(gpr.0 as usize) {
-                    *defined = true;
                 }
             }
             if let Some(btr) = instr.btr_write() {
@@ -790,6 +847,48 @@ mod tests {
     #[test]
     fn defined_gpr_read_is_clean() {
         let report = verify("MOVIL r1, #5\n;;\nADD r2, r1, #1\n;;\nHALT\n;;\n");
+        assert!(!report.has_code("VER013"), "{}", report.render("t", None));
+    }
+
+    #[test]
+    fn guarded_only_write_read_unguarded_warns() {
+        // Old false negative: r1 is written somewhere, but only when p1
+        // holds — the unguarded read can observe the reset value.
+        let report = verify(
+            "MOVIL r2, #0\n;;\nCMP_LT p1, p2, r2, #4\n;;\nMOVIL r1, #5 (p1)\n;;\n\
+             ADD r3, r1, #1\n;;\nHALT\n;;\n",
+        );
+        assert!(report.has_code("VER013"), "{}", report.render("t", None));
+        assert!(!report.has_errors());
+    }
+
+    #[test]
+    fn read_under_the_defining_guard_is_clean() {
+        // The read executes only when p1 holds — exactly when the write
+        // landed. If-converted code does this constantly.
+        let report = verify(
+            "MOVIL r2, #0\n;;\nCMP_LT p1, p2, r2, #4\n;;\nMOVIL r1, #5 (p1)\n;;\n\
+             ADD r3, r1, #1 (p1)\n;;\nHALT\n;;\n",
+        );
+        assert!(!report.has_code("VER013"), "{}", report.render("t", None));
+    }
+
+    #[test]
+    fn complementary_guarded_writes_are_a_full_definition() {
+        // CMP writes p1 and its complement p2; a write under each covers
+        // every path, so the unguarded read is clean.
+        let report = verify(
+            "MOVIL r2, #0\n;;\nCMP_LT p1, p2, r2, #4\n;;\nMOVIL r1, #5 (p1)\n;;\n\
+             MOVIL r1, #9 (p2)\n;;\nADD r3, r1, #1\n;;\nHALT\n;;\n",
+        );
+        assert!(!report.has_code("VER013"), "{}", report.render("t", None));
+    }
+
+    #[test]
+    fn provably_squashed_read_is_not_reported() {
+        // Old false positive: p1 is never written, so it stays false and
+        // the read never executes — undefined r1 is unobservable there.
+        let report = verify("ADD r2, r1, #1 (p1)\n;;\nHALT\n;;\n");
         assert!(!report.has_code("VER013"), "{}", report.render("t", None));
     }
 
