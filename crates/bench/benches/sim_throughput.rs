@@ -1,11 +1,14 @@
 //! Measures simulator throughput in simulated cycles per second.
 //!
-//! Runs each workload twice: once on the decode-once engine
-//! ([`Simulator`]) and once on the frozen interpretive oracle
-//! ([`ReferenceSimulator`]). Both produce identical architectural
+//! Runs each workload three times: on the decode-once engine
+//! ([`Simulator`]), on the frozen interpretive oracle
+//! ([`ReferenceSimulator`]) and on the block-compiled engine
+//! ([`BlockSimulator`]). All three produce identical architectural
 //! results (see `tests/differential_regression.rs`); this bench reports
 //! how many simulated cycles each engine retires per wall-clock second,
-//! i.e. the speedup bought by decoding the program once at load time.
+//! i.e. the speedup bought by decoding the program once at load time
+//! and then by folding straight-line basic blocks into single state
+//! updates.
 //!
 //! ```text
 //! cargo bench -p epic-bench --bench sim_throughput
@@ -14,7 +17,7 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use epic_core::config::Config;
 use epic_core::ir::lower;
-use epic_core::sim::{Memory, ReferenceSimulator, Simulator};
+use epic_core::sim::{BlockSimulator, Memory, ReferenceSimulator, Simulator};
 use epic_core::workloads::{self, Scale};
 use epic_core::Toolchain;
 use std::time::Instant;
@@ -71,15 +74,26 @@ fn bench_throughput(c: &mut Criterion) {
             s.run().expect("runs");
             s.stats().cycles
         });
+        let mut block = BlockSimulator::try_new(&p.config, p.bundles.clone(), p.entry)
+            .expect("toolchain output is always legal");
+        block.set_memory(Memory::from_image(p.image.clone()));
+        let (blk_cycles, blk_s) = timed(&mut block, |s| {
+            s.run().expect("runs");
+            s.stats().cycles
+        });
         assert_eq!(cycles, ref_cycles, "engines disagree on {}", workload.name);
+        assert_eq!(cycles, blk_cycles, "engines disagree on {}", workload.name);
         println!(
             "[throughput] {} (4 ALUs, {} cycles): decoded {:.2} Mcycles/s, \
-             reference {:.2} Mcycles/s, speedup {:.2}x",
+             reference {:.2} Mcycles/s, block {:.2} Mcycles/s \
+             ({} fast blocks, block/decoded {:.2}x)",
             workload.name,
             cycles,
             cycles as f64 / dec_s / 1e6,
             cycles as f64 / ref_s / 1e6,
-            ref_s / dec_s
+            cycles as f64 / blk_s / 1e6,
+            block.fast_block_execs(),
+            dec_s / blk_s
         );
 
         let template = {
@@ -91,6 +105,23 @@ fn bench_throughput(c: &mut Criterion) {
         group.bench_with_input(
             BenchmarkId::new(&workload.name, "decoded"),
             &template,
+            |b, template| {
+                b.iter(|| {
+                    let mut sim = template.clone();
+                    sim.run().expect("runs");
+                    sim.stats().cycles
+                });
+            },
+        );
+        let block_template = {
+            let mut sim = BlockSimulator::try_new(&p.config, p.bundles.clone(), p.entry)
+                .expect("toolchain output is always legal");
+            sim.set_memory(Memory::from_image(p.image.clone()));
+            sim
+        };
+        group.bench_with_input(
+            BenchmarkId::new(&workload.name, "block"),
+            &block_template,
             |b, template| {
                 b.iter(|| {
                     let mut sim = template.clone();

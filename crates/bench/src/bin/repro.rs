@@ -13,6 +13,7 @@
 //! cargo run --release -p epic-bench --bin repro -- pipeline [--full]
 //! cargo run --release -p epic-bench --bin repro -- metrics [--out <dir>] [--full]
 //! cargo run --release -p epic-bench --bin repro -- bench [--out <file>] [--full]
+//! cargo run --release -p epic-bench --bin repro -- bench --throughput [--out <file>] [--check]
 //! cargo run --release -p epic-bench --bin repro -- all [--full]
 //! ```
 //!
@@ -27,16 +28,24 @@
 //! sweep farms independent (config × workload) points across threads and
 //! reassembles results by grid index, so the reported numbers are
 //! bit-identical at any thread count.
+//!
+//! `--engine <reference|decoded|block>` cross-checks the `bench` cycle
+//! grid on the named simulation engine: every grid point re-runs on it
+//! and the full statistics must match the measured (decoded) run bit for
+//! bit. CI drives the lockstep gate through this flag.
 
 use epic_bench::sweep::{sweep_grid_observed, table1_parallel};
 use epic_bench::{render_headline, render_resources};
 use epic_core::config::{Config, CustomOp, CustomSemantics};
 use epic_core::experiments::{
-    figure_series, headline_checks, resource_usage, run_epic_workload, Table1,
+    figure_series, headline_checks, prepare_epic_workload, resource_usage, run_epic_workload,
+    run_epic_workload_with_engine, Table1,
 };
 use epic_core::explore::{pareto, render, sweep, sweep_alus};
+use epic_core::sim::{BlockSimulator, Engine, Memory, ReferenceSimulator, Simulator};
 use epic_core::workloads::{self, Scale};
 use std::process::ExitCode;
+use std::time::Instant;
 
 const ALUS: [usize; 4] = [1, 2, 3, 4];
 
@@ -53,13 +62,23 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    let engine = match parse_engine(&args) {
+        Ok(e) => e,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
     let scale = if full { Scale::Paper } else { Scale::Test };
     let command = args
         .iter()
         .enumerate()
         .find(|(i, a)| {
             !a.starts_with("--")
-                && (*i == 0 || (args[i - 1] != "--threads" && args[i - 1] != "--out"))
+                && (*i == 0
+                    || (args[i - 1] != "--threads"
+                        && args[i - 1] != "--out"
+                        && args[i - 1] != "--engine"))
         })
         .map_or("all", |(_, a)| a.as_str());
 
@@ -89,7 +108,10 @@ fn main() -> ExitCode {
         "power" => cmd_power(scale),
         "pipeline" => cmd_pipeline(scale),
         "metrics" => cmd_metrics(scale, parse_out(&args)),
-        "bench" => cmd_bench(scale, parse_out(&args)),
+        "bench" if args.iter().any(|a| a == "--throughput") => {
+            cmd_bench_throughput(scale, parse_out(&args), args.iter().any(|a| a == "--check"))
+        }
+        "bench" => cmd_bench(scale, parse_out(&args), engine),
         "all" => cmd_all(scale),
         other => Err(format!(
             "unknown command `{other}`; see the module docs for usage"
@@ -113,6 +135,17 @@ fn parse_threads(args: &[String]) -> Result<usize, String> {
             .ok_or_else(|| "--threads requires a count".to_string())?
             .parse::<usize>()
             .map_err(|_| "--threads requires a non-negative integer".to_string()),
+    }
+}
+
+/// Parses `--engine <name>` (absent = the default decoded engine).
+fn parse_engine(args: &[String]) -> Result<Engine, String> {
+    match args.iter().position(|a| a == "--engine") {
+        None => Ok(Engine::Decoded),
+        Some(i) => args
+            .get(i + 1)
+            .ok_or_else(|| "--engine requires a name".to_string())?
+            .parse(),
     }
 }
 
@@ -213,10 +246,13 @@ fn cmd_metrics(scale: Scale, out: Option<std::path::PathBuf>) -> Result<(), Stri
 /// counts and records `bound_lower`/`bound_upper` alongside `cycles` —
 /// the committed file carries its own `lower <= cycles <= upper`
 /// containment proof, which CI re-checks.
-fn cmd_bench(scale: Scale, out: Option<std::path::PathBuf>) -> Result<(), String> {
+fn cmd_bench(scale: Scale, out: Option<std::path::PathBuf>, engine: Engine) -> Result<(), String> {
     let out = out.unwrap_or_else(|| std::path::PathBuf::from("BENCH_cycles.json"));
     let workloads = workloads::all(scale);
     println!("Cycle grid ({scale:?} scale): workload x ALUs 1-4 x issue width 1-4");
+    if engine != Engine::Decoded {
+        println!("(every point cross-checked bit-for-bit on the {engine} engine)");
+    }
     println!(
         "{:<10} {:>5} {:>3} {:>10} {:>21} {:>8} {:>6} {:>10}",
         "workload", "alus", "iw", "cycles", "static bound", "ipc", "ilp", "occupancy"
@@ -236,6 +272,24 @@ fn cmd_bench(scale: Scale, out: Option<std::path::PathBuf>) -> Result<(), String
                 )
                 .map_err(|e| format!("{} at {alus} ALU / {width}-wide: {e}", workload.name))?;
                 let stats = run.stats();
+                if engine != Engine::Decoded {
+                    let check =
+                        run_epic_workload_with_engine(workload, &config, engine).map_err(|e| {
+                            format!(
+                                "{} at {alus} ALU / {width}-wide on {engine}: {e}",
+                                workload.name
+                            )
+                        })?;
+                    if check.stats() != stats {
+                        return Err(format!(
+                            "{} at {alus} ALU / {width}-wide: the {engine} engine disagrees \
+                             with the decoded engine ({} vs {} cycles)",
+                            workload.name,
+                            check.stats().cycles,
+                            stats.cycles
+                        ));
+                    }
+                }
                 let sched = run.compiled.stats().sched;
                 let counts: std::collections::BTreeMap<u32, u64> =
                     sink.per_pc().map(|(pc, p)| (pc, p.issues)).collect();
@@ -294,6 +348,204 @@ fn cmd_bench(scale: Scale, out: Option<std::path::PathBuf>) -> Result<(), String
     let json = format!(
         "{{\n  \"schema\": \"epic-bench-cycles/v2\",\n  \"scale\": \"{scale:?}\",\n  \
          \"points\": [\n{entries}\n  ]\n}}\n"
+    );
+    std::fs::write(&out, json).map_err(|e| format!("{}: {e}", out.display()))?;
+    println!("wrote {}", out.display());
+    Ok(())
+}
+
+/// Engine throughput race: every workload × the four corners of the
+/// (ALUs, issue-width) grid, each binary prepared once (compile,
+/// assemble, profile training) and then run to completion on all three
+/// engines from identical cloned machines. Timing is interleaved
+/// rep-major — reference, decoded, block, then again — so clock drift
+/// hits every engine equally, and the best of `REPS` timed runs counts.
+/// The warm-up pass records the architectural outputs, which must agree
+/// bit-for-bit across engines: a disagreement is an error, not a data
+/// point.
+///
+/// Writes `--out <file>` (default `BENCH_throughput.json`), schema
+/// `epic-bench-throughput/v1`. With `--check` the file is not rewritten;
+/// instead the deterministic fields (`sim_cycles`, `fast_block_execs`
+/// and the point set itself) are regenerated and verified against the
+/// committed file — wall times are machine-local and exempt.
+fn cmd_bench_throughput(
+    scale: Scale,
+    out: Option<std::path::PathBuf>,
+    check: bool,
+) -> Result<(), String> {
+    const REPS: usize = 5;
+    const CORNERS: [(usize, usize); 4] = [(1, 1), (1, 4), (4, 1), (4, 4)];
+    let out = out.unwrap_or_else(|| std::path::PathBuf::from("BENCH_throughput.json"));
+    let workloads = workloads::all(scale);
+    println!(
+        "Engine throughput ({scale:?} scale): workload x (ALUs, issue width) corners, \
+         best of {REPS} interleaved runs"
+    );
+    println!(
+        "{:<10} {:>5} {:>3} {:>10} {:>12} {:>12} {:>12} {:>8} {:>11}",
+        "workload",
+        "alus",
+        "iw",
+        "cycles",
+        "ref Mc/s",
+        "dec Mc/s",
+        "blk Mc/s",
+        "blk/dec",
+        "fast blks"
+    );
+    let mut entries = String::new();
+    let mut prefixes: Vec<String> = Vec::new();
+    for workload in &workloads {
+        for (alus, width) in CORNERS {
+            let config = Config::builder()
+                .num_alus(alus)
+                .issue_width(width)
+                .build()
+                .expect("valid grid configuration");
+            let (_toolchain, prepared) = prepare_epic_workload(workload, &config)
+                .map_err(|e| format!("{} at {alus} ALU / {width}-wide: {e}", workload.name))?;
+            let bundles = prepared.program.bundles().to_vec();
+            let entry = prepared.program.entry();
+            let image = prepared.initial_memory;
+
+            let reference = {
+                let mut sim = ReferenceSimulator::new(&config, bundles.clone(), entry);
+                sim.set_memory(Memory::from_image(image.clone()));
+                sim
+            };
+            let decoded = {
+                let mut sim = Simulator::try_new(&config, bundles.clone(), entry)
+                    .map_err(|e| e.to_string())?;
+                sim.set_memory(Memory::from_image(image.clone()));
+                sim
+            };
+            let block = {
+                let mut sim =
+                    BlockSimulator::try_new(&config, bundles, entry).map_err(|e| e.to_string())?;
+                sim.set_memory(Memory::from_image(image));
+                sim
+            };
+
+            // One timed run of one engine on a clone of its template
+            // (construction and decode stay outside the clock).
+            let run_engine = |engine: Engine| -> (u128, u64, u64) {
+                match engine {
+                    Engine::Reference => {
+                        let mut sim = reference.clone();
+                        let start = Instant::now();
+                        sim.run().expect("verified workloads never fault");
+                        (start.elapsed().as_nanos(), sim.stats().cycles, 0)
+                    }
+                    Engine::Decoded => {
+                        let mut sim = decoded.clone();
+                        let start = Instant::now();
+                        sim.run().expect("verified workloads never fault");
+                        (start.elapsed().as_nanos(), sim.stats().cycles, 0)
+                    }
+                    Engine::Block => {
+                        let mut sim = block.clone();
+                        let start = Instant::now();
+                        sim.run().expect("verified workloads never fault");
+                        (
+                            start.elapsed().as_nanos(),
+                            sim.stats().cycles,
+                            sim.fast_block_execs(),
+                        )
+                    }
+                }
+            };
+
+            let mut cycles = [0u64; 3];
+            let mut fast = [0u64; 3];
+            let mut best = [u128::MAX; 3];
+            for rep in 0..=REPS {
+                // Rep 0 warms caches and records the deterministic outputs.
+                for (ei, engine) in Engine::all().into_iter().enumerate() {
+                    let (ns, c, f) = run_engine(engine);
+                    if rep == 0 {
+                        cycles[ei] = c;
+                        fast[ei] = f;
+                    } else {
+                        if c != cycles[ei] {
+                            return Err(format!(
+                                "{} at {alus} ALU / {width}-wide: {engine} engine is \
+                                 nondeterministic ({c} vs {} cycles)",
+                                workload.name, cycles[ei]
+                            ));
+                        }
+                        best[ei] = best[ei].min(ns);
+                    }
+                }
+            }
+            if cycles[0] != cycles[1] || cycles[1] != cycles[2] {
+                return Err(format!(
+                    "{} at {alus} ALU / {width}-wide: engines disagree on cycles \
+                     (reference {}, decoded {}, block {})",
+                    workload.name, cycles[0], cycles[1], cycles[2]
+                ));
+            }
+            let mcps = |ei: usize| cycles[ei] as f64 * 1e3 / best[ei] as f64;
+            println!(
+                "{:<10} {:>5} {:>3} {:>10} {:>12.2} {:>12.2} {:>12.2} {:>7.2}x {:>11}",
+                workload.name,
+                alus,
+                width,
+                cycles[0],
+                mcps(0),
+                mcps(1),
+                mcps(2),
+                best[1] as f64 / best[2] as f64,
+                fast[2]
+            );
+            for (ei, engine) in Engine::all().into_iter().enumerate() {
+                let prefix = format!(
+                    "{{\"workload\": \"{}\", \"alus\": {alus}, \"issue_width\": {width}, \
+                     \"engine\": \"{engine}\", \"sim_cycles\": {}, \"fast_block_execs\": {},",
+                    workload.name, cycles[ei], fast[ei]
+                );
+                if !entries.is_empty() {
+                    entries.push_str(",\n");
+                }
+                entries.push_str(&format!(
+                    "    {prefix} \"wall_ns\": {}, \"cycles_per_sec\": {:.0}}}",
+                    best[ei],
+                    cycles[ei] as f64 * 1e9 / best[ei] as f64
+                ));
+                prefixes.push(prefix);
+            }
+        }
+    }
+    if check {
+        let committed = std::fs::read_to_string(&out)
+            .map_err(|e| format!("--check: {}: {e}", out.display()))?;
+        let committed_points = committed.matches("\"workload\"").count();
+        if committed_points != prefixes.len() {
+            return Err(format!(
+                "--check: {} has {committed_points} points, expected {}",
+                out.display(),
+                prefixes.len()
+            ));
+        }
+        for prefix in &prefixes {
+            if !committed.contains(prefix.as_str()) {
+                return Err(format!(
+                    "--check: {} is stale — missing point {prefix}…; \
+                     regenerate with `repro -- bench --throughput`",
+                    out.display()
+                ));
+            }
+        }
+        println!(
+            "{} is fresh ({} deterministic points match)",
+            out.display(),
+            prefixes.len()
+        );
+        return Ok(());
+    }
+    let json = format!(
+        "{{\n  \"schema\": \"epic-bench-throughput/v1\",\n  \"scale\": \"{scale:?}\",\n  \
+         \"reps\": {REPS},\n  \"points\": [\n{entries}\n  ]\n}}\n"
     );
     std::fs::write(&out, json).map_err(|e| format!("{}: {e}", out.display()))?;
     println!("wrote {}", out.display());

@@ -28,7 +28,7 @@
 //! The claim `simulated cycles ∈ [lower, upper]` is enforced two ways:
 //! every price in the [`CostModel`] can be [audited](CostModel::audit)
 //! against independently re-derived facts, and the differential oracle
-//! in this crate's tests runs both simulation engines over a
+//! in this crate's tests runs all three simulation engines over a
 //! configuration grid and asserts containment. Seeded [`Mutation`]s
 //! (wrong latency, ignored port budget, dropped branch penalty, bad
 //! loop bound, unsound widening) must each be caught by the audit *and*
@@ -38,7 +38,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-mod cfg;
+use epic_mdes::cfg;
+
 mod cost;
 mod cycles;
 mod defs;

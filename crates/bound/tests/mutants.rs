@@ -31,7 +31,8 @@ struct Run {
 /// Assembles and runs a program, collecting measured issue counts.
 fn simulate(source: &str, config: &Config) -> Run {
     let program = epic_asm::assemble(source, config).expect("assembles");
-    let mut sim = Simulator::new(config, program.bundles().to_vec(), program.entry());
+    let mut sim = Simulator::try_new(config, program.bundles().to_vec(), program.entry())
+        .expect("legal program");
     sim.set_memory(epic_sim::Memory::new(64));
     let mut sink = epic_sim::ProfileSink::default();
     let stats = *sim.run_with_sink(&mut sink).expect("runs to completion");

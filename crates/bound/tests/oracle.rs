@@ -1,6 +1,6 @@
 //! Differential oracle for the static cycle-bound analysis.
 //!
-//! For every benchmark × configuration grid point, both simulation
+//! For every benchmark × configuration grid point, all three simulation
 //! engines run the compiled program to completion and their cycle
 //! counts must land inside the static interval — with profile-measured
 //! execution counts (tight, input-specific) and with statically derived
@@ -12,7 +12,7 @@ use epic_bound::{analyze_cycles, BoundOptions, CostModel, CountSource, CycleBoun
 use epic_config::Config;
 use epic_core::experiments::run_epic_workload_observed;
 use epic_ir::lower;
-use epic_sim::{Memory, ProfileSink, ReferenceSimulator};
+use epic_sim::{BlockSimulator, Memory, ProfileSink, ReferenceSimulator};
 use epic_workloads::{all, Scale};
 use std::collections::BTreeMap;
 
@@ -22,6 +22,7 @@ struct Point {
     issue_width: usize,
     decoded_cycles: u64,
     reference_cycles: u64,
+    block_cycles: u64,
     measured: CycleBounds,
     statics: CycleBounds,
 }
@@ -51,6 +52,15 @@ fn run_grid(alu_counts: &[usize], widths: &[usize]) -> Vec<Point> {
                 reference.set_memory(Memory::from_image(module.initial_memory(&layout)));
                 let reference_cycles = reference.run().expect("reference engine runs").cycles;
 
+                let mut block = BlockSimulator::try_new(
+                    &config,
+                    run.program.bundles().to_vec(),
+                    run.program.entry(),
+                )
+                .expect("block compile accepts legal programs");
+                block.set_memory(Memory::from_image(module.initial_memory(&layout)));
+                let block_cycles = block.run().expect("block engine runs").cycles;
+
                 let counts: BTreeMap<u32, u64> =
                     sink.per_pc().map(|(pc, c)| (pc, c.issues)).collect();
                 let model = CostModel::new(&config);
@@ -78,6 +88,7 @@ fn run_grid(alu_counts: &[usize], widths: &[usize]) -> Vec<Point> {
                     issue_width,
                     decoded_cycles,
                     reference_cycles,
+                    block_cycles,
                     measured,
                     statics,
                 });
@@ -92,6 +103,7 @@ fn assert_contained(points: &[Point]) {
         for (engine, cycles) in [
             ("decoded", p.decoded_cycles),
             ("reference", p.reference_cycles),
+            ("block", p.block_cycles),
         ] {
             assert!(
                 p.measured.contains(cycles),
@@ -117,7 +129,7 @@ fn assert_contained(points: &[Point]) {
 
 #[test]
 fn both_engines_land_inside_the_bounds_across_the_grid() {
-    // The full 4 × 4 grid per benchmark: 64 points, two engines each.
+    // The full 4 × 4 grid per benchmark: 64 points, three engines each.
     let points = run_grid(&[1, 2, 3, 4], &[1, 2, 3, 4]);
     assert_eq!(points.len(), 64);
     assert_contained(&points);
@@ -140,14 +152,19 @@ fn both_engines_land_inside_the_bounds_across_the_grid() {
 }
 
 #[test]
-fn the_two_engines_agree_with_each_other() {
-    // Not a bound property, but the oracle depends on both engines
+fn the_engines_agree_with_each_other() {
+    // Not a bound property, but the oracle depends on the engines
     // seeing the same machine: any divergence invalidates containment
     // as a cross-check.
     for p in run_grid(&[1, 4], &[2]) {
         assert_eq!(
             p.decoded_cycles, p.reference_cycles,
             "{} alus={} iw={}: engines disagree",
+            p.name, p.alus, p.issue_width
+        );
+        assert_eq!(
+            p.decoded_cycles, p.block_cycles,
+            "{} alus={} iw={}: block engine disagrees",
             p.name, p.alus, p.issue_width
         );
     }

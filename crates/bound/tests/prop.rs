@@ -102,7 +102,8 @@ struct Run {
 
 fn simulate(source: &str, config: &Config) -> Run {
     let program = epic_asm::assemble(source, config).expect("generated program assembles");
-    let mut sim = Simulator::new(config, program.bundles().to_vec(), program.entry());
+    let mut sim = Simulator::try_new(config, program.bundles().to_vec(), program.entry())
+        .expect("legal program");
     sim.set_memory(Memory::new(MEM_BYTES));
     let mut sink = ProfileSink::default();
     let stats = *sim

@@ -12,13 +12,13 @@
 //! * [`headline_checks`] — the paper's qualitative claims as testable
 //!   predicates (who wins, where the benchmark scales, where it is flat).
 
-use crate::toolchain::{run_sa110, EpicRun, Toolchain, ToolchainError};
+use crate::toolchain::{run_sa110, EngineRun, EpicRun, Toolchain, ToolchainError};
 use epic_area::{sa110_execution_time, AreaModel};
 use epic_compiler::superblock::ProfileData;
 use epic_config::Config;
 use epic_ir::lower;
 use epic_ir::Module;
-use epic_sim::{NopSink, ProfileSink, SimStats, TraceSink};
+use epic_sim::{Engine, NopSink, ProfileSink, SimStats, TraceSink};
 use epic_workloads::{Scale, Workload};
 use std::collections::HashMap;
 use std::fmt;
@@ -98,6 +98,61 @@ pub fn run_epic_workload_observed<S: TraceSink>(
     config: &Config,
     sink: &mut S,
 ) -> Result<EpicRun, ExperimentError> {
+    let (toolchain, module, options) = compile_setup(workload, config)?;
+    let run = toolchain.run_module_observed(&module, &options, sink)?;
+    verify_workload_memory(workload, run.simulator.memory().bytes())?;
+    Ok(run)
+}
+
+/// [`run_epic_workload`] on an explicitly selected simulation
+/// [`Engine`], verifying the output and returning the full
+/// [`EngineRun`].
+///
+/// The compile side — profile training included — is identical to
+/// [`run_epic_workload_observed`], so the three engines all execute the
+/// same schedule and their statistics are directly comparable (and,
+/// by the engines' contract, bit-identical).
+///
+/// # Errors
+///
+/// Returns any pipeline error or a [`VerifyError`] on a golden-model
+/// mismatch.
+pub fn run_epic_workload_with_engine(
+    workload: &Workload,
+    config: &Config,
+    engine: Engine,
+) -> Result<EngineRun, ExperimentError> {
+    let (toolchain, module, options) = compile_setup(workload, config)?;
+    let run = toolchain.run_module_engine(&module, &options, engine)?;
+    verify_workload_memory(workload, run.outcome.memory.bytes())?;
+    Ok(run)
+}
+
+/// Compiles a workload for a configuration — profile training included —
+/// returning the toolchain and the prepared artefact *without* running
+/// it. The throughput benchmarks use this to hoist the whole compiler
+/// front end out of the timed region and race the engines over the
+/// identical binary.
+///
+/// # Errors
+///
+/// Returns any compile-side pipeline error.
+pub fn prepare_epic_workload(
+    workload: &Workload,
+    config: &Config,
+) -> Result<(Toolchain, crate::toolchain::PreparedProgram), ExperimentError> {
+    let (toolchain, module, options) = compile_setup(workload, config)?;
+    let prepared = toolchain.prepare(&module, &options)?;
+    Ok((toolchain, prepared))
+}
+
+/// The shared compile-side setup of every EPIC workload run: lower the
+/// program, build the compiler options, and (on machines wide enough
+/// for superblock formation) train the profile.
+fn compile_setup(
+    workload: &Workload,
+    config: &Config,
+) -> Result<(Toolchain, Module, epic_compiler::Options), ExperimentError> {
     let module = lower::lower(&workload.program)?;
     let toolchain = Toolchain::new(config.clone());
     let mut options = epic_compiler::Options {
@@ -108,18 +163,20 @@ pub fn run_epic_workload_observed<S: TraceSink>(
     if config.issue_width() >= 2 {
         options.profile = train_profile(&toolchain, &module, &options)?;
     }
-    let run = toolchain.run_module_observed(&module, &options, sink)?;
+    Ok((toolchain, module, options))
+}
+
+/// Checks a run's final data memory against the workload's golden model.
+fn verify_workload_memory(workload: &Workload, bytes: &[u8]) -> Result<(), ExperimentError> {
     workload
         .verify_memory(|addr, len| -> Result<Vec<u8>, VerifyError> {
-            let bytes = run.simulator.memory().bytes();
             let (start, end) = (addr as usize, (addr + len) as usize);
             if end > bytes.len() {
                 return Err(VerifyError(format!("global at {addr:#x} overruns memory")));
             }
             Ok(bytes[start..end].to_vec())
         })
-        .map_err(|m| ExperimentError::Verify(VerifyError(m)))?;
-    Ok(run)
+        .map_err(|m| ExperimentError::Verify(VerifyError(m)))
 }
 
 /// The training pass behind profile-guided superblock formation: compile

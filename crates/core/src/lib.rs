@@ -42,7 +42,10 @@ pub mod experiments;
 pub mod explore;
 mod toolchain;
 
-pub use toolchain::{run_sa110, ArmRun, EpicRun, Toolchain, ToolchainError};
+pub use toolchain::{
+    run_sa110, ArmRun, EngineOutcome, EngineRun, EpicRun, PreparedProgram, Toolchain,
+    ToolchainError,
+};
 
 pub use epic_area as area;
 pub use epic_asm as asm;

@@ -5,7 +5,10 @@ use epic_compiler::{CompileError, CompiledProgram, Compiler, Options};
 use epic_config::Config;
 use epic_ir::{IrError, Module};
 use epic_sa110::{ArmCodegenError, ArmSimError, ArmSimulator, ArmStats};
-use epic_sim::{Memory, NopSink, SimError, SimStats, Simulator, TraceSink};
+use epic_sim::{
+    BlockSimulator, Engine, Memory, NopSink, ReferenceSimulator, SimError, SimStats, Simulator,
+    TraceSink,
+};
 use std::error::Error;
 use std::fmt;
 
@@ -131,6 +134,70 @@ impl EpicRun {
     }
 }
 
+/// A compiled, assembled and translation-validated program together
+/// with its initial data memory image: everything a simulation run
+/// needs, with the whole compiler front end already paid for.
+///
+/// [`Toolchain::prepare`] produces one; [`Toolchain::run_prepared`] runs
+/// it on any [`Engine`], as many times as the caller likes — the
+/// throughput benchmarks hoist preparation out of the timed region this
+/// way and race the engines over the identical artefact.
+#[derive(Debug)]
+pub struct PreparedProgram {
+    /// The compiler's output (assembly text + statistics).
+    pub compiled: CompiledProgram,
+    /// The assembled program (bundles, labels).
+    pub program: Program,
+    /// Initial data memory image (the module layout's globals).
+    pub initial_memory: Vec<u8>,
+}
+
+/// The observable end state of one simulation — the part of the machine
+/// state the engines' bit-identity contract covers.
+#[derive(Debug)]
+pub struct EngineOutcome {
+    /// Cycle-level statistics.
+    pub stats: SimStats,
+    /// The entry function's return value (the ABI return register `r1`).
+    pub return_value: u32,
+    /// The final data memory.
+    pub memory: Memory,
+    /// Basic blocks the block-compiled engine replayed on its folded
+    /// fast path (always zero on the other engines).
+    pub fast_block_execs: u64,
+}
+
+/// A completed EPIC execution on an explicitly selected [`Engine`].
+///
+/// Unlike [`EpicRun`], which owns the decoded [`Simulator`], this result
+/// is engine-agnostic: it carries the compile artefacts plus the
+/// [`EngineOutcome`] every engine must produce bit-identically.
+#[derive(Debug)]
+pub struct EngineRun {
+    /// The compiler's output (assembly text + statistics).
+    pub compiled: CompiledProgram,
+    /// The assembled program (bundles, labels).
+    pub program: Program,
+    /// Which engine ran.
+    pub engine: Engine,
+    /// The run's observable end state.
+    pub outcome: EngineOutcome,
+}
+
+impl EngineRun {
+    /// Cycle-level statistics.
+    #[must_use]
+    pub fn stats(&self) -> &SimStats {
+        &self.outcome.stats
+    }
+
+    /// The entry function's return value (the ABI return register `r1`).
+    #[must_use]
+    pub fn return_value(&self) -> u32 {
+        self.outcome.return_value
+    }
+}
+
 /// A completed SA-110 baseline execution.
 #[derive(Debug)]
 pub struct ArmRun {
@@ -230,6 +297,32 @@ impl Toolchain {
         options: &Options,
         sink: &mut S,
     ) -> Result<EpicRun, ToolchainError> {
+        let prepared = self.prepare(module, options)?;
+        let mut simulator = Simulator::try_new(
+            &self.config,
+            prepared.program.bundles().to_vec(),
+            prepared.program.entry(),
+        )?;
+        simulator.set_memory(Memory::from_image(prepared.initial_memory));
+        simulator.run_with_sink(sink)?;
+        Ok(EpicRun {
+            compiled: prepared.compiled,
+            program: prepared.program,
+            simulator,
+        })
+    }
+
+    /// Runs the compiler front end — compile, assemble, translation
+    /// validation, memory layout — without simulating.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first pipeline error.
+    pub fn prepare(
+        &self,
+        module: &Module,
+        options: &Options,
+    ) -> Result<PreparedProgram, ToolchainError> {
         let compiled = self.compiler.compile_with(module, options)?;
         let program = epic_asm::assemble(compiled.assembly(), &self.config)?;
         // Translation validation rides on the same trace the bundle
@@ -241,14 +334,89 @@ impl Toolchain {
             }
         }
         let layout = module.layout()?;
-        let mut simulator =
-            Simulator::try_new(&self.config, program.bundles().to_vec(), program.entry())?;
-        simulator.set_memory(Memory::from_image(module.initial_memory(&layout)));
-        simulator.run_with_sink(sink)?;
-        Ok(EpicRun {
+        let initial_memory = module.initial_memory(&layout);
+        Ok(PreparedProgram {
             compiled,
             program,
-            simulator,
+            initial_memory,
+        })
+    }
+
+    /// Runs a prepared program once on the selected engine.
+    ///
+    /// Every engine starts from the same artefact and must end in the
+    /// same [`EngineOutcome`] (statistics, return value, memory) — the
+    /// differential suites hold them to it bit for bit.
+    ///
+    /// # Errors
+    ///
+    /// Returns a simulation fault, or the decoded engines' load-time
+    /// bundle rejection.
+    pub fn run_prepared(
+        &self,
+        prepared: &PreparedProgram,
+        engine: Engine,
+    ) -> Result<EngineOutcome, ToolchainError> {
+        let bundles = prepared.program.bundles().to_vec();
+        let entry = prepared.program.entry();
+        let memory = Memory::from_image(prepared.initial_memory.clone());
+        match engine {
+            Engine::Reference => {
+                let mut sim = ReferenceSimulator::new(&self.config, bundles, entry);
+                sim.set_memory(memory);
+                let stats = *sim.run()?;
+                Ok(EngineOutcome {
+                    stats,
+                    return_value: sim.gpr(1),
+                    memory: sim.memory().clone(),
+                    fast_block_execs: 0,
+                })
+            }
+            Engine::Decoded => {
+                let mut sim = Simulator::try_new(&self.config, bundles, entry)?;
+                sim.set_memory(memory);
+                let stats = *sim.run()?;
+                Ok(EngineOutcome {
+                    stats,
+                    return_value: sim.gpr(1),
+                    memory: sim.memory().clone(),
+                    fast_block_execs: 0,
+                })
+            }
+            Engine::Block => {
+                let mut sim = BlockSimulator::try_new(&self.config, bundles, entry)?;
+                sim.set_memory(memory);
+                let stats = *sim.run()?;
+                Ok(EngineOutcome {
+                    stats,
+                    return_value: sim.gpr(1),
+                    memory: sim.memory().clone(),
+                    fast_block_execs: sim.fast_block_execs(),
+                })
+            }
+        }
+    }
+
+    /// Compiles, assembles, loads and runs a module on the selected
+    /// [`Engine`] ([`prepare`](Toolchain::prepare) +
+    /// [`run_prepared`](Toolchain::run_prepared)).
+    ///
+    /// # Errors
+    ///
+    /// Returns the first pipeline error.
+    pub fn run_module_engine(
+        &self,
+        module: &Module,
+        options: &Options,
+        engine: Engine,
+    ) -> Result<EngineRun, ToolchainError> {
+        let prepared = self.prepare(module, options)?;
+        let outcome = self.run_prepared(&prepared, engine)?;
+        Ok(EngineRun {
+            compiled: prepared.compiled,
+            program: prepared.program,
+            engine,
+            outcome,
         })
     }
 }
@@ -327,6 +495,47 @@ mod tests {
         // Memory images agree on the output global too.
         let bytes = epic.read_global(&m, "out", 4).unwrap();
         assert_eq!(bytes, expected.to_be_bytes());
+    }
+
+    #[test]
+    fn all_engines_agree_on_a_prepared_program() {
+        let ast = Ast::new()
+            .global(epic_ir::Global::zeroed("out", 4))
+            .function(FunctionDef::new("main", ["n"]).body([
+                Stmt::let_("acc", Expr::lit(0)),
+                Stmt::for_(
+                    "i",
+                    Expr::lit(1),
+                    Expr::var("n") + Expr::lit(1),
+                    [Stmt::assign(
+                        "acc",
+                        Expr::var("acc") + Expr::var("i") * Expr::var("i"),
+                    )],
+                ),
+                Stmt::store_word(Expr::global("out"), Expr::var("acc")),
+                Stmt::ret(Expr::var("acc")),
+            ]));
+        let m = module(&ast);
+        let toolchain = Toolchain::new(Config::default());
+        let options = Options {
+            entry: "main".to_owned(),
+            entry_args: vec![10],
+            ..Options::default()
+        };
+        let prepared = toolchain.prepare(&m, &options).unwrap();
+        let decoded = toolchain.run_prepared(&prepared, Engine::Decoded).unwrap();
+        let reference = toolchain
+            .run_prepared(&prepared, Engine::Reference)
+            .unwrap();
+        let block = toolchain.run_prepared(&prepared, Engine::Block).unwrap();
+        assert_eq!(decoded.stats, reference.stats);
+        assert_eq!(decoded.stats, block.stats);
+        assert_eq!(decoded.return_value, reference.return_value);
+        assert_eq!(decoded.return_value, block.return_value);
+        assert_eq!(decoded.memory.bytes(), reference.memory.bytes());
+        assert_eq!(decoded.memory.bytes(), block.memory.bytes());
+        let expected: u32 = (1..=10).map(|i| i * i).sum();
+        assert_eq!(block.return_value, expected);
     }
 
     #[test]

@@ -1,6 +1,7 @@
 //! Over-approximate control-flow graph over bundle addresses.
 //!
-//! Every analysis in this crate — and `epic-verify`'s dataflow fixpoint —
+//! Every consumer of program shape — `epic-bound`'s dataflow analyses,
+//! `epic-verify`'s fixpoint and the simulator's block-compiled engine —
 //! runs over the same successor relation: for each bundle address, the
 //! bundle addresses the hardware may fetch next, each with the *minimum*
 //! number of processor cycles between the two bundles' execute stages

@@ -31,6 +31,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod cfg;
+
 use epic_config::Config;
 use epic_isa::{Instruction, Opcode, Unit};
 use std::error::Error;

@@ -1,0 +1,785 @@
+//! The block-compiled execution engine.
+//!
+//! The decoded engine (`machine.rs`) pays the full per-cycle price on
+//! every cycle: scoreboard scan, unit availability, port accounting,
+//! stall ladder. Inside a straight-line basic block none of that can
+//! surprise us — the bundles, their reads, their writes and their
+//! latencies are all known statically, so the *entire* cycle-by-cycle
+//! negotiation can be replayed once at load time and folded into a
+//! constant: how many cycles the block takes, which stall counters it
+//! bumps, and what every scoreboard entry reads after it.
+//!
+//! [`BlockSimulator`] does exactly that. At construction it partitions
+//! the program into basic blocks over the shared
+//! [`epic_mdes::cfg::Cfg`], symbolically replays each block's issue
+//! logic against the decoded arrays, and stores the result as a
+//! [`CompiledBlock`]: a folded cycle count, a folded
+//! [`StallBreakdown`], the scoreboard bookings to apply, and the
+//! *entry signature* — per-register readiness caps under which the
+//! replay is provably exact. At run time, whenever the front end sits
+//! clean at a block leader and the live scoreboard is dominated by the
+//! entry signature, the whole block executes in one step: the body
+//! bundles run through the same shared [`crate::semantics::execute_op`]
+//! write-back path, the cycle counter jumps by the folded amount, and
+//! the per-cycle machinery is skipped entirely. Blocks whose entry
+//! conditions fail (or programs mid-branch-flush, mid-divide, and so
+//! on) fall back to the decoded per-cycle engine bundle by bundle, so
+//! results — `SimStats`, registers, memory, faults — stay
+//! **bit-identical** to [`crate::Simulator`] by construction, which the
+//! differential suites enforce.
+//!
+//! The fast path stands down whenever it could be observed skipping
+//! cycles: under a [`TraceSink`] whose [`TraceSink::OBSERVED`] constant
+//! is `true`, or when per-cycle stall recording is on. Those runs are
+//! plain decoded-engine runs and produce identical event streams.
+
+use crate::decoded::DecodedProgram;
+use crate::error::SimError;
+use crate::machine::{Simulator, StepPhase};
+use crate::memory::Memory;
+use crate::semantics::Action;
+use crate::stats::{SimStats, StallBreakdown, StallCause, StallEvent};
+use crate::trace::{NopSink, TraceSink};
+use epic_config::Config;
+use epic_isa::Instruction;
+use epic_mdes::cfg::Cfg;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Upper bound on symbolic-replay cycles per block: a block that takes
+/// longer than this to issue is not worth compiling (and a runaway
+/// replay would indicate a bug, not a real schedule).
+const REPLAY_CYCLE_CAP: u64 = 10_000;
+
+/// One scoreboard booking a block issues, with its ready cycle relative
+/// to the block's entry cycle.
+#[derive(Debug, Clone, Copy)]
+enum Booking {
+    /// `gpr_ready[reg] = entry_cycle + rel`.
+    Gpr(u16, u64),
+    /// `pred_ready[reg] = entry_cycle + rel`.
+    Pred(u16, u64),
+    /// `btr_ready[reg] = entry_cycle + rel`.
+    Btr(u16, u64),
+}
+
+/// A basic block whose issue schedule has been folded at load time.
+#[derive(Debug, Clone)]
+struct CompiledBlock {
+    /// Address of the first bundle (the block leader).
+    first: u32,
+    /// Number of bundles in the block (terminator included, `>= 2`).
+    n: usize,
+    /// Cycles from block entry until the terminator has issued.
+    block_cycles: u64,
+    /// Stall counters the block's schedule accumulates.
+    folded: StallBreakdown,
+    /// The folded stalls as `(relative cycle, cause)` events, in cycle
+    /// order, for reconstructing a fault interrupted mid-block.
+    folded_events: Vec<(u64, StallCause)>,
+    /// Relative issue cycle of each bundle in the block.
+    issue_rel: Vec<u64>,
+    /// Scoreboard bookings per bundle, in issue order.
+    bookings: Vec<Vec<Booking>>,
+    /// Entry signature: the replay is exact iff, for each `(reg, cap)`,
+    /// the live ready cycle is at most `entry_cycle + cap`.
+    entry_gpr_caps: Vec<(u16, u64)>,
+    entry_pred_caps: Vec<(u16, u64)>,
+    entry_btr_caps: Vec<(u16, u64)>,
+    /// Data-memory operations the body performs (0 when memory
+    /// contention is off — debt is then never charged).
+    body_mem_ops: u32,
+    /// Fetch-bandwidth debt outstanding when the block exits (entry
+    /// debt is required to be 0 whenever `body_mem_ops > 0`).
+    exit_debt: u32,
+}
+
+/// The block-compiled simulator: a [`Simulator`] plus compiled blocks.
+///
+/// Construction, state accessors and semantics match [`Simulator`]
+/// exactly; only the time-to-result differs. See the module
+/// documentation for the execution model.
+#[derive(Debug, Clone)]
+pub struct BlockSimulator {
+    sim: Simulator,
+    /// Compiled block per leader address (`None` off-leader/ineligible).
+    blocks: Vec<Option<CompiledBlock>>,
+    fast_blocks: u64,
+}
+
+impl BlockSimulator {
+    /// Creates a block-compiled simulator for a configuration, program
+    /// and entry bundle, compiling eligible basic blocks up front.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::IllegalBundle`] exactly when
+    /// [`Simulator::try_new`] does.
+    pub fn try_new(
+        config: &Config,
+        bundles: Vec<Vec<Instruction>>,
+        entry: u32,
+    ) -> Result<Self, SimError> {
+        let cfg = Cfg::build(config, &bundles);
+        let sim = Simulator::try_new(config, bundles, entry)?;
+        let blocks = compile_blocks(&sim.program, &cfg, entry);
+        Ok(BlockSimulator {
+            sim,
+            blocks,
+            fast_blocks: 0,
+        })
+    }
+
+    /// Installs the data memory (e.g. a module's initial image).
+    pub fn set_memory(&mut self, memory: Memory) {
+        self.sim.set_memory(memory);
+    }
+
+    /// Caps the simulated cycles (runaway backstop).
+    pub fn set_cycle_limit(&mut self, limit: u64) {
+        self.sim.set_cycle_limit(limit);
+    }
+
+    /// The data memory.
+    #[must_use]
+    pub fn memory(&self) -> &Memory {
+        self.sim.memory()
+    }
+
+    /// Reads a general-purpose register.
+    #[must_use]
+    pub fn gpr(&self, index: usize) -> u32 {
+        self.sim.gpr(index)
+    }
+
+    /// Reads a predicate register (`p0` is hard-wired true).
+    #[must_use]
+    pub fn pred(&self, index: usize) -> bool {
+        self.sim.pred(index)
+    }
+
+    /// Reads a branch target register.
+    #[must_use]
+    pub fn btr(&self, index: usize) -> u32 {
+        self.sim.btr(index)
+    }
+
+    /// Elapsed processor cycles.
+    #[must_use]
+    pub fn cycle(&self) -> u64 {
+        self.sim.cycle()
+    }
+
+    /// Whether the processor has executed `HALT`.
+    #[must_use]
+    pub fn is_halted(&self) -> bool {
+        self.sim.is_halted()
+    }
+
+    /// Statistics gathered so far.
+    #[must_use]
+    pub fn stats(&self) -> &SimStats {
+        self.sim.stats()
+    }
+
+    /// Enables (or disables) per-cycle stall recording. While recording
+    /// is on the fast path stands down, so the log is complete.
+    pub fn record_stalls(&mut self, on: bool) {
+        self.sim.record_stalls(on);
+    }
+
+    /// The stall events recorded so far.
+    #[must_use]
+    pub fn stall_log(&self) -> &[StallEvent] {
+        self.sim.stall_log()
+    }
+
+    /// How many times a compiled block executed on the fast path.
+    ///
+    /// Deliberately *not* part of [`SimStats`]: statistics must compare
+    /// equal across engines, and this counter is an engine property.
+    #[must_use]
+    pub fn fast_block_execs(&self) -> u64 {
+        self.fast_blocks
+    }
+
+    /// How many basic blocks compiled to a fast-path body.
+    #[must_use]
+    pub fn compiled_blocks(&self) -> usize {
+        self.blocks.iter().filter(|b| b.is_some()).count()
+    }
+
+    /// Unwraps the underlying per-cycle simulator.
+    #[must_use]
+    pub fn into_inner(self) -> Simulator {
+        self.sim
+    }
+
+    /// Runs until `HALT` (or an error), taking the fast path through
+    /// every compiled block whose entry signature is satisfied.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`SimError`] raised, with the interrupted
+    /// machine state identical to the decoded engine's.
+    pub fn run(&mut self) -> Result<&SimStats, SimError> {
+        self.run_with_sink(&mut NopSink)
+    }
+
+    /// Runs until `HALT`, streaming per-cycle events into `sink`.
+    ///
+    /// An observing sink (`S::OBSERVED == true`) disables the fast path
+    /// — folded cycles have no per-cycle events to report — so such
+    /// runs are plain decoded-engine runs with identical event streams.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`SimError`] raised.
+    pub fn run_with_sink<S: TraceSink>(&mut self, sink: &mut S) -> Result<&SimStats, SimError> {
+        let program = Arc::clone(&self.sim.program);
+        if S::OBSERVED || self.sim.recording_stalls() {
+            while self.sim.step_program(&program, sink)? {}
+            return Ok(self.sim.stats());
+        }
+        loop {
+            match self.sim.step_front(&program, sink)? {
+                StepPhase::Halted => return Ok(self.sim.stats()),
+                StepPhase::Drained => {}
+                StepPhase::Issue(redirect) => {
+                    if self.sim.pre_issue_stall(&program, redirect, sink) {
+                        self.sim.finish_cycle(sink);
+                        continue;
+                    }
+                    let block = self
+                        .blocks
+                        .get(self.sim.pc as usize)
+                        .and_then(Option::as_ref)
+                        .filter(|b| entry_ok(&self.sim, b));
+                    if let Some(block) = block {
+                        run_block(&mut self.sim, &program, block)?;
+                        self.fast_blocks += 1;
+                    } else {
+                        self.sim.try_issue(&program, sink)?;
+                        self.sim.finish_cycle(sink);
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Whether the live machine state is dominated by the block's entry
+/// signature, i.e. the folded schedule is exact from here.
+///
+/// Called with the front end clean at the leader: nothing in stage 2,
+/// no flush bubbles pending and `mem_debt < 2` (the pre-issue ladder
+/// just passed).
+fn entry_ok(sim: &Simulator, block: &CompiledBlock) -> bool {
+    let c = sim.cycle;
+    // A pending or already-paid port wait for the leader would change
+    // the replayed port accounting.
+    if sim.port_wait != 0 || sim.port_wait_pc == Some(block.first) {
+        return false;
+    }
+    // The replay assumed debt 0; without body memory traffic the debt
+    // can never reach the stall threshold mid-block, so 0/1 both work.
+    if block.body_mem_ops > 0 && sim.mem_debt != 0 {
+        return false;
+    }
+    // Every in-window step must clear the cycle budget check.
+    match c.checked_add(block.block_cycles) {
+        Some(end) if end <= sim.cycle_limit => {}
+        _ => return false,
+    }
+    // The replay assumed every ALU instance free at every exec cycle
+    // (blocks containing divides are never compiled).
+    if sim.alu_busy.iter().any(|&b| b > c + 1) {
+        return false;
+    }
+    block
+        .entry_gpr_caps
+        .iter()
+        .all(|&(r, cap)| sim.gpr_ready[r as usize] <= c + cap)
+        && block
+            .entry_pred_caps
+            .iter()
+            .all(|&(p, cap)| sim.pred_ready[p as usize] <= c + cap)
+        && block
+            .entry_btr_caps
+            .iter()
+            .all(|&(b, cap)| sim.btr_ready[b as usize] <= c + cap)
+}
+
+/// Executes one compiled block on the fast path: body bundles through
+/// the shared write-back semantics, schedule from the folded constants.
+fn run_block(
+    sim: &mut Simulator,
+    program: &DecodedProgram,
+    block: &CompiledBlock,
+) -> Result<(), SimError> {
+    let c = sim.cycle;
+    for i in 0..block.n - 1 {
+        let addr = block.first + i as u32;
+        match sim.execute_bundle(program, addr, &mut NopSink) {
+            Ok(redirect) => debug_assert!(redirect.is_none(), "body bundles cannot branch"),
+            Err(e) => {
+                // Reconstruct the exact per-cycle machine state at the
+                // fault: the decoded engine would have died in the
+                // execute stage of relative cycle `issue_rel[i] + 1`,
+                // with bundles `0..=i` issued and their stalls counted.
+                let fault_rel = block.issue_rel[i];
+                for bundle in &block.bookings[..=i] {
+                    apply_bookings(sim, c, bundle);
+                }
+                let mut contention = 0u64;
+                for &(rel, cause) in &block.folded_events {
+                    if rel > fault_rel {
+                        break;
+                    }
+                    add_stall(&mut sim.stats.stalls, cause);
+                    if cause == StallCause::MemoryContention {
+                        contention += 1;
+                    }
+                }
+                // The body's execute steps charged debt live; pay the
+                // contention stalls the folded schedule already took.
+                sim.mem_debt -= 2 * contention as u32;
+                sim.cycle = c + fault_rel + 1;
+                sim.stats.cycles = sim.cycle;
+                sim.pc = addr + 1;
+                sim.stage2 = None;
+                sim.port_wait = 0;
+                sim.port_wait_pc = None;
+                return Err(e);
+            }
+        }
+    }
+    for bundle in &block.bookings {
+        apply_bookings(sim, c, bundle);
+    }
+    let folded = &block.folded;
+    sim.stats.stalls.data_hazard += folded.data_hazard;
+    sim.stats.stalls.unit_busy += folded.unit_busy;
+    sim.stats.stalls.regfile_port += folded.regfile_port;
+    sim.stats.stalls.branch_flush += folded.branch_flush;
+    sim.stats.stalls.memory_contention += folded.memory_contention;
+    sim.cycle = c + block.block_cycles;
+    sim.stats.cycles = sim.cycle;
+    // The terminator issued on the window's last cycle; it executes —
+    // branches, halts, faults and all — in the next per-cycle step.
+    let terminator = block.first + (block.n - 1) as u32;
+    sim.stage2 = Some(terminator);
+    sim.pc = terminator + 1;
+    sim.port_wait = 0;
+    sim.port_wait_pc = None;
+    if block.body_mem_ops > 0 {
+        sim.mem_debt = block.exit_debt;
+    }
+    Ok(())
+}
+
+fn apply_bookings(sim: &mut Simulator, entry_cycle: u64, bookings: &[Booking]) {
+    for &booking in bookings {
+        match booking {
+            Booking::Gpr(r, rel) => sim.gpr_ready[r as usize] = entry_cycle + rel,
+            Booking::Pred(p, rel) => sim.pred_ready[p as usize] = entry_cycle + rel,
+            Booking::Btr(b, rel) => sim.btr_ready[b as usize] = entry_cycle + rel,
+        }
+    }
+}
+
+fn add_stall(stalls: &mut StallBreakdown, cause: StallCause) {
+    match cause {
+        StallCause::DataHazard => stalls.data_hazard += 1,
+        StallCause::UnitBusy => stalls.unit_busy += 1,
+        StallCause::RegfilePort => stalls.regfile_port += 1,
+        StallCause::BranchFlush => stalls.branch_flush += 1,
+        StallCause::MemoryContention => stalls.memory_contention += 1,
+    }
+}
+
+/// Partitions the program into basic blocks and compiles each eligible
+/// one. Leaders are the entry bundle, every (over-approximate) branch
+/// target and every bundle following a terminator; a block runs from
+/// its leader to the first terminator (a bundle containing a branch or
+/// halt, the last bundle, or a bundle whose successor is a leader).
+fn compile_blocks(program: &DecodedProgram, cfg: &Cfg, entry: u32) -> Vec<Option<CompiledBlock>> {
+    let len = program.bundles.len();
+    let mut is_leader = vec![false; len];
+    if (entry as usize) < len {
+        is_leader[entry as usize] = true;
+    }
+    for bi in 0..len {
+        for edge in cfg.succs(bi) {
+            if edge.delta > 1 {
+                is_leader[edge.to] = true;
+            }
+        }
+    }
+    let is_term: Vec<bool> = program
+        .bundles
+        .iter()
+        .map(|b| {
+            b.ops
+                .iter()
+                .any(|op| matches!(op.action, Action::Branch { .. } | Action::Halt))
+        })
+        .collect();
+    for (t, &term) in is_term.iter().enumerate() {
+        if term && t + 1 < len {
+            is_leader[t + 1] = true;
+        }
+    }
+
+    (0..len)
+        .map(|leader| {
+            if !is_leader[leader] {
+                return None;
+            }
+            let mut term = leader;
+            while !(is_term[term] || term + 1 == len || is_leader[term + 1]) {
+                term += 1;
+            }
+            if term == leader {
+                return None; // No straight-line body to fold.
+            }
+            translate(program, leader, term)
+        })
+        .collect()
+}
+
+/// Symbolically replays the issue logic of bundles `[first..=last]`
+/// and folds the schedule into a [`CompiledBlock`], or `None` when the
+/// block's timing cannot be proven statically.
+fn translate(program: &DecodedProgram, first: usize, last: usize) -> Option<CompiledBlock> {
+    let n = last - first + 1;
+    let bundles = &program.bundles[first..=last];
+
+    // Divides book ALU occupancy dynamically (which instance frees when
+    // depends on history): never compile them.
+    if bundles.iter().any(|b| b.div_ops > 0) {
+        return None;
+    }
+    for bundle in &bundles[..n - 1] {
+        for op in bundle.ops.iter() {
+            match op.action {
+                // A body branch/halt would change control mid-window.
+                Action::Branch { .. } | Action::Halt => return None,
+                // A guarded memory op makes the fetch-bandwidth debt
+                // (and so the contention stalls) data-dependent.
+                Action::Load { .. } | Action::Store { .. }
+                    if program.mem_contention && op.guard != 0 =>
+                {
+                    return None;
+                }
+                _ => {}
+            }
+        }
+    }
+    let mem_ops: Vec<u32> = bundles[..n - 1]
+        .iter()
+        .map(|b| {
+            if program.mem_contention {
+                b.ops
+                    .iter()
+                    .filter(|op| matches!(op.action, Action::Load { .. } | Action::Store { .. }))
+                    .count() as u32
+            } else {
+                0
+            }
+        })
+        .collect();
+
+    // ---- symbolic replay of the per-cycle issue loop -------------------
+    // Relative scoreboard for registers the block has booked; registers
+    // still carried from entry instead accumulate a readiness *cap*
+    // under which the replayed timing is exact: the read must neither
+    // stall (ready <= rel + 1) nor — with forwarding on, where an exact
+    // match would bypass a register-file port — be in flight at all
+    // (ready <= rel).
+    let mut gpr_rel: HashMap<u16, u64> = HashMap::new();
+    let mut pred_rel: HashMap<u16, u64> = HashMap::new();
+    let mut btr_rel: HashMap<u16, u64> = HashMap::new();
+    let mut gpr_caps: HashMap<u16, u64> = HashMap::new();
+    let mut pred_caps: HashMap<u16, u64> = HashMap::new();
+    let mut btr_caps: HashMap<u16, u64> = HashMap::new();
+    let mut folded = StallBreakdown::default();
+    let mut folded_events: Vec<(u64, StallCause)> = Vec::new();
+    let mut issue_rel = vec![0u64; n];
+    let mut bookings: Vec<Vec<Booking>> = vec![Vec::new(); n];
+    let mut debt = 0u32;
+    let mut port_wait = 0u32;
+    let mut armed: Option<usize> = None;
+    let mut exec_sched: Option<(usize, u64)> = None;
+    let mut next = 0usize;
+    let mut rel = 0u64;
+
+    let block_cycles = loop {
+        if rel > REPLAY_CYCLE_CAP {
+            return None;
+        }
+        // Execute stage: the bundle issued last cycle charges its debt.
+        if let Some((bi, at)) = exec_sched {
+            debug_assert!(at >= rel, "an execute step was skipped");
+            if at == rel {
+                debt += mem_ops[bi];
+                exec_sched = None;
+            }
+        }
+        // Pre-issue ladder (no redirects or flushes inside a block).
+        if debt >= 2 {
+            debt -= 2;
+            folded.memory_contention += 1;
+            folded_events.push((rel, StallCause::MemoryContention));
+            rel += 1;
+            continue;
+        }
+        let bundle = &bundles[next];
+        let exec = rel + 1;
+        // Operand scoreboard over the block's own bookings.
+        let hazard = bundle
+            .gpr_reads
+            .iter()
+            .any(|r| gpr_rel.get(r).is_some_and(|&v| v > exec))
+            || bundle
+                .pred_reads
+                .iter()
+                .any(|p| pred_rel.get(p).is_some_and(|&v| v > exec))
+            || bundle
+                .btr_reads
+                .iter()
+                .any(|b| btr_rel.get(b).is_some_and(|&v| v > exec));
+        if hazard {
+            folded.data_hazard += 1;
+            folded_events.push((rel, StallCause::DataHazard));
+            rel += 1;
+            continue;
+        }
+        // Entry-carried reads constrain the entry signature at the
+        // first cycle the bundle clears the scoreboard.
+        let gpr_cap = if program.forwarding { rel } else { exec };
+        constrain(&mut gpr_caps, &gpr_rel, &bundle.gpr_reads, gpr_cap);
+        constrain(&mut pred_caps, &pred_rel, &bundle.pred_reads, exec);
+        constrain(&mut btr_caps, &btr_rel, &bundle.btr_reads, exec);
+        // Functional units: no divides in the block and every ALU free
+        // at entry, so availability never stalls.
+
+        // Register-file port budget.
+        if armed != Some(next) {
+            let mut ports = bundle.write_ports;
+            for r in bundle.gpr_reads.iter() {
+                let forwarded = program.forwarding && gpr_rel.get(r).is_some_and(|&v| v == exec);
+                if !forwarded {
+                    ports += 1;
+                }
+            }
+            let needed_cycles = ports.div_ceil(program.port_budget).max(1) as u32;
+            if needed_cycles > 1 {
+                port_wait = needed_cycles - 1;
+                armed = Some(next);
+            }
+        }
+        if port_wait > 0 {
+            port_wait -= 1;
+            folded.regfile_port += 1;
+            folded_events.push((rel, StallCause::RegfilePort));
+            rel += 1;
+            continue;
+        }
+        armed = None;
+        // Issue: book destinations exactly as `Simulator::try_issue`.
+        for &(r, ready_after) in bundle.gpr_writes.iter() {
+            bookings[next].push(Booking::Gpr(r, exec + ready_after));
+            gpr_rel.insert(r, exec + ready_after);
+        }
+        for &p in bundle.pred_writes.iter() {
+            bookings[next].push(Booking::Pred(p, exec + 1));
+            pred_rel.insert(p, exec + 1);
+        }
+        for &b in bundle.btr_writes.iter() {
+            bookings[next].push(Booking::Btr(b, exec + 1));
+            btr_rel.insert(b, exec + 1);
+        }
+        issue_rel[next] = rel;
+        if next < n - 1 {
+            // The terminator's execute happens outside the window.
+            exec_sched = Some((next, exec));
+        }
+        next += 1;
+        if next == n {
+            break rel + 1;
+        }
+        rel += 1;
+    };
+
+    let body_mem_ops = mem_ops.iter().sum();
+    Some(CompiledBlock {
+        first: first as u32,
+        n,
+        block_cycles,
+        folded,
+        folded_events,
+        issue_rel,
+        bookings,
+        entry_gpr_caps: sorted(gpr_caps),
+        entry_pred_caps: sorted(pred_caps),
+        entry_btr_caps: sorted(btr_caps),
+        body_mem_ops,
+        exit_debt: debt,
+    })
+}
+
+/// Records `cap` for every read in `reads` not booked by the block
+/// itself, keeping the tightest cap per register.
+fn constrain(caps: &mut HashMap<u16, u64>, booked: &HashMap<u16, u64>, reads: &[u16], cap: u64) {
+    for r in reads {
+        if !booked.contains_key(r) {
+            let slot = caps.entry(*r).or_insert(cap);
+            if cap < *slot {
+                *slot = cap;
+            }
+        }
+    }
+}
+
+fn sorted(caps: HashMap<u16, u64>) -> Vec<(u16, u64)> {
+    let mut v: Vec<(u16, u64)> = caps.into_iter().collect();
+    v.sort_unstable();
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use epic_asm::assemble;
+
+    fn build_pair(src: &str, config: &Config, mem: u32) -> (Simulator, BlockSimulator) {
+        let program = assemble(src, config).expect("assembles");
+        let mut decoded = Simulator::try_new(config, program.bundles().to_vec(), program.entry())
+            .expect("legal program");
+        let mut block =
+            BlockSimulator::try_new(config, program.bundles().to_vec(), program.entry())
+                .expect("legal program");
+        decoded.set_memory(Memory::new(mem));
+        block.set_memory(Memory::new(mem));
+        (decoded, block)
+    }
+
+    const LOOP_SRC: &str = "    MOVE r1, #0\n    MOVE r2, #10\n    PBR b1, @loop\n;;\n\
+                            loop:\n    ADD r1, r1, r2\n;;\n    SUB r2, r2, #1\n;;\n\
+                                CMP_GT p1, p0, r2, #0\n;;\n    BRCT b1 (p1)\n;;\n\
+                                SW r1, r3, #0\n;;\n    HALT\n;;\n";
+
+    #[test]
+    fn loop_matches_decoded_engine_and_uses_the_fast_path() {
+        let config = Config::default();
+        let (mut decoded, mut block) = build_pair(LOOP_SRC, &config, 64);
+        let want = *decoded.run().expect("decoded runs");
+        let got = *block.run().expect("block runs");
+        assert_eq!(got, want, "stats must be bit-identical");
+        assert_eq!(block.gpr(1), 55, "sum 1..=10");
+        assert_eq!(block.gpr(1), decoded.gpr(1));
+        assert_eq!(block.memory().bytes(), decoded.memory().bytes());
+        assert!(
+            block.fast_block_execs() >= 9,
+            "the loop body must run compiled (got {})",
+            block.fast_block_execs()
+        );
+    }
+
+    #[test]
+    fn narrow_machines_agree_too() {
+        // 1 ALU × issue width 1 exercises a different stall mix (and
+        // needs single-instruction bundles to assemble).
+        let src = "    MOVE r1, #0\n;;\n    MOVE r2, #10\n;;\n    PBR b1, @loop\n;;\n\
+                   loop:\n    ADD r1, r1, r2\n;;\n    SUB r2, r2, #1\n;;\n\
+                       CMP_GT p1, p0, r2, #0\n;;\n    BRCT b1 (p1)\n;;\n\
+                       SW r1, r3, #0\n;;\n    HALT\n;;\n";
+        let config = Config::builder()
+            .num_alus(1)
+            .issue_width(1)
+            .build()
+            .unwrap();
+        let (mut decoded, mut block) = build_pair(src, &config, 64);
+        let want = *decoded.run().expect("decoded runs");
+        let got = *block.run().expect("block runs");
+        assert_eq!(got, want);
+        assert_eq!(block.gpr(1), decoded.gpr(1));
+        assert!(block.fast_block_execs() > 0);
+    }
+
+    #[test]
+    fn fault_mid_block_reconstructs_the_per_cycle_state() {
+        // The store faults (memory is 16 bytes, address 4096) in the
+        // middle of the entry block's body.
+        let src = "    MOVE r1, #1\n    MOVIL r9, #4096\n;;\n    ADD r2, r1, #1\n;;\n\
+                   SW r2, r9, #0\n;;\n    ADD r3, r2, #1\n;;\n    HALT\n;;\n";
+        let config = Config::default();
+        let (mut decoded, mut block) = build_pair(src, &config, 16);
+        let want_err = decoded.run().expect_err("store faults");
+        let got_err = block.run().expect_err("store faults");
+        assert_eq!(format!("{got_err}"), format!("{want_err}"));
+        let want = decoded;
+        let got = block.into_inner();
+        assert_eq!(got.stats, want.stats, "interrupted stats must match");
+        assert_eq!(got.cycle, want.cycle);
+        assert_eq!(got.pc, want.pc);
+        assert_eq!(got.stage2, want.stage2);
+        assert_eq!(got.gprs, want.gprs);
+        assert_eq!(got.gpr_ready, want.gpr_ready);
+        assert_eq!(got.pred_ready, want.pred_ready);
+        assert_eq!(got.mem_debt, want.mem_debt);
+        assert_eq!(got.port_wait, want.port_wait);
+    }
+
+    #[test]
+    fn observing_sinks_disable_the_fast_path() {
+        struct Counter(u64);
+        impl TraceSink for Counter {
+            fn cycle_retired(&mut self, _cycle: u64) {
+                self.0 += 1;
+            }
+        }
+        let config = Config::default();
+        let (mut decoded, mut block) = build_pair(LOOP_SRC, &config, 64);
+        let want = *decoded.run().expect("decoded runs");
+        let mut sink = Counter(0);
+        let got = *block.run_with_sink(&mut sink).expect("block runs");
+        assert_eq!(got, want);
+        assert_eq!(
+            sink.0, want.cycles,
+            "observed runs must retire every cycle individually"
+        );
+        assert_eq!(block.fast_block_execs(), 0);
+    }
+
+    #[test]
+    fn stall_recording_disables_the_fast_path() {
+        let config = Config::default();
+        let (mut decoded, mut block) = build_pair(LOOP_SRC, &config, 64);
+        decoded.record_stalls(true);
+        block.record_stalls(true);
+        let want = *decoded.run().expect("decoded runs");
+        let got = *block.run().expect("block runs");
+        assert_eq!(got, want);
+        assert_eq!(block.fast_block_execs(), 0);
+        assert_eq!(block.stall_log(), decoded.stall_log());
+        assert!(block
+            .stall_log()
+            .iter()
+            .any(|e| e.cause == StallCause::BranchFlush));
+    }
+
+    #[test]
+    fn divides_are_never_block_compiled() {
+        let src = "    MOVE r1, #40\n    MOVE r2, #4\n;;\n    DIV r3, r1, r2\n;;\n\
+                   ADD r4, r3, #1\n;;\n    HALT\n;;\n";
+        let config = Config::default();
+        let (mut decoded, mut block) = build_pair(src, &config, 0);
+        assert_eq!(block.compiled_blocks(), 0, "the divide poisons the block");
+        let want = *decoded.run().expect("decoded runs");
+        let got = *block.run().expect("block runs");
+        assert_eq!(got, want);
+        assert_eq!(block.gpr(3), 10);
+    }
+}

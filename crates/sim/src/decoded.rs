@@ -5,175 +5,18 @@
 //! port costs on every cycle. This module performs all of that work once
 //! at load time: [`DecodedProgram::decode`] walks the bundle vector with
 //! [`epic_mdes::MachineDescription::bundle_cost`] and lowers each bundle
-//! into flat index/latency arrays plus a pre-resolved [`Action`] per
-//! operation, so the per-cycle loop in `machine.rs` touches only dense
-//! arrays and precomputed costs. Decoding changes no semantics — the
-//! differential regression suite holds the decoded engine bit-identical
-//! to [`crate::ReferenceSimulator`] on every stat counter.
+//! into flat index/latency arrays plus a pre-resolved
+//! [`crate::semantics::Action`] per operation, so the per-cycle loop in
+//! `machine.rs` touches only dense arrays and precomputed costs.
+//! Decoding changes no semantics — the differential regression suite
+//! holds the decoded engine bit-identical to
+//! [`crate::ReferenceSimulator`] on every stat counter.
 
 use crate::error::SimError;
-use epic_config::{Config, CustomSemantics};
-use epic_isa::{CmpCond, Dest, Instruction, Opcode, Operand, Unit};
+use crate::semantics::{decode_action, gpr_ready_after, DecodedOp};
+use epic_config::Config;
+use epic_isa::{Instruction, Opcode, Unit};
 use epic_mdes::MachineDescription;
-
-/// A source operand resolved at decode time.
-#[derive(Debug, Clone, Copy)]
-pub(crate) enum Src {
-    /// Read a general-purpose register.
-    Gpr(u16),
-    /// An immediate (literals encode as the paper's short-literal field).
-    Lit(u32),
-    /// Absent operand: reads as zero, like the interpretive core.
-    Zero,
-}
-
-impl Src {
-    fn from_operand(operand: &Operand) -> Src {
-        match operand {
-            Operand::Gpr(r) => Src::Gpr(r.0),
-            Operand::Lit(v) => Src::Lit(*v as u32),
-            _ => Src::Zero,
-        }
-    }
-}
-
-/// How a sub-word load widens into the 32-bit datapath.
-#[derive(Debug, Clone, Copy)]
-pub(crate) enum Extend {
-    /// Use the raw (zero-extended) value.
-    None,
-    /// Sign-extend from bit 7 (`LB`).
-    Byte,
-    /// Sign-extend from bit 15 (`LH`).
-    Half,
-}
-
-impl Extend {
-    pub(crate) fn apply(self, raw: u32) -> u32 {
-        match self {
-            Extend::None => raw,
-            Extend::Byte => i32::from(raw as u8 as i8) as u32,
-            Extend::Half => i32::from(raw as u16 as i16) as u32,
-        }
-    }
-}
-
-/// One operation's execute-stage work, fully resolved at decode time.
-///
-/// `None` destinations mean the encoding carried no writable register of
-/// the expected kind; the write is dropped, as in the interpretive core.
-#[derive(Debug, Clone, Copy)]
-pub(crate) enum Action {
-    /// Fixed-function ALU operation (`ADD` … `MOVIL`).
-    Alu {
-        /// Opcode for `eval_alu_basic` (never `Custom`).
-        opcode: Opcode,
-        /// Destination GPR.
-        dest: Option<u16>,
-        /// First source.
-        a: Src,
-        /// Second source.
-        b: Src,
-    },
-    /// Custom ALU slot with its semantics looked up at decode time.
-    CustomAlu {
-        /// The configured behaviour of the slot.
-        semantics: CustomSemantics,
-        /// Destination GPR.
-        dest: Option<u16>,
-        /// First source.
-        a: Src,
-        /// Second source.
-        b: Src,
-    },
-    /// Two-target compare (`CMP_cc p_t, p_f, a, b`).
-    Cmp {
-        /// The comparison condition.
-        cond: CmpCond,
-        /// Predicate receiving the outcome (`None` = discarded / `p0`).
-        if_true: Option<u16>,
-        /// Predicate receiving the complement.
-        if_false: Option<u16>,
-        /// First source.
-        a: Src,
-        /// Second source.
-        b: Src,
-    },
-    /// `PRED_SET` / `PRED_CLR`.
-    PredPut {
-        /// Destination predicate.
-        dest: Option<u16>,
-        /// The constant written.
-        value: bool,
-    },
-    /// `MOVGP`: predicate := (gpr != 0).
-    MovGp {
-        /// Destination predicate.
-        dest: Option<u16>,
-        /// Source value.
-        a: Src,
-    },
-    /// `MOVPG`: gpr := predicate.
-    MovPg {
-        /// Destination GPR.
-        dest: Option<u16>,
-        /// Source predicate (`None` reads as 0).
-        pred: Option<u16>,
-    },
-    /// Memory load (`LW`/`LH`/`LHU`/`LB`/`LBU`/`LWS`).
-    Load {
-        /// Destination GPR.
-        dest: Option<u16>,
-        /// Base address source.
-        base: Src,
-        /// Offset source.
-        offset: Src,
-        /// Access width in bytes.
-        width: u32,
-        /// Sub-word widening.
-        extend: Extend,
-        /// `LWS`: faults yield 0 (HPL-PD's dismissible load).
-        dismissible: bool,
-    },
-    /// Memory store (`SW`/`SH`/`SB`).
-    Store {
-        /// GPR holding the stored value (`None` stores 0).
-        value: Option<u16>,
-        /// Base address source.
-        base: Src,
-        /// Offset source.
-        offset: Src,
-        /// Access width in bytes.
-        width: u32,
-    },
-    /// `PBR`: prepare a branch target register.
-    Pbr {
-        /// Destination BTR.
-        dest: Option<u16>,
-        /// The target bundle address.
-        a: Src,
-    },
-    /// `BR`/`BRCT`/`BRCF`/`BRL` through a BTR.
-    Branch {
-        /// The BTR read for the target (`None` redirects to bundle 0).
-        target: Option<u16>,
-        /// Link GPR (`BRL` only; receives the return bundle address).
-        link: Option<u16>,
-        /// `BRCF`: taken when the guard is FALSE, and never squashed.
-        on_false: bool,
-    },
-    /// `HALT`.
-    Halt,
-}
-
-/// One non-`NOP` operation: its guard predicate and resolved action.
-#[derive(Debug, Clone, Copy)]
-pub(crate) struct DecodedOp {
-    /// Guard predicate index (0 = hard-wired true).
-    pub guard: u16,
-    /// The execute-stage work.
-    pub action: Action,
-}
 
 /// One issue bundle lowered to dense issue/execute arrays.
 #[derive(Debug, Clone)]
@@ -241,15 +84,15 @@ impl DecodedProgram {
     /// machine description or names an unregistered custom-op slot.
     pub fn decode(config: &Config, bundles: &[Vec<Instruction>]) -> Result<Self, SimError> {
         let mdes = MachineDescription::new(config);
-        let fwd_extra = u64::from(!config.forwarding());
+        let forwarding = config.forwarding();
         let decoded = bundles
             .iter()
             .enumerate()
-            .map(|(pc, bundle)| decode_bundle(&mdes, config, pc as u32, bundle, fwd_extra))
+            .map(|(pc, bundle)| decode_bundle(&mdes, config, pc as u32, bundle, forwarding))
             .collect::<Result<Vec<_>, _>>()?;
         Ok(DecodedProgram {
             bundles: decoded.into_boxed_slice(),
-            forwarding: config.forwarding(),
+            forwarding,
             port_budget: config.regfile_ops_per_cycle(),
             mem_contention: config.memory_contention(),
             datapath_mask: config.datapath_mask() as u32,
@@ -265,7 +108,7 @@ fn decode_bundle(
     config: &Config,
     pc: u32,
     bundle: &[Instruction],
-    fwd_extra: u64,
+    forwarding: bool,
 ) -> Result<DecodedBundle, SimError> {
     mdes.check_bundle(bundle)
         .map_err(|e| SimError::IllegalBundle {
@@ -292,7 +135,7 @@ fn decode_bundle(
         btr_reads.extend(instr.btr_read().map(|b| b.0));
         if let Some(r) = instr.gpr_write() {
             let latency = u64::from(mdes.latency(instr.opcode));
-            gpr_writes.push((r.0, latency + fwd_extra));
+            gpr_writes.push((r.0, gpr_ready_after(latency, forwarding)));
             write_ports += 1;
         }
         pred_writes.extend(instr.pred_writes().iter().filter(|p| p.0 != 0).map(|p| p.0));
@@ -331,119 +174,5 @@ fn decode_bundle(
         write_ports,
         nops,
         unit_ops,
-    })
-}
-
-fn decode_action(config: &Config, pc: u32, instr: &Instruction) -> Result<Action, SimError> {
-    let gpr_dest = match instr.dest1 {
-        Dest::Gpr(r) => Some(r.0),
-        _ => None,
-    };
-    let pred_dest = match instr.dest1 {
-        Dest::Pred(p) if p.0 != 0 => Some(p.0),
-        _ => None,
-    };
-    let a = Src::from_operand(&instr.src1);
-    let b = Src::from_operand(&instr.src2);
-    let branch_target = match instr.src1 {
-        Operand::Btr(btr) => Some(btr.0),
-        _ => None,
-    };
-
-    Ok(match instr.opcode {
-        Opcode::Cmp(cond) => Action::Cmp {
-            cond,
-            if_true: pred_dest,
-            if_false: match instr.dest2 {
-                Dest::Pred(p) if p.0 != 0 => Some(p.0),
-                _ => None,
-            },
-            a,
-            b,
-        },
-        Opcode::PredSet | Opcode::PredClr => Action::PredPut {
-            dest: pred_dest,
-            value: instr.opcode == Opcode::PredSet,
-        },
-        Opcode::MovGp => Action::MovGp { dest: pred_dest, a },
-        Opcode::MovPg => Action::MovPg {
-            dest: gpr_dest,
-            pred: match instr.src1 {
-                Operand::Pred(p) => Some(p.0),
-                _ => None,
-            },
-        },
-        op if op.is_load() => Action::Load {
-            dest: gpr_dest,
-            base: a,
-            offset: b,
-            width: match op {
-                Opcode::Lw | Opcode::LwS => 4,
-                Opcode::Lh | Opcode::Lhu => 2,
-                _ => 1,
-            },
-            extend: match op {
-                Opcode::Lh => Extend::Half,
-                Opcode::Lb => Extend::Byte,
-                _ => Extend::None,
-            },
-            dismissible: op == Opcode::LwS,
-        },
-        op if op.is_store() => Action::Store {
-            value: gpr_dest,
-            base: a,
-            offset: b,
-            width: match op {
-                Opcode::Sw => 4,
-                Opcode::Sh => 2,
-                _ => 1,
-            },
-        },
-        Opcode::Pbr => Action::Pbr {
-            dest: match instr.dest1 {
-                Dest::Btr(btr) => Some(btr.0),
-                _ => None,
-            },
-            a,
-        },
-        Opcode::Br | Opcode::Brct => Action::Branch {
-            target: branch_target,
-            link: None,
-            on_false: false,
-        },
-        Opcode::Brcf => Action::Branch {
-            target: branch_target,
-            link: None,
-            on_false: true,
-        },
-        Opcode::Brl => Action::Branch {
-            target: branch_target,
-            link: gpr_dest,
-            on_false: false,
-        },
-        Opcode::Halt => Action::Halt,
-        Opcode::Custom(i) => {
-            let op =
-                config
-                    .custom_ops()
-                    .get(i as usize)
-                    .ok_or_else(|| SimError::IllegalBundle {
-                        pc,
-                        message: format!("custom slot {i} is not registered in the configuration"),
-                    })?;
-            Action::CustomAlu {
-                semantics: op.semantics(),
-                dest: gpr_dest,
-                a,
-                b,
-            }
-        }
-        // Remaining opcodes are the fixed-function ALU class.
-        opcode => Action::Alu {
-            opcode,
-            dest: gpr_dest,
-            a,
-            b,
-        },
     })
 }

@@ -1,0 +1,75 @@
+//! Engine selection.
+
+use std::fmt;
+use std::str::FromStr;
+
+/// Which execution engine simulates a program.
+///
+/// All three are architecturally bit-identical (stats, registers,
+/// memory); they differ only in wall-clock throughput and in how much
+/// work happens at load time. See the README's engine-selection table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Engine {
+    /// The interpret-every-cycle golden model
+    /// ([`crate::ReferenceSimulator`]).
+    Reference,
+    /// The decode-once per-cycle engine ([`crate::Simulator`]).
+    #[default]
+    Decoded,
+    /// The block-compiled engine ([`crate::BlockSimulator`]): straight-
+    /// line basic-block bodies with statically folded cycle accounting,
+    /// falling back to the decoded engine per bundle.
+    Block,
+}
+
+impl Engine {
+    /// All engines, in oracle-to-fastest order.
+    #[must_use]
+    pub fn all() -> [Engine; 3] {
+        [Engine::Reference, Engine::Decoded, Engine::Block]
+    }
+
+    /// The command-line name (`reference` / `decoded` / `block`).
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Engine::Reference => "reference",
+            Engine::Decoded => "decoded",
+            Engine::Block => "block",
+        }
+    }
+}
+
+impl fmt::Display for Engine {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl FromStr for Engine {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "reference" => Ok(Engine::Reference),
+            "decoded" => Ok(Engine::Decoded),
+            "block" => Ok(Engine::Block),
+            other => Err(format!(
+                "unknown engine `{other}` (expected `reference`, `decoded` or `block`)"
+            )),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_round_trip() {
+        for engine in Engine::all() {
+            assert_eq!(engine.name().parse::<Engine>(), Ok(engine));
+        }
+        assert!("jit".parse::<Engine>().is_err());
+    }
+}

@@ -5,32 +5,11 @@
 //! of the toolchain (IR interpreter, compiler constant folder, this
 //! simulator) shares so differential tests can demand bit equality.
 
-use epic_config::Config;
 use epic_isa::{CmpCond, Opcode};
 
-/// Evaluates an ALU-class operation (including custom slots) on 32-bit
-/// operands.
-///
-/// # Panics
-///
-/// Panics on non-ALU opcodes or unregistered custom slots; issue
-/// validation rules both out.
-pub(crate) fn eval_alu(opcode: Opcode, a: u32, b: u32, config: &Config) -> u32 {
-    match opcode {
-        Opcode::Custom(i) => {
-            let op = config
-                .custom_ops()
-                .get(i as usize)
-                .expect("issue validated the custom slot");
-            op.semantics()
-                .evaluate(u64::from(a), u64::from(b), config.datapath_width()) as u32
-        }
-        other => eval_alu_basic(other, a, b),
-    }
-}
-
 /// Evaluates a fixed-function ALU operation — everything but custom
-/// slots, whose semantics the decoder resolves once at load time.
+/// slots, whose semantics `semantics::decode_action` resolves into the
+/// [`crate::semantics::Action::CustomAlu`] variant.
 ///
 /// # Panics
 ///
@@ -99,34 +78,37 @@ mod tests {
 
     #[test]
     fn alu_semantics_match_the_shared_conventions() {
-        let c = Config::default();
-        assert_eq!(eval_alu(Opcode::Add, u32::MAX, 1, &c), 0);
-        assert_eq!(eval_alu(Opcode::Div, 5, 0, &c), 0);
+        assert_eq!(eval_alu_basic(Opcode::Add, u32::MAX, 1), 0);
+        assert_eq!(eval_alu_basic(Opcode::Div, 5, 0), 0);
         assert_eq!(
-            eval_alu(Opcode::Div, i32::MIN as u32, u32::MAX, &c),
+            eval_alu_basic(Opcode::Div, i32::MIN as u32, u32::MAX),
             i32::MIN as u32
         );
-        assert_eq!(eval_alu(Opcode::Shl, 1, 33, &c), 2, "shift modulo 32");
+        assert_eq!(eval_alu_basic(Opcode::Shl, 1, 33), 2, "shift modulo 32");
         assert_eq!(
-            eval_alu(Opcode::Shra, (-8i32) as u32, 1, &c),
+            eval_alu_basic(Opcode::Shra, (-8i32) as u32, 1),
             (-4i32) as u32
         );
-        assert_eq!(eval_alu(Opcode::Sxtb, 0x80, 0, &c) as i32, -128);
-        assert_eq!(eval_alu(Opcode::Zxth, 0xABCD_EF01, 0, &c), 0xEF01);
-        assert_eq!(eval_alu(Opcode::Abs, (-7i32) as u32, 0, &c), 7);
-        assert_eq!(eval_alu(Opcode::Min, (-1i32) as u32, 1, &c), (-1i32) as u32);
+        assert_eq!(eval_alu_basic(Opcode::Sxtb, 0x80, 0) as i32, -128);
+        assert_eq!(eval_alu_basic(Opcode::Zxth, 0xABCD_EF01, 0), 0xEF01);
+        assert_eq!(eval_alu_basic(Opcode::Abs, (-7i32) as u32, 0), 7);
+        assert_eq!(
+            eval_alu_basic(Opcode::Min, (-1i32) as u32, 1),
+            (-1i32) as u32
+        );
     }
 
     #[test]
     fn custom_ops_use_configured_semantics() {
-        let c = Config::builder()
+        let c = epic_config::Config::builder()
             .custom_op(epic_config::CustomOp::new(
                 "rotr",
                 epic_config::CustomSemantics::RotateRight,
             ))
             .build()
             .unwrap();
-        assert_eq!(eval_alu(Opcode::Custom(0), 1, 1, &c), 0x8000_0000);
+        let semantics = c.custom_ops()[0].semantics();
+        assert_eq!(semantics.evaluate(1, 1, c.datapath_width()), 0x8000_0000);
     }
 
     #[test]

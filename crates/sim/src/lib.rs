@@ -51,16 +51,21 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod block;
 mod decoded;
+mod engine;
 mod error;
 mod exec;
 mod machine;
 mod memory;
 mod profile;
 mod reference;
+mod semantics;
 mod stats;
 mod trace;
 
+pub use block::BlockSimulator;
+pub use engine::Engine;
 pub use error::SimError;
 pub use machine::Simulator;
 pub use memory::Memory;

@@ -1,9 +1,9 @@
 //! The 2-stage pipeline.
 
-use crate::decoded::{Action, DecodedProgram, Src};
+use crate::decoded::DecodedProgram;
 use crate::error::SimError;
-use crate::exec::{eval_alu_basic, eval_cmp};
 use crate::memory::Memory;
+use crate::semantics::{apply_writes, execute_op, ExecCtx, Write};
 use crate::stats::{SimStats, StallCause, StallEvent};
 use crate::trace::{NopSink, TraceSink};
 use epic_config::Config;
@@ -13,12 +13,15 @@ use std::sync::Arc;
 /// Default cycle budget before a run is declared runaway.
 const DEFAULT_CYCLE_LIMIT: u64 = 20_000_000_000;
 
-/// A buffered write-back (all reads of a bundle see pre-bundle state).
-#[derive(Debug, Clone, Copy)]
-enum Write {
-    Gpr(u16, u32),
-    Pred(u16, bool),
-    Btr(u16, u32),
+/// What the front half of a cycle (halt check, cycle budget, execute
+/// stage) decided, so `step` and the block engine can share it.
+pub(crate) enum StepPhase {
+    /// Already halted before the cycle began: nothing to do.
+    Halted,
+    /// `HALT` executed this cycle; the cycle has been retired.
+    Drained,
+    /// Proceed to the issue stage, with the execute stage's redirect.
+    Issue(Option<u32>),
 }
 
 /// The cycle-level simulator.
@@ -37,36 +40,36 @@ enum Write {
 /// are bit-identical to the interpretive [`crate::ReferenceSimulator`].
 #[derive(Debug, Clone)]
 pub struct Simulator {
-    program: Arc<DecodedProgram>,
-    memory: Memory,
-    pc: u32,
-    gprs: Vec<u32>,
-    preds: Vec<bool>,
-    btrs: Vec<u32>,
+    pub(crate) program: Arc<DecodedProgram>,
+    pub(crate) memory: Memory,
+    pub(crate) pc: u32,
+    pub(crate) gprs: Vec<u32>,
+    pub(crate) preds: Vec<bool>,
+    pub(crate) btrs: Vec<u32>,
     /// Cycle from which each register's latest value is readable.
-    gpr_ready: Vec<u64>,
-    pred_ready: Vec<u64>,
-    btr_ready: Vec<u64>,
+    pub(crate) gpr_ready: Vec<u64>,
+    pub(crate) pred_ready: Vec<u64>,
+    pub(crate) btr_ready: Vec<u64>,
     /// Busy-until cycle per ALU instance (the blocking divider).
-    alu_busy: Vec<u64>,
+    pub(crate) alu_busy: Vec<u64>,
     /// Bundle in the execute stage this cycle.
-    stage2: Option<u32>,
+    pub(crate) stage2: Option<u32>,
     /// Remaining extra cycles the register-file controller needs before
     /// the bundle at `pc` can issue, and the bundle the wait was armed
     /// for (so the wait is paid exactly once per bundle).
-    port_wait: u32,
-    port_wait_pc: Option<u32>,
+    pub(crate) port_wait: u32,
+    pub(crate) port_wait_pc: Option<u32>,
     /// Outstanding fetch-bandwidth debt in controller half-cycles: each
     /// data access displaces half a processor cycle of instruction fetch
     /// on the shared 2× memory controller.
-    mem_debt: u32,
+    pub(crate) mem_debt: u32,
     /// Remaining flush bubbles after a taken branch (depth - 1 total;
     /// the first is implicit in the squashed fetch).
-    flush_wait: u32,
-    cycle: u64,
-    halted: bool,
-    stats: SimStats,
-    cycle_limit: u64,
+    pub(crate) flush_wait: u32,
+    pub(crate) cycle: u64,
+    pub(crate) halted: bool,
+    pub(crate) stats: SimStats,
+    pub(crate) cycle_limit: u64,
     /// Opt-in per-cycle stall log (see [`Simulator::record_stalls`]).
     record_stalls: bool,
     stall_log: Vec<StallEvent>,
@@ -129,6 +132,7 @@ impl Simulator {
     /// Panics if a bundle violates the machine description — validate
     /// hand-built bundle vectors with [`try_new`](Simulator::try_new) or
     /// [`epic_mdes::MachineDescription::check_bundle`] instead.
+    #[deprecated(note = "use `Simulator::try_new` and handle the error")]
     #[must_use]
     pub fn new(config: &Config, bundles: Vec<Vec<Instruction>>, entry: u32) -> Self {
         match Simulator::try_new(config, bundles, entry) {
@@ -209,6 +213,12 @@ impl Simulator {
         &self.stall_log
     }
 
+    /// Whether per-cycle stall recording is on (the block engine's fast
+    /// path must stand down while it is).
+    pub(crate) fn recording_stalls(&self) -> bool {
+        self.record_stalls
+    }
+
     fn note_stall(&mut self, pc: u32, cause: StallCause) {
         if self.record_stalls {
             self.stall_log.push(StallEvent {
@@ -275,13 +285,33 @@ impl Simulator {
         self.step_program(&program, sink)
     }
 
-    fn step_program<S: TraceSink>(
+    pub(crate) fn step_program<S: TraceSink>(
         &mut self,
         program: &DecodedProgram,
         sink: &mut S,
     ) -> Result<bool, SimError> {
+        match self.step_front(program, sink)? {
+            StepPhase::Halted => Ok(false),
+            StepPhase::Drained => Ok(true),
+            StepPhase::Issue(redirect) => {
+                if !self.pre_issue_stall(program, redirect, sink) {
+                    self.try_issue(program, sink)?;
+                }
+                self.finish_cycle(sink);
+                Ok(true)
+            }
+        }
+    }
+
+    /// The front half of one cycle: halt latch, cycle budget, stage-2
+    /// execute + write-back and the halt drain.
+    pub(crate) fn step_front<S: TraceSink>(
+        &mut self,
+        program: &DecodedProgram,
+        sink: &mut S,
+    ) -> Result<StepPhase, SimError> {
         if self.halted {
-            return Ok(false);
+            return Ok(StepPhase::Halted);
         }
         if self.cycle >= self.cycle_limit {
             return Err(SimError::CycleLimit {
@@ -297,13 +327,20 @@ impl Simulator {
 
         if self.halted {
             sink.halt(self.cycle);
-            sink.cycle_retired(self.cycle);
-            self.cycle += 1;
-            self.stats.cycles = self.cycle;
-            return Ok(true);
+            self.finish_cycle(sink);
+            return Ok(StepPhase::Drained);
         }
+        Ok(StepPhase::Issue(redirect))
+    }
 
-        // ---- stage 1: fetch / decode / issue ---------------------------
+    /// The pre-issue stall ladder (branch redirect, flush bubbles, memory
+    /// contention). Returns `true` when the front end stalled this cycle.
+    pub(crate) fn pre_issue_stall<S: TraceSink>(
+        &mut self,
+        program: &DecodedProgram,
+        redirect: Option<u32>,
+        sink: &mut S,
+    ) -> bool {
         if let Some(target) = redirect {
             // The bundle fetched this cycle is squashed; deeper pipelines
             // lose one further fetch cycle per extra stage (§6's
@@ -313,11 +350,13 @@ impl Simulator {
             self.note_stall(target, StallCause::BranchFlush);
             sink.stall(self.cycle, target, StallCause::BranchFlush);
             self.flush_wait = program.flush_penalty;
+            true
         } else if self.flush_wait > 0 {
             self.flush_wait -= 1;
             self.stats.stalls.branch_flush += 1;
             self.note_stall(self.pc, StallCause::BranchFlush);
             sink.stall(self.cycle, self.pc, StallCause::BranchFlush);
+            true
         } else if self.mem_debt >= 2 {
             // The memory controller spent this cycle's fetch bandwidth on
             // data accesses; fetch resumes next cycle.
@@ -325,17 +364,20 @@ impl Simulator {
             self.stats.stalls.memory_contention += 1;
             self.note_stall(self.pc, StallCause::MemoryContention);
             sink.stall(self.cycle, self.pc, StallCause::MemoryContention);
+            true
         } else {
-            self.try_issue(program, sink)?;
+            false
         }
+    }
 
+    /// Retires the cycle: the one place the cycle counter advances.
+    pub(crate) fn finish_cycle<S: TraceSink>(&mut self, sink: &mut S) {
         sink.cycle_retired(self.cycle);
         self.cycle += 1;
         self.stats.cycles = self.cycle;
-        Ok(true)
     }
 
-    fn try_issue<S: TraceSink>(
+    pub(crate) fn try_issue<S: TraceSink>(
         &mut self,
         program: &DecodedProgram,
         sink: &mut S,
@@ -426,8 +468,10 @@ impl Simulator {
     }
 
     /// Executes one bundle: all reads see pre-bundle state, writes apply
-    /// together at the end, squashed instructions write nothing.
-    fn execute_bundle<S: TraceSink>(
+    /// together at the end, squashed instructions write nothing. The
+    /// per-op semantics live in [`crate::semantics::execute_op`], shared
+    /// with the reference engine.
+    pub(crate) fn execute_bundle<S: TraceSink>(
         &mut self,
         program: &DecodedProgram,
         bpc: u32,
@@ -452,169 +496,32 @@ impl Simulator {
             &bundle.unit_ops,
         );
 
+        let cycle = self.cycle;
+        let mut ctx = ExecCtx {
+            gprs: &self.gprs,
+            preds: &self.preds,
+            btrs: &self.btrs,
+            memory: &mut self.memory,
+            stats: &mut self.stats,
+            mem_debt: &mut self.mem_debt,
+            halted: &mut self.halted,
+            datapath_mask: program.datapath_mask,
+            custom_width: program.custom_width,
+            mem_contention: program.mem_contention,
+        };
         for op in &bundle.ops {
-            let guard = self.pred(op.guard as usize);
-
-            // BRCF branches when its predicate is FALSE; it is the one
-            // operation not squashed by a false guard.
-            if let Action::Branch {
-                target,
-                link,
-                on_false,
-            } = op.action
+            if let Err(e) = execute_op(&mut ctx, *op, bpc, cycle, &mut writes, &mut redirect, sink)
             {
-                if guard != on_false {
-                    redirect = Some(target.map_or(0, |b| self.btrs[b as usize]));
-                    if let Some(r) = link {
-                        writes.push(Write::Gpr(r, bpc + 1));
-                    }
-                } else if !on_false {
-                    self.stats.squashed += 1;
-                    sink.squash(self.cycle, bpc);
-                }
-                continue;
-            }
-            if !guard {
-                self.stats.squashed += 1;
-                sink.squash(self.cycle, bpc);
-                continue;
-            }
-
-            match op.action {
-                Action::Alu { opcode, dest, a, b } => {
-                    let value = eval_alu_basic(opcode, self.src(a), self.src(b));
-                    if let Some(r) = dest {
-                        writes.push(Write::Gpr(r, value & program.datapath_mask));
-                    }
-                }
-                Action::CustomAlu {
-                    semantics,
-                    dest,
-                    a,
-                    b,
-                } => {
-                    let value = semantics.evaluate(
-                        u64::from(self.src(a)),
-                        u64::from(self.src(b)),
-                        program.custom_width,
-                    ) as u32;
-                    if let Some(r) = dest {
-                        writes.push(Write::Gpr(r, value & program.datapath_mask));
-                    }
-                }
-                Action::Cmp {
-                    cond,
-                    if_true,
-                    if_false,
-                    a,
-                    b,
-                } => {
-                    let outcome = eval_cmp(cond, self.src(a), self.src(b));
-                    if let Some(p) = if_true {
-                        writes.push(Write::Pred(p, outcome));
-                    }
-                    if let Some(p) = if_false {
-                        writes.push(Write::Pred(p, !outcome));
-                    }
-                }
-                Action::PredPut { dest, value } => {
-                    if let Some(p) = dest {
-                        writes.push(Write::Pred(p, value));
-                    }
-                }
-                Action::MovGp { dest, a } => {
-                    if let Some(p) = dest {
-                        writes.push(Write::Pred(p, self.src(a) != 0));
-                    }
-                }
-                Action::MovPg { dest, pred } => {
-                    let value = pred.map_or(0, |p| u32::from(self.pred(p as usize)));
-                    if let Some(r) = dest {
-                        writes.push(Write::Gpr(r, value));
-                    }
-                }
-                Action::Load {
-                    dest,
-                    base,
-                    offset,
-                    width,
-                    extend,
-                    dismissible,
-                } => {
-                    let address = self.src(base).wrapping_add(self.src(offset));
-                    let raw = if dismissible {
-                        // Dismissible load: faults yield 0.
-                        self.memory.load(bpc, address, width).unwrap_or(0)
-                    } else {
-                        match self.memory.load(bpc, address, width) {
-                            Ok(raw) => raw,
-                            Err(e) => {
-                                self.write_buf = writes;
-                                return Err(e);
-                            }
-                        }
-                    };
-                    self.stats.loads += 1;
-                    sink.mem_op(self.cycle, bpc, false);
-                    if program.mem_contention {
-                        self.mem_debt += 1;
-                    }
-                    if let Some(r) = dest {
-                        writes.push(Write::Gpr(r, extend.apply(raw)));
-                    }
-                }
-                Action::Store {
-                    value,
-                    base,
-                    offset,
-                    width,
-                } => {
-                    let address = self.src(base).wrapping_add(self.src(offset));
-                    let stored = value.map_or(0, |r| self.gprs[r as usize]);
-                    if let Err(e) = self.memory.store(bpc, address, width, stored) {
-                        self.write_buf = writes;
-                        return Err(e);
-                    }
-                    self.stats.stores += 1;
-                    sink.mem_op(self.cycle, bpc, true);
-                    if program.mem_contention {
-                        self.mem_debt += 1;
-                    }
-                }
-                Action::Pbr { dest, a } => {
-                    let value = self.src(a);
-                    if let Some(btr) = dest {
-                        writes.push(Write::Btr(btr, value));
-                    }
-                }
-                Action::Halt => {
-                    self.halted = true;
-                }
-                Action::Branch { .. } => unreachable!("handled before the guard check"),
+                // The faulting bundle never retires: its buffered writes
+                // are discarded (stores already applied stay applied).
+                self.write_buf = writes;
+                return Err(e);
             }
         }
 
-        for write in writes.drain(..) {
-            match write {
-                Write::Gpr(r, v) => self.gprs[r as usize] = v,
-                Write::Pred(p, v) => {
-                    if p != 0 {
-                        self.preds[p as usize] = v;
-                    }
-                }
-                Write::Btr(b, v) => self.btrs[b as usize] = v,
-            }
-        }
+        apply_writes(&mut self.gprs, &mut self.preds, &mut self.btrs, &mut writes);
         self.write_buf = writes;
         Ok(redirect)
-    }
-
-    fn src(&self, src: Src) -> u32 {
-        match src {
-            Src::Gpr(r) => self.gprs[r as usize],
-            Src::Lit(v) => v,
-            Src::Zero => 0,
-        }
     }
 }
 
@@ -625,7 +532,8 @@ mod tests {
 
     fn run_asm(src: &str, config: &Config) -> Simulator {
         let program = assemble(src, config).expect("assembles");
-        let mut sim = Simulator::new(config, program.bundles().to_vec(), program.entry());
+        let mut sim = Simulator::try_new(config, program.bundles().to_vec(), program.entry())
+            .expect("legal program");
         sim.set_memory(Memory::new(4096));
         sim.run().expect("runs");
         sim
@@ -933,7 +841,7 @@ callee:
     fn runaway_pc_is_reported() {
         let c = Config::default();
         let program = assemble("    MOVE r1, #1\n;;\n", &c).unwrap();
-        let mut sim = Simulator::new(&c, program.bundles().to_vec(), 0);
+        let mut sim = Simulator::try_new(&c, program.bundles().to_vec(), 0).unwrap();
         assert!(matches!(sim.run(), Err(SimError::PcOutOfRange { .. })));
     }
 
@@ -948,7 +856,7 @@ spin:
 ;;
 ";
         let program = assemble(spin, &c).unwrap();
-        let mut sim = Simulator::new(&c, program.bundles().to_vec(), 0);
+        let mut sim = Simulator::try_new(&c, program.bundles().to_vec(), 0).unwrap();
         sim.set_cycle_limit(100);
         assert!(matches!(
             sim.run(),
@@ -961,7 +869,7 @@ spin:
         let c = Config::default();
         let src = "    MOVIL r1, #100000\n;;\n    LW r2, r1, #0\n;;\n    HALT\n;;\n";
         let program = assemble(src, &c).unwrap();
-        let mut sim = Simulator::new(&c, program.bundles().to_vec(), 0);
+        let mut sim = Simulator::try_new(&c, program.bundles().to_vec(), 0).unwrap();
         sim.set_memory(Memory::new(64));
         let err = sim.run().unwrap_err();
         assert!(matches!(err, SimError::MemoryFault { pc: 1, .. }), "{err}");
@@ -972,7 +880,7 @@ spin:
         let c = Config::default();
         let src = "    MOVIL r1, #100000\n;;\n    LWS r2, r1, #0\n;;\n    HALT\n;;\n";
         let program = assemble(src, &c).unwrap();
-        let mut sim = Simulator::new(&c, program.bundles().to_vec(), 0);
+        let mut sim = Simulator::try_new(&c, program.bundles().to_vec(), 0).unwrap();
         sim.set_memory(Memory::new(64));
         sim.run().unwrap();
         assert_eq!(sim.gpr(2), 0);
@@ -1028,5 +936,19 @@ spin:
             matches!(err, SimError::IllegalBundle { pc: 0, .. }),
             "{err}"
         );
+    }
+
+    // Intentionally exercises the deprecated panicking constructor.
+    #[test]
+    #[allow(deprecated)]
+    #[should_panic(expected = "LSU")]
+    fn deprecated_new_panics_on_illegal_bundles() {
+        use epic_isa::{Gpr, Instruction, Opcode, Operand};
+        let c = Config::default();
+        let bundles = vec![vec![
+            Instruction::load(Opcode::Lw, Gpr(1), Operand::Gpr(Gpr(2)), Operand::Lit(0)),
+            Instruction::load(Opcode::Lw, Gpr(3), Operand::Gpr(Gpr(4)), Operand::Lit(4)),
+        ]];
+        let _ = Simulator::new(&c, bundles, 0);
     }
 }

@@ -4,18 +4,24 @@
 //! [`Instruction`] enums and re-derives latencies, unit classes and port
 //! costs from the configuration on every cycle. The production
 //! [`crate::Simulator`] decodes the program once instead; this engine
-//! stays exactly as it was so differential tests (and the
-//! `sim_throughput` bench) can hold the fast core bit-identical to the
-//! model the paper's numbers were validated against. Keep its semantics
-//! frozen — fixes belong in both engines or in neither.
+//! stays structurally as it was so differential tests (and the
+//! `sim_throughput` bench) can hold the fast cores bit-identical to the
+//! model the paper's numbers were validated against. The architectural
+//! effect of each operation is the shared
+//! [`crate::semantics::execute_op`] — one source of truth for all
+//! engines instead of hand-synchronised copies; this engine still
+//! re-resolves every instruction's [`crate::semantics::Action`] each
+//! time it executes.
 
 use crate::error::SimError;
-use crate::exec::{eval_alu, eval_cmp};
 use crate::memory::Memory;
+use crate::semantics::{
+    apply_writes, decode_action, execute_op, gpr_ready_after, DecodedOp, ExecCtx, Write,
+};
 use crate::stats::{SimStats, StallCause};
 use crate::trace::{NopSink, TraceSink};
 use epic_config::Config;
-use epic_isa::{Dest, Instruction, Opcode, Operand, Unit};
+use epic_isa::{Instruction, Opcode, Unit};
 
 /// Default cycle budget before a run is declared runaway.
 const DEFAULT_CYCLE_LIMIT: u64 = 20_000_000_000;
@@ -52,17 +58,23 @@ pub struct ReferenceSimulator {
 }
 
 impl ReferenceSimulator {
-    /// Creates a reference simulator (see [`crate::Simulator::new`]).
+    /// Creates a reference simulator (see [`crate::Simulator::try_new`]).
     ///
     /// # Panics
     ///
-    /// Panics if a bundle violates the machine description.
+    /// Panics if a bundle violates the machine description or names an
+    /// unregistered custom-op slot.
     #[must_use]
     pub fn new(config: &Config, bundles: Vec<Vec<Instruction>>, entry: u32) -> Self {
         let mdes = epic_mdes::MachineDescription::new(config);
         for (pc, bundle) in bundles.iter().enumerate() {
             if let Err(e) = mdes.check_bundle(bundle) {
                 panic!("illegal bundle at address {pc}: {e}");
+            }
+            for instr in bundle {
+                if let Err(e) = decode_action(config, pc as u32, instr) {
+                    panic!("{e}");
+                }
             }
         }
         ReferenceSimulator {
@@ -316,11 +328,10 @@ impl ReferenceSimulator {
 
         // Issue: book destinations and unit occupancy.
         let bundle = &self.bundles[pc as usize];
-        let fwd_extra = u64::from(!forwarding);
         for instr in bundle {
             let latency = u64::from(instr.opcode.latency(&self.config));
             if let Some(r) = instr.gpr_write() {
-                self.gpr_ready[r.0 as usize] = exec_cycle + latency + fwd_extra;
+                self.gpr_ready[r.0 as usize] = exec_cycle + gpr_ready_after(latency, forwarding);
             }
             for p in instr.pred_writes() {
                 if p.0 != 0 {
@@ -347,11 +358,6 @@ impl ReferenceSimulator {
         bpc: u32,
         sink: &mut S,
     ) -> Result<Option<u32>, SimError> {
-        enum Write {
-            Gpr(u16, u32),
-            Pred(u16, bool),
-            Btr(u16, u32),
-        }
         let bundle = self.bundles[bpc as usize].clone();
         let mut writes: Vec<Write> = Vec::with_capacity(bundle.len());
         let mut redirect: Option<u32> = None;
@@ -378,161 +384,41 @@ impl ReferenceSimulator {
         }
         sink.bundle_execute(self.cycle, bpc, bundle.len() as u64 - nops, nops, &unit_ops);
 
+        let cycle = self.cycle;
+        let mut ctx = ExecCtx {
+            gprs: &self.gprs,
+            preds: &self.preds,
+            btrs: &self.btrs,
+            memory: &mut self.memory,
+            stats: &mut self.stats,
+            mem_debt: &mut self.mem_debt,
+            halted: &mut self.halted,
+            datapath_mask: self.config.datapath_mask() as u32,
+            custom_width: self.config.datapath_width(),
+            mem_contention: self.config.memory_contention(),
+        };
         for instr in &bundle {
             if instr.opcode == Opcode::Nop {
-                self.stats.nops += 1;
+                ctx.stats.nops += 1;
                 continue;
             }
-            self.stats.instructions += 1;
+            ctx.stats.instructions += 1;
             match instr.opcode.unit() {
-                Some(Unit::Alu) => self.stats.alu_busy_cycles += 1,
-                Some(Unit::Lsu) => self.stats.lsu_busy_cycles += 1,
-                Some(Unit::Cmpu) => self.stats.cmpu_busy_cycles += 1,
-                Some(Unit::Bru) => self.stats.bru_busy_cycles += 1,
+                Some(Unit::Alu) => ctx.stats.alu_busy_cycles += 1,
+                Some(Unit::Lsu) => ctx.stats.lsu_busy_cycles += 1,
+                Some(Unit::Cmpu) => ctx.stats.cmpu_busy_cycles += 1,
+                Some(Unit::Bru) => ctx.stats.bru_busy_cycles += 1,
                 None => {}
             }
-
-            let guard = self.pred(instr.pred.0 as usize);
-            if instr.opcode == Opcode::Brcf {
-                if !guard {
-                    redirect = Some(self.btr_operand(instr));
-                }
-                continue;
-            }
-            if !guard {
-                self.stats.squashed += 1;
-                sink.squash(self.cycle, bpc);
-                continue;
-            }
-
-            let a = self.src_value(&instr.src1);
-            let b = self.src_value(&instr.src2);
-
-            match instr.opcode {
-                Opcode::Cmp(cond) => {
-                    let outcome = eval_cmp(cond, a, b);
-                    if let Dest::Pred(p) = instr.dest1 {
-                        writes.push(Write::Pred(p.0, outcome));
-                    }
-                    if let Dest::Pred(p) = instr.dest2 {
-                        writes.push(Write::Pred(p.0, !outcome));
-                    }
-                }
-                Opcode::PredSet | Opcode::PredClr => {
-                    if let Dest::Pred(p) = instr.dest1 {
-                        writes.push(Write::Pred(p.0, instr.opcode == Opcode::PredSet));
-                    }
-                }
-                Opcode::MovGp => {
-                    if let Dest::Pred(p) = instr.dest1 {
-                        writes.push(Write::Pred(p.0, a != 0));
-                    }
-                }
-                Opcode::MovPg => {
-                    let value = match instr.src1 {
-                        Operand::Pred(p) => u32::from(self.pred(p.0 as usize)),
-                        _ => 0,
-                    };
-                    if let Dest::Gpr(r) = instr.dest1 {
-                        writes.push(Write::Gpr(r.0, value));
-                    }
-                }
-                op if op.is_load() => {
-                    let address = a.wrapping_add(b);
-                    let width = match op {
-                        Opcode::Lw | Opcode::LwS => 4,
-                        Opcode::Lh | Opcode::Lhu => 2,
-                        _ => 1,
-                    };
-                    let raw = if op == Opcode::LwS {
-                        self.memory.load(bpc, address, width).unwrap_or(0)
-                    } else {
-                        self.memory.load(bpc, address, width)?
-                    };
-                    let value = match op {
-                        Opcode::Lh => i32::from(raw as u16 as i16) as u32,
-                        Opcode::Lb => i32::from(raw as u8 as i8) as u32,
-                        _ => raw,
-                    };
-                    self.stats.loads += 1;
-                    sink.mem_op(self.cycle, bpc, false);
-                    if self.config.memory_contention() {
-                        self.mem_debt += 1;
-                    }
-                    if let Dest::Gpr(r) = instr.dest1 {
-                        writes.push(Write::Gpr(r.0, value));
-                    }
-                }
-                op if op.is_store() => {
-                    let address = a.wrapping_add(b);
-                    let width = match op {
-                        Opcode::Sw => 4,
-                        Opcode::Sh => 2,
-                        _ => 1,
-                    };
-                    let value = match instr.dest1 {
-                        Dest::Gpr(r) => self.gprs[r.0 as usize],
-                        _ => 0,
-                    };
-                    self.memory.store(bpc, address, width, value)?;
-                    self.stats.stores += 1;
-                    sink.mem_op(self.cycle, bpc, true);
-                    if self.config.memory_contention() {
-                        self.mem_debt += 1;
-                    }
-                }
-                Opcode::Pbr => {
-                    if let Dest::Btr(btr) = instr.dest1 {
-                        writes.push(Write::Btr(btr.0, a));
-                    }
-                }
-                Opcode::Br | Opcode::Brct => {
-                    redirect = Some(self.btr_operand(instr));
-                }
-                Opcode::Brl => {
-                    redirect = Some(self.btr_operand(instr));
-                    if let Dest::Gpr(r) = instr.dest1 {
-                        writes.push(Write::Gpr(r.0, bpc + 1));
-                    }
-                }
-                Opcode::Halt => {
-                    self.halted = true;
-                }
-                _ => {
-                    let value = eval_alu(instr.opcode, a, b, &self.config);
-                    if let Dest::Gpr(r) = instr.dest1 {
-                        writes.push(Write::Gpr(r.0, value & self.config.datapath_mask() as u32));
-                    }
-                }
-            }
+            let op = DecodedOp {
+                guard: instr.pred.0,
+                action: decode_action(&self.config, bpc, instr)
+                    .expect("actions validated at construction"),
+            };
+            execute_op(&mut ctx, op, bpc, cycle, &mut writes, &mut redirect, sink)?;
         }
 
-        for write in writes {
-            match write {
-                Write::Gpr(r, v) => self.gprs[r as usize] = v,
-                Write::Pred(p, v) => {
-                    if p != 0 {
-                        self.preds[p as usize] = v;
-                    }
-                }
-                Write::Btr(b, v) => self.btrs[b as usize] = v,
-            }
-        }
+        apply_writes(&mut self.gprs, &mut self.preds, &mut self.btrs, &mut writes);
         Ok(redirect)
-    }
-
-    fn src_value(&self, src: &Operand) -> u32 {
-        match src {
-            Operand::Gpr(r) => self.gprs[r.0 as usize],
-            Operand::Lit(v) => *v as u32,
-            _ => 0,
-        }
-    }
-
-    fn btr_operand(&self, instr: &Instruction) -> u32 {
-        match instr.src1 {
-            Operand::Btr(b) => self.btrs[b.0 as usize],
-            _ => 0,
-        }
     }
 }

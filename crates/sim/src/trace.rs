@@ -29,6 +29,16 @@ use crate::stats::StallCause;
 /// engines call these from their hot loop, so implementations should be
 /// cheap — heavy post-processing belongs after the run.
 pub trait TraceSink {
+    /// Whether this sink observes events.
+    ///
+    /// The block-compiled engine ([`crate::BlockSimulator`]) folds whole
+    /// basic blocks into a single state update, which elides the
+    /// per-cycle event stream. It only does so when the sink statically
+    /// declares itself blind (`OBSERVED == false`); observing sinks get
+    /// the ordinary per-cycle engine and therefore the exact event
+    /// sequence. Leave this `true` unless every method is a no-op.
+    const OBSERVED: bool = true;
+
     /// A bundle left the Fetch/Decode/Issue stage this cycle.
     ///
     /// `ports` is the register-file port demand of the bundle (reads
@@ -101,11 +111,14 @@ pub trait TraceSink {
 #[derive(Debug, Clone, Copy, Default)]
 pub struct NopSink;
 
-impl TraceSink for NopSink {}
+impl TraceSink for NopSink {
+    const OBSERVED: bool = false;
+}
 
 /// Forwarding through a mutable reference, so a sink can be borrowed by
 /// a run without being consumed.
 impl<S: TraceSink + ?Sized> TraceSink for &mut S {
+    const OBSERVED: bool = S::OBSERVED;
     #[inline]
     fn bundle_issue(&mut self, cycle: u64, pc: u32, ports: usize, budget: usize) {
         (**self).bundle_issue(cycle, pc, ports, budget);
@@ -146,6 +159,7 @@ impl<S: TraceSink + ?Sized> TraceSink for &mut S {
 /// `Option<S>`: observe when `Some`, compile away when the option is
 /// statically `None::<NopSink>`.
 impl<S: TraceSink> TraceSink for Option<S> {
+    const OBSERVED: bool = S::OBSERVED;
     #[inline]
     fn bundle_issue(&mut self, cycle: u64, pc: u32, ports: usize, budget: usize) {
         if let Some(sink) = self {
@@ -207,6 +221,7 @@ pub struct TeeSink<A, B>(
 );
 
 impl<A: TraceSink, B: TraceSink> TraceSink for TeeSink<A, B> {
+    const OBSERVED: bool = A::OBSERVED || B::OBSERVED;
     #[inline]
     fn bundle_issue(&mut self, cycle: u64, pc: u32, ports: usize, budget: usize) {
         self.0.bundle_issue(cycle, pc, ports, budget);

@@ -333,8 +333,12 @@ fn lint_bounds(args: &Args) -> Result<ExitCode, String> {
                 let program = epic_asm::assemble(compiled.assembly(), &config)
                     .map_err(|e| format!("{}: assembly rejected: {e}", workload.name))?;
 
-                let mut sim =
-                    epic_sim::Simulator::new(&config, program.bundles().to_vec(), program.entry());
+                let mut sim = epic_sim::Simulator::try_new(
+                    &config,
+                    program.bundles().to_vec(),
+                    program.entry(),
+                )
+                .map_err(|e| format!("{}: illegal program: {e}", workload.name))?;
                 sim.set_memory(epic_sim::Memory::from_image(image.clone()));
                 let mut sink = epic_sim::ProfileSink::default();
                 let stats = *sim

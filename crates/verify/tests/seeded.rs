@@ -25,7 +25,8 @@ fn seeded_port_budget_violation() {
     assert!(report.has_code("VER003"), "{}", report.render("seed", None));
     assert!(report.has_errors());
 
-    let mut sim = Simulator::new(&config, program.bundles().to_vec(), program.entry());
+    let mut sim = Simulator::try_new(&config, program.bundles().to_vec(), program.entry())
+        .expect("legal program");
     sim.run().expect("runs");
     assert!(
         sim.stats().stalls.regfile_port > 0,
@@ -77,7 +78,8 @@ fn seeded_latency_hazard() {
     assert!(report.has_code("VER004"), "{}", report.render("seed", None));
     assert!(!report.has_errors(), "interlocked hazards warn, not error");
 
-    let mut sim = Simulator::new(&config, program.bundles().to_vec(), program.entry());
+    let mut sim = Simulator::try_new(&config, program.bundles().to_vec(), program.entry())
+        .expect("legal program");
     sim.run().expect("runs");
     assert!(
         sim.stats().stalls.data_hazard > 0,

@@ -43,7 +43,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         program.to_bytes(&config)?.len()
     );
 
-    let mut sim = Simulator::new(&config, program.bundles().to_vec(), program.entry());
+    let mut sim = Simulator::try_new(&config, program.bundles().to_vec(), program.entry())?;
     sim.set_memory(Memory::new(1024));
     sim.run()?;
 

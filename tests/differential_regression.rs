@@ -11,15 +11,22 @@
 //! `regfile_port` and zero `unit_busy` stalls — cross-validated against
 //! the static verifier, which must accept exactly these programs.
 //!
-//! The second test runs the same grid through both execution engines —
-//! the decode-once [`Simulator`] and the frozen [`ReferenceSimulator`]
-//! oracle — and demands bit-identical statistics, register files and
-//! memory images. Any divergence in the decoded fast path fails here
-//! before it can skew a single paper number.
+//! The second test runs the same grid through all three execution
+//! engines — the decode-once [`Simulator`], the frozen
+//! [`ReferenceSimulator`] oracle and the block-compiled
+//! [`BlockSimulator`] — and demands bit-identical statistics, register
+//! files and memory images. Any divergence in the decoded fast path or
+//! in the folded block accounting fails here before it can skew a
+//! single paper number.
+//!
+//! The third test pins the block engine's *raison d'être*: on real
+//! workloads it must actually take its folded fast path, not silently
+//! fall back to per-cycle stepping everywhere.
 
 use epic_core::config::Config;
+use epic_core::experiments::run_epic_workload_with_engine;
 use epic_core::ir::lower;
-use epic_core::sim::{Memory, ReferenceSimulator, Simulator};
+use epic_core::sim::{BlockSimulator, Engine, Memory, ReferenceSimulator, Simulator};
 use epic_core::workloads::{self, Scale};
 use epic_core::Toolchain;
 
@@ -59,7 +66,7 @@ fn compiled_workloads_never_stall_on_ports_or_units() {
 }
 
 #[test]
-fn decoded_engine_is_bit_identical_to_the_reference_oracle() {
+fn all_three_engines_are_bit_identical_across_the_grid() {
     for workload in workloads::all(Scale::Test) {
         let module = lower::lower(&workload.program).expect("workload lowers");
         let layout = module.layout().expect("layout");
@@ -93,16 +100,28 @@ fn decoded_engine_is_bit_identical_to_the_reference_oracle() {
                     .run()
                     .unwrap_or_else(|e| panic!("{label}: decoded run failed: {e}"));
 
-                let mut oracle = ReferenceSimulator::new(&config, bundles, entry);
-                oracle.set_memory(Memory::from_image(image));
+                let mut oracle = ReferenceSimulator::new(&config, bundles.clone(), entry);
+                oracle.set_memory(Memory::from_image(image.clone()));
                 oracle
                     .run()
                     .unwrap_or_else(|e| panic!("{label}: reference run failed: {e}"));
 
+                let mut block = BlockSimulator::try_new(&config, bundles, entry)
+                    .unwrap_or_else(|e| panic!("{label}: block compile rejected: {e}"));
+                block.set_memory(Memory::from_image(image));
+                block
+                    .run()
+                    .unwrap_or_else(|e| panic!("{label}: block run failed: {e}"));
+
                 assert_eq!(
                     decoded.stats(),
                     oracle.stats(),
-                    "{label}: SimStats diverged between engines"
+                    "{label}: SimStats diverged between decoded and reference"
+                );
+                assert_eq!(
+                    decoded.stats(),
+                    block.stats(),
+                    "{label}: SimStats diverged between decoded and block"
                 );
                 assert_eq!(
                     decoded.stats(),
@@ -111,19 +130,105 @@ fn decoded_engine_is_bit_identical_to_the_reference_oracle() {
                 );
                 for r in 0..config.num_gprs() {
                     assert_eq!(decoded.gpr(r), oracle.gpr(r), "{label}: r{r} diverged");
+                    assert_eq!(decoded.gpr(r), block.gpr(r), "{label}: block r{r} diverged");
                 }
                 for p in 0..config.num_pred_regs() {
                     assert_eq!(decoded.pred(p), oracle.pred(p), "{label}: p{p} diverged");
+                    assert_eq!(
+                        decoded.pred(p),
+                        block.pred(p),
+                        "{label}: block p{p} diverged"
+                    );
                 }
                 for b in 0..config.num_btrs() {
                     assert_eq!(decoded.btr(b), oracle.btr(b), "{label}: b{b} diverged");
+                    assert_eq!(decoded.btr(b), block.btr(b), "{label}: block b{b} diverged");
                 }
                 assert_eq!(
                     decoded.memory().bytes(),
                     oracle.memory().bytes(),
                     "{label}: final memory images diverged"
                 );
+                assert_eq!(
+                    decoded.memory().bytes(),
+                    block.memory().bytes(),
+                    "{label}: block final memory image diverged"
+                );
             }
         }
     }
+}
+
+#[test]
+fn block_engine_takes_the_fast_path_on_every_workload() {
+    for workload in workloads::all(Scale::Test) {
+        let config = Config::default();
+        let run = run_epic_workload_with_engine(&workload, &config, Engine::Block)
+            .unwrap_or_else(|e| panic!("{}: {e}", workload.name));
+        assert!(
+            run.outcome.fast_block_execs > 0,
+            "{}: the block engine never took its folded fast path \
+             (every bundle fell back to per-cycle stepping)",
+            workload.name
+        );
+    }
+}
+
+/// Throughput smoke gate, run explicitly in CI (`--ignored`): the block
+/// engine must not be slower than the decoded engine on Dijkstra — the
+/// branchiest workload, i.e. the one with the least straight-line code
+/// to fold. Interleaved best-of-5 timing on identical cloned machines,
+/// with a 5% tolerance so the gate trips on regressions, not on noise.
+#[test]
+#[ignore = "timing-sensitive; CI runs it on a quiet runner"]
+fn block_engine_is_not_slower_than_decoded_on_dijkstra() {
+    let workload = workloads::all(Scale::Test)
+        .into_iter()
+        .find(|w| w.name == "dijkstra")
+        .expect("dijkstra workload exists");
+    let config = Config::default();
+    let module = lower::lower(&workload.program).expect("workload lowers");
+    let layout = module.layout().expect("layout");
+    let run = Toolchain::new(config.clone())
+        .run_module(&module, &workload.entry, &[], &workload.inline_hints())
+        .expect("pipeline runs");
+    let image = module.initial_memory(&layout);
+    let bundles = run.program.bundles().to_vec();
+    let entry = run.program.entry();
+
+    let decoded = {
+        let mut sim = Simulator::try_new(&config, bundles.clone(), entry).expect("decodes");
+        sim.set_memory(Memory::from_image(image.clone()));
+        sim
+    };
+    let block = {
+        let mut sim = BlockSimulator::try_new(&config, bundles, entry).expect("compiles");
+        sim.set_memory(Memory::from_image(image));
+        sim
+    };
+
+    let mut best = [u128::MAX; 2];
+    for rep in 0..=5 {
+        let mut sim = decoded.clone();
+        let start = std::time::Instant::now();
+        sim.run().expect("runs");
+        let decoded_ns = start.elapsed().as_nanos();
+
+        let mut sim = block.clone();
+        let start = std::time::Instant::now();
+        sim.run().expect("runs");
+        let block_ns = start.elapsed().as_nanos();
+
+        // Rep 0 is a warm-up for both engines.
+        if rep > 0 {
+            best[0] = best[0].min(decoded_ns);
+            best[1] = best[1].min(block_ns);
+        }
+    }
+    assert!(
+        best[1] as f64 <= best[0] as f64 * 1.05,
+        "block engine slower than decoded on dijkstra: {}ns vs {}ns",
+        best[1],
+        best[0]
+    );
 }

@@ -13,10 +13,15 @@
 //!
 //! and commit the updated `tests/golden/cycles.txt` alongside the
 //! change that caused it.
+//!
+//! `EPIC_ENGINE=reference|decoded|block` selects the simulation engine
+//! the corpus is measured on. The golden file is engine-independent —
+//! all three engines are bit-identical by contract — so CI runs this
+//! test once per engine against the *same* committed corpus.
 
 use epic_core::config::Config;
-use epic_core::experiments::run_epic_workload;
-use epic_core::sim::SimStats;
+use epic_core::experiments::run_epic_workload_with_engine;
+use epic_core::sim::{Engine, SimStats};
 use epic_core::workloads::{self, Scale};
 use std::fmt::Write as _;
 use std::path::PathBuf;
@@ -48,7 +53,17 @@ fn stats_line(workload: &str, alus: usize, width: usize, s: &SimStats) -> String
     )
 }
 
-fn corpus() -> String {
+/// The engine under test (`EPIC_ENGINE`, default decoded).
+fn engine_under_test() -> Engine {
+    match std::env::var("EPIC_ENGINE") {
+        Ok(name) => name
+            .parse()
+            .unwrap_or_else(|e: String| panic!("EPIC_ENGINE: {e}")),
+        Err(_) => Engine::default(),
+    }
+}
+
+fn corpus(engine: Engine) -> String {
     let mut out = String::from(
         "# Golden SimStats corpus (Test scale). Regenerate with\n\
          # EPIC_BLESS=1 cargo test --test golden_cycles\n\
@@ -63,10 +78,18 @@ fn corpus() -> String {
                     .issue_width(width)
                     .build()
                     .expect("valid grid configuration");
-                let stats = run_epic_workload(&workload, &config).unwrap_or_else(|e| {
-                    panic!("{} at {alus} ALU / {width}-wide failed: {e}", workload.name)
-                });
-                let _ = writeln!(out, "{}", stats_line(&workload.name, alus, width, &stats));
+                let run =
+                    run_epic_workload_with_engine(&workload, &config, engine).unwrap_or_else(|e| {
+                        panic!(
+                            "{} at {alus} ALU / {width}-wide on {engine} failed: {e}",
+                            workload.name
+                        )
+                    });
+                let _ = writeln!(
+                    out,
+                    "{}",
+                    stats_line(&workload.name, alus, width, run.stats())
+                );
             }
         }
     }
@@ -76,7 +99,8 @@ fn corpus() -> String {
 #[test]
 fn cycle_corpus_matches_golden_file() {
     let path = golden_path();
-    let current = corpus();
+    let engine = engine_under_test();
+    let current = corpus(engine);
     if std::env::var_os("EPIC_BLESS").is_some() {
         std::fs::write(&path, &current).expect("write golden corpus");
         eprintln!(
@@ -107,7 +131,7 @@ fn cycle_corpus_matches_golden_file() {
         let _ = writeln!(diff, "line count changed: golden {w}, current {g}");
     }
     panic!(
-        "cycle corpus drifted from {}:\n{diff}\
+        "cycle corpus ({engine} engine) drifted from {}:\n{diff}\
          If this timing change is intentional, regenerate with \
          `EPIC_BLESS=1 cargo test --test golden_cycles` and commit the diff.",
         golden_path().display()
