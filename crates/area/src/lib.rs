@@ -34,7 +34,7 @@ mod power;
 
 pub use power::{EnergyPerOp, PowerEstimate, PowerModel, STATIC_MW_PER_SLICE};
 
-use epic_config::{AluFeature, Config, CustomSemantics};
+use epic_config::{AluFeature, Config, CustomSemantics, ExprTree, FusedOp};
 use std::fmt;
 
 /// Clock rate of the EPIC prototype in MHz ("currently, our prototype
@@ -311,7 +311,14 @@ impl fmt::Display for AreaModel {
     }
 }
 
-fn custom_op_slices(semantics: CustomSemantics) -> u32 {
+/// Slice cost of one custom operation's datapath, per ALU instance.
+///
+/// Fixed semantics carry hand-calibrated costs; a fused (discovered)
+/// operation prices as the sum of its expression-tree nodes — the same
+/// adders, gates and shifters the base ALU would have spent, minus the
+/// per-instruction decode overhead the fusion saves.
+#[must_use]
+pub fn custom_op_slices(semantics: &CustomSemantics) -> u32 {
     match semantics {
         CustomSemantics::RotateRight | CustomSemantics::RotateLeft => 180,
         CustomSemantics::ByteSwap => 40,
@@ -322,8 +329,43 @@ fn custom_op_slices(semantics: CustomSemantics) -> u32 {
         CustomSemantics::AverageRound => 110,
         CustomSemantics::MulHighUnsigned => 240,
         CustomSemantics::AbsDiff => 140,
+        CustomSemantics::Fused(tree) => fused_tree_slices(tree),
         // Future semantics default to a mid-size datapath block.
         _ => 150,
+    }
+}
+
+/// Slice cost of a fused expression tree: the sum of its node costs.
+///
+/// Shifts by a literal are wiring (a fixed bit rotation), not a barrel
+/// shifter, so they price far below the variable-shift datapath.
+#[must_use]
+pub fn fused_tree_slices(tree: &ExprTree) -> u32 {
+    match tree {
+        ExprTree::Arg(_) | ExprTree::Lit(_) => 0,
+        ExprTree::Unary(op, x) => fused_node_slices(op, None) + fused_tree_slices(x),
+        ExprTree::Binary(op, x, y) => {
+            fused_node_slices(op, Some(y)) + fused_tree_slices(x) + fused_tree_slices(y)
+        }
+    }
+}
+
+fn fused_node_slices(op: &FusedOp, rhs: Option<&ExprTree>) -> u32 {
+    let literal_rhs = matches!(rhs, Some(ExprTree::Lit(_)));
+    match op {
+        FusedOp::And | FusedOp::Or | FusedOp::Xor => 30,
+        FusedOp::Add | FusedOp::Sub => 60,
+        FusedOp::Mull => 240,
+        FusedOp::Shl | FusedOp::Shr | FusedOp::Shra => {
+            if literal_rhs {
+                10
+            } else {
+                150
+            }
+        }
+        FusedOp::Min | FusedOp::Max => 90,
+        FusedOp::Abs => 70,
+        FusedOp::Sxtb | FusedOp::Sxth | FusedOp::Zxtb | FusedOp::Zxth => 10,
     }
 }
 

@@ -14,6 +14,7 @@
 //! cargo run --release -p epic-bench --bin repro -- metrics [--out <dir>] [--full]
 //! cargo run --release -p epic-bench --bin repro -- bench [--out <file>] [--full]
 //! cargo run --release -p epic-bench --bin repro -- bench --throughput [--out <file>] [--check]
+//! cargo run --release -p epic-bench --bin repro -- isx [--out <file>] [--check] [--full]
 //! cargo run --release -p epic-bench --bin repro -- all [--full]
 //! ```
 //!
@@ -112,6 +113,7 @@ fn main() -> ExitCode {
             cmd_bench_throughput(scale, parse_out(&args), args.iter().any(|a| a == "--check"))
         }
         "bench" => cmd_bench(scale, parse_out(&args), engine),
+        "isx" => cmd_isx(scale, parse_out(&args), args.iter().any(|a| a == "--check")),
         "all" => cmd_all(scale),
         other => Err(format!(
             "unknown command `{other}`; see the module docs for usage"
@@ -349,6 +351,233 @@ fn cmd_bench(scale: Scale, out: Option<std::path::PathBuf>, engine: Engine) -> R
         "{{\n  \"schema\": \"epic-bench-cycles/v2\",\n  \"scale\": \"{scale:?}\",\n  \
          \"points\": [\n{entries}\n  ]\n}}\n"
     );
+    std::fs::write(&out, json).map_err(|e| format!("{}: {e}", out.display()))?;
+    println!("wrote {}", out.display());
+    Ok(())
+}
+
+/// One observed run for the discovery driver: measured cycles plus the
+/// `epic-bound` static price — the midpoint of the cycle interval the
+/// analysis closes over the run's own per-bundle issue counts. The
+/// interval must contain the measured count (the same containment proof
+/// `bench` commits), so pricing two programs and differencing the
+/// midpoints is a *static* estimate that inherits the cost model's
+/// calibration, not a rename of the simulator's counter.
+fn isx_observe(workload: &workloads::Workload, config: &Config) -> Result<(u64, u64), String> {
+    let mut sink = epic_obs::ProfileSink::default();
+    let run = epic_core::experiments::run_epic_workload_observed(workload, config, &mut sink)
+        .map_err(|e| format!("{}: {e}", workload.name))?;
+    let counts: std::collections::BTreeMap<u32, u64> =
+        sink.per_pc().map(|(pc, p)| (pc, p.issues)).collect();
+    let model = epic_bound::CostModel::new(config);
+    let bounds = epic_bound::analyze_cycles(
+        config,
+        run.program.bundles(),
+        run.program.entry() as usize,
+        &epic_bound::CountSource::Measured(&counts),
+        &model,
+        &epic_bound::BoundOptions::default(),
+    );
+    let cycles = run.stats().cycles;
+    if !bounds.contains(cycles) {
+        return Err(format!(
+            "{}: static interval [{}, {:?}] does not contain the run's {} cycles",
+            workload.name, bounds.lower, bounds.upper, cycles
+        ));
+    }
+    let upper = bounds
+        .upper
+        .expect("measured counts always close the interval");
+    Ok((cycles, (bounds.lower + upper) / 2))
+}
+
+/// Automatic custom-instruction discovery (`repro -- isx`): mines each
+/// workload's compiled hot dataflow for convex MISO subgraphs
+/// (`epic-isx`), prices the top-ranked candidates one at a time —
+/// measured cycle delta at the default machine against the static
+/// `epic-bound` differential — applies every candidate whose static
+/// estimate lands within 20% of its measured saving, and sweeps baseline
+/// versus extended configurations over the full ALUs 1–4 × issue-width
+/// 1–4 grid into a cycles-versus-slices Pareto frontier.
+///
+/// Writes `--out <file>` (default `BENCH_pareto.json`), schema
+/// `epic-bench-pareto/v1`. Every field is deterministic (candidate
+/// ranking is canonical, the grid reassembles by index at any thread
+/// count), so `--check` regenerates the JSON and compares it
+/// byte-for-byte against the committed file.
+fn cmd_isx(scale: Scale, out: Option<std::path::PathBuf>, check: bool) -> Result<(), String> {
+    use rayon::prelude::*;
+    /// Candidates priced per workload (top of the deterministic ranking).
+    const TOP_K: usize = 4;
+    const WIDTHS: [usize; 4] = [1, 2, 3, 4];
+    let out = out.unwrap_or_else(|| std::path::PathBuf::from("BENCH_pareto.json"));
+    let workloads = workloads::all(scale);
+    println!("Instruction discovery ({scale:?} scale): mine, price, apply, sweep");
+    let mut workload_entries = Vec::new();
+    for workload in &workloads {
+        let base = Config::default();
+        let mut sink = epic_obs::ProfileSink::default();
+        let run = epic_core::experiments::run_epic_workload_observed(workload, &base, &mut sink)
+            .map_err(|e| format!("{}: {e}", workload.name))?;
+        let base_cycles = run.stats().cycles;
+        let counts: std::collections::BTreeMap<u32, u64> =
+            sink.per_pc().map(|(pc, p)| (pc, p.issues)).collect();
+        let mined = epic_isx::mine(
+            &base,
+            run.program.bundles(),
+            run.program.entry(),
+            &counts,
+            &epic_isx::MinerOptions::default(),
+        );
+        drop(run);
+        let ranked = epic_isx::ScoreModel::new(&base).rank(mined);
+        println!(
+            "{}: {} cycles at the default machine, {} candidate(s) mined",
+            workload.name,
+            base_cycles,
+            ranked.len()
+        );
+        let (_, base_price) = isx_observe(workload, &base)?;
+        let mut candidate_entries = Vec::new();
+        let mut applied_ops = Vec::new();
+        for (i, scored) in ranked.iter().take(TOP_K).enumerate() {
+            let name = format!("isx_{}_{i}", workload.name);
+            let op = CustomOp::new(
+                &name,
+                epic_core::config::CustomSemantics::Fused(scored.discovery.tree.clone()),
+            )
+            .with_latency(scored.latency);
+            let ext = Config::builder()
+                .custom_op(op.clone())
+                .build()
+                .map_err(|e| format!("{name}: {e}"))?;
+            let (ext_cycles, ext_price) = isx_observe(workload, &ext)?;
+            let measured = base_cycles as i64 - ext_cycles as i64;
+            let estimate = base_price as i64 - ext_price as i64;
+            // Apply only candidates that measurably win and whose static
+            // estimate agrees within 20% — the acceptance gate, enforced
+            // at generation time so the committed file proves it.
+            let applied =
+                measured > 0 && estimate > 0 && (estimate - measured).abs() * 5 <= measured;
+            println!(
+                "  {name}: {} -> measured {measured:+}, static {estimate:+} cycles, \
+                 +{} slices{}",
+                scored.discovery.tree,
+                scored.slices,
+                if applied { ", APPLIED" } else { "" }
+            );
+            if applied {
+                applied_ops.push(op);
+            }
+            candidate_entries.push(format!(
+                "        {{\"name\": \"{name}\", \"tree\": \"{}\", \"latency\": {}, \
+                 \"live_ins\": {}, \"sites\": {}, \"score_est\": {}, \"slices\": {}, \
+                 \"measured_saved\": {measured}, \"static_saved\": {estimate}, \
+                 \"applied\": {applied}}}",
+                scored.discovery.tree,
+                scored.latency,
+                scored.live_ins,
+                scored.discovery.sites.len(),
+                scored.est_saved,
+                scored.slices,
+            ));
+        }
+        // Baseline vs extended over the full grid, farmed across threads
+        // and reassembled by grid index so the output is bit-identical at
+        // any thread count.
+        let grid: Vec<(usize, usize)> = ALUS
+            .iter()
+            .flat_map(|&alus| WIDTHS.iter().map(move |&width| (alus, width)))
+            .collect();
+        let results: Vec<Result<[(u64, u32); 2], String>> = grid
+            .clone()
+            .into_par_iter()
+            .map(|(alus, width)| {
+                let mut point = [(0u64, 0u32); 2];
+                for (slot, extend) in [false, true].into_iter().enumerate() {
+                    let mut builder = Config::builder().num_alus(alus).issue_width(width);
+                    if extend {
+                        for op in &applied_ops {
+                            builder = builder.custom_op(op.clone());
+                        }
+                    }
+                    let config = builder
+                        .build()
+                        .map_err(|e| format!("{alus} ALU / {width}-wide: {e}"))?;
+                    let stats = run_epic_workload(workload, &config).map_err(|e| {
+                        format!("{} at {alus} ALU / {width}-wide: {e}", workload.name)
+                    })?;
+                    point[slot] = (
+                        stats.cycles,
+                        epic_core::area::AreaModel::new(&config).slices(),
+                    );
+                }
+                Ok(point)
+            })
+            .collect();
+        let mut design_points = Vec::new();
+        for (&(alus, width), result) in grid.iter().zip(&results) {
+            let point = result.as_ref().map_err(|e| e.clone())?;
+            for (slot, variant) in ["base", "isx"].into_iter().enumerate() {
+                design_points.push(epic_core::area::DesignPoint {
+                    label: format!("{variant} {alus}alu iw{width}"),
+                    cycles: point[slot].0,
+                    slices: point[slot].1,
+                });
+            }
+        }
+        let frontier = epic_core::area::pareto_frontier(&design_points);
+        let on_frontier: std::collections::BTreeSet<&str> =
+            frontier.iter().map(|p| p.label.as_str()).collect();
+        println!(
+            "  grid: {} points, {} on the cycles/slices frontier",
+            design_points.len(),
+            frontier.len()
+        );
+        let mut point_entries = Vec::new();
+        for (i, point) in design_points.iter().enumerate() {
+            let (alus, width) = grid[i / 2];
+            point_entries.push(format!(
+                "        {{\"variant\": \"{}\", \"alus\": {alus}, \"issue_width\": {width}, \
+                 \"cycles\": {}, \"slices\": {}, \"pareto\": {}}}",
+                ["base", "isx"][i % 2],
+                point.cycles,
+                point.slices,
+                on_frontier.contains(point.label.as_str()),
+            ));
+        }
+        workload_entries.push(format!(
+            "    {{\n      \"workload\": \"{}\",\n      \"base_cycles\": {base_cycles},\n      \
+             \"candidates\": [\n{}\n      ],\n      \"points\": [\n{}\n      ]\n    }}",
+            workload.name,
+            candidate_entries.join(",\n"),
+            point_entries.join(",\n"),
+        ));
+    }
+    let json = format!(
+        "{{\n  \"schema\": \"epic-bench-pareto/v1\",\n  \"scale\": \"{scale:?}\",\n  \
+         \"workloads\": [\n{}\n  ]\n}}\n",
+        workload_entries.join(",\n")
+    );
+    if check {
+        let committed = std::fs::read_to_string(&out)
+            .map_err(|e| format!("--check: {}: {e}", out.display()))?;
+        if committed != json {
+            let divergence = committed
+                .lines()
+                .zip(json.lines())
+                .position(|(a, b)| a != b)
+                .map_or(committed.lines().count().min(json.lines().count()), |i| i);
+            return Err(format!(
+                "--check: {} is stale (first divergence at line {}); \
+                 regenerate with `repro -- isx`",
+                out.display(),
+                divergence + 1
+            ));
+        }
+        println!("{} is fresh (byte-identical regeneration)", out.display());
+        return Ok(());
+    }
     std::fs::write(&out, json).map_err(|e| format!("{}: {e}", out.display()))?;
     println!("wrote {}", out.display());
     Ok(())

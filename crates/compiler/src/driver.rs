@@ -2,6 +2,7 @@
 
 use crate::emit::{emit_program, finalize_control, CALL_BTR};
 use crate::error::CompileError;
+use crate::fuse::{fuse, FuseStats};
 use crate::ifconv::{if_convert, IfConvStats};
 use crate::mir::{MBlock, MBlockId, MDest, MFunction, MInst, MOp, MSrc, MTerm};
 use crate::passes::{self, PassStats};
@@ -23,6 +24,10 @@ pub struct Options {
     pub optimize: bool,
     /// Run if-conversion (default: on; off is useful for ablation).
     pub if_conversion: bool,
+    /// Rewrite matched subgraphs to registered fused custom ops
+    /// (default: on; a no-op unless the config registers
+    /// [`epic_config::CustomSemantics::Fused`] operations).
+    pub fuse_custom: bool,
     /// Form superblocks and schedule them as multi-block regions
     /// (default: on; only takes effect at issue width ≥ 2, where the
     /// freed issue slots exist to be filled).
@@ -48,6 +53,7 @@ impl Default for Options {
         Options {
             optimize: true,
             if_conversion: true,
+            fuse_custom: true,
             superblock: true,
             profile: None,
             inline_hints: Vec::new(),
@@ -93,6 +99,8 @@ pub struct CompileStats {
     pub passes: PassStats,
     /// If-conversion statistics (summed over functions).
     pub ifconv: IfConvStats,
+    /// Custom-instruction fusion statistics (summed over functions).
+    pub fuse: FuseStats,
     /// Superblock-formation statistics (summed over functions).
     pub superblock: SuperblockStats,
     /// Register-allocation statistics (summed over functions).
@@ -235,6 +243,7 @@ impl Compiler {
                 name: stub.name.clone(),
                 post_select: None,
                 post_ifconv: None,
+                post_fuse: None,
                 post_superblock: None,
                 origin: None,
                 traces: Vec::new(),
@@ -257,6 +266,15 @@ impl Compiler {
                 stats.ifconv.triangles += s.triangles;
                 stats.ifconv.predicated_insts += s.predicated_insts;
                 post_ifconv = trace.is_some().then(|| mf.clone());
+            }
+            let mut post_fuse = None;
+            if options.fuse_custom {
+                let fs = fuse(&mut mf, &self.config);
+                if fs != FuseStats::default() {
+                    stats.fuse.fused += fs.fused;
+                    stats.fuse.ops_removed += fs.ops_removed;
+                    post_fuse = trace.is_some().then(|| mf.clone());
+                }
             }
             let ra = allocate(&mut mf, &abi, &self.config)?;
             stats.regalloc.spilled += ra.spilled;
@@ -287,6 +305,7 @@ impl Compiler {
                     name: mf.name.clone(),
                     post_select,
                     post_ifconv,
+                    post_fuse,
                     post_superblock,
                     origin,
                     traces: trace_groups.clone(),

@@ -1,0 +1,445 @@
+//! Custom-instruction fusion: rewrite matched dataflow subgraphs to
+//! registered fused ops.
+//!
+//! When the target [`Config`] registers a
+//! [`CustomSemantics::Fused`](epic_config::CustomSemantics) op (typically
+//! discovered by `epic-isx`), this pass pattern-matches the op's
+//! [`ExprTree`] against each block's machine IR and collapses matching
+//! convex single-output chains into one `Custom` operation. It runs on
+//! virtual registers, after if-conversion and before allocation, so the
+//! deleted temporaries never reach the allocator.
+//!
+//! A rewrite fires only when it is provably safe on vregs:
+//!
+//! * every interior producer is an ALU op with exactly one definition and
+//!   one use in the whole function (its value is invisible elsewhere);
+//! * every member carries the root's guard, and the guard predicate is
+//!   not redefined between the first member and the root;
+//! * every live-in register reaches the root unchanged (the reaching
+//!   definition at each interior read equals the one at the root);
+//! * literals in the tree match the folded literal operands exactly.
+//!
+//! The pass is validated by `epic-tv`'s TV013 obligation: per-block
+//! symbolic evaluation proves the rewritten block computes the same
+//! expressions, with fused trees expanded back to their node semantics.
+
+use crate::mir::{MBlock, MDest, MFunction, MInst, MOp, MSrc};
+use epic_config::{Config, CustomSemantics, ExprTree, FusedOp};
+use epic_isa::Opcode;
+use std::collections::BTreeMap;
+
+/// Fusion statistics (summed over functions).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FuseStats {
+    /// Subgraphs rewritten to custom ops.
+    pub fused: usize,
+    /// Interior operations deleted by those rewrites.
+    pub ops_removed: usize,
+}
+
+/// The ALU node a MIR opcode computes, if it is fusable.
+#[must_use]
+pub fn fused_op_of(opcode: Opcode) -> Option<FusedOp> {
+    Some(match opcode {
+        Opcode::Add => FusedOp::Add,
+        Opcode::Sub => FusedOp::Sub,
+        Opcode::Mull => FusedOp::Mull,
+        Opcode::And => FusedOp::And,
+        Opcode::Or => FusedOp::Or,
+        Opcode::Xor => FusedOp::Xor,
+        Opcode::Shl => FusedOp::Shl,
+        Opcode::Shr => FusedOp::Shr,
+        Opcode::Shra => FusedOp::Shra,
+        Opcode::Min => FusedOp::Min,
+        Opcode::Max => FusedOp::Max,
+        Opcode::Abs => FusedOp::Abs,
+        Opcode::Sxtb => FusedOp::Sxtb,
+        Opcode::Sxth => FusedOp::Sxth,
+        Opcode::Zxtb => FusedOp::Zxtb,
+        Opcode::Zxth => FusedOp::Zxth,
+        _ => return None,
+    })
+}
+
+/// Rewrites matches of every registered fused custom op in `mf`.
+pub fn fuse(mf: &mut MFunction, config: &Config) -> FuseStats {
+    // Larger trees first: a greedy biggest-match wins when candidates
+    // overlap, and the index tiebreak keeps the order deterministic.
+    let mut candidates: Vec<(u16, &ExprTree)> = config
+        .custom_ops()
+        .iter()
+        .enumerate()
+        .filter_map(|(i, op)| match op.semantics() {
+            CustomSemantics::Fused(tree) => Some((i as u16, tree)),
+            _ => None,
+        })
+        .collect();
+    candidates.sort_by(|a, b| b.1.node_count().cmp(&a.1.node_count()).then(a.0.cmp(&b.0)));
+
+    let mut stats = FuseStats::default();
+    if candidates.is_empty() {
+        return stats;
+    }
+
+    loop {
+        let counts = vreg_counts(mf);
+        let mut rewrote = false;
+        'blocks: for block in &mut mf.blocks {
+            for root in 0..block.insts.len() {
+                for &(index, tree) in &candidates {
+                    if let Some(m) = match_root(block, root, tree, &counts) {
+                        apply(block, root, index, &m);
+                        stats.fused += 1;
+                        stats.ops_removed += m.interior.len();
+                        rewrote = true;
+                        // Counts are stale after a rewrite; restart from
+                        // a fresh census.
+                        break 'blocks;
+                    }
+                }
+            }
+        }
+        if !rewrote {
+            return stats;
+        }
+    }
+}
+
+/// Global definition/use counts per vreg, terminators included.
+struct VregCounts {
+    defs: BTreeMap<u32, usize>,
+    uses: BTreeMap<u32, usize>,
+}
+
+fn vreg_counts(mf: &MFunction) -> VregCounts {
+    let mut defs = BTreeMap::new();
+    let mut uses = BTreeMap::new();
+    for block in &mf.blocks {
+        for inst in &block.insts {
+            for r in inst.gpr_uses() {
+                *uses.entry(r).or_insert(0) += 1;
+            }
+            if let Some(r) = inst.gpr_def() {
+                *defs.entry(r).or_insert(0) += 1;
+            }
+        }
+        if let crate::mir::MTerm::Ret(Some(r)) = block.term {
+            *uses.entry(r).or_insert(0) += 1;
+        }
+    }
+    VregCounts { defs, uses }
+}
+
+/// A successful match: interior producer indices (deleted by the
+/// rewrite) and the vregs bound to the tree's argument slots.
+struct Match {
+    interior: Vec<usize>,
+    args: [Option<u32>; 2],
+}
+
+/// The reaching in-block definition of `vreg` before `pos`, if any.
+fn reaching_def(block: &MBlock, pos: usize, vreg: u32) -> Option<usize> {
+    block.insts[..pos]
+        .iter()
+        .rposition(|inst| inst.gpr_def() == Some(vreg))
+}
+
+fn match_root(block: &MBlock, root: usize, tree: &ExprTree, counts: &VregCounts) -> Option<Match> {
+    let MInst::Op(op) = &block.insts[root] else {
+        return None;
+    };
+    if plain_alu(op).is_none() || op.dest1.gpr().is_none() {
+        return None;
+    }
+    let mut m = Match {
+        interior: Vec::new(),
+        args: [None, None],
+    };
+    if !match_op(block, root, root, op.guard, tree, counts, &mut m) {
+        return None;
+    }
+    // The guard must hold the same value for every member as it does at
+    // the root: reject if any instruction between the first member and
+    // the root redefines it.
+    if op.guard != 0 {
+        let first = m.interior.iter().copied().min().unwrap_or(root);
+        for inst in &block.insts[first..root] {
+            if inst.pred_defs().contains(&op.guard) {
+                return None;
+            }
+        }
+    }
+    Some(m)
+}
+
+/// Matches `tree`'s top node against the op at `at` (reads happening at
+/// position `at`, value required at position `root`).
+fn match_op(
+    block: &MBlock,
+    at: usize,
+    root: usize,
+    guard: u32,
+    tree: &ExprTree,
+    counts: &VregCounts,
+    m: &mut Match,
+) -> bool {
+    let MInst::Op(op) = &block.insts[at] else {
+        return false;
+    };
+    let Some(node_op) = plain_alu(op) else {
+        return false;
+    };
+    if op.guard != guard {
+        return false;
+    }
+    match tree {
+        ExprTree::Unary(want, child) => {
+            node_op == *want
+                && want.is_unary()
+                && match_src(block, at, root, guard, child, &op.src1, counts, m)
+        }
+        ExprTree::Binary(want, lhs, rhs) => {
+            node_op == *want
+                && !want.is_unary()
+                && match_src(block, at, root, guard, lhs, &op.src1, counts, m)
+                && match_src(block, at, root, guard, rhs, &op.src2, counts, m)
+        }
+        ExprTree::Arg(_) | ExprTree::Lit(_) => false,
+    }
+}
+
+/// Matches a tree node against one source operand read at position `at`.
+#[allow(clippy::too_many_arguments)]
+fn match_src(
+    block: &MBlock,
+    at: usize,
+    root: usize,
+    guard: u32,
+    node: &ExprTree,
+    src: &MSrc,
+    counts: &VregCounts,
+    m: &mut Match,
+) -> bool {
+    match node {
+        ExprTree::Lit(value) => {
+            // The datapath truncates literals to 32 bits, and the miner
+            // recorded the truncated pattern — compare the same way.
+            let MSrc::Lit(lit) = src else { return false };
+            *lit as u32 == *value
+        }
+        ExprTree::Arg(index) => {
+            let MSrc::Gpr(reg) = src else { return false };
+            // The live-in must carry the same value at this read as at
+            // the root, and every occurrence of the same argument slot
+            // must name the same vreg.
+            if reaching_def(block, at, *reg) != reaching_def(block, root, *reg) {
+                return false;
+            }
+            let slot = &mut m.args[usize::from(*index)];
+            match slot {
+                Some(bound) => *bound == *reg,
+                None => {
+                    *slot = Some(*reg);
+                    true
+                }
+            }
+        }
+        ExprTree::Unary(..) | ExprTree::Binary(..) => {
+            let MSrc::Gpr(temp) = src else { return false };
+            let Some(producer) = reaching_def(block, at, *temp) else {
+                return false;
+            };
+            // The temporary must be born and die inside this cone: one
+            // definition, one use, anywhere in the function.
+            if counts.defs.get(temp) != Some(&1) || counts.uses.get(temp) != Some(&1) {
+                return false;
+            }
+            if m.interior.contains(&producer) {
+                return false;
+            }
+            m.interior.push(producer);
+            match_op(block, producer, root, guard, node, counts, m)
+        }
+    }
+}
+
+/// An ALU op with no second destination and no store side: the only
+/// shape a fused node may absorb.
+fn plain_alu(op: &MOp) -> Option<FusedOp> {
+    if op.dest2 != MDest::None || op.store_value.is_some() {
+        return None;
+    }
+    fused_op_of(op.opcode)
+}
+
+/// Replaces the root with the custom op and deletes the interior.
+fn apply(block: &mut MBlock, root: usize, index: u16, m: &Match) {
+    let MInst::Op(op) = &mut block.insts[root] else {
+        unreachable!("matched root is an op");
+    };
+    op.opcode = Opcode::Custom(index);
+    op.src1 = m.args[0].map_or(MSrc::Lit(0), MSrc::Gpr);
+    op.src2 = m.args[1].map_or(MSrc::Lit(0), MSrc::Gpr);
+    let mut dead = m.interior.clone();
+    dead.sort_unstable();
+    for i in dead.into_iter().rev() {
+        block.insts.remove(i);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mir::{MBlockId, MTerm};
+    use epic_config::CustomOp;
+
+    fn alu(opcode: Opcode, dest: u32, src1: MSrc, src2: MSrc) -> MInst {
+        let mut op = MOp::bare(opcode);
+        op.dest1 = MDest::Gpr(dest);
+        op.src1 = src1;
+        op.src2 = src2;
+        MInst::Op(op)
+    }
+
+    fn one_block(insts: Vec<MInst>, term: MTerm) -> MFunction {
+        MFunction {
+            name: "f".to_owned(),
+            params: vec![0],
+            blocks: vec![MBlock {
+                id: MBlockId(0),
+                insts,
+                term,
+            }],
+            vreg_count: 16,
+            vpred_count: 1,
+            allocated: false,
+            frame_bytes: 0,
+            makes_calls: false,
+        }
+    }
+
+    fn rot7_config() -> Config {
+        Config::builder()
+            .custom_op(
+                CustomOp::new(
+                    "isx_rot7",
+                    CustomSemantics::Fused(ExprTree::parse("or(shr(a0,7),shl(a0,25))").unwrap()),
+                )
+                .with_latency(2),
+            )
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn rotate_chain_fuses_to_custom_op() {
+        let config = rot7_config();
+        let mut mf = one_block(
+            vec![
+                alu(Opcode::Shr, 1, MSrc::Gpr(0), MSrc::Lit(7)),
+                alu(Opcode::Shl, 2, MSrc::Gpr(0), MSrc::Lit(25)),
+                alu(Opcode::Or, 3, MSrc::Gpr(1), MSrc::Gpr(2)),
+            ],
+            MTerm::Ret(Some(3)),
+        );
+        let stats = fuse(&mut mf, &config);
+        assert_eq!(
+            stats,
+            FuseStats {
+                fused: 1,
+                ops_removed: 2,
+            }
+        );
+        assert_eq!(mf.blocks[0].insts.len(), 1);
+        let MInst::Op(op) = &mf.blocks[0].insts[0] else {
+            panic!("op expected");
+        };
+        assert_eq!(op.opcode, Opcode::Custom(0));
+        assert_eq!(op.dest1, MDest::Gpr(3));
+        assert_eq!(op.src1, MSrc::Gpr(0));
+        assert_eq!(op.src2, MSrc::Lit(0), "unary tree pads with zero");
+    }
+
+    #[test]
+    fn escaping_temporary_is_not_fused() {
+        let config = rot7_config();
+        let mut mf = one_block(
+            vec![
+                alu(Opcode::Shr, 1, MSrc::Gpr(0), MSrc::Lit(7)),
+                alu(Opcode::Shl, 2, MSrc::Gpr(0), MSrc::Lit(25)),
+                alu(Opcode::Or, 3, MSrc::Gpr(1), MSrc::Gpr(2)),
+                // The right-shift temporary is read again: two uses.
+                alu(Opcode::Add, 4, MSrc::Gpr(3), MSrc::Gpr(1)),
+            ],
+            MTerm::Ret(Some(4)),
+        );
+        let stats = fuse(&mut mf, &config);
+        assert_eq!(stats, FuseStats::default());
+        assert_eq!(mf.blocks[0].insts.len(), 4);
+    }
+
+    #[test]
+    fn redefined_live_in_is_not_fused() {
+        let config = rot7_config();
+        let mut mf = one_block(
+            vec![
+                alu(Opcode::Shr, 1, MSrc::Gpr(0), MSrc::Lit(7)),
+                // v0 changes between the reads and the root: the cone
+                // would read two different values of its live-in.
+                alu(Opcode::Add, 0, MSrc::Gpr(0), MSrc::Lit(1)),
+                alu(Opcode::Shl, 2, MSrc::Gpr(0), MSrc::Lit(25)),
+                alu(Opcode::Or, 3, MSrc::Gpr(1), MSrc::Gpr(2)),
+            ],
+            MTerm::Ret(Some(3)),
+        );
+        let stats = fuse(&mut mf, &config);
+        assert_eq!(stats, FuseStats::default());
+    }
+
+    #[test]
+    fn guard_mismatch_is_not_fused() {
+        let config = rot7_config();
+        let mut guarded = MOp::bare(Opcode::Shl);
+        guarded.dest1 = MDest::Gpr(2);
+        guarded.src1 = MSrc::Gpr(0);
+        guarded.src2 = MSrc::Lit(25);
+        guarded.guard = 1;
+        let mut mf = one_block(
+            vec![
+                alu(Opcode::Shr, 1, MSrc::Gpr(0), MSrc::Lit(7)),
+                MInst::Op(guarded),
+                alu(Opcode::Or, 3, MSrc::Gpr(1), MSrc::Gpr(2)),
+            ],
+            MTerm::Ret(Some(3)),
+        );
+        let stats = fuse(&mut mf, &config);
+        assert_eq!(stats, FuseStats::default());
+    }
+
+    #[test]
+    fn two_live_in_tree_binds_both_sources() {
+        let config = Config::builder()
+            .custom_op(CustomOp::new(
+                "isx_xsr",
+                CustomSemantics::Fused(ExprTree::parse("xor(shr(a0,3),a1)").unwrap()),
+            ))
+            .build()
+            .unwrap();
+        let mut mf = one_block(
+            vec![
+                alu(Opcode::Shr, 2, MSrc::Gpr(0), MSrc::Lit(3)),
+                alu(Opcode::Xor, 3, MSrc::Gpr(2), MSrc::Gpr(1)),
+            ],
+            MTerm::Ret(Some(3)),
+        );
+        mf.params = vec![0, 1];
+        let stats = fuse(&mut mf, &config);
+        assert_eq!(stats.fused, 1);
+        let MInst::Op(op) = &mf.blocks[0].insts[0] else {
+            panic!("op expected");
+        };
+        assert_eq!(op.opcode, Opcode::Custom(0));
+        assert_eq!(op.src1, MSrc::Gpr(0));
+        assert_eq!(op.src2, MSrc::Gpr(1));
+    }
+}

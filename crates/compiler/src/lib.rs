@@ -50,6 +50,7 @@
 mod driver;
 pub mod emit;
 mod error;
+pub mod fuse;
 pub mod ifconv;
 pub mod mir;
 pub mod passes;

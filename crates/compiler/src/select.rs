@@ -163,7 +163,7 @@ impl<'a> SelectCtx<'a> {
         self.config
             .custom_ops()
             .iter()
-            .position(|op| op.semantics() == semantics)
+            .position(|op| *op.semantics() == semantics)
             .map(|i| Opcode::Custom(i as u16))
     }
 

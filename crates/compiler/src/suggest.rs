@@ -194,7 +194,7 @@ pub fn suggest_custom_ops(module: &Module) -> Vec<Suggestion> {
         }
     }
 
-    let saved = |s: CustomSemantics| match s {
+    let saved = |s: &CustomSemantics| match s {
         CustomSemantics::RotateRight => 3,
         CustomSemantics::AverageRound => 2,
         _ => 1,
@@ -203,9 +203,9 @@ pub fn suggest_custom_ops(module: &Module) -> Vec<Suggestion> {
         .into_iter()
         .filter(|(_, occurrences)| *occurrences > 0)
         .map(|(semantics, occurrences)| Suggestion {
+            ops_saved_per_use: saved(&semantics),
             semantics,
             occurrences,
-            ops_saved_per_use: saved(semantics),
         })
         .collect();
     suggestions.sort_by_key(|s| std::cmp::Reverse((s.total_ops_saved(), s.occurrences)));
@@ -288,6 +288,7 @@ mod tests {
             name: "t".into(),
             post_select: None,
             post_ifconv: None,
+            post_fuse: None,
             post_regalloc: Some(f.clone()),
             post_superblock: None,
             origin: None,

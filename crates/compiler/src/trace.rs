@@ -27,6 +27,9 @@ pub struct FunctionTrace {
     pub post_select: Option<MFunction>,
     /// After if-conversion (present only when the pass ran).
     pub post_ifconv: Option<MFunction>,
+    /// After custom-instruction fusion (present only when the pass ran,
+    /// i.e. the config registers at least one fused custom op).
+    pub post_fuse: Option<MFunction>,
     /// After register allocation: physical registers, spill code,
     /// expanded call sequences.
     pub post_regalloc: Option<MFunction>,

@@ -8,6 +8,7 @@
 //! recompiled (§4.2), which is mirrored by the registry living inside
 //! [`Config`](crate::Config).
 
+use crate::expr::ExprTree;
 use std::fmt;
 
 /// Built-in semantics available to custom ALU operations.
@@ -16,9 +17,12 @@ use std::fmt;
 /// a simulator needs a closed set of behaviours, so the common
 /// application-specific patterns (rotates for hashing, byte reversal for
 /// endian conversion, saturating arithmetic for DSP, population counts for
-/// coding) are provided here. All semantics operate on two source operands
-/// and honour the configured datapath width.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+/// coding) are provided here, plus the open-ended [`Fused`] variant used
+/// by automatic instruction-set extension. All semantics operate on two
+/// source operands and honour the configured datapath width.
+///
+/// [`Fused`]: CustomSemantics::Fused
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 #[non_exhaustive]
 pub enum CustomSemantics {
     /// Rotate `a` right by `b` bit positions (modulo the datapath width).
@@ -45,6 +49,9 @@ pub enum CustomSemantics {
     MulHighUnsigned,
     /// Absolute difference `|a - b|` treating operands as unsigned.
     AbsDiff,
+    /// A discovered (machine-mined) operation described by an expression
+    /// tree over the base ALU operations — see [`ExprTree`].
+    Fused(ExprTree),
 }
 
 impl CustomSemantics {
@@ -68,7 +75,7 @@ impl CustomSemantics {
     /// assert_eq!(rotr.evaluate(0x8000_0001, 1, 32), 0xC000_0000);
     /// ```
     #[must_use]
-    pub fn evaluate(self, a: u64, b: u64, width: u32) -> u64 {
+    pub fn evaluate(&self, a: u64, b: u64, width: u32) -> u64 {
         assert!(
             width > 0 && width <= 64,
             "datapath width {width} out of range"
@@ -119,6 +126,7 @@ impl CustomSemantics {
             CustomSemantics::AverageRound => ((u128::from(a) + u128::from(b) + 1) >> 1) as u64,
             CustomSemantics::MulHighUnsigned => ((u128::from(a) * u128::from(b)) >> width) as u64,
             CustomSemantics::AbsDiff => a.abs_diff(b),
+            CustomSemantics::Fused(tree) => tree.evaluate(a, b, width),
         };
         value & mask
     }
@@ -126,9 +134,11 @@ impl CustomSemantics {
     /// Returns the canonical configuration-header mnemonic.
     ///
     /// These names appear after `#define CUSTOM_OP_n` in the configuration
-    /// header file and in assembly source.
+    /// header file and in assembly source. Fused semantics share the
+    /// `FUSED` keyword — their full identity lives in the expression tree,
+    /// rendered by [`CustomSemantics::spec`].
     #[must_use]
-    pub fn mnemonic(self) -> &'static str {
+    pub fn mnemonic(&self) -> &'static str {
         match self {
             CustomSemantics::RotateRight => "ROTR",
             CustomSemantics::RotateLeft => "ROTL",
@@ -142,12 +152,34 @@ impl CustomSemantics {
             CustomSemantics::AverageRound => "AVG",
             CustomSemantics::MulHighUnsigned => "MULHU",
             CustomSemantics::AbsDiff => "ABSDIF",
+            CustomSemantics::Fused(_) => "FUSED",
         }
+    }
+
+    /// The full header token: the mnemonic for fixed semantics, or
+    /// `FUSED:<expr>` (whitespace-free) for a fused tree.
+    #[must_use]
+    pub fn spec(&self) -> String {
+        match self {
+            CustomSemantics::Fused(tree) => format!("FUSED:{tree}"),
+            other => other.mnemonic().to_string(),
+        }
+    }
+
+    /// Parses a full header token produced by [`CustomSemantics::spec`].
+    #[must_use]
+    pub fn from_spec(token: &str) -> Option<Self> {
+        if let Some(expr) = token.strip_prefix("FUSED:") {
+            return ExprTree::parse(expr).map(CustomSemantics::Fused);
+        }
+        Self::from_mnemonic(token)
     }
 
     /// Parses a configuration-header mnemonic.
     ///
-    /// Returns `None` for unknown names; header parsing turns that into a
+    /// Returns `None` for unknown names (including `FUSED`, whose identity
+    /// requires the expression tree — see [`CustomSemantics::from_spec`]);
+    /// header parsing turns that into a
     /// [`ConfigError::HeaderSyntax`](crate::ConfigError::HeaderSyntax).
     #[must_use]
     pub fn from_mnemonic(name: &str) -> Option<Self> {
@@ -170,23 +202,28 @@ impl CustomSemantics {
 
     /// Whether the second source operand participates in the result.
     ///
-    /// Unary customs (byte swap, counts) still occupy a two-source slot in
-    /// the fixed instruction format; the compiler encodes a zero literal.
+    /// Unary customs (byte swap, counts, single-live-in fused trees) still
+    /// occupy a two-source slot in the fixed instruction format; the
+    /// compiler encodes a zero literal.
     #[must_use]
-    pub fn uses_second_operand(self) -> bool {
-        !matches!(
-            self,
+    pub fn uses_second_operand(&self) -> bool {
+        match self {
             CustomSemantics::ByteSwap
-                | CustomSemantics::PopCount
-                | CustomSemantics::LeadingZeros
-                | CustomSemantics::TrailingZeros
-        )
+            | CustomSemantics::PopCount
+            | CustomSemantics::LeadingZeros
+            | CustomSemantics::TrailingZeros => false,
+            CustomSemantics::Fused(tree) => tree.uses_arg(1),
+            _ => true,
+        }
     }
 }
 
 impl fmt::Display for CustomSemantics {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.write_str(self.mnemonic())
+        match self {
+            CustomSemantics::Fused(tree) => write!(f, "FUSED:{tree}"),
+            other => f.write_str(other.mnemonic()),
+        }
     }
 }
 
@@ -246,8 +283,8 @@ impl CustomOp {
 
     /// The behaviour implemented by the customised functional unit.
     #[must_use]
-    pub fn semantics(&self) -> CustomSemantics {
-        self.semantics
+    pub fn semantics(&self) -> &CustomSemantics {
+        &self.semantics
     }
 
     /// Result latency in processor cycles (at least 1).
@@ -263,7 +300,7 @@ impl fmt::Display for CustomOp {
             f,
             "{} {} latency={}",
             self.name,
-            self.semantics.mnemonic(),
+            self.semantics.spec(),
             self.latency
         )
     }
@@ -346,9 +383,26 @@ mod tests {
             CustomSemantics::MulHighUnsigned,
             CustomSemantics::AbsDiff,
         ] {
-            assert_eq!(CustomSemantics::from_mnemonic(s.mnemonic()), Some(s));
+            assert_eq!(
+                CustomSemantics::from_mnemonic(s.mnemonic()),
+                Some(s.clone())
+            );
+            assert_eq!(CustomSemantics::from_spec(&s.spec()), Some(s));
         }
         assert_eq!(CustomSemantics::from_mnemonic("NOPE"), None);
+        assert_eq!(CustomSemantics::from_mnemonic("FUSED"), None);
+    }
+
+    #[test]
+    fn fused_spec_round_trips_and_evaluates() {
+        use crate::expr::ExprTree;
+        let tree = ExprTree::parse("xor(shr(a0,3),a1)").unwrap();
+        let s = CustomSemantics::Fused(tree);
+        assert_eq!(s.spec(), "FUSED:xor(shr(a0,3),a1)");
+        assert_eq!(CustomSemantics::from_spec(&s.spec()), Some(s.clone()));
+        assert!(s.uses_second_operand());
+        assert_eq!(s.evaluate(0x80, 1, 32), 0x11);
+        assert_eq!(CustomSemantics::from_spec("FUSED:frob(a0)"), None);
     }
 
     #[test]

@@ -222,11 +222,10 @@ fn parse_custom_op(value: &str, line: usize) -> Result<CustomOp, ConfigError> {
             message: format!("custom op `{value}` must be `<name> <SEMANTICS> [latency=<n>]`"),
         });
     };
-    let semantics =
-        CustomSemantics::from_mnemonic(sem).ok_or_else(|| ConfigError::HeaderSyntax {
-            line,
-            message: format!("unknown custom-op semantics `{sem}`"),
-        })?;
+    let semantics = CustomSemantics::from_spec(sem).ok_or_else(|| ConfigError::HeaderSyntax {
+        line,
+        message: format!("unknown custom-op semantics `{sem}`"),
+    })?;
     let mut op = CustomOp::new(name, semantics);
     for extra in parts {
         match extra.split_once('=') {
@@ -331,6 +330,24 @@ mod tests {
         assert_eq!(config.custom_ops()[0].name(), "first");
         assert_eq!(config.custom_ops()[0].latency(), 3);
         assert_eq!(config.custom_ops()[1].name(), "second");
+    }
+
+    #[test]
+    fn fused_custom_op_round_trips() {
+        let tree = crate::ExprTree::parse("or(shr(a0,7),shl(a0,sub(32,7)))").unwrap();
+        let config = Config::builder()
+            .custom_op(CustomOp::new("isx_rot7", CustomSemantics::Fused(tree)).with_latency(2))
+            .build()
+            .unwrap();
+        let text = emit(&config);
+        assert!(text.contains("isx_rot7 FUSED:or(shr(a0,7),shl(a0,sub(32,7))) latency=2"));
+        assert_eq!(parse(&text).unwrap(), config);
+    }
+
+    #[test]
+    fn malformed_fused_spec_is_reported() {
+        let err = parse("#define CUSTOM_OP_0 bad FUSED:frob(a0)\n").unwrap_err();
+        assert!(matches!(err, ConfigError::HeaderSyntax { line: 1, .. }));
     }
 
     #[test]

@@ -47,6 +47,7 @@
 mod builder;
 mod custom;
 mod error;
+pub mod expr;
 mod format;
 pub mod header;
 mod params;
@@ -54,6 +55,7 @@ mod params;
 pub use builder::ConfigBuilder;
 pub use custom::{CustomOp, CustomSemantics};
 pub use error::ConfigError;
+pub use expr::{ExprTree, FusedOp};
 pub use format::InstructionFormat;
 pub use params::{AluFeature, AluFeatureSet, Config};
 

@@ -1,0 +1,308 @@
+//! Candidate scoring: cycle savings versus slices, with a self-audit.
+//!
+//! The scorer follows `epic-bound`'s `CostModel` discipline: every price
+//! it quotes can be re-derived from first principles, the re-derivation
+//! lives in [`ScoreModel::audit`], and the test suite seeds deliberately
+//! miscalibrated models ([`ScoreMutation`]) to prove the audit catches
+//! them. A scorer that silently ignored the fused op's latency (treating
+//! every fusion as single-cycle) or undercounted live-ins (admitting
+//! unencodable candidates) would misrank the design space; here it
+//! cannot do so quietly.
+
+use crate::mine::Discovery;
+use epic_config::{Config, ExprTree};
+
+/// Deliberate scorer miscalibrations for the mutation test-bed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScoreMutation {
+    /// The faithful model.
+    None,
+    /// Prices every fused op as single-cycle regardless of tree depth —
+    /// a deep multiplier chain would look free.
+    IgnoreFusedLatency,
+    /// Reports at most one live-in register — three-input subgraphs
+    /// would look encodable in the two-source instruction format.
+    UndercountLiveIns,
+}
+
+impl ScoreMutation {
+    /// Every mutation the audit must catch.
+    pub const ALL: [ScoreMutation; 2] = [
+        ScoreMutation::IgnoreFusedLatency,
+        ScoreMutation::UndercountLiveIns,
+    ];
+
+    /// Short name for diagnostics.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            ScoreMutation::None => "none",
+            ScoreMutation::IgnoreFusedLatency => "ignore-fused-latency",
+            ScoreMutation::UndercountLiveIns => "undercount-live-ins",
+        }
+    }
+}
+
+/// A ranked candidate with its prices attached.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Scored {
+    /// The discovery being priced.
+    pub discovery: Discovery,
+    /// Estimated profile-weighted cycles saved (ranking heuristic; the
+    /// driver validates applied candidates against measured deltas).
+    pub est_saved: u64,
+    /// Incremental slices of the fused datapath across all ALU instances.
+    pub slices: u32,
+    /// Fused-op latency in cycles implied by the tree's gate depth.
+    pub latency: u32,
+    /// Live-in register count (must be ≤ 2 to encode).
+    pub live_ins: u32,
+}
+
+/// Prices candidates against one machine configuration.
+#[derive(Debug, Clone)]
+pub struct ScoreModel {
+    alus: usize,
+    issue_width: usize,
+    mutation: ScoreMutation,
+}
+
+impl ScoreModel {
+    /// A faithful model for `config`.
+    #[must_use]
+    pub fn new(config: &Config) -> Self {
+        Self::mutated(config, ScoreMutation::None)
+    }
+
+    /// A deliberately miscalibrated model (the test-bed's entry point).
+    #[must_use]
+    pub fn mutated(config: &Config, mutation: ScoreMutation) -> Self {
+        ScoreModel {
+            alus: config.num_alus(),
+            issue_width: config.issue_width(),
+            mutation,
+        }
+    }
+
+    /// Latency the model charges a fused op: one cycle per two gate
+    /// levels of the tree, never less than one.
+    #[must_use]
+    pub fn fused_latency(&self, tree: &ExprTree) -> u32 {
+        match self.mutation {
+            ScoreMutation::IgnoreFusedLatency => 1,
+            _ => tree.latency(),
+        }
+    }
+
+    /// Live-in registers the model believes the tree needs.
+    #[must_use]
+    pub fn live_ins(&self, tree: &ExprTree) -> u32 {
+        let real = u32::from(tree.uses_arg(0)) + u32::from(tree.uses_arg(1));
+        match self.mutation {
+            ScoreMutation::UndercountLiveIns => real.min(1),
+            _ => real,
+        }
+    }
+
+    /// Whether the candidate fits the two-source instruction format.
+    #[must_use]
+    pub fn encodable(&self, tree: &ExprTree) -> bool {
+        self.live_ins(tree) <= 2
+    }
+
+    /// Estimated cycles saved per profile-weighted execution, scaled by
+    /// `weight`.
+    ///
+    /// Two effects, the larger of which bounds a block's schedule:
+    /// issue-bandwidth relief — `n` single-slot ALU ops collapse to one,
+    /// freeing `n − 1` slots that drain at `k = min(alus, issue_width)`
+    /// per cycle — and critical-path relief — a dependence chain of `d`
+    /// unit-latency ops becomes one op of the fused latency `L`.
+    #[must_use]
+    pub fn estimate(&self, tree: &ExprTree, weight: u64) -> u64 {
+        let n = tree.node_count() as u64;
+        if n < 2 {
+            return 0;
+        }
+        let k = self.alus.min(self.issue_width).max(1) as u64;
+        let depth_ops = op_depth(tree);
+        let latency = u64::from(self.fused_latency(tree));
+        let resource = (n - 1).div_ceil(k);
+        let chain = depth_ops.saturating_sub(latency);
+        weight * resource.max(chain)
+    }
+
+    /// Incremental slices of the fused datapath: per-node cost summed by
+    /// `epic-area`, replicated into every ALU instance.
+    #[must_use]
+    pub fn slices(&self, tree: &ExprTree) -> u32 {
+        epic_area::fused_tree_slices(tree) * self.alus as u32
+    }
+
+    /// Prices and ranks discoveries: best score first, ties broken by
+    /// fewer slices, then canonical tree text — fully deterministic.
+    #[must_use]
+    pub fn rank(&self, discoveries: Vec<Discovery>) -> Vec<Scored> {
+        let mut scored: Vec<Scored> = discoveries
+            .into_iter()
+            .filter(|d| self.encodable(&d.tree))
+            .map(|d| Scored {
+                est_saved: self.estimate(&d.tree, d.weight),
+                slices: self.slices(&d.tree),
+                latency: self.fused_latency(&d.tree),
+                live_ins: self.live_ins(&d.tree),
+                discovery: d,
+            })
+            .collect();
+        scored.sort_by(|a, b| {
+            b.est_saved
+                .cmp(&a.est_saved)
+                .then(a.slices.cmp(&b.slices))
+                .then(
+                    a.discovery
+                        .tree
+                        .to_string()
+                        .cmp(&b.discovery.tree.to_string()),
+                )
+        });
+        scored
+    }
+
+    /// Re-derives every price from first principles; a faithful model
+    /// audits clean and every [`ScoreMutation`] is caught.
+    #[must_use]
+    pub fn audit(&self) -> Vec<String> {
+        let mut findings = Vec::new();
+
+        // The selector's rotate expansion: depth 3 (shr | shl-of-sub),
+        // so a faithful model must charge ceil(3/2) = 2 cycles.
+        let rotate = ExprTree::parse("or(shr(a0,7),shl(a0,sub(32,7)))").expect("probe tree parses");
+        let expected_latency = independent_latency(&rotate);
+        if self.fused_latency(&rotate) != expected_latency {
+            findings.push(format!(
+                "fused latency of depth-{} probe: model says {}, gate-depth derivation says {}",
+                rotate.depth(),
+                self.fused_latency(&rotate),
+                expected_latency
+            ));
+        }
+
+        // A two-input probe must report both live-ins: the instruction
+        // format has exactly two source fields to fill.
+        let two_in = ExprTree::parse("xor(shr(a0,3),a1)").expect("probe tree parses");
+        let expected_ins = u32::from(two_in.uses_arg(0)) + u32::from(two_in.uses_arg(1));
+        if self.live_ins(&two_in) != expected_ins {
+            findings.push(format!(
+                "live-ins of two-input probe: model says {}, argument walk says {}",
+                self.live_ins(&two_in),
+                expected_ins
+            ));
+        }
+
+        // Estimates must scale with weight and vanish for empty weight.
+        if self.estimate(&rotate, 0) != 0 {
+            findings.push("estimate at weight 0 must be 0".to_string());
+        }
+        if self.estimate(&rotate, 2) != 2 * self.estimate(&rotate, 1) {
+            findings.push("estimate must be linear in weight".to_string());
+        }
+        findings
+    }
+}
+
+/// Longest operator chain through the tree (unit-latency ops).
+fn op_depth(tree: &ExprTree) -> u64 {
+    match tree {
+        ExprTree::Arg(_) | ExprTree::Lit(_) => 0,
+        ExprTree::Unary(_, x) => 1 + op_depth(x),
+        ExprTree::Binary(_, x, y) => 1 + op_depth(x).max(op_depth(y)),
+    }
+}
+
+/// Independent latency derivation for the audit: re-walk the tree's gate
+/// depths without going through `ExprTree::latency`.
+fn independent_latency(tree: &ExprTree) -> u32 {
+    fn gate_depth(tree: &ExprTree) -> u32 {
+        match tree {
+            ExprTree::Arg(_) | ExprTree::Lit(_) => 0,
+            ExprTree::Unary(op, x) => op.gate_depth() + gate_depth(x),
+            ExprTree::Binary(op, x, y) => op.gate_depth() + gate_depth(x).max(gate_depth(y)),
+        }
+    }
+    gate_depth(tree).div_ceil(2).max(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mine::Site;
+
+    fn discovery(expr: &str, weight: u64) -> Discovery {
+        Discovery {
+            tree: ExprTree::parse(expr).unwrap(),
+            weight,
+            sites: vec![Site {
+                block: 0,
+                root_pc: 1,
+                root_slot: 0,
+            }],
+        }
+    }
+
+    #[test]
+    fn faithful_model_audits_clean() {
+        let model = ScoreModel::new(&Config::default());
+        assert_eq!(model.audit(), Vec::<String>::new());
+    }
+
+    #[test]
+    fn every_mutation_is_caught_by_the_audit() {
+        for mutation in ScoreMutation::ALL {
+            let model = ScoreModel::mutated(&Config::default(), mutation);
+            assert!(
+                !model.audit().is_empty(),
+                "mutation {} escaped the audit",
+                mutation.name()
+            );
+        }
+    }
+
+    #[test]
+    fn ranking_is_by_savings_then_slices_then_text() {
+        let model = ScoreModel::new(&Config::default());
+        let ranked = model.rank(vec![
+            discovery("xor(shr(a0,3),a1)", 1),
+            discovery("or(shr(a0,7),shl(a0,sub(32,7)))", 100),
+        ]);
+        assert_eq!(
+            ranked[0].discovery.tree.to_string(),
+            "or(shr(a0,7),shl(a0,sub(32,7)))"
+        );
+        assert!(ranked[0].est_saved > ranked[1].est_saved);
+    }
+
+    #[test]
+    fn three_live_in_trees_are_unencodable_for_the_faithful_model() {
+        // Only two argument slots exist; the miner never emits a2, but a
+        // hand-built tree must still be rejected.
+        let model = ScoreModel::new(&Config::default());
+        let two = ExprTree::parse("xor(a0,a1)").unwrap();
+        assert!(model.encodable(&two));
+        let mutant = ScoreModel::mutated(&Config::default(), ScoreMutation::UndercountLiveIns);
+        assert_eq!(mutant.live_ins(&two), 1, "the mutant undercounts");
+    }
+
+    #[test]
+    fn narrow_machine_saves_more_issue_bandwidth() {
+        let wide = ScoreModel::new(&Config::default());
+        let narrow = ScoreModel::new(
+            &Config::builder()
+                .num_alus(1)
+                .issue_width(1)
+                .build()
+                .unwrap(),
+        );
+        let tree = ExprTree::parse("or(shr(a0,7),shl(a0,sub(32,7)))").unwrap();
+        assert!(narrow.estimate(&tree, 10) >= wide.estimate(&tree, 10));
+    }
+}

@@ -73,6 +73,8 @@ pub(crate) struct DecodedProgram {
     /// Fetch bubbles per taken branch beyond the squashed fetch
     /// (`pipeline_stages - 2`, §6's pipelining parameter).
     pub flush_penalty: u32,
+    /// The custom-op registry, cloned so execution never touches `Config`.
+    pub custom_ops: Box<[epic_config::CustomOp]>,
 }
 
 impl DecodedProgram {
@@ -99,6 +101,7 @@ impl DecodedProgram {
             custom_width: config.datapath_width(),
             div_occupancy: u64::from(config.div_latency()),
             flush_penalty: config.pipeline_stages() as u32 - 2,
+            custom_ops: config.custom_ops().to_vec().into_boxed_slice(),
         })
     }
 }

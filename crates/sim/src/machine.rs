@@ -122,25 +122,6 @@ impl Simulator {
         })
     }
 
-    /// Creates a simulator, panicking on an illegal program.
-    ///
-    /// Thin wrapper over [`try_new`](Simulator::try_new) for callers that
-    /// feed assembler output (always legal by construction).
-    ///
-    /// # Panics
-    ///
-    /// Panics if a bundle violates the machine description — validate
-    /// hand-built bundle vectors with [`try_new`](Simulator::try_new) or
-    /// [`epic_mdes::MachineDescription::check_bundle`] instead.
-    #[deprecated(note = "use `Simulator::try_new` and handle the error")]
-    #[must_use]
-    pub fn new(config: &Config, bundles: Vec<Vec<Instruction>>, entry: u32) -> Self {
-        match Simulator::try_new(config, bundles, entry) {
-            Ok(sim) => sim,
-            Err(e) => panic!("{e}"),
-        }
-    }
-
     /// Installs the data memory (e.g. a module's initial image).
     pub fn set_memory(&mut self, memory: Memory) {
         self.memory = memory;
@@ -508,6 +489,7 @@ impl Simulator {
             datapath_mask: program.datapath_mask,
             custom_width: program.custom_width,
             mem_contention: program.mem_contention,
+            custom_ops: &program.custom_ops,
         };
         for op in &bundle.ops {
             if let Err(e) = execute_op(&mut ctx, *op, bpc, cycle, &mut writes, &mut redirect, sink)
@@ -936,19 +918,5 @@ spin:
             matches!(err, SimError::IllegalBundle { pc: 0, .. }),
             "{err}"
         );
-    }
-
-    // Intentionally exercises the deprecated panicking constructor.
-    #[test]
-    #[allow(deprecated)]
-    #[should_panic(expected = "LSU")]
-    fn deprecated_new_panics_on_illegal_bundles() {
-        use epic_isa::{Gpr, Instruction, Opcode, Operand};
-        let c = Config::default();
-        let bundles = vec![vec![
-            Instruction::load(Opcode::Lw, Gpr(1), Operand::Gpr(Gpr(2)), Operand::Lit(0)),
-            Instruction::load(Opcode::Lw, Gpr(3), Operand::Gpr(Gpr(4)), Operand::Lit(4)),
-        ]];
-        let _ = Simulator::new(&c, bundles, 0);
     }
 }

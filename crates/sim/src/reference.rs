@@ -396,6 +396,7 @@ impl ReferenceSimulator {
             datapath_mask: self.config.datapath_mask() as u32,
             custom_width: self.config.datapath_width(),
             mem_contention: self.config.memory_contention(),
+            custom_ops: self.config.custom_ops(),
         };
         for instr in &bundle {
             if instr.opcode == Opcode::Nop {

@@ -28,7 +28,7 @@ use crate::exec::{eval_alu_basic, eval_cmp};
 use crate::memory::Memory;
 use crate::stats::SimStats;
 use crate::trace::TraceSink;
-use epic_config::{Config, CustomSemantics};
+use epic_config::{Config, CustomOp};
 use epic_isa::{CmpCond, Dest, Instruction, Opcode, Operand};
 
 /// A source operand resolved at decode time.
@@ -90,10 +90,14 @@ pub(crate) enum Action {
         /// Second source.
         b: Src,
     },
-    /// Custom ALU slot with its semantics looked up at decode time.
+    /// Custom ALU slot, validated against the registry at decode time.
+    ///
+    /// The action stays `Copy` by carrying the registry index; engines
+    /// hand the registered ops to [`execute_op`] via
+    /// [`ExecCtx::custom_ops`].
     CustomAlu {
-        /// The configured behaviour of the slot.
-        semantics: CustomSemantics,
+        /// Index into the configuration's custom-op registry.
+        custom: u16,
         /// Destination GPR.
         dest: Option<u16>,
         /// First source.
@@ -308,16 +312,14 @@ pub(crate) fn decode_action(
         },
         Opcode::Halt => Action::Halt,
         Opcode::Custom(i) => {
-            let op =
-                config
-                    .custom_ops()
-                    .get(i as usize)
-                    .ok_or_else(|| SimError::IllegalBundle {
-                        pc,
-                        message: format!("custom slot {i} is not registered in the configuration"),
-                    })?;
+            if config.custom_ops().get(i as usize).is_none() {
+                return Err(SimError::IllegalBundle {
+                    pc,
+                    message: format!("custom slot {i} is not registered in the configuration"),
+                });
+            }
             Action::CustomAlu {
-                semantics: op.semantics(),
+                custom: i,
                 dest: gpr_dest,
                 a,
                 b,
@@ -362,6 +364,9 @@ pub(crate) struct ExecCtx<'a> {
     pub custom_width: u32,
     /// Whether data accesses displace instruction fetch (§3.2).
     pub mem_contention: bool,
+    /// The configuration's custom-op registry, indexed by
+    /// [`Action::CustomAlu`]'s slot number (validated at decode).
+    pub custom_ops: &'a [CustomOp],
 }
 
 impl ExecCtx<'_> {
@@ -430,13 +435,8 @@ pub(crate) fn execute_op<S: TraceSink>(
                 writes.push(Write::Gpr(r, value & ctx.datapath_mask));
             }
         }
-        Action::CustomAlu {
-            semantics,
-            dest,
-            a,
-            b,
-        } => {
-            let value = semantics.evaluate(
+        Action::CustomAlu { custom, dest, a, b } => {
+            let value = ctx.custom_ops[custom as usize].semantics().evaluate(
                 u64::from(ctx.src(a)),
                 u64::from(ctx.src(b)),
                 ctx.custom_width,

@@ -21,6 +21,17 @@
 //! epic-lint <source.s> --bound [--mem-size <bytes>] [--assume-trips <n>]
 //! ```
 //!
+//! Discovery mode (`--isx`) runs the `epic-isx` subgraph miner over the
+//! assembled bundles instead of the verifier and prints the ranked
+//! custom-instruction candidates — name, fused expression tree,
+//! estimated cycles saved, datapath slice cost. Mining is static (every
+//! block weighted equally); feed profile weights through
+//! `repro -- isx` for profile-guided ranking:
+//!
+//! ```text
+//! epic-lint <source.s> --isx [--config <header.cfg>] [--format text|json]
+//! ```
+//!
 //! Translation-validation mode (`--tv`) takes no source file: it
 //! compiles every built-in workload across the ALU (1–4) × issue-width
 //! (1–4) grid and runs the `epic-tv` pass-by-pass validator over each
@@ -62,6 +73,7 @@ struct Args {
     format: Format,
     tv: bool,
     bound: bool,
+    isx: bool,
     mem_size: Option<u32>,
     assume_trips: Option<u64>,
 }
@@ -72,6 +84,7 @@ fn parse_args() -> Result<Args, String> {
     let mut format = Format::Text;
     let mut tv = false;
     let mut bound = false;
+    let mut isx = false;
     let mut mem_size = None;
     let mut assume_trips = None;
     let mut iter = std::env::args().skip(1);
@@ -90,6 +103,7 @@ fn parse_args() -> Result<Args, String> {
             }
             "--tv" => tv = true,
             "--bound" => bound = true,
+            "--isx" => isx = true,
             "--mem-size" => {
                 let value = iter.next().ok_or("--mem-size needs a byte count")?;
                 mem_size = Some(value.parse().map_err(|e| format!("--mem-size: {e}"))?);
@@ -102,6 +116,8 @@ fn parse_args() -> Result<Args, String> {
                 return Err(
                     "usage: epic-lint <source.s> [--config <header.cfg>] [--bound] \
                             [--mem-size <bytes>] [--assume-trips <n>] [--format text|json]\n       \
+                            epic-lint <source.s> --isx [--config <header.cfg>] \
+                            [--format text|json]\n       \
                             epic-lint --tv [--format text|json]\n       \
                             epic-lint --bound [--format text|json]"
                         .to_owned(),
@@ -127,12 +143,19 @@ fn parse_args() -> Result<Args, String> {
     if tv && bound {
         return Err("--tv and --bound are separate modes".to_owned());
     }
+    if isx && (tv || bound) {
+        return Err("--isx is a separate mode (no --tv / --bound)".to_owned());
+    }
+    if isx && source.is_none() {
+        return Err("--isx needs a source file".to_owned());
+    }
     Ok(Args {
         source,
         config,
         format,
         tv,
         bound,
+        isx,
         mem_size,
         assume_trips,
     })
@@ -280,6 +303,82 @@ fn lint_file(args: &Args) -> Result<ExitCode, String> {
     } else {
         ExitCode::SUCCESS
     })
+}
+
+/// Mines an assembled source file for custom-instruction candidates and
+/// prints the ranked result. Static mining: every block is weighted
+/// equally (weight 1), so the ranking reflects structure, not a
+/// profile. The exit code is nonzero only for analysis errors — an
+/// unreadable or unassemblable source — never for an empty candidate
+/// list.
+fn lint_isx(args: &Args) -> Result<ExitCode, String> {
+    let config = match &args.config {
+        Some(path) => {
+            let text =
+                std::fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
+            header::parse(&text).map_err(|e| format!("{}: {e}", path.display()))?
+        }
+        None => Config::default(),
+    };
+    let path = args.source.as_ref().expect("isx mode has a source");
+    let source = std::fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
+    let origin = path.display().to_string();
+    let program = match epic_asm::assemble(&source, &config) {
+        Ok(program) => program,
+        Err(err) => {
+            emit(&[err.to_diagnostic()], &origin, Some(&source), args.format);
+            return Ok(ExitCode::FAILURE);
+        }
+    };
+    let weights = std::collections::BTreeMap::new();
+    let found = epic_isx::mine(
+        &config,
+        program.bundles(),
+        program.entry(),
+        &weights,
+        &epic_isx::MinerOptions::default(),
+    );
+    let ranked = epic_isx::ScoreModel::new(&config).rank(found);
+    match args.format {
+        Format::Text => {
+            eprintln!("{origin}: {} custom-instruction candidate(s)", ranked.len());
+            for (i, scored) in ranked.iter().enumerate() {
+                eprintln!(
+                    "  isx_{i}: {} -- est {} cycle(s) saved, {} slice(s), latency {}, \
+                     {} live-in(s), {} site(s)",
+                    scored.discovery.tree,
+                    scored.est_saved,
+                    scored.slices,
+                    scored.latency,
+                    scored.live_ins,
+                    scored.discovery.sites.len(),
+                );
+            }
+        }
+        Format::Json => {
+            let rows: Vec<String> = ranked
+                .iter()
+                .enumerate()
+                .map(|(i, scored)| {
+                    format!(
+                        "{{\"name\":\"isx_{i}\",\"tree\":\"{}\",\"est_saved\":{},\
+                         \"slices\":{},\"latency\":{},\"live_ins\":{},\"sites\":{}}}",
+                        scored.discovery.tree,
+                        scored.est_saved,
+                        scored.slices,
+                        scored.latency,
+                        scored.live_ins,
+                        scored.discovery.sites.len(),
+                    )
+                })
+                .collect();
+            println!(
+                "{{\"file\":\"{origin}\",\"candidates\":[{}]}}",
+                rows.join(",")
+            );
+        }
+    }
+    Ok(ExitCode::SUCCESS)
 }
 
 /// Renders a [`epic_bound::CycleBounds`] as one JSON object.
@@ -495,6 +594,8 @@ fn main() -> ExitCode {
     };
     let result = if args.tv {
         lint_pipeline(&args)
+    } else if args.isx {
+        lint_isx(&args)
     } else if args.bound && args.source.is_none() {
         lint_bounds(&args)
     } else {

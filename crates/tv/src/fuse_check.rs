@@ -1,0 +1,374 @@
+//! Symbolic refinement check for custom-instruction fusion (TV013).
+//!
+//! The fuse pass may only collapse a convex single-output ALU chain into
+//! one `Custom` op whose [`ExprTree`] computes the very same expression.
+//! This check re-proves that claim per block by symbolic evaluation:
+//! both versions of a block are executed over symbols (vreg values at
+//! block entry), with fused trees expanded back into their node
+//! semantics, so an honest rewrite produces *structurally identical*
+//! expressions and any dropped, duplicated or reordered operation shows
+//! up as a mismatch.
+//!
+//! Expressions are hash-consed in an interner shared by the two walks:
+//! a value is a node id, structurally equal expressions get the same id,
+//! and every comparison is an integer compare. This keeps the walk
+//! linear in the block size — real blocks reuse values heavily, and a
+//! tree-shaped term for them is exponentially large.
+//!
+//! Obligations per block:
+//!
+//! * the opaque-event sequence (loads, stores, divides, compares, calls
+//!   — anything not expressible as a pure ALU expression) is identical
+//!   in order, operands compared symbolically;
+//! * every vreg the post block defines holds the same symbolic value the
+//!   pre block gives it;
+//! * vregs the pre block defines but the post block does not (the fused
+//!   temporaries) are read nowhere in the post function;
+//! * terminators are identical.
+//!
+//! The domain is a congruence (no algebraic rewriting), so the check is
+//! conservative: it can reject a semantically equal but structurally
+//! different rewrite, and the fuse pass is written to never produce one.
+
+use crate::Diagnostic;
+use epic_compiler::mir::{MBlock, MDest, MFunction, MInst, MOp, MSrc, MTerm};
+use epic_config::{Config, CustomSemantics, ExprTree, FusedOp};
+use epic_isa::Opcode;
+use std::collections::{BTreeMap, HashMap};
+
+/// An interned symbolic value: an index into the [`Interner`].
+type SId = u32;
+
+/// One hash-consed symbolic node. Children are interned ids, so two
+/// structurally equal expressions always intern to the same id.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+enum SNode {
+    /// Value of a vreg at block entry.
+    In(u32),
+    /// A literal (as the datapath sees it).
+    Lit(u32),
+    /// A pure ALU node.
+    Node(FusedOp, Vec<SId>),
+    /// A non-fused custom op, keyed by its semantics spec.
+    Custom(String, Vec<SId>),
+    /// The value produced by the k-th opaque event.
+    Event(usize),
+    /// A guarded definition: `guard ? then : old`.
+    Guarded { guard: PExpr, then: SId, old: SId },
+}
+
+/// A symbolic predicate value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+enum PExpr {
+    /// Always-true `p0`.
+    True,
+    /// Value of a vpred at block entry.
+    In(u32),
+    /// Written by the k-th opaque event (slot 0 = dest1, 1 = dest2).
+    Event(usize, u8),
+}
+
+/// Hash-consing arena shared by the pre and post walks of one block, so
+/// id equality is structural equality across the two states.
+#[derive(Default)]
+struct Interner {
+    nodes: Vec<SNode>,
+    index: HashMap<SNode, SId>,
+}
+
+impl Interner {
+    fn intern(&mut self, node: SNode) -> SId {
+        if let Some(&id) = self.index.get(&node) {
+            return id;
+        }
+        let id = u32::try_from(self.nodes.len()).expect("node count fits u32");
+        self.nodes.push(node.clone());
+        self.index.insert(node, id);
+        id
+    }
+}
+
+/// One opaque event: everything about the instruction, operands
+/// symbolic. Equality of the two event sequences is the side-effect
+/// obligation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Event {
+    Op {
+        opcode: Opcode,
+        dest1: MDest,
+        dest2: MDest,
+        srcs: [SOperand; 2],
+        store_value: Option<SId>,
+        guard: PExpr,
+    },
+    Call {
+        callee: String,
+        args: Vec<SId>,
+        dest: Option<u32>,
+    },
+}
+
+/// An event operand: a symbolic GPR value, or a non-GPR operand kept
+/// verbatim.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum SOperand {
+    Expr(SId),
+    Raw(MSrc),
+}
+
+/// Symbolic state while walking one block.
+struct SymState<'a> {
+    config: &'a Config,
+    gprs: BTreeMap<u32, SId>,
+    preds: BTreeMap<u32, PExpr>,
+    events: Vec<Event>,
+}
+
+impl<'a> SymState<'a> {
+    fn new(config: &'a Config) -> Self {
+        SymState {
+            config,
+            gprs: BTreeMap::new(),
+            preds: BTreeMap::new(),
+            events: Vec::new(),
+        }
+    }
+
+    fn gpr(&self, int: &mut Interner, r: u32) -> SId {
+        self.gprs
+            .get(&r)
+            .copied()
+            .unwrap_or_else(|| int.intern(SNode::In(r)))
+    }
+
+    fn pred(&self, p: u32) -> PExpr {
+        if p == 0 {
+            PExpr::True
+        } else {
+            self.preds.get(&p).copied().unwrap_or(PExpr::In(p))
+        }
+    }
+
+    fn src(&self, int: &mut Interner, src: &MSrc) -> SOperand {
+        match src {
+            MSrc::Gpr(r) => SOperand::Expr(self.gpr(int, *r)),
+            MSrc::Lit(v) => SOperand::Expr(int.intern(SNode::Lit(*v as u32))),
+            other => SOperand::Raw(other.clone()),
+        }
+    }
+
+    /// The pure expression an op computes, or `None` if it is opaque.
+    fn express(&self, int: &mut Interner, op: &MOp) -> Option<SId> {
+        if op.dest2 != MDest::None || op.store_value.is_some() {
+            return None;
+        }
+        let operand = |int: &mut Interner, src: &MSrc| match src {
+            MSrc::Gpr(r) => Some(self.gpr(int, *r)),
+            MSrc::Lit(v) => Some(int.intern(SNode::Lit(*v as u32))),
+            _ => None,
+        };
+        if let Some(node) = epic_compiler::fuse::fused_op_of(op.opcode) {
+            let a = operand(int, &op.src1)?;
+            return Some(if node.is_unary() {
+                int.intern(SNode::Node(node, vec![a]))
+            } else {
+                let b = operand(int, &op.src2)?;
+                int.intern(SNode::Node(node, vec![a, b]))
+            });
+        }
+        match op.opcode {
+            Opcode::Move | Opcode::Movil => operand(int, &op.src1),
+            Opcode::Custom(i) => {
+                let custom = self.config.custom_ops().get(usize::from(i))?;
+                let a = operand(int, &op.src1)?;
+                let b = operand(int, &op.src2)?;
+                match custom.semantics() {
+                    CustomSemantics::Fused(tree) => Some(expand(int, tree, a, b)),
+                    other => Some(int.intern(SNode::Custom(other.spec(), vec![a, b]))),
+                }
+            }
+            _ => None,
+        }
+    }
+
+    /// Applies one instruction to the state.
+    fn step(&mut self, int: &mut Interner, inst: &MInst) {
+        match inst {
+            MInst::Op(op) => {
+                if let Some(value) = self.express(int, op) {
+                    let Some(dest) = op.dest1.gpr() else { return };
+                    self.define(int, dest, value, op.guard);
+                    return;
+                }
+                let k = self.events.len();
+                let event = Event::Op {
+                    opcode: op.opcode,
+                    dest1: op.dest1,
+                    dest2: op.dest2,
+                    srcs: [self.src(int, &op.src1), self.src(int, &op.src2)],
+                    store_value: op.store_value.map(|r| self.gpr(int, r)),
+                    guard: self.pred(op.guard),
+                };
+                self.events.push(event);
+                if let Some(dest) = op.dest1.gpr() {
+                    let value = int.intern(SNode::Event(k));
+                    self.define(int, dest, value, op.guard);
+                }
+                if let MDest::Pred(p) = op.dest1 {
+                    if p != 0 {
+                        self.preds.insert(p, PExpr::Event(k, 0));
+                    }
+                }
+                if let MDest::Pred(p) = op.dest2 {
+                    if p != 0 {
+                        self.preds.insert(p, PExpr::Event(k, 1));
+                    }
+                }
+            }
+            MInst::Call { callee, args, dest } => {
+                let k = self.events.len();
+                let event = Event::Call {
+                    callee: callee.clone(),
+                    args: args.iter().map(|&a| self.gpr(int, a)).collect(),
+                    dest: *dest,
+                };
+                self.events.push(event);
+                if let Some(d) = dest {
+                    let value = int.intern(SNode::Event(k));
+                    self.define(int, *d, value, 0);
+                }
+            }
+        }
+    }
+
+    fn define(&mut self, int: &mut Interner, dest: u32, value: SId, guard: u32) {
+        let value = if guard == 0 {
+            value
+        } else {
+            let old = self.gpr(int, dest);
+            int.intern(SNode::Guarded {
+                guard: self.pred(guard),
+                then: value,
+                old,
+            })
+        };
+        self.gprs.insert(dest, value);
+    }
+}
+
+/// Substitutes argument expressions into a fused tree.
+fn expand(int: &mut Interner, tree: &ExprTree, a: SId, b: SId) -> SId {
+    match tree {
+        ExprTree::Arg(0) => a,
+        ExprTree::Arg(_) => b,
+        ExprTree::Lit(v) => int.intern(SNode::Lit(*v)),
+        ExprTree::Unary(op, x) => {
+            let x = expand(int, x, a, b);
+            int.intern(SNode::Node(*op, vec![x]))
+        }
+        ExprTree::Binary(op, x, y) => {
+            let x = expand(int, x, a, b);
+            let y = expand(int, y, a, b);
+            int.intern(SNode::Node(*op, vec![x, y]))
+        }
+    }
+}
+
+/// Vregs defined by a block's instructions.
+fn defined(block: &MBlock) -> Vec<u32> {
+    let mut defs: Vec<u32> = block.insts.iter().filter_map(MInst::gpr_def).collect();
+    defs.sort_unstable();
+    defs.dedup();
+    defs
+}
+
+/// Whether `vreg` is read anywhere in `mf` (terminators included).
+fn used_anywhere(mf: &MFunction, vreg: u32) -> bool {
+    mf.blocks.iter().any(|b| {
+        b.insts.iter().any(|i| i.gpr_uses().contains(&vreg))
+            || matches!(b.term, MTerm::Ret(Some(r)) if r == vreg)
+    })
+}
+
+/// Checks that `post` is a legal fusion of `pre`.
+pub fn check(
+    fname: &str,
+    config: &Config,
+    pre: &MFunction,
+    post: &MFunction,
+    diags: &mut Vec<Diagnostic>,
+) {
+    let err = |diags: &mut Vec<Diagnostic>, msg: String| {
+        diags.push(Diagnostic::error("TV013", format!("{fname}: {msg}")));
+    };
+    if pre.blocks.len() != post.blocks.len() {
+        err(
+            diags,
+            format!(
+                "fusion changed the block count ({} -> {})",
+                pre.blocks.len(),
+                post.blocks.len()
+            ),
+        );
+        return;
+    }
+    for (pb, qb) in pre.blocks.iter().zip(&post.blocks) {
+        if pb.term != qb.term {
+            err(diags, format!("fusion changed the terminator of {}", pb.id));
+        }
+        let mut int = Interner::default();
+        let mut ps = SymState::new(config);
+        let mut qs = SymState::new(config);
+        for inst in &pb.insts {
+            ps.step(&mut int, inst);
+        }
+        for inst in &qb.insts {
+            qs.step(&mut int, inst);
+        }
+        if ps.events != qs.events {
+            err(
+                diags,
+                format!(
+                    "side-effect sequence of {} diverges ({} vs {} events, first mismatch at {})",
+                    pb.id,
+                    ps.events.len(),
+                    qs.events.len(),
+                    ps.events
+                        .iter()
+                        .zip(&qs.events)
+                        .position(|(a, b)| a != b)
+                        .map_or(ps.events.len().min(qs.events.len()), |i| i)
+                ),
+            );
+        }
+        let pre_defs = defined(pb);
+        let post_defs = defined(qb);
+        for v in &post_defs {
+            if !pre_defs.contains(v) {
+                err(
+                    diags,
+                    format!("fusion introduced a definition of v{v} in {}", pb.id),
+                );
+            } else if ps.gpr(&mut int, *v) != qs.gpr(&mut int, *v) {
+                err(
+                    diags,
+                    format!(
+                        "v{v} computes a different expression in {} after fusion",
+                        pb.id
+                    ),
+                );
+            }
+        }
+        for v in &pre_defs {
+            if !post_defs.contains(v) && used_anywhere(post, *v) {
+                err(
+                    diags,
+                    format!(
+                        "fusion deleted the definition of v{v} in {} but the value is still read",
+                        pb.id
+                    ),
+                );
+            }
+        }
+    }
+}

@@ -38,6 +38,9 @@ pub struct Mutation<'a> {
     pub function: &'a str,
     /// Applied to the machine IR after if-conversion.
     pub post_ifconv: Option<&'a dyn Fn(&mut MFunction)>,
+    /// Applied to the machine IR after custom-instruction fusion (only
+    /// fires when the config registers fused custom ops).
+    pub post_fuse: Option<&'a dyn Fn(&mut MFunction)>,
     /// Applied to the machine IR after superblock formation (only fires
     /// when formation actually formed a trace).
     pub post_superblock: Option<&'a dyn Fn(&mut MFunction)>,
@@ -118,6 +121,7 @@ pub fn compile_mutated(
         name: stub.name.clone(),
         post_select: None,
         post_ifconv: None,
+        post_fuse: None,
         post_superblock: None,
         origin: None,
         traces: Vec::new(),
@@ -142,6 +146,18 @@ pub fn compile_mutated(
                 }
             }
             post_ifconv = Some(mf.clone());
+        }
+        let mut post_fuse = None;
+        {
+            let fs = epic_compiler::fuse::fuse(&mut mf, config);
+            if fs != epic_compiler::fuse::FuseStats::default() {
+                if target {
+                    if let Some(m) = mutation.post_fuse {
+                        m(&mut mf);
+                    }
+                }
+                post_fuse = Some(mf.clone());
+            }
         }
         allocate(&mut mf, &abi, config)?;
         if target {
@@ -182,6 +198,7 @@ pub fn compile_mutated(
             name: mf.name.clone(),
             post_select,
             post_ifconv,
+            post_fuse,
             post_superblock,
             origin,
             traces: trace_groups.clone(),

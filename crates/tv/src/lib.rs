@@ -10,6 +10,7 @@
 //! | stage | proof obligation | codes |
 //! |-------|------------------|-------|
 //! | if-conversion | every predicated op inherits exactly the guard of its source branch arm; donor blocks empty; ops preserved | TV001, TV002 |
+//! | custom-instruction fusion | per-block symbolic evaluation with fused trees expanded: side-effect sequence identical, every surviving vreg computes the same expression, deleted temporaries are read nowhere | TV013 |
 //! | register allocation | a virtual→physical location map exists: every read sees the value of the virtual register it replaces, no live range clobbered, call/prologue/epilogue bookkeeping moves data consistently | TV003, TV004 |
 //! | superblock formation (after allocation) | the origin witness proves the duplicated trace refines the allocated CFG: block bodies bit-identical to their origins, terminators map back through the witness | TV010 |
 //! | control finalisation | layout is the reachable blocks in id order; lowered terminators match the abstract CFG | TV008 |
@@ -32,6 +33,7 @@
 //! | TV010 | error | superblock formation broke refinement (block body or terminator diverges from its origin, witness malformed) |
 //! | TV011 | error | malformed scheduling region (trace not consecutive in layout, side entry into an interior, interior not falling through) |
 //! | TV012 | error | dismissible-load rewrite mismatch (`LWS` without a crossed side exit, or a crossing `LW` left faulting) |
+//! | TV013 | error | custom-instruction fusion broke refinement (expression mismatch, side-effect divergence, or a deleted temporary still read) |
 //!
 //! Diagnostics share [`epic_asm::Diagnostic`] with the assembler and
 //! `epic-verify`, so `epic-lint --tv` renders the same rustc-style
@@ -41,6 +43,7 @@
 #![warn(missing_docs)]
 
 mod emit_check;
+mod fuse_check;
 pub mod harness;
 mod ifconv_check;
 mod regalloc_check;
@@ -135,9 +138,19 @@ pub fn validate_trace(
         if let (Some(pre), Some(post)) = (&func.post_select, &func.post_ifconv) {
             ifconv_check::check(&func.name, pre, post, &mut diags);
         }
+        if let Some(post) = &func.post_fuse {
+            let pre = func.post_ifconv.as_ref().or(func.post_select.as_ref());
+            if let Some(pre) = pre {
+                fuse_check::check(&func.name, config, pre, post, &mut diags);
+            }
+        }
         region_check::check(func, &mut diags);
         if let Some(post) = &func.post_regalloc {
-            let pre = func.post_ifconv.as_ref().or(func.post_select.as_ref());
+            let pre = func
+                .post_fuse
+                .as_ref()
+                .or(func.post_ifconv.as_ref())
+                .or(func.post_select.as_ref());
             if let (Some(pre), Some(abi)) = (pre, &abi) {
                 regalloc_check::check(&func.name, pre, post, abi, config, &mut diags);
             }

@@ -342,6 +342,33 @@ fn two_sided_return() -> Program {
     ]))
 }
 
+/// A rotate expressed through shifts: selection expands it into the
+/// four-op chain the registered fused custom op collapses.
+fn rotate7() -> Program {
+    Program::new().function(
+        FunctionDef::new("main", ["a"])
+            .body([Stmt::ret(Expr::var("a").rotr(Expr::lit(7)) + Expr::lit(1))]),
+    )
+}
+
+/// A config registering the rotate chain as a fused custom instruction,
+/// exactly as the `epic-isx` driver would extend it.
+fn fused_rot_config() -> Config {
+    Config::builder()
+        .custom_op(
+            epic_config::CustomOp::new(
+                "isx_rot7",
+                epic_config::CustomSemantics::Fused(
+                    epic_config::ExprTree::parse("or(shr(a0,7),shl(a0,sub(32,7)))")
+                        .expect("probe tree parses"),
+                ),
+            )
+            .with_latency(2),
+        )
+        .build()
+        .expect("valid config")
+}
+
 fn abi() -> Abi {
     Abi::new(&Config::default()).expect("abi")
 }
@@ -358,6 +385,36 @@ fn small_regfile() -> Config {
 // --------------------------------------------------------------------
 // If-conversion mutants (TV001 / TV002)
 // --------------------------------------------------------------------
+
+// --------------------------------------------------------------------
+// Custom-instruction fusion mutants (TV013)
+// --------------------------------------------------------------------
+
+/// A corrupted rewrite that loses part of the fused computation: the
+/// custom op degenerates to its first interior shift, as if the matcher
+/// dropped the `shl`/`or` half of the cone.
+#[test]
+fn fuse_dropped_interior_op() {
+    let mutate = |f: &mut MFunction| {
+        let at = find_op(f, |op| matches!(op.opcode, Opcode::Custom(_)));
+        let op = op_mut(f, at);
+        op.opcode = Opcode::Shr;
+        op.src2 = MSrc::Lit(7);
+    };
+    let m = Mutation {
+        function: "main",
+        post_fuse: Some(&mutate),
+        ..Default::default()
+    };
+    assert_mutant_with(
+        &rotate7(),
+        "main",
+        &[12345],
+        &fused_rot_config(),
+        &m,
+        "TV013",
+    );
+}
 
 #[test]
 fn ifconv_dropped_guard() {

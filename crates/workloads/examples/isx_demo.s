@@ -1,0 +1,20 @@
+; Demo source for `epic-lint --isx`: a rotate-left-by-7 written as the
+; shift/or idiom, plus a masked byte extract. The miner should surface
+; both as fused-candidate expression trees.
+start:
+    SHL r2, r1, #7
+;;
+    SHR r3, r1, #25
+;;
+    OR r4, r2, r3
+;;
+    XOR r5, r4, r1
+;;
+    SHR r6, r5, #16
+;;
+    AND r7, r6, #255
+;;
+    SW r7, r0, #0
+;;
+    HALT
+;;
