@@ -1,0 +1,72 @@
+//! The memory-mapped mailbox window shared between a core's program
+//! and the array harness.
+//!
+//! Each core's private memory contains one mailbox — an ordinary
+//! program global (named [`GLOBAL`] by convention) whose address the
+//! host discovers from the module layout. The program reads and writes
+//! it with plain loads and stores; the harness peeks and pokes the
+//! same words **between** simulated cycles, during the serial mesh
+//! exchange phase. Neither side ever races the other, so no atomics or
+//! extra architectural state are needed — and the accesses ride the
+//! existing memory-debt machinery like any other load/store.
+//!
+//! All constants below are **word offsets** from the mailbox base.
+//!
+//! Handshake protocol (status words own the direction of travel):
+//!
+//! * **Send** — the program waits for `TX_STATUS == 0`, fills
+//!   `TX_DEST`/`TX_LEN`/`TX_DATA`, then stores `TX_STATUS = 1` *last*
+//!   (through a call boundary, so the compiler cannot reorder the
+//!   commit above the payload stores). The harness injects the message
+//!   once the NoC accepts it and clears `TX_STATUS`.
+//! * **Receive** — the harness delivers into a mailbox whose
+//!   `RX_STATUS` is `0`: it fills `RX_SRC`/`RX_LEN`/`RX_DATA`, then
+//!   sets `RX_STATUS = 1`. The program polls `RX_STATUS`, consumes the
+//!   payload, and stores `RX_STATUS = 0` to free the slot.
+
+/// Word holding this core's linear index (poked by the harness before
+/// cycle 0; reads 0 when the program runs outside an array).
+pub const CORE_ID: u32 = 0;
+/// Word holding the mesh width in cores (0 outside an array).
+pub const MESH_WIDTH: u32 = 1;
+/// Word holding the mesh height in cores (0 outside an array).
+pub const MESH_HEIGHT: u32 = 2;
+/// Send handshake word: program sets 1 to commit, harness clears to 0
+/// when the message has been accepted by the NoC.
+pub const TX_STATUS: u32 = 3;
+/// Destination core's linear index for the outgoing message.
+pub const TX_DEST: u32 = 4;
+/// Payload length in words (1..=[`MAX_PAYLOAD_WORDS`]).
+pub const TX_LEN: u32 = 5;
+/// First word of the outgoing payload.
+pub const TX_DATA: u32 = 6;
+/// Maximum payload length in words.
+pub const MAX_PAYLOAD_WORDS: u32 = 32;
+/// Receive handshake word: harness sets 1 on delivery, program clears
+/// to 0 after consuming the payload.
+pub const RX_STATUS: u32 = TX_DATA + MAX_PAYLOAD_WORDS;
+/// Sender core's linear index of the delivered message.
+pub const RX_SRC: u32 = RX_STATUS + 1;
+/// Delivered payload length in words.
+pub const RX_LEN: u32 = RX_SRC + 1;
+/// First word of the delivered payload.
+pub const RX_DATA: u32 = RX_LEN + 1;
+/// Total size of the mailbox window in words.
+pub const MAILBOX_WORDS: u32 = RX_DATA + MAX_PAYLOAD_WORDS;
+/// Total size of the mailbox window in bytes.
+pub const MAILBOX_BYTES: u32 = MAILBOX_WORDS * 4;
+/// Conventional name of the mailbox global in mesh programs.
+pub const GLOBAL: &str = "mesh_ctl";
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn layout_is_contiguous() {
+        assert_eq!(RX_STATUS, 38);
+        assert_eq!(RX_DATA, 41);
+        assert_eq!(MAILBOX_WORDS, 73);
+        assert_eq!(MAILBOX_BYTES, 292);
+    }
+}

@@ -15,6 +15,7 @@
 //! cargo run --release -p epic-bench --bin repro -- bench [--out <file>] [--full]
 //! cargo run --release -p epic-bench --bin repro -- bench --throughput [--out <file>] [--check]
 //! cargo run --release -p epic-bench --bin repro -- isx [--out <file>] [--check] [--full]
+//! cargo run --release -p epic-bench --bin repro -- array [--out <file>] [--check] [--full]
 //! cargo run --release -p epic-bench --bin repro -- all [--full]
 //! ```
 //!
@@ -114,6 +115,7 @@ fn main() -> ExitCode {
         }
         "bench" => cmd_bench(scale, parse_out(&args), engine),
         "isx" => cmd_isx(scale, parse_out(&args), args.iter().any(|a| a == "--check")),
+        "array" => cmd_array(scale, parse_out(&args), args.iter().any(|a| a == "--check")),
         "all" => cmd_all(scale),
         other => Err(format!(
             "unknown command `{other}`; see the module docs for usage"
@@ -580,6 +582,175 @@ fn cmd_isx(scale: Scale, out: Option<std::path::PathBuf>, check: bool) -> Result
     }
     std::fs::write(&out, json).map_err(|e| format!("{}: {e}", out.display()))?;
     println!("wrote {}", out.display());
+    Ok(())
+}
+
+/// Many-core array report (`repro -- array`): every mesh workload
+/// (tiled DCT, frontier-exchange BFS, sharded AES-CTR) on 1×1, 2×2 and
+/// 4×4 meshes of EPIC cores. Each run is oracle-verified (core 0's
+/// gathered output must match the scalar golden model), and the report
+/// shows per-core `SimStats`, the aggregate lockstep/architectural
+/// cycle counts, and the NoC's link-utilisation and latency counters
+/// bucketed through `epic_obs::Histogram`.
+///
+/// Writes `--out <file>` (default `BENCH_manycore.json`), schema
+/// `epic-bench-manycore/v1`. Every field is deterministic — the
+/// lockstep loop is grid-index deterministic at any host thread count —
+/// so `--check` regenerates the JSON and compares byte-for-byte.
+/// Without `--check` the command also times the 4×4 sweep under 1- and
+/// 8-thread host pools and prints the host-parallel speedup (wall-clock
+/// numbers are machine-local and stay out of the JSON).
+fn cmd_array(scale: Scale, out: Option<std::path::PathBuf>, check: bool) -> Result<(), String> {
+    use epic_core::array::{link_name, MeshSpec};
+    use epic_core::experiments::run_mesh_workload;
+
+    const MESHES: [(usize, usize); 3] = [(1, 1), (2, 2), (4, 4)];
+    const LATENCY_BOUNDS: [u64; 6] = [4, 8, 16, 32, 64, 128];
+    let out = out.unwrap_or_else(|| std::path::PathBuf::from("BENCH_manycore.json"));
+    let config = Config::builder().num_alus(2).build().expect("valid");
+    let meshes = epic_core::workloads::mesh::all(scale);
+    println!(
+        "Many-core array ({scale:?} scale): mesh workloads x mesh sizes, every run oracle-verified"
+    );
+    println!(
+        "{:<12} {:>5} {:>10} {:>12} {:>6} {:>8} {:>9} {:>7} {:>9}",
+        "workload", "mesh", "cycles", "core cycles", "msgs", "words", "avg lat", "links", "busiest"
+    );
+    let mut entries = String::new();
+    for workload in &meshes {
+        for (width, height) in MESHES {
+            let spec = MeshSpec::new(width, height);
+            let run = run_mesh_workload(workload, &config, &spec)
+                .map_err(|e| format!("{} on {width}x{height}: {e}", workload.name))?;
+            let outcome = &run.outcome;
+            let noc = &outcome.noc;
+            let mut latency = epic_obs::Histogram::new(&LATENCY_BOUNDS);
+            for &sample in &noc.latencies {
+                latency.record(sample);
+            }
+            let avg_latency = if noc.messages_delivered == 0 {
+                0.0
+            } else {
+                noc.total_latency as f64 / noc.messages_delivered as f64
+            };
+            let busiest = (0..noc.link_transfers.len())
+                .filter(|&l| noc.link_transfers[l] > 0)
+                .max_by_key(|&l| noc.link_transfers[l])
+                .map_or_else(|| "-".to_owned(), |l| link_name(l, width));
+            println!(
+                "{:<12} {:>5} {:>10} {:>12} {:>6} {:>8} {:>9.1} {:>7} {:>9}",
+                workload.name,
+                format!("{width}x{height}"),
+                outcome.cycles,
+                outcome.aggregate_core_cycles(),
+                noc.messages_delivered,
+                noc.payload_words,
+                avg_latency,
+                noc.links_used(),
+                busiest,
+            );
+            let per_core = outcome
+                .per_core
+                .iter()
+                .map(|s| {
+                    format!(
+                        "{{\"cycles\": {}, \"instructions\": {}, \"stalls\": {}}}",
+                        s.cycles,
+                        s.instructions,
+                        s.stalls.total()
+                    )
+                })
+                .collect::<Vec<_>>()
+                .join(", ");
+            let buckets = latency
+                .buckets()
+                .iter()
+                .map(u64::to_string)
+                .collect::<Vec<_>>()
+                .join(", ");
+            if !entries.is_empty() {
+                entries.push_str(",\n");
+            }
+            entries.push_str(&format!(
+                "    {{\"workload\": \"{}\", \"width\": {width}, \"height\": {height}, \
+                 \"cycles\": {}, \"core_cycles\": {}, \"messages\": {}, \
+                 \"payload_words\": {}, \"total_hops\": {}, \"total_latency\": {}, \
+                 \"links_used\": {}, \"max_link_transfers\": {}, \
+                 \"latency_buckets\": [{buckets}], \"per_core\": [{per_core}]}}",
+                workload.name,
+                outcome.cycles,
+                outcome.aggregate_core_cycles(),
+                noc.messages_delivered,
+                noc.payload_words,
+                noc.total_hops,
+                noc.total_latency,
+                noc.links_used(),
+                noc.max_link_transfers(),
+            ));
+        }
+    }
+    let json = format!(
+        "{{\n  \"schema\": \"epic-bench-manycore/v1\",\n  \"scale\": \"{scale:?}\",\n  \
+         \"latency_bounds\": [4, 8, 16, 32, 64, 128],\n  \"points\": [\n{entries}\n  ]\n}}\n"
+    );
+    if check {
+        let committed = std::fs::read_to_string(&out)
+            .map_err(|e| format!("--check: {}: {e}", out.display()))?;
+        if committed != json {
+            let divergence = committed
+                .lines()
+                .zip(json.lines())
+                .position(|(a, b)| a != b)
+                .map_or(committed.lines().count().min(json.lines().count()), |i| i);
+            return Err(format!(
+                "--check: {} is stale (first divergence at line {}); \
+                 regenerate with `repro -- array`",
+                out.display(),
+                divergence + 1
+            ));
+        }
+        println!("{} is fresh (byte-identical regeneration)", out.display());
+        return Ok(());
+    }
+    std::fs::write(&out, json).map_err(|e| format!("{}: {e}", out.display()))?;
+    println!("wrote {}", out.display());
+
+    // Host-parallel speedup: the same 4×4 sweep under capped pools,
+    // compiled once so only the lockstep stepping is timed. Wall time
+    // is machine-local, so it is printed, never committed.
+    let prepared: Vec<_> = meshes
+        .iter()
+        .map(|w| {
+            epic_core::experiments::prepare_mesh_workload(w, &config)
+                .map_err(|e| format!("{}: {e}", w.name))
+        })
+        .collect::<Result<_, String>>()?;
+    let mut timings = Vec::new();
+    for threads in [1usize, 8] {
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(threads)
+            .build()
+            .expect("thread pool");
+        let start = Instant::now();
+        pool.install(|| -> Result<(), String> {
+            for mesh in &prepared {
+                let spec = MeshSpec::new(4, 4);
+                let mut array = epic_core::experiments::instantiate_mesh(mesh, &config, &spec)
+                    .map_err(|e| e.to_string())?;
+                array.run().map_err(|e| e.to_string())?;
+            }
+            Ok(())
+        })?;
+        timings.push(start.elapsed().as_secs_f64());
+    }
+    let cpus = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    println!(
+        "host-parallel stepping, 4x4 sweep: {:.2}s on 1 thread, {:.2}s on 8 threads \
+         ({:.2}x speedup on a {cpus}-CPU host; results byte-identical at any thread count)",
+        timings[0],
+        timings[1],
+        timings[0] / timings[1]
+    );
     Ok(())
 }
 

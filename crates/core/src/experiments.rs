@@ -14,6 +14,7 @@
 
 use crate::toolchain::{run_sa110, EngineRun, EpicRun, Toolchain, ToolchainError};
 use epic_area::{sa110_execution_time, AreaModel};
+use epic_array::{ArrayError, ArrayOutcome, ArraySimulator, MeshSpec};
 use epic_compiler::superblock::ProfileData;
 use epic_config::Config;
 use epic_ir::lower;
@@ -44,6 +45,10 @@ pub enum ExperimentError {
     Toolchain(ToolchainError),
     /// The output did not match the golden model.
     Verify(VerifyError),
+    /// A many-core array run failed (setup, per-core fault, timeout or
+    /// undelivered traffic). Constructed explicitly — the blanket
+    /// `From<Into<ToolchainError>>` below cannot absorb it.
+    Array(ArrayError),
 }
 
 impl fmt::Display for ExperimentError {
@@ -51,6 +56,7 @@ impl fmt::Display for ExperimentError {
         match self {
             ExperimentError::Toolchain(e) => e.fmt(f),
             ExperimentError::Verify(e) => e.fmt(f),
+            ExperimentError::Array(e) => e.fmt(f),
         }
     }
 }
@@ -144,6 +150,113 @@ pub fn prepare_epic_workload(
     let (toolchain, module, options) = compile_setup(workload, config)?;
     let prepared = toolchain.prepare(&module, &options)?;
     Ok((toolchain, prepared))
+}
+
+/// A mesh workload compiled and laid out, ready to instantiate on any
+/// mesh geometry: the same binary image boots on 1×1 up to N×M arrays
+/// because the program reads its coordinates from the mailbox window.
+#[derive(Debug)]
+pub struct PreparedMesh {
+    /// The compiled, assembled and validated program plus its initial
+    /// memory image.
+    pub prepared: crate::toolchain::PreparedProgram,
+    /// Byte address of the `mesh_ctl` mailbox window in data memory.
+    pub mailbox_base: u32,
+}
+
+/// Compiles a mesh workload for a configuration without running it.
+///
+/// Unlike [`prepare_epic_workload`] this skips profile training: the
+/// mesh programs take per-core data-dependent paths (worker cores spin
+/// on mailbox handshakes that never occur standalone), so a profile
+/// trained on the single-core fallback path would steer superblock
+/// formation away from exactly the code the array executes. The static
+/// formation heuristics apply instead.
+///
+/// # Errors
+///
+/// Returns any compile-side pipeline error, or a [`VerifyError`] if the
+/// workload's module has no `mesh_ctl` mailbox global.
+pub fn prepare_mesh_workload(
+    workload: &Workload,
+    config: &Config,
+) -> Result<PreparedMesh, ExperimentError> {
+    let module = lower::lower(&workload.program)?;
+    let layout = module.layout()?;
+    let mailbox_base = layout
+        .address_of(epic_array::mailbox::GLOBAL)
+        .ok_or_else(|| {
+            ExperimentError::Verify(VerifyError(format!(
+                "{}: not a mesh workload (no `{}` global)",
+                workload.name,
+                epic_array::mailbox::GLOBAL
+            )))
+        })?;
+    let toolchain = Toolchain::new(config.clone());
+    let options = epic_compiler::Options {
+        entry: workload.entry.clone(),
+        inline_hints: workload.inline_hints(),
+        ..epic_compiler::Options::default()
+    };
+    let prepared = toolchain.prepare(&module, &options)?;
+    Ok(PreparedMesh {
+        prepared,
+        mailbox_base,
+    })
+}
+
+/// A completed many-core run: the aggregate outcome plus the array
+/// itself, so callers can inspect per-core registers and final memories
+/// (the determinism battery compares them byte for byte).
+#[derive(Debug)]
+pub struct MeshRun {
+    /// Aggregate statistics: lockstep cycles, per-core [`SimStats`],
+    /// NoC counters.
+    pub outcome: ArrayOutcome,
+    /// The array after the run, for per-core inspection.
+    pub array: ArraySimulator,
+}
+
+/// Instantiates a prepared mesh workload on the given geometry — no
+/// recompile, so engine/geometry sweeps over one binary stay cheap.
+///
+/// # Errors
+///
+/// Returns an [`ArrayError`] from setup or the run.
+pub fn instantiate_mesh(
+    mesh: &PreparedMesh,
+    config: &Config,
+    spec: &MeshSpec,
+) -> Result<ArraySimulator, ExperimentError> {
+    ArraySimulator::new(
+        config,
+        mesh.prepared.program.bundles(),
+        mesh.prepared.program.entry(),
+        &mesh.prepared.initial_memory,
+        mesh.mailbox_base,
+        spec,
+    )
+    .map_err(ExperimentError::Array)
+}
+
+/// Compiles and runs one mesh workload on one array geometry, verifying
+/// core 0's final memory against the workload's golden model (the mesh
+/// protocols gather every result to core 0).
+///
+/// # Errors
+///
+/// Returns any pipeline error, an [`ArrayError`] from the lockstep run,
+/// or a [`VerifyError`] on a golden-model mismatch.
+pub fn run_mesh_workload(
+    workload: &Workload,
+    config: &Config,
+    spec: &MeshSpec,
+) -> Result<MeshRun, ExperimentError> {
+    let mesh = prepare_mesh_workload(workload, config)?;
+    let mut array = instantiate_mesh(&mesh, config, spec)?;
+    let outcome = array.run().map_err(ExperimentError::Array)?;
+    verify_workload_memory(workload, array.core(0).memory().bytes())?;
+    Ok(MeshRun { outcome, array })
 }
 
 /// The shared compile-side setup of every EPIC workload run: lower the

@@ -48,6 +48,7 @@ pub use toolchain::{
 };
 
 pub use epic_area as area;
+pub use epic_array as array;
 pub use epic_asm as asm;
 pub use epic_compiler as compiler;
 pub use epic_config as config;

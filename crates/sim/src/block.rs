@@ -146,6 +146,12 @@ impl BlockSimulator {
         self.sim.memory()
     }
 
+    /// Mutable access to the data memory (see
+    /// [`Simulator::memory_mut`]).
+    pub fn memory_mut(&mut self) -> &mut Memory {
+        self.sim.memory_mut()
+    }
+
     /// Reads a general-purpose register.
     #[must_use]
     pub fn gpr(&self, index: usize) -> u32 {
@@ -213,6 +219,24 @@ impl BlockSimulator {
     #[must_use]
     pub fn into_inner(self) -> Simulator {
         self.sim
+    }
+
+    /// Advances exactly one processor cycle on the per-cycle decoded
+    /// path. Returns `false` once halted.
+    ///
+    /// The folded fast path only exists for whole-run execution — it
+    /// jumps the cycle counter across an entire block, which a caller
+    /// stepping the machine in lockstep with external agents (the
+    /// many-core array's mesh exchange) must never observe. Results
+    /// stay bit-identical to [`run`](BlockSimulator::run) by the
+    /// engine contract; only time-to-result differs.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`SimError`] raised (as
+    /// [`Simulator::step`] does).
+    pub fn step(&mut self) -> Result<bool, SimError> {
+        self.sim.step()
     }
 
     /// Runs until `HALT` (or an error), taking the fast path through

@@ -138,6 +138,13 @@ impl Simulator {
         &self.memory
     }
 
+    /// Mutable access to the data memory, for host-side agents (a mesh
+    /// interconnect delivering into a memory-mapped mailbox) that patch
+    /// words between cycles via [`Memory::poke_word`].
+    pub fn memory_mut(&mut self) -> &mut Memory {
+        &mut self.memory
+    }
+
     /// Reads a general-purpose register.
     #[must_use]
     pub fn gpr(&self, index: usize) -> u32 {

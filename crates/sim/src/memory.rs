@@ -49,6 +49,37 @@ impl Memory {
         &self.bytes
     }
 
+    /// Reads an aligned big-endian word without touching the access
+    /// statistics — the host-side window a many-core harness samples
+    /// memory-mapped mailboxes through. Returns `None` out of bounds or
+    /// misaligned instead of raising a (program-attributed) fault.
+    #[must_use]
+    pub fn peek_word(&self, address: u32) -> Option<u32> {
+        let a = address as usize;
+        if !address.is_multiple_of(4) || a + 4 > self.bytes.len() {
+            return None;
+        }
+        Some(u32::from_be_bytes([
+            self.bytes[a],
+            self.bytes[a + 1],
+            self.bytes[a + 2],
+            self.bytes[a + 3],
+        ]))
+    }
+
+    /// Writes an aligned big-endian word without touching the access
+    /// statistics (the store-side twin of
+    /// [`peek_word`](Memory::peek_word)). Returns whether the address
+    /// was valid.
+    pub fn poke_word(&mut self, address: u32, value: u32) -> bool {
+        let a = address as usize;
+        if !address.is_multiple_of(4) || a + 4 > self.bytes.len() {
+            return false;
+        }
+        self.bytes[a..a + 4].copy_from_slice(&value.to_be_bytes());
+        true
+    }
+
     /// Loads performed so far.
     #[must_use]
     pub fn load_count(&self) -> u64 {

@@ -118,6 +118,12 @@ impl ReferenceSimulator {
         &self.memory
     }
 
+    /// Mutable access to the data memory (see
+    /// [`Simulator::memory_mut`](crate::Simulator::memory_mut)).
+    pub fn memory_mut(&mut self) -> &mut Memory {
+        &mut self.memory
+    }
+
     /// Reads a general-purpose register.
     #[must_use]
     pub fn gpr(&self, index: usize) -> u32 {

@@ -230,15 +230,15 @@ fn lit(x: i64) -> Expr {
     Expr::lit(x)
 }
 
-fn s_name(i: usize) -> String {
+pub(crate) fn s_name(i: usize) -> String {
     format!("s{i}")
 }
 
-fn sbox_lookup(table: &str, index: Expr) -> Expr {
+pub(crate) fn sbox_lookup(table: &str, index: Expr) -> Expr {
     (Expr::global(table) + index).load_byte_u()
 }
 
-fn emit_add_round_key(stmts: &mut Vec<Stmt>, round_expr: &Expr) {
+pub(crate) fn emit_add_round_key(stmts: &mut Vec<Stmt>, round_expr: &Expr) {
     // The round keys are stored as big-endian words, so byte `i` of the
     // 16-byte round key is simply `rk[round*16 + i]` — the byte-table
     // style every 2000s AES implementation used.
@@ -252,13 +252,13 @@ fn emit_add_round_key(stmts: &mut Vec<Stmt>, round_expr: &Expr) {
     }
 }
 
-fn emit_sub_bytes(stmts: &mut Vec<Stmt>, table: &str) {
+pub(crate) fn emit_sub_bytes(stmts: &mut Vec<Stmt>, table: &str) {
     for i in 0..16usize {
         stmts.push(Stmt::assign(s_name(i), sbox_lookup(table, v(&s_name(i)))));
     }
 }
 
-fn emit_shift_rows(stmts: &mut Vec<Stmt>, inverse: bool) {
+pub(crate) fn emit_shift_rows(stmts: &mut Vec<Stmt>, inverse: bool) {
     for c in 0..4usize {
         for r in 0..4usize {
             let src_c = if inverse {
@@ -279,7 +279,7 @@ fn emit_shift_rows(stmts: &mut Vec<Stmt>, inverse: bool) {
 
 /// `MixColumns` in the table-driven style: per output byte two GF-table
 /// lookups and two plain XOR terms.
-fn emit_mix_columns(stmts: &mut Vec<Stmt>) {
+pub(crate) fn emit_mix_columns(stmts: &mut Vec<Stmt>) {
     for c in 0..4usize {
         let a = |r: usize| v(&s_name(4 * c + r));
         for r in 0..4usize {
@@ -320,7 +320,7 @@ fn emit_inv_mix_columns(stmts: &mut Vec<Stmt>) {
     }
 }
 
-fn emit_key_expansion(body: &mut Vec<Stmt>) {
+pub(crate) fn emit_key_expansion(body: &mut Vec<Stmt>) {
     body.push(Stmt::for_(
         "i",
         lit(0),

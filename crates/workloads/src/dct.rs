@@ -132,19 +132,17 @@ fn word_at(table: &str, index: i64) -> Expr {
     (Expr::global(table) + lit(index * 4)).load_word()
 }
 
-/// Builds the benchmark at the given scale.
+/// Emits the statements transforming one 8×8 block at block
+/// coordinates held in the in-scope variables `by`/`bx` of a
+/// `width`-pixel-wide image: read from `dct_input`, roundtrip through
+/// the scratch globals, write the reconstruction to `dct_output`.
+/// Shared between the single-core benchmark (loop body) and the mesh
+/// benchmark (per-block worker function).
 #[must_use]
 #[allow(clippy::needless_range_loop)] // loop indices mirror the DCT matrix maths
-pub fn build(scale: Scale) -> Workload {
-    let (width, height) = dimensions(scale);
-    let ppm = inputs::ppm_image(width, height, SEED);
-    let gray = inputs::grayscale_from_ppm(&ppm, width, height);
-    let expected = golden_image(&gray, width, height);
-
+pub(crate) fn emit_block_body(width: u32) -> Vec<Stmt> {
     let m = cosine_matrix();
     let w = i64::from(width);
-    let blocks_x = i64::from(width / 8);
-    let blocks_y = i64::from(height / 8);
 
     let round7 = |acc: Expr| (acc + lit(64)).sra(lit(7));
     let round13 = |acc: Expr| (acc + lit(4096)).sra(lit(13));
@@ -244,6 +242,20 @@ pub fn build(scale: Scale) -> Workload {
             ));
         }
     }
+    block_body
+}
+
+/// Builds the benchmark at the given scale.
+#[must_use]
+pub fn build(scale: Scale) -> Workload {
+    let (width, height) = dimensions(scale);
+    let ppm = inputs::ppm_image(width, height, SEED);
+    let gray = inputs::grayscale_from_ppm(&ppm, width, height);
+    let expected = golden_image(&gray, width, height);
+
+    let blocks_x = i64::from(width / 8);
+    let blocks_y = i64::from(height / 8);
+    let block_body = emit_block_body(width);
 
     let body = vec![Stmt::for_(
         "by",

@@ -46,6 +46,7 @@ pub mod aes;
 pub mod dct;
 pub mod dijkstra;
 pub mod inputs;
+pub mod mesh;
 pub mod sha;
 
 use epic_ir::ast::Program;

@@ -1,0 +1,115 @@
+//! The lockstep determinism battery: a mesh run's observable result —
+//! lockstep cycle count, per-core [`SimStats`], per-core return values,
+//! NoC counters and every core's final data memory — must be
+//! byte-identical across repeated runs and across host thread counts.
+//!
+//! The array fans its compute phase out over rayon workers, so this is
+//! the test that proves host parallelism is pure mechanism: cores are
+//! partitioned into contiguous chunks, phases are separated by
+//! barriers, and the exchange phase is serial, so 1, 2 and 8 host
+//! threads must replay exactly the same simulation.
+//!
+//! [`SimStats`]: epic_core::sim::SimStats
+
+use epic_core::array::MeshSpec;
+use epic_core::config::Config;
+use epic_core::experiments::{run_mesh_workload, MeshRun};
+use epic_core::workloads::{mesh, Scale, Workload};
+
+/// Everything observable about a completed run, in comparable form.
+#[derive(PartialEq)]
+struct Observation {
+    /// `Debug` render of the aggregate outcome (cycles, per-core stats,
+    /// return values, NoC counters — all fields).
+    outcome: String,
+    /// Every core's final data memory, in core index order.
+    memories: Vec<Vec<u8>>,
+}
+
+impl std::fmt::Debug for Observation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        // On mismatch, print the outcome and memory digests, not
+        // megabytes of memory bytes.
+        let digests: Vec<(usize, usize)> = self
+            .memories
+            .iter()
+            .map(|m| {
+                (
+                    m.len(),
+                    m.iter()
+                        .fold(0usize, |h, b| h.wrapping_mul(131).wrapping_add(*b as usize)),
+                )
+            })
+            .collect();
+        write!(f, "outcome: {}\nmemory digests: {digests:?}", self.outcome)
+    }
+}
+
+fn observe(run: &mut MeshRun) -> Observation {
+    let memories = (0..run.outcome.per_core.len())
+        .map(|core| run.array.core(core).memory().bytes().to_vec())
+        .collect();
+    Observation {
+        outcome: format!("{:?}", run.outcome),
+        memories,
+    }
+}
+
+fn run_and_observe(workload: &Workload, config: &Config, spec: &MeshSpec) -> Observation {
+    let mut run = run_mesh_workload(workload, config, spec)
+        .unwrap_or_else(|e| panic!("{} on {}x{}: {e}", workload.name, spec.width, spec.height));
+    observe(&mut run)
+}
+
+#[test]
+fn mesh_runs_are_deterministic_across_host_thread_counts() {
+    let config = Config::builder().num_alus(2).build().expect("valid config");
+    for workload in mesh::all(Scale::Test) {
+        let spec = MeshSpec::new(2, 2);
+        let baseline = run_and_observe(&workload, &config, &spec);
+        // Same process, same thread pool: allocator and scheduling
+        // state must not leak into the result.
+        let second = run_and_observe(&workload, &config, &spec);
+        assert_eq!(
+            baseline, second,
+            "{}: two consecutive runs diverged",
+            workload.name
+        );
+        // Nor may the host thread count: 1 thread serialises the whole
+        // lockstep loop, 8 threads oversubscribe the 4 cores.
+        for threads in [1usize, 2, 8] {
+            let pool = rayon::ThreadPoolBuilder::new()
+                .num_threads(threads)
+                .build()
+                .expect("thread pool");
+            let observed = pool.install(|| run_and_observe(&workload, &config, &spec));
+            assert_eq!(
+                baseline, observed,
+                "{}: run diverged under a {threads}-thread host pool",
+                workload.name
+            );
+        }
+    }
+}
+
+/// A larger mesh (more cores than default worker chunks of one) with the
+/// heaviest traffic pattern (BFS all-to-all broadcast), to exercise
+/// chunked core-to-worker assignment under contention.
+#[test]
+fn bfs_4x4_is_deterministic_across_host_thread_counts() {
+    let config = Config::builder().num_alus(2).build().expect("valid config");
+    let workload = mesh::bfs(Scale::Test);
+    let spec = MeshSpec::new(4, 4);
+    let baseline = run_and_observe(&workload, &config, &spec);
+    for threads in [1usize, 3, 8] {
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(threads)
+            .build()
+            .expect("thread pool");
+        let observed = pool.install(|| run_and_observe(&workload, &config, &spec));
+        assert_eq!(
+            baseline, observed,
+            "bfs 4x4: run diverged under a {threads}-thread host pool"
+        );
+    }
+}

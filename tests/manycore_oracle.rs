@@ -1,0 +1,85 @@
+//! Many-core oracle battery: every mesh workload, run on real arrays
+//! (1×1, 2×2 and 4×4), must leave core 0's output global byte-identical
+//! to the single-core scalar golden model.
+//!
+//! `run_mesh_workload` performs the comparison itself (it fails with a
+//! `VerifyError` on any mismatch); these tests additionally assert the
+//! aggregate outcome is sane — every core halted with a return value,
+//! the NoC drained, and messages were actually exchanged on multi-core
+//! meshes.
+
+use epic_core::array::MeshSpec;
+use epic_core::config::Config;
+use epic_core::experiments::run_mesh_workload;
+use epic_core::workloads::{mesh, Scale};
+
+fn config() -> Config {
+    Config::builder().num_alus(2).build().expect("valid config")
+}
+
+fn check_mesh(width: usize, height: usize) {
+    let config = config();
+    for workload in mesh::all(Scale::Test) {
+        let spec = MeshSpec::new(width, height);
+        let run = run_mesh_workload(&workload, &config, &spec)
+            .unwrap_or_else(|e| panic!("{} on {width}x{height}: {e}", workload.name));
+        let outcome = &run.outcome;
+        assert_eq!(
+            outcome.per_core.len(),
+            width * height,
+            "{}: one SimStats per core",
+            workload.name
+        );
+        assert!(
+            outcome.cycles > 0 && outcome.cycles <= spec.max_cycles,
+            "{}: cycles within budget",
+            workload.name
+        );
+        for (core, stats) in outcome.per_core.iter().enumerate() {
+            assert!(
+                stats.cycles > 0,
+                "{}: core {core} executed cycles",
+                workload.name
+            );
+        }
+        if width * height > 1 {
+            assert!(
+                outcome.noc.messages_delivered > 0,
+                "{}: a multi-core mesh must exchange messages",
+                workload.name
+            );
+        } else {
+            assert_eq!(
+                outcome.noc.messages_delivered, 0,
+                "{}: a 1x1 mesh is message-free",
+                workload.name
+            );
+        }
+        assert_eq!(
+            outcome.noc.messages_injected, outcome.noc.messages_delivered,
+            "{}: the NoC drained",
+            workload.name
+        );
+    }
+}
+
+#[test]
+fn mesh_workloads_match_oracle_on_1x1() {
+    check_mesh(1, 1);
+}
+
+#[test]
+fn mesh_workloads_match_oracle_on_2x2() {
+    check_mesh(2, 2);
+}
+
+#[test]
+fn mesh_workloads_match_oracle_on_4x4() {
+    check_mesh(4, 4);
+}
+
+/// Rectangular (non-square) meshes exercise distinct X/Y route lengths.
+#[test]
+fn mesh_workloads_match_oracle_on_4x2() {
+    check_mesh(4, 2);
+}
