@@ -5,8 +5,8 @@
 //! many-core array, so the cost/performance trade-offs of the
 //! customisation space can be explored at the parallel-workload level
 //! too. The array instantiates one execution engine per core — any of
-//! the three bit-identical engines from `epic-sim` (reference,
-//! decoded, block-compiled) — each with a **private** local memory,
+//! the four bit-identical engines from `epic-sim` (reference,
+//! decoded, block-compiled, threaded-code) — each with a **private** local memory,
 //! and joins them with a cycle-lockstep mesh interconnect:
 //!
 //! * [`Noc`] — XY-routed point-to-point messages with per-hop latency

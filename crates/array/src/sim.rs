@@ -29,7 +29,10 @@ use crate::mailbox;
 use crate::noc::{Noc, NocConfig, NocStats};
 use epic_config::Config;
 use epic_isa::Instruction;
-use epic_sim::{BlockSimulator, Engine, Memory, ReferenceSimulator, SimError, SimStats, Simulator};
+use epic_sim::{
+    BlockSimulator, Engine, Memory, ReferenceSimulator, SimError, SimStats, Simulator,
+    ThreadedSimulator,
+};
 use rayon::prelude::*;
 use std::fmt;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
@@ -92,7 +95,7 @@ impl MeshSpec {
     }
 }
 
-/// One core's engine — any of the three bit-identical simulators.
+/// One core's engine — any of the four bit-identical simulators.
 #[derive(Debug, Clone)]
 pub enum CoreSim {
     /// The interpret-every-cycle golden model.
@@ -101,6 +104,8 @@ pub enum CoreSim {
     Decoded(Box<Simulator>),
     /// The block-compiled engine on its per-cycle path.
     Block(Box<BlockSimulator>),
+    /// The threaded-code engine on its per-cycle path.
+    Threaded(Box<ThreadedSimulator>),
 }
 
 impl CoreSim {
@@ -126,6 +131,11 @@ impl CoreSim {
                 bundles.to_vec(),
                 entry,
             )?)),
+            Engine::Threaded => CoreSim::Threaded(Box::new(ThreadedSimulator::try_new(
+                config,
+                bundles.to_vec(),
+                entry,
+            )?)),
         })
     }
 
@@ -134,6 +144,7 @@ impl CoreSim {
             CoreSim::Reference(s) => s.step(),
             CoreSim::Decoded(s) => s.step(),
             CoreSim::Block(s) => s.step(),
+            CoreSim::Threaded(s) => s.step(),
         }
     }
 
@@ -142,6 +153,7 @@ impl CoreSim {
             CoreSim::Reference(s) => s.set_memory(memory),
             CoreSim::Decoded(s) => s.set_memory(memory),
             CoreSim::Block(s) => s.set_memory(memory),
+            CoreSim::Threaded(s) => s.set_memory(memory),
         }
     }
 
@@ -150,6 +162,7 @@ impl CoreSim {
             CoreSim::Reference(s) => s.set_cycle_limit(limit),
             CoreSim::Decoded(s) => s.set_cycle_limit(limit),
             CoreSim::Block(s) => s.set_cycle_limit(limit),
+            CoreSim::Threaded(s) => s.set_cycle_limit(limit),
         }
     }
 
@@ -160,6 +173,7 @@ impl CoreSim {
             CoreSim::Reference(s) => s.memory(),
             CoreSim::Decoded(s) => s.memory(),
             CoreSim::Block(s) => s.memory(),
+            CoreSim::Threaded(s) => s.memory(),
         }
     }
 
@@ -168,6 +182,7 @@ impl CoreSim {
             CoreSim::Reference(s) => s.memory_mut(),
             CoreSim::Decoded(s) => s.memory_mut(),
             CoreSim::Block(s) => s.memory_mut(),
+            CoreSim::Threaded(s) => s.memory_mut(),
         }
     }
 
@@ -178,6 +193,7 @@ impl CoreSim {
             CoreSim::Reference(s) => s.gpr(index),
             CoreSim::Decoded(s) => s.gpr(index),
             CoreSim::Block(s) => s.gpr(index),
+            CoreSim::Threaded(s) => s.gpr(index),
         }
     }
 
@@ -188,6 +204,7 @@ impl CoreSim {
             CoreSim::Reference(s) => s.pred(index),
             CoreSim::Decoded(s) => s.pred(index),
             CoreSim::Block(s) => s.pred(index),
+            CoreSim::Threaded(s) => s.pred(index),
         }
     }
 
@@ -198,6 +215,7 @@ impl CoreSim {
             CoreSim::Reference(s) => s.btr(index),
             CoreSim::Decoded(s) => s.btr(index),
             CoreSim::Block(s) => s.btr(index),
+            CoreSim::Threaded(s) => s.btr(index),
         }
     }
 
@@ -208,6 +226,7 @@ impl CoreSim {
             CoreSim::Reference(s) => s.is_halted(),
             CoreSim::Decoded(s) => s.is_halted(),
             CoreSim::Block(s) => s.is_halted(),
+            CoreSim::Threaded(s) => s.is_halted(),
         }
     }
 
@@ -218,15 +237,18 @@ impl CoreSim {
             CoreSim::Reference(s) => s.stats(),
             CoreSim::Decoded(s) => s.stats(),
             CoreSim::Block(s) => s.stats(),
+            CoreSim::Threaded(s) => s.stats(),
         }
     }
 
-    /// Basic blocks executed on the block engine's fast path (0 on the
-    /// other engines; the lockstep array always steps per cycle).
+    /// Basic blocks executed on the block or threaded engine's fast
+    /// path (0 on the per-cycle engines; the lockstep array always
+    /// steps per cycle, so this stays 0 for every engine).
     #[must_use]
     pub fn fast_block_execs(&self) -> u64 {
         match self {
             CoreSim::Block(s) => s.fast_block_execs(),
+            CoreSim::Threaded(s) => s.fast_block_execs(),
             _ => 0,
         }
     }

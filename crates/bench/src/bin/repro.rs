@@ -15,7 +15,7 @@
 //! cargo run --release -p epic-bench --bin repro -- bench [--out <file>] [--full]
 //! cargo run --release -p epic-bench --bin repro -- bench --throughput [--out <file>] [--check]
 //! cargo run --release -p epic-bench --bin repro -- isx [--out <file>] [--check] [--full]
-//! cargo run --release -p epic-bench --bin repro -- array [--out <file>] [--check] [--full]
+//! cargo run --release -p epic-bench --bin repro -- array [--out <file>] [--check] [--engine <name>] [--full]
 //! cargo run --release -p epic-bench --bin repro -- all [--full]
 //! ```
 //!
@@ -31,10 +31,14 @@
 //! reassembles results by grid index, so the reported numbers are
 //! bit-identical at any thread count.
 //!
-//! `--engine <reference|decoded|block>` cross-checks the `bench` cycle
-//! grid on the named simulation engine: every grid point re-runs on it
-//! and the full statistics must match the measured (decoded) run bit for
-//! bit. CI drives the lockstep gate through this flag.
+//! `--engine <reference|decoded|block|threaded>` cross-checks the
+//! `bench` cycle grid on the named simulation engine: every grid point
+//! re-runs on it and the full statistics must match the measured
+//! (decoded) run bit for bit. CI drives the lockstep gate through this
+//! flag. For `array` the same flag instead selects the engine
+//! instantiated in every mesh core; the report is byte-identical for
+//! every engine (the lockstep array steps per cycle, where all four
+//! agree bit for bit).
 
 use epic_bench::sweep::{sweep_grid_observed, table1_parallel};
 use epic_bench::{render_headline, render_resources};
@@ -44,7 +48,9 @@ use epic_core::experiments::{
     run_epic_workload_with_engine, Table1,
 };
 use epic_core::explore::{pareto, render, sweep, sweep_alus};
-use epic_core::sim::{BlockSimulator, Engine, Memory, ReferenceSimulator, Simulator};
+use epic_core::sim::{
+    BlockSimulator, Engine, Memory, ReferenceSimulator, Simulator, ThreadedSimulator,
+};
 use epic_core::workloads::{self, Scale};
 use std::process::ExitCode;
 use std::time::Instant;
@@ -115,7 +121,12 @@ fn main() -> ExitCode {
         }
         "bench" => cmd_bench(scale, parse_out(&args), engine),
         "isx" => cmd_isx(scale, parse_out(&args), args.iter().any(|a| a == "--check")),
-        "array" => cmd_array(scale, parse_out(&args), args.iter().any(|a| a == "--check")),
+        "array" => cmd_array(
+            scale,
+            parse_out(&args),
+            args.iter().any(|a| a == "--check"),
+            engine,
+        ),
         "all" => cmd_all(scale),
         other => Err(format!(
             "unknown command `{other}`; see the module docs for usage"
@@ -600,7 +611,16 @@ fn cmd_isx(scale: Scale, out: Option<std::path::PathBuf>, check: bool) -> Result
 /// Without `--check` the command also times the 4×4 sweep under 1- and
 /// 8-thread host pools and prints the host-parallel speedup (wall-clock
 /// numbers are machine-local and stay out of the JSON).
-fn cmd_array(scale: Scale, out: Option<std::path::PathBuf>, check: bool) -> Result<(), String> {
+///
+/// `--engine <name>` selects the engine instantiated in every core; the
+/// report (and JSON) is byte-identical for all four, since the lockstep
+/// array steps per cycle and the engines agree bit for bit there.
+fn cmd_array(
+    scale: Scale,
+    out: Option<std::path::PathBuf>,
+    check: bool,
+    engine: Engine,
+) -> Result<(), String> {
     use epic_core::array::{link_name, MeshSpec};
     use epic_core::experiments::run_mesh_workload;
 
@@ -612,6 +632,9 @@ fn cmd_array(scale: Scale, out: Option<std::path::PathBuf>, check: bool) -> Resu
     println!(
         "Many-core array ({scale:?} scale): mesh workloads x mesh sizes, every run oracle-verified"
     );
+    if engine != Engine::Decoded {
+        println!("(every core runs on the {engine} engine)");
+    }
     println!(
         "{:<12} {:>5} {:>10} {:>12} {:>6} {:>8} {:>9} {:>7} {:>9}",
         "workload", "mesh", "cycles", "core cycles", "msgs", "words", "avg lat", "links", "busiest"
@@ -619,7 +642,7 @@ fn cmd_array(scale: Scale, out: Option<std::path::PathBuf>, check: bool) -> Resu
     let mut entries = String::new();
     for workload in &meshes {
         for (width, height) in MESHES {
-            let spec = MeshSpec::new(width, height);
+            let spec = MeshSpec::new(width, height).with_engine(engine);
             let run = run_mesh_workload(workload, &config, &spec)
                 .map_err(|e| format!("{} on {width}x{height}: {e}", workload.name))?;
             let outcome = &run.outcome;
@@ -734,7 +757,7 @@ fn cmd_array(scale: Scale, out: Option<std::path::PathBuf>, check: bool) -> Resu
         let start = Instant::now();
         pool.install(|| -> Result<(), String> {
             for mesh in &prepared {
-                let spec = MeshSpec::new(4, 4);
+                let spec = MeshSpec::new(4, 4).with_engine(engine);
                 let mut array = epic_core::experiments::instantiate_mesh(mesh, &config, &spec)
                     .map_err(|e| e.to_string())?;
                 array.run().map_err(|e| e.to_string())?;
@@ -756,19 +779,23 @@ fn cmd_array(scale: Scale, out: Option<std::path::PathBuf>, check: bool) -> Resu
 
 /// Engine throughput race: every workload × the four corners of the
 /// (ALUs, issue-width) grid, each binary prepared once (compile,
-/// assemble, profile training) and then run to completion on all three
+/// assemble, profile training) and then run to completion on all four
 /// engines from identical cloned machines. Timing is interleaved
-/// rep-major — reference, decoded, block, then again — so clock drift
-/// hits every engine equally, and the best of `REPS` timed runs counts.
-/// The warm-up pass records the architectural outputs, which must agree
-/// bit-for-bit across engines: a disagreement is an error, not a data
-/// point.
+/// rep-major — reference, decoded, block, threaded, then again — so
+/// clock drift hits every engine equally, and the best of `REPS` timed
+/// runs counts. The warm-up pass records the architectural outputs,
+/// which must agree bit-for-bit across engines: a disagreement is an
+/// error, not a data point. The table closes with a per-engine geomean
+/// summary row over all corner points.
 ///
 /// Writes `--out <file>` (default `BENCH_throughput.json`), schema
-/// `epic-bench-throughput/v1`. With `--check` the file is not rewritten;
-/// instead the deterministic fields (`sim_cycles`, `fast_block_execs`
-/// and the point set itself) are regenerated and verified against the
-/// committed file — wall times are machine-local and exempt.
+/// `epic-bench-throughput/v2` (v2 added the threaded engine, the
+/// per-point `chained_execs` count and the per-engine
+/// `geomean_cycles_per_sec` object). With `--check` the file is not
+/// rewritten; instead the deterministic fields (`sim_cycles`,
+/// `fast_block_execs`, `chained_execs` and the point set itself) are
+/// regenerated and verified against the committed file — wall times
+/// and the geomeans derived from them are machine-local and exempt.
 fn cmd_bench_throughput(
     scale: Scale,
     out: Option<std::path::PathBuf>,
@@ -783,7 +810,7 @@ fn cmd_bench_throughput(
          best of {REPS} interleaved runs"
     );
     println!(
-        "{:<10} {:>5} {:>3} {:>10} {:>12} {:>12} {:>12} {:>8} {:>11}",
+        "{:<10} {:>5} {:>3} {:>10} {:>10} {:>10} {:>10} {:>10} {:>8} {:>8} {:>10} {:>8}",
         "workload",
         "alus",
         "iw",
@@ -791,11 +818,17 @@ fn cmd_bench_throughput(
         "ref Mc/s",
         "dec Mc/s",
         "blk Mc/s",
+        "thr Mc/s",
         "blk/dec",
-        "fast blks"
+        "thr/dec",
+        "fast blks",
+        "chained"
     );
     let mut entries = String::new();
     let mut prefixes: Vec<String> = Vec::new();
+    // Sum of ln(cycles/sec) per engine, for the geomean summary row.
+    let mut ln_cps = [0f64; 4];
+    let mut points = 0usize;
     for workload in &workloads {
         for (alus, width) in CORNERS {
             let config = Config::builder()
@@ -821,27 +854,34 @@ fn cmd_bench_throughput(
                 sim
             };
             let block = {
-                let mut sim =
-                    BlockSimulator::try_new(&config, bundles, entry).map_err(|e| e.to_string())?;
+                let mut sim = BlockSimulator::try_new(&config, bundles.clone(), entry)
+                    .map_err(|e| e.to_string())?;
+                sim.set_memory(Memory::from_image(image.clone()));
+                sim
+            };
+            let threaded = {
+                let mut sim = ThreadedSimulator::try_new(&config, bundles, entry)
+                    .map_err(|e| e.to_string())?;
                 sim.set_memory(Memory::from_image(image));
                 sim
             };
 
             // One timed run of one engine on a clone of its template
-            // (construction and decode stay outside the clock).
-            let run_engine = |engine: Engine| -> (u128, u64, u64) {
+            // (construction, decode and translation stay outside the
+            // clock). Returns (wall ns, cycles, fast blocks, chained).
+            let run_engine = |engine: Engine| -> (u128, u64, u64, u64) {
                 match engine {
                     Engine::Reference => {
                         let mut sim = reference.clone();
                         let start = Instant::now();
                         sim.run().expect("verified workloads never fault");
-                        (start.elapsed().as_nanos(), sim.stats().cycles, 0)
+                        (start.elapsed().as_nanos(), sim.stats().cycles, 0, 0)
                     }
                     Engine::Decoded => {
                         let mut sim = decoded.clone();
                         let start = Instant::now();
                         sim.run().expect("verified workloads never fault");
-                        (start.elapsed().as_nanos(), sim.stats().cycles, 0)
+                        (start.elapsed().as_nanos(), sim.stats().cycles, 0, 0)
                     }
                     Engine::Block => {
                         let mut sim = block.clone();
@@ -851,21 +891,35 @@ fn cmd_bench_throughput(
                             start.elapsed().as_nanos(),
                             sim.stats().cycles,
                             sim.fast_block_execs(),
+                            0,
+                        )
+                    }
+                    Engine::Threaded => {
+                        let mut sim = threaded.clone();
+                        let start = Instant::now();
+                        sim.run().expect("verified workloads never fault");
+                        (
+                            start.elapsed().as_nanos(),
+                            sim.stats().cycles,
+                            sim.fast_block_execs(),
+                            sim.chained_execs(),
                         )
                     }
                 }
             };
 
-            let mut cycles = [0u64; 3];
-            let mut fast = [0u64; 3];
-            let mut best = [u128::MAX; 3];
+            let mut cycles = [0u64; 4];
+            let mut fast = [0u64; 4];
+            let mut chained = [0u64; 4];
+            let mut best = [u128::MAX; 4];
             for rep in 0..=REPS {
                 // Rep 0 warms caches and records the deterministic outputs.
                 for (ei, engine) in Engine::all().into_iter().enumerate() {
-                    let (ns, c, f) = run_engine(engine);
+                    let (ns, c, f, ch) = run_engine(engine);
                     if rep == 0 {
                         cycles[ei] = c;
                         fast[ei] = f;
+                        chained[ei] = ch;
                     } else {
                         if c != cycles[ei] {
                             return Err(format!(
@@ -878,16 +932,17 @@ fn cmd_bench_throughput(
                     }
                 }
             }
-            if cycles[0] != cycles[1] || cycles[1] != cycles[2] {
+            if cycles.iter().any(|&c| c != cycles[0]) {
                 return Err(format!(
                     "{} at {alus} ALU / {width}-wide: engines disagree on cycles \
-                     (reference {}, decoded {}, block {})",
-                    workload.name, cycles[0], cycles[1], cycles[2]
+                     (reference {}, decoded {}, block {}, threaded {})",
+                    workload.name, cycles[0], cycles[1], cycles[2], cycles[3]
                 ));
             }
             let mcps = |ei: usize| cycles[ei] as f64 * 1e3 / best[ei] as f64;
             println!(
-                "{:<10} {:>5} {:>3} {:>10} {:>12.2} {:>12.2} {:>12.2} {:>7.2}x {:>11}",
+                "{:<10} {:>5} {:>3} {:>10} {:>10.2} {:>10.2} {:>10.2} {:>10.2} {:>7.2}x {:>7.2}x \
+                 {:>10} {:>8}",
                 workload.name,
                 alus,
                 width,
@@ -895,14 +950,20 @@ fn cmd_bench_throughput(
                 mcps(0),
                 mcps(1),
                 mcps(2),
+                mcps(3),
                 best[1] as f64 / best[2] as f64,
-                fast[2]
+                best[1] as f64 / best[3] as f64,
+                fast[3],
+                chained[3]
             );
+            points += 1;
             for (ei, engine) in Engine::all().into_iter().enumerate() {
+                ln_cps[ei] += (cycles[ei] as f64 * 1e9 / best[ei] as f64).ln();
                 let prefix = format!(
                     "{{\"workload\": \"{}\", \"alus\": {alus}, \"issue_width\": {width}, \
-                     \"engine\": \"{engine}\", \"sim_cycles\": {}, \"fast_block_execs\": {},",
-                    workload.name, cycles[ei], fast[ei]
+                     \"engine\": \"{engine}\", \"sim_cycles\": {}, \"fast_block_execs\": {}, \
+                     \"chained_execs\": {},",
+                    workload.name, cycles[ei], fast[ei], chained[ei]
                 );
                 if !entries.is_empty() {
                     entries.push_str(",\n");
@@ -916,6 +977,20 @@ fn cmd_bench_throughput(
             }
         }
     }
+    let geomean = |ei: usize| (ln_cps[ei] / points as f64).exp();
+    println!(
+        "{:<10} {:>5} {:>3} {:>10} {:>10.2} {:>10.2} {:>10.2} {:>10.2} {:>7.2}x {:>7.2}x",
+        "geomean",
+        "-",
+        "-",
+        "-",
+        geomean(0) / 1e6,
+        geomean(1) / 1e6,
+        geomean(2) / 1e6,
+        geomean(3) / 1e6,
+        geomean(2) / geomean(1),
+        geomean(3) / geomean(1)
+    );
     if check {
         let committed = std::fs::read_to_string(&out)
             .map_err(|e| format!("--check: {}: {e}", out.display()))?;
@@ -943,9 +1018,16 @@ fn cmd_bench_throughput(
         );
         return Ok(());
     }
+    let geomeans = Engine::all()
+        .into_iter()
+        .enumerate()
+        .map(|(ei, engine)| format!("\"{engine}\": {:.0}", geomean(ei)))
+        .collect::<Vec<_>>()
+        .join(", ");
     let json = format!(
-        "{{\n  \"schema\": \"epic-bench-throughput/v1\",\n  \"scale\": \"{scale:?}\",\n  \
-         \"reps\": {REPS},\n  \"points\": [\n{entries}\n  ]\n}}\n"
+        "{{\n  \"schema\": \"epic-bench-throughput/v2\",\n  \"scale\": \"{scale:?}\",\n  \
+         \"reps\": {REPS},\n  \"geomean_cycles_per_sec\": {{{geomeans}}},\n  \
+         \"points\": [\n{entries}\n  ]\n}}\n"
     );
     std::fs::write(&out, json).map_err(|e| format!("{}: {e}", out.display()))?;
     println!("wrote {}", out.display());

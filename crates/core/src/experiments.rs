@@ -115,7 +115,7 @@ pub fn run_epic_workload_observed<S: TraceSink>(
 /// [`EngineRun`].
 ///
 /// The compile side — profile training included — is identical to
-/// [`run_epic_workload_observed`], so the three engines all execute the
+/// [`run_epic_workload_observed`], so the engines all execute the
 /// same schedule and their statistics are directly comparable (and,
 /// by the engines' contract, bit-identical).
 ///

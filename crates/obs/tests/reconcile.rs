@@ -1,11 +1,11 @@
 //! Differential reconciliation: the metrics registry must agree with
-//! the engine's own [`SimStats`] field for field, on **all three**
+//! the engine's own [`SimStats`] field for field, on **all four**
 //! execution engines, for every workload across the full ALU ×
 //! issue-width grid — and the engines must emit bit-identical
-//! trace-event streams. The block-compiled engine participates because
-//! an observing sink forces it off its folded fast path: observed, it
-//! must deliver the exact per-cycle event sequence the decoded engine
-//! does.
+//! trace-event streams. The block-compiled and threaded-code engines
+//! participate because an observing sink forces them off their fast
+//! paths: observed, each must deliver the exact per-cycle event
+//! sequence the decoded engine does.
 //!
 //! This is the contract that makes `epic-prof` trustworthy: every
 //! number it prints is derived from the event stream, and this test
@@ -16,7 +16,7 @@ use epic_core::compiler::{Compiler, Options};
 use epic_core::config::Config;
 use epic_core::workloads::{self, Scale};
 use epic_obs::{MetricsRegistry, RecordingSink, TeeSink};
-use epic_sim::{BlockSimulator, Memory, ReferenceSimulator, Simulator};
+use epic_sim::{BlockSimulator, Memory, ReferenceSimulator, Simulator, ThreadedSimulator};
 
 #[test]
 fn metrics_reconcile_on_all_engines_across_the_grid() {
@@ -81,6 +81,33 @@ fn metrics_reconcile_on_all_engines_across_the_grid() {
                     "{point}: block engine took the fast path under an observing sink"
                 );
 
+                // Threaded-code engine: likewise forced off chaining by
+                // the observing sink.
+                let mut threaded = ThreadedSimulator::try_new(
+                    &config,
+                    program.bundles().to_vec(),
+                    program.entry(),
+                )
+                .unwrap_or_else(|e| panic!("{point}: threaded translation: {e}"));
+                threaded.set_memory(Memory::from_image(image.clone()));
+                let mut threaded_sink =
+                    TeeSink(MetricsRegistry::default(), RecordingSink::default());
+                threaded
+                    .run_with_sink(&mut threaded_sink)
+                    .unwrap_or_else(|e| panic!("{point}: threaded run: {e}"));
+                let TeeSink(mut threaded_metrics, threaded_events) = threaded_sink;
+                threaded_metrics.finish();
+                threaded_metrics
+                    .reconcile(threaded.stats())
+                    .unwrap_or_else(|e| {
+                        panic!("{point}: threaded engine does not reconcile:\n{e}")
+                    });
+                assert_eq!(
+                    threaded.fast_block_execs() + threaded.chained_execs(),
+                    0,
+                    "{point}: threaded engine took a fast path under an observing sink"
+                );
+
                 // Frozen reference engine.
                 let mut reference =
                     ReferenceSimulator::new(&config, program.bundles().to_vec(), program.entry());
@@ -109,12 +136,22 @@ fn metrics_reconcile_on_all_engines_across_the_grid() {
                     block.stats(),
                     "{point}: block engine disagrees on statistics"
                 );
+                assert_eq!(
+                    decoded.stats(),
+                    threaded.stats(),
+                    "{point}: threaded engine disagrees on statistics"
+                );
                 let block_events = block_events.into_events();
+                let threaded_events = threaded_events.into_events();
                 let (decoded_events, reference_events) =
                     (decoded_events.into_events(), reference_events.into_events());
                 assert_eq!(
                     decoded_events, block_events,
                     "{point}: block engine event stream diverged from decoded"
+                );
+                assert_eq!(
+                    decoded_events, threaded_events,
+                    "{point}: threaded engine event stream diverged from decoded"
                 );
                 assert_eq!(
                     decoded_events.len(),

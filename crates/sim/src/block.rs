@@ -51,10 +51,42 @@ use std::sync::Arc;
 /// replay would indicate a bug, not a real schedule).
 const REPLAY_CYCLE_CAP: u64 = 10_000;
 
+/// Profitability floor: a block folding at least this many cycles
+/// always saves more per-cycle negotiation than its own dispatch costs
+/// (entry check, booking replay, table lookups).
+const MIN_FOLD_CYCLES: u64 = 3;
+
+/// Below [`MIN_FOLD_CYCLES`], a minimal two-cycle window must still
+/// fold at least this many instructions to out-save its admission cost.
+/// The throughput benchmark's regression points (aes 4×1, dct 1×4) are
+/// exactly two-cycle windows over one- and two-instruction bundles,
+/// where the entry-cap scan costs as much as the negotiation it skips.
+const MIN_FOLD_INSTRUCTIONS: u64 = 6;
+
+/// Runtime half of the profitability gate: a compiled block whose entry
+/// signature fails this many consecutive admission attempts is demoted
+/// from the table. A hot leader whose caps never hold (typical on
+/// narrow machines where results are still in flight at re-entry) would
+/// otherwise pay a wasted entry scan on every visit.
+const DEMOTE_STRIKES: u8 = 16;
+
+/// Which translated blocks an engine registers for its fast path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum FoldGate {
+    /// Only blocks predicted to out-save their admission cost: the
+    /// block engine pays a full entry-cap scan on *every* execution, so
+    /// minimal windows over thin bundles fold at a loss.
+    Profitable,
+    /// Every translatable block: the threaded engine amortises
+    /// admission through chaining and trace linking and executes bodies
+    /// as pre-bound micro-op runs, so even minimal windows win.
+    All,
+}
+
 /// One scoreboard booking a block issues, with its ready cycle relative
 /// to the block's entry cycle.
 #[derive(Debug, Clone, Copy)]
-enum Booking {
+pub(crate) enum Booking {
     /// `gpr_ready[reg] = entry_cycle + rel`.
     Gpr(u16, u64),
     /// `pred_ready[reg] = entry_cycle + rel`.
@@ -64,34 +96,42 @@ enum Booking {
 }
 
 /// A basic block whose issue schedule has been folded at load time.
+///
+/// Shared between the block-compiled engine and the threaded-code
+/// engine (`crate::threaded`), which reuses the folded schedule as the
+/// pre-bound payload of its step streams.
 #[derive(Debug, Clone)]
-struct CompiledBlock {
+pub(crate) struct CompiledBlock {
     /// Address of the first bundle (the block leader).
-    first: u32,
+    pub(crate) first: u32,
     /// Number of bundles in the block (terminator included, `>= 2`).
-    n: usize,
+    pub(crate) n: usize,
     /// Cycles from block entry until the terminator has issued.
-    block_cycles: u64,
+    pub(crate) block_cycles: u64,
     /// Stall counters the block's schedule accumulates.
-    folded: StallBreakdown,
+    pub(crate) folded: StallBreakdown,
     /// The folded stalls as `(relative cycle, cause)` events, in cycle
     /// order, for reconstructing a fault interrupted mid-block.
-    folded_events: Vec<(u64, StallCause)>,
+    pub(crate) folded_events: Vec<(u64, StallCause)>,
     /// Relative issue cycle of each bundle in the block.
-    issue_rel: Vec<u64>,
-    /// Scoreboard bookings per bundle, in issue order.
-    bookings: Vec<Vec<Booking>>,
+    pub(crate) issue_rel: Vec<u64>,
+    /// Scoreboard bookings per bundle, in issue order (the fault path
+    /// replays the issued prefix bundle by bundle).
+    pub(crate) bookings: Vec<Vec<Booking>>,
+    /// All bookings concatenated in issue order: the success path
+    /// applies them in one flat pass.
+    pub(crate) flat_bookings: Vec<Booking>,
     /// Entry signature: the replay is exact iff, for each `(reg, cap)`,
     /// the live ready cycle is at most `entry_cycle + cap`.
-    entry_gpr_caps: Vec<(u16, u64)>,
-    entry_pred_caps: Vec<(u16, u64)>,
-    entry_btr_caps: Vec<(u16, u64)>,
+    pub(crate) entry_gpr_caps: Vec<(u16, u64)>,
+    pub(crate) entry_pred_caps: Vec<(u16, u64)>,
+    pub(crate) entry_btr_caps: Vec<(u16, u64)>,
     /// Data-memory operations the body performs (0 when memory
     /// contention is off — debt is then never charged).
-    body_mem_ops: u32,
+    pub(crate) body_mem_ops: u32,
     /// Fetch-bandwidth debt outstanding when the block exits (entry
     /// debt is required to be 0 whenever `body_mem_ops > 0`).
-    exit_debt: u32,
+    pub(crate) exit_debt: u32,
 }
 
 /// The block-compiled simulator: a [`Simulator`] plus compiled blocks.
@@ -102,8 +142,12 @@ struct CompiledBlock {
 #[derive(Debug, Clone)]
 pub struct BlockSimulator {
     sim: Simulator,
-    /// Compiled block per leader address (`None` off-leader/ineligible).
-    blocks: Vec<Option<CompiledBlock>>,
+    /// Compiled block per leader address (`None` off-leader/ineligible;
+    /// boxed so the per-cycle table walk touches dense 8-byte slots).
+    blocks: Vec<Option<Box<CompiledBlock>>>,
+    /// Consecutive entry-signature rejections per leader (runtime
+    /// profitability: [`DEMOTE_STRIKES`] rejections demote the block).
+    strikes: Vec<u8>,
     fast_blocks: u64,
 }
 
@@ -122,10 +166,16 @@ impl BlockSimulator {
     ) -> Result<Self, SimError> {
         let cfg = Cfg::build(config, &bundles);
         let sim = Simulator::try_new(config, bundles, entry)?;
-        let blocks = compile_blocks(&sim.program, &cfg, entry);
+        let blocks: Vec<Option<Box<CompiledBlock>>> =
+            compile_blocks(&sim.program, &cfg, entry, FoldGate::Profitable)
+                .into_iter()
+                .map(|b| b.map(Box::new))
+                .collect();
+        let strikes = vec![0; blocks.len()];
         Ok(BlockSimulator {
             sim,
             blocks,
+            strikes,
             fast_blocks: 0,
         })
     }
@@ -274,18 +324,26 @@ impl BlockSimulator {
                         self.sim.finish_cycle(sink);
                         continue;
                     }
-                    let block = self
-                        .blocks
-                        .get(self.sim.pc as usize)
-                        .and_then(Option::as_ref)
-                        .filter(|b| entry_ok(&self.sim, b));
-                    if let Some(block) = block {
-                        run_block(&mut self.sim, &program, block)?;
-                        self.fast_blocks += 1;
-                    } else {
-                        self.sim.try_issue(&program, sink)?;
-                        self.sim.finish_cycle(sink);
+                    let pc = self.sim.pc as usize;
+                    match self.blocks.get(pc).and_then(Option::as_deref) {
+                        Some(block) if entry_ok(&self.sim, block) => {
+                            self.strikes[pc] = 0;
+                            run_block(&mut self.sim, &program, block)?;
+                            self.fast_blocks += 1;
+                            continue;
+                        }
+                        Some(_) => {
+                            // Runtime profitability: a leader whose caps
+                            // keep failing stops paying the entry scan.
+                            self.strikes[pc] += 1;
+                            if self.strikes[pc] >= DEMOTE_STRIKES {
+                                self.blocks[pc] = None;
+                            }
+                        }
+                        None => {}
                     }
+                    self.sim.try_issue(&program, sink)?;
+                    self.sim.finish_cycle(sink);
                 }
             }
         }
@@ -298,7 +356,7 @@ impl BlockSimulator {
 /// Called with the front end clean at the leader: nothing in stage 2,
 /// no flush bubbles pending and `mem_debt < 2` (the pre-issue ladder
 /// just passed).
-fn entry_ok(sim: &Simulator, block: &CompiledBlock) -> bool {
+pub(crate) fn entry_ok(sim: &Simulator, block: &CompiledBlock) -> bool {
     let c = sim.cycle;
     // A pending or already-paid port wait for the leader would change
     // the replayed port accounting.
@@ -336,7 +394,7 @@ fn entry_ok(sim: &Simulator, block: &CompiledBlock) -> bool {
 
 /// Executes one compiled block on the fast path: body bundles through
 /// the shared write-back semantics, schedule from the folded constants.
-fn run_block(
+pub(crate) fn run_block(
     sim: &mut Simulator,
     program: &DecodedProgram,
     block: &CompiledBlock,
@@ -347,47 +405,57 @@ fn run_block(
         match sim.execute_bundle(program, addr, &mut NopSink) {
             Ok(redirect) => debug_assert!(redirect.is_none(), "body bundles cannot branch"),
             Err(e) => {
-                // Reconstruct the exact per-cycle machine state at the
-                // fault: the decoded engine would have died in the
-                // execute stage of relative cycle `issue_rel[i] + 1`,
-                // with bundles `0..=i` issued and their stalls counted.
-                let fault_rel = block.issue_rel[i];
-                for bundle in &block.bookings[..=i] {
-                    apply_bookings(sim, c, bundle);
-                }
-                let mut contention = 0u64;
-                for &(rel, cause) in &block.folded_events {
-                    if rel > fault_rel {
-                        break;
-                    }
-                    add_stall(&mut sim.stats.stalls, cause);
-                    if cause == StallCause::MemoryContention {
-                        contention += 1;
-                    }
-                }
-                // The body's execute steps charged debt live; pay the
-                // contention stalls the folded schedule already took.
-                sim.mem_debt -= 2 * contention as u32;
-                sim.cycle = c + fault_rel + 1;
-                sim.stats.cycles = sim.cycle;
-                sim.pc = addr + 1;
-                sim.stage2 = None;
-                sim.port_wait = 0;
-                sim.port_wait_pc = None;
+                fault_unwind(sim, block, c, i);
                 return Err(e);
             }
         }
     }
-    for bundle in &block.bookings {
-        apply_bookings(sim, c, bundle);
+    fold_exit(sim, block, c);
+    Ok(())
+}
+
+/// Rewinds a folded block interrupted by a fault in body bundle `i` to
+/// the exact per-cycle machine state: the decoded engine would have
+/// died in the execute stage of relative cycle `issue_rel[i] + 1`, with
+/// bundles `0..=i` issued and their stalls counted.
+pub(crate) fn fault_unwind(sim: &mut Simulator, block: &CompiledBlock, entry_cycle: u64, i: usize) {
+    let fault_rel = block.issue_rel[i];
+    for bundle in &block.bookings[..=i] {
+        apply_bookings(sim, entry_cycle, bundle);
     }
+    let mut contention = 0u64;
+    for &(rel, cause) in &block.folded_events {
+        if rel > fault_rel {
+            break;
+        }
+        add_stall(&mut sim.stats.stalls, cause);
+        if cause == StallCause::MemoryContention {
+            contention += 1;
+        }
+    }
+    // The body's execute steps charged debt live; pay the contention
+    // stalls the folded schedule already took.
+    sim.mem_debt -= 2 * contention as u32;
+    sim.cycle = entry_cycle + fault_rel + 1;
+    sim.stats.cycles = sim.cycle;
+    sim.pc = block.first + i as u32 + 1;
+    sim.stage2 = None;
+    sim.port_wait = 0;
+    sim.port_wait_pc = None;
+}
+
+/// Applies a folded block's exit state after its body executed: the
+/// flat scoreboard bookings, the folded stall counters, the cycle jump,
+/// and the staged terminator.
+pub(crate) fn fold_exit(sim: &mut Simulator, block: &CompiledBlock, entry_cycle: u64) {
+    apply_bookings(sim, entry_cycle, &block.flat_bookings);
     let folded = &block.folded;
     sim.stats.stalls.data_hazard += folded.data_hazard;
     sim.stats.stalls.unit_busy += folded.unit_busy;
     sim.stats.stalls.regfile_port += folded.regfile_port;
     sim.stats.stalls.branch_flush += folded.branch_flush;
     sim.stats.stalls.memory_contention += folded.memory_contention;
-    sim.cycle = c + block.block_cycles;
+    sim.cycle = entry_cycle + block.block_cycles;
     sim.stats.cycles = sim.cycle;
     // The terminator issued on the window's last cycle; it executes —
     // branches, halts, faults and all — in the next per-cycle step.
@@ -399,10 +467,9 @@ fn run_block(
     if block.body_mem_ops > 0 {
         sim.mem_debt = block.exit_debt;
     }
-    Ok(())
 }
 
-fn apply_bookings(sim: &mut Simulator, entry_cycle: u64, bookings: &[Booking]) {
+pub(crate) fn apply_bookings(sim: &mut Simulator, entry_cycle: u64, bookings: &[Booking]) {
     for &booking in bookings {
         match booking {
             Booking::Gpr(r, rel) => sim.gpr_ready[r as usize] = entry_cycle + rel,
@@ -427,7 +494,14 @@ fn add_stall(stalls: &mut StallBreakdown, cause: StallCause) {
 /// target and every bundle following a terminator; a block runs from
 /// its leader to the first terminator (a bundle containing a branch or
 /// halt, the last bundle, or a bundle whose successor is a leader).
-fn compile_blocks(program: &DecodedProgram, cfg: &Cfg, entry: u32) -> Vec<Option<CompiledBlock>> {
+/// Under [`FoldGate::Profitable`], blocks predicted to fold at a loss
+/// are dropped (see [`profitable`]).
+pub(crate) fn compile_blocks(
+    program: &DecodedProgram,
+    cfg: &Cfg,
+    entry: u32,
+    gate: FoldGate,
+) -> Vec<Option<CompiledBlock>> {
     let len = program.bundles.len();
     let mut is_leader = vec![false; len];
     if (entry as usize) < len {
@@ -468,8 +542,26 @@ fn compile_blocks(program: &DecodedProgram, cfg: &Cfg, entry: u32) -> Vec<Option
                 return None; // No straight-line body to fold.
             }
             translate(program, leader, term)
+                .filter(|b| gate == FoldGate::All || profitable(program, b))
         })
         .collect()
+}
+
+/// Whether a folded window is predicted to out-save the admission cost
+/// the block engine pays per execution (the entry-cap scan plus the
+/// booking replay): either the window spans enough cycles, or — for a
+/// minimal two-cycle window — it folds enough instructions that the
+/// skipped issue negotiation dominates.
+fn profitable(program: &DecodedProgram, block: &CompiledBlock) -> bool {
+    if block.block_cycles >= MIN_FOLD_CYCLES {
+        return true;
+    }
+    let first = block.first as usize;
+    let instructions: u64 = program.bundles[first..first + block.n]
+        .iter()
+        .map(|b| b.instructions)
+        .sum();
+    instructions >= MIN_FOLD_INSTRUCTIONS
 }
 
 /// Symbolically replays the issue logic of bundles `[first..=last]`
@@ -637,6 +729,7 @@ fn translate(program: &DecodedProgram, first: usize, last: usize) -> Option<Comp
     };
 
     let body_mem_ops = mem_ops.iter().sum();
+    let flat_bookings = bookings.iter().flatten().copied().collect();
     Some(CompiledBlock {
         first: first as u32,
         n,
@@ -645,6 +738,7 @@ fn translate(program: &DecodedProgram, first: usize, last: usize) -> Option<Comp
         folded_events,
         issue_rel,
         bookings,
+        flat_bookings,
         entry_gpr_caps: sorted(gpr_caps),
         entry_pred_caps: sorted(pred_caps),
         entry_btr_caps: sorted(btr_caps),

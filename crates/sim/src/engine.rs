@@ -5,7 +5,7 @@ use std::str::FromStr;
 
 /// Which execution engine simulates a program.
 ///
-/// All three are architecturally bit-identical (stats, registers,
+/// All four are architecturally bit-identical (stats, registers,
 /// memory); they differ only in wall-clock throughput and in how much
 /// work happens at load time. See the README's engine-selection table.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
@@ -20,22 +20,34 @@ pub enum Engine {
     /// line basic-block bodies with statically folded cycle accounting,
     /// falling back to the decoded engine per bundle.
     Block,
+    /// The threaded-code engine ([`crate::ThreadedSimulator`]):
+    /// translated step streams over the compiled-block table, with
+    /// block chaining and trace linking on top, falling back to the
+    /// decoded engine per bundle.
+    Threaded,
 }
 
 impl Engine {
     /// All engines, in oracle-to-fastest order.
     #[must_use]
-    pub fn all() -> [Engine; 3] {
-        [Engine::Reference, Engine::Decoded, Engine::Block]
+    pub fn all() -> [Engine; 4] {
+        [
+            Engine::Reference,
+            Engine::Decoded,
+            Engine::Block,
+            Engine::Threaded,
+        ]
     }
 
-    /// The command-line name (`reference` / `decoded` / `block`).
+    /// The command-line name (`reference` / `decoded` / `block` /
+    /// `threaded`).
     #[must_use]
     pub fn name(self) -> &'static str {
         match self {
             Engine::Reference => "reference",
             Engine::Decoded => "decoded",
             Engine::Block => "block",
+            Engine::Threaded => "threaded",
         }
     }
 }
@@ -54,8 +66,9 @@ impl FromStr for Engine {
             "reference" => Ok(Engine::Reference),
             "decoded" => Ok(Engine::Decoded),
             "block" => Ok(Engine::Block),
+            "threaded" => Ok(Engine::Threaded),
             other => Err(format!(
-                "unknown engine `{other}` (expected `reference`, `decoded` or `block`)"
+                "unknown engine `{other}` (expected `reference`, `decoded`, `block` or `threaded`)"
             )),
         }
     }

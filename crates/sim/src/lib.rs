@@ -62,6 +62,7 @@ mod profile;
 mod reference;
 mod semantics;
 mod stats;
+mod threaded;
 mod trace;
 
 pub use block::BlockSimulator;
@@ -72,4 +73,5 @@ pub use memory::Memory;
 pub use profile::{PcProfile, ProfileSink};
 pub use reference::ReferenceSimulator;
 pub use stats::{SimStats, StallBreakdown, StallCause, StallEvent};
+pub use threaded::ThreadedSimulator;
 pub use trace::{NopSink, TeeSink, TraceSink};

@@ -1,0 +1,945 @@
+//! The threaded-code execution engine.
+//!
+//! The block-compiled engine (`block.rs`) folds each basic block's
+//! issue negotiation into load-time constants, but every block exit
+//! still returns to the generic dispatch loop: the terminator executes
+//! through [`Simulator::step_front`], the redirect walks the pre-issue
+//! stall ladder one cycle at a time, and the next block pays a fresh
+//! table lookup and entry check. On short blocks that dispatch overhead
+//! eats the folded savings — the throughput benchmark showed grid
+//! points where the block engine *loses* to the decoded engine.
+//!
+//! [`ThreadedSimulator`] removes the dispatcher from the hot path. At
+//! load time it translates the decoded program plus the shared
+//! [`CompiledBlock`] table into a flat **step table**: one pre-bound
+//! [`Step`] per bundle address, resolving at translation time which
+//! addresses head a folded stream and which fall back to per-cycle
+//! interpretation. The run loop is then a tight
+//! `loop { match steps[pc] { ... } }` over that table with no per-cycle
+//! scoreboard re-derivation on the fast path:
+//!
+//! * **Micro-op runs** — each stream's body is re-bound at translation
+//!   time: maximal runs of *pure* bundles (no memory traffic, no op
+//!   reading a register an earlier op of the same bundle writes)
+//!   become flat arrays of pre-bound micro-ops executed with direct
+//!   register writes — no write buffer, no `ExecCtx` construction —
+//!   and their static statistics (bundles, nops, instructions,
+//!   unit-busy cycles) fold into one delta applied per run. Pure runs
+//!   cannot fault, so exactness is free; impure bundles (memory
+//!   traffic) stay on the shared write-buffered path with the block
+//!   engine's exact fault unwinding.
+//! * **Block chaining** — after a stream's folded body executes, the
+//!   terminator bundle runs *inside the chain loop* (through the shared
+//!   [`Simulator::execute_bundle`] write-back path), its redirect and
+//!   flush bubbles are paid in place, and control jumps directly into
+//!   the successor's step stream when its entry-readiness caps hold —
+//!   without ever returning to the generic dispatcher. The
+//!   [`chained_execs`](ThreadedSimulator::chained_execs) counter
+//!   records every such direct hand-off.
+//! * **Trace linking** — a hot self-loop settles into a steady state:
+//!   after one verified lap (leader → taken back-edge → same leader),
+//!   every scoreboard residue at the next entry is a pure function of
+//!   the block's own bookings and the lap length, so the engine
+//!   memoises (block, scoreboard signature) and admits subsequent laps
+//!   in O(1) — a cycle-budget compare — instead of re-scanning the
+//!   entry caps. The signature is the fetch-bandwidth debt left by the
+//!   terminator, the only lap-to-lap input that can change the lap's
+//!   stall schedule; see `run_chain` for the full soundness argument.
+//!
+//! Everything irregular — entry caps violated, mid-flush, divides,
+//! faults, cycle budget, untranslated addresses — leaves the chain and
+//! re-enters the decoded per-cycle engine at a state the generic
+//! dispatcher can resume exactly, so `SimStats`, registers, memory and
+//! faults stay **bit-identical** to [`crate::Simulator`] by
+//! construction. Under an observing [`TraceSink`] (or per-cycle stall
+//! recording) the engine stands down entirely and runs the decoded
+//! per-cycle loop, producing identical event streams.
+
+use crate::block::{compile_blocks, entry_ok, fault_unwind, fold_exit, CompiledBlock, FoldGate};
+use crate::decoded::{DecodedBundle, DecodedProgram};
+use crate::error::SimError;
+use crate::exec::{eval_alu_basic, eval_cmp};
+use crate::machine::{Simulator, StepPhase};
+use crate::memory::Memory;
+use crate::semantics::{Action, DecodedOp, Src};
+use crate::stats::{SimStats, StallEvent};
+use crate::trace::{NopSink, TraceSink};
+use epic_config::Config;
+use epic_isa::Instruction;
+use epic_mdes::cfg::Cfg;
+use std::sync::Arc;
+
+/// One entry of the translated step table, pre-bound per bundle address.
+#[derive(Debug, Clone, Copy)]
+enum Step {
+    /// A folded stream starts here: index into the stream arena.
+    Enter(u32),
+    /// Untranslated address: issue per-cycle through the decoded path.
+    Interp,
+}
+
+/// Statistics a pure micro-op run folds at translation time: every
+/// counter [`Simulator::execute_bundle`] bumps unconditionally, summed
+/// over the run's bundles and applied in one shot per execution. Only
+/// the squash counter is runtime-dependent (guards) and stays live.
+#[derive(Debug, Clone, Copy, Default)]
+struct RunStats {
+    bundles: u64,
+    nops: u64,
+    instructions: u64,
+    unit_ops: [u64; 4],
+}
+
+/// One step of a translated stream body.
+#[derive(Debug, Clone, Copy)]
+enum BodyStep {
+    /// A run of consecutive *pure* bundles — no memory traffic (so no
+    /// faults, no debt, no load/store counters) and no op reading a
+    /// register an earlier op of the same bundle writes (so direct
+    /// writes preserve the reads-see-pre-bundle-state contract). The
+    /// ops live at `fast_ops[from..to]` and execute with direct
+    /// register writes; the static statistics apply as one delta.
+    Run {
+        /// Start of the run's ops in the stream's flat arena.
+        from: u32,
+        /// End (exclusive) of the run's ops.
+        to: u32,
+        /// The run's pre-folded static statistics.
+        stats: RunStats,
+    },
+    /// Body bundle `i` (relative to the leader) needs the full
+    /// write-buffered execute path: memory traffic or an intra-bundle
+    /// read of a just-written register.
+    Exec(u32),
+}
+
+/// A translated stream: the folded block schedule, its body re-bound as
+/// micro-op steps, plus the trace-link memo that admits steady-state
+/// laps in O(1).
+#[derive(Debug, Clone)]
+struct Stream {
+    block: CompiledBlock,
+    /// The body translated into pure micro-op runs and exact-path
+    /// fallbacks, in bundle order (terminator excluded).
+    body: Box<[BodyStep]>,
+    /// Flat arena of the pure runs' pre-bound ops.
+    fast_ops: Box<[DecodedOp]>,
+    /// Memoised scoreboard signature of a verified self-loop lap: the
+    /// fetch-bandwidth debt the terminator left behind. A later lap
+    /// arriving with the same signature is admissible without
+    /// re-scanning the entry caps.
+    link: Option<u32>,
+}
+
+/// How a chain run handed control back.
+enum ChainExit {
+    /// `HALT` executed and its cycle retired; the run is complete.
+    Halted,
+    /// Control left the translated streams. `executed` reports whether
+    /// any stream ran (if not, the dispatcher still owns this cycle and
+    /// must issue per-cycle).
+    Dispatch { executed: bool },
+}
+
+/// The threaded-code simulator: a [`Simulator`] plus translated step
+/// streams with block chaining and trace linking.
+///
+/// Construction, state accessors and semantics match [`Simulator`]
+/// exactly; only the time-to-result differs. See the module
+/// documentation for the execution model.
+#[derive(Debug, Clone)]
+pub struct ThreadedSimulator {
+    sim: Simulator,
+    /// Pre-bound step per bundle address.
+    steps: Vec<Step>,
+    /// Arena of translated streams, indexed by [`Step::Enter`].
+    streams: Vec<Stream>,
+    fast_blocks: u64,
+    chained: u64,
+    linked: u64,
+}
+
+impl ThreadedSimulator {
+    /// Creates a threaded-code simulator for a configuration, program
+    /// and entry bundle, translating eligible basic blocks into step
+    /// streams up front.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::IllegalBundle`] exactly when
+    /// [`Simulator::try_new`] does.
+    pub fn try_new(
+        config: &Config,
+        bundles: Vec<Vec<Instruction>>,
+        entry: u32,
+    ) -> Result<Self, SimError> {
+        let cfg = Cfg::build(config, &bundles);
+        let sim = Simulator::try_new(config, bundles, entry)?;
+        // Unlike the block engine, translate *every* foldable block:
+        // chaining and trace linking amortise the admission cost, and
+        // the micro-op runs make even minimal windows profitable.
+        let blocks = compile_blocks(&sim.program, &cfg, entry, FoldGate::All);
+        let mut steps = vec![Step::Interp; sim.program.bundles.len()];
+        let mut streams = Vec::new();
+        for (addr, block) in blocks.into_iter().enumerate() {
+            if let Some(block) = block {
+                steps[addr] = Step::Enter(streams.len() as u32);
+                streams.push(translate_stream(&sim.program, block));
+            }
+        }
+        Ok(ThreadedSimulator {
+            sim,
+            steps,
+            streams,
+            fast_blocks: 0,
+            chained: 0,
+            linked: 0,
+        })
+    }
+
+    /// Installs the data memory (e.g. a module's initial image).
+    pub fn set_memory(&mut self, memory: Memory) {
+        self.sim.set_memory(memory);
+    }
+
+    /// Caps the simulated cycles (runaway backstop).
+    pub fn set_cycle_limit(&mut self, limit: u64) {
+        self.sim.set_cycle_limit(limit);
+    }
+
+    /// The data memory.
+    #[must_use]
+    pub fn memory(&self) -> &Memory {
+        self.sim.memory()
+    }
+
+    /// Mutable access to the data memory (see
+    /// [`Simulator::memory_mut`]).
+    pub fn memory_mut(&mut self) -> &mut Memory {
+        self.sim.memory_mut()
+    }
+
+    /// Reads a general-purpose register.
+    #[must_use]
+    pub fn gpr(&self, index: usize) -> u32 {
+        self.sim.gpr(index)
+    }
+
+    /// Reads a predicate register (`p0` is hard-wired true).
+    #[must_use]
+    pub fn pred(&self, index: usize) -> bool {
+        self.sim.pred(index)
+    }
+
+    /// Reads a branch target register.
+    #[must_use]
+    pub fn btr(&self, index: usize) -> u32 {
+        self.sim.btr(index)
+    }
+
+    /// Elapsed processor cycles.
+    #[must_use]
+    pub fn cycle(&self) -> u64 {
+        self.sim.cycle()
+    }
+
+    /// Whether the processor has executed `HALT`.
+    #[must_use]
+    pub fn is_halted(&self) -> bool {
+        self.sim.is_halted()
+    }
+
+    /// Statistics gathered so far.
+    #[must_use]
+    pub fn stats(&self) -> &SimStats {
+        self.sim.stats()
+    }
+
+    /// Enables (or disables) per-cycle stall recording. While recording
+    /// is on the fast path stands down, so the log is complete.
+    pub fn record_stalls(&mut self, on: bool) {
+        self.sim.record_stalls(on);
+    }
+
+    /// The stall events recorded so far.
+    #[must_use]
+    pub fn stall_log(&self) -> &[StallEvent] {
+        self.sim.stall_log()
+    }
+
+    /// How many translated streams executed on the fast path.
+    ///
+    /// Deliberately *not* part of [`SimStats`]: statistics must compare
+    /// equal across engines, and this counter is an engine property.
+    #[must_use]
+    pub fn fast_block_execs(&self) -> u64 {
+        self.fast_blocks
+    }
+
+    /// How many stream executions were entered by chaining — directly
+    /// from a predecessor's terminator, without returning to the
+    /// generic dispatcher. An engine property, not part of `SimStats`.
+    #[must_use]
+    pub fn chained_execs(&self) -> u64 {
+        self.chained
+    }
+
+    /// How many stream entries were admitted by the trace-link memo
+    /// (O(1), no entry-cap scan). Always counted in
+    /// [`chained_execs`](ThreadedSimulator::chained_execs) too.
+    #[must_use]
+    pub fn linked_execs(&self) -> u64 {
+        self.linked
+    }
+
+    /// How many basic blocks translated to a step stream.
+    #[must_use]
+    pub fn translated_blocks(&self) -> usize {
+        self.streams.len()
+    }
+
+    /// Unwraps the underlying per-cycle simulator.
+    #[must_use]
+    pub fn into_inner(self) -> Simulator {
+        self.sim
+    }
+
+    /// Advances exactly one processor cycle on the per-cycle decoded
+    /// path. Returns `false` once halted.
+    ///
+    /// The translated fast path only exists for whole-run execution —
+    /// it jumps the cycle counter across entire streams, which a caller
+    /// stepping the machine in lockstep with external agents (the
+    /// many-core array's mesh exchange) must never observe. Results
+    /// stay bit-identical to [`run`](ThreadedSimulator::run) by the
+    /// engine contract; only time-to-result differs.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`SimError`] raised (as [`Simulator::step`]
+    /// does).
+    pub fn step(&mut self) -> Result<bool, SimError> {
+        self.sim.step()
+    }
+
+    /// Runs until `HALT` (or an error), chaining through every
+    /// translated stream whose entry signature is satisfied.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`SimError`] raised, with the interrupted
+    /// machine state identical to the decoded engine's.
+    pub fn run(&mut self) -> Result<&SimStats, SimError> {
+        self.run_with_sink(&mut NopSink)
+    }
+
+    /// Runs until `HALT`, streaming per-cycle events into `sink`.
+    ///
+    /// An observing sink (`S::OBSERVED == true`) disables the fast path
+    /// — folded streams have no per-cycle events to report — so such
+    /// runs are plain decoded-engine runs with identical event streams.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`SimError`] raised.
+    pub fn run_with_sink<S: TraceSink>(&mut self, sink: &mut S) -> Result<&SimStats, SimError> {
+        let program = Arc::clone(&self.sim.program);
+        if S::OBSERVED || self.sim.recording_stalls() {
+            while self.sim.step_program(&program, sink)? {}
+            return Ok(self.sim.stats());
+        }
+        loop {
+            match self.sim.step_front(&program, sink)? {
+                StepPhase::Halted => return Ok(self.sim.stats()),
+                StepPhase::Drained => {}
+                StepPhase::Issue(redirect) => {
+                    if self.sim.pre_issue_stall(&program, redirect, sink) {
+                        self.sim.finish_cycle(sink);
+                        continue;
+                    }
+                    // Cheap pre-filter: only enter the chain loop when a
+                    // stream actually starts here, so untranslated
+                    // regions pay one table load over the decoded path.
+                    if matches!(self.steps.get(self.sim.pc as usize), Some(Step::Enter(_))) {
+                        match self.run_chain(&program)? {
+                            ChainExit::Halted => return Ok(self.sim.stats()),
+                            ChainExit::Dispatch { executed: true } => continue,
+                            ChainExit::Dispatch { executed: false } => {}
+                        }
+                    }
+                    self.sim.try_issue(&program, sink)?;
+                    self.sim.finish_cycle(sink);
+                }
+            }
+        }
+    }
+
+    /// The chain loop: executes translated streams back to back from
+    /// the current dispatch point until control leaves the tables.
+    ///
+    /// Entered with the front end clean at `pc` (nothing in stage 2, no
+    /// flush bubbles, `mem_debt < 2`) — exactly the state in which the
+    /// decoded engine would attempt to issue. On `Dispatch` exits the
+    /// machine is always in a state the generic dispatcher resumes
+    /// exactly: either at the top of a fresh cycle, or mid-cycle with
+    /// stage 2 empty and the pre-issue ladder idempotent, or (on cycle
+    /// budget exhaustion) with the pending state intact so
+    /// [`Simulator::step_front`] raises [`SimError::CycleLimit`] at the
+    /// same cycle the decoded engine would.
+    ///
+    /// # Trace-link soundness
+    ///
+    /// For a self-loop lap (stream S, taken back-edge to S's leader),
+    /// the entry caps at the next arrival depend only on (a) S's own
+    /// bookings — every booked register's readiness is `entry + rel`,
+    /// so its residue at the next entry is `rel - lap_len`, independent
+    /// of prior state — and (b) entry-carried registers, whose residues
+    /// only decay as cycles pass. The lap length is `block_cycles + 1 +
+    /// flush_penalty + contention stalls`, where only the contention
+    /// stalls vary — and they are a pure function of the debt the
+    /// terminator leaves behind. Hence: once a lap has been *verified*
+    /// (entry caps re-checked after one full lap), any later lap
+    /// arriving with the same terminator debt is admissible, and only
+    /// the cycle budget needs checking. ALU occupancy never changes
+    /// inside a chain (translated blocks contain no divides) and the
+    /// port/flush state is clean by construction.
+    fn run_chain(&mut self, program: &DecodedProgram) -> Result<ChainExit, SimError> {
+        let mut executed = false;
+        // The previous transition, when it was a taken back-edge:
+        // (stream index, terminator debt) — the trace-link signature.
+        let mut from: Option<(u32, u32)> = None;
+        loop {
+            let pc = self.sim.pc;
+            let si = match self.steps.get(pc as usize) {
+                Some(&Step::Enter(si)) => si as usize,
+                _ => return Ok(ChainExit::Dispatch { executed }),
+            };
+            let lap = from.take().filter(|&(p, _)| p as usize == si);
+            // Admission: O(1) via the link memo on a repeated verified
+            // lap, else the full entry-cap scan.
+            enum Admit {
+                Linked,
+                Verified(Option<u32>),
+                Reject,
+            }
+            let admit = {
+                let stream = &self.streams[si];
+                let budget_ok = self
+                    .sim
+                    .cycle
+                    .checked_add(stream.block.block_cycles)
+                    .is_some_and(|end| end <= self.sim.cycle_limit);
+                match lap {
+                    Some((_, key)) if budget_ok && stream.link == Some(key) => Admit::Linked,
+                    _ if entry_ok(&self.sim, &stream.block) => {
+                        Admit::Verified(lap.map(|(_, key)| key))
+                    }
+                    _ => Admit::Reject,
+                }
+            };
+            match admit {
+                Admit::Reject => return Ok(ChainExit::Dispatch { executed }),
+                Admit::Linked => self.linked += 1,
+                // One full self-loop lap verified: memoise its signature.
+                Admit::Verified(Some(key)) => self.streams[si].link = Some(key),
+                Admit::Verified(None) => {}
+            }
+
+            run_stream(&mut self.sim, program, &self.streams[si])?;
+            self.fast_blocks += 1;
+            if executed {
+                self.chained += 1;
+            }
+            executed = true;
+
+            // The terminator executes inside the chain, through the
+            // same shared write-back path the decoded engine uses. If
+            // the cycle budget is exhausted first, hand back with the
+            // staged terminator intact: `step_front` raises CycleLimit
+            // at exactly this state, as the decoded engine would.
+            if self.sim.cycle >= self.sim.cycle_limit {
+                return Ok(ChainExit::Dispatch { executed });
+            }
+            let term = self
+                .sim
+                .stage2
+                .take()
+                .expect("run_block staged the terminator");
+            let redirect = self.sim.execute_bundle(program, term, &mut NopSink)?;
+            if self.sim.halted {
+                // Mirror `step_front`'s drain: the halt cycle retires.
+                self.sim.finish_cycle(&mut NopSink);
+                return Ok(ChainExit::Halted);
+            }
+            // The trace-link signature: debt before the stall ladder.
+            let key = self.sim.mem_debt;
+            match redirect {
+                Some(target) => {
+                    // Taken branch: the squashed fetch plus the deeper-
+                    // pipeline bubbles, each a full front-end cycle, then
+                    // any contention stalls — the decoded pre-issue
+                    // ladder, paid in place.
+                    self.sim.pc = target;
+                    self.sim.stats.stalls.branch_flush += 1;
+                    self.sim.flush_wait = program.flush_penalty;
+                    self.sim.finish_cycle(&mut NopSink);
+                    while self.sim.flush_wait > 0 {
+                        if self.sim.cycle >= self.sim.cycle_limit {
+                            return Ok(ChainExit::Dispatch { executed });
+                        }
+                        self.sim.flush_wait -= 1;
+                        self.sim.stats.stalls.branch_flush += 1;
+                        self.sim.finish_cycle(&mut NopSink);
+                    }
+                    while self.sim.mem_debt >= 2 {
+                        if self.sim.cycle >= self.sim.cycle_limit {
+                            return Ok(ChainExit::Dispatch { executed });
+                        }
+                        self.sim.mem_debt -= 2;
+                        self.sim.stats.stalls.memory_contention += 1;
+                        self.sim.finish_cycle(&mut NopSink);
+                    }
+                    from = Some((si as u32, key));
+                }
+                None => {
+                    // Fall-through: the next bundle may issue in the same
+                    // cycle the terminator executed — but only when the
+                    // pre-issue ladder passes untouched. A pending
+                    // contention stall goes back to the dispatcher,
+                    // whose ladder pays it identically.
+                    if self.sim.mem_debt >= 2 {
+                        return Ok(ChainExit::Dispatch { executed });
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Re-binds a compiled block's body as micro-op steps: maximal runs of
+/// pure bundles become flat op arrays with pre-folded statistics;
+/// everything else stays on the exact write-buffered path.
+fn translate_stream(program: &DecodedProgram, block: CompiledBlock) -> Stream {
+    let mut fast_ops: Vec<DecodedOp> = Vec::new();
+    let mut body: Vec<BodyStep> = Vec::new();
+    let mut run: Option<(u32, RunStats)> = None;
+    for i in 0..block.n - 1 {
+        let bundle = &program.bundles[block.first as usize + i];
+        if bundle_is_pure(bundle) {
+            let (_, stats) = run.get_or_insert((fast_ops.len() as u32, RunStats::default()));
+            stats.bundles += 1;
+            stats.nops += bundle.nops;
+            stats.instructions += bundle.instructions;
+            for (acc, n) in stats.unit_ops.iter_mut().zip(bundle.unit_ops) {
+                *acc += n;
+            }
+            fast_ops.extend(bundle.ops.iter().copied());
+        } else {
+            if let Some((from, stats)) = run.take() {
+                body.push(BodyStep::Run {
+                    from,
+                    to: fast_ops.len() as u32,
+                    stats,
+                });
+            }
+            body.push(BodyStep::Exec(i as u32));
+        }
+    }
+    if let Some((from, stats)) = run.take() {
+        body.push(BodyStep::Run {
+            from,
+            to: fast_ops.len() as u32,
+            stats,
+        });
+    }
+    Stream {
+        block,
+        body: body.into_boxed_slice(),
+        fast_ops: fast_ops.into_boxed_slice(),
+        link: None,
+    }
+}
+
+/// Whether a body bundle can execute as direct-write micro-ops.
+///
+/// Two conditions, checked op by op in issue order:
+///
+/// * no memory traffic — loads and stores can fault, charge
+///   fetch-bandwidth debt and tick runtime counters, all of which the
+///   exact path owns (branches and halts never appear in a body);
+/// * no op reads a register an *earlier op of the same bundle* writes —
+///   the architectural contract is that all reads of a bundle see
+///   pre-bundle state, which direct writes would otherwise break.
+///   Write-after-write is safe: direct writes land in the same op order
+///   the write buffer drains in.
+fn bundle_is_pure(bundle: &DecodedBundle) -> bool {
+    let mut gprs_written: Vec<u16> = Vec::new();
+    let mut preds_written: Vec<u16> = Vec::new();
+    for op in bundle.ops.iter() {
+        let reads_written_gpr = |s: Src| match s {
+            Src::Gpr(r) => gprs_written.contains(&r),
+            Src::Lit(_) | Src::Zero => false,
+        };
+        if op.guard != 0 && preds_written.contains(&op.guard) {
+            return false;
+        }
+        match op.action {
+            Action::Load { .. } | Action::Store { .. } | Action::Branch { .. } | Action::Halt => {
+                return false;
+            }
+            Action::Alu { a, b, .. }
+            | Action::CustomAlu { a, b, .. }
+            | Action::Cmp { a, b, .. } => {
+                if reads_written_gpr(a) || reads_written_gpr(b) {
+                    return false;
+                }
+            }
+            Action::MovGp { a, .. } | Action::Pbr { a, .. } => {
+                if reads_written_gpr(a) {
+                    return false;
+                }
+            }
+            Action::MovPg { pred, .. } => {
+                if pred.is_some_and(|p| preds_written.contains(&p)) {
+                    return false;
+                }
+            }
+            Action::PredPut { .. } => {}
+        }
+        match op.action {
+            Action::Alu { dest, .. }
+            | Action::CustomAlu { dest, .. }
+            | Action::MovPg { dest, .. } => gprs_written.extend(dest),
+            Action::Cmp {
+                if_true, if_false, ..
+            } => {
+                preds_written.extend(if_true);
+                preds_written.extend(if_false);
+            }
+            Action::PredPut { dest, .. } | Action::MovGp { dest, .. } => {
+                preds_written.extend(dest);
+            }
+            // BTRs are never read inside a body (only branches read
+            // them), so PBR writes cannot conflict.
+            Action::Pbr { .. } => {}
+            Action::Load { .. } | Action::Store { .. } | Action::Branch { .. } | Action::Halt => {
+                unreachable!("rejected above")
+            }
+        }
+    }
+    true
+}
+
+#[inline]
+fn src(sim: &Simulator, s: Src) -> u32 {
+    match s {
+        Src::Gpr(r) => sim.gprs[r as usize],
+        Src::Lit(v) => v,
+        Src::Zero => 0,
+    }
+}
+
+/// Executes one pre-bound pure op with direct register writes — the
+/// micro-op mirror of [`crate::semantics::execute_op`] for the action
+/// subset [`bundle_is_pure`] admits. Purity makes the write buffer
+/// unnecessary (no same-bundle reader of these writes exists) and
+/// faults impossible; only the squash counter is runtime-dependent.
+fn exec_direct(sim: &mut Simulator, program: &DecodedProgram, op: &DecodedOp) {
+    if !(op.guard == 0 || sim.preds[op.guard as usize]) {
+        sim.stats.squashed += 1;
+        return;
+    }
+    match op.action {
+        Action::Alu { opcode, dest, a, b } => {
+            if let Some(r) = dest {
+                let value = eval_alu_basic(opcode, src(sim, a), src(sim, b));
+                sim.gprs[r as usize] = value & program.datapath_mask;
+            }
+        }
+        Action::CustomAlu { custom, dest, a, b } => {
+            if let Some(r) = dest {
+                let value = program.custom_ops[custom as usize].semantics().evaluate(
+                    u64::from(src(sim, a)),
+                    u64::from(src(sim, b)),
+                    program.custom_width,
+                ) as u32;
+                sim.gprs[r as usize] = value & program.datapath_mask;
+            }
+        }
+        Action::Cmp {
+            cond,
+            if_true,
+            if_false,
+            a,
+            b,
+        } => {
+            let outcome = eval_cmp(cond, src(sim, a), src(sim, b));
+            if let Some(p) = if_true {
+                sim.preds[p as usize] = outcome;
+            }
+            if let Some(p) = if_false {
+                sim.preds[p as usize] = !outcome;
+            }
+        }
+        Action::PredPut { dest, value } => {
+            if let Some(p) = dest {
+                sim.preds[p as usize] = value;
+            }
+        }
+        Action::MovGp { dest, a } => {
+            if let Some(p) = dest {
+                sim.preds[p as usize] = src(sim, a) != 0;
+            }
+        }
+        Action::MovPg { dest, pred } => {
+            if let Some(r) = dest {
+                sim.gprs[r as usize] =
+                    pred.map_or(0, |p| u32::from(p == 0 || sim.preds[p as usize]));
+            }
+        }
+        Action::Pbr { dest, a } => {
+            let value = src(sim, a);
+            if let Some(b) = dest {
+                sim.btrs[b as usize] = value;
+            }
+        }
+        Action::Load { .. } | Action::Store { .. } | Action::Branch { .. } | Action::Halt => {
+            unreachable!("impure actions stay on the exact path")
+        }
+    }
+}
+
+/// Executes one translated stream body: pure runs as direct-write
+/// micro-ops with one folded statistics delta each, impure bundles
+/// through the shared write-buffered path, then the folded exit state.
+/// Faults unwind to the exact per-cycle machine state, as the block
+/// engine's body does.
+fn run_stream(
+    sim: &mut Simulator,
+    program: &DecodedProgram,
+    stream: &Stream,
+) -> Result<(), SimError> {
+    let block = &stream.block;
+    let c = sim.cycle;
+    for step in stream.body.iter() {
+        match *step {
+            BodyStep::Run { from, to, stats } => {
+                sim.stats.bundles += stats.bundles;
+                sim.stats.nops += stats.nops;
+                sim.stats.instructions += stats.instructions;
+                sim.stats.alu_busy_cycles += stats.unit_ops[0];
+                sim.stats.lsu_busy_cycles += stats.unit_ops[1];
+                sim.stats.cmpu_busy_cycles += stats.unit_ops[2];
+                sim.stats.bru_busy_cycles += stats.unit_ops[3];
+                for op in &stream.fast_ops[from as usize..to as usize] {
+                    exec_direct(sim, program, op);
+                }
+            }
+            BodyStep::Exec(i) => {
+                let addr = block.first + i;
+                match sim.execute_bundle(program, addr, &mut NopSink) {
+                    Ok(redirect) => {
+                        debug_assert!(redirect.is_none(), "body bundles cannot branch");
+                    }
+                    Err(e) => {
+                        fault_unwind(sim, block, c, i as usize);
+                        return Err(e);
+                    }
+                }
+            }
+        }
+    }
+    fold_exit(sim, block, c);
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::StallCause;
+    use epic_asm::assemble;
+
+    fn build_pair(src: &str, config: &Config, mem: u32) -> (Simulator, ThreadedSimulator) {
+        let program = assemble(src, config).expect("assembles");
+        let mut decoded = Simulator::try_new(config, program.bundles().to_vec(), program.entry())
+            .expect("legal program");
+        let mut threaded =
+            ThreadedSimulator::try_new(config, program.bundles().to_vec(), program.entry())
+                .expect("legal program");
+        decoded.set_memory(Memory::new(mem));
+        threaded.set_memory(Memory::new(mem));
+        (decoded, threaded)
+    }
+
+    const LOOP_SRC: &str = "    MOVE r1, #0\n    MOVE r2, #10\n    PBR b1, @loop\n;;\n\
+                            loop:\n    ADD r1, r1, r2\n;;\n    SUB r2, r2, #1\n;;\n\
+                                CMP_GT p1, p0, r2, #0\n;;\n    BRCT b1 (p1)\n;;\n\
+                                SW r1, r3, #0\n;;\n    HALT\n;;\n";
+
+    #[test]
+    fn hot_loop_chains_and_links() {
+        let config = Config::default();
+        let (mut decoded, mut threaded) = build_pair(LOOP_SRC, &config, 64);
+        let want = *decoded.run().expect("decoded runs");
+        let got = *threaded.run().expect("threaded runs");
+        assert_eq!(got, want, "stats must be bit-identical");
+        assert_eq!(threaded.gpr(1), 55, "sum 1..=10");
+        assert_eq!(threaded.gpr(1), decoded.gpr(1));
+        assert_eq!(threaded.memory().bytes(), decoded.memory().bytes());
+        assert!(
+            threaded.fast_block_execs() >= 9,
+            "the loop body must run translated (got {})",
+            threaded.fast_block_execs()
+        );
+        assert!(
+            threaded.chained_execs() >= 8,
+            "back-edges must chain without the dispatcher (got {})",
+            threaded.chained_execs()
+        );
+        assert!(
+            threaded.linked_execs() >= 1,
+            "steady-state laps must be link-admitted (got {})",
+            threaded.linked_execs()
+        );
+    }
+
+    #[test]
+    fn mid_loop_fault_forces_exact_fallback() {
+        // Two stores per iteration marching through memory: the loop
+        // chains (the terminator's debt is paid as one contention stall
+        // per lap) until the stores walk off the end of the 64-byte
+        // memory and fault mid-block, mid-chain.
+        let src = "    MOVE r1, #0\n    MOVE r2, #20\n    PBR b1, @loop\n;;\n\
+                   loop:\n    SW r2, r1, #0\n;;\n    SW r2, r1, #4\n;;\n    ADD r1, r1, #8\n;;\n\
+                       SUB r2, r2, #1\n;;\n    CMP_GT p1, p0, r2, #0\n;;\n    BRCT b1 (p1)\n;;\n\
+                       HALT\n;;\n";
+        let config = Config::default();
+        let (mut decoded, mut threaded) = build_pair(src, &config, 64);
+        let want_err = decoded.run().expect_err("stores walk off memory");
+        let got_err = threaded.run().expect_err("stores walk off memory");
+        assert_eq!(format!("{got_err}"), format!("{want_err}"));
+        assert!(
+            threaded.chained_execs() > 0,
+            "the loop must have chained before the fault"
+        );
+        let want = decoded;
+        let got = threaded.into_inner();
+        assert_eq!(got.stats, want.stats, "interrupted stats must match");
+        assert_eq!(got.cycle, want.cycle);
+        assert_eq!(got.pc, want.pc);
+        assert_eq!(got.stage2, want.stage2);
+        assert_eq!(got.gprs, want.gprs);
+        assert_eq!(got.gpr_ready, want.gpr_ready);
+        assert_eq!(got.pred_ready, want.pred_ready);
+        assert_eq!(got.mem_debt, want.mem_debt);
+        assert_eq!(got.port_wait, want.port_wait);
+        assert_eq!(got.memory.bytes(), want.memory.bytes());
+    }
+
+    #[test]
+    fn narrow_machines_agree_too() {
+        let src = "    MOVE r1, #0\n;;\n    MOVE r2, #10\n;;\n    PBR b1, @loop\n;;\n\
+                   loop:\n    ADD r1, r1, r2\n;;\n    SUB r2, r2, #1\n;;\n\
+                       CMP_GT p1, p0, r2, #0\n;;\n    BRCT b1 (p1)\n;;\n\
+                       SW r1, r3, #0\n;;\n    HALT\n;;\n";
+        let config = Config::builder()
+            .num_alus(1)
+            .issue_width(1)
+            .build()
+            .unwrap();
+        let (mut decoded, mut threaded) = build_pair(src, &config, 64);
+        let want = *decoded.run().expect("decoded runs");
+        let got = *threaded.run().expect("threaded runs");
+        assert_eq!(got, want);
+        assert_eq!(threaded.gpr(1), decoded.gpr(1));
+        assert!(threaded.chained_execs() > 0);
+    }
+
+    #[test]
+    fn deeper_pipelines_pay_bubbles_in_the_chain() {
+        // flush_penalty > 0 exercises the in-chain bubble ladder.
+        let config = Config::builder().pipeline_stages(4).build().unwrap();
+        let (mut decoded, mut threaded) = build_pair(LOOP_SRC, &config, 64);
+        let want = *decoded.run().expect("decoded runs");
+        let got = *threaded.run().expect("threaded runs");
+        assert_eq!(got, want);
+        assert!(want.stalls.branch_flush >= 27, "3 bubbles per taken branch");
+        assert!(threaded.chained_execs() > 0);
+    }
+
+    #[test]
+    fn cycle_limit_interrupts_the_chain_exactly() {
+        // Every prefix of the run must be interrupted identically: sweep
+        // the limit across fill, chained laps and the drain.
+        let config = Config::default();
+        let (full, _) = build_pair(LOOP_SRC, &config, 64);
+        let mut full = full;
+        let total = full.run().expect("full run").cycles;
+        for limit in 1..total {
+            let (mut decoded, mut threaded) = build_pair(LOOP_SRC, &config, 64);
+            decoded.set_cycle_limit(limit);
+            threaded.set_cycle_limit(limit);
+            let want_err = decoded.run().expect_err("limit hit");
+            let got_err = threaded.run().expect_err("limit hit");
+            assert_eq!(format!("{got_err}"), format!("{want_err}"), "limit {limit}");
+            let want = decoded;
+            let got = threaded.into_inner();
+            assert_eq!(got.stats, want.stats, "limit {limit}");
+            assert_eq!(got.cycle, want.cycle, "limit {limit}");
+            assert_eq!(got.pc, want.pc, "limit {limit}");
+            assert_eq!(got.gprs, want.gprs, "limit {limit}");
+        }
+    }
+
+    #[test]
+    fn observing_sinks_disable_the_fast_path() {
+        struct Counter(u64);
+        impl TraceSink for Counter {
+            fn cycle_retired(&mut self, _cycle: u64) {
+                self.0 += 1;
+            }
+        }
+        let config = Config::default();
+        let (mut decoded, mut threaded) = build_pair(LOOP_SRC, &config, 64);
+        let want = *decoded.run().expect("decoded runs");
+        let mut sink = Counter(0);
+        let got = *threaded.run_with_sink(&mut sink).expect("threaded runs");
+        assert_eq!(got, want);
+        assert_eq!(
+            sink.0, want.cycles,
+            "observed runs must retire every cycle individually"
+        );
+        assert_eq!(threaded.fast_block_execs(), 0);
+        assert_eq!(threaded.chained_execs(), 0);
+    }
+
+    #[test]
+    fn stall_recording_disables_the_fast_path() {
+        let config = Config::default();
+        let (mut decoded, mut threaded) = build_pair(LOOP_SRC, &config, 64);
+        decoded.record_stalls(true);
+        threaded.record_stalls(true);
+        let want = *decoded.run().expect("decoded runs");
+        let got = *threaded.run().expect("threaded runs");
+        assert_eq!(got, want);
+        assert_eq!(threaded.fast_block_execs(), 0);
+        assert_eq!(threaded.stall_log(), decoded.stall_log());
+        assert!(threaded
+            .stall_log()
+            .iter()
+            .any(|e| e.cause == StallCause::BranchFlush));
+    }
+
+    #[test]
+    fn divides_are_never_translated() {
+        let src = "    MOVE r1, #40\n    MOVE r2, #4\n;;\n    DIV r3, r1, r2\n;;\n\
+                   ADD r4, r3, #1\n;;\n    HALT\n;;\n";
+        let config = Config::default();
+        let (mut decoded, mut threaded) = build_pair(src, &config, 0);
+        assert_eq!(threaded.translated_blocks(), 0, "the divide poisons it");
+        let want = *decoded.run().expect("decoded runs");
+        let got = *threaded.run().expect("threaded runs");
+        assert_eq!(got, want);
+        assert_eq!(threaded.gpr(3), 10);
+    }
+}

@@ -32,11 +32,13 @@ pub trait TraceSink {
     /// Whether this sink observes events.
     ///
     /// The block-compiled engine ([`crate::BlockSimulator`]) folds whole
-    /// basic blocks into a single state update, which elides the
-    /// per-cycle event stream. It only does so when the sink statically
-    /// declares itself blind (`OBSERVED == false`); observing sinks get
-    /// the ordinary per-cycle engine and therefore the exact event
-    /// sequence. Leave this `true` unless every method is a no-op.
+    /// basic blocks into a single state update, and the threaded-code
+    /// engine ([`crate::ThreadedSimulator`]) chains such blocks into
+    /// translated step streams — both elide the per-cycle event stream.
+    /// They only do so when the sink statically declares itself blind
+    /// (`OBSERVED == false`); observing sinks get the ordinary
+    /// per-cycle engine and therefore the exact event sequence. Leave
+    /// this `true` unless every method is a no-op.
     const OBSERVED: bool = true;
 
     /// A bundle left the Fetch/Decode/Issue stage this cycle.

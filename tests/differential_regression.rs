@@ -11,22 +11,26 @@
 //! `regfile_port` and zero `unit_busy` stalls — cross-validated against
 //! the static verifier, which must accept exactly these programs.
 //!
-//! The second test runs the same grid through all three execution
+//! The second test runs the same grid through all four execution
 //! engines — the decode-once [`Simulator`], the frozen
-//! [`ReferenceSimulator`] oracle and the block-compiled
-//! [`BlockSimulator`] — and demands bit-identical statistics, register
-//! files and memory images. Any divergence in the decoded fast path or
-//! in the folded block accounting fails here before it can skew a
-//! single paper number.
+//! [`ReferenceSimulator`] oracle, the block-compiled [`BlockSimulator`]
+//! and the threaded-code [`ThreadedSimulator`] — and demands
+//! bit-identical statistics, register files and memory images. Any
+//! divergence in the decoded fast path, the folded block accounting or
+//! the chained step streams fails here before it can skew a single
+//! paper number.
 //!
-//! The third test pins the block engine's *raison d'être*: on real
-//! workloads it must actually take its folded fast path, not silently
+//! The remaining tests pin the fast engines' *raison d'être*: on real
+//! workloads the block engine must actually take its folded fast path
+//! and the threaded engine must actually chain blocks, not silently
 //! fall back to per-cycle stepping everywhere.
 
 use epic_core::config::Config;
 use epic_core::experiments::run_epic_workload_with_engine;
 use epic_core::ir::lower;
-use epic_core::sim::{BlockSimulator, Engine, Memory, ReferenceSimulator, Simulator};
+use epic_core::sim::{
+    BlockSimulator, Engine, Memory, ReferenceSimulator, Simulator, ThreadedSimulator,
+};
 use epic_core::workloads::{self, Scale};
 use epic_core::Toolchain;
 
@@ -66,7 +70,7 @@ fn compiled_workloads_never_stall_on_ports_or_units() {
 }
 
 #[test]
-fn all_three_engines_are_bit_identical_across_the_grid() {
+fn all_four_engines_are_bit_identical_across_the_grid() {
     for workload in workloads::all(Scale::Test) {
         let module = lower::lower(&workload.program).expect("workload lowers");
         let layout = module.layout().expect("layout");
@@ -106,12 +110,19 @@ fn all_three_engines_are_bit_identical_across_the_grid() {
                     .run()
                     .unwrap_or_else(|e| panic!("{label}: reference run failed: {e}"));
 
-                let mut block = BlockSimulator::try_new(&config, bundles, entry)
+                let mut block = BlockSimulator::try_new(&config, bundles.clone(), entry)
                     .unwrap_or_else(|e| panic!("{label}: block compile rejected: {e}"));
-                block.set_memory(Memory::from_image(image));
+                block.set_memory(Memory::from_image(image.clone()));
                 block
                     .run()
                     .unwrap_or_else(|e| panic!("{label}: block run failed: {e}"));
+
+                let mut threaded = ThreadedSimulator::try_new(&config, bundles, entry)
+                    .unwrap_or_else(|e| panic!("{label}: threaded translation rejected: {e}"));
+                threaded.set_memory(Memory::from_image(image));
+                threaded
+                    .run()
+                    .unwrap_or_else(|e| panic!("{label}: threaded run failed: {e}"));
 
                 assert_eq!(
                     decoded.stats(),
@@ -125,12 +136,22 @@ fn all_three_engines_are_bit_identical_across_the_grid() {
                 );
                 assert_eq!(
                     decoded.stats(),
+                    threaded.stats(),
+                    "{label}: SimStats diverged between decoded and threaded"
+                );
+                assert_eq!(
+                    decoded.stats(),
                     run.stats(),
                     "{label}: toolchain-embedded simulator diverged"
                 );
                 for r in 0..config.num_gprs() {
                     assert_eq!(decoded.gpr(r), oracle.gpr(r), "{label}: r{r} diverged");
                     assert_eq!(decoded.gpr(r), block.gpr(r), "{label}: block r{r} diverged");
+                    assert_eq!(
+                        decoded.gpr(r),
+                        threaded.gpr(r),
+                        "{label}: threaded r{r} diverged"
+                    );
                 }
                 for p in 0..config.num_pred_regs() {
                     assert_eq!(decoded.pred(p), oracle.pred(p), "{label}: p{p} diverged");
@@ -139,10 +160,20 @@ fn all_three_engines_are_bit_identical_across_the_grid() {
                         block.pred(p),
                         "{label}: block p{p} diverged"
                     );
+                    assert_eq!(
+                        decoded.pred(p),
+                        threaded.pred(p),
+                        "{label}: threaded p{p} diverged"
+                    );
                 }
                 for b in 0..config.num_btrs() {
                     assert_eq!(decoded.btr(b), oracle.btr(b), "{label}: b{b} diverged");
                     assert_eq!(decoded.btr(b), block.btr(b), "{label}: block b{b} diverged");
+                    assert_eq!(
+                        decoded.btr(b),
+                        threaded.btr(b),
+                        "{label}: threaded b{b} diverged"
+                    );
                 }
                 assert_eq!(
                     decoded.memory().bytes(),
@@ -153,6 +184,11 @@ fn all_three_engines_are_bit_identical_across_the_grid() {
                     decoded.memory().bytes(),
                     block.memory().bytes(),
                     "{label}: block final memory image diverged"
+                );
+                assert_eq!(
+                    decoded.memory().bytes(),
+                    threaded.memory().bytes(),
+                    "{label}: threaded final memory image diverged"
                 );
             }
         }
@@ -174,14 +210,35 @@ fn block_engine_takes_the_fast_path_on_every_workload() {
     }
 }
 
-/// Throughput smoke gate, run explicitly in CI (`--ignored`): the block
-/// engine must not be slower than the decoded engine on Dijkstra — the
-/// branchiest workload, i.e. the one with the least straight-line code
-/// to fold. Interleaved best-of-5 timing on identical cloned machines,
-/// with a 5% tolerance so the gate trips on regressions, not on noise.
+#[test]
+fn threaded_engine_chains_blocks_on_every_workload() {
+    for workload in workloads::all(Scale::Test) {
+        let config = Config::default();
+        let run = run_epic_workload_with_engine(&workload, &config, Engine::Threaded)
+            .unwrap_or_else(|e| panic!("{}: {e}", workload.name));
+        assert!(
+            run.outcome.fast_block_execs > 0,
+            "{}: the threaded engine never entered a step stream",
+            workload.name
+        );
+        assert!(
+            run.outcome.chained_execs > 0,
+            "{}: the threaded engine never chained from one stream into \
+             the next (every block bounced through the dispatcher)",
+            workload.name
+        );
+    }
+}
+
+/// Throughput smoke gate, run explicitly in CI (`--ignored`): neither
+/// the block engine nor the threaded engine may be slower than the
+/// decoded engine on Dijkstra — the branchiest workload, i.e. the one
+/// with the least straight-line code to fold. Interleaved best-of-5
+/// timing on identical cloned machines, with a 5% tolerance so the gate
+/// trips on regressions, not on noise.
 #[test]
 #[ignore = "timing-sensitive; CI runs it on a quiet runner"]
-fn block_engine_is_not_slower_than_decoded_on_dijkstra() {
+fn fast_engines_are_not_slower_than_decoded_on_dijkstra() {
     let workload = workloads::all(Scale::Test)
         .into_iter()
         .find(|w| w.name == "dijkstra")
@@ -202,12 +259,17 @@ fn block_engine_is_not_slower_than_decoded_on_dijkstra() {
         sim
     };
     let block = {
-        let mut sim = BlockSimulator::try_new(&config, bundles, entry).expect("compiles");
+        let mut sim = BlockSimulator::try_new(&config, bundles.clone(), entry).expect("compiles");
+        sim.set_memory(Memory::from_image(image.clone()));
+        sim
+    };
+    let threaded = {
+        let mut sim = ThreadedSimulator::try_new(&config, bundles, entry).expect("translates");
         sim.set_memory(Memory::from_image(image));
         sim
     };
 
-    let mut best = [u128::MAX; 2];
+    let mut best = [u128::MAX; 3];
     for rep in 0..=5 {
         let mut sim = decoded.clone();
         let start = std::time::Instant::now();
@@ -219,16 +281,28 @@ fn block_engine_is_not_slower_than_decoded_on_dijkstra() {
         sim.run().expect("runs");
         let block_ns = start.elapsed().as_nanos();
 
-        // Rep 0 is a warm-up for both engines.
+        let mut sim = threaded.clone();
+        let start = std::time::Instant::now();
+        sim.run().expect("runs");
+        let threaded_ns = start.elapsed().as_nanos();
+
+        // Rep 0 is a warm-up for all engines.
         if rep > 0 {
             best[0] = best[0].min(decoded_ns);
             best[1] = best[1].min(block_ns);
+            best[2] = best[2].min(threaded_ns);
         }
     }
     assert!(
         best[1] as f64 <= best[0] as f64 * 1.05,
         "block engine slower than decoded on dijkstra: {}ns vs {}ns",
         best[1],
+        best[0]
+    );
+    assert!(
+        best[2] as f64 <= best[0] as f64 * 1.05,
+        "threaded engine slower than decoded on dijkstra: {}ns vs {}ns",
+        best[2],
         best[0]
     );
 }

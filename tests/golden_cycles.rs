@@ -16,7 +16,7 @@
 //!
 //! `EPIC_ENGINE=reference|decoded|block` selects the simulation engine
 //! the corpus is measured on. The golden file is engine-independent —
-//! all three engines are bit-identical by contract — so CI runs this
+//! all four engines are bit-identical by contract — so CI runs this
 //! test once per engine against the *same* committed corpus.
 
 use epic_core::config::Config;

@@ -14,7 +14,7 @@
 //!
 //! `EPIC_ENGINE=reference|decoded|block` selects the core engine; the
 //! file is engine-independent because the engines are bit-identical by
-//! contract, so CI can replay the same corpus on all three.
+//! contract, so CI can replay the same corpus on all four.
 //!
 //! [`SimStats`]: epic_core::sim::SimStats
 
